@@ -1,0 +1,116 @@
+// Ablation studies on the design choices DESIGN.md calls out:
+//   1. token count x insertion point sweep on CG and MG (the paper's §5.1
+//      "this encourages further exploration" of per-region A/R sync);
+//   2. the A-stream construct policies: store conversion on/off and
+//      critical-section execution on/off (§3.1 "advisable" defaults).
+#include "bench/bench_common.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+core::ExperimentResult run_policy(const std::string& app,
+                                  slip::SlipstreamConfig slip) {
+  core::ExperimentConfig cfg;
+  cfg.machine = bench::paper_machine();
+  cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
+  cfg.runtime.slip = slip;
+  cfg.runtime.policies = slip.policies;
+  return core::run_experiment(
+      cfg, apps::make_workload(app, apps::AppScale::kBench));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 1: A/R synchronization sweep (tokens x "
+              "insertion) ===\n\n");
+  stats::Table sweep({"benchmark", "sync", "tokens", "cycles",
+                      "speedup vs single"});
+  for (const std::string app : {"CG", "MG"}) {
+    const auto single = bench::run_mode(app, rt::ExecutionMode::kSingle,
+                                        slip::SlipstreamConfig::disabled());
+    bench::check_verified(app, single);
+    for (slip::SyncType type :
+         {slip::SyncType::kGlobal, slip::SyncType::kLocal}) {
+      for (int tokens : {0, 1, 2, 4}) {
+        slip::SlipstreamConfig cfg{.type = type, .tokens = tokens};
+        const auto r =
+            bench::run_mode(app, rt::ExecutionMode::kSlipstream, cfg);
+        bench::check_verified(app, r);
+        sweep.add_row({app, std::string(to_string(type)),
+                       std::to_string(tokens), std::to_string(r.cycles),
+                       stats::Table::fmt(core::speedup(single, r), 3)});
+      }
+    }
+  }
+  sweep.print();
+
+  std::printf("\n=== Ablation 2: A-stream construct policies (CG) ===\n\n");
+  stats::Table pol({"policy", "cycles", "vs default", "converted",
+                    "dropped"});
+  slip::SlipstreamConfig base_cfg = slip::SlipstreamConfig::zero_token_global();
+  const auto base = run_policy("CG", base_cfg);
+  bench::check_verified("CG", base);
+  pol.add_row({"default (stores->prefetch, A skips critical)",
+               std::to_string(base.cycles), "1.000",
+               std::to_string(base.slip.converted_stores),
+               std::to_string(base.slip.dropped_stores)});
+
+  {
+    slip::SlipstreamConfig c = base_cfg;
+    c.policies.a_stores_as_prefetch = false;  // drop all A-stores
+    const auto r = run_policy("CG", c);
+    bench::check_verified("CG", r);
+    pol.add_row({"A-stores dropped (no conversion)",
+                 std::to_string(r.cycles),
+                 stats::Table::fmt(core::speedup(base, r), 3),
+                 std::to_string(r.slip.converted_stores),
+                 std::to_string(r.slip.dropped_stores)});
+  }
+  {
+    slip::SlipstreamConfig c = base_cfg;
+    c.policies.a_executes_critical = true;
+    const auto r = run_policy("CG", c);
+    bench::check_verified("CG", r);
+    pol.add_row({"A executes criticals (unlocked)", std::to_string(r.cycles),
+                 stats::Table::fmt(core::speedup(base, r), 3),
+                 std::to_string(r.slip.converted_stores),
+                 std::to_string(r.slip.dropped_stores)});
+  }
+  {
+    slip::SlipstreamConfig c = base_cfg;
+    c.policies.a_executes_atomic = false;
+    const auto r = run_policy("CG", c);
+    bench::check_verified("CG", r);
+    pol.add_row({"A skips atomics", std::to_string(r.cycles),
+                 stats::Table::fmt(core::speedup(base, r), 3),
+                 std::to_string(r.slip.converted_stores),
+                 std::to_string(r.slip.dropped_stores)});
+  }
+  pol.print();
+
+  // Self-invalidation (paper §2, §3.2.1: an additional coherence
+  // optimization tied to the one-token-global sync model).
+  std::printf("\n=== Ablation 3: slipstream self-invalidation (one-token "
+              "global) ===\n\n");
+  stats::Table si({"benchmark", "self-inval", "cycles", "speedup vs single",
+                   "hints sent"});
+  for (const std::string app : {"CG", "MG"}) {
+    const auto single = bench::run_mode(app, rt::ExecutionMode::kSingle,
+                                        slip::SlipstreamConfig::disabled());
+    for (bool enabled : {false, true}) {
+      slip::SlipstreamConfig c{.type = slip::SyncType::kGlobal, .tokens = 1};
+      c.policies.self_invalidation = enabled;
+      const auto r = run_policy(app, c);
+      bench::check_verified(app, r);
+      si.add_row({app, enabled ? "on" : "off", std::to_string(r.cycles),
+                  stats::Table::fmt(core::speedup(single, r), 3),
+                  std::to_string(r.mem.self_invalidations)});
+    }
+  }
+  si.print();
+  std::printf("\n('vs default' > 1 means the variant runs faster than the "
+              "default policy.)\n");
+  return 0;
+}

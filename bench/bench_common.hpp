@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/ssomp.hpp"
+
+namespace ssomp::bench {
+
+/// The machine every experiment harness simulates: the paper's 16-CMP
+/// system (Table 1) with cache capacities scaled to the reduced problem
+/// classes (EXPERIMENTS.md, "scaling").
+inline machine::MachineConfig paper_machine(int ncmp = 16) {
+  machine::MachineConfig mc;
+  mc.ncmp = ncmp;
+  mc.mem = mem::MemParams::scaled_for_benchmarks();
+  return mc;
+}
+
+inline void print_table1(const mem::MemParams& p) {
+  std::printf("Simulated system parameters (paper Table 1):\n");
+  std::printf("  CPU: MIPSY-like in-order CMP model, %.1f GHz\n", p.clock_ghz);
+  std::printf("  L1: %u KB, %u-way, hit %llu cycle(s)\n",
+              p.l1_size_bytes / 1024, p.l1_assoc,
+              static_cast<unsigned long long>(p.l1_hit_cycles));
+  std::printf("  L2 (shared): %u KB, %u-way, hit %llu cycles\n",
+              p.l2_size_bytes / 1024, p.l2_assoc,
+              static_cast<unsigned long long>(p.l2_hit_cycles));
+  std::printf(
+      "  BusTime %.0fns  PILocalDC %.0fns  NILocalDC %.0fns  NIRemoteDC "
+      "%.0fns  Net %.0fns  Mem %.0fns\n",
+      p.bus_ns, p.pi_local_dc_ns, p.ni_local_dc_ns, p.ni_remote_dc_ns,
+      p.net_ns, p.mem_ns);
+  std::printf("  min local miss %llu cycles (170ns), min remote miss %llu "
+              "cycles (290ns)\n\n",
+              static_cast<unsigned long long>(p.min_local_miss_cycles()),
+              static_cast<unsigned long long>(p.min_remote_miss_cycles()));
+}
+
+inline void print_table2() {
+  std::printf("Benchmarks (paper Table 2; reduced problem classes):\n");
+  stats::Table t({"benchmark", "description", "dynamic suite"});
+  for (const auto& s : apps::paper_suite()) {
+    t.add_row({s.name, s.description, s.in_dynamic_suite ? "yes" : "no"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+/// Runs one workload under one mode on the paper machine.
+inline core::ExperimentResult run_mode(const std::string& app,
+                                       rt::ExecutionMode mode,
+                                       slip::SlipstreamConfig slip,
+                                       front::ScheduleClause sched = {},
+                                       int ncmp = 16) {
+  core::ExperimentConfig cfg;
+  cfg.machine = paper_machine(ncmp);
+  cfg.runtime.mode = mode;
+  cfg.runtime.slip = slip;
+  return core::run_experiment(
+      cfg, apps::make_workload(app, apps::AppScale::kBench, sched));
+}
+
+/// Breakdown columns in the paper's Figure 2/4 order. TokenWait and
+/// StreamWait fold into the barrier category as in the paper's plots.
+inline std::vector<std::string> breakdown_cells(
+    const core::ExperimentResult& r) {
+  using sim::TimeCategory;
+  return {
+      stats::Table::pct(r.fraction(TimeCategory::kBusy)),
+      stats::Table::pct(r.fraction(TimeCategory::kMemStall)),
+      stats::Table::pct(r.fraction(TimeCategory::kLock)),
+      stats::Table::pct(r.barrier_fraction()),
+      stats::Table::pct(r.fraction(TimeCategory::kScheduling)),
+      stats::Table::pct(r.fraction(TimeCategory::kJobWait)),
+  };
+}
+
+inline const std::vector<std::string> kBreakdownHeader = {
+    "busy", "mem_stall", "lock", "barrier", "sched", "job_wait"};
+
+inline void check_verified(const std::string& app,
+                           const core::ExperimentResult& r) {
+  if (!r.workload.verified || !r.invariants_ok) {
+    std::fprintf(stderr, "FATAL: %s failed verification: %s\n", app.c_str(),
+                 r.workload.detail.c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace ssomp::bench

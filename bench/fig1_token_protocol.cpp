@@ -1,0 +1,106 @@
+// Figure 1 demonstration: the token-based A/R synchronization protocol.
+//
+// A synthetic barrier loop shows, for each (type, tokens) configuration,
+// how far ahead the A-stream runs: the session distance between the
+// streams at every barrier, the token counter trace, and the A-stream's
+// token-wait time. This is the mechanism figure of the paper made
+// executable.
+#include "bench/bench_common.hpp"
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+struct ProtocolResult {
+  double avg_lead_sessions = 0;  // how many sessions A leads R by
+  sim::Cycles a_token_wait = 0;
+  sim::Cycles total = 0;
+  std::uint64_t converted = 0;
+  std::uint64_t dropped = 0;
+};
+
+ProtocolResult run_protocol(slip::SyncType type, int tokens) {
+  machine::MachineConfig mc = bench::paper_machine(4);
+  machine::Machine machine(mc);
+  rt::RuntimeOptions opts;
+  opts.mode = rt::ExecutionMode::kSlipstream;
+  opts.slip = {.type = type, .tokens = tokens};
+  rt::Runtime runtime(machine, opts);
+
+  constexpr int kBarriers = 40;
+  constexpr long kElems = 2048;
+  rt::SharedArray<double> data(runtime, kElems, "data");
+
+  // Per-pair lead samples: r_barriers-a_barriers at each A token consume.
+  long lead_sum = 0;
+  long lead_samples = 0;
+  const auto total = runtime.run([&](rt::SerialCtx& sc) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      for (int b = 0; b < kBarriers; ++b) {
+        t.for_loop(
+            0, kElems, front::ScheduleClause{},
+            [&](long i) {
+              data.write(t, static_cast<std::size_t>(i),
+                         data.read(t, static_cast<std::size_t>(i)) + 1.0);
+              t.compute(20);
+            },
+            /*nowait=*/true);
+        if (t.is_a_stream()) {
+          const auto& pair = *t.member().pair;
+          lead_sum += static_cast<long>(pair.a_barriers()) -
+                      static_cast<long>(pair.r_barriers());
+          ++lead_samples;
+        }
+        t.barrier();
+      }
+    });
+  });
+
+  ProtocolResult out;
+  out.total = total;
+  out.avg_lead_sessions =
+      lead_samples ? static_cast<double>(lead_sum) / lead_samples : 0.0;
+  for (int n = 0; n < machine.ncmp(); ++n) {
+    out.a_token_wait += machine.cpu(machine.a_cpu_of(n))
+                            .breakdown()
+                            .get(sim::TimeCategory::kTokenWait);
+  }
+  out.converted = runtime.slip_stats().converted_stores;
+  out.dropped = runtime.slip_stats().dropped_stores;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: token-based A/R synchronization — protocol "
+              "behaviour ===\n\n");
+  std::printf("Synthetic 40-barrier loop on 4 CMPs. 'lead' is how many\n"
+              "sessions the A-stream runs ahead of its R-stream when it\n"
+              "passes a barrier (local insertion frees the token at R's\n"
+              "barrier entry, global insertion at R's exit; the initial\n"
+              "token count bounds the lead).\n\n");
+
+  stats::Table table({"sync", "tokens", "cycles", "avg lead", "A token wait",
+                      "stores converted", "stores dropped"});
+  for (slip::SyncType type : {slip::SyncType::kGlobal, slip::SyncType::kLocal}) {
+    for (int tokens : {0, 1, 2, 4}) {
+      const auto r = run_protocol(type, tokens);
+      table.add_row({std::string(to_string(type)), std::to_string(tokens),
+                     std::to_string(r.total),
+                     stats::Table::fmt(r.avg_lead_sessions, 2),
+                     std::to_string(r.a_token_wait),
+                     std::to_string(r.converted), std::to_string(r.dropped)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading the table: more initial tokens and looser (local)\n"
+      "insertion let the A-stream lead by more sessions, trading timely\n"
+      "prefetch for premature-fetch risk; with zero-token global the\n"
+      "streams stay in the same session, which is what makes store\n"
+      "conversion (same-session condition) most effective.\n");
+  return 0;
+}

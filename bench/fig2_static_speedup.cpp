@@ -1,0 +1,76 @@
+// Figure 2 reproduction: speedup over single-mode execution and the
+// execution-time breakdown, static scheduling, 16 CMPs.
+//
+// Paper series: single (1 task/CMP), double (2 tasks/CMP), slipstream with
+// one-token local sync (L1), slipstream with zero-token global sync (G0).
+// Expected shape: slipstream's best beats the best of single/double on all
+// five benchmarks by ~5-20% (13.5% average in the paper).
+#include "bench/bench_common.hpp"
+
+using namespace ssomp;
+
+int main() {
+  std::printf("=== Figure 2: slipstream vs single/double, static scheduling "
+              "(16 CMPs) ===\n\n");
+  bench::print_table1(bench::paper_machine().mem);
+  bench::print_table2();
+
+  struct Series {
+    const char* name;
+    rt::ExecutionMode mode;
+    slip::SlipstreamConfig slip;
+  };
+  const Series series[] = {
+      {"single", rt::ExecutionMode::kSingle, slip::SlipstreamConfig::disabled()},
+      {"double", rt::ExecutionMode::kDouble, slip::SlipstreamConfig::disabled()},
+      {"slip-L1", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::one_token_local()},
+      {"slip-G0", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::zero_token_global()},
+  };
+
+  std::vector<std::string> header = {"benchmark", "mode", "cycles",
+                                     "speedup"};
+  header.insert(header.end(), bench::kBreakdownHeader.begin(),
+                bench::kBreakdownHeader.end());
+  stats::Table table(header);
+
+  double gain_product = 1.0;
+  int gain_count = 0;
+  for (const auto& spec : apps::paper_suite()) {
+    core::ExperimentResult results[4];
+    for (int s = 0; s < 4; ++s) {
+      results[s] = bench::run_mode(spec.name, series[s].mode, series[s].slip);
+      bench::check_verified(spec.name, results[s]);
+    }
+    for (int s = 0; s < 4; ++s) {
+      std::vector<std::string> row = {
+          spec.name, series[s].name,
+          std::to_string(results[s].cycles),
+          stats::Table::fmt(core::speedup(results[0], results[s]), 3)};
+      const auto cells = bench::breakdown_cells(results[s]);
+      row.insert(row.end(), cells.begin(), cells.end());
+      table.add_row(row);
+    }
+    const double best_base =
+        std::min(results[0].cycles, results[1].cycles);
+    const double best_slip =
+        std::min(results[2].cycles, results[3].cycles);
+    gain_product *= best_base / best_slip;
+    ++gain_count;
+    std::printf("%s: best slipstream vs best(single,double): %+.1f%%  "
+                "(favors %s)\n",
+                spec.name.c_str(), 100.0 * (best_base / best_slip - 1.0),
+                results[2].cycles < results[3].cycles ? "L1" : "G0");
+  }
+  std::printf("\n");
+  table.print();
+  // Geometric-mean gain over best of single/double (paper: 13.5% average,
+  // 5% for LU up to 20% for MG).
+  const double avg_gain =
+      std::pow(gain_product, 1.0 / gain_count) - 1.0;
+  std::printf("\nAverage slipstream gain over best(single,double): %+.1f%% "
+              "(paper: ~13.5%%)\n",
+              100.0 * avg_gain);
+  return 0;
+}

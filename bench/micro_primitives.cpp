@@ -1,0 +1,137 @@
+// Micro-benchmarks of the simulator and runtime primitives
+// (google-benchmark): host-side costs of the machinery that the figure
+// harnesses are built from.
+#include <benchmark/benchmark.h>
+
+#include "apps/registry.hpp"
+#include "core/ssomp.hpp"
+#include "rt/sync_primitives.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber* handle = nullptr;
+  sim::Fiber fiber("bench", [&] {
+    while (true) handle->yield();
+  });
+  handle = &fiber;
+  for (auto _ : state) {
+    fiber.resume();
+  }
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EngineEvent(benchmark::State& state) {
+  sim::Engine engine;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    engine.schedule_after(1, [&n] { ++n; });
+    engine.run();
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EngineEvent);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  struct M {};
+  mem::SetAssocCache<M> cache(64 * 1024, 4, 64);
+  mem::SetAssocCache<M>::Evicted ev;
+  cache.insert(0x1000, mem::LineState::kShared, ev);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(0x1000));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_MemSysL1Hit(benchmark::State& state) {
+  mem::MemorySystem ms(mem::MemParams{}, 4);
+  (void)ms.load(0, mem::AddrSpace::kAppBase, 0);
+  sim::Cycles now = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms.load(0, mem::AddrSpace::kAppBase, now++));
+  }
+}
+BENCHMARK(BM_MemSysL1Hit);
+
+void BM_MemSysMissStorm(benchmark::State& state) {
+  // Cold-ish misses cycling through a footprint larger than the L2.
+  mem::MemParams params;
+  params.l2_size_bytes = 32 * 1024;
+  params.l1_size_bytes = 2 * 1024;
+  mem::MemorySystem ms(params, 4);
+  sim::Cycles now = 0;
+  sim::Addr a = mem::AddrSpace::kAppBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms.load(0, a, now));
+    a += 64;
+    if (a > mem::AddrSpace::kAppBase + 1024 * 1024) {
+      a = mem::AddrSpace::kAppBase;
+    }
+    now += 400;
+  }
+}
+BENCHMARK(BM_MemSysMissStorm);
+
+void BM_TokenRoundTrip(benchmark::State& state) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("r");
+  slip::TokenSemaphore sem(3);
+  sem.initialize(0);
+  std::uint64_t rounds = 0;
+  cpu.start([&] {
+    while (true) {
+      sem.insert(cpu);
+      (void)sem.try_consume(cpu);
+      ++rounds;
+      cpu.consume(1, sim::TimeCategory::kBusy);
+    }
+  });
+  for (auto _ : state) {
+    engine.run(engine.now() + 7);
+  }
+  benchmark::DoNotOptimize(rounds);
+}
+BENCHMARK(BM_TokenRoundTrip);
+
+void BM_BarrierEpisode16(benchmark::State& state) {
+  // Full simulated 16-way barrier episodes, including coherence traffic.
+  sim::Engine engine;
+  mem::AddrSpace as;
+  mem::MemorySystem ms(mem::MemParams{}, 8);
+  rt::SenseBarrier barrier(ms, as);
+  barrier.configure(16);
+  for (int c = 0; c < 16; ++c) {
+    sim::SimCpu& cpu = engine.add_cpu("p" + std::to_string(c));
+    cpu.start([&engine, &barrier, c] {
+      sim::SimCpu& me = engine.cpu(c);
+      while (true) {
+        barrier.arrive(me, c, sim::TimeCategory::kBarrier);
+        me.consume(100, sim::TimeCategory::kBusy);
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (auto _ : state) {
+    while (barrier.episodes() == last) {
+      engine.run(engine.now() + 1000);
+    }
+    last = barrier.episodes();
+  }
+}
+BENCHMARK(BM_BarrierEpisode16);
+
+void BM_TinyCgExperiment(benchmark::State& state) {
+  // End-to-end cost of one tiny experiment (machine build + sim + verify).
+  for (auto _ : state) {
+    auto factory = apps::make_workload("CG", apps::AppScale::kTiny);
+    auto r = core::run_experiment(core::ExperimentConfig::single(2), factory);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_TinyCgExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

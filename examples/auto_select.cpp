@@ -1,0 +1,27 @@
+// Automatic per-region mode selection — the paper\'s closing vision made
+// executable: probe a workload under the four evaluated configurations
+// and emit the SLIPSTREAM directive each region should carry.
+//
+//   ./auto_select [APP]
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "CG";
+  machine::MachineConfig mc;
+  mc.ncmp = 16;
+  mc.mem = mem::MemParams::scaled_for_benchmarks();
+  std::printf("Probing %s under single / double / slip-L1 / slip-G0...\n\n",
+              app.c_str());
+  const auto advice = core::advise(
+      mc, apps::make_workload(app, apps::AppScale::kBench));
+  std::fputs(core::format_advice(advice).c_str(), stdout);
+  std::printf("\nPaste the suggested directives onto the matching parallel\n"
+              "regions (or set OMP_SLIPSTREAM for the program-wide pick) —\n"
+              "the same binary serves every choice.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Dynamic scheduling with load imbalance: how the R-stream's chunk
+// decisions are forwarded to its A-stream (paper §3.2.2).
+//
+// The workload is a triangular loop (cost of iteration i grows with i), a
+// classic load-balancing case where dynamic scheduling beats static — and
+// a worst case for slipstream's static bound computation, exercising the
+// syscall-semaphore forwarding path instead.
+#include <cstdio>
+
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+constexpr long kTasks = 384;
+
+double run(rt::ExecutionMode mode, front::ScheduleKind kind, long chunk,
+           double* checksum) {
+  machine::MachineConfig mc;
+  mc.ncmp = 16;
+  mc.mem = mem::MemParams::scaled_for_benchmarks();
+  machine::Machine machine(mc);
+  rt::RuntimeOptions opts;
+  opts.mode = mode;
+  opts.slip = slip::SlipstreamConfig::zero_token_global();
+  rt::Runtime runtime(machine, opts);
+
+  rt::SharedArray<double> work(runtime, kTasks * 64, "work");
+  rt::SharedArray<double> out(runtime, kTasks, "out");
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    work.host(i) = 1.0 / static_cast<double>(i + 1);
+  }
+
+  front::ScheduleClause sched;
+  sched.kind = kind;
+  sched.chunk = chunk;
+
+  double sum = 0.0;
+  const sim::Cycles cycles = runtime.run([&](rt::SerialCtx& sc) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      t.for_loop(0, kTasks, sched, [&](long i) {
+        // Triangular cost: task i touches i/6+1 blocks of shared data.
+        const long blocks = i / 6 + 1;
+        double acc = 0.0;
+        for (long b = 0; b < blocks && b < 64; ++b) {
+          acc += work.read(t, static_cast<std::size_t>(i * 64 + b % 64));
+          t.compute(400);
+        }
+        out.write(t, static_cast<std::size_t>(i), acc);
+      });
+      double local = 0.0;
+      t.for_loop(
+          0, kTasks, front::ScheduleClause{},
+          [&](long i) { local += out.read(t, static_cast<std::size_t>(i)); },
+          /*nowait=*/true);
+      const double total = t.reduce_sum(local);
+      if (t.id() == 0 && !t.is_a_stream()) sum = total;
+    });
+  });
+  *checksum = sum;
+  return static_cast<double>(cycles);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Load-imbalanced loop: scheduling x execution mode\n\n");
+  struct Row {
+    const char* label;
+    rt::ExecutionMode mode;
+    front::ScheduleKind kind;
+    long chunk;
+  };
+  const Row rows[] = {
+      {"single + static", rt::ExecutionMode::kSingle,
+       front::ScheduleKind::kStatic, 0},
+      {"single + dynamic,4", rt::ExecutionMode::kSingle,
+       front::ScheduleKind::kDynamic, 4},
+      {"single + guided", rt::ExecutionMode::kSingle,
+       front::ScheduleKind::kGuided, 2},
+      {"slipstream + static", rt::ExecutionMode::kSlipstream,
+       front::ScheduleKind::kStatic, 0},
+      {"slipstream + dynamic,4", rt::ExecutionMode::kSlipstream,
+       front::ScheduleKind::kDynamic, 4},
+      {"slipstream + guided", rt::ExecutionMode::kSlipstream,
+       front::ScheduleKind::kGuided, 2},
+  };
+  double ref = -1.0;
+  double base = 0.0;
+  for (const Row& r : rows) {
+    double checksum = 0.0;
+    const double cycles = run(r.mode, r.kind, r.chunk, &checksum);
+    if (ref < 0) {
+      ref = checksum;
+      base = cycles;
+    }
+    std::printf("%-24s %12.0f cycles (%.3fx)  checksum=%.6f%s\n", r.label,
+                cycles, base / cycles, checksum,
+                checksum == ref ? "" : "  MISMATCH!");
+    if (checksum != ref) return 1;
+  }
+  std::printf("\nUnder dynamic/guided scheduling the A-stream cannot\n"
+              "precompute its assignment; it waits on the pair's syscall\n"
+              "semaphore for the R-stream's published decision and then\n"
+              "prefetches exactly the chunk its R-stream will execute.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Mode explorer: sweep one workload across machine sizes, execution modes
+// and A/R synchronization settings from the command line.
+//
+//   ./mode_explorer [APP] [NCMP...]
+//   ./mode_explorer MG 4 8 16
+//
+// Useful for finding the operating point where slipstream overtakes
+// double-mode execution for a given application — the per-region decision
+// §3 of the paper argues for.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "MG";
+  std::vector<int> sizes;
+  for (int i = 2; i < argc; ++i) sizes.push_back(std::atoi(argv[i]));
+  if (sizes.empty()) sizes = {4, 8, 16};
+
+  bool known = app == "EP";
+  for (const auto& s : apps::paper_suite()) known |= s.name == app;
+  if (!known) {
+    std::fprintf(stderr, "unknown app '%s' (try BT CG LU MG SP EP)\n",
+                 app.c_str());
+    return 1;
+  }
+
+  std::printf("Mode explorer: %s\n\n", app.c_str());
+  stats::Table table({"CMPs", "mode", "sync", "cycles", "speedup",
+                      "busy", "stall", "barrier"});
+  for (int ncmp : sizes) {
+    struct Variant {
+      const char* mode_name;
+      rt::ExecutionMode mode;
+      const char* sync_name;
+      slip::SlipstreamConfig slip;
+    };
+    const Variant variants[] = {
+        {"single", rt::ExecutionMode::kSingle, "-",
+         slip::SlipstreamConfig::disabled()},
+        {"double", rt::ExecutionMode::kDouble, "-",
+         slip::SlipstreamConfig::disabled()},
+        {"slipstream", rt::ExecutionMode::kSlipstream, "L1",
+         slip::SlipstreamConfig::one_token_local()},
+        {"slipstream", rt::ExecutionMode::kSlipstream, "G0",
+         slip::SlipstreamConfig::zero_token_global()},
+        {"slipstream", rt::ExecutionMode::kSlipstream, "L2",
+         {.type = slip::SyncType::kLocal, .tokens = 2}},
+    };
+    sim::Cycles base = 0;
+    for (const Variant& v : variants) {
+      core::ExperimentConfig cfg;
+      cfg.machine.ncmp = ncmp;
+      cfg.machine.mem = mem::MemParams::scaled_for_benchmarks();
+      cfg.runtime.mode = v.mode;
+      cfg.runtime.slip = v.slip;
+      const auto r = core::run_experiment(
+          cfg, apps::make_workload(app, apps::AppScale::kBench));
+      if (!r.workload.verified) {
+        std::fprintf(stderr, "verification failed: %s\n",
+                     r.workload.detail.c_str());
+        return 1;
+      }
+      if (base == 0) base = r.cycles;
+      table.add_row({std::to_string(ncmp), v.mode_name, v.sync_name,
+                     std::to_string(r.cycles),
+                     stats::Table::fmt(static_cast<double>(base) / r.cycles, 3),
+                     stats::Table::pct(r.fraction(sim::TimeCategory::kBusy)),
+                     stats::Table::pct(
+                         r.fraction(sim::TimeCategory::kMemStall)),
+                     stats::Table::pct(r.barrier_fraction())});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Region profile: per-parallel-region execution records for a workload —
+// which regions dominate, and what the slipstream machinery did in each.
+//
+//   ./region_profile [APP]
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "MG";
+
+  machine::MachineConfig mc;
+  mc.ncmp = 16;
+  mc.mem = mem::MemParams::scaled_for_benchmarks();
+  machine::Machine machine(mc);
+  rt::RuntimeOptions opts;
+  opts.mode = rt::ExecutionMode::kSlipstream;
+  opts.slip = slip::SlipstreamConfig::one_token_local();
+  rt::Runtime runtime(machine, opts);
+
+  auto workload = apps::make_workload(app, apps::AppScale::kBench)(runtime);
+  const sim::Cycles total =
+      runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
+  const auto verdict = workload->verify();
+  std::printf("%s under slipstream (L1): %llu cycles, %s\n\n", app.c_str(),
+              static_cast<unsigned long long>(total),
+              verdict.verified ? "verified" : "VERIFICATION FAILED");
+
+  stats::Table table({"region", "mode", "sync", "threads", "cycles",
+                      "share", "tokens", "conv stores", "dropped",
+                      "fwd chunks"});
+  for (const auto& r : runtime.region_records()) {
+    table.add_row(
+        {std::to_string(r.index), std::string(to_string(r.mode)),
+         r.slip.enabled()
+             ? std::string(to_string(r.slip.type)) + "," +
+                   std::to_string(r.slip.tokens)
+             : "-",
+         std::to_string(r.nthreads), std::to_string(r.cycles),
+         stats::Table::pct(static_cast<double>(r.cycles) /
+                           static_cast<double>(total)),
+         std::to_string(r.tokens_consumed),
+         std::to_string(r.converted_stores), std::to_string(r.dropped_stores),
+         std::to_string(r.forwarded_chunks)});
+  }
+  table.print();
+  std::printf("\nThe per-region view is what the paper's per-region\n"
+              "SLIPSTREAM directive acts on: regions with high token churn\n"
+              "and converted stores benefit; serial-ish regions do not.\n");
+  return verdict.verified ? 0 : 1;
+}

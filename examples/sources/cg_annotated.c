@@ -1,0 +1,36 @@
+/* CG main loop annotated with OpenMP + the slipstream extension, in the
+ * paper's syntax. Feed this to tools/slipreport to see how the
+ * slipstream-aware compiler will treat each construct. */
+
+#pragma omp slipstream(RUNTIME_SYNC)
+
+void conj_grad(void) {
+#pragma omp parallel slipstream(LOCAL_SYNC, 1)
+  {
+#pragma omp for schedule(static)
+    for (int i = 0; i < n; i++) { q[i] = 0.0; r[i] = x[i]; p[i] = x[i]; }
+
+    for (int it = 0; it < 25; it++) {
+#pragma omp for schedule(static) nowait
+      for (int i = 0; i < n; i++) { /* q = A p */ }
+#pragma omp barrier
+
+#pragma omp single
+      { rho0 = rho; }
+
+#pragma omp for schedule(dynamic, 43)
+      for (int i = 0; i < n; i++) { /* z, r update */ }
+
+#pragma omp master
+      { /* log progress */ }
+
+#pragma omp critical
+      { global_d += local_d; }
+
+#pragma omp atomic
+      counter++;
+
+#pragma omp flush
+    }
+  }
+}

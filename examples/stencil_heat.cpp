@@ -1,0 +1,126 @@
+// A hand-written workload on the public API: 2D heat diffusion (Jacobi)
+// with per-region slipstream directives in the paper's syntax.
+//
+// Shows what a *user* of the slipstream-aware runtime writes: shared
+// arrays, parallel regions with worksharing loops, reductions — and the
+// SLIPSTREAM directive controlling the A/R synchronization per region,
+// including a serial-part global setting and RUNTIME_SYNC deferring to
+// OMP_SLIPSTREAM.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+constexpr long kN = 192;        // grid edge (with boundary shell)
+constexpr int kSteps = 12;      // Jacobi sweeps
+constexpr double kAlpha = 0.2;  // diffusion coefficient
+
+double run_heat(rt::ExecutionMode mode, const std::string& env,
+                double* out_norm) {
+  machine::MachineConfig mc;
+  mc.ncmp = 16;
+  mc.mem = mem::MemParams::scaled_for_benchmarks();
+  machine::Machine machine(mc);
+  rt::RuntimeOptions opts;
+  opts.mode = mode;
+  opts.omp_slipstream_env = env;
+  rt::Runtime runtime(machine, opts);
+
+  rt::SharedArray<double> u(runtime, kN * kN, "heat.u");
+  rt::SharedArray<double> unew(runtime, kN * kN, "heat.unew");
+  // Hot spot in the middle, cold boundary.
+  for (long j = kN / 4; j < 3 * kN / 4; ++j) {
+    for (long i = kN / 4; i < 3 * kN / 4; ++i) {
+      u.host(static_cast<std::size_t>(j * kN + i)) = 100.0;
+    }
+  }
+
+  double norm = 0.0;
+  const sim::Cycles cycles = runtime.run([&](rt::SerialCtx& sc) {
+    // Serial-part directive: global setting for the whole program (§3.3).
+    sc.slipstream_directive("SLIPSTREAM(RUNTIME_SYNC)");
+
+    for (int step = 0; step < kSteps; ++step) {
+      // The sweep region inherits the global setting (here RUNTIME_SYNC,
+      // resolved through OMP_SLIPSTREAM).
+      sc.parallel([&](rt::ThreadCtx& t) {
+        std::vector<double> row(kN);
+        t.for_loop(1, kN - 1, front::ScheduleClause{}, [&](long j) {
+          const auto b = static_cast<std::size_t>(j * kN);
+          u.scan_read(t, b - kN, b + 2 * kN);  // rows j-1, j, j+1
+          for (long i = 0; i < kN; ++i) {
+            const auto c = b + static_cast<std::size_t>(i);
+            if (i == 0 || i == kN - 1) {
+              row[static_cast<std::size_t>(i)] = u.host(c);
+              continue;
+            }
+            row[static_cast<std::size_t>(i)] =
+                u.host(c) + kAlpha * (u.host(c - 1) + u.host(c + 1) +
+                                      u.host(c - kN) + u.host(c + kN) -
+                                      4.0 * u.host(c));
+          }
+          t.compute(kN * 8);
+          unew.scan_write(t, b, b + kN, row.data());
+        });
+      });
+      std::swap(u.host_vector(), unew.host_vector());
+    }
+
+    // Final norm with a one-region reduction; this region overrides the
+    // global setting with a tight zero-token global sync (§3.3 precedence).
+    sc.parallel(
+        [&](rt::ThreadCtx& t) {
+          double local = 0.0;
+          t.for_loop(
+              1, kN - 1, front::ScheduleClause{},
+              [&](long j) {
+                const auto b = static_cast<std::size_t>(j * kN);
+                u.scan_read(t, b, b + kN);
+                for (long i = 1; i < kN - 1; ++i) {
+                  const double v = u.host(b + static_cast<std::size_t>(i));
+                  local += v * v;
+                }
+                t.compute(kN * 2);
+              },
+              /*nowait=*/true);
+          const double total = t.reduce_sum(local);
+          if (t.id() == 0 && !t.is_a_stream()) norm = std::sqrt(total);
+        },
+        "SLIPSTREAM(GLOBAL_SYNC, 0)");
+  });
+  *out_norm = norm;
+  return static_cast<double>(cycles);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2D heat diffusion with per-region slipstream directives\n\n");
+  double n1 = 0, n2 = 0, n3 = 0;
+  const double single = run_heat(rt::ExecutionMode::kSingle, "", &n1);
+  // Same binary, slipstream activated through the environment (§3.3).
+  const double slip =
+      run_heat(rt::ExecutionMode::kSlipstream, "LOCAL_SYNC,1", &n2);
+  const double off = run_heat(rt::ExecutionMode::kSlipstream, "NONE", &n3);
+
+  std::printf("single:                     %12.0f cycles  norm=%.6f\n",
+              single, n1);
+  std::printf("OMP_SLIPSTREAM=LOCAL_SYNC,1 %12.0f cycles  norm=%.6f  "
+              "(%.3fx)\n",
+              slip, n2, single / slip);
+  std::printf("OMP_SLIPSTREAM=NONE         %12.0f cycles  norm=%.6f  "
+              "(falls back to single tasking)\n",
+              off, n3);
+  if (n1 != n2 || n1 != n3) {
+    std::printf("ERROR: results differ across modes!\n");
+    return 1;
+  }
+  std::printf("\nIdentical numerical results in every mode — the A-stream\n"
+              "never commits a store, so speculation cannot corrupt data.\n");
+  return 0;
+}

@@ -1,0 +1,438 @@
+#include "apps/adi.hpp"
+
+#include <cmath>
+
+namespace ssomp::apps {
+
+namespace {
+
+// Constant recurrence coefficients (diagonally dominant, so the sweeps are
+// numerically stable) and the BT component-coupling block.
+constexpr double kDiag = 2.5;
+constexpr double kLower = 0.4;
+constexpr double kUpper = 0.35;
+constexpr double kStencilA = 0.88;   // rhs: center weight
+constexpr double kStencilB = 0.02;   // rhs: face-neighbor weight
+constexpr double kNonlin = 0.01;     // rhs: u0-coupling term
+
+double coupling(int m, int mp) {
+  // Deterministic small off-diagonal coupling matrix B[m][mp].
+  if (m == mp) return 1.0;
+  return 0.05 / static_cast<double>(1 + ((m * 7 + mp * 3) % 5));
+}
+
+/// rhs row (all 5 components for fixed j,k) from the u stencil.
+void rhs_row(const std::vector<double>& u, const Grid3& g, long j, long k,
+             std::vector<double>& out) {
+  const long nx = g.nx;
+  out.assign(static_cast<std::size_t>(nx) * Adi::kComp, 0.0);
+  for (long i = 1; i < nx - 1; ++i) {
+    const auto c = static_cast<std::size_t>(g.at(i, j, k)) * Adi::kComp;
+    const std::size_t xm =
+        static_cast<std::size_t>(g.at(i - 1, j, k)) * Adi::kComp;
+    const std::size_t xp =
+        static_cast<std::size_t>(g.at(i + 1, j, k)) * Adi::kComp;
+    const std::size_t ym =
+        static_cast<std::size_t>(g.at(i, j - 1, k)) * Adi::kComp;
+    const std::size_t yp =
+        static_cast<std::size_t>(g.at(i, j + 1, k)) * Adi::kComp;
+    const std::size_t zm =
+        static_cast<std::size_t>(g.at(i, j, k - 1)) * Adi::kComp;
+    const std::size_t zp =
+        static_cast<std::size_t>(g.at(i, j, k + 1)) * Adi::kComp;
+    for (int m = 0; m < Adi::kComp; ++m) {
+      const auto um = static_cast<std::size_t>(m);
+      const double faces = u[xm + um] + u[xp + um] + u[ym + um] +
+                           u[yp + um] + u[zm + um] + u[zp + um];
+      out[static_cast<std::size_t>(i) * Adi::kComp + um] =
+          kStencilA * u[c + um] + kStencilB * faces +
+          kNonlin * u[c] * u[c + um];
+    }
+  }
+}
+
+/// One forward-elimination step: x_i <- (x_i - L * C x_{i-1}) / D, where C
+/// is the identity (SP) or the coupling block (BT).
+void fwd_step(double* x, const double* prev, bool block) {
+  double mixed[Adi::kComp];
+  for (int m = 0; m < Adi::kComp; ++m) {
+    if (block) {
+      double s = 0.0;
+      for (int mp = 0; mp < Adi::kComp; ++mp) {
+        s += coupling(m, mp) * prev[mp];
+      }
+      mixed[m] = s;
+    } else {
+      mixed[m] = prev[m];
+    }
+  }
+  for (int m = 0; m < Adi::kComp; ++m) {
+    x[m] = (x[m] - kLower * mixed[m]) / kDiag;
+  }
+}
+
+/// One back-substitution step: x_i <- x_i - U * C x_{i+1}.
+void bwd_step(double* x, const double* next, bool block) {
+  double mixed[Adi::kComp];
+  for (int m = 0; m < Adi::kComp; ++m) {
+    if (block) {
+      double s = 0.0;
+      for (int mp = 0; mp < Adi::kComp; ++mp) {
+        s += coupling(m, mp) * next[mp];
+      }
+      mixed[m] = s;
+    } else {
+      mixed[m] = next[m];
+    }
+  }
+  for (int m = 0; m < Adi::kComp; ++m) {
+    x[m] = x[m] - kUpper * mixed[m];
+  }
+}
+
+}  // namespace
+
+Adi::Adi(rt::Runtime& rt, std::string name, const AdiParams& p)
+    : name_(std::move(name)), p_(p) {
+  g_ = Grid3{p.n + 2, p.n + 2, p.n + 2};
+  const auto total = static_cast<std::size_t>(g_.size()) * kComp;
+  u_ = std::make_unique<rt::SharedArray<double>>(rt, total, name_ + ".u");
+  rhs_ = std::make_unique<rt::SharedArray<double>>(rt, total,
+                                                   name_ + ".rhs");
+  // Smooth deterministic initial field (NAS initializes from the exact
+  // solution's trilinear interpolant; a smooth trig field plays the role).
+  for (long k = 0; k < g_.nz; ++k) {
+    for (long j = 0; j < g_.ny; ++j) {
+      for (long i = 0; i < g_.nx; ++i) {
+        for (int m = 0; m < kComp; ++m) {
+          const double x = static_cast<double>(i) / (g_.nx - 1);
+          const double y = static_cast<double>(j) / (g_.ny - 1);
+          const double z = static_cast<double>(k) / (g_.nz - 1);
+          u_->host(static_cast<std::size_t>(g_.at(i, j, k)) * kComp +
+                   static_cast<std::size_t>(m)) =
+              1.0 + 0.1 * (m + 1) * std::sin(3.0 * x + 2.0 * y + z);
+        }
+      }
+    }
+  }
+}
+
+void Adi::run(rt::SerialCtx& sc) {
+  const Grid3 g = g_;
+  const long rowlen = g.nx * kComp;  // doubles per (j,k) row
+  const auto row_base = [&](long j, long k) {
+    return static_cast<std::size_t>(g.at(0, j, k)) * kComp;
+  };
+
+  for (int step = 0; step < p_.steps; ++step) {
+    // One parallel region per time step: rhs and the three ADI sweeps are
+    // orphaned worksharing loops separated by their implied barriers (the
+    // NAS-OMP structure the slipstream token protocol rides on).
+    sc.parallel([&](rt::ThreadCtx& t) {
+    { // --- compute_rhs: parallel over interior k-planes ---
+      std::vector<double> out;
+      t.for_loop(1, g.nz - 1, p_.sched, [&](long k) {
+        for (long j = 1; j < g.ny - 1; ++j) {
+          for (int dk = -1; dk <= 1; ++dk) {
+            for (int dj = -1; dj <= 1; ++dj) {
+              if (std::abs(dj) + std::abs(dk) > 1) continue;  // faces only
+              const std::size_t b = row_base(j + dj, k + dk);
+              u_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+            }
+          }
+          rhs_row(u_->host_vector(), g, j, k, out);
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) * p_.rhs_cost_per_pt);
+          const std::size_t b = row_base(j, k);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           out.data());
+        }
+      });
+    }
+
+    { // --- x_solve: recurrence along i; parallel over k ---
+      t.for_loop(1, g.nz - 1, p_.sched, [&](long k) {
+        for (long j = 1; j < g.ny - 1; ++j) {
+          const std::size_t b = row_base(j, k);
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          std::vector<double> row(
+              rhs_->host_vector().begin() + static_cast<long>(b),
+              rhs_->host_vector().begin() + static_cast<long>(b) + rowlen);
+          for (long i = 2; i < g.nx - 1; ++i) {
+            fwd_step(&row[static_cast<std::size_t>(i) * kComp],
+                     &row[static_cast<std::size_t>(i - 1) * kComp],
+                     p_.block_coupling);
+          }
+          for (long i = g.nx - 3; i >= 1; --i) {
+            bwd_step(&row[static_cast<std::size_t>(i) * kComp],
+                     &row[static_cast<std::size_t>(i + 1) * kComp],
+                     p_.block_coupling);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) * 2 *
+                    p_.solve_cost_per_pt);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           row.data());
+        }
+      });
+    }
+
+    { // --- y_solve: recurrence along j (vectorized over i); parallel over k
+      std::vector<double> cur(static_cast<std::size_t>(rowlen));
+      t.for_loop(1, g.nz - 1, p_.sched, [&](long k) {
+        // Forward sweep over j.
+        for (long j = 2; j < g.ny - 1; ++j) {
+          const std::size_t b = row_base(j, k);
+          const std::size_t bp = row_base(j - 1, k);
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          rhs_->scan_read(t, bp, bp + static_cast<std::size_t>(rowlen));
+          for (long i = 1; i < g.nx - 1; ++i) {
+            for (int m = 0; m < kComp; ++m) {
+              cur[static_cast<std::size_t>(i) * kComp +
+                  static_cast<std::size_t>(m)] =
+                  rhs_->host(b + static_cast<std::size_t>(i) * kComp +
+                             static_cast<std::size_t>(m));
+            }
+            fwd_step(&cur[static_cast<std::size_t>(i) * kComp],
+                     &rhs_->host_vector()[bp + static_cast<std::size_t>(i) *
+                                                   kComp],
+                     p_.block_coupling);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                    p_.solve_cost_per_pt);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           cur.data());
+        }
+        // Backward sweep over j.
+        for (long j = g.ny - 3; j >= 1; --j) {
+          const std::size_t b = row_base(j, k);
+          const std::size_t bn = row_base(j + 1, k);
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          rhs_->scan_read(t, bn, bn + static_cast<std::size_t>(rowlen));
+          for (long i = 1; i < g.nx - 1; ++i) {
+            for (int m = 0; m < kComp; ++m) {
+              cur[static_cast<std::size_t>(i) * kComp +
+                  static_cast<std::size_t>(m)] =
+                  rhs_->host(b + static_cast<std::size_t>(i) * kComp +
+                             static_cast<std::size_t>(m));
+            }
+            bwd_step(&cur[static_cast<std::size_t>(i) * kComp],
+                     &rhs_->host_vector()[bn + static_cast<std::size_t>(i) *
+                                                   kComp],
+                     p_.block_coupling);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                    p_.solve_cost_per_pt);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           cur.data());
+        }
+      });
+    }
+
+    { // --- z_solve: recurrence along k; parallel over j (NAS z_solve
+      // parallelizes the j loop, producing cross-plane traffic) ---
+      std::vector<double> cur(static_cast<std::size_t>(rowlen));
+      t.for_loop(1, g.ny - 1, p_.sched, [&](long j) {
+        for (long k = 2; k < g.nz - 1; ++k) {
+          const std::size_t b = row_base(j, k);
+          const std::size_t bp = row_base(j, k - 1);
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          rhs_->scan_read(t, bp, bp + static_cast<std::size_t>(rowlen));
+          for (long i = 1; i < g.nx - 1; ++i) {
+            for (int m = 0; m < kComp; ++m) {
+              cur[static_cast<std::size_t>(i) * kComp +
+                  static_cast<std::size_t>(m)] =
+                  rhs_->host(b + static_cast<std::size_t>(i) * kComp +
+                             static_cast<std::size_t>(m));
+            }
+            fwd_step(&cur[static_cast<std::size_t>(i) * kComp],
+                     &rhs_->host_vector()[bp + static_cast<std::size_t>(i) *
+                                                   kComp],
+                     p_.block_coupling);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                    p_.solve_cost_per_pt);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           cur.data());
+        }
+        for (long k = g.nz - 3; k >= 1; --k) {
+          const std::size_t b = row_base(j, k);
+          const std::size_t bn = row_base(j, k + 1);
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          rhs_->scan_read(t, bn, bn + static_cast<std::size_t>(rowlen));
+          for (long i = 1; i < g.nx - 1; ++i) {
+            for (int m = 0; m < kComp; ++m) {
+              cur[static_cast<std::size_t>(i) * kComp +
+                  static_cast<std::size_t>(m)] =
+                  rhs_->host(b + static_cast<std::size_t>(i) * kComp +
+                             static_cast<std::size_t>(m));
+            }
+            bwd_step(&cur[static_cast<std::size_t>(i) * kComp],
+                     &rhs_->host_vector()[bn + static_cast<std::size_t>(i) *
+                                                   kComp],
+                     p_.block_coupling);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                    p_.solve_cost_per_pt);
+          rhs_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           cur.data());
+        }
+      });
+    }
+
+    { // --- add: u -= dt * rhs; parallel over k ---
+      std::vector<double> out(static_cast<std::size_t>(rowlen));
+      t.for_loop(1, g.nz - 1, p_.sched, [&](long k) {
+        for (long j = 1; j < g.ny - 1; ++j) {
+          const std::size_t b = row_base(j, k);
+          u_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          rhs_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+          for (long x = 0; x < rowlen; ++x) {
+            const auto ux = static_cast<std::size_t>(x);
+            out[ux] = u_->host(b + ux) - 0.1 * rhs_->host(b + ux);
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                    Costs::kAxpyPerElem);
+          u_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                         out.data());
+        }
+      });
+    }
+    });
+  }
+
+  // Solution checksum (reduction region).
+  double result = 0.0;
+  sc.parallel([&](rt::ThreadCtx& t) {
+    double local = 0.0;
+    t.for_loop(
+        1, g.nz - 1, p_.sched,
+        [&](long k) {
+          for (long j = 1; j < g.ny - 1; ++j) {
+            const std::size_t b = row_base(j, k);
+            u_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+            for (long x = kComp; x < rowlen - kComp; ++x) {
+              const double v = u_->host(b + static_cast<std::size_t>(x));
+              local += v * v;
+            }
+            t.compute(static_cast<sim::Cycles>(rowlen) * Costs::kDotPerElem);
+          }
+        },
+        /*nowait=*/true);
+    const double total = t.reduce_sum(local);
+    if (t.id() == 0 && !t.is_a_stream()) result = total;
+  });
+  checksum_ = std::sqrt(result);
+}
+
+core::WorkloadResult Adi::verify() {
+  // Serial reference: the same time steps on a host copy of the initial
+  // field (reconstructed deterministically).
+  const Grid3 g = g_;
+  const long rowlen = g.nx * kComp;
+  std::vector<double> u(static_cast<std::size_t>(g.size()) * kComp);
+  std::vector<double> rhs(u.size(), 0.0);
+  for (long k = 0; k < g.nz; ++k) {
+    for (long j = 0; j < g.ny; ++j) {
+      for (long i = 0; i < g.nx; ++i) {
+        for (int m = 0; m < kComp; ++m) {
+          const double x = static_cast<double>(i) / (g.nx - 1);
+          const double y = static_cast<double>(j) / (g.ny - 1);
+          const double z = static_cast<double>(k) / (g.nz - 1);
+          u[static_cast<std::size_t>(g.at(i, j, k)) * kComp +
+            static_cast<std::size_t>(m)] =
+              1.0 + 0.1 * (m + 1) * std::sin(3.0 * x + 2.0 * y + z);
+        }
+      }
+    }
+  }
+  const auto row_base = [&](long j, long k) {
+    return static_cast<std::size_t>(g.at(0, j, k)) * kComp;
+  };
+  std::vector<double> out;
+  for (int step = 0; step < p_.steps; ++step) {
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        rhs_row(u, g, j, k, out);
+        std::copy(out.begin(), out.end(),
+                  rhs.begin() + static_cast<long>(row_base(j, k)));
+      }
+    }
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        double* row = &rhs[row_base(j, k)];
+        for (long i = 2; i < g.nx - 1; ++i) {
+          fwd_step(&row[i * kComp], &row[(i - 1) * kComp],
+                   p_.block_coupling);
+        }
+        for (long i = g.nx - 3; i >= 1; --i) {
+          bwd_step(&row[i * kComp], &row[(i + 1) * kComp],
+                   p_.block_coupling);
+        }
+      }
+    }
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 2; j < g.ny - 1; ++j) {
+        for (long i = 1; i < g.nx - 1; ++i) {
+          fwd_step(&rhs[row_base(j, k) + static_cast<std::size_t>(i) * kComp],
+                   &rhs[row_base(j - 1, k) +
+                        static_cast<std::size_t>(i) * kComp],
+                   p_.block_coupling);
+        }
+      }
+      for (long j = g.ny - 3; j >= 1; --j) {
+        for (long i = 1; i < g.nx - 1; ++i) {
+          bwd_step(&rhs[row_base(j, k) + static_cast<std::size_t>(i) * kComp],
+                   &rhs[row_base(j + 1, k) +
+                        static_cast<std::size_t>(i) * kComp],
+                   p_.block_coupling);
+        }
+      }
+    }
+    for (long j = 1; j < g.ny - 1; ++j) {
+      for (long k = 2; k < g.nz - 1; ++k) {
+        for (long i = 1; i < g.nx - 1; ++i) {
+          fwd_step(&rhs[row_base(j, k) + static_cast<std::size_t>(i) * kComp],
+                   &rhs[row_base(j, k - 1) +
+                        static_cast<std::size_t>(i) * kComp],
+                   p_.block_coupling);
+        }
+      }
+      for (long k = g.nz - 3; k >= 1; --k) {
+        for (long i = 1; i < g.nx - 1; ++i) {
+          bwd_step(&rhs[row_base(j, k) + static_cast<std::size_t>(i) * kComp],
+                   &rhs[row_base(j, k + 1) +
+                        static_cast<std::size_t>(i) * kComp],
+                   p_.block_coupling);
+        }
+      }
+    }
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        const std::size_t b = row_base(j, k);
+        for (long x = 0; x < rowlen; ++x) {
+          u[b + static_cast<std::size_t>(x)] -=
+              0.1 * rhs[b + static_cast<std::size_t>(x)];
+        }
+      }
+    }
+  }
+  double norm = 0.0;
+  for (long k = 1; k < g.nz - 1; ++k) {
+    for (long j = 1; j < g.ny - 1; ++j) {
+      const std::size_t b = row_base(j, k);
+      for (long x = kComp; x < rowlen - kComp; ++x) {
+        const double v = u[b + static_cast<std::size_t>(x)];
+        norm += v * v;
+      }
+    }
+  }
+  norm = std::sqrt(norm);
+
+  core::WorkloadResult res;
+  res.checksum = checksum_;
+  res.verified = close(checksum_, norm, 1e-8);
+  res.detail = "|u|=" + std::to_string(checksum_) +
+               " reference=" + std::to_string(norm);
+  return res;
+}
+
+}  // namespace ssomp::apps

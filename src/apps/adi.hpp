@@ -1,0 +1,51 @@
+// Shared skeleton for the two ADI solvers of the suite:
+//   BT — block-tridiagonal: the five solution components are coupled
+//        through a constant 5x5 block at every line-solve step;
+//   SP — scalar-pentadiagonal: components solved independently (modeled
+//        as scalar recurrences with a cheaper per-point cost).
+//
+// One time step = compute_rhs (7-point stencil over the 5-component grid),
+// x/y/z line sweeps (forward/backward recurrences along each dimension;
+// x- and y-sweeps are parallel over k-planes, the z-sweep is parallel over
+// j as in the NAS OpenMP ports), and the add of the correction into u.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct AdiParams {
+  long n = 12;  // interior points per dimension (NAS class S uses 12)
+  int steps = 3;
+  bool block_coupling = true;  // BT: true, SP: false
+  sim::Cycles solve_cost_per_pt = Costs::kBtSolvePerPt;
+  sim::Cycles rhs_cost_per_pt = Costs::kBtRhsPerPt;
+  std::uint64_t seed = 11;
+  front::ScheduleClause sched{};
+};
+
+class Adi : public core::Workload {
+ public:
+  Adi(rt::Runtime& rt, std::string name, const AdiParams& p);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] double checksum() const { return checksum_; }
+
+  static constexpr int kComp = 5;  // solution components per grid point
+
+ private:
+  std::string name_;
+  AdiParams p_;
+  Grid3 g_;  // (n+2)^3 with boundary shell; element index * kComp + m
+  std::unique_ptr<rt::SharedArray<double>> u_;
+  std::unique_ptr<rt::SharedArray<double>> rhs_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace ssomp::apps

@@ -1,0 +1,9 @@
+#include "apps/bt.hpp"
+
+namespace ssomp::apps {
+
+std::unique_ptr<core::Workload> make_bt(rt::Runtime& rt, const BtParams& p) {
+  return std::make_unique<Bt>(rt, p);
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,34 @@
+// NAS BT: block-tridiagonal ADI solver (see adi.hpp for the skeleton).
+#pragma once
+
+#include "apps/adi.hpp"
+
+namespace ssomp::apps {
+
+struct BtParams {
+  long n = 16;
+  int steps = 3;
+  std::uint64_t seed = 11;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static BtParams tiny() { return {.n = 6, .steps = 1}; }
+
+  [[nodiscard]] AdiParams to_adi() const {
+    return {.n = n,
+            .steps = steps,
+            .block_coupling = true,
+            .solve_cost_per_pt = Costs::kBtSolvePerPt,
+            .rhs_cost_per_pt = Costs::kBtRhsPerPt,
+            .seed = seed,
+            .sched = sched};
+  }
+};
+
+class Bt final : public Adi {
+ public:
+  Bt(rt::Runtime& rt, const BtParams& p) : Adi(rt, "BT", p.to_adi()) {}
+};
+
+std::unique_ptr<core::Workload> make_bt(rt::Runtime& rt, const BtParams& p);
+
+}  // namespace ssomp::apps

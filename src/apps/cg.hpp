@@ -1,0 +1,53 @@
+// NAS CG: conjugate-gradient kernel (sparse SpMV + dot-product
+// reductions), the benchmark with the most fine-grained sharing in the
+// paper's suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct CgParams {
+  long n = 1400;           // rows (NAS class S uses 1400)
+  long nnz_per_row = 8;    // nonzeros per row
+  int outer_iters = 3;     // outer (zeta) iterations
+  int cg_iters = 10;       // inner CG iterations (NAS uses 25)
+  double shift = 10.0;     // diagonal shift (lambda)
+  std::uint64_t seed = 42;
+  front::ScheduleClause sched{};  // loop schedule (paper: default static;
+                                  // dynamic uses chunk = half static block)
+
+  [[nodiscard]] static CgParams tiny() {
+    return {.n = 96, .nnz_per_row = 5, .outer_iters = 2, .cg_iters = 4};
+  }
+};
+
+class Cg final : public core::Workload {
+ public:
+  Cg(rt::Runtime& rt, const CgParams& p);
+
+  [[nodiscard]] std::string name() const override { return "CG"; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] double zeta() const { return zeta_; }
+
+ private:
+  void conj_grad_region(rt::SerialCtx& sc, double& rnorm);
+
+  CgParams p_;
+  // Sparse matrix in CSR form.
+  rt::SharedArray<double> a_;
+  rt::SharedArray<long> colidx_;
+  rt::SharedArray<long> rowstr_;
+  // Vectors.
+  rt::SharedArray<double> x_, z_, pvec_, q_, r_;
+  double zeta_ = 0.0;
+};
+
+std::unique_ptr<core::Workload> make_cg(rt::Runtime& rt, const CgParams& p);
+
+}  // namespace ssomp::apps

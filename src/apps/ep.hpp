@@ -1,0 +1,46 @@
+// NAS EP: embarrassingly parallel Gaussian-pair generation. Not part of
+// the paper's five-benchmark suite; used by the examples and tests as a
+// compute-dominant contrast workload (slipstream has little to prefetch),
+// and to exercise the critical and atomic constructs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct EpParams {
+  long pairs = 1 << 17;      // total random pairs
+  long block = 256;          // pairs per worksharing block
+  std::uint64_t seed = 271828;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static EpParams tiny() { return {.pairs = 1 << 9}; }
+};
+
+class Ep final : public core::Workload {
+ public:
+  Ep(rt::Runtime& rt, const EpParams& p);
+
+  [[nodiscard]] std::string name() const override { return "EP"; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] double sx() const { return sx_; }
+  [[nodiscard]] double sy() const { return sy_; }
+
+ private:
+  static constexpr int kBins = 10;
+
+  EpParams p_;
+  rt::SharedArray<double> bins_;
+  rt::SharedVar<double> accepted_;
+  double sx_ = 0.0;
+  double sy_ = 0.0;
+};
+
+std::unique_ptr<core::Workload> make_ep(rt::Runtime& rt, const EpParams& p);
+
+}  // namespace ssomp::apps

@@ -1,0 +1,49 @@
+// NAS FT: 3D FFT time-stepping kernel. Not part of the paper's evaluated
+// suite — included as an extended workload because its z-direction FFT
+// sweeps produce the transpose-style cross-plane communication pattern
+// none of the paper's five kernels exhibit.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct FtParams {
+  long n = 16;   // grid edge (power of two); n^3 complex points
+  int steps = 2;
+  std::uint64_t seed = 31;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static FtParams tiny() { return {.n = 8, .steps = 1}; }
+};
+
+class Ft final : public core::Workload {
+ public:
+  Ft(rt::Runtime& rt, const FtParams& p);
+
+  [[nodiscard]] std::string name() const override { return "FT"; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] std::complex<double> checksum() const { return checksum_; }
+
+ private:
+  FtParams p_;
+  Grid3 g_;
+  // Complex field stored as interleaved (re, im) doubles.
+  std::unique_ptr<rt::SharedArray<double>> u_;
+  std::complex<double> checksum_;
+};
+
+/// In-place iterative radix-2 FFT over `n` complex values (n a power of
+/// two); inverse = conjugate transform without normalization. Exposed for
+/// direct unit testing against a reference DFT.
+void fft_line(std::complex<double>* data, long n, bool inverse);
+
+std::unique_ptr<core::Workload> make_ft(rt::Runtime& rt, const FtParams& p);
+
+}  // namespace ssomp::apps

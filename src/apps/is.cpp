@@ -1,0 +1,189 @@
+#include "apps/is.hpp"
+
+namespace ssomp::apps {
+
+namespace {
+constexpr long kKeySpread = 16;  // keys in [0, buckets * kKeySpread)
+}
+
+Is::Is(rt::Runtime& rt, const IsParams& p)
+    : p_(p),
+      keys_(rt, static_cast<std::size_t>(p.keys), "is.keys"),
+      histogram_(rt, static_cast<std::size_t>(p.buckets), "is.hist"),
+      offsets_(rt, static_cast<std::size_t>(p.buckets), "is.off"),
+      ranks_(rt, static_cast<std::size_t>(p.keys), "is.rank") {
+  sim::Rng rng(p.seed);
+  for (long i = 0; i < p.keys; ++i) {
+    keys_.host(static_cast<std::size_t>(i)) = static_cast<long>(
+        rng.next_below(static_cast<std::uint64_t>(p.buckets * kKeySpread)));
+  }
+}
+
+void Is::run(rt::SerialCtx& sc) {
+  const long nb = p_.buckets;
+  const long nk = p_.keys;
+  double result = 0.0;
+
+  // Per-thread histograms and rank cursors live in shared memory, as in
+  // the NAS IS bucket arrays. Sized for the largest possible team.
+  const int max_threads = sc.runtime().machine().ncpus();
+  rt::SharedArray<long> thread_hist(
+      sc.runtime(), static_cast<std::size_t>(max_threads * nb), "is.th");
+  rt::SharedArray<long> starts(
+      sc.runtime(), static_cast<std::size_t>(max_threads * nb), "is.st");
+
+  for (int iter = 0; iter < p_.iterations; ++iter) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      const auto tid = static_cast<std::size_t>(t.id());
+      std::vector<long> local(static_cast<std::size_t>(nb), 0);
+
+      // --- local histogramming over this thread's static key block ---
+      t.for_chunks(
+          0, nk, front::ScheduleClause{},
+          [&](long lo, long hi) {
+            keys_.scan_read(t, static_cast<std::size_t>(lo),
+                            static_cast<std::size_t>(hi));
+            for (long i = lo; i < hi; ++i) {
+              const long b =
+                  keys_.host(static_cast<std::size_t>(i)) / kKeySpread;
+              ++local[static_cast<std::size_t>(b)];
+              t.compute(4);
+            }
+          },
+          /*nowait=*/true);
+      // Publish the thread's histogram row.
+      thread_hist.scan_write(t, tid * static_cast<std::size_t>(nb),
+                             (tid + 1) * static_cast<std::size_t>(nb),
+                             local.data());
+      // Merge into the global histogram under the critical construct
+      // (the §3.1 pattern IS stresses).
+      t.critical([&] {
+        if (t.is_a_stream()) return;
+        for (long b = 0; b < nb; ++b) {
+          const auto ub = static_cast<std::size_t>(b);
+          histogram_.write(t, ub, histogram_.read(t, ub) +
+                                      static_cast<double>(local[ub]));
+          t.compute(3);
+        }
+      });
+      t.barrier();
+
+      // --- prefix sums: one thread computes bucket offsets and the
+      // per-thread start cursors (index-ordered, so ranking is stable) ---
+      t.single([&] {
+        long off = 0;
+        for (long b = 0; b < nb; ++b) {
+          offsets_.write(t, static_cast<std::size_t>(b), off);
+          for (int q = 0; q < t.nthreads(); ++q) {
+            const auto idx = static_cast<std::size_t>(q) *
+                                 static_cast<std::size_t>(nb) +
+                             static_cast<std::size_t>(b);
+            t.mem_read(thread_hist.addr(idx));
+            if (t.mem_write(starts.addr(idx))) {
+              starts.host(idx) = off;
+            }
+            off += thread_hist.host(idx);
+            t.compute(4);
+          }
+        }
+      });
+
+      // --- ranking: each thread ranks its own block using its cursors ---
+      std::vector<long> cursor(static_cast<std::size_t>(nb));
+      starts.scan_read(t, tid * static_cast<std::size_t>(nb),
+                       (tid + 1) * static_cast<std::size_t>(nb));
+      for (long b = 0; b < nb; ++b) {
+        cursor[static_cast<std::size_t>(b)] =
+            starts.host(tid * static_cast<std::size_t>(nb) +
+                        static_cast<std::size_t>(b));
+      }
+      t.for_chunks(0, nk, front::ScheduleClause{}, [&](long lo, long hi) {
+        keys_.scan_read(t, static_cast<std::size_t>(lo),
+                        static_cast<std::size_t>(hi));
+        for (long i = lo; i < hi; ++i) {
+          const long b = keys_.host(static_cast<std::size_t>(i)) /
+                         kKeySpread;
+          const long r = cursor[static_cast<std::size_t>(b)]++;
+          ranks_.write(t, static_cast<std::size_t>(i), r);
+          t.compute(6);
+        }
+      });
+
+      // --- verification checksum (reduction) ---
+      double lsum = 0.0;
+      t.for_chunks(
+          0, nk, front::ScheduleClause{},
+          [&](long lo, long hi) {
+            ranks_.scan_read(t, static_cast<std::size_t>(lo),
+                             static_cast<std::size_t>(hi));
+            for (long i = lo; i < hi; ++i) {
+              lsum += static_cast<double>(
+                          ranks_.host(static_cast<std::size_t>(i))) *
+                      static_cast<double>(i % 7 + 1);
+            }
+            t.compute((hi - lo) * 2);
+          },
+          /*nowait=*/true);
+      const double total = t.reduce_sum(lsum);
+      if (t.id() == 0 && !t.is_a_stream()) result = total;
+    });
+  }
+  checksum_ = result;
+}
+
+core::WorkloadResult Is::verify() {
+  const long nb = p_.buckets;
+  const long nk = p_.keys;
+  // Stable counting sort by key index (what the per-thread index-ordered
+  // cursors compute in parallel).
+  std::vector<long> hist(static_cast<std::size_t>(nb), 0);
+  for (long i = 0; i < nk; ++i) {
+    ++hist[static_cast<std::size_t>(keys_.host(static_cast<std::size_t>(i)) /
+                                    kKeySpread)];
+  }
+  std::vector<long> offsets(static_cast<std::size_t>(nb), 0);
+  long off = 0;
+  for (long b = 0; b < nb; ++b) {
+    offsets[static_cast<std::size_t>(b)] = off;
+    off += hist[static_cast<std::size_t>(b)];
+  }
+  std::vector<long> cursor = offsets;
+  std::vector<long> ranks(static_cast<std::size_t>(nk));
+  for (long i = 0; i < nk; ++i) {
+    const long b = keys_.host(static_cast<std::size_t>(i)) / kKeySpread;
+    ranks[static_cast<std::size_t>(i)] = cursor[static_cast<std::size_t>(b)]++;
+  }
+  double want = 0.0;
+  bool ranks_ok = true;
+  for (long i = 0; i < nk; ++i) {
+    want += static_cast<double>(ranks[static_cast<std::size_t>(i)]) *
+            static_cast<double>(i % 7 + 1);
+    if (ranks_.host(static_cast<std::size_t>(i)) !=
+        ranks[static_cast<std::size_t>(i)]) {
+      ranks_ok = false;
+    }
+  }
+  // The histogram accumulated once per iteration.
+  bool hist_ok = true;
+  for (long b = 0; b < nb; ++b) {
+    if (histogram_.host(static_cast<std::size_t>(b)) !=
+        static_cast<double>(hist[static_cast<std::size_t>(b)]) *
+            p_.iterations) {
+      hist_ok = false;
+    }
+  }
+
+  core::WorkloadResult res;
+  res.checksum = checksum_;
+  res.verified = ranks_ok && hist_ok && close(checksum_, want, 1e-12);
+  res.detail = std::string("ranks ") + (ranks_ok ? "ok" : "MISMATCH") +
+               ", histogram " + (hist_ok ? "ok" : "MISMATCH") +
+               ", checksum=" + std::to_string(checksum_);
+  return res;
+}
+
+std::unique_ptr<core::Workload> make_is(rt::Runtime& rt, const IsParams& p) {
+  return std::make_unique<Is>(rt, p);
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,47 @@
+// NAS IS: integer bucket sort (key histogramming + ranking). Not part of
+// the paper's evaluated suite — included as an extended workload because
+// its shared histogram hammers the atomic/critical constructs, the
+// pattern the paper's §3.1 atomic/critical policies are about.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct IsParams {
+  long keys = 1 << 14;
+  long buckets = 256;
+  int iterations = 2;
+  std::uint64_t seed = 97;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static IsParams tiny() {
+    return {.keys = 1 << 10, .buckets = 32, .iterations = 1};
+  }
+};
+
+class Is final : public core::Workload {
+ public:
+  Is(rt::Runtime& rt, const IsParams& p);
+
+  [[nodiscard]] std::string name() const override { return "IS"; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] double checksum() const { return checksum_; }
+
+ private:
+  IsParams p_;
+  rt::SharedArray<long> keys_;
+  rt::SharedArray<double> histogram_;  // per-bucket counts
+  rt::SharedArray<long> offsets_;      // exclusive prefix sums
+  rt::SharedArray<long> ranks_;        // final key ranks
+  double checksum_ = 0.0;
+};
+
+std::unique_ptr<core::Workload> make_is(rt::Runtime& rt, const IsParams& p);
+
+}  // namespace ssomp::apps

@@ -1,0 +1,345 @@
+#include "apps/lu.hpp"
+
+#include <cmath>
+
+#include "rt/pointsync.hpp"
+
+namespace ssomp::apps {
+
+namespace {
+
+constexpr double kOmega = 1.2;    // SSOR relaxation factor
+constexpr double kDiag = 2.0;
+constexpr double kStencilA = 0.8;
+constexpr double kStencilB = 0.03;
+
+/// rsd row (j,k): 7-point stencil residual of u.
+void lu_rhs_row(const std::vector<double>& u, const Grid3& g, long j, long k,
+                std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(g.nx) * Lu::kComp, 0.0);
+  for (long i = 1; i < g.nx - 1; ++i) {
+    for (int m = 0; m < Lu::kComp; ++m) {
+      const auto um = static_cast<std::size_t>(m);
+      const auto at = [&](long di, long dj, long dk) {
+        return u[static_cast<std::size_t>(g.at(i + di, j + dj, k + dk)) *
+                     Lu::kComp +
+                 um];
+      };
+      out[static_cast<std::size_t>(i) * Lu::kComp + um] =
+          kStencilA * at(0, 0, 0) +
+          kStencilB * (at(-1, 0, 0) + at(1, 0, 0) + at(0, -1, 0) +
+                       at(0, 1, 0) + at(0, 0, -1) + at(0, 0, 1));
+    }
+  }
+}
+
+}  // namespace
+
+Lu::Lu(rt::Runtime& rt, const LuParams& p) : p_(p) {
+  g_ = Grid3{p.n + 2, p.n + 2, p.n + 2};
+  const auto total = static_cast<std::size_t>(g_.size()) * kComp;
+  u_ = std::make_unique<rt::SharedArray<double>>(rt, total, "lu.u");
+  rsd_ = std::make_unique<rt::SharedArray<double>>(rt, total, "lu.rsd");
+  v_ = std::make_unique<rt::SharedArray<double>>(rt, total, "lu.v");
+  for (long k = 0; k < g_.nz; ++k) {
+    for (long j = 0; j < g_.ny; ++j) {
+      for (long i = 0; i < g_.nx; ++i) {
+        for (int m = 0; m < kComp; ++m) {
+          const double x = static_cast<double>(i) / (g_.nx - 1);
+          const double y = static_cast<double>(j) / (g_.ny - 1);
+          const double z = static_cast<double>(k) / (g_.nz - 1);
+          u_->host(static_cast<std::size_t>(g_.at(i, j, k)) * kComp +
+                   static_cast<std::size_t>(m)) =
+              1.0 + 0.05 * (m + 1) * std::cos(2.0 * x + 3.0 * y + z);
+        }
+      }
+    }
+  }
+}
+
+void Lu::run(rt::SerialCtx& sc) {
+  const Grid3 g = g_;
+  const long rowlen = g.nx * kComp;
+  const auto row_base = [&](long j, long k) {
+    return static_cast<std::size_t>(g.at(0, j, k)) * kComp;
+  };
+  // LU programmatically specifies static scheduling for its loops.
+  const front::ScheduleClause kStatic{};
+
+  // Row updates shared by the barrier and pipelined sweep variants.
+  const auto lower_row = [&](rt::ThreadCtx& t, std::vector<double>& out,
+                             long j, long k) {
+    const std::size_t b = row_base(j, k);
+    const std::size_t bp = row_base(j, k - 1);
+    const std::size_t bpm = row_base(j - 1, k - 1);
+    const std::size_t bpp = row_base(j + 1, k - 1);
+    rsd_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bp, bp + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bpm, bpm + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bpp, bpp + static_cast<std::size_t>(rowlen));
+    for (long x = kComp; x < rowlen - kComp; ++x) {
+      const auto ux = static_cast<std::size_t>(x);
+      out[ux] = (rsd_->host(b + ux) +
+                 kOmega * (0.3 * v_->host(bp + ux) +
+                           0.1 * (v_->host(bpm + ux) + v_->host(bpp + ux)))) /
+                kDiag;
+    }
+    out[0] = out[static_cast<std::size_t>(rowlen) - 1] = 0.0;
+    t.compute(static_cast<sim::Cycles>(g.nx - 2) * Costs::kSsorPerPt);
+    v_->scan_write(t, b, b + static_cast<std::size_t>(rowlen), out.data());
+  };
+  const auto upper_row = [&](rt::ThreadCtx& t, std::vector<double>& out,
+                             long j, long k) {
+    const std::size_t b = row_base(j, k);
+    const std::size_t bn = row_base(j, k + 1);
+    const std::size_t bnm = row_base(j - 1, k + 1);
+    const std::size_t bnp = row_base(j + 1, k + 1);
+    v_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bn, bn + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bnm, bnm + static_cast<std::size_t>(rowlen));
+    v_->scan_read(t, bnp, bnp + static_cast<std::size_t>(rowlen));
+    for (long x = kComp; x < rowlen - kComp; ++x) {
+      const auto ux = static_cast<std::size_t>(x);
+      out[ux] = v_->host(b + ux) -
+                kOmega * (0.2 * v_->host(bn + ux) +
+                          0.05 * (v_->host(bnm + ux) + v_->host(bnp + ux)));
+    }
+    out[0] = out[static_cast<std::size_t>(rowlen) - 1] = 0.0;
+    t.compute(static_cast<sim::Cycles>(g.nx - 2) * Costs::kSsorPerPt);
+    v_->scan_write(t, b, b + static_cast<std::size_t>(rowlen), out.data());
+  };
+
+  // Per-thread progress flags for the pipelined variant (value = planes
+  // completed, cumulative across iterations so they never need resetting).
+  std::vector<std::unique_ptr<rt::ProgressFlag>> lower_flags;
+  std::vector<std::unique_ptr<rt::ProgressFlag>> upper_flags;
+  if (p_.pipelined) {
+    const int max_threads = sc.runtime().machine().ncpus();
+    for (int q = 0; q < max_threads; ++q) {
+      lower_flags.push_back(std::make_unique<rt::ProgressFlag>(
+          sc.runtime(), "lu.lo" + std::to_string(q)));
+      upper_flags.push_back(std::make_unique<rt::ProgressFlag>(
+          sc.runtime(), "lu.up" + std::to_string(q)));
+    }
+  }
+  // Wavefront sweep over planes with the thread's static row block; waits
+  // on the j-neighbours' flags for the previous plane, posts its own.
+  const auto pipelined_sweep =
+      [&](rt::ThreadCtx& t, std::vector<double>& out,
+          std::vector<std::unique_ptr<rt::ProgressFlag>>& flags, bool upper,
+          long base) {
+        const int nth = t.nthreads();
+        const int tid = t.id();
+        const long count = g.ny - 2;
+        const long bsz = count / nth;
+        const long rem = count % nth;
+        const long jlo = 1 + tid * bsz + std::min<long>(tid, rem);
+        const long jhi = jlo + bsz + (tid < rem ? 1 : 0);
+        const long planes = g.nz - 2;
+        if (jlo >= jhi) {
+          flags[static_cast<std::size_t>(tid)]->post(t, base + planes);
+          return;
+        }
+        for (long p = 1; p <= planes; ++p) {
+          const long k = upper ? g.nz - 1 - p : p;
+          if (tid > 0) {
+            flags[static_cast<std::size_t>(tid) - 1]->wait_ge(t,
+                                                              base + p - 1);
+          }
+          if (tid + 1 < nth) {
+            flags[static_cast<std::size_t>(tid) + 1]->wait_ge(t,
+                                                              base + p - 1);
+          }
+          for (long j = jlo; j < jhi; ++j) {
+            if (upper) {
+              upper_row(t, out, j, k);
+            } else {
+              lower_row(t, out, j, k);
+            }
+          }
+          flags[static_cast<std::size_t>(tid)]->post(t, base + p);
+        }
+      };
+
+  for (int iter = 0; iter < p_.iters; ++iter) {
+    // One parallel region per SSOR iteration; the sweeps inside
+    // synchronize through the loops' implied barriers plus the per-plane
+    // barriers of the wavefront.
+    double norm = 0.0;
+    sc.parallel([&](rt::ThreadCtx& t) {
+    { // rsd = stencil(u): parallel over k-planes.
+      std::vector<double> out;
+      t.for_loop(1, g.nz - 1, kStatic, [&](long k) {
+        for (long j = 1; j < g.ny - 1; ++j) {
+          for (int dk = -1; dk <= 1; ++dk) {
+            for (int dj = -1; dj <= 1; ++dj) {
+              if (std::abs(dj) + std::abs(dk) > 1) continue;
+              const std::size_t b = row_base(j + dj, k + dk);
+              u_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+            }
+          }
+          lu_rhs_row(u_->host_vector(), g, j, k, out);
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) * Costs::kSsorPerPt);
+          const std::size_t b = row_base(j, k);
+          rsd_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                           out.data());
+        }
+      });
+    }
+
+    { // Lower sweep: wavefront over k-planes, either a barrier per plane
+      // or point-to-point pipelining (NAS LU-OMP scheme).
+      std::vector<double> out(static_cast<std::size_t>(rowlen));
+      if (p_.pipelined) {
+        pipelined_sweep(t, out, lower_flags, /*upper=*/false,
+                        static_cast<long>(iter) * (g.nz - 2));
+        t.barrier();  // sweep complete before the upper sweep reads v
+      } else {
+        for (long k = 1; k < g.nz - 1; ++k) {
+          t.for_loop(
+              1, g.ny - 1, kStatic,
+              [&](long j) { lower_row(t, out, j, k); },
+              /*nowait=*/true);
+          t.barrier();  // plane k complete before plane k+1 reads it
+        }
+      }
+    }
+
+    { // Upper sweep: reverse plane order, dependence on k+1.
+      std::vector<double> out(static_cast<std::size_t>(rowlen));
+      if (p_.pipelined) {
+        pipelined_sweep(t, out, upper_flags, /*upper=*/true,
+                        static_cast<long>(iter) * (g.nz - 2));
+        t.barrier();
+      } else {
+        for (long k = g.nz - 2; k >= 1; --k) {
+          t.for_loop(
+              1, g.ny - 1, kStatic,
+              [&](long j) { upper_row(t, out, j, k); },
+              /*nowait=*/true);
+          t.barrier();
+        }
+      }
+    }
+
+    { // u += omega * v, plus the iteration's residual norm (reduction).
+      std::vector<double> out(static_cast<std::size_t>(rowlen));
+      double local = 0.0;
+      t.for_loop(
+          1, g.nz - 1, kStatic,
+          [&](long k) {
+            for (long j = 1; j < g.ny - 1; ++j) {
+              const std::size_t b = row_base(j, k);
+              u_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+              v_->scan_read(t, b, b + static_cast<std::size_t>(rowlen));
+              for (long x = 0; x < rowlen; ++x) {
+                const auto ux = static_cast<std::size_t>(x);
+                out[ux] = u_->host(b + ux) + kOmega * 0.1 * v_->host(b + ux);
+                local += v_->host(b + ux) * v_->host(b + ux);
+              }
+              t.compute(static_cast<sim::Cycles>(g.nx) *
+                        (Costs::kAxpyPerElem + Costs::kDotPerElem));
+              u_->scan_write(t, b, b + static_cast<std::size_t>(rowlen),
+                             out.data());
+            }
+          },
+          /*nowait=*/true);
+      const double total = t.reduce_sum(local);
+      if (t.id() == 0 && !t.is_a_stream()) norm = total;
+    }
+    });
+    checksum_ = std::sqrt(norm);
+  }
+}
+
+core::WorkloadResult Lu::verify() {
+  const Grid3 g = g_;
+  const long rowlen = g.nx * kComp;
+  std::vector<double> u(static_cast<std::size_t>(g.size()) * kComp);
+  std::vector<double> rsd(u.size(), 0.0);
+  std::vector<double> v(u.size(), 0.0);
+  for (long k = 0; k < g.nz; ++k) {
+    for (long j = 0; j < g.ny; ++j) {
+      for (long i = 0; i < g.nx; ++i) {
+        for (int m = 0; m < kComp; ++m) {
+          const double x = static_cast<double>(i) / (g.nx - 1);
+          const double y = static_cast<double>(j) / (g.ny - 1);
+          const double z = static_cast<double>(k) / (g.nz - 1);
+          u[static_cast<std::size_t>(g.at(i, j, k)) * kComp +
+            static_cast<std::size_t>(m)] =
+              1.0 + 0.05 * (m + 1) * std::cos(2.0 * x + 3.0 * y + z);
+        }
+      }
+    }
+  }
+  const auto row_base = [&](long j, long k) {
+    return static_cast<std::size_t>(g.at(0, j, k)) * kComp;
+  };
+  double norm = 0.0;
+  std::vector<double> out;
+  for (int iter = 0; iter < p_.iters; ++iter) {
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        lu_rhs_row(u, g, j, k, out);
+        std::copy(out.begin(), out.end(),
+                  rsd.begin() + static_cast<long>(row_base(j, k)));
+      }
+    }
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        const std::size_t b = row_base(j, k);
+        const std::size_t bp = row_base(j, k - 1);
+        const std::size_t bpm = row_base(j - 1, k - 1);
+        const std::size_t bpp = row_base(j + 1, k - 1);
+        for (long x = kComp; x < rowlen - kComp; ++x) {
+          const auto ux = static_cast<std::size_t>(x);
+          v[b + ux] = (rsd[b + ux] +
+                       kOmega * (0.3 * v[bp + ux] +
+                                 0.1 * (v[bpm + ux] + v[bpp + ux]))) /
+                      kDiag;
+        }
+        v[b] = v[b + static_cast<std::size_t>(rowlen) - 1] = 0.0;
+      }
+    }
+    for (long k = g.nz - 2; k >= 1; --k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        const std::size_t b = row_base(j, k);
+        const std::size_t bn = row_base(j, k + 1);
+        const std::size_t bnm = row_base(j - 1, k + 1);
+        const std::size_t bnp = row_base(j + 1, k + 1);
+        for (long x = kComp; x < rowlen - kComp; ++x) {
+          const auto ux = static_cast<std::size_t>(x);
+          v[b + ux] = v[b + ux] -
+                      kOmega * (0.2 * v[bn + ux] +
+                                0.05 * (v[bnm + ux] + v[bnp + ux]));
+        }
+        v[b] = v[b + static_cast<std::size_t>(rowlen) - 1] = 0.0;
+      }
+    }
+    norm = 0.0;
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        const std::size_t b = row_base(j, k);
+        for (long x = 0; x < rowlen; ++x) {
+          const auto ux = static_cast<std::size_t>(x);
+          u[b + ux] += kOmega * 0.1 * v[b + ux];
+          norm += v[b + ux] * v[b + ux];
+        }
+      }
+    }
+  }
+  norm = std::sqrt(norm);
+
+  core::WorkloadResult res;
+  res.checksum = checksum_;
+  res.verified = close(checksum_, norm, 1e-8);
+  res.detail = "|v|=" + std::to_string(checksum_) +
+               " reference=" + std::to_string(norm);
+  return res;
+}
+
+std::unique_ptr<core::Workload> make_lu(rt::Runtime& rt, const LuParams& p) {
+  return std::make_unique<Lu>(rt, p);
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,444 @@
+#include "apps/mg.hpp"
+
+#include <cmath>
+
+namespace ssomp::apps {
+
+namespace {
+
+// 27-point stencil weights by neighbor class (|di|+|dj|+|dk|).
+// A (the residual operator) and S (the smoother) use NAS MG's coefficient
+// classes: A has zero face weight, S has zero corner weight.
+constexpr double kA[4] = {-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0};
+constexpr double kS[4] = {-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
+
+/// Applies a 27-point stencil with class weights `w` to `in` at row (j,k),
+/// writing interior results to out_row (length g.nx; borders zeroed).
+void stencil_row(const std::vector<double>& in, const Grid3& g, long j,
+                 long k, const double w[4], std::vector<double>& out_row) {
+  out_row.assign(static_cast<std::size_t>(g.nx), 0.0);
+  for (long i = 1; i < g.nx - 1; ++i) {
+    double sum = 0.0;
+    for (int dk = -1; dk <= 1; ++dk) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          const int cls = std::abs(di) + std::abs(dj) + std::abs(dk);
+          if (w[cls] == 0.0) continue;
+          sum += w[cls] *
+                 in[static_cast<std::size_t>(g.at(i + di, j + dj, k + dk))];
+        }
+      }
+    }
+    out_row[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+/// Full-weighting restriction: coarse row (jc,kc) from the fine grid.
+void rprj3_row(const std::vector<double>& fine, const Grid3& fg,
+               const Grid3& cg, long jc, long kc,
+               std::vector<double>& out_row) {
+  out_row.assign(static_cast<std::size_t>(cg.nx), 0.0);
+  static constexpr double kW[4] = {8.0 / 64.0, 4.0 / 64.0, 2.0 / 64.0,
+                                   1.0 / 64.0};
+  for (long ic = 1; ic < cg.nx - 1; ++ic) {
+    const long fi = 2 * ic;
+    const long fj = 2 * jc;
+    const long fk = 2 * kc;
+    double sum = 0.0;
+    for (int dk = -1; dk <= 1; ++dk) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          const int cls = std::abs(di) + std::abs(dj) + std::abs(dk);
+          sum += kW[cls] * fine[static_cast<std::size_t>(
+                               fg.at(fi + di, fj + dj, fk + dk))];
+        }
+      }
+    }
+    out_row[static_cast<std::size_t>(ic)] = sum;
+  }
+}
+
+/// Trilinear prolongation: additive contribution to fine row (jf,kf) from
+/// the coarse grid (coarse points sit at even fine indices).
+void interp_row(const std::vector<double>& coarse, const Grid3& cg,
+                const Grid3& fg, long jf, long kf,
+                std::vector<double>& add_row) {
+  add_row.assign(static_cast<std::size_t>(fg.nx), 0.0);
+  const auto axis = [](long f) {
+    // Returns {c0, c1, w0, w1}: coarse indices and weights along one axis.
+    struct R {
+      long c0, c1;
+      double w0, w1;
+    };
+    if (f % 2 == 0) return R{f / 2, f / 2, 1.0, 0.0};
+    return R{(f - 1) / 2, (f + 1) / 2, 0.5, 0.5};
+  };
+  const auto aj = axis(jf);
+  const auto ak = axis(kf);
+  for (long i = 1; i < fg.nx - 1; ++i) {
+    const auto ai = axis(i);
+    double sum = 0.0;
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        for (int c = 0; c < 2; ++c) {
+          const double w = (a ? ai.w1 : ai.w0) * (b ? aj.w1 : aj.w0) *
+                           (c ? ak.w1 : ak.w0);
+          if (w == 0.0) continue;
+          sum += w * coarse[static_cast<std::size_t>(
+                        cg.at(a ? ai.c1 : ai.c0, b ? aj.c1 : aj.c0,
+                              c ? ak.c1 : ak.c0))];
+        }
+      }
+    }
+    add_row[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+}  // namespace
+
+Mg::Mg(rt::Runtime& rt, const MgParams& p) : p_(p) {
+  long n = p.n;
+  for (int l = 0; l < p.levels; ++l) {
+    Level lev;
+    lev.g = Grid3{n + 2, n + 2, n + 2};
+    lev.u = std::make_unique<rt::SharedArray<double>>(
+        rt, static_cast<std::size_t>(lev.g.size()),
+        "mg.u" + std::to_string(l));
+    lev.r = std::make_unique<rt::SharedArray<double>>(
+        rt, static_cast<std::size_t>(lev.g.size()),
+        "mg.r" + std::to_string(l));
+    levels_.push_back(std::move(lev));
+    n /= 2;
+  }
+  const Grid3& g = levels_[0].g;
+  v_ = std::make_unique<rt::SharedArray<double>>(
+      rt, static_cast<std::size_t>(g.size()), "mg.v");
+  // Right-hand side: a few point charges of alternating sign, like NAS
+  // MG's +1/-1 charge placement (deterministic pseudo-random positions).
+  sim::Rng rng(p.seed);
+  const int charges = 10;
+  for (int c = 0; c < charges; ++c) {
+    const long i = 1 + static_cast<long>(
+                           rng.next_below(static_cast<std::uint64_t>(p.n)));
+    const long j = 1 + static_cast<long>(
+                           rng.next_below(static_cast<std::uint64_t>(p.n)));
+    const long k = 1 + static_cast<long>(
+                           rng.next_below(static_cast<std::uint64_t>(p.n)));
+    v_->host(static_cast<std::size_t>(g.at(i, j, k))) =
+        (c % 2 == 0) ? 1.0 : -1.0;
+  }
+}
+
+void Mg::run(rt::SerialCtx& sc) {
+  // One parallel region spans a whole V-cycle, with the kernels as
+  // orphaned worksharing loops separated by the loops' implied barriers —
+  // the structure of the NAS-OMP port, and the barrier stream the
+  // slipstream token protocol rides on. Work is shared over interior
+  // k-planes.
+  const auto sweep_stencil = [&](rt::ThreadCtx& t,
+                                 rt::SharedArray<double>& in,
+                                 rt::SharedArray<double>& rhs_or_base,
+                                 rt::SharedArray<double>& out, const Grid3& g,
+                                 const double w[4], bool residual_form,
+                                 sim::Cycles cost) {
+    // residual_form: out = rhs - A(in); else smoother: out = base + S(in).
+    {
+      std::vector<double> row;
+      std::vector<double> result(static_cast<std::size_t>(g.nx));
+      t.for_loop(1, g.nz - 1, p_.sched, [&](long k) {
+        for (long j = 1; j < g.ny - 1; ++j) {
+          // Touch the nine input rows the stencil reads.
+          for (int dk = -1; dk <= 1; ++dk) {
+            for (int dj = -1; dj <= 1; ++dj) {
+              const long base = g.at(0, j + dj, k + dk);
+              in.scan_read(t, static_cast<std::size_t>(base),
+                           static_cast<std::size_t>(base + g.nx));
+            }
+          }
+          const long rb = g.at(0, j, k);
+          rhs_or_base.scan_read(t, static_cast<std::size_t>(rb),
+                                static_cast<std::size_t>(rb + g.nx));
+          stencil_row(in.host_vector(), g, j, k, w, row);
+          for (long i = 0; i < g.nx; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            const double base_v =
+                rhs_or_base.host(static_cast<std::size_t>(rb + i));
+            result[ui] = residual_form ? base_v - row[ui] : base_v + row[ui];
+            if (i == 0 || i == g.nx - 1) result[ui] = 0.0;
+          }
+          t.compute(static_cast<sim::Cycles>(g.nx - 2) * cost);
+          out.scan_write(t, static_cast<std::size_t>(rb),
+                         static_cast<std::size_t>(rb + g.nx), result.data());
+        }
+      });
+    }
+  };
+
+  const auto resid = [&](rt::ThreadCtx& t, Level& lev,
+                         rt::SharedArray<double>& rhs) {
+    sweep_stencil(t, *lev.u, rhs, *lev.r, lev.g, kA, /*residual_form=*/true,
+                  Costs::kStencilPerPt);
+  };
+  const auto psinv = [&](rt::ThreadCtx& t, Level& lev) {
+    sweep_stencil(t, *lev.r, *lev.u, *lev.u, lev.g, kS,
+                  /*residual_form=*/false, Costs::kStencilPerPt);
+  };
+  const auto zero_u = [&](rt::ThreadCtx& t, Level& lev) {
+    const Grid3 g = lev.g;
+    {
+      std::vector<double> zeros(static_cast<std::size_t>(g.nx), 0.0);
+      t.for_loop(0, g.nz, p_.sched, [&](long k) {
+        for (long j = 0; j < g.ny; ++j) {
+          const long rb = g.at(0, j, k);
+          lev.u->scan_write(t, static_cast<std::size_t>(rb),
+                            static_cast<std::size_t>(rb + g.nx),
+                            zeros.data());
+          t.compute(static_cast<sim::Cycles>(g.nx));
+        }
+      });
+    }
+  };
+  const auto restrict_r = [&](rt::ThreadCtx& t, Level& fine, Level& coarse) {
+    const Grid3 fg = fine.g;
+    const Grid3 cg = coarse.g;
+    {
+      std::vector<double> row;
+      t.for_loop(1, cg.nz - 1, p_.sched, [&](long kc) {
+        for (long jc = 1; jc < cg.ny - 1; ++jc) {
+          for (int dk = -1; dk <= 1; ++dk) {
+            for (int dj = -1; dj <= 1; ++dj) {
+              const long base = fg.at(0, 2 * jc + dj, 2 * kc + dk);
+              fine.r->scan_read(t, static_cast<std::size_t>(base),
+                                static_cast<std::size_t>(base + fg.nx));
+            }
+          }
+          rprj3_row(fine.r->host_vector(), fg, cg, jc, kc, row);
+          const long rb = cg.at(0, jc, kc);
+          t.compute(static_cast<sim::Cycles>(cg.nx - 2) *
+                    Costs::kRestrictPerPt);
+          coarse.r->scan_write(t, static_cast<std::size_t>(rb),
+                               static_cast<std::size_t>(rb + cg.nx),
+                               row.data());
+        }
+      });
+    }
+  };
+  const auto interp_add = [&](rt::ThreadCtx& t, Level& coarse, Level& fine) {
+    const Grid3 fg = fine.g;
+    const Grid3 cg = coarse.g;
+    {
+      std::vector<double> add;
+      std::vector<double> result(static_cast<std::size_t>(fg.nx));
+      t.for_loop(1, fg.nz - 1, p_.sched, [&](long kf) {
+        for (long jf = 1; jf < fg.ny - 1; ++jf) {
+          // Coarse rows feeding this fine row.
+          for (long cj : {(jf - 1) / 2, (jf + 1) / 2}) {
+            for (long ck : {(kf - 1) / 2, (kf + 1) / 2}) {
+              const long base = cg.at(0, cj, ck);
+              coarse.u->scan_read(t, static_cast<std::size_t>(base),
+                                  static_cast<std::size_t>(base + cg.nx));
+            }
+          }
+          const long rb = fg.at(0, jf, kf);
+          fine.u->scan_read(t, static_cast<std::size_t>(rb),
+                            static_cast<std::size_t>(rb + fg.nx));
+          interp_row(coarse.u->host_vector(), cg, fg, jf, kf, add);
+          for (long i = 0; i < fg.nx; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            result[ui] =
+                fine.u->host(static_cast<std::size_t>(rb + i)) + add[ui];
+            if (i == 0 || i == fg.nx - 1) result[ui] = 0.0;
+          }
+          t.compute(static_cast<sim::Cycles>(fg.nx - 2) *
+                    Costs::kInterpPerPt);
+          fine.u->scan_write(t, static_cast<std::size_t>(rb),
+                             static_cast<std::size_t>(rb + fg.nx),
+                             result.data());
+        }
+      });
+    }
+  };
+
+  const int lt = p_.levels;
+  sc.parallel([&](rt::ThreadCtx& t) {
+    zero_u(t, levels_[0]);
+    resid(t, levels_[0], *v_);  // r = v - A u (u = 0)
+  });
+
+  for (int cycle = 0; cycle < p_.v_cycles; ++cycle) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      // Down: restrict the residual to the coarsest level.
+      for (int l = 0; l + 1 < lt; ++l) {
+        restrict_r(t, levels_[static_cast<std::size_t>(l)],
+                   levels_[static_cast<std::size_t>(l) + 1]);
+      }
+      // Coarsest: u = S r.
+      zero_u(t, levels_[static_cast<std::size_t>(lt - 1)]);
+      psinv(t, levels_[static_cast<std::size_t>(lt - 1)]);
+      // Up: prolongate, correct the residual, smooth.
+      for (int l = lt - 2; l >= 1; --l) {
+        Level& lev = levels_[static_cast<std::size_t>(l)];
+        zero_u(t, lev);
+        interp_add(t, levels_[static_cast<std::size_t>(l) + 1], lev);
+        resid(t, lev, *lev.r);
+        psinv(t, lev);
+      }
+      // Finest level.
+      interp_add(t, levels_[1], levels_[0]);
+      resid(t, levels_[0], *v_);
+      psinv(t, levels_[0]);
+      resid(t, levels_[0], *v_);
+    });
+  }
+
+  // rnorm = || r ||_2 over the finest grid (reduction region).
+  const Grid3 g = levels_[0].g;
+  double result = 0.0;
+  sc.parallel([&](rt::ThreadCtx& t) {
+    double local = 0.0;
+    t.for_loop(
+        1, g.nz - 1, p_.sched,
+        [&](long k) {
+          for (long j = 1; j < g.ny - 1; ++j) {
+            const long rb = g.at(0, j, k);
+            levels_[0].r->scan_read(t, static_cast<std::size_t>(rb),
+                                    static_cast<std::size_t>(rb + g.nx));
+            for (long i = 1; i < g.nx - 1; ++i) {
+              const double rv =
+                  levels_[0].r->host(static_cast<std::size_t>(rb + i));
+              local += rv * rv;
+            }
+            t.compute(static_cast<sim::Cycles>(g.nx - 2) *
+                      Costs::kDotPerElem);
+          }
+        },
+        /*nowait=*/true);
+    const double total = t.reduce_sum(local);
+    if (t.id() == 0 && !t.is_a_stream()) result = total;
+  });
+  rnorm_ = std::sqrt(result);
+}
+
+core::WorkloadResult Mg::verify() {
+  // Serial reference: same cycle structure on host copies.
+  struct HostLevel {
+    Grid3 g;
+    std::vector<double> u, r;
+  };
+  std::vector<HostLevel> ls;
+  long n = p_.n;
+  for (int l = 0; l < p_.levels; ++l) {
+    HostLevel hl;
+    hl.g = Grid3{n + 2, n + 2, n + 2};
+    hl.u.assign(static_cast<std::size_t>(hl.g.size()), 0.0);
+    hl.r.assign(static_cast<std::size_t>(hl.g.size()), 0.0);
+    ls.push_back(std::move(hl));
+    n /= 2;
+  }
+  std::vector<double> v = v_->host_vector();
+
+  const auto stencil_full = [](const std::vector<double>& in,
+                               const std::vector<double>& base,
+                               std::vector<double>& out, const Grid3& g,
+                               const double w[4], bool residual_form) {
+    std::vector<double> row;
+    std::vector<double> result(static_cast<std::size_t>(g.nx));
+    std::vector<double> tmp(out.size(), 0.0);
+    for (long k = 1; k < g.nz - 1; ++k) {
+      for (long j = 1; j < g.ny - 1; ++j) {
+        stencil_row(in, g, j, k, w, row);
+        const long rb = g.at(0, j, k);
+        for (long i = 0; i < g.nx; ++i) {
+          double val = residual_form
+                           ? base[static_cast<std::size_t>(rb + i)] -
+                                 row[static_cast<std::size_t>(i)]
+                           : base[static_cast<std::size_t>(rb + i)] +
+                                 row[static_cast<std::size_t>(i)];
+          if (i == 0 || i == g.nx - 1) val = 0.0;
+          tmp[static_cast<std::size_t>(rb + i)] = val;
+        }
+      }
+    }
+    out = tmp;
+  };
+
+  const auto resid_h = [&](HostLevel& lev, const std::vector<double>& rhs) {
+    stencil_full(lev.u, rhs, lev.r, lev.g, kA, true);
+  };
+  const auto psinv_h = [&](HostLevel& lev) {
+    stencil_full(lev.r, lev.u, lev.u, lev.g, kS, false);
+  };
+  const auto restrict_h = [&](HostLevel& fine, HostLevel& coarse) {
+    std::vector<double> row;
+    for (long kc = 1; kc < coarse.g.nz - 1; ++kc) {
+      for (long jc = 1; jc < coarse.g.ny - 1; ++jc) {
+        rprj3_row(fine.r, fine.g, coarse.g, jc, kc, row);
+        const long rb = coarse.g.at(0, jc, kc);
+        for (long i = 0; i < coarse.g.nx; ++i) {
+          coarse.r[static_cast<std::size_t>(rb + i)] =
+              row[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  };
+  const auto interp_h = [&](HostLevel& coarse, HostLevel& fine) {
+    std::vector<double> add;
+    for (long kf = 1; kf < fine.g.nz - 1; ++kf) {
+      for (long jf = 1; jf < fine.g.ny - 1; ++jf) {
+        interp_row(coarse.u, coarse.g, fine.g, jf, kf, add);
+        const long rb = fine.g.at(0, jf, kf);
+        for (long i = 1; i < fine.g.nx - 1; ++i) {
+          fine.u[static_cast<std::size_t>(rb + i)] +=
+              add[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+  };
+
+  const int lt = p_.levels;
+  resid_h(ls[0], v);
+  for (int cycle = 0; cycle < p_.v_cycles; ++cycle) {
+    for (int l = 0; l + 1 < lt; ++l) {
+      restrict_h(ls[static_cast<std::size_t>(l)],
+                 ls[static_cast<std::size_t>(l) + 1]);
+    }
+    auto& cl = ls[static_cast<std::size_t>(lt - 1)];
+    cl.u.assign(cl.u.size(), 0.0);
+    psinv_h(cl);
+    for (int l = lt - 2; l >= 1; --l) {
+      auto& lev = ls[static_cast<std::size_t>(l)];
+      lev.u.assign(lev.u.size(), 0.0);
+      interp_h(ls[static_cast<std::size_t>(l) + 1], lev);
+      resid_h(lev, lev.r);
+      psinv_h(lev);
+    }
+    interp_h(ls[1], ls[0]);
+    resid_h(ls[0], v);
+    psinv_h(ls[0]);
+    resid_h(ls[0], v);
+  }
+  double norm = 0.0;
+  const Grid3& g = ls[0].g;
+  for (long k = 1; k < g.nz - 1; ++k) {
+    for (long j = 1; j < g.ny - 1; ++j) {
+      for (long i = 1; i < g.nx - 1; ++i) {
+        const double rv = ls[0].r[static_cast<std::size_t>(g.at(i, j, k))];
+        norm += rv * rv;
+      }
+    }
+  }
+  norm = std::sqrt(norm);
+
+  core::WorkloadResult res;
+  res.checksum = rnorm_;
+  res.verified = close(rnorm_, norm, 1e-8);
+  res.detail =
+      "rnorm=" + std::to_string(rnorm_) + " reference=" + std::to_string(norm);
+  return res;
+}
+
+std::unique_ptr<core::Workload> make_mg(rt::Runtime& rt, const MgParams& p) {
+  return std::make_unique<Mg>(rt, p);
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,49 @@
+// NAS MG: 3D multigrid V-cycle (27-point stencils, restriction and
+// prolongation between grid levels), barrier-separated sweeps.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace ssomp::apps {
+
+struct MgParams {
+  long n = 32;       // finest grid is n^3 interior points (power of two)
+  int levels = 3;    // grid hierarchy depth
+  int v_cycles = 2;  // V-cycle count
+  std::uint64_t seed = 7;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static MgParams tiny() {
+    return {.n = 8, .levels = 2, .v_cycles = 1};
+  }
+};
+
+class Mg final : public core::Workload {
+ public:
+  Mg(rt::Runtime& rt, const MgParams& p);
+
+  [[nodiscard]] std::string name() const override { return "MG"; }
+  void run(rt::SerialCtx& sc) override;
+  [[nodiscard]] core::WorkloadResult verify() override;
+
+  [[nodiscard]] double rnorm() const { return rnorm_; }
+
+ private:
+  struct Level {
+    Grid3 g;  // (n+2)^3 including the zero boundary shell
+    std::unique_ptr<rt::SharedArray<double>> u;
+    std::unique_ptr<rt::SharedArray<double>> r;
+  };
+
+  MgParams p_;
+  std::vector<Level> levels_;
+  std::unique_ptr<rt::SharedArray<double>> v_;  // right-hand side (finest)
+  double rnorm_ = 0.0;
+};
+
+std::unique_ptr<core::Workload> make_mg(rt::Runtime& rt, const MgParams& p);
+
+}  // namespace ssomp::apps

@@ -1,0 +1,98 @@
+#include "apps/registry.hpp"
+
+#include "apps/bt.hpp"
+#include "apps/cg.hpp"
+#include "apps/ep.hpp"
+#include "apps/ft.hpp"
+#include "apps/is.hpp"
+#include "apps/lu.hpp"
+#include "apps/mg.hpp"
+#include "apps/sp.hpp"
+#include "sim/check.hpp"
+
+namespace ssomp::apps {
+
+const std::vector<AppSpec>& extended_suite() {
+  static const std::vector<AppSpec> kSuite = {
+      {"EP", "embarrassingly parallel Gaussian pairs", true},
+      {"FT", "3D FFT (transpose-style communication)", true},
+      {"IS", "integer bucket sort (atomic/critical-heavy)", false},
+  };
+  return kSuite;
+}
+
+const std::vector<AppSpec>& paper_suite() {
+  static const std::vector<AppSpec> kSuite = {
+      {"BT", "block-tridiagonal ADI solver", true},
+      {"CG", "conjugate gradient (sparse SpMV + reductions)", true},
+      {"LU", "SSOR with plane-wavefront sweeps", false},
+      {"MG", "3D multigrid V-cycle", true},
+      {"SP", "scalar-pentadiagonal ADI solver", true},
+  };
+  return kSuite;
+}
+
+core::WorkloadFactory make_workload(const std::string& name, AppScale scale,
+                                    front::ScheduleClause sched) {
+  const bool tiny = scale == AppScale::kTiny;
+  if (name == "CG") {
+    CgParams p = tiny ? CgParams::tiny() : CgParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_cg(rt, p); };
+  }
+  if (name == "MG") {
+    MgParams p = tiny ? MgParams::tiny() : MgParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_mg(rt, p); };
+  }
+  if (name == "BT") {
+    BtParams p = tiny ? BtParams::tiny() : BtParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_bt(rt, p); };
+  }
+  if (name == "SP") {
+    SpParams p = tiny ? SpParams::tiny() : SpParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_sp(rt, p); };
+  }
+  if (name == "LU") {
+    LuParams p = tiny ? LuParams::tiny() : LuParams{};
+    return [p](rt::Runtime& rt) { return make_lu(rt, p); };
+  }
+  if (name == "EP") {
+    EpParams p = tiny ? EpParams::tiny() : EpParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_ep(rt, p); };
+  }
+  if (name == "FT") {
+    FtParams p = tiny ? FtParams::tiny() : FtParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_ft(rt, p); };
+  }
+  if (name == "IS") {
+    IsParams p = tiny ? IsParams::tiny() : IsParams{};
+    p.sched = sched;
+    return [p](rt::Runtime& rt) { return make_is(rt, p); };
+  }
+  SSOMP_CHECK(false && "unknown workload name");
+  return {};
+}
+
+front::ScheduleClause dynamic_schedule_for(const std::string& name,
+                                           AppScale scale, int nthreads) {
+  front::ScheduleClause sched;
+  sched.kind = front::ScheduleKind::kDynamic;
+  if (name == "CG") {
+    // Paper §5.2: "for CG we used chunk size equal to half the assignment
+    // under static block assignment."
+    const long n = (scale == AppScale::kTiny ? CgParams::tiny() : CgParams{}).n;
+    sched.chunk = std::max<long>(1, n / (2L * nthreads));
+  } else {
+    // Compiler default chunk for the others (the k/j plane loops are
+    // coarse-grained, as the paper notes).
+    sched.chunk = 1;
+  }
+  return sched;
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,44 @@
+// Name-indexed workload registry: the paper's benchmark suite (Table 2)
+// plus EP, at benchmark scale and at a tiny scale used by tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "core/workload.hpp"
+
+namespace ssomp::apps {
+
+enum class AppScale : std::uint8_t {
+  kBench = 0,  // sizes used by the figure-reproduction harnesses
+  kTiny,       // seconds-fast sizes for unit/integration tests
+};
+
+struct AppSpec {
+  std::string name;
+  std::string description;
+  bool in_dynamic_suite;  // paper §5.2 excludes LU (static programmatic)
+};
+
+/// The paper's suite order: BT, CG, LU, MG, SP (Table 2).
+[[nodiscard]] const std::vector<AppSpec>& paper_suite();
+
+/// Extended workloads beyond the paper's evaluation (EP compute-bound,
+/// FT transpose-heavy, IS atomic/critical-heavy).
+[[nodiscard]] const std::vector<AppSpec>& extended_suite();
+
+/// Builds a workload by name ("BT", "CG", "LU", "MG", "SP", "EP", "FT",
+/// "IS").
+/// `sched` applies to the app's schedulable loops (LU ignores it for its
+/// programmatically-static portions). Aborts on unknown name.
+[[nodiscard]] core::WorkloadFactory make_workload(
+    const std::string& name, AppScale scale,
+    front::ScheduleClause sched = {});
+
+/// The dynamic-scheduling chunk the paper uses for CG (half the static
+/// block assignment) and the compiler defaults elsewhere.
+[[nodiscard]] front::ScheduleClause dynamic_schedule_for(
+    const std::string& name, AppScale scale, int nthreads);
+
+}  // namespace ssomp::apps

@@ -1,0 +1,9 @@
+#include "apps/sp.hpp"
+
+namespace ssomp::apps {
+
+std::unique_ptr<core::Workload> make_sp(rt::Runtime& rt, const SpParams& p) {
+  return std::make_unique<Sp>(rt, p);
+}
+
+}  // namespace ssomp::apps

@@ -1,0 +1,34 @@
+// NAS SP: scalar-pentadiagonal ADI solver (see adi.hpp for the skeleton).
+#pragma once
+
+#include "apps/adi.hpp"
+
+namespace ssomp::apps {
+
+struct SpParams {
+  long n = 16;
+  int steps = 3;
+  std::uint64_t seed = 13;
+  front::ScheduleClause sched{};
+
+  [[nodiscard]] static SpParams tiny() { return {.n = 6, .steps = 1}; }
+
+  [[nodiscard]] AdiParams to_adi() const {
+    return {.n = n,
+            .steps = steps,
+            .block_coupling = false,
+            .solve_cost_per_pt = Costs::kSpSolvePerPt,
+            .rhs_cost_per_pt = Costs::kSpRhsPerPt,
+            .seed = seed,
+            .sched = sched};
+  }
+};
+
+class Sp final : public Adi {
+ public:
+  Sp(rt::Runtime& rt, const SpParams& p) : Adi(rt, "SP", p.to_adi()) {}
+};
+
+std::unique_ptr<core::Workload> make_sp(rt::Runtime& rt, const SpParams& p);
+
+}  // namespace ssomp::apps

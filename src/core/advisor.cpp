@@ -1,0 +1,132 @@
+#include "core/advisor.hpp"
+
+#include <sstream>
+
+#include "machine/machine.hpp"
+#include "rt/runtime.hpp"
+#include "sim/check.hpp"
+#include "stats/report.hpp"
+
+namespace ssomp::core {
+
+std::vector<CandidateConfig> default_candidates() {
+  return {
+      {"single", rt::ExecutionMode::kSingle,
+       slip::SlipstreamConfig::disabled()},
+      {"double", rt::ExecutionMode::kDouble,
+       slip::SlipstreamConfig::disabled()},
+      {"slip-L1", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::one_token_local()},
+      {"slip-G0", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::zero_token_global()},
+  };
+}
+
+namespace {
+
+struct ProbeRun {
+  sim::Cycles total = 0;
+  std::vector<rt::RegionRecord> regions;
+};
+
+ProbeRun probe(const machine::MachineConfig& mc, const WorkloadFactory& f,
+               const CandidateConfig& candidate) {
+  machine::Machine machine(mc);
+  rt::RuntimeOptions opts;
+  opts.mode = candidate.mode;
+  opts.slip = candidate.slip;
+  rt::Runtime runtime(machine, opts);
+  auto workload = f(runtime);
+  ProbeRun run;
+  run.total = runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
+  SSOMP_CHECK(workload->verify().verified);
+  run.regions = runtime.region_records();
+  return run;
+}
+
+std::string directive_for(const CandidateConfig& c) {
+  if (c.mode != rt::ExecutionMode::kSlipstream || !c.slip.enabled()) {
+    return "";
+  }
+  return "SLIPSTREAM(" + std::string(to_string(c.slip.type)) + ", " +
+         std::to_string(c.slip.tokens) + ")";
+}
+
+}  // namespace
+
+Advice advise(const machine::MachineConfig& machine_config,
+              const WorkloadFactory& factory,
+              const std::vector<CandidateConfig>& candidates) {
+  SSOMP_CHECK(!candidates.empty());
+  std::vector<ProbeRun> runs;
+  runs.reserve(candidates.size());
+  std::size_t baseline = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    runs.push_back(probe(machine_config, factory, candidates[i]));
+    if (candidates[i].mode == rt::ExecutionMode::kSingle) baseline = i;
+    // The same program must produce the same region sequence everywhere.
+    SSOMP_CHECK(runs[i].regions.size() == runs[0].regions.size());
+  }
+
+  Advice advice;
+  advice.single_cycles = runs[baseline].total;
+  std::size_t best_overall = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].total < runs[best_overall].total) best_overall = i;
+  }
+  advice.best_overall = candidates[best_overall].name;
+  advice.best_overall_cycles = runs[best_overall].total;
+
+  sim::Cycles region_savings = 0;
+  for (std::size_t r = 0; r < runs[0].regions.size(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (runs[i].regions[r].cycles < runs[best].regions[r].cycles) {
+        best = i;
+      }
+    }
+    RegionAdvice ra;
+    ra.region = static_cast<int>(r);
+    ra.best = candidates[best].name;
+    ra.directive = directive_for(candidates[best]);
+    ra.best_cycles = runs[best].regions[r].cycles;
+    ra.single_cycles = runs[baseline].regions[r].cycles;
+    ra.gain_vs_single =
+        ra.best_cycles == 0
+            ? 0.0
+            : static_cast<double>(ra.single_cycles) /
+                      static_cast<double>(ra.best_cycles) -
+                  1.0;
+    region_savings += ra.single_cycles - ra.best_cycles;
+    advice.regions.push_back(ra);
+  }
+  advice.per_region_ideal_cycles = advice.single_cycles - region_savings;
+  return advice;
+}
+
+std::string format_advice(const Advice& advice) {
+  std::ostringstream out;
+  stats::Table table(
+      {"region", "best mode", "cycles", "vs single", "suggested directive"});
+  for (const auto& r : advice.regions) {
+    table.add_row({std::to_string(r.region), r.best,
+                   std::to_string(r.best_cycles),
+                   stats::Table::pct(r.gain_vs_single),
+                   r.directive.empty() ? "(run without slipstream)"
+                                       : r.directive});
+  }
+  out << table.to_string();
+  out << "\nwhole-program winner: " << advice.best_overall << " ("
+      << advice.best_overall_cycles << " cycles; single = "
+      << advice.single_cycles << ")\n";
+  out << "idealized per-region selection: " << advice.per_region_ideal_cycles
+      << " cycles ("
+      << stats::Table::pct(
+             static_cast<double>(advice.single_cycles) /
+                 static_cast<double>(advice.per_region_ideal_cycles) -
+             1.0)
+      << " over single)\n";
+  return out.str();
+}
+
+}  // namespace ssomp::core

@@ -1,0 +1,61 @@
+// Per-region execution-mode advisor.
+//
+// The paper's closing argument is that OpenMP + slipstream "provid[es]
+// run-time control and selection of the optimal execution mode for a
+// particular combination of system architecture, application, and problem
+// size" — and that "the decision is done per parallel region" (§3). The
+// advisor operationalizes that: it runs the workload once per candidate
+// configuration, aligns the per-region execution records, and recommends
+// the winning configuration for each region (as the SLIPSTREAM directive
+// text a programmer would paste in), plus the best whole-program setting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/workload.hpp"
+
+namespace ssomp::core {
+
+struct CandidateConfig {
+  std::string name;  // e.g. "single", "slip-L1"
+  rt::ExecutionMode mode = rt::ExecutionMode::kSingle;
+  slip::SlipstreamConfig slip = slip::SlipstreamConfig::disabled();
+};
+
+/// The default candidate set: the paper's four evaluated configurations.
+[[nodiscard]] std::vector<CandidateConfig> default_candidates();
+
+struct RegionAdvice {
+  int region = 0;
+  std::string best;            // winning candidate name
+  std::string directive;       // suggested SLIPSTREAM directive ("" = none)
+  sim::Cycles best_cycles = 0;
+  sim::Cycles single_cycles = 0;  // the same region under the baseline
+  double gain_vs_single = 0.0;
+};
+
+struct Advice {
+  std::vector<RegionAdvice> regions;
+  std::string best_overall;        // whole-program winner
+  sim::Cycles best_overall_cycles = 0;
+  sim::Cycles single_cycles = 0;
+  /// Sum over regions of each region's best time plus the baseline's
+  /// serial time — the (idealized) payoff of per-region selection.
+  sim::Cycles per_region_ideal_cycles = 0;
+};
+
+/// Probes `factory`'s workload under every candidate on `machine_config`
+/// and produces per-region recommendations. Workload runs must execute
+/// the same region sequence in every mode (true for OpenMP-style
+/// programs; region counts are checked).
+[[nodiscard]] Advice advise(const machine::MachineConfig& machine_config,
+                            const WorkloadFactory& factory,
+                            const std::vector<CandidateConfig>& candidates =
+                                default_candidates());
+
+/// Renders the advice as a table plus directive suggestions.
+[[nodiscard]] std::string format_advice(const Advice& advice);
+
+}  // namespace ssomp::core

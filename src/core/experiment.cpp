@@ -1,0 +1,68 @@
+#include "core/experiment.hpp"
+
+namespace ssomp::core {
+
+ExperimentConfig ExperimentConfig::single(int ncmp) {
+  ExperimentConfig c;
+  c.machine.ncmp = ncmp;
+  c.runtime.mode = rt::ExecutionMode::kSingle;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::double_mode(int ncmp) {
+  ExperimentConfig c;
+  c.machine.ncmp = ncmp;
+  c.runtime.mode = rt::ExecutionMode::kDouble;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::slipstream(int ncmp,
+                                              slip::SlipstreamConfig slip) {
+  ExperimentConfig c;
+  c.machine.ncmp = ncmp;
+  c.runtime.mode = rt::ExecutionMode::kSlipstream;
+  c.runtime.slip = slip;
+  return c;
+}
+
+double ExperimentResult::fraction(sim::TimeCategory c) const {
+  const auto total = static_cast<double>(team_breakdown.total());
+  if (total == 0) return 0.0;
+  return static_cast<double>(team_breakdown.get(c)) / total;
+}
+
+double ExperimentResult::barrier_fraction() const {
+  const auto total = static_cast<double>(team_breakdown.total());
+  if (total == 0) return 0.0;
+  return static_cast<double>(
+             team_breakdown.get(sim::TimeCategory::kBarrier) +
+             team_breakdown.get(sim::TimeCategory::kTokenWait) +
+             team_breakdown.get(sim::TimeCategory::kStreamWait)) /
+         total;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const WorkloadFactory& factory) {
+  machine::Machine machine(config.machine);
+  rt::Runtime runtime(machine, config.runtime);
+  std::unique_ptr<Workload> workload = factory(runtime);
+
+  ExperimentResult result;
+  result.cycles =
+      runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
+
+  for (sim::CpuId c = 0; c < machine.ncpus(); ++c) {
+    const sim::TimeBreakdown& b = machine.cpu(c).breakdown();
+    if (b.get(sim::TimeCategory::kBusy) > 0) {
+      result.team_breakdown += b;
+      ++result.participating_cpus;
+    }
+  }
+  result.mem = machine.mem().stats();
+  result.slip = runtime.slip_stats();
+  result.workload = workload->verify();
+  result.invariants_ok = machine.mem().check_invariants();
+  return result;
+}
+
+}  // namespace ssomp::core

@@ -1,0 +1,58 @@
+// Experiment driver: runs one workload on one machine/mode configuration
+// and collects everything the paper's figures report.
+#pragma once
+
+#include <string>
+
+#include "core/workload.hpp"
+#include "machine/machine.hpp"
+#include "rt/options.hpp"
+#include "stats/memstats.hpp"
+
+namespace ssomp::core {
+
+struct ExperimentConfig {
+  machine::MachineConfig machine{};
+  rt::RuntimeOptions runtime{};
+
+  /// Convenience constructors for the paper's three execution modes.
+  [[nodiscard]] static ExperimentConfig single(int ncmp);
+  [[nodiscard]] static ExperimentConfig double_mode(int ncmp);
+  [[nodiscard]] static ExperimentConfig slipstream(
+      int ncmp, slip::SlipstreamConfig slip);
+};
+
+struct ExperimentResult {
+  sim::Cycles cycles = 0;              // total simulated execution time
+  sim::TimeBreakdown team_breakdown;   // summed over participating CPUs
+  int participating_cpus = 0;
+  stats::MemStats mem;
+  rt::SlipRegionStats slip;
+  WorkloadResult workload;
+  bool invariants_ok = false;
+
+  /// Fraction of aggregate accounted CPU time in a category (the bars of
+  /// the paper's Figures 2 and 4). TokenWait and StreamWait fold into the
+  /// barrier category as in the paper's plots.
+  [[nodiscard]] double fraction(sim::TimeCategory c) const;
+
+  /// Barrier fraction including the slipstream-specific waits.
+  [[nodiscard]] double barrier_fraction() const;
+};
+
+/// Runs `factory`'s workload under `config`; the machine is constructed
+/// fresh, so runs are fully independent and deterministic.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const WorkloadFactory& factory);
+
+/// speedup = base_cycles / this_cycles (the paper normalizes to
+/// single-mode execution).
+[[nodiscard]] inline double speedup(const ExperimentResult& base,
+                                    const ExperimentResult& other) {
+  return other.cycles == 0
+             ? 0.0
+             : static_cast<double>(base.cycles) /
+                   static_cast<double>(other.cycles);
+}
+
+}  // namespace ssomp::core

@@ -1,0 +1,160 @@
+#include "core/json.hpp"
+
+#include <sstream>
+
+namespace ssomp::core {
+
+namespace {
+
+/// Minimal streaming JSON object writer.
+class Obj {
+ public:
+  explicit Obj(std::ostringstream& out) : out_(out) { out_ << '{'; }
+
+  void key(const std::string& k) {
+    if (!first_) out_ << ',';
+    first_ = false;
+    out_ << '"' << k << "\":";
+  }
+  void field(const std::string& k, std::uint64_t v) {
+    key(k);
+    out_ << v;
+  }
+  void field(const std::string& k, int v) {
+    key(k);
+    out_ << v;
+  }
+  void field(const std::string& k, double v) {
+    key(k);
+    // JSON has no NaN/Inf; results never legitimately contain them.
+    out_ << (v == v ? v : 0.0);
+  }
+  void field(const std::string& k, bool v) {
+    key(k);
+    out_ << (v ? "true" : "false");
+  }
+  void field(const std::string& k, const std::string& v) {
+    key(k);
+    out_ << '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out_ << ' ';
+        continue;
+      }
+      out_ << c;
+    }
+    out_ << '"';
+  }
+  void close() { out_ << '}'; }
+
+ private:
+  std::ostringstream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string to_json(const ExperimentConfig& config,
+                    const ExperimentResult& result) {
+  std::ostringstream out;
+  out.precision(12);
+  Obj root(out);
+
+  root.key("config");
+  {
+    Obj o(out);
+    o.field("ncmp", config.machine.ncmp);
+    o.field("cpus", config.machine.ncpus());
+    o.field("mode", std::string(to_string(config.runtime.mode)));
+    o.field("sync", std::string(to_string(config.runtime.slip.type)));
+    o.field("tokens", config.runtime.slip.tokens);
+    o.field("l1_bytes",
+            static_cast<std::uint64_t>(config.machine.mem.l1_size_bytes));
+    o.field("l2_bytes",
+            static_cast<std::uint64_t>(config.machine.mem.l2_size_bytes));
+    o.close();
+  }
+
+  root.key("result");
+  {
+    Obj o(out);
+    o.field("cycles", result.cycles);
+    o.field("participating_cpus", result.participating_cpus);
+    o.field("verified", result.workload.verified);
+    o.field("invariants_ok", result.invariants_ok);
+    o.field("checksum", result.workload.checksum);
+    o.field("detail", result.workload.detail);
+    o.close();
+  }
+
+  root.key("breakdown");
+  {
+    Obj o(out);
+    for (int c = 0; c < sim::kTimeCategoryCount; ++c) {
+      const auto cat = static_cast<sim::TimeCategory>(c);
+      o.field(std::string(to_string(cat)),
+              result.fraction(cat));
+    }
+    o.close();
+  }
+
+  root.key("memory");
+  {
+    Obj o(out);
+    const auto& m = result.mem;
+    o.field("loads", m.loads);
+    o.field("stores", m.stores);
+    o.field("prefetches", m.prefetches);
+    o.field("l1_hits", m.l1_hits);
+    o.field("l2_hits", m.l2_hits);
+    o.field("l2_fills", m.l2_fills);
+    o.field("merges", m.merges);
+    o.field("fills_local", m.fills_local);
+    o.field("fills_remote_clean", m.fills_remote_clean);
+    o.field("fills_dirty", m.fills_dirty);
+    o.field("upgrades", m.upgrades);
+    o.field("invalidations", m.invalidations);
+    o.field("self_invalidations", m.self_invalidations);
+    o.field("writebacks", m.writebacks);
+    o.close();
+  }
+
+  root.key("request_classes");
+  {
+    Obj o(out);
+    using stats::ReqClass;
+    using stats::ReqKind;
+    for (ReqKind kind : {ReqKind::kRead, ReqKind::kReadEx}) {
+      o.key(std::string(to_string(kind)));
+      Obj k(out);
+      for (ReqClass cls :
+           {ReqClass::kATimely, ReqClass::kALate, ReqClass::kAOnly,
+            ReqClass::kRTimely, ReqClass::kRLate, ReqClass::kROnly}) {
+        k.field(std::string(to_string(cls)),
+                result.mem.req_class.fraction(kind, cls));
+      }
+      k.field("total", result.mem.req_class.total(kind));
+      k.close();
+    }
+    o.close();
+  }
+
+  root.key("slipstream");
+  {
+    Obj o(out);
+    const auto& s = result.slip;
+    o.field("tokens_consumed", s.tokens_consumed);
+    o.field("tokens_inserted", s.tokens_inserted);
+    o.field("recoveries", s.recoveries);
+    o.field("forwarded_chunks", s.forwarded_chunks);
+    o.field("converted_stores", s.converted_stores);
+    o.field("dropped_stores", s.dropped_stores);
+    o.close();
+  }
+
+  root.close();
+  return out.str();
+}
+
+}  // namespace ssomp::core

@@ -1,0 +1,18 @@
+// JSON serialization of experiment configurations and results, for
+// scripting around the CLI runner (tools/ssomp_run) without parsing
+// tables. Hand-rolled writer — no external dependencies.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace ssomp::core {
+
+/// Serializes a config/result pair as a single JSON object with
+/// "config", "result", "breakdown", "memory", "request_classes" and
+/// "slipstream" sections.
+[[nodiscard]] std::string to_json(const ExperimentConfig& config,
+                                  const ExperimentResult& result);
+
+}  // namespace ssomp::core

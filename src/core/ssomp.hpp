@@ -1,0 +1,34 @@
+// ssomp — slipstream-aware OpenMP on a simulated CMP-based DSM machine.
+//
+// Umbrella header: everything a downstream user needs to write and run a
+// slipstream-enabled OpenMP-style program.
+//
+// Quick tour (see examples/quickstart.cpp for a runnable version):
+//
+//   machine::MachineConfig mc;            // 16 dual-CPU CMPs, Table 1
+//   machine::Machine machine(mc);
+//   rt::RuntimeOptions opts;
+//   opts.mode = rt::ExecutionMode::kSlipstream;
+//   opts.slip = slip::SlipstreamConfig::zero_token_global();
+//   rt::Runtime runtime(machine, opts);
+//
+//   rt::SharedArray<double> x(runtime, n, "x");
+//   runtime.run([&](rt::SerialCtx& sc) {
+//     sc.parallel([&](rt::ThreadCtx& t) {
+//       t.for_loop(0, n, [&](long i) { x.write(t, i, 2.0 * x.read(t, i)); });
+//     }, "SLIPSTREAM(GLOBAL_SYNC, 0)");
+//   });
+#pragma once
+
+#include "core/advisor.hpp"      // IWYU pragma: export
+#include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/workload.hpp"     // IWYU pragma: export
+#include "front/directive.hpp"   // IWYU pragma: export
+#include "machine/machine.hpp"   // IWYU pragma: export
+#include "mem/memsys.hpp"        // IWYU pragma: export
+#include "rt/options.hpp"        // IWYU pragma: export
+#include "rt/runtime.hpp"        // IWYU pragma: export
+#include "rt/shared.hpp"         // IWYU pragma: export
+#include "sim/engine.hpp"        // IWYU pragma: export
+#include "slip/config.hpp"       // IWYU pragma: export
+#include "stats/report.hpp"      // IWYU pragma: export

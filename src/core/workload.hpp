@@ -1,0 +1,37 @@
+// Workload abstraction: a simulated OpenMP program plus its verification.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rt/runtime.hpp"
+
+namespace ssomp::core {
+
+struct WorkloadResult {
+  bool verified = false;
+  double checksum = 0.0;   // workload-defined figure of merit
+  std::string detail;      // human-readable verification summary
+};
+
+/// A benchmark program. Lifecycle per experiment:
+///   1. construction allocates shared arrays on the runtime and fills host
+///      initial values (unsimulated);
+///   2. run() executes the simulated program (serial parts + regions);
+///   3. verify() checks the host state against a serial reference.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void run(rt::SerialCtx& sc) = 0;
+  [[nodiscard]] virtual WorkloadResult verify() = 0;
+};
+
+/// Factory: builds the workload against a fresh runtime (one per
+/// experiment, since the simulated machine is single-use).
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(rt::Runtime&)>;
+
+}  // namespace ssomp::core

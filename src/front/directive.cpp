@@ -1,0 +1,202 @@
+#include "front/directive.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace ssomp::front {
+
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_commas(std::string_view s) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = s.find(',');
+    if (pos == std::string_view::npos) {
+      if (!trim(s).empty()) parts.push_back(trim(s));
+      break;
+    }
+    parts.push_back(trim(s.substr(0, pos)));
+    s.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+bool parse_nonneg_int(std::string_view s, int& out) {
+  if (s.empty() || s.size() > 9) return false;
+  long v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+std::optional<slip::SyncType> sync_type_from(std::string_view word,
+                                             bool allow_none) {
+  const std::string w = upper(word);
+  if (w == "GLOBAL_SYNC") return slip::SyncType::kGlobal;
+  if (w == "LOCAL_SYNC") return slip::SyncType::kLocal;
+  if (w == "RUNTIME_SYNC") return slip::SyncType::kRuntime;
+  if (allow_none && w == "NONE") return slip::SyncType::kNone;
+  return std::nullopt;
+}
+
+/// Parses the "[type] [, tokens]" argument list shared by the directive
+/// and the environment variable.
+ParseResult<ParsedSlipstream> parse_args(std::string_view args,
+                                         bool allow_none) {
+  using R = ParseResult<ParsedSlipstream>;
+  ParsedSlipstream out;
+  const auto parts = split_commas(args);
+  if (parts.size() > 2) {
+    return R::failure("too many arguments (expected [type][, tokens])");
+  }
+  std::size_t i = 0;
+  if (i < parts.size()) {
+    if (auto t = sync_type_from(parts[i], allow_none)) {
+      out.type = *t;
+      ++i;
+    } else if (parts.size() == 2) {
+      return R::failure("unknown synchronization type '" +
+                        std::string(parts[i]) + "'");
+    }
+  }
+  if (i < parts.size()) {
+    int tokens = 0;
+    if (!parse_nonneg_int(parts[i], tokens)) {
+      return R::failure("invalid token count '" + std::string(parts[i]) +
+                        "'");
+    }
+    out.tokens = tokens;
+    ++i;
+  }
+  if (i != parts.size()) {
+    return R::failure("trailing arguments after token count");
+  }
+  return R::success(out);
+}
+
+}  // namespace
+
+ParseResult<ParsedSlipstream> parse_slipstream_directive(
+    std::string_view text) {
+  using R = ParseResult<ParsedSlipstream>;
+  std::string_view s = trim(text);
+  // Strip optional sentinels.
+  for (std::string_view sentinel : {"!$OMP", "!$omp", "#pragma omp"}) {
+    if (s.size() >= sentinel.size() &&
+        upper(s.substr(0, sentinel.size())) == upper(sentinel)) {
+      s = trim(s.substr(sentinel.size()));
+      break;
+    }
+  }
+  const std::string head = upper(s.substr(0, 10));
+  if (head != "SLIPSTREAM") {
+    return R::failure("not a SLIPSTREAM directive");
+  }
+  s = trim(s.substr(10));
+  if (s.empty()) return R::success(ParsedSlipstream{});
+  if (s.front() != '(' || s.back() != ')') {
+    return R::failure("malformed argument list");
+  }
+  return parse_args(trim(s.substr(1, s.size() - 2)), /*allow_none=*/false);
+}
+
+ParseResult<ParsedSlipstream> parse_slipstream_env(std::string_view text) {
+  return parse_args(trim(text), /*allow_none=*/true);
+}
+
+ParseResult<ScheduleClause> parse_schedule_clause(std::string_view text) {
+  using R = ParseResult<ScheduleClause>;
+  std::string_view s = trim(text);
+  const std::string head = upper(s.substr(0, 8));
+  if (head == "SCHEDULE") {
+    s = trim(s.substr(8));
+    if (s.empty() || s.front() != '(' || s.back() != ')') {
+      return R::failure("malformed schedule clause");
+    }
+    s = trim(s.substr(1, s.size() - 2));
+  }
+  const auto parts = split_commas(s);
+  if (parts.empty() || parts.size() > 2) {
+    return R::failure("expected kind[, chunk]");
+  }
+  ScheduleClause out;
+  const std::string kind = upper(parts[0]);
+  if (kind == "STATIC") {
+    out.kind = ScheduleKind::kStatic;
+  } else if (kind == "DYNAMIC") {
+    out.kind = ScheduleKind::kDynamic;
+  } else if (kind == "GUIDED") {
+    out.kind = ScheduleKind::kGuided;
+  } else if (kind == "AFFINITY") {
+    out.kind = ScheduleKind::kAffinity;
+  } else {
+    return R::failure("unknown schedule kind '" + std::string(parts[0]) +
+                      "'");
+  }
+  if (parts.size() == 2) {
+    int chunk = 0;
+    if (!parse_nonneg_int(parts[1], chunk) || chunk <= 0) {
+      return R::failure("invalid chunk size '" + std::string(parts[1]) + "'");
+    }
+    out.chunk = chunk;
+  }
+  return R::success(out);
+}
+
+bool DirectiveControl::set_env(std::string_view value) {
+  if (trim(value).empty()) {
+    env_.reset();
+    return true;
+  }
+  auto r = parse_slipstream_env(value);
+  if (!r.ok) return false;
+  env_ = r.value;
+  return true;
+}
+
+void DirectiveControl::apply_serial(const ParsedSlipstream& d) {
+  if (d.type) global_.type = *d.type;
+  if (d.tokens) global_.tokens = *d.tokens;
+}
+
+slip::SlipstreamConfig DirectiveControl::resolve(
+    const std::optional<ParsedSlipstream>& region) const {
+  slip::SlipstreamConfig cfg = global_;
+  if (region) {
+    if (region->type) cfg.type = *region->type;
+    if (region->tokens) cfg.tokens = *region->tokens;
+  }
+  if (cfg.type == slip::SyncType::kRuntime) {
+    if (env_) {
+      cfg.type = env_->type.value_or(default_config().type);
+      if (env_->tokens) cfg.tokens = *env_->tokens;
+    } else {
+      cfg.type = default_config().type;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace ssomp::front

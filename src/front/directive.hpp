@@ -1,0 +1,119 @@
+// The slipstream directive front-end (paper §3.3).
+//
+// This is the compiler-visible surface of the extension. The Omni-based
+// implementation maps the directive to a runtime-library call; here the
+// same grammar is parsed from strings so applications (and tests) can use
+// the exact syntax of the paper:
+//
+//     SLIPSTREAM([type] [, tokens])
+//       type   := GLOBAL_SYNC | LOCAL_SYNC | RUNTIME_SYNC
+//       tokens := non-negative integer (default 0)
+//
+// and for the environment variable OMP_SLIPSTREAM the same arguments, with
+// the additional type NONE that disables slipstream execution.
+//
+// Placement semantics: a directive in the serial part sets the program-
+// global configuration until overridden by a later serial directive; a
+// directive attached to a parallel region takes precedence for that region
+// only, and the global setting is restored on region exit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "slip/config.hpp"
+
+namespace ssomp::front {
+
+/// A parsed SLIPSTREAM directive / OMP_SLIPSTREAM value. Absent fields
+/// were not specified and inherit from the enclosing scope.
+struct ParsedSlipstream {
+  std::optional<slip::SyncType> type;
+  std::optional<int> tokens;
+};
+
+template <typename T>
+struct ParseResult {
+  bool ok = false;
+  T value{};
+  std::string error;
+
+  static ParseResult success(T v) { return {true, std::move(v), {}}; }
+  static ParseResult failure(std::string e) { return {false, {}, std::move(e)}; }
+};
+
+/// Parses a directive string, e.g. "SLIPSTREAM(LOCAL_SYNC, 1)".
+/// The leading sentinel ("!$OMP" / "#pragma omp") may be present or not.
+[[nodiscard]] ParseResult<ParsedSlipstream> parse_slipstream_directive(
+    std::string_view text);
+
+/// Parses an OMP_SLIPSTREAM environment value, e.g. "GLOBAL_SYNC,2" or
+/// "NONE". Same grammar as the directive arguments (no SLIPSTREAM keyword).
+[[nodiscard]] ParseResult<ParsedSlipstream> parse_slipstream_env(
+    std::string_view text);
+
+/// OpenMP loop-schedule clause, e.g. "schedule(dynamic, 4)" or "static".
+/// kAffinity is the affinity-scheduling extension the paper references
+/// ([16]): per-thread partitions consumed locally first, with stealing
+/// from the most-loaded partition when a thread runs dry — dynamic load
+/// balance without wholesale cache-affinity loss.
+enum class ScheduleKind : std::uint8_t {
+  kStatic = 0,
+  kDynamic,
+  kGuided,
+  kAffinity,
+};
+
+struct ScheduleClause {
+  ScheduleKind kind = ScheduleKind::kStatic;
+  long chunk = 0;  // 0 = implementation default
+};
+
+[[nodiscard]] ParseResult<ScheduleClause> parse_schedule_clause(
+    std::string_view text);
+
+[[nodiscard]] constexpr std::string_view to_string(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kStatic: return "static";
+    case ScheduleKind::kDynamic: return "dynamic";
+    case ScheduleKind::kGuided: return "guided";
+    case ScheduleKind::kAffinity: return "affinity";
+  }
+  return "?";
+}
+
+/// Program-level directive state: global (serial-part) setting, the
+/// environment variable, and per-region resolution.
+class DirectiveControl {
+ public:
+  /// Installs the OMP_SLIPSTREAM environment value (empty = unset).
+  /// Returns false (and keeps the previous value) on a parse error.
+  bool set_env(std::string_view value);
+
+  /// A SLIPSTREAM directive encountered in the serial part.
+  void apply_serial(const ParsedSlipstream& d);
+
+  /// Resolves the effective configuration for a parallel region carrying
+  /// an optional region-level directive. RUNTIME_SYNC is replaced by the
+  /// environment value (or the implementation default when unset).
+  [[nodiscard]] slip::SlipstreamConfig resolve(
+      const std::optional<ParsedSlipstream>& region = std::nullopt) const;
+
+  [[nodiscard]] const slip::SlipstreamConfig& global() const {
+    return global_;
+  }
+
+  /// Implementation default (paper §3.3: "we assumed it to be global
+  /// synchronization", zero initial tokens).
+  [[nodiscard]] static slip::SlipstreamConfig default_config() {
+    return slip::SlipstreamConfig{.type = slip::SyncType::kGlobal,
+                                  .tokens = 0};
+  }
+
+ private:
+  slip::SlipstreamConfig global_ = default_config();
+  std::optional<ParsedSlipstream> env_;
+};
+
+}  // namespace ssomp::front

@@ -1,0 +1,286 @@
+#include "front/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ssomp::front {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Extracts the directive text after an OpenMP sentinel, if any.
+bool omp_directive(std::string_view line, std::string& out) {
+  const std::string l = lower(line);
+  for (const std::string& sentinel :
+       {std::string("#pragma omp"), std::string("!$omp")}) {
+    const auto pos = l.find(sentinel);
+    if (pos != std::string::npos) {
+      out = std::string(trim(line.substr(pos + sentinel.size())));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// First word of a directive.
+std::string head_word(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+    ++i;
+  }
+  return lower(s.substr(0, i));
+}
+
+/// Finds "slipstream(... )" or bare "slipstream" inside a directive; true
+/// if present, with the full token text in `out`.
+bool find_slipstream_clause(std::string_view text, std::string& out) {
+  const std::string l = lower(text);
+  const auto pos = l.find("slipstream");
+  if (pos == std::string::npos) return false;
+  std::size_t end = pos + 10;
+  if (end < l.size()) {
+    // Skip whitespace, then an optional parenthesized argument list.
+    std::size_t i = end;
+    while (i < l.size() && std::isspace(static_cast<unsigned char>(l[i]))) {
+      ++i;
+    }
+    if (i < l.size() && l[i] == '(') {
+      const auto close = l.find(')', i);
+      end = close == std::string::npos ? l.size() : close + 1;
+    }
+  }
+  out = std::string(text.substr(pos, end - pos));
+  return true;
+}
+
+std::string schedule_of(std::string_view text) {
+  const std::string l = lower(text);
+  const auto pos = l.find("schedule");
+  if (pos == std::string::npos) return "static (default)";
+  const auto open = l.find('(', pos);
+  const auto close = l.find(')', pos);
+  if (open == std::string::npos || close == std::string::npos) {
+    return "malformed";
+  }
+  return std::string(trim(l.substr(open + 1, close - open - 1)));
+}
+
+std::string describe_sync(const slip::SlipstreamConfig& cfg) {
+  if (!cfg.enabled()) return "disabled";
+  std::string out(to_string(cfg.type));
+  out += ", tokens=" + std::to_string(cfg.tokens);
+  return out;
+}
+
+}  // namespace
+
+SourceReport analyze_source(std::string_view source,
+                            std::string_view omp_slipstream_env) {
+  SourceReport report;
+  DirectiveControl control;
+  if (!control.set_env(omp_slipstream_env)) {
+    report.errors.push_back("0: invalid OMP_SLIPSTREAM value '" +
+                            std::string(omp_slipstream_env) + "'");
+  }
+
+  int depth = 0;  // parallel-region brace depth (approximate)
+  std::istringstream stream{std::string(source)};
+  std::string line;
+  int lineno = 0;
+  bool pending_region_scope = false;  // a parallel directive awaiting '{'
+
+  while (std::getline(stream, line)) {
+    ++lineno;
+    // Track region extent by brace count once a parallel directive opened.
+    for (char c : line) {
+      if (c == '{') {
+        if (pending_region_scope || depth > 0) ++depth;
+        pending_region_scope = false;
+      } else if (c == '}') {
+        if (depth > 0) --depth;
+      }
+    }
+
+    std::string text;
+    if (!omp_directive(line, text)) continue;
+    const std::string kind = head_word(text);
+
+    ConstructReport c;
+    c.line = lineno;
+    c.clauses = text;
+
+    if (kind == "slipstream") {
+      ++report.slipstream_directives;
+      auto parsed = parse_slipstream_directive(text);
+      if (!parsed.ok) {
+        report.errors.push_back(std::to_string(lineno) + ": " + parsed.error);
+        continue;
+      }
+      if (depth == 0) {
+        control.apply_serial(parsed.value);
+        c.construct = "slipstream (serial)";
+        c.r_action = "sets the program-global slipstream configuration";
+        c.a_action = "-";
+        c.sync = describe_sync(control.resolve());
+      } else {
+        report.errors.push_back(
+            std::to_string(lineno) +
+            ": SLIPSTREAM inside a parallel region has no effect (the "
+            "execution mode is fixed for the region, §3.1)");
+        continue;
+      }
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+
+    if (kind == "parallel") {
+      ++report.parallel_regions;
+      pending_region_scope = true;
+      std::optional<ParsedSlipstream> region;
+      std::string clause;
+      if (find_slipstream_clause(text, clause)) {
+        ++report.slipstream_directives;
+        auto parsed = parse_slipstream_directive(clause);
+        if (parsed.ok) {
+          region = parsed.value;
+        } else {
+          report.errors.push_back(std::to_string(lineno) + ": " +
+                                  parsed.error);
+        }
+      }
+      const slip::SlipstreamConfig cfg = control.resolve(region);
+      c.construct = text.find("for") != std::string::npos ? "parallel for"
+                                                          : "parallel";
+      c.r_action = "spawn team; execute region";
+      c.a_action = cfg.enabled()
+                       ? "paired A-streams launched (same thread ids, "
+                         "halved thread count)"
+                       : "second processors stay idle";
+      c.sync = describe_sync(cfg);
+      if (c.construct == "parallel for") {
+        c.clauses += "  [schedule: " + schedule_of(text) + "]";
+      }
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+
+    if (kind == "for" || kind == "do") {
+      c.construct = "for";
+      const std::string sched = schedule_of(text);
+      c.r_action = "worksharing (" + sched + ")";
+      c.a_action =
+          sched.find("static") != std::string::npos
+              ? "computes identical bounds independently (§3.2.1)"
+              : "waits on the syscall semaphore for R's chunk decision "
+                "(§3.2.2)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "barrier") {
+      c.construct = "barrier";
+      c.r_action = "arrive; insert token (entry=LOCAL, exit=GLOBAL)";
+      c.a_action = "consume token; skip the barrier (§2.2)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "single") {
+      c.construct = "single";
+      c.r_action = "first arriver executes";
+      c.a_action = "skipped — the executor is unpredictable (§3.1)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "master") {
+      c.construct = "master";
+      c.r_action = "thread 0 executes";
+      c.a_action = "master's A-stream executes too (§3.1)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "critical") {
+      c.construct = "critical";
+      c.r_action = "lock; execute; unlock";
+      c.a_action = "skipped by default (data would migrate, §3.1)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "atomic") {
+      c.construct = "atomic";
+      c.r_action = "exclusive RMW";
+      c.a_action = "exclusive prefetch (keeps the data from migrating)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "sections" || kind == "section") {
+      c.construct = kind;
+      c.r_action = "functional worksharing";
+      c.a_action = "static assignment: executes ahead; dynamic: forwarded";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    if (kind == "flush") {
+      c.construct = "flush";
+      c.r_action = "void (hardware cache coherence)";
+      c.a_action = "skipped — produces no shared values (§3.1)";
+      report.constructs.push_back(std::move(c));
+      continue;
+    }
+    // Unknown directive: report it so typos do not pass silently.
+    report.errors.push_back(std::to_string(lineno) +
+                            ": unrecognized OpenMP directive '" + kind + "'");
+  }
+
+  report.final_global = control.resolve();
+  return report;
+}
+
+std::string format_report(const SourceReport& report) {
+  std::ostringstream out;
+  out << "slipstream compile report\n";
+  out << "=========================\n\n";
+  // Column widths.
+  std::size_t wc = 12, wr = 10, wa = 10;
+  for (const auto& c : report.constructs) {
+    wc = std::max(wc, c.construct.size());
+    wr = std::max(wr, c.r_action.size());
+    wa = std::max(wa, c.a_action.size());
+  }
+  for (const auto& c : report.constructs) {
+    out << "line " << c.line << ":\t" << c.construct;
+    if (!c.sync.empty()) out << "  [A/R sync: " << c.sync << "]";
+    out << "\n";
+    out << "\tR-stream: " << c.r_action << "\n";
+    out << "\tA-stream: " << c.a_action << "\n";
+  }
+  out << "\nsummary: " << report.parallel_regions << " parallel region(s), "
+      << report.slipstream_directives << " SLIPSTREAM directive(s), "
+      << report.errors.size() << " diagnostic(s)\n";
+  out << "global setting after serial part: "
+      << to_string(report.final_global.type)
+      << ", tokens=" << report.final_global.tokens << "\n";
+  for (const auto& e : report.errors) {
+    out << "warning: " << e << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ssomp::front

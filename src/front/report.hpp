@@ -1,0 +1,47 @@
+// Slipstream compile report (the "-qreport" of the slipstream-aware
+// compiler).
+//
+// The paper's compiler change is small — map the SLIPSTREAM directive to a
+// runtime call — but the *semantics* of what the A-stream will do at each
+// OpenMP construct (§3.1) are non-obvious to a programmer. This analyzer
+// scans OpenMP-annotated source text (C pragmas or Fortran sentinels) and
+// reports, per construct, the R-stream and A-stream actions and the
+// resolved A/R synchronization of each parallel region, applying the §3.3
+// precedence rules (serial-part globals, region overrides, RUNTIME_SYNC
+// via OMP_SLIPSTREAM).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "front/directive.hpp"
+
+namespace ssomp::front {
+
+struct ConstructReport {
+  int line = 0;                 // 1-based source line
+  std::string construct;        // "parallel", "for", "critical", ...
+  std::string clauses;          // raw clause text
+  std::string r_action;         // what the R-stream does
+  std::string a_action;         // what the A-stream does (§3.1)
+  std::string sync;             // resolved sync for parallel regions
+};
+
+struct SourceReport {
+  std::vector<ConstructReport> constructs;
+  std::vector<std::string> errors;      // "<line>: message"
+  slip::SlipstreamConfig final_global;  // global setting after the scan
+  int parallel_regions = 0;
+  int slipstream_directives = 0;
+};
+
+/// Analyzes `source`. `omp_slipstream_env` is the OMP_SLIPSTREAM value
+/// ("" = unset) used to resolve RUNTIME_SYNC.
+[[nodiscard]] SourceReport analyze_source(std::string_view source,
+                                          std::string_view omp_slipstream_env);
+
+/// Renders the report as an aligned text table with a summary footer.
+[[nodiscard]] std::string format_report(const SourceReport& report);
+
+}  // namespace ssomp::front

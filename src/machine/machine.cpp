@@ -1,0 +1,24 @@
+#include "machine/machine.hpp"
+
+namespace ssomp::machine {
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  SSOMP_CHECK(config.ncmp >= 1 && config.ncmp <= 64);
+  SSOMP_CHECK(config.cpus_per_cmp == 2);  // slipstream targets dual-CPU CMPs
+  for (int n = 0; n < config.ncmp; ++n) {
+    for (int c = 0; c < config.cpus_per_cmp; ++c) {
+      engine_.add_cpu("n" + std::to_string(n) + ".p" + std::to_string(c));
+    }
+  }
+  mem_ = std::make_unique<mem::MemorySystem>(config.mem, config.ncmp,
+                                             config.cpus_per_cmp);
+  for (int n = 0; n < config.ncmp; ++n) {
+    // One cache line per mailbox so pairs never false-share.
+    const sim::Addr mailbox =
+        addr_space_.alloc_runtime(config.mem.line_bytes);
+    pairs_.push_back(std::make_unique<slip::SlipPair>(
+        r_cpu_of(n), a_cpu_of(n), config.mem.token_register_cycles, mailbox));
+  }
+}
+
+}  // namespace ssomp::machine

@@ -1,0 +1,70 @@
+// The simulated CMP-based DSM multiprocessor (paper §5).
+//
+// A Machine is N CMP nodes, each with two processors, a shared L2, a slice
+// of globally-shared memory, and the per-CMP slipstream hardware (token
+// semaphore register pair + scheduling mailbox). Composes the simulation
+// engine, the memory system and the slipstream pairs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addrspace.hpp"
+#include "mem/memsys.hpp"
+#include "mem/params.hpp"
+#include "sim/engine.hpp"
+#include "slip/pair.hpp"
+
+namespace ssomp::machine {
+
+struct MachineConfig {
+  int ncmp = 16;          // paper: "composed of 16 CMPs"
+  int cpus_per_cmp = 2;   // dual-processor CMP nodes
+  mem::MemParams mem{};
+
+  [[nodiscard]] int ncpus() const { return ncmp * cpus_per_cmp; }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] int ncmp() const { return config_.ncmp; }
+  [[nodiscard]] int ncpus() const { return config_.ncpus(); }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] mem::MemorySystem& mem() { return *mem_; }
+  [[nodiscard]] mem::AddrSpace& addr_space() { return addr_space_; }
+
+  [[nodiscard]] sim::SimCpu& cpu(sim::CpuId id) { return engine_.cpu(id); }
+  [[nodiscard]] sim::NodeId node_of(sim::CpuId id) const {
+    return id / config_.cpus_per_cmp;
+  }
+
+  /// R-stream processor of a CMP (first CPU), A-stream processor (second).
+  [[nodiscard]] sim::CpuId r_cpu_of(sim::NodeId node) const {
+    return node * config_.cpus_per_cmp;
+  }
+  [[nodiscard]] sim::CpuId a_cpu_of(sim::NodeId node) const {
+    return node * config_.cpus_per_cmp + 1;
+  }
+
+  [[nodiscard]] slip::SlipPair& pair(sim::NodeId node) {
+    return *pairs_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  MachineConfig config_;
+  sim::Engine engine_;
+  mem::AddrSpace addr_space_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+  std::vector<std::unique_ptr<slip::SlipPair>> pairs_;
+};
+
+}  // namespace ssomp::machine

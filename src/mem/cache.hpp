@@ -1,0 +1,147 @@
+// Metadata-only set-associative cache with true-LRU replacement.
+//
+// The simulator tracks cache-line *state*, not data: workload values live
+// once in host memory, so the A-stream's skipped stores can never corrupt
+// the R-stream, while hit/miss behaviour and coherence traffic are fully
+// modeled. The per-line `Meta` payload carries protocol and classification
+// bookkeeping (who fetched the line, who referenced it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/types.hpp"
+
+namespace ssomp::mem {
+
+enum class LineState : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,  // clean, sole owner (MESI extension; directory-side it is
+               // tracked as Modified-with-owner and forwards like dirty)
+  kModified,
+};
+
+template <typename Meta>
+class SetAssocCache {
+ public:
+  struct Line {
+    sim::Addr line_addr = 0;  // address of the first byte of the line
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;  // larger = more recently used
+    Meta meta{};
+
+    [[nodiscard]] bool valid() const { return state != LineState::kInvalid; }
+  };
+
+  struct Evicted {
+    bool valid = false;
+    sim::Addr line_addr = 0;
+    LineState state = LineState::kInvalid;
+    Meta meta{};
+  };
+
+  SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                std::uint32_t line_bytes)
+      : line_bytes_(line_bytes), assoc_(assoc) {
+    SSOMP_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+    SSOMP_CHECK(assoc > 0);
+    SSOMP_CHECK(size_bytes % (assoc * line_bytes) == 0);
+    sets_ = size_bytes / (assoc * line_bytes);
+    SSOMP_CHECK((sets_ & (sets_ - 1)) == 0);
+    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+  }
+
+  [[nodiscard]] sim::Addr line_of(sim::Addr addr) const {
+    return addr & ~static_cast<sim::Addr>(line_bytes_ - 1);
+  }
+
+  /// Looks up a line; returns nullptr on miss. Does not update LRU.
+  [[nodiscard]] Line* find(sim::Addr addr) {
+    const sim::Addr la = line_of(addr);
+    Line* set = set_of(la);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      if (set[w].valid() && set[w].line_addr == la) return &set[w];
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const Line* find(sim::Addr addr) const {
+    return const_cast<SetAssocCache*>(this)->find(addr);
+  }
+
+  /// Marks a line most-recently-used.
+  void touch(Line& line) { line.lru = ++lru_clock_; }
+
+  /// Allocates a line for `addr`, evicting the LRU way if the set is full.
+  /// The victim (if any) is reported through `evicted` so the caller can
+  /// run writeback/invalidation protocol actions. The returned line is
+  /// valid, MRU, with default-constructed Meta.
+  Line& insert(sim::Addr addr, LineState state, Evicted& evicted) {
+    const sim::Addr la = line_of(addr);
+    SSOMP_DCHECK(find(la) == nullptr);
+    Line* set = set_of(la);
+    Line* victim = &set[0];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      if (!set[w].valid()) {
+        victim = &set[w];
+        break;
+      }
+      if (set[w].lru < victim->lru) victim = &set[w];
+    }
+    evicted = Evicted{};
+    if (victim->valid()) {
+      evicted.valid = true;
+      evicted.line_addr = victim->line_addr;
+      evicted.state = victim->state;
+      evicted.meta = victim->meta;
+    }
+    victim->line_addr = la;
+    victim->state = state;
+    victim->meta = Meta{};
+    touch(*victim);
+    return *victim;
+  }
+
+  /// Invalidates the line containing `addr` if present; returns its prior
+  /// contents for protocol bookkeeping.
+  Evicted invalidate(sim::Addr addr) {
+    Evicted out;
+    if (Line* l = find(addr)) {
+      out.valid = true;
+      out.line_addr = l->line_addr;
+      out.state = l->state;
+      out.meta = l->meta;
+      l->state = LineState::kInvalid;
+    }
+    return out;
+  }
+
+  /// Applies `fn` to every valid line (used to finalize classification at
+  /// the end of a run and in invariant-checking tests).
+  void for_each(const std::function<void(Line&)>& fn) {
+    for (Line& l : lines_) {
+      if (l.valid()) fn(l);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t sets() const { return sets_; }
+  [[nodiscard]] std::uint32_t assoc() const { return assoc_; }
+  [[nodiscard]] std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  [[nodiscard]] Line* set_of(sim::Addr line_addr) {
+    const std::size_t index = (line_addr / line_bytes_) & (sets_ - 1);
+    return &lines_[index * assoc_];
+  }
+
+  std::uint32_t line_bytes_;
+  std::uint32_t assoc_;
+  std::uint32_t sets_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::vector<Line> lines_;
+};
+
+}  // namespace ssomp::mem

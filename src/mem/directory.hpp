@@ -1,0 +1,137 @@
+// Fully-mapped invalidate-based directory (paper §5: "System-wide coherence
+// of the L2 caches is maintained by an invalidate-based fully-mapped
+// directory protocol").
+//
+// One logical directory spans all home nodes; each cache line's entry lives
+// at its home node (page-granular home assignment, see HomeMap). Entries
+// track Uncached/Shared/Modified state, a sharer bit per node, and the
+// owner node for modified lines.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/check.hpp"
+#include "sim/types.hpp"
+
+namespace ssomp::mem {
+
+enum class DirState : std::uint8_t { kUncached = 0, kShared, kModified };
+
+struct DirEntry {
+  DirState state = DirState::kUncached;
+  std::uint64_t sharers = 0;  // bit per node (<= 64 nodes)
+  sim::NodeId owner = sim::kInvalidNode;
+};
+
+class Directory {
+ public:
+  explicit Directory(int nodes) : nodes_(nodes) {
+    SSOMP_CHECK(nodes >= 1 && nodes <= 64);
+  }
+
+  [[nodiscard]] DirEntry& entry(sim::Addr line_addr) {
+    return entries_[line_addr];
+  }
+
+  [[nodiscard]] const DirEntry* find(sim::Addr line_addr) const {
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  static void add_sharer(DirEntry& e, sim::NodeId n) {
+    e.sharers |= std::uint64_t{1} << n;
+  }
+  static void remove_sharer(DirEntry& e, sim::NodeId n) {
+    e.sharers &= ~(std::uint64_t{1} << n);
+  }
+  [[nodiscard]] static bool is_sharer(const DirEntry& e, sim::NodeId n) {
+    return (e.sharers >> n) & 1;
+  }
+  [[nodiscard]] static int sharer_count(const DirEntry& e) {
+    return __builtin_popcountll(e.sharers);
+  }
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+
+  /// Protocol invariant check, used by tests after every simulated run:
+  /// Modified lines have exactly one sharer equal to the owner; Shared
+  /// lines have >= 1 sharer and no owner; Uncached lines have none.
+  [[nodiscard]] bool check_invariants() const {
+    for (const auto& [addr, e] : entries_) {
+      switch (e.state) {
+        case DirState::kUncached:
+          if (e.sharers != 0 || e.owner != sim::kInvalidNode) return false;
+          break;
+        case DirState::kShared:
+          if (e.sharers == 0 || e.owner != sim::kInvalidNode) return false;
+          break;
+        case DirState::kModified:
+          if (e.owner == sim::kInvalidNode) return false;
+          if (e.sharers != (std::uint64_t{1} << e.owner)) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::unordered_map<sim::Addr, DirEntry>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  int nodes_;
+  std::unordered_map<sim::Addr, DirEntry> entries_;
+};
+
+/// Page-to-home-node assignment. Default is round-robin by page number;
+/// ranges can be pinned explicitly, which the workloads use for block
+/// distribution of their main arrays (the common CC-NUMA placement the
+/// paper's benchmarks rely on).
+class HomeMap {
+ public:
+  HomeMap(int nodes, std::uint32_t page_bytes)
+      : nodes_(nodes), page_bytes_(page_bytes) {
+    SSOMP_CHECK(nodes >= 1);
+    SSOMP_CHECK(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0);
+  }
+
+  [[nodiscard]] sim::NodeId home_of(sim::Addr addr) const {
+    const sim::Addr page = addr / page_bytes_;
+    auto it = pinned_.find(page);
+    if (it != pinned_.end()) return it->second;
+    return static_cast<sim::NodeId>(page % nodes_);
+  }
+
+  /// Pins all pages overlapping [base, base+bytes) to `node`.
+  void pin_range(sim::Addr base, std::uint64_t bytes, sim::NodeId node) {
+    SSOMP_CHECK(node >= 0 && node < nodes_);
+    const sim::Addr first = base / page_bytes_;
+    const sim::Addr last = (base + bytes - 1) / page_bytes_;
+    for (sim::Addr p = first; p <= last; ++p) pinned_[p] = node;
+  }
+
+  /// Distributes [base, base+bytes) across all nodes in contiguous blocks
+  /// (block placement, page granular).
+  void distribute_block(sim::Addr base, std::uint64_t bytes) {
+    const std::uint64_t pages = (bytes + page_bytes_ - 1) / page_bytes_;
+    const std::uint64_t per = (pages + nodes_ - 1) / nodes_;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const auto node = static_cast<sim::NodeId>(
+          std::min<std::uint64_t>(i / std::max<std::uint64_t>(per, 1),
+                                  static_cast<std::uint64_t>(nodes_ - 1)));
+      pinned_[base / page_bytes_ + i] = node;
+    }
+  }
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] std::uint32_t page_bytes() const { return page_bytes_; }
+
+ private:
+  int nodes_;
+  std::uint32_t page_bytes_;
+  std::unordered_map<sim::Addr, sim::NodeId> pinned_;
+};
+
+}  // namespace ssomp::mem

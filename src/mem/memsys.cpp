@@ -1,0 +1,604 @@
+#include "mem/memsys.hpp"
+
+#include <algorithm>
+
+namespace ssomp::mem {
+
+using stats::ReqClass;
+using stats::ReqKind;
+using stats::StreamRole;
+
+MemorySystem::MemorySystem(const MemParams& params, int nodes,
+                           int cpus_per_node)
+    : params_(params),
+      nodes_(nodes),
+      cpus_per_node_(cpus_per_node),
+      home_map_(nodes, params.page_bytes),
+      directory_(nodes),
+      res_(static_cast<std::size_t>(nodes)),
+      roles_(static_cast<std::size_t>(nodes) * cpus_per_node,
+             StreamRole::kNone),
+      inflight_(static_cast<std::size_t>(nodes)) {
+  SSOMP_CHECK(nodes >= 1 && cpus_per_node >= 1);
+  for (int c = 0; c < nodes * cpus_per_node; ++c) {
+    l1s_.push_back(std::make_unique<L1>(params.l1_size_bytes, params.l1_assoc,
+                                        params.line_bytes));
+  }
+  for (int n = 0; n < nodes; ++n) {
+    l2s_.push_back(std::make_unique<L2>(params.l2_size_bytes, params.l2_assoc,
+                                        params.line_bytes));
+  }
+}
+
+void MemorySystem::set_role(sim::CpuId cpu, StreamRole role) {
+  roles_.at(static_cast<std::size_t>(cpu)) = role;
+}
+
+StreamRole MemorySystem::role(sim::CpuId cpu) const {
+  return roles_.at(static_cast<std::size_t>(cpu));
+}
+
+void MemorySystem::record_ref(L2Meta& meta, StreamRole role) {
+  if (role == StreamRole::kR) meta.ref_r = true;
+  if (role == StreamRole::kA) meta.ref_a = true;
+}
+
+sim::Cycles MemorySystem::absorb_pending(L2::Line& line, StreamRole role,
+                                         sim::Cycles now) {
+  if (line.meta.pending_until <= now) return 0;
+  // Merge with the outstanding fill at the shared L2.
+  ++stats_.merges;
+  if (role != StreamRole::kNone && role != line.meta.fetcher &&
+      line.meta.fetcher != StreamRole::kNone) {
+    line.meta.merged_late = true;
+  }
+  return line.meta.pending_until - now;
+}
+
+void MemorySystem::finalize_line(const L2Meta& meta) {
+  if (!meta.app || meta.fetcher == StreamRole::kNone) return;
+  ReqClass cls;
+  if (meta.fetcher == StreamRole::kA) {
+    if (meta.merged_late) {
+      cls = ReqClass::kALate;
+    } else if (meta.ref_r) {
+      cls = ReqClass::kATimely;
+    } else {
+      cls = ReqClass::kAOnly;
+    }
+  } else {
+    if (meta.merged_late) {
+      cls = ReqClass::kRLate;
+    } else if (meta.ref_a) {
+      cls = ReqClass::kRTimely;
+    } else {
+      cls = ReqClass::kROnly;
+    }
+  }
+  stats_.req_class.add(meta.fill_kind, cls);
+}
+
+void MemorySystem::invalidate_at_node(sim::NodeId node, sim::Addr line_addr) {
+  const L2::Evicted gone = l2(node).invalidate(line_addr);
+  if (gone.valid) finalize_line(gone.meta);
+  for (int c = 0; c < cpus_per_node_; ++c) {
+    l1(node * cpus_per_node_ + c).invalidate(line_addr);
+  }
+}
+
+void MemorySystem::handle_l2_eviction(sim::NodeId node,
+                                      const L2::Evicted& victim,
+                                      sim::Cycles now) {
+  if (!victim.valid) return;
+  finalize_line(victim.meta);
+  // Inclusion: drop any L1 copies on this node.
+  for (int c = 0; c < cpus_per_node_; ++c) {
+    l1(node * cpus_per_node_ + c).invalidate(victim.line_addr);
+  }
+  DirEntry& e = directory_.entry(victim.line_addr);
+  const sim::NodeId h = home_map_.home_of(victim.line_addr);
+  if (victim.state == LineState::kModified) {
+    SSOMP_DCHECK(e.state == DirState::kModified && e.owner == node);
+    // Victim writeback: buffered, contributes occupancy but no latency to
+    // the access that triggered the eviction.
+    res_[h].memctl.occupy(now, params_.mem_cycles());
+    e.state = DirState::kUncached;
+    e.sharers = 0;
+    e.owner = sim::kInvalidNode;
+    ++stats_.writebacks;
+  } else if (victim.state == LineState::kExclusive) {
+    // Clean exclusive: release ownership, nothing to write back.
+    SSOMP_DCHECK(e.state == DirState::kModified && e.owner == node);
+    e.state = DirState::kUncached;
+    e.sharers = 0;
+    e.owner = sim::kInvalidNode;
+  } else {
+    Directory::remove_sharer(e, node);
+    if (e.sharers == 0) {
+      e.state = DirState::kUncached;
+      e.owner = sim::kInvalidNode;
+    }
+  }
+}
+
+sim::Cycles MemorySystem::invalidate_sharers(sim::NodeId h, DirEntry& e,
+                                             sim::NodeId except,
+                                             sim::Addr line_addr,
+                                             sim::Cycles t_home) {
+  sim::Cycles acks_done = t_home;
+  for (sim::NodeId s = 0; s < nodes_; ++s) {
+    if (s == except || !Directory::is_sharer(e, s)) continue;
+    PathTimer inv(t_home);
+    if (s != h) {
+      inv.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
+      inv.wire(params_.net_cycles());
+      inv.serve(res_[s].ni_in, params_.ni_remote_dc_cycles());
+    }
+    inv.serve(res_[s].bus, params_.bus_cycles());
+    invalidate_at_node(s, line_addr);
+    Directory::remove_sharer(e, s);
+    if (s != h) inv.wire(params_.net_cycles());  // ack back to home
+    acks_done = std::max(acks_done, inv.at());
+    ++stats_.invalidations;
+  }
+  return acks_done;
+}
+
+sim::Cycles MemorySystem::fill_line(sim::CpuId cpu, sim::Addr line_addr,
+                                    ReqKind kind, sim::Cycles now) {
+  const sim::NodeId n = node_of(cpu);
+  const sim::NodeId h = home_map_.home_of(line_addr);
+  const StreamRole who = role(cpu);
+  DirEntry& e = directory_.entry(line_addr);
+  const bool local = (h == n);
+
+  PathTimer t(now);
+  t.serve(res_[n].bus, params_.bus_cycles());
+  if (!local) {
+    t.serve(res_[n].ni_out, params_.ni_remote_dc_cycles());
+    t.wire(params_.net_cycles());
+  }
+  t.serve(res_[h].dirctl, params_.ni_local_dc_cycles());
+  const sim::Cycles t_home = t.at();
+
+  bool fill_exclusive = false;  // MESI E-grant for this fill
+  if (e.state == DirState::kModified) {
+    // Owned by a third-party L2 (owner == n would have been an L2 hit);
+    // with the E-state extension the owner's copy may be clean.
+    const sim::NodeId o = e.owner;
+    SSOMP_CHECK(o != n);
+    // Forward request home -> owner.
+    t.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
+    if (o != h) {
+      t.wire(params_.net_cycles());
+      t.serve(res_[o].ni_in, params_.ni_remote_dc_cycles());
+    }
+    t.serve(res_[o].bus, params_.bus_cycles());
+    t.wire(params_.l2_hit_cycles);  // owner L2 lookup/transfer
+    // Owner -> requester data transfer.
+    if (o != n) {
+      t.serve(res_[o].ni_out, params_.ni_remote_dc_cycles());
+      t.wire(params_.net_cycles());
+      t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+    }
+    t.serve(res_[n].bus, params_.bus_cycles());
+    // Sharing writeback / ownership transfer at the home memory (clean
+    // exclusive owners have nothing to write back).
+    L2::Line* owner_line = l2(o).find(line_addr);
+    if (owner_line == nullptr || owner_line->state == LineState::kModified) {
+      res_[h].memctl.occupy(t_home, params_.mem_cycles());
+    }
+    if (kind == ReqKind::kRead) {
+      // Owner downgrades to Shared.
+      if (L2::Line* ol = l2(o).find(line_addr)) {
+        ol->state = LineState::kShared;
+      }
+      for (int c = 0; c < cpus_per_node_; ++c) {
+        if (auto* l = l1(o * cpus_per_node_ + c).find(line_addr)) {
+          l->state = LineState::kShared;
+        }
+      }
+      e.state = DirState::kShared;
+      e.owner = sim::kInvalidNode;
+      Directory::add_sharer(e, n);
+      Directory::add_sharer(e, o);
+    } else {
+      // Exclusive: owner invalidates its copy, ownership moves to n.
+      invalidate_at_node(o, line_addr);
+      e.sharers = 0;
+      e.owner = n;
+      Directory::add_sharer(e, n);
+      e.state = DirState::kModified;
+    }
+    ++stats_.fills_dirty;
+  } else {
+    sim::Cycles ready = t_home;
+    if (kind == ReqKind::kReadEx && e.state == DirState::kShared) {
+      ready = invalidate_sharers(h, e, n, line_addr, t_home);
+    }
+    // Memory fetch proceeds in parallel with invalidations.
+    PathTimer data(t_home);
+    data.serve(res_[h].memctl, params_.mem_cycles());
+    t.at_least(std::max(ready, data.at()));
+    if (!local) {
+      t.wire(params_.net_cycles());
+      t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+    }
+    t.serve(res_[n].bus, params_.bus_cycles());
+    if (kind == ReqKind::kRead) {
+      if (params_.exclusive_state && e.state == DirState::kUncached) {
+        // MESI E: sole reader takes clean-exclusive ownership.
+        fill_exclusive = true;
+        e.state = DirState::kModified;  // directory tracks E as owned
+        e.sharers = 0;
+        Directory::add_sharer(e, n);
+        e.owner = n;
+      } else {
+        e.state = DirState::kShared;
+        Directory::add_sharer(e, n);
+        e.owner = sim::kInvalidNode;
+      }
+    } else {
+      e.state = DirState::kModified;
+      e.sharers = 0;
+      Directory::add_sharer(e, n);
+      e.owner = n;
+    }
+    if (local) {
+      ++stats_.fills_local;
+    } else {
+      ++stats_.fills_remote_clean;
+    }
+  }
+
+  // Install in the node's L2.
+  L2::Evicted victim;
+  const LineState fill_state =
+      kind != ReqKind::kRead ? LineState::kModified
+      : fill_exclusive       ? LineState::kExclusive
+                             : LineState::kShared;
+  L2::Line& line = l2(n).insert(line_addr, fill_state, victim);
+  handle_l2_eviction(n, victim, now);
+  line.meta.fetcher = who;
+  line.meta.fill_kind = kind;
+  line.meta.app = AddrSpace::is_app(line_addr);
+  ++stats_.l2_fills;
+  return t.at() - now;
+}
+
+sim::Cycles MemorySystem::upgrade_line(sim::CpuId cpu, L2::Line& line,
+                                       sim::Cycles now) {
+  const sim::NodeId n = node_of(cpu);
+  const sim::Addr la = line.line_addr;
+  const sim::NodeId h = home_map_.home_of(la);
+  const StreamRole who = role(cpu);
+  DirEntry& e = directory_.entry(la);
+  SSOMP_DCHECK(e.state == DirState::kShared && Directory::is_sharer(e, n));
+  const bool local = (h == n);
+
+  PathTimer t(now);
+  t.serve(res_[n].bus, params_.bus_cycles());
+  if (!local) {
+    t.serve(res_[n].ni_out, params_.ni_remote_dc_cycles());
+    t.wire(params_.net_cycles());
+  }
+  t.serve(res_[h].dirctl, params_.ni_local_dc_cycles());
+  const sim::Cycles acks = invalidate_sharers(h, e, n, la, t.at());
+  t.at_least(acks);
+  if (!local) {
+    t.wire(params_.net_cycles());
+    t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+  }
+  t.serve(res_[n].bus, params_.bus_cycles());
+
+  e.state = DirState::kModified;
+  e.sharers = 0;
+  Directory::add_sharer(e, n);
+  e.owner = n;
+  ++stats_.upgrades;
+
+  // A new exclusive classification epoch starts: retire the read epoch.
+  finalize_line(line.meta);
+  line.meta = L2Meta{};
+  line.meta.fetcher = who;
+  line.meta.fill_kind = ReqKind::kReadEx;
+  line.meta.app = AddrSpace::is_app(la);
+  line.state = LineState::kModified;
+  return t.at() - now;
+}
+
+void MemorySystem::fill_l1(sim::CpuId cpu, sim::Addr line_addr,
+                           LineState state) {
+  L1& c = l1(cpu);
+  if (L1::Line* line = c.find(line_addr)) {
+    line->state = state;
+    c.touch(*line);
+    return;
+  }
+  L1::Evicted victim;
+  c.insert(line_addr, state, victim);
+  // L1 victims are silent: the inclusive L2 retains the line (and a dirty
+  // L1 line implies the L2 line is already Modified).
+}
+
+void MemorySystem::invalidate_sibling_l1(sim::CpuId cpu, sim::Addr line_addr) {
+  const sim::NodeId n = node_of(cpu);
+  for (int c = 0; c < cpus_per_node_; ++c) {
+    const sim::CpuId other = n * cpus_per_node_ + c;
+    if (other != cpu) l1(other).invalidate(line_addr);
+  }
+}
+
+void MemorySystem::downgrade_sibling_l1(sim::CpuId cpu, sim::Addr line_addr) {
+  const sim::NodeId n = node_of(cpu);
+  for (int c = 0; c < cpus_per_node_; ++c) {
+    const sim::CpuId other = n * cpus_per_node_ + c;
+    if (other == cpu) continue;
+    if (L1::Line* line = l1(other).find(line_addr)) {
+      line->state = LineState::kShared;
+    }
+  }
+}
+
+sim::Cycles MemorySystem::load(sim::CpuId cpu, sim::Addr addr,
+                               sim::Cycles now) {
+  ++stats_.loads;
+  const sim::NodeId n = node_of(cpu);
+  L1& c1 = l1(cpu);
+  const sim::Addr la = c1.line_of(addr);
+
+  if (L1::Line* line = c1.find(la)) {
+    c1.touch(*line);
+    ++stats_.l1_hits;
+    // L1 hits do not reach the L2, but the line's L2 epoch has already
+    // recorded this stream's reference when the L1 was filled.
+    return params_.l1_hit_cycles;
+  }
+
+  L2& c2 = l2(n);
+  if (L2::Line* line = c2.find(la)) {
+    const sim::Cycles wait = absorb_pending(*line, role(cpu), now);
+    c2.touch(*line);
+    record_ref(line->meta, role(cpu));
+    ++stats_.l2_hits;
+    // Intra-CMP coherence: sharing a dirty line downgrades the sibling's
+    // exclusive L1 copy, so its next store must re-assert ownership.
+    if (line->state == LineState::kModified) {
+      downgrade_sibling_l1(cpu, la);
+    }
+    fill_l1(cpu, la, LineState::kShared);
+    const sim::Cycles done =
+        res_[n].l2port.serve(now + wait, params_.l2_hit_cycles);
+    return done - now;
+  }
+
+  const sim::Cycles lat = fill_line(cpu, la, ReqKind::kRead, now);
+  L2::Line* line = c2.find(la);
+  SSOMP_CHECK(line != nullptr);
+  // The fill is outstanding until now+lat; a request from the sibling
+  // processor inside that window merges at the shared L2 (the A-Late /
+  // R-Late mechanism of Figures 3 and 5).
+  line->meta.pending_until = now + lat;
+  record_ref(line->meta, role(cpu));
+  fill_l1(cpu, la, LineState::kShared);
+  return lat;
+}
+
+sim::Cycles MemorySystem::store(sim::CpuId cpu, sim::Addr addr,
+                                sim::Cycles now) {
+  ++stats_.stores;
+  const sim::NodeId n = node_of(cpu);
+  L1& c1 = l1(cpu);
+  const sim::Addr la = c1.line_of(addr);
+
+  if (L1::Line* line = c1.find(la);
+      line != nullptr && line->state == LineState::kModified) {
+    c1.touch(*line);
+    ++stats_.l1_hits;
+    return params_.l1_hit_cycles;
+  }
+
+  L2& c2 = l2(n);
+  sim::Cycles lat = 0;
+  L2::Line* line = c2.find(la);
+  if (line != nullptr) {
+    lat += absorb_pending(*line, role(cpu), now);
+    c2.touch(*line);
+    if (line->state == LineState::kModified) {
+      record_ref(line->meta, role(cpu));
+      ++stats_.l2_hits;
+      lat = res_[n].l2port.serve(now + lat, params_.l2_hit_cycles) - now;
+    } else if (line->state == LineState::kExclusive) {
+      // MESI E: first store by the clean-exclusive owner upgrades
+      // silently — no directory round-trip (the point of the extension).
+      line->state = LineState::kModified;
+      record_ref(line->meta, role(cpu));
+      ++stats_.l2_hits;
+      ++stats_.silent_upgrades;
+      lat = res_[n].l2port.serve(now + lat, params_.l2_hit_cycles) - now;
+    } else {
+      // S -> M upgrade through the directory.
+      lat += upgrade_line(cpu, *line, now + lat);
+      line->meta.pending_until = now + lat;
+      record_ref(line->meta, role(cpu));
+    }
+  } else {
+    lat += fill_line(cpu, la, ReqKind::kReadEx, now);
+    line = c2.find(la);
+    SSOMP_CHECK(line != nullptr);
+    line->meta.pending_until = now + lat;
+    record_ref(line->meta, role(cpu));
+  }
+  invalidate_sibling_l1(cpu, la);
+  fill_l1(cpu, la, LineState::kModified);
+  return std::max<sim::Cycles>(lat, 1);
+}
+
+bool MemorySystem::widely_shared(sim::Addr line_addr, sim::NodeId self) {
+  const DirEntry* e = directory_.find(line_addr);
+  if (e == nullptr || e->state != DirState::kShared) return false;
+  const int others =
+      Directory::sharer_count(*e) - (Directory::is_sharer(*e, self) ? 1 : 0);
+  return others >= 3;
+}
+
+void MemorySystem::send_self_invalidation_hints(sim::Addr line_addr,
+                                                sim::NodeId self,
+                                                sim::Cycles now) {
+  DirEntry& e = directory_.entry(line_addr);
+  SSOMP_DCHECK(e.state == DirState::kShared);
+  const sim::NodeId h = home_map_.home_of(line_addr);
+  for (sim::NodeId s = 0; s < nodes_; ++s) {
+    if (s == self || !Directory::is_sharer(e, s)) continue;
+    // One-way hint message; the sharer drops its copy on receipt. Nobody
+    // waits for acknowledgements — that is the optimization.
+    PathTimer hint(now);
+    if (s != h) {
+      hint.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
+      hint.wire(params_.net_cycles());
+    }
+    res_[s].bus.occupy(hint.at(), params_.bus_cycles());
+    invalidate_at_node(s, line_addr);
+    Directory::remove_sharer(e, s);
+    ++stats_.self_invalidations;
+  }
+  if (e.sharers == 0) {
+    e.state = DirState::kUncached;
+    e.owner = sim::kInvalidNode;
+  }
+}
+
+int MemorySystem::pending_prefetches(sim::NodeId node, sim::Cycles now) {
+  auto& v = inflight_[static_cast<std::size_t>(node)];
+  std::erase_if(v, [now](sim::Cycles done) { return done <= now; });
+  return static_cast<int>(v.size());
+}
+
+bool MemorySystem::prefetch(sim::CpuId cpu, sim::Addr addr, bool exclusive,
+                            sim::Cycles now) {
+  const sim::NodeId n = node_of(cpu);
+  L2& c2 = l2(n);
+  const sim::Addr la = c2.line_of(addr);
+
+  if (L2::Line* line = c2.find(la)) {
+    if (!exclusive || line->state == LineState::kModified ||
+        line->state == LineState::kExclusive) {
+      ++stats_.prefetches;
+      return true;  // already satisfied (E upgrades silently) or in flight
+    }
+    if (line->meta.pending_until > now) {
+      ++stats_.prefetches;
+      return true;  // don't stack transactions on a pending line
+    }
+    if (pending_prefetches(n, now) >= kPrefetchMshrs) return false;
+    if (exclusive && widely_shared(la, n)) {
+      if (!self_invalidation_) return false;
+      send_self_invalidation_hints(la, n, now);
+    }
+    // Eager non-blocking upgrade.
+    const sim::Cycles lat = upgrade_line(cpu, *line, now);
+    line->meta.pending_until = now + lat;
+    inflight_[static_cast<std::size_t>(n)].push_back(now + lat);
+    ++stats_.prefetches;
+    return true;
+  }
+
+  if (pending_prefetches(n, now) >= kPrefetchMshrs) return false;
+  if (exclusive && widely_shared(la, n)) {
+    if (!self_invalidation_) return false;
+    send_self_invalidation_hints(la, n, now);
+  }
+  const sim::Cycles lat =
+      fill_line(cpu, la, exclusive ? ReqKind::kReadEx : ReqKind::kRead, now);
+  L2::Line* line = c2.find(la);
+  SSOMP_CHECK(line != nullptr);
+  line->meta.pending_until = now + lat;
+  inflight_[static_cast<std::size_t>(n)].push_back(now + lat);
+  ++stats_.prefetches;
+  return true;
+}
+
+void MemorySystem::finalize_classification() {
+  for (auto& c2 : l2s_) {
+    c2->for_each([this](L2::Line& line) {
+      finalize_line(line.meta);
+      // Reset so repeated finalization does not double-count.
+      line.meta.fetcher = StreamRole::kNone;
+    });
+  }
+}
+
+bool MemorySystem::check_invariants() const {
+  if (!directory_.check_invariants()) return false;
+  for (int node = 0; node < nodes_; ++node) {
+    const L2& c2 = *l2s_[node];
+    // L1 inclusion: every valid L1 line exists in the node's L2.
+    for (int c = 0; c < cpus_per_node_; ++c) {
+      const L1& c1 = *l1s_[node * cpus_per_node_ + c];
+      bool ok = true;
+      const_cast<L1&>(c1).for_each([&](L1::Line& line) {
+        const L2::Line* l2line = c2.find(line.line_addr);
+        if (l2line == nullptr) ok = false;
+        // A dirty L1 line requires an exclusive L2 line.
+        if (line.state == LineState::kModified &&
+            (l2line == nullptr || l2line->state != LineState::kModified)) {
+          ok = false;
+        }
+      });
+      if (!ok) return false;
+    }
+    // L2 / directory consistency.
+    bool ok = true;
+    const_cast<L2&>(c2).for_each([&](L2::Line& line) {
+      const DirEntry* e = directory_.find(line.line_addr);
+      if (e == nullptr) {
+        ok = false;
+        return;
+      }
+      if (!Directory::is_sharer(*e, node)) ok = false;
+      if ((line.state == LineState::kModified ||
+           line.state == LineState::kExclusive) &&
+          (e->state != DirState::kModified || e->owner != node)) {
+        ok = false;
+      }
+      if (line.state == LineState::kShared &&
+          e->state == DirState::kModified) {
+        ok = false;
+      }
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<MemorySystem::ResourceReport> MemorySystem::resource_report()
+    const {
+  std::vector<ResourceReport> out;
+  for (int n = 0; n < nodes_; ++n) {
+    const NodeResources& r = res_[static_cast<std::size_t>(n)];
+    const auto add = [&](const char* kind, const Resource& res) {
+      out.push_back(ResourceReport{
+          "n" + std::to_string(n) + "." + kind, res.requests(),
+          res.busy_total(), res.queue_delay_total()});
+    };
+    add("bus", r.bus);
+    add("ni_in", r.ni_in);
+    add("ni_out", r.ni_out);
+    add("dirctl", r.dirctl);
+    add("memctl", r.memctl);
+    add("l2port", r.l2port);
+  }
+  return out;
+}
+
+sim::Cycles MemorySystem::total_queue_delay() const {
+  sim::Cycles total = 0;
+  for (const NodeResources& r : res_) {
+    total += r.bus.queue_delay_total() + r.ni_in.queue_delay_total() +
+             r.ni_out.queue_delay_total() + r.dirctl.queue_delay_total() +
+             r.memctl.queue_delay_total() + r.l2port.queue_delay_total();
+  }
+  return total;
+}
+
+}  // namespace ssomp::mem

@@ -1,0 +1,216 @@
+// The simulated memory hierarchy of the CMP-based DSM machine.
+//
+// Topology (paper §5): N nodes, each a dual-processor CMP. Every processor
+// has a private L1; the two processors of a CMP share a unified L2. L2s
+// are kept coherent by an invalidate-based fully-mapped directory; homes
+// are page-interleaved (HomeMap). The interconnect is a fixed-delay
+// network with contention modeled at the network inputs/outputs, the
+// directory controllers and the memory controllers (Resource).
+//
+// The model is "atomic state, timed latency": protocol state transitions
+// are applied when a request is issued, and the request's latency is
+// computed by walking the message path through the contention resources.
+// Non-blocking prefetches (the A-stream's converted stores) apply state
+// eagerly but mark the L2 line pending until the computed completion time;
+// a later request to a pending line waits and is counted as a merge at the
+// shared L2 ("merges their requests when appropriate", §5). This is the
+// mechanism behind the paper's A-Late/R-Late request classes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addrspace.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/params.hpp"
+#include "mem/resource.hpp"
+#include "sim/types.hpp"
+#include "stats/memstats.hpp"
+
+namespace ssomp::mem {
+
+class MemorySystem {
+ public:
+  MemorySystem(const MemParams& params, int nodes, int cpus_per_node = 2);
+
+  /// Stream role of a processor; drives request classification and is set
+  /// by the runtime when a parallel region starts/ends.
+  void set_role(sim::CpuId cpu, stats::StreamRole role);
+  [[nodiscard]] stats::StreamRole role(sim::CpuId cpu) const;
+
+  /// Enables slipstream self-invalidation (paper §2, §3.2.1): when an
+  /// A-stream's converted store targets a widely-shared line, the sharers
+  /// receive self-invalidation hints (no acknowledgement round) instead of
+  /// the conversion being dropped, so the later exclusive acquisition pays
+  /// no invalidation fan-out.
+  void set_self_invalidation(bool enabled) { self_invalidation_ = enabled; }
+  [[nodiscard]] bool self_invalidation() const { return self_invalidation_; }
+
+  /// Blocking load/store issued at time `now` (the CPU's issue_time()).
+  /// Returns the access latency in cycles; the caller charges it to the
+  /// issuing processor. State transitions are applied.
+  sim::Cycles load(sim::CpuId cpu, sim::Addr addr, sim::Cycles now);
+  sim::Cycles store(sim::CpuId cpu, sim::Addr addr, sim::Cycles now);
+
+  /// Non-blocking prefetch into the shared L2 of `cpu`'s node (exclusive =
+  /// read-for-ownership, used for the A-stream's converted stores).
+  /// Returns false when the node's outstanding-fill budget (MSHRs) is
+  /// exhausted — the paper's "no resource contention exists" condition for
+  /// store conversion — in which case nothing is issued. The issue cost is
+  /// one cycle either way, charged by the caller.
+  bool prefetch(sim::CpuId cpu, sim::Addr addr, bool exclusive,
+                sim::Cycles now);
+
+  /// Outstanding prefetch-initiated fills at a node's shared L2.
+  [[nodiscard]] int pending_prefetches(sim::NodeId node, sim::Cycles now);
+
+  /// True when a line has >= 3 sharers besides `self` — an exclusive
+  /// prefetch to such a line is predictably premature (it would rip the
+  /// line out of active readers' caches), so converted stores skip it
+  /// (or, with self-invalidation enabled, hint the sharers instead).
+  [[nodiscard]] bool widely_shared(sim::Addr line_addr, sim::NodeId self);
+
+  /// Sends self-invalidation hints to every sharer except `self`: each
+  /// drops its copy after the hint's one-way latency, with no
+  /// acknowledgement collection (the optimization's point).
+  void send_self_invalidation_hints(sim::Addr line_addr, sim::NodeId self,
+                                    sim::Cycles now);
+
+  /// Classifies all still-resident/pending lines (call at end of run
+  /// before reading `stats().req_class`).
+  void finalize_classification();
+
+  /// Cross-checks L1 inclusion, L2/directory consistency and directory
+  /// entry invariants. Used by tests after every simulated run.
+  [[nodiscard]] bool check_invariants() const;
+
+  [[nodiscard]] HomeMap& home_map() { return home_map_; }
+  [[nodiscard]] stats::MemStats& stats() { return stats_; }
+  [[nodiscard]] const stats::MemStats& stats() const { return stats_; }
+  [[nodiscard]] const MemParams& params() const { return params_; }
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int cpus_per_node() const { return cpus_per_node_; }
+  [[nodiscard]] sim::NodeId node_of(sim::CpuId cpu) const {
+    return cpu / cpus_per_node_;
+  }
+
+  /// Total queueing delay accumulated at all contention resources.
+  [[nodiscard]] sim::Cycles total_queue_delay() const;
+
+  /// Per-resource contention summary (debug/reporting).
+  struct ResourceReport {
+    std::string name;
+    std::uint64_t requests;
+    sim::Cycles busy;
+    sim::Cycles queue_delay;
+  };
+  [[nodiscard]] std::vector<ResourceReport> resource_report() const;
+
+ private:
+  struct L1Meta {};
+
+  struct L2Meta {
+    stats::StreamRole fetcher = stats::StreamRole::kNone;
+    stats::ReqKind fill_kind = stats::ReqKind::kRead;
+    bool merged_late = false;  // other stream merged while fill outstanding
+    bool ref_r = false;        // R-stream referenced after fill completion
+    bool ref_a = false;
+    bool app = false;          // application shared-data arena
+    sim::Cycles pending_until = 0;
+  };
+
+  using L1 = SetAssocCache<L1Meta>;
+  using L2 = SetAssocCache<L2Meta>;
+
+  struct NodeResources {
+    Resource bus;
+    Resource ni_in;
+    Resource ni_out;
+    Resource dirctl;
+    Resource memctl;
+    Resource l2port;  // the shared L2 is single-ported: the CMP's two
+                      // processors contend for every L1-miss access
+  };
+
+  /// Running projected time for one message path.
+  class PathTimer {
+   public:
+    explicit PathTimer(sim::Cycles start) : t_(start) {}
+    void serve(Resource& r, sim::Cycles occupancy) {
+      t_ = r.serve(t_, occupancy);
+    }
+    void wire(sim::Cycles c) { t_ += c; }
+    void at_least(sim::Cycles t) { t_ = std::max(t_, t); }
+    [[nodiscard]] sim::Cycles at() const { return t_; }
+
+   private:
+    sim::Cycles t_;
+  };
+
+  [[nodiscard]] L1& l1(sim::CpuId cpu) { return *l1s_[cpu]; }
+  [[nodiscard]] L2& l2(sim::NodeId node) { return *l2s_[node]; }
+
+  /// Records a post-fill reference by `cpu`'s stream on an L2 line.
+  void record_ref(L2Meta& meta, stats::StreamRole role);
+
+  /// Waits out a pending fill; returns extra latency and flags merges.
+  sim::Cycles absorb_pending(L2::Line& line, stats::StreamRole role,
+                             sim::Cycles now);
+
+  /// Classifies and retires a line's current classification epoch.
+  void finalize_line(const L2Meta& meta);
+
+  /// Invalidates a line at a node (L2 + both L1s), finalizing its epoch
+  /// and updating nothing in the directory (caller's job).
+  void invalidate_at_node(sim::NodeId node, sim::Addr line_addr);
+
+  /// Handles an L2 victim: directory update + writeback occupancy.
+  void handle_l2_eviction(sim::NodeId node, const L2::Evicted& victim,
+                          sim::Cycles now);
+
+  /// Full coherence fill of `line_addr` into node's L2 (line not present).
+  /// Applies directory/L2 transitions and returns the fill latency.
+  sim::Cycles fill_line(sim::CpuId cpu, sim::Addr line_addr,
+                        stats::ReqKind kind, sim::Cycles now);
+
+  /// S -> M upgrade of a line already present in node's L2.
+  sim::Cycles upgrade_line(sim::CpuId cpu, L2::Line& line, sim::Cycles now);
+
+  /// Invalidation fan-out from home `h` at time `t_home`; returns the time
+  /// at which all acknowledgements have been collected.
+  sim::Cycles invalidate_sharers(sim::NodeId h, DirEntry& e,
+                                 sim::NodeId except, sim::Addr line_addr,
+                                 sim::Cycles t_home);
+
+  /// Brings the line into `cpu`'s L1 with the given state.
+  void fill_l1(sim::CpuId cpu, sim::Addr line_addr, LineState state);
+
+  /// Invalidates the *other* local L1 copies when `cpu` writes.
+  void invalidate_sibling_l1(sim::CpuId cpu, sim::Addr line_addr);
+
+  /// Downgrades the other local L1 copies to Shared when `cpu` reads a
+  /// line the sibling holds dirty.
+  void downgrade_sibling_l1(sim::CpuId cpu, sim::Addr line_addr);
+
+  MemParams params_;
+  int nodes_;
+  int cpus_per_node_;
+  HomeMap home_map_;
+  Directory directory_;
+  std::vector<std::unique_ptr<L1>> l1s_;
+  std::vector<std::unique_ptr<L2>> l2s_;
+  std::vector<NodeResources> res_;
+  std::vector<stats::StreamRole> roles_;
+  std::vector<std::vector<sim::Cycles>> inflight_;  // per-node completion times
+  bool self_invalidation_ = false;
+  stats::MemStats stats_;
+
+  /// Outstanding-fill budget per shared L2 available to non-blocking
+  /// prefetches (a typical MSHR file, minus slots reserved for the two
+  /// processors' demand misses).
+  static constexpr int kPrefetchMshrs = 8;
+};
+
+}  // namespace ssomp::mem

@@ -1,0 +1,47 @@
+// Runtime-wide execution options.
+#pragma once
+
+#include <string>
+
+#include "front/directive.hpp"
+#include "slip/config.hpp"
+
+namespace ssomp::rt {
+
+/// How the machine's processors are applied to the program (paper §5.1):
+///   kSingle     one task per CMP, second processor idle (the baseline all
+///               speedups are normalized to);
+///   kDouble     two tasks per CMP (more parallelism);
+///   kSlipstream one task per CMP, second processor runs the A-stream.
+enum class ExecutionMode : std::uint8_t { kSingle = 0, kDouble, kSlipstream };
+
+[[nodiscard]] constexpr std::string_view to_string(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kSingle: return "single";
+    case ExecutionMode::kDouble: return "double";
+    case ExecutionMode::kSlipstream: return "slipstream";
+  }
+  return "?";
+}
+
+struct RuntimeOptions {
+  ExecutionMode mode = ExecutionMode::kSingle;
+
+  /// Value of the OMP_SLIPSTREAM environment variable ("" = unset).
+  std::string omp_slipstream_env;
+
+  /// Program-global slipstream setting (overridable by directives).
+  slip::SlipstreamConfig slip = front::DirectiveControl::default_config();
+
+  /// Construct-handling policies for the A-stream (ablation knobs).
+  slip::ConstructPolicies policies{};
+
+  /// R-stream flags divergence when the A-stream lags by more than this
+  /// many barriers (0 = divergence checking disabled).
+  int divergence_threshold = 0;
+
+  /// Default schedule for loops that do not specify one.
+  front::ScheduleClause default_schedule{};
+};
+
+}  // namespace ssomp::rt

@@ -1,0 +1,66 @@
+#include "rt/pointsync.hpp"
+
+#include <algorithm>
+
+namespace ssomp::rt {
+
+ProgressFlag::ProgressFlag(Runtime& rt, std::string name)
+    : rt_(rt),
+      name_(std::move(name)),
+      word_(rt.machine().addr_space().alloc_runtime(64)) {}
+
+void ProgressFlag::post(ThreadCtx& t, long value) {
+  if (t.is_a_stream()) {
+    t.check_recovery();
+    return;  // synchronization stores are skipped by the A-stream (§2)
+  }
+  SSOMP_CHECK(value >= value_);  // monotonic
+  sim::SimCpu& cpu = t.cpu();
+  cpu.consume(rt_.mem().store(cpu.id(), word_, cpu.issue_time()),
+              sim::TimeCategory::kBusy);
+  value_ = value;
+  // Wake every waiter the new value satisfies.
+  auto it = waiters_.begin();
+  while (it != waiters_.end()) {
+    if (it->needed <= value_) {
+      it->cpu->wake();
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProgressFlag::wait_ge(ThreadCtx& t, long value) {
+  if (t.is_a_stream()) {
+    t.check_recovery();
+    return;  // the A-stream runs ahead of the wavefront
+  }
+  sim::SimCpu& cpu = t.cpu();
+  int probes = 0;
+  while (value_ < value) {
+    // Spin-read the flag word (pays the coherence miss after each post).
+    cpu.consume(rt_.mem().load(cpu.id(), word_, cpu.issue_time()),
+                sim::TimeCategory::kLock);
+    if (value_ >= value) break;
+    if (++probes < kSpinProbes) {
+      cpu.consume(kBackoff, sim::TimeCategory::kLock);
+    } else {
+      waiters_.push_back(Waiter{&cpu, value});
+      cpu.block(sim::TimeCategory::kLock);
+      probes = 0;
+    }
+  }
+  // Final confirming read after the wait resolves.
+  cpu.consume(rt_.mem().load(cpu.id(), word_, cpu.issue_time()),
+              sim::TimeCategory::kLock);
+}
+
+long ProgressFlag::read(ThreadCtx& t) const {
+  sim::SimCpu& cpu = t.cpu();
+  cpu.consume(rt_.mem().load(cpu.id(), word_, cpu.issue_time()),
+              sim::TimeCategory::kBusy);
+  return value_;
+}
+
+}  // namespace ssomp::rt

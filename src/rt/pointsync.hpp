@@ -1,0 +1,56 @@
+// Point-to-point synchronization: a monotonic progress flag.
+//
+// The NAS LU OpenMP port pipelines its SSOR wavefronts with per-thread
+// progress flags (spin-wait + flush) instead of barriers. ProgressFlag is
+// that primitive: a shared monotonic counter a producer posts and
+// consumers wait on.
+//
+// Slipstream semantics follow §2's rule that the A-stream skips
+// synchronization: the A-stream neither posts (it would be a shared
+// store) nor waits (the flag value it would read is speculative anyway) —
+// which is exactly what lets it run ahead of the wavefront and prefetch
+// the planes its R-stream will process.
+#pragma once
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace ssomp::rt {
+
+class ProgressFlag {
+ public:
+  ProgressFlag(Runtime& rt, std::string name);
+
+  /// Producer: publishes progress `value` (monotonically increasing) and
+  /// wakes satisfied waiters. A-streams skip.
+  void post(ThreadCtx& t, long value);
+
+  /// Consumer: blocks until the posted progress is >= `value`.
+  /// A-streams skip (they run ahead of the wavefront). Waiting time is
+  /// attributed to the lock category (the paper's Figure 2 buckets
+  /// point-to-point waits with lock synchronization).
+  void wait_ge(ThreadCtx& t, long value);
+
+  /// Simulated read of the current progress value.
+  [[nodiscard]] long read(ThreadCtx& t) const;
+
+  [[nodiscard]] long value() const { return value_; }
+
+ private:
+  struct Waiter {
+    sim::SimCpu* cpu;
+    long needed;
+  };
+
+  Runtime& rt_;
+  std::string name_;
+  sim::Addr word_;
+  long value_ = 0;
+  std::vector<Waiter> waiters_;
+
+  static constexpr int kSpinProbes = 4;
+  static constexpr sim::Cycles kBackoff = 300;
+};
+
+}  // namespace ssomp::rt

@@ -1,0 +1,852 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+
+namespace ssomp::rt {
+
+using sim::TimeCategory;
+using stats::StreamRole;
+
+namespace {
+/// Fixed cost charged for computing static-loop bounds (a handful of
+/// integer instructions).
+constexpr sim::Cycles kStaticSchedCost = 20;
+/// Host-side bound on outstanding forwarded scheduling decisions.
+constexpr std::size_t kMailboxDepth = 1024;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+Runtime::Runtime(machine::Machine& machine, RuntimeOptions options)
+    : machine_(machine), options_(std::move(options)) {
+  directives_.set_env(options_.omp_slipstream_env);
+  // The program-global slipstream setting (overridable by serial-part
+  // directives at run time).
+  front::ParsedSlipstream init;
+  init.type = options_.slip.type;
+  init.tokens = options_.slip.tokens;
+  directives_.apply_serial(init);
+
+  mem::AddrSpace& as = machine_.addr_space();
+  job_word_ = as.alloc_runtime(64);
+  join_word_ = as.alloc_runtime(64);
+  sched_word_ = as.alloc_runtime(64);
+  single_word_ = as.alloc_runtime(64);
+  reduce_result_word_ = as.alloc_runtime(64);
+
+  barrier_ = std::make_unique<SenseBarrier>(mem(), as);
+  sched_lock_ = std::make_unique<SpinLock>(mem(), as);
+  single_lock_ = std::make_unique<SpinLock>(mem(), as);
+  critical_lock_ = std::make_unique<SpinLock>(mem(), as);
+  atomic_lock_ = std::make_unique<SpinLock>(mem(), as);
+
+  const int max_team = machine_.ncpus();
+  member_loop_epoch_.assign(static_cast<std::size_t>(max_team), 0);
+  member_single_seq_.assign(static_cast<std::size_t>(max_team), 0);
+  partial_values_.assign(static_cast<std::size_t>(max_team), 0.0);
+  for (int i = 0; i < max_team; ++i) {
+    partial_addrs_.push_back(as.alloc_runtime(64));  // one line per slot
+  }
+  cpu_member_.assign(static_cast<std::size_t>(machine_.ncpus()), nullptr);
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::logical_thread_count() const {
+  return options_.mode == ExecutionMode::kDouble ? machine_.ncpus()
+                                                 : machine_.ncmp();
+}
+
+sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
+  // Omni-style pool: all slaves are created at program start and parked
+  // until the master posts a job.
+  for (sim::CpuId c = 1; c < machine_.ncpus(); ++c) {
+    machine_.cpu(c).start([this, c] { slave_loop(c); });
+  }
+  machine_.cpu(0).start([this, &program] {
+    SerialCtx sc(*this);
+    program(sc);
+    // Shut the pool down.
+    shutdown_ = true;
+    sim::SimCpu& m = machine_.cpu(0);
+    m.consume(mem().store(0, job_word_, m.issue_time()), TimeCategory::kBusy);
+    for (sim::CpuId c = 1; c < machine_.ncpus(); ++c) {
+      if (machine_.cpu(c).blocked()) machine_.cpu(c).wake();
+    }
+    m.flush_time();
+  });
+  machine_.engine().run();
+
+  // Divergence backstop: an A-stream that over-consumed (ran ahead past
+  // every token its R-stream will ever insert) is parked on a semaphore
+  // with no future suppliers once the R-streams finish. Poison such waits
+  // so the recovery path unwinds it — the runtime equivalent of the
+  // paper's recovery routine for a deviating A-stream.
+  bool rescued = true;
+  while (rescued) {
+    rescued = false;
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      slip::SlipPair& p = machine_.pair(n);
+      if (p.barrier_sem().has_waiter() || p.syscall_sem().has_waiter()) {
+        p.request_recovery(machine_.cpu(p.r_cpu()));
+        rescued = true;
+      }
+    }
+    if (rescued) machine_.engine().run();
+  }
+
+  // Every fiber must have drained; anything else is a lost wakeup bug.
+  for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+    SSOMP_CHECK(machine_.cpu(c).finished());
+  }
+  mem().finalize_classification();
+
+  // Harvest slipstream token-machinery statistics.
+  for (int n = 0; n < machine_.ncmp(); ++n) {
+    slip::SlipPair& p = machine_.pair(n);
+    slip_stats_.tokens_consumed += p.barrier_sem().total_consumed();
+    slip_stats_.tokens_inserted += p.barrier_sem().total_inserted();
+    slip_stats_.recoveries += p.recoveries();
+  }
+  return machine_.engine().now();
+}
+
+void Runtime::slave_loop(sim::CpuId cpu_id) {
+  sim::SimCpu& cpu = machine_.cpu(cpu_id);
+  while (true) {
+    cpu.block(TimeCategory::kJobWait);
+    // Read the job descriptor the master published (the first read after
+    // the master's store pays the coherence miss — the organic dispatch
+    // cost of the spin-on-flag pool).
+    cpu.consume(mem().load(cpu_id, job_word_, cpu.issue_time()),
+                TimeCategory::kJobWait);
+    if (shutdown_) return;
+    const Member* m = cpu_member_[static_cast<std::size_t>(cpu_id)];
+    SSOMP_CHECK(m != nullptr);  // only team members are woken
+    run_member(*m);
+  }
+}
+
+void Runtime::run_member(const Member& m) {
+  ThreadCtx t(*this, m);
+  if (m.role == StreamRole::kA) {
+    try {
+      current_body_(t);
+      region_end_member(t);
+    } catch (const slip::RecoveryException&) {
+      // Recovery terminates the A-stream for the remainder of the region;
+      // it rejoins at the next parallel region (§2.2 recovery routine).
+      m.pair->ack_recovery();
+    }
+  } else {
+    current_body_(t);
+    region_end_member(t);
+  }
+  if (m.cpu != 0) signal_done(t);
+}
+
+void Runtime::region_end_member(ThreadCtx& t) {
+  // Implicit barrier terminating the parallel region.
+  slip_barrier(t, TimeCategory::kBarrier);
+}
+
+void Runtime::signal_done(ThreadCtx& t) {
+  sim::SimCpu& cpu = t.cpu();
+  // Atomic increment of the join counter.
+  cpu.consume(mem().load(cpu.id(), join_word_, cpu.issue_time()),
+              TimeCategory::kBarrier);
+  cpu.consume(mem().store(cpu.id(), join_word_, cpu.issue_time()),
+              TimeCategory::kBarrier);
+  ++join_count_;
+  if (join_count_ == join_target_ && master_waiting_) {
+    machine_.cpu(0).wake();
+  }
+}
+
+Team Runtime::build_team(const slip::SlipstreamConfig& cfg) const {
+  Team team;
+  team.slip = cfg;
+  const int ncmp = machine_.ncmp();
+  ExecutionMode mode = options_.mode;
+  if (mode == ExecutionMode::kSlipstream && !cfg.enabled()) {
+    // SLIPSTREAM(NONE) / OMP_SLIPSTREAM=NONE: the region falls back to one
+    // task per CMP with the second processor idle.
+    mode = ExecutionMode::kSingle;
+  }
+  team.mode = mode;
+  switch (mode) {
+    case ExecutionMode::kSingle:
+      team.nthreads = ncmp;
+      for (int n = 0; n < ncmp; ++n) {
+        team.members.push_back(Member{machine_.r_cpu_of(n), n,
+                                      StreamRole::kNone, nullptr});
+      }
+      break;
+    case ExecutionMode::kDouble:
+      team.nthreads = machine_.ncpus();
+      for (int t = 0; t < machine_.ncpus(); ++t) {
+        // Scatter placement: consecutive thread ids land on different
+        // CMPs, as with OS-scheduled processes in the paper's setup. A
+        // compact placement would co-locate adjacent block partitions and
+        // turn their halo traffic into free intra-CMP hits — an affinity
+        // guarantee the evaluated system did not provide.
+        const sim::CpuId cpu =
+            (t % ncmp) * machine_.config().cpus_per_cmp + t / ncmp;
+        team.members.push_back(Member{cpu, t, StreamRole::kNone, nullptr});
+      }
+      break;
+    case ExecutionMode::kSlipstream:
+      team.nthreads = ncmp;
+      for (int n = 0; n < ncmp; ++n) {
+        slip::SlipPair* pair =
+            &const_cast<machine::Machine&>(machine_).pair(n);
+        team.members.push_back(
+            Member{machine_.r_cpu_of(n), n, StreamRole::kR, pair});
+        team.members.push_back(
+            Member{machine_.a_cpu_of(n), n, StreamRole::kA, pair});
+      }
+      break;
+  }
+  return team;
+}
+
+void Runtime::dispatch_region(
+    const std::function<void(ThreadCtx&)>& body,
+    const std::optional<front::ParsedSlipstream>& region) {
+  SSOMP_CHECK(!in_region_);  // nested parallelism is not supported
+  const slip::SlipstreamConfig cfg = directives_.resolve(region);
+  team_ = build_team(cfg);
+  current_body_ = body;
+  in_region_ = true;
+  ++regions_executed_;
+
+  std::fill(cpu_member_.begin(), cpu_member_.end(), nullptr);
+  for (const Member& m : team_.members) {
+    cpu_member_[static_cast<std::size_t>(m.cpu)] = &m;
+    mem().set_role(m.cpu, m.role);
+  }
+  mem().set_self_invalidation(team_.slipstream() &&
+                              options_.policies.self_invalidation);
+  if (team_.slipstream()) {
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      machine_.pair(n).reset_for_region(team_.slip.tokens);
+      machine_.pair(n).mailbox_queue.clear();
+    }
+  }
+  join_count_ = 0;
+  join_target_ = static_cast<int>(team_.members.size()) - 1;
+  barrier_->configure(team_.nthreads);
+
+  RegionRecord record;
+  record.index = regions_executed_ - 1;
+  record.mode = team_.mode;
+  record.slip = team_.slip;
+  record.nthreads = team_.nthreads;
+  record.start = machine_.engine().now();
+  std::uint64_t tokens_before = 0;
+  const std::uint64_t converted_before = slip_stats_.converted_stores;
+  const std::uint64_t dropped_before = slip_stats_.dropped_stores;
+  const std::uint64_t forwarded_before = slip_stats_.forwarded_chunks;
+  if (team_.slipstream()) {
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      tokens_before += machine_.pair(n).barrier_sem().total_consumed();
+    }
+  }
+
+  // Publish the job and wake the team (master's store invalidates the
+  // slaves' cached copies of the job word).
+  sim::SimCpu& master = machine_.cpu(0);
+  master.consume(mem().store(0, job_word_, master.issue_time()),
+                 TimeCategory::kBusy);
+  for (const Member& m : team_.members) {
+    if (m.cpu == 0) continue;
+    SSOMP_CHECK(machine_.cpu(m.cpu).blocked());
+    machine_.cpu(m.cpu).wake();
+  }
+
+  // The master participates as thread 0's R-stream.
+  const Member* mm = cpu_member_[0];
+  SSOMP_CHECK(mm != nullptr);
+  run_member(*mm);
+
+  // Join: wait for every other member (R- and A-streams) to finish.
+  while (join_count_ < join_target_) {
+    master_waiting_ = true;
+    master.block(TimeCategory::kBarrier);
+    master_waiting_ = false;
+  }
+  master.consume(mem().load(0, join_word_, master.issue_time()),
+                 TimeCategory::kBarrier);
+
+  record.cycles = machine_.engine().now() - record.start;
+  if (team_.slipstream()) {
+    std::uint64_t tokens_after = 0;
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      tokens_after += machine_.pair(n).barrier_sem().total_consumed();
+    }
+    record.tokens_consumed = tokens_after - tokens_before;
+  }
+  record.converted_stores = slip_stats_.converted_stores - converted_before;
+  record.dropped_stores = slip_stats_.dropped_stores - dropped_before;
+  record.forwarded_chunks = slip_stats_.forwarded_chunks - forwarded_before;
+  region_records_.push_back(record);
+
+  for (const Member& m : team_.members) {
+    mem().set_role(m.cpu, StreamRole::kNone);
+  }
+  mem().set_self_invalidation(false);
+  in_region_ = false;
+  current_body_ = nullptr;
+}
+
+void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
+  sim::SimCpu& cpu = t.cpu();
+  if (!team_.slipstream() || t.role() == StreamRole::kNone) {
+    barrier_->arrive(cpu, t.id(), cat);
+    return;
+  }
+  slip::SlipPair& pair = *t.member().pair;
+  if (t.role() == StreamRole::kR) {
+    pair.note_r_barrier();
+    // Divergence probe (§2.2): the R-stream compares the token count with
+    // the initial value to predict whether its A-stream visited this
+    // barrier; a persistent lag beyond the threshold triggers recovery.
+    if (options_.divergence_threshold > 0 && !pair.a_recovered_this_region() &&
+        !pair.recovery_requested()) {
+      (void)pair.barrier_sem().read_count(cpu);
+      // A lagging A-stream (it may legitimately be *ahead* by the token
+      // allowance) beyond the threshold is predicted diverged.
+      const std::uint64_t lag =
+          pair.r_barriers() > pair.a_barriers()
+              ? pair.r_barriers() - pair.a_barriers()
+              : 0;
+      if (lag > static_cast<std::uint64_t>(options_.divergence_threshold)) {
+        pair.request_recovery(cpu);
+      }
+    }
+    if (team_.slip.type == slip::SyncType::kLocal) {
+      pair.barrier_sem().insert(cpu);  // token on barrier *entry*
+    }
+    barrier_->arrive(cpu, t.id(), cat);
+    if (team_.slip.type == slip::SyncType::kGlobal) {
+      pair.barrier_sem().insert(cpu);  // token on barrier *exit*
+    }
+  } else {
+    t.check_recovery();
+    if (!pair.barrier_sem().consume(cpu, TimeCategory::kTokenWait)) {
+      throw slip::RecoveryException{};
+    }
+    pair.note_a_barrier();
+  }
+}
+
+Runtime::LoopDesc& Runtime::enter_dynamic_loop(ThreadCtx& t, long lo, long hi,
+                                               front::ScheduleClause sched) {
+  const auto tid = static_cast<std::size_t>(t.id());
+  const std::uint64_t epoch = ++member_loop_epoch_[tid];
+  LoopDesc& d = loops_[epoch % kLoopRing];
+  sched_lock_->acquire(t.cpu(), TimeCategory::kScheduling);
+  if (!d.initialized || d.epoch < epoch) {
+    d.epoch = epoch;
+    d.initialized = true;
+    d.next = lo;
+    d.hi = hi;
+    d.kind = sched.kind;
+    d.chunk = sched.chunk > 0 ? sched.chunk : 1;
+    if (sched.kind == front::ScheduleKind::kAffinity) {
+      // Static-like per-thread partitions, consumed in local chunks.
+      const int n = team_.nthreads;
+      d.part_next.assign(static_cast<std::size_t>(n), 0);
+      d.part_hi.assign(static_cast<std::size_t>(n), 0);
+      const long count = hi - lo;
+      const long base = count / n;
+      const long rem = count % n;
+      long cursor = lo;
+      for (int p = 0; p < n; ++p) {
+        const long len = base + (p < rem ? 1 : 0);
+        d.part_next[static_cast<std::size_t>(p)] = cursor;
+        d.part_hi[static_cast<std::size_t>(p)] = cursor + len;
+        cursor += len;
+      }
+      d.steals = 0;
+    }
+    // The descriptor occupies the same cache line as the scheduler lock
+    // (as in Omni's loop descriptor), so this store hits the line the
+    // acquire just fetched.
+    t.cpu().consume(1, TimeCategory::kScheduling);
+  }
+  SSOMP_CHECK(d.epoch == epoch);
+  sched_lock_->release(t.cpu());
+  return d;
+}
+
+bool Runtime::next_chunk(ThreadCtx& t, LoopDesc& d, long& lo, long& hi) {
+  sim::SimCpu& cpu = t.cpu();
+  // The scheduling decision is serialized through a critical section
+  // (§3.2.2), a deliberate source of overhead the paper measures.
+  sched_lock_->acquire(cpu, TimeCategory::kScheduling);
+  // Loop counter co-located with the lock line: hits after the acquire.
+  cpu.consume(1, TimeCategory::kScheduling);
+  bool ok = false;
+  if (d.kind == front::ScheduleKind::kAffinity) {
+    // Affinity scheduling [16]: consume 1/2 of the remaining local
+    // partition; steal half of the most-loaded partition when dry.
+    int p = t.id();
+    long remaining = d.part_hi[static_cast<std::size_t>(p)] -
+                     d.part_next[static_cast<std::size_t>(p)];
+    if (remaining <= 0) {
+      long best = 0;
+      int victim = -1;
+      for (int q = 0; q < team_.nthreads; ++q) {
+        const long r = d.part_hi[static_cast<std::size_t>(q)] -
+                       d.part_next[static_cast<std::size_t>(q)];
+        if (r > best) {
+          best = r;
+          victim = q;
+        }
+      }
+      if (victim >= 0) {
+        p = victim;
+        remaining = best;
+        ++d.steals;
+      }
+    }
+    if (remaining > 0) {
+      const long take = std::max<long>(d.chunk, (remaining + 1) / 2);
+      lo = d.part_next[static_cast<std::size_t>(p)];
+      hi = std::min(d.part_hi[static_cast<std::size_t>(p)],
+                    lo + std::min(take, remaining));
+      d.part_next[static_cast<std::size_t>(p)] = hi;
+      ok = true;
+      cpu.consume(1, TimeCategory::kScheduling);
+    }
+    sched_lock_->release(cpu);
+    return ok;
+  }
+  if (d.next < d.hi) {
+    long size = d.chunk;
+    if (d.kind == front::ScheduleKind::kGuided) {
+      const long remaining = d.hi - d.next;
+      const long per = (remaining + 2L * team_.nthreads - 1) /
+                       (2L * team_.nthreads);
+      size = std::max(d.chunk, per);
+    }
+    lo = d.next;
+    hi = std::min(d.hi, d.next + size);
+    d.next = hi;
+    ok = true;
+    cpu.consume(1, TimeCategory::kScheduling);
+  }
+  sched_lock_->release(cpu);
+  return ok;
+}
+
+void Runtime::forward_chunk(ThreadCtx& t, long lo, long hi, bool last) {
+  slip::SlipPair& pair = *t.member().pair;
+  sim::SimCpu& cpu = t.cpu();
+  // Declare the decision through a shared variable, then release the
+  // A-stream by adding a token to the syscall semaphore (§3.2.2).
+  cpu.consume(mem().store(cpu.id(), pair.mailbox_addr(), cpu.issue_time()),
+              TimeCategory::kScheduling);
+  if (pair.mailbox_queue.size() >= kMailboxDepth) {
+    pair.mailbox_queue.pop_front();  // drop the stalest decision
+  }
+  pair.mailbox_queue.push_back(slip::SlipPair::Mailbox{lo, hi, last});
+  pair.syscall_sem().insert(cpu);
+  ++slip_stats_.forwarded_chunks;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+
+ThreadCtx::ThreadCtx(Runtime& rt, const Member& member)
+    : rt_(rt), member_(member) {}
+
+int ThreadCtx::nthreads() const {
+  return serial_nested_ ? 1 : rt_.team_.nthreads;
+}
+
+sim::SimCpu& ThreadCtx::cpu() { return rt_.machine_.cpu(member_.cpu); }
+
+void ThreadCtx::compute(sim::Cycles n) {
+  cpu().charge(n, TimeCategory::kBusy);
+}
+
+void ThreadCtx::mem_read(sim::Addr a) {
+  sim::SimCpu& c = cpu();
+  const sim::Cycles lat = rt_.mem().load(c.id(), a, c.issue_time());
+  c.charge(lat, lat <= rt_.mem().params().l1_hit_cycles
+                    ? TimeCategory::kBusy
+                    : TimeCategory::kMemStall);
+}
+
+bool ThreadCtx::mem_write(sim::Addr a) {
+  sim::SimCpu& c = cpu();
+  if (member_.role == StreamRole::kA) {
+    // §2: the A-stream skips stores to shared variables. When it is in the
+    // same session as its R-stream, the store is converted into an
+    // exclusive prefetch; otherwise it is dropped.
+    if (rt_.options_.policies.a_stores_as_prefetch &&
+        within_session_window(rt_.options_.policies.conversion_window) &&
+        rt_.mem().prefetch(c.id(), a, /*exclusive=*/true, c.issue_time())) {
+      ++rt_.slip_stats_.converted_stores;
+    } else {
+      ++rt_.slip_stats_.dropped_stores;
+    }
+    c.charge(1, TimeCategory::kBusy);
+    return false;
+  }
+  const sim::Cycles lat = rt_.mem().store(c.id(), a, c.issue_time());
+  c.charge(lat, lat <= rt_.mem().params().l1_hit_cycles
+                    ? TimeCategory::kBusy
+                    : TimeCategory::kMemStall);
+  return true;
+}
+
+bool ThreadCtx::within_session_window(int window) const {
+  const slip::SlipPair* pair = member_.pair;
+  if (pair == nullptr) return true;
+  const auto a = pair->a_barriers();
+  const auto r = pair->r_barriers();
+  const std::uint64_t gap = a > r ? a - r : r - a;
+  return gap <= static_cast<std::uint64_t>(window);
+}
+
+void ThreadCtx::check_recovery() {
+  if (member_.role == StreamRole::kA && member_.pair->recovery_requested()) {
+    throw slip::RecoveryException{};
+  }
+}
+
+void ThreadCtx::barrier() {
+  if (serial_nested_) return;  // one-thread team: barriers are no-ops
+  rt_.slip_barrier(*this, TimeCategory::kBarrier);
+}
+
+void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
+                           const std::function<void(long, long)>& body,
+                           bool nowait) {
+  if (serial_nested_) {
+    // One-thread team: the whole range runs here, whatever the schedule.
+    if (is_a_stream()) check_recovery();
+    compute(kStaticSchedCost);
+    if (lo < hi) body(lo, hi);
+    return;
+  }
+  if (sched.kind == front::ScheduleKind::kStatic) {
+    // §3.2.1: every thread — and its A-stream, which shares its id and
+    // halved thread count — computes its assignment independently.
+    if (is_a_stream()) check_recovery();
+    compute(kStaticSchedCost);
+    const int n = nthreads();
+    const long count = hi - lo;
+    if (count > 0) {
+      if (sched.chunk > 0) {
+        // Round-robin chunks.
+        for (long c = lo + static_cast<long>(id()) * sched.chunk; c < hi;
+             c += static_cast<long>(n) * sched.chunk) {
+          body(c, std::min(hi, c + sched.chunk));
+        }
+      } else {
+        // One contiguous block per thread.
+        const long base = count / n;
+        const long rem = count % n;
+        const long my_lo =
+            lo + id() * base + std::min<long>(id(), rem);
+        const long my_hi = my_lo + base + (id() < rem ? 1 : 0);
+        if (my_lo < my_hi) body(my_lo, my_hi);
+      }
+    }
+  } else if (!is_a_stream()) {
+    Runtime::LoopDesc& d = rt_.enter_dynamic_loop(*this, lo, hi, sched);
+    long clo = 0;
+    long chi = 0;
+    const bool forward =
+        rt_.team_.slipstream() && member_.role == StreamRole::kR;
+    while (rt_.next_chunk(*this, d, clo, chi)) {
+      if (forward) rt_.forward_chunk(*this, clo, chi, /*last=*/false);
+      body(clo, chi);
+    }
+    if (forward) rt_.forward_chunk(*this, 0, 0, /*last=*/true);
+  } else {
+    // A-stream under dynamic/guided scheduling: §3.2.2 — wait for the
+    // R-stream's decision on the syscall semaphore, then run its chunk.
+    slip::SlipPair& pair = *member_.pair;
+    while (true) {
+      check_recovery();
+      if (!pair.syscall_sem().consume(cpu(), TimeCategory::kScheduling)) {
+        throw slip::RecoveryException{};
+      }
+      cpu().consume(
+          rt_.mem().load(cpu().id(), pair.mailbox_addr(), cpu().issue_time()),
+          TimeCategory::kScheduling);
+      SSOMP_CHECK(!pair.mailbox_queue.empty());
+      const slip::SlipPair::Mailbox mb = pair.mailbox_queue.front();
+      pair.mailbox_queue.pop_front();
+      if (mb.last) break;
+      body(mb.lo, mb.hi);
+    }
+  }
+  if (!nowait) barrier();
+}
+
+void ThreadCtx::for_loop(long lo, long hi, front::ScheduleClause sched,
+                         const std::function<void(long)>& body, bool nowait) {
+  for_chunks(
+      lo, hi, sched,
+      [&](long clo, long chi) {
+        for (long i = clo; i < chi; ++i) body(i);
+      },
+      nowait);
+}
+
+void ThreadCtx::for_loop(long lo, long hi,
+                         const std::function<void(long)>& body, bool nowait) {
+  front::ScheduleClause sched = rt_.options_.default_schedule;
+  for_loop(lo, hi, sched, body, nowait);
+}
+
+bool ThreadCtx::single(const std::function<void()>& body, bool nowait) {
+  if (serial_nested_) {
+    if (!is_a_stream()) body();  // the sole team member executes
+    return !is_a_stream();
+  }
+  bool executed = false;
+  if (!is_a_stream()) {
+    // Compete for the ticket: the first thread to reach this single
+    // construct instance executes it.
+    const auto tid = static_cast<std::size_t>(id());
+    const std::uint64_t my_seq = ++rt_.member_single_seq_[tid];
+    rt_.single_lock_->acquire(cpu(), TimeCategory::kLock);
+    cpu().consume(
+        rt_.mem().load(cpu().id(), rt_.single_word_, cpu().issue_time()),
+        TimeCategory::kLock);
+    if (rt_.single_done_seq_ < my_seq) {
+      rt_.single_done_seq_ = my_seq;
+      executed = true;
+      cpu().consume(
+          rt_.mem().store(cpu().id(), rt_.single_word_, cpu().issue_time()),
+          TimeCategory::kLock);
+    }
+    rt_.single_lock_->release(cpu());
+    if (executed) {
+      // The A-stream skipped this construct: suspend R->A I/O pairing so
+      // an io_read inside the body does not strand a syscall token.
+      const bool saved = io_pairing_;
+      io_pairing_ = false;
+      body();
+      io_pairing_ = saved;
+    }
+  }
+  // §3.1: A-streams skip single sections — there is no way to predict
+  // whether the paired R-stream will win the ticket, and prefetching on
+  // the wrong node causes harmful migration.
+  if (!nowait) barrier();
+  return executed;
+}
+
+void ThreadCtx::master(const std::function<void()>& body) {
+  // §3.1: unlike single, the executor is known a priori, so the A-stream
+  // paired with the master executes the section too (with stores skipped).
+  if (id() == 0) body();
+}
+
+void ThreadCtx::critical(const std::function<void()>& body) {
+  if (is_a_stream()) {
+    check_recovery();
+    if (rt_.options_.policies.a_executes_critical) {
+      body();  // unlocked; stores become prefetches via mem_write
+    }
+    return;
+  }
+  rt_.critical_lock_->acquire(cpu(), TimeCategory::kLock);
+  if (rt_.options_.policies.a_executes_critical) {
+    body();
+  } else {
+    const bool saved = io_pairing_;
+    io_pairing_ = false;
+    body();
+    io_pairing_ = saved;
+  }
+  rt_.critical_lock_->release(cpu());
+}
+
+void ThreadCtx::sections(const std::vector<std::function<void()>>& sections,
+                         front::ScheduleKind kind, bool nowait) {
+  // The sections construct is a worksharing loop over section indices;
+  // static assignment lets the A-stream run its R-stream's sections ahead,
+  // dynamic assignment forwards the decision like dynamic-for (§3.1).
+  front::ScheduleClause sched;
+  sched.kind = kind;
+  sched.chunk = 1;
+  for_chunks(
+      0, static_cast<long>(sections.size()), sched,
+      [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i) {
+          sections[static_cast<std::size_t>(i)]();
+        }
+      },
+      nowait);
+}
+
+void ThreadCtx::flush() {
+  // Hardware cache coherence maintains flush semantics on every
+  // transaction; the construct maps to void (§3.1). The A-stream produces
+  // no shared values, so it must not affect visibility either.
+}
+
+double ThreadCtx::reduce(double v, bool sync_a, bool is_max) {
+  if (serial_nested_) return v;  // one-thread team: identity reduction
+  sim::SimCpu& c = cpu();
+  const auto tid = static_cast<std::size_t>(id());
+  if (!is_a_stream()) {
+    rt_.partial_values_[tid] = v;
+    c.consume(rt_.mem().store(c.id(), rt_.partial_addrs_[tid],
+                              c.issue_time()),
+              TimeCategory::kMemStall);
+  } else {
+    // The A-stream executes the reduction as user code but commits
+    // nothing (§3.1).
+    c.charge(1, TimeCategory::kBusy);
+  }
+  barrier();
+  if (!is_a_stream() && id() == 0) {
+    double acc = is_max ? -1.0e308 : 0.0;
+    for (int i = 0; i < nthreads(); ++i) {
+      c.consume(rt_.mem().load(c.id(),
+                               rt_.partial_addrs_[static_cast<std::size_t>(i)],
+                               c.issue_time()),
+                TimeCategory::kMemStall);
+      acc = is_max ? std::max(acc, rt_.partial_values_[static_cast<std::size_t>(i)])
+                   : acc + rt_.partial_values_[static_cast<std::size_t>(i)];
+    }
+    rt_.reduce_result_ = acc;
+    c.consume(rt_.mem().store(c.id(), rt_.reduce_result_word_,
+                              c.issue_time()),
+              TimeCategory::kMemStall);
+  }
+  barrier();
+  if (rt_.team_.slipstream()) {
+    if (member_.role == StreamRole::kR && sync_a) {
+      member_.pair->syscall_sem().insert(c);
+    } else if (is_a_stream() && sync_a) {
+      if (!member_.pair->syscall_sem().consume(c,
+                                               TimeCategory::kStreamWait)) {
+        throw slip::RecoveryException{};
+      }
+    }
+  }
+  c.consume(rt_.mem().load(c.id(), rt_.reduce_result_word_, c.issue_time()),
+            TimeCategory::kMemStall);
+  return rt_.reduce_result_;
+}
+
+double ThreadCtx::reduce_sum(double v, bool sync_a) {
+  return reduce(v, sync_a, /*is_max=*/false);
+}
+
+double ThreadCtx::reduce_max(double v, bool sync_a) {
+  return reduce(v, sync_a, /*is_max=*/true);
+}
+
+void ThreadCtx::parallel(const std::function<void(ThreadCtx&)>& body) {
+  ThreadCtx inner(rt_, member_);
+  inner.serial_nested_ = true;
+  inner.io_pairing_ = io_pairing_;
+  body(inner);
+}
+
+void ThreadCtx::io_write(sim::Cycles cost) {
+  // §3.1: output operations are irreversible and must not be executed by
+  // the speculative A-stream.
+  if (is_a_stream()) return;
+  cpu().consume(cost, TimeCategory::kBusy);
+}
+
+void ThreadCtx::io_read(sim::Cycles cost) {
+  if (is_a_stream()) {
+    // The A-stream must observe the same input image as its R-stream: it
+    // stalls on the syscall semaphore until the R-stream completes the
+    // input (§2.2, §3.1).
+    check_recovery();
+    if (!member_.pair->syscall_sem().consume(cpu(),
+                                             TimeCategory::kStreamWait)) {
+      throw slip::RecoveryException{};
+    }
+    cpu().consume(10, TimeCategory::kBusy);  // re-read the buffered image
+    return;
+  }
+  cpu().consume(cost, TimeCategory::kBusy);
+  if (io_pairing_ && rt_.team_.slipstream() &&
+      member_.role == StreamRole::kR) {
+    member_.pair->syscall_sem().insert(cpu());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SerialCtx
+
+sim::SimCpu& SerialCtx::cpu() { return rt_.machine_.cpu(0); }
+
+void SerialCtx::compute(sim::Cycles n) {
+  cpu().charge(n, TimeCategory::kBusy);
+}
+
+void SerialCtx::mem_read(sim::Addr a) {
+  sim::SimCpu& c = cpu();
+  const sim::Cycles lat = rt_.mem().load(c.id(), a, c.issue_time());
+  c.charge(lat, lat <= rt_.mem().params().l1_hit_cycles
+                    ? TimeCategory::kBusy
+                    : TimeCategory::kMemStall);
+}
+
+bool SerialCtx::mem_write(sim::Addr a) {
+  sim::SimCpu& c = cpu();
+  const sim::Cycles lat = rt_.mem().store(c.id(), a, c.issue_time());
+  c.charge(lat, lat <= rt_.mem().params().l1_hit_cycles
+                    ? TimeCategory::kBusy
+                    : TimeCategory::kMemStall);
+  return true;
+}
+
+void SerialCtx::io_write(sim::Cycles cost) {
+  cpu().consume(cost, TimeCategory::kBusy);
+}
+
+void SerialCtx::io_read(sim::Cycles cost) {
+  cpu().consume(cost, TimeCategory::kBusy);
+}
+
+void SerialCtx::slipstream_directive(std::string_view directive_text) {
+  auto r = front::parse_slipstream_directive(directive_text);
+  SSOMP_CHECK(r.ok);
+  rt_.directives_.apply_serial(r.value);
+}
+
+void SerialCtx::parallel(const std::function<void(ThreadCtx&)>& body,
+                         std::string_view region_directive, bool if_clause) {
+  if (!if_clause) {
+    // OpenMP IF(false): execute the region serially on the master.
+    Member m{0, 0, stats::StreamRole::kNone, nullptr};
+    Team saved = rt_.team_;
+    rt_.team_ = Team{};
+    rt_.team_.mode = ExecutionMode::kSingle;
+    rt_.team_.nthreads = 1;
+    rt_.team_.members.push_back(m);
+    rt_.barrier_->configure(1);
+    ThreadCtx t(rt_, m);
+    body(t);
+    rt_.team_ = saved;
+    return;
+  }
+  std::optional<front::ParsedSlipstream> region;
+  if (!region_directive.empty()) {
+    auto r = front::parse_slipstream_directive(region_directive);
+    SSOMP_CHECK(r.ok);
+    region = r.value;
+  }
+  rt_.dispatch_region(body, region);
+}
+
+}  // namespace ssomp::rt

@@ -1,0 +1,370 @@
+// The slipstream-aware OpenMP runtime library (paper §3, §4).
+//
+// This is the layer the paper's Omni extension modifies: an Omni-style
+// process pool (slaves created once at program start, parked between
+// regions), parallel regions lowered to callables, worksharing with
+// static/dynamic/guided schedules, and all the constructs §3.1 discusses,
+// each with its slipstream-aware handling:
+//
+//   construct    R-stream                A-stream
+//   ---------    ---------------------   --------------------------------
+//   barrier      insert token (entry =   consume token; wait when none
+//                LOCAL, exit = GLOBAL);
+//                divergence check
+//   for static   compute bounds locally  identical bounds (same id, same
+//                                        halved thread count)
+//   for dyn/gui  serialize on scheduler  wait on syscall semaphore; read
+//                lock; publish chunk +   R's published decision
+//                insert syscall token
+//   single       compete for ticket      skip
+//   master       execute if id 0         execute if paired with master
+//   critical     lock; execute           skip (policy: execute unlocked
+//                                        with stores as prefetches)
+//   atomic       exclusive RMW           exclusive prefetch (policy)
+//   reduction    partials + barriers     compute privately, no commit;
+//                                        optional sync for fresh result
+//   flush        void (hw coherent)      skip
+//   shared store normal store            exclusive prefetch when in the
+//                                        same session as R, else dropped
+//   I/O          execute; insert token   skip output; wait token on input
+//                on input completion
+//
+// The execution mode (single / double / slipstream) is chosen at runtime
+// from the same "binary" (program callable), per §3.1.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "front/directive.hpp"
+#include "machine/machine.hpp"
+#include "rt/options.hpp"
+#include "rt/sync_primitives.hpp"
+#include "slip/pair.hpp"
+#include "stats/reqclass.hpp"
+
+namespace ssomp::rt {
+
+class Runtime;
+class ThreadCtx;
+class SerialCtx;
+
+/// One participant of a parallel region's team.
+struct Member {
+  sim::CpuId cpu = sim::kInvalidCpu;
+  int tid = 0;  // OpenMP thread id; an A-stream shares its R-stream's id
+  stats::StreamRole role = stats::StreamRole::kNone;
+  slip::SlipPair* pair = nullptr;  // set in slipstream mode
+};
+
+struct Team {
+  ExecutionMode mode = ExecutionMode::kSingle;
+  int nthreads = 0;  // value returned by omp_get_num_threads()
+  slip::SlipstreamConfig slip = slip::SlipstreamConfig::disabled();
+  std::vector<Member> members;
+
+  [[nodiscard]] bool slipstream() const {
+    return mode == ExecutionMode::kSlipstream && slip.enabled();
+  }
+};
+
+/// A per-parallel-region execution record (observability: which regions
+/// dominate, what mode each ran in, what the slipstream machinery did).
+struct RegionRecord {
+  int index = 0;                   // region sequence number
+  ExecutionMode mode = ExecutionMode::kSingle;
+  slip::SlipstreamConfig slip = slip::SlipstreamConfig::disabled();
+  int nthreads = 0;
+  sim::Cycles start = 0;
+  sim::Cycles cycles = 0;          // region duration (dispatch to join)
+  std::uint64_t tokens_consumed = 0;
+  std::uint64_t converted_stores = 0;
+  std::uint64_t dropped_stores = 0;
+  std::uint64_t forwarded_chunks = 0;
+};
+
+/// Per-region statistics of slipstream machinery.
+struct SlipRegionStats {
+  std::uint64_t tokens_consumed = 0;
+  std::uint64_t tokens_inserted = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t forwarded_chunks = 0;  // dynamic-scheduling decisions sent
+  std::uint64_t dropped_stores = 0;    // A-stores skipped outright
+  std::uint64_t converted_stores = 0;  // A-stores turned into prefetches
+
+  SlipRegionStats& operator+=(const SlipRegionStats& o) {
+    tokens_consumed += o.tokens_consumed;
+    tokens_inserted += o.tokens_inserted;
+    recoveries += o.recoveries;
+    forwarded_chunks += o.forwarded_chunks;
+    dropped_stores += o.dropped_stores;
+    converted_stores += o.converted_stores;
+    return *this;
+  }
+};
+
+/// Execution context handed to code inside a parallel region.
+class ThreadCtx {
+ public:
+  ThreadCtx(Runtime& rt, const Member& member);
+
+  [[nodiscard]] int id() const { return serial_nested_ ? 0 : member_.tid; }
+  [[nodiscard]] int nthreads() const;
+  [[nodiscard]] stats::StreamRole role() const { return member_.role; }
+  [[nodiscard]] bool is_a_stream() const {
+    return member_.role == stats::StreamRole::kA;
+  }
+  [[nodiscard]] sim::SimCpu& cpu();
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+
+  /// Private computation: charges `n` busy cycles.
+  void compute(sim::Cycles n);
+
+  /// --- shared-memory access (used by SharedArray/SharedVar) ---
+
+  /// Simulated load of a shared address (value handling is the caller's).
+  void mem_read(sim::Addr a);
+
+  /// Simulated store; returns true when the host value should be
+  /// committed (always for R; never for A, whose stores are converted to
+  /// exclusive prefetches or dropped per §2 and the construct policies).
+  bool mem_write(sim::Addr a);
+
+  /// --- synchronization & worksharing constructs ---
+
+  void barrier();
+
+  /// Worksharing loop over [lo, hi). The body receives chunk bounds.
+  void for_chunks(long lo, long hi, front::ScheduleClause sched,
+                  const std::function<void(long, long)>& body,
+                  bool nowait = false);
+
+  /// Per-iteration convenience wrapper.
+  void for_loop(long lo, long hi, front::ScheduleClause sched,
+                const std::function<void(long)>& body, bool nowait = false);
+  void for_loop(long lo, long hi, const std::function<void(long)>& body,
+                bool nowait = false);
+
+  /// `single` construct: returns true on the executing thread. A-streams
+  /// always skip (§3.1). Implied barrier unless nowait.
+  bool single(const std::function<void()>& body, bool nowait = false);
+
+  /// `master` construct: executed by thread 0's R- and A-streams. No
+  /// implied barrier.
+  void master(const std::function<void()>& body);
+
+  /// `critical` construct.
+  void critical(const std::function<void()>& body);
+
+  /// `sections` construct; assignment static or dynamic.
+  void sections(const std::vector<std::function<void()>>& sections,
+                front::ScheduleKind kind = front::ScheduleKind::kStatic,
+                bool nowait = false);
+
+  /// `flush` directive: void on the hardware-coherent target.
+  void flush();
+
+  /// Nested parallel region. Nested parallelism is not enabled (the paper
+  /// leaves inheritance into nested regions implementation-dependent,
+  /// §3.1), so the inner region is serialized onto the encountering
+  /// thread as a one-thread team — the OpenMP default with nesting
+  /// disabled. Inside, this thread reports id 0 / nthreads 1, barriers
+  /// are no-ops, and every worksharing construct executes entirely here.
+  void parallel(const std::function<void(ThreadCtx&)>& body);
+
+  /// Reductions (two-barrier partial-sum scheme). With `sync_a`, the
+  /// A-stream waits for its R-stream's syscall token so it observes the
+  /// fresh result (needed only when the result steers control flow, §3.1).
+  double reduce_sum(double v, bool sync_a = false);
+  double reduce_max(double v, bool sync_a = false);
+
+  /// I/O operations (§3.1). Cost is charged to the R-stream; the A-stream
+  /// skips output and synchronizes on input.
+  void io_write(sim::Cycles cost);
+  void io_read(sim::Cycles cost);
+
+  /// True when the A-stream is within `window` barrier sessions of its
+  /// R-stream (store-conversion predicate, §2; the default window of one
+  /// session reproduces the paper's one-token-local exclusive coverage).
+  [[nodiscard]] bool within_session_window(int window) const;
+
+  /// Strict same-session check (window 0).
+  [[nodiscard]] bool same_session() const {
+    return within_session_window(0);
+  }
+
+  /// Throws slip::RecoveryException if this A-stream was flagged.
+  void check_recovery();
+
+  [[nodiscard]] const Member& member() const { return member_; }
+
+ private:
+  friend class Runtime;
+
+  double reduce(double v, bool sync_a, bool is_max);
+
+  Runtime& rt_;
+  Member member_;
+  // R->A syscall-token pairing for I/O; suspended inside constructs the
+  // A-stream skips (single, critical under the skip policy).
+  bool io_pairing_ = true;
+  // True inside a serialized nested parallel region (one-thread team).
+  bool serial_nested_ = false;
+};
+
+/// Execution context for the serial parts of the program (master only).
+class SerialCtx {
+ public:
+  explicit SerialCtx(Runtime& rt) : rt_(rt) {}
+
+  [[nodiscard]] Runtime& runtime() { return rt_; }
+  [[nodiscard]] sim::SimCpu& cpu();
+
+  void compute(sim::Cycles n);
+  void mem_read(sim::Addr a);
+  bool mem_write(sim::Addr a);
+  void io_write(sim::Cycles cost);
+  void io_read(sim::Cycles cost);
+
+  /// A SLIPSTREAM directive in the serial part: global program setting
+  /// until overridden (§3.3). The string uses the paper's syntax.
+  void slipstream_directive(std::string_view directive_text);
+
+  /// Runs a parallel region. `region_directive` optionally carries a
+  /// region-level SLIPSTREAM directive; `if_clause` false forces serial
+  /// execution of the body on the master (OpenMP IF clause).
+  void parallel(const std::function<void(ThreadCtx&)>& body,
+                std::string_view region_directive = {},
+                bool if_clause = true);
+
+ private:
+  Runtime& rt_;
+};
+
+class Runtime {
+ public:
+  Runtime(machine::Machine& machine, RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs `program` to completion on the simulated machine; returns the
+  /// total simulated execution time.
+  sim::Cycles run(const std::function<void(SerialCtx&)>& program);
+
+  [[nodiscard]] machine::Machine& machine() { return machine_; }
+  [[nodiscard]] mem::MemorySystem& mem() { return machine_.mem(); }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] front::DirectiveControl& directives() { return directives_; }
+  [[nodiscard]] const Team& team() const { return team_; }
+  [[nodiscard]] SlipRegionStats& slip_stats() { return slip_stats_; }
+  [[nodiscard]] int regions_executed() const { return regions_executed_; }
+
+  /// Execution records for every parallel region, in program order.
+  [[nodiscard]] const std::vector<RegionRecord>& region_records() const {
+    return region_records_;
+  }
+
+  /// Thread count the "omp_get_num_threads in the serial part" idiom
+  /// would observe for the current mode (§3.1 Thread count/ID).
+  [[nodiscard]] int logical_thread_count() const;
+
+ private:
+  friend class ThreadCtx;
+  friend class SerialCtx;
+
+  // Worksharing loop descriptors (host values; simulated traffic on
+  // sched_word_). A small ring supports `nowait` overlap of consecutive
+  // dynamic loops; threads may lag at most kLoopRing loops behind.
+  struct LoopDesc {
+    std::uint64_t epoch = 0;
+    bool initialized = false;
+    long next = 0;
+    long hi = 0;
+    long chunk = 1;
+    front::ScheduleKind kind = front::ScheduleKind::kDynamic;
+    // Affinity scheduling: per-thread partitions [part_next[t], part_hi[t]).
+    std::vector<long> part_next;
+    std::vector<long> part_hi;
+    std::uint64_t steals = 0;
+  };
+  static constexpr int kLoopRing = 8;
+
+  void slave_loop(sim::CpuId cpu);
+  void run_member(const Member& m);
+  void region_end_member(ThreadCtx& t);
+  Team build_team(const slip::SlipstreamConfig& cfg) const;
+  void dispatch_region(const std::function<void(ThreadCtx&)>& body,
+                       const std::optional<front::ParsedSlipstream>& region);
+  void signal_done(ThreadCtx& t);
+
+  /// Slipstream-aware barrier implementation shared by barrier() and the
+  /// end-of-region join.
+  void slip_barrier(ThreadCtx& t, sim::TimeCategory cat);
+
+  /// Dynamic/guided chunk acquisition (serialized, §3.2.2); returns false
+  /// when the loop is exhausted.
+  bool next_chunk(ThreadCtx& t, LoopDesc& d, long& lo, long& hi);
+
+  /// Enters thread `t` into its next dynamic worksharing construct,
+  /// initializing the descriptor on first entry.
+  LoopDesc& enter_dynamic_loop(ThreadCtx& t, long lo, long hi,
+                               front::ScheduleClause sched);
+
+  /// R-side of §3.2.2: publish a scheduling decision to the paired
+  /// A-stream and release it with a syscall-semaphore token.
+  void forward_chunk(ThreadCtx& t, long lo, long hi, bool last);
+
+  machine::Machine& machine_;
+  RuntimeOptions options_;
+  front::DirectiveControl directives_;
+
+  Team team_;
+  std::function<void(ThreadCtx&)> current_body_;
+  bool in_region_ = false;
+  bool shutdown_ = false;
+  int regions_executed_ = 0;
+
+  // Job dispatch / join.
+  sim::Addr job_word_;
+  sim::Addr join_word_;
+  int join_count_ = 0;
+  int join_target_ = 0;
+  bool master_waiting_ = false;
+  std::vector<const Member*> cpu_member_;  // per-cpu slot for this region
+
+  // Synchronization primitives (runtime arena).
+  std::unique_ptr<SenseBarrier> barrier_;
+  std::unique_ptr<SpinLock> sched_lock_;
+  std::unique_ptr<SpinLock> single_lock_;
+  std::unique_ptr<SpinLock> critical_lock_;
+  std::unique_ptr<SpinLock> atomic_lock_;
+
+  sim::Addr sched_word_;
+  std::array<LoopDesc, kLoopRing> loops_{};
+
+  // Per-R-thread count of dynamic worksharing constructs entered (selects
+  // the thread's current LoopDesc).
+  std::vector<std::uint64_t> member_loop_epoch_;
+
+  // Single-construct ticket.
+  sim::Addr single_word_;
+  std::uint64_t single_done_seq_ = 0;
+  std::vector<std::uint64_t> member_single_seq_;
+
+  // Reduction area.
+  std::vector<sim::Addr> partial_addrs_;
+  std::vector<double> partial_values_;
+  sim::Addr reduce_result_word_;
+  double reduce_result_ = 0.0;
+
+  SlipRegionStats slip_stats_;
+  std::vector<RegionRecord> region_records_;
+};
+
+}  // namespace ssomp::rt

@@ -1,0 +1,166 @@
+// Shared data containers for workloads.
+//
+// Values live once in host memory (the single authoritative copy); every
+// access routes a simulated load/store through the ThreadCtx/SerialCtx so
+// timing, coherence traffic, and the A-stream store policy are applied.
+// Because the A-stream's mem_write never commits, a diverging A-stream can
+// never corrupt the R-streams' data — the property slipstream relies on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "rt/runtime.hpp"
+
+namespace ssomp::rt {
+
+enum class Distribution : std::uint8_t {
+  kRoundRobin = 0,  // page-interleaved homes (the HomeMap default)
+  kBlock,           // contiguous block of pages per node
+};
+
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray(Runtime& rt, std::size_t n, std::string name,
+              Distribution dist = Distribution::kBlock)
+      : rt_(&rt), name_(std::move(name)), host_(n) {
+    base_ = rt.machine().addr_space().alloc_app(n * sizeof(T));
+    if (dist == Distribution::kBlock && n > 0) {
+      rt.mem().home_map().distribute_block(base_, n * sizeof(T));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return host_.size(); }
+  [[nodiscard]] sim::Addr addr(std::size_t i) const {
+    return base_ + i * sizeof(T);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Simulated element read within a parallel region.
+  [[nodiscard]] T read(ThreadCtx& t, std::size_t i) const {
+    t.mem_read(addr(i));
+    return host_[i];
+  }
+
+  /// Simulated element write; the A-stream's write is converted/dropped.
+  void write(ThreadCtx& t, std::size_t i, T v) {
+    if (t.mem_write(addr(i))) host_[i] = v;
+  }
+
+  /// Serial-part simulated access (master).
+  [[nodiscard]] T read(SerialCtx& s, std::size_t i) const {
+    s.mem_read(addr(i));
+    return host_[i];
+  }
+  void write(SerialCtx& s, std::size_t i, T v) {
+    if (s.mem_write(addr(i))) host_[i] = v;
+  }
+
+  /// Simulates a unit-stride read scan of elements [lo, hi): one load per
+  /// cache line touched (the per-element accesses in between are L1 hits
+  /// by construction and are charged by the caller's compute cost). Host
+  /// values are then read directly via host().
+  void scan_read(ThreadCtx& t, std::size_t lo, std::size_t hi) const {
+    if (lo >= hi) return;
+    const sim::Cycles lb = t.runtime().mem().params().line_bytes;
+    const sim::Addr first = addr(lo) & ~(static_cast<sim::Addr>(lb) - 1);
+    const sim::Addr last = addr(hi - 1);
+    for (sim::Addr a = first; a <= last; a += lb) t.mem_read(a);
+  }
+
+  /// Simulates a unit-stride write scan of [lo, hi) and commits `src`
+  /// (length hi-lo) to host values — except on the A-stream, whose writes
+  /// are converted/dropped per the slipstream policy.
+  void scan_write(ThreadCtx& t, std::size_t lo, std::size_t hi,
+                  const T* src) {
+    if (lo >= hi) return;
+    const sim::Cycles lb = t.runtime().mem().params().line_bytes;
+    const sim::Addr first = addr(lo) & ~(static_cast<sim::Addr>(lb) - 1);
+    const sim::Addr last = addr(hi - 1);
+    bool commit = false;
+    for (sim::Addr a = first; a <= last; a += lb) {
+      commit = t.mem_write(a);
+    }
+    if (commit) {
+      for (std::size_t i = lo; i < hi; ++i) host_[i] = src[i - lo];
+    }
+  }
+
+  /// Unsimulated host access, for initialization before the simulated
+  /// program starts and for verification after it ends.
+  [[nodiscard]] T& host(std::size_t i) { return host_[i]; }
+  [[nodiscard]] const T& host(std::size_t i) const { return host_[i]; }
+  [[nodiscard]] std::vector<T>& host_vector() { return host_; }
+  [[nodiscard]] const std::vector<T>& host_vector() const { return host_; }
+
+ private:
+  Runtime* rt_;
+  std::string name_;
+  sim::Addr base_ = 0;
+  std::vector<T> host_;
+};
+
+template <typename T>
+class SharedVar {
+ public:
+  SharedVar(Runtime& rt, std::string name, T init = T{})
+      : rt_(&rt), name_(std::move(name)), value_(init) {
+    // One cache line per scalar: shared scalars are contention hot-spots
+    // and must not false-share.
+    base_ = rt.machine().addr_space().alloc_app(
+        rt.mem().params().line_bytes);
+  }
+
+  [[nodiscard]] sim::Addr addr() const { return base_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] T read(ThreadCtx& t) const {
+    t.mem_read(base_);
+    return value_;
+  }
+  void write(ThreadCtx& t, T v) {
+    if (t.mem_write(base_)) value_ = v;
+  }
+
+  [[nodiscard]] T read(SerialCtx& s) const {
+    s.mem_read(base_);
+    return value_;
+  }
+  void write(SerialCtx& s, T v) {
+    if (s.mem_write(base_)) value_ = v;
+  }
+
+  /// OpenMP `atomic` update (§3.1): an exclusive RMW for the R-stream; the
+  /// A-stream issues an exclusive prefetch under the default policy, so
+  /// the data it will RMW later is unlikely to migrate away.
+  void atomic_add(ThreadCtx& t, T v) {
+    sim::SimCpu& c = t.cpu();
+    auto& ms = t.runtime().mem();
+    if (t.is_a_stream()) {
+      t.check_recovery();
+      if (t.runtime().options().policies.a_executes_atomic) {
+        (void)ms.prefetch(c.id(), base_, /*exclusive=*/true, c.issue_time());
+      }
+      c.charge(1, sim::TimeCategory::kBusy);
+      return;
+    }
+    c.consume(ms.load(c.id(), base_, c.issue_time()),
+              sim::TimeCategory::kLock);
+    c.consume(ms.store(c.id(), base_, c.issue_time()),
+              sim::TimeCategory::kLock);
+    value_ += v;
+  }
+
+  [[nodiscard]] T& host() { return value_; }
+  [[nodiscard]] const T& host() const { return value_; }
+
+ private:
+  Runtime* rt_;
+  std::string name_;
+  sim::Addr base_ = 0;
+  T value_;
+};
+
+}  // namespace ssomp::rt

@@ -1,0 +1,98 @@
+#include "rt/sync_primitives.hpp"
+
+#include <algorithm>
+
+namespace ssomp::rt {
+
+SpinLock::SpinLock(mem::MemorySystem& mem, mem::AddrSpace& addr_space)
+    : mem_(mem), word_(addr_space.alloc_runtime(64)) {}
+
+void SpinLock::acquire(sim::SimCpu& cpu, sim::TimeCategory cat) {
+  int probes = 0;
+  while (true) {
+    // Test: read the lock word.
+    cpu.consume(mem_.load(cpu.id(), word_, cpu.issue_time()), cat);
+    if (!held_) {
+      // Test-and-set: the RMW needs exclusive ownership of the line.
+      cpu.consume(mem_.store(cpu.id(), word_, cpu.issue_time()), cat);
+      if (!held_) {
+        held_ = true;
+        ++acquisitions_;
+        return;
+      }
+      // Lost the race between our read and our RMW.
+    }
+    ++contended_;
+    if (++probes < kSpinProbes) {
+      cpu.consume(kBackoff, cat);
+    } else {
+      parked_.push_back(&cpu);
+      cpu.block(cat);
+      probes = 0;
+    }
+  }
+}
+
+void SpinLock::release(sim::SimCpu& cpu) {
+  SSOMP_CHECK(held_);
+  held_ = false;
+  // The releasing store invalidates the spinners' cached copies.
+  cpu.consume(mem_.store(cpu.id(), word_, cpu.issue_time()), sim::TimeCategory::kBusy);
+  if (!parked_.empty()) {
+    sim::SimCpu* next = parked_.front();
+    parked_.pop_front();
+    next->wake();
+  }
+}
+
+SenseBarrier::SenseBarrier(mem::MemorySystem& mem, mem::AddrSpace& addr_space)
+    : mem_(mem),
+      counter_word_(addr_space.alloc_runtime(64)),
+      sense_word_(addr_space.alloc_runtime(64)) {}
+
+void SenseBarrier::configure(int participants) {
+  SSOMP_CHECK(parked_.empty());
+  SSOMP_CHECK(participants >= 1);
+  participants_ = participants;
+  count_ = participants;
+  local_sense_.assign(static_cast<std::size_t>(participants), sense_);
+}
+
+void SenseBarrier::arrive(sim::SimCpu& cpu, int slot, sim::TimeCategory cat) {
+  SSOMP_CHECK(slot >= 0 && slot < participants_);
+  const bool my_sense = !local_sense_[static_cast<std::size_t>(slot)];
+  local_sense_[static_cast<std::size_t>(slot)] = my_sense;
+
+  // Atomic decrement of the arrival counter (read-modify-write).
+  cpu.consume(mem_.load(cpu.id(), counter_word_, cpu.issue_time()), cat);
+  cpu.consume(mem_.store(cpu.id(), counter_word_, cpu.issue_time()), cat);
+  if (--count_ == 0) {
+    // Last arriver: reset and release by flipping the shared sense.
+    count_ = participants_;
+    sense_ = my_sense;
+    ++episodes_;
+    cpu.consume(mem_.store(cpu.id(), sense_word_, cpu.issue_time()), cat);
+    for (sim::SimCpu* waiter : parked_) waiter->wake();
+    parked_.clear();
+    return;
+  }
+
+  int probes = 0;
+  while (sense_ != my_sense) {
+    // Spin on the shared sense word.
+    cpu.consume(mem_.load(cpu.id(), sense_word_, cpu.issue_time()), cat);
+    if (sense_ == my_sense) break;
+    if (++probes < kSpinProbes) {
+      cpu.consume(kBackoff, cat);
+    } else {
+      parked_.push_back(&cpu);
+      cpu.block(cat);
+      // Woken by the releaser; the post-wake load below models the final
+      // probe observing the flipped sense.
+      cpu.consume(mem_.load(cpu.id(), sense_word_, cpu.issue_time()), cat);
+      break;
+    }
+  }
+}
+
+}  // namespace ssomp::rt

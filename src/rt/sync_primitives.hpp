@@ -1,0 +1,81 @@
+// Simulated synchronization primitives used inside the runtime library.
+//
+// Both primitives generate real coherence traffic on runtime-arena lines
+// (their words are allocated from AddrSpace's runtime arena, so they do not
+// pollute the Figure 3/5 application request classification) and attribute
+// waiting time to the caller-supplied category.
+//
+// Host-side state provides the value semantics; the simulated accesses
+// provide the timing. A bounded spin-then-block scheme keeps host event
+// counts proportional to simulated traffic without distorting wait times:
+// the first probes are honest spin loads (they pay the invalidate-miss when
+// the releaser writes), after which the waiter parks and the releaser's
+// wake models the final probe.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mem/memsys.hpp"
+#include "sim/engine.hpp"
+
+namespace ssomp::rt {
+
+/// Test-and-test-and-set spin lock with bounded spinning.
+class SpinLock {
+ public:
+  SpinLock(mem::MemorySystem& mem, mem::AddrSpace& addr_space);
+
+  void acquire(sim::SimCpu& cpu, sim::TimeCategory cat);
+  void release(sim::SimCpu& cpu);
+
+  [[nodiscard]] bool held() const { return held_; }
+  [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
+  [[nodiscard]] std::uint64_t contended_acquisitions() const {
+    return contended_;
+  }
+
+ private:
+  mem::MemorySystem& mem_;
+  sim::Addr word_;
+  bool held_ = false;
+  std::deque<sim::SimCpu*> parked_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+
+  static constexpr int kSpinProbes = 4;
+  static constexpr sim::Cycles kBackoff = 200;
+};
+
+/// Central sense-reversing barrier over a fixed participant count.
+class SenseBarrier {
+ public:
+  SenseBarrier(mem::MemorySystem& mem, mem::AddrSpace& addr_space);
+
+  /// Sets the number of participants; resets the episode state. Only legal
+  /// when nobody is waiting.
+  void configure(int participants);
+
+  /// `slot` identifies the participant (0 .. participants-1) and carries
+  /// its private sense across episodes.
+  void arrive(sim::SimCpu& cpu, int slot, sim::TimeCategory cat);
+
+  [[nodiscard]] int participants() const { return participants_; }
+  [[nodiscard]] std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  mem::MemorySystem& mem_;
+  sim::Addr counter_word_;
+  sim::Addr sense_word_;
+  int participants_ = 0;
+  int count_ = 0;
+  bool sense_ = false;
+  std::vector<bool> local_sense_;
+  std::vector<sim::SimCpu*> parked_;
+  std::uint64_t episodes_ = 0;
+
+  static constexpr int kSpinProbes = 4;
+  static constexpr sim::Cycles kBackoff = 400;
+};
+
+}  // namespace ssomp::rt

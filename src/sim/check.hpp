@@ -1,0 +1,33 @@
+// Internal invariant checking.
+//
+// SSOMP_CHECK is always on (simulator correctness beats the tiny cost of a
+// predictable branch); SSOMP_DCHECK compiles out in release-with-NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssomp::sim::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "ssomp check failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ssomp::sim::detail
+
+#define SSOMP_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::ssomp::sim::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSOMP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define SSOMP_DCHECK(expr) SSOMP_CHECK(expr)
+#endif

@@ -1,0 +1,96 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace ssomp::sim {
+
+SimCpu& Engine::add_cpu(std::string name) {
+  auto id = static_cast<CpuId>(cpus_.size());
+  cpus_.push_back(std::make_unique<SimCpu>(*this, id, std::move(name)));
+  return *cpus_.back();
+}
+
+void Engine::schedule_at(Cycles when, std::function<void()> fn) {
+  SSOMP_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+Cycles Engine::run(Cycles until) {
+  SSOMP_CHECK(Fiber::current() == nullptr);
+  while (!queue_.empty()) {
+    if (queue_.top().when > until) break;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    SSOMP_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimCpu::SimCpu(Engine& engine, CpuId id, std::string name)
+    : engine_(engine), id_(id), name_(std::move(name)) {}
+
+void SimCpu::start(std::function<void()> body, Cycles start_at) {
+  SSOMP_CHECK(fiber_ == nullptr);
+  fiber_ = std::make_unique<Fiber>(name_, std::move(body));
+  engine_.schedule_at(start_at, [this] { resume_from_scheduler(); });
+}
+
+void SimCpu::resume_from_scheduler() {
+  SSOMP_CHECK(fiber_ != nullptr);
+  fiber_->resume();
+  if (fiber_->finished() && finish_time_ == 0) {
+    finish_time_ = engine_.now();
+  }
+}
+
+void SimCpu::consume(Cycles n, TimeCategory cat) {
+  SSOMP_CHECK(is_current());
+  breakdown_.add(cat, n);
+  last_category_ = cat;
+  pending_ += n;
+  flush_time();
+}
+
+void SimCpu::charge(Cycles n, TimeCategory cat) {
+  SSOMP_DCHECK(is_current());
+  breakdown_.add(cat, n);
+  last_category_ = cat;
+  pending_ += n;
+  if (pending_ >= kMaxDefer) flush_time();
+}
+
+void SimCpu::flush_time() {
+  SSOMP_DCHECK(is_current());
+  if (pending_ == 0) return;
+  const Cycles n = pending_;
+  pending_ = 0;
+  engine_.schedule_at(engine_.now() + n, [this] { resume_from_scheduler(); });
+  fiber_->yield();
+}
+
+Cycles SimCpu::issue_time() const { return engine_.now() + pending_; }
+
+void SimCpu::block(TimeCategory cat) {
+  SSOMP_CHECK(is_current());
+  SSOMP_CHECK(!blocked_);
+  flush_time();
+  blocked_ = true;
+  block_start_ = engine_.now();
+  block_category_ = cat;
+  fiber_->yield();
+  // Woken: attribute the time spent blocked.
+  SSOMP_CHECK(!blocked_);
+  breakdown_.add(block_category_, engine_.now() - block_start_);
+}
+
+void SimCpu::wake(Cycles delay) {
+  SSOMP_CHECK(!is_current());
+  SSOMP_CHECK(blocked_);
+  blocked_ = false;
+  engine_.schedule_after(delay, [this] { resume_from_scheduler(); });
+}
+
+}  // namespace ssomp::sim

@@ -1,0 +1,174 @@
+// Discrete-event simulation engine.
+//
+// The engine owns simulated time and a priority queue of pending events.
+// Two kinds of event exist: resuming a blocked processor context, and
+// running a plain callback (used for fire-and-forget completions such as
+// A-stream prefetch fills). Ties are broken by insertion order, making the
+// whole simulation deterministic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/fiber.hpp"
+#include "sim/time_category.hpp"
+#include "sim/types.hpp"
+
+namespace ssomp::sim {
+
+class SimCpu;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Cycles now() const { return now_; }
+
+  /// Creates a processor context. CPUs are identified by creation order.
+  SimCpu& add_cpu(std::string name);
+
+  [[nodiscard]] int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  [[nodiscard]] SimCpu& cpu(CpuId id) {
+    SSOMP_CHECK(id >= 0 && id < cpu_count());
+    return *cpus_[static_cast<std::size_t>(id)];
+  }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  void schedule_at(Cycles when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  void schedule_after(Cycles delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `until` is reached.
+  /// Returns the final simulated time.
+  Cycles run(Cycles until = ~Cycles{0});
+
+  /// Number of events processed so far (for micro-benchmarks and tests).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+ private:
+  friend class SimCpu;
+
+  struct Event {
+    Cycles when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<SimCpu>> cpus_;
+};
+
+/// A simulated in-order processor context.
+///
+/// Workload and runtime code running on the CPU's fiber consumes simulated
+/// time through `consume()` and can block/unblock through `block()`/`wake()`.
+/// All consumed time is attributed to a TimeCategory for the Figure 2/4
+/// breakdowns.
+class SimCpu {
+ public:
+  SimCpu(Engine& engine, CpuId id, std::string name);
+
+  [[nodiscard]] CpuId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// Assigns the code this processor runs and makes it runnable at `start`.
+  /// Must be called at most once before Engine::run().
+  void start(std::function<void()> body, Cycles start_at = 0);
+
+  /// --- Calls below are only legal from within this CPU's fiber. ---
+
+  /// Advances simulated time by `n` cycles, attributed to `cat`, and
+  /// synchronizes with the engine immediately (exact interleaving). Use
+  /// for operations whose ordering other processors can observe.
+  void consume(Cycles n, TimeCategory cat);
+
+  /// Accrues `n` cycles lazily: the charge is recorded now, but the fiber
+  /// only yields to the engine once the accrued debt crosses a threshold.
+  /// This keeps host event counts proportional to cache *misses* rather
+  /// than accesses. Pair with `issue_time()` so the memory system sees
+  /// this CPU's true local time.
+  void charge(Cycles n, TimeCategory cat);
+
+  /// Yields until all lazily-charged time has elapsed.
+  void flush_time();
+
+  /// Unelapsed lazily-charged cycles.
+  [[nodiscard]] Cycles pending() const { return pending_; }
+
+  /// This CPU's local time: engine time plus unelapsed charges. Memory-
+  /// system requests must be stamped with this.
+  [[nodiscard]] Cycles issue_time() const;
+
+  /// Blocks until another agent calls `wake()` (flushes charges first).
+  /// Waiting time is attributed to `cat`.
+  void block(TimeCategory cat);
+
+  /// --- Calls below are made by other agents (not this CPU's fiber). ---
+
+  /// Makes a blocked CPU runnable after `delay` cycles.
+  void wake(Cycles delay = 0);
+
+  [[nodiscard]] bool finished() const { return fiber_ && fiber_->finished(); }
+  [[nodiscard]] bool blocked() const { return blocked_; }
+
+  /// True when called from code running on this CPU's fiber.
+  [[nodiscard]] bool is_current() const {
+    return Fiber::current() == fiber_.get();
+  }
+
+  [[nodiscard]] const TimeBreakdown& breakdown() const { return breakdown_; }
+  TimeBreakdown& breakdown() { return breakdown_; }
+
+  /// Category of the CPU's most recent activity (what a sampling profiler
+  /// would observe right now). Blocked CPUs report their wait category.
+  [[nodiscard]] TimeCategory current_category() const {
+    return blocked_ ? block_category_ : last_category_;
+  }
+
+  /// Cycle at which this CPU finished its body (for per-CPU utilization).
+  [[nodiscard]] Cycles finish_time() const { return finish_time_; }
+
+ private:
+  void resume_from_scheduler();
+
+  Engine& engine_;
+  CpuId id_;
+  std::string name_;
+  std::unique_ptr<Fiber> fiber_;
+  TimeBreakdown breakdown_;
+  bool blocked_ = false;
+  Cycles block_start_ = 0;
+  TimeCategory block_category_ = TimeCategory::kIdle;
+  Cycles finish_time_ = 0;
+  Cycles pending_ = 0;
+  TimeCategory last_category_ = TimeCategory::kIdle;
+
+  /// Deferral quantum: lazily-charged time is flushed once it exceeds
+  /// this. Orderings at synchronization points remain exact because every
+  /// synchronizing operation flushes first; only independent accesses
+  /// within a quantum may interleave out of true timestamp order.
+  static constexpr Cycles kMaxDefer = 500;
+};
+
+}  // namespace ssomp::sim

@@ -1,0 +1,142 @@
+#include "sim/fiber.hpp"
+
+#include <exception>
+
+#include "sim/check.hpp"
+
+namespace ssomp::sim {
+
+namespace {
+// Single-threaded simulator: the fiber being switched into / currently
+// running. Used by the trampoline and by Fiber::current().
+Fiber* g_current = nullptr;
+}  // namespace
+
+#ifndef SSOMP_FIBER_UCONTEXT
+
+// Fast userspace context switch (System V AMD64). ucontext's swapcontext
+// costs ~300 ns because it saves/restores the signal mask with a syscall;
+// the simulator performs millions of switches per run, so we save only the
+// callee-saved integer registers and the stack pointer (~20 ns). XMM
+// registers are caller-saved in this ABI and need no handling.
+extern "C" void ssomp_ctx_switch(void** save_sp, void* restore_sp);
+asm(R"(
+.text
+.globl ssomp_ctx_switch
+.type ssomp_ctx_switch, @function
+ssomp_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size ssomp_ctx_switch, .-ssomp_ctx_switch
+)");
+
+Fiber::Fiber(std::string name, std::function<void()> body)
+    : name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(std::make_unique<char[]>(kStackSize)) {
+  SSOMP_CHECK(body_ != nullptr);
+  // Lay out the initial stack frame so the first switch "returns" into the
+  // trampoline: six dummy callee-saved slots below the return address.
+  // ABI alignment: at trampoline entry rsp must be ≡ 8 (mod 16), which
+  // holds when the dummy-slot base is 16-byte aligned.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + kStackSize;
+  top &= ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<void**>(top - 64);
+  frame[6] = reinterpret_cast<void*>(&Fiber::trampoline);
+  sp_ = frame;
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  SSOMP_CHECK(self != nullptr);
+  try {
+    self->body_();
+  } catch (...) {
+    // Exceptions must be handled inside the fiber body; letting one cross
+    // the context-switch boundary would corrupt unwinding state.
+    std::terminate();
+  }
+  self->finished_ = true;
+  // Permanently return to the scheduler.
+  ssomp_ctx_switch(&self->sp_, self->parent_sp_);
+  SSOMP_CHECK(false);  // a finished fiber must never be resumed
+}
+
+void Fiber::resume() {
+  SSOMP_CHECK(!finished_);
+  SSOMP_CHECK(g_current == nullptr);  // no nested fibers
+  g_current = this;
+  ssomp_ctx_switch(&parent_sp_, sp_);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  SSOMP_CHECK(g_current == this);
+  ssomp_ctx_switch(&sp_, parent_sp_);
+}
+
+#else  // portable fallback
+
+Fiber::Fiber(std::string name, std::function<void()> body)
+    : name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(std::make_unique<char[]>(kStackSize)) {
+  SSOMP_CHECK(body_ != nullptr);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  SSOMP_CHECK(self != nullptr);
+  try {
+    self->body_();
+  } catch (...) {
+    std::terminate();
+  }
+  self->finished_ = true;
+  // uc_link returns control to the scheduler context.
+}
+
+void Fiber::resume() {
+  SSOMP_CHECK(!finished_);
+  SSOMP_CHECK(g_current == nullptr);
+  if (!started_) {
+    SSOMP_CHECK(getcontext(&context_) == 0);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = kStackSize;
+    context_.uc_link = &scheduler_context_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+    started_ = true;
+  }
+  g_current = this;
+  SSOMP_CHECK(swapcontext(&scheduler_context_, &context_) == 0);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  SSOMP_CHECK(g_current == this);
+  SSOMP_CHECK(swapcontext(&context_, &scheduler_context_) == 0);
+}
+
+#endif
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace ssomp::sim

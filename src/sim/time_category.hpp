@@ -1,0 +1,79 @@
+// Execution-time accounting categories.
+//
+// These mirror the breakdown reported in the paper's Figures 2 and 4:
+// busy cycles, memory stalls, lock and barrier synchronization, scheduling
+// time, and job-wait time. The simulator additionally distinguishes the
+// slipstream-specific waits (A-stream waiting for a token, R-stream waiting
+// for its A-stream, I/O semaphore waits); report code folds those into the
+// paper's categories when reproducing the figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace ssomp::sim {
+
+enum class TimeCategory : std::uint8_t {
+  kBusy = 0,     // executing application instructions
+  kMemStall,     // stalled on the memory hierarchy
+  kLock,         // acquiring/spinning on a lock (critical/atomic)
+  kBarrier,      // waiting at a barrier
+  kScheduling,   // acquiring a worksharing chunk (dynamic/guided)
+  kJobWait,      // slave idling in the pool waiting for a parallel region
+  kTokenWait,    // A-stream waiting for a slipstream token
+  kStreamWait,   // R-stream waiting for its A-stream (divergence check/IO)
+  kIdle,         // processor unused in this execution mode
+  kCategoryCount
+};
+
+inline constexpr int kTimeCategoryCount =
+    static_cast<int>(TimeCategory::kCategoryCount);
+
+[[nodiscard]] constexpr std::string_view to_string(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kBusy: return "busy";
+    case TimeCategory::kMemStall: return "mem_stall";
+    case TimeCategory::kLock: return "lock";
+    case TimeCategory::kBarrier: return "barrier";
+    case TimeCategory::kScheduling: return "scheduling";
+    case TimeCategory::kJobWait: return "job_wait";
+    case TimeCategory::kTokenWait: return "token_wait";
+    case TimeCategory::kStreamWait: return "stream_wait";
+    case TimeCategory::kIdle: return "idle";
+    case TimeCategory::kCategoryCount: break;
+  }
+  return "?";
+}
+
+/// Per-processor accumulated cycles by category.
+class TimeBreakdown {
+ public:
+  void add(TimeCategory c, Cycles n) { cycles_[static_cast<int>(c)] += n; }
+
+  [[nodiscard]] Cycles get(TimeCategory c) const {
+    return cycles_[static_cast<int>(c)];
+  }
+
+  [[nodiscard]] Cycles total() const {
+    Cycles t = 0;
+    for (Cycles c : cycles_) t += c;
+    return t;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other) {
+    for (int i = 0; i < kTimeCategoryCount; ++i) {
+      cycles_[i] += other.cycles_[i];
+    }
+    return *this;
+  }
+
+  void clear() { cycles_.fill(0); }
+
+ private:
+  std::array<Cycles, kTimeCategoryCount> cycles_{};
+};
+
+}  // namespace ssomp::sim

@@ -1,0 +1,23 @@
+// Basic simulation-wide scalar types and identifiers.
+#pragma once
+
+#include <cstdint>
+
+namespace ssomp::sim {
+
+/// Simulated time, in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Simulated physical/virtual address (flat 64-bit space).
+using Addr = std::uint64_t;
+
+/// Global index of a simulated processor (0 .. 2*ncmp-1).
+using CpuId = int;
+
+/// Index of a CMP node (0 .. ncmp-1).
+using NodeId = int;
+
+inline constexpr CpuId kInvalidCpu = -1;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace ssomp::sim

@@ -1,0 +1,83 @@
+// Slipstream execution-mode configuration (paper §3.3).
+//
+// The directive is
+//     !$OMP SLIPSTREAM([type] [, tokens])
+// with type one of GLOBAL_SYNC, LOCAL_SYNC or RUNTIME_SYNC, and `tokens`
+// the initial token count of the A/R synchronization semaphore (default 0).
+// RUNTIME_SYNC defers the choice to the OMP_SLIPSTREAM environment
+// variable, which accepts the same arguments plus the extra type NONE that
+// disables slipstream entirely.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ssomp::slip {
+
+enum class SyncType : std::uint8_t {
+  kNone = 0,    // slipstream disabled (env-only value)
+  kGlobal,      // R-stream inserts the token when *exiting* a barrier
+  kLocal,       // R-stream inserts the token when *entering* a barrier
+  kRuntime,     // directive defers to the OMP_SLIPSTREAM environment value
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SyncType t) {
+  switch (t) {
+    case SyncType::kNone: return "NONE";
+    case SyncType::kGlobal: return "GLOBAL_SYNC";
+    case SyncType::kLocal: return "LOCAL_SYNC";
+    case SyncType::kRuntime: return "RUNTIME_SYNC";
+  }
+  return "?";
+}
+
+/// Policies for constructs where the paper describes a recommended default
+/// but leaves room ("it may be advisable..."). Exposed for the ablation
+/// benchmarks.
+struct ConstructPolicies {
+  bool a_executes_critical = false;  // default: A-stream skips criticals
+  bool a_executes_atomic = true;     // default: A executes atomics (as
+                                     // exclusive prefetches)
+  bool a_stores_as_prefetch = true;  // default: convert A shared stores to
+                                     // exclusive prefetches when close
+                                     // enough to R's session (else drop)
+  int conversion_window = 1;         // max sessions of A-lead at which a
+                                     // store still converts (0 = strictly
+                                     // the same session)
+  bool self_invalidation = false;    // coherence optimization (§2, §3.2.1):
+                                     // the A-stream's exclusive-prefetch
+                                     // stream sends self-invalidation
+                                     // hints to remote sharers, taking the
+                                     // invalidation fan-out off the
+                                     // R-stream's store critical path
+};
+
+struct SlipstreamConfig {
+  SyncType type = SyncType::kGlobal;  // paper's implementation default
+  int tokens = 0;                     // initial token count (default 0)
+  ConstructPolicies policies{};
+
+  /// Divergence handling: the R-stream flags its A-stream as diverged when
+  /// the A-stream lags by more than this many barriers (0 disables).
+  int divergence_threshold = 0;
+
+  [[nodiscard]] bool enabled() const { return type != SyncType::kNone; }
+
+  /// The two configurations evaluated in the paper's Figure 2.
+  [[nodiscard]] static SlipstreamConfig one_token_local() {
+    return {.type = SyncType::kLocal, .tokens = 1};
+  }
+  [[nodiscard]] static SlipstreamConfig zero_token_global() {
+    return {.type = SyncType::kGlobal, .tokens = 0};
+  }
+  [[nodiscard]] static SlipstreamConfig disabled() {
+    return {.type = SyncType::kNone, .tokens = 0};
+  }
+};
+
+[[nodiscard]] constexpr bool operator==(const SlipstreamConfig& a,
+                                        const SlipstreamConfig& b) {
+  return a.type == b.type && a.tokens == b.tokens;
+}
+
+}  // namespace ssomp::slip

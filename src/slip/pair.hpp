@@ -1,0 +1,113 @@
+// A-stream / R-stream pairing state for one CMP (paper §2, §3.2.2).
+//
+// Each CMP that runs in slipstream mode has one pair: the R-stream on its
+// first processor, the A-stream on its second. The pair owns
+//   * the barrier token semaphore (Figure 1),
+//   * the syscall semaphore used for I/O and for forwarding dynamic
+//     scheduling decisions from R to A,
+//   * the mailbox through which R publishes its scheduling decision
+//     (a shared variable; the simulated address gives it real coherence
+//     timing, the host fields carry the value), and
+//   * divergence/recovery bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/types.hpp"
+#include "slip/tokens.hpp"
+
+namespace ssomp::slip {
+
+/// Thrown on the A-stream's fiber when the R-stream requests recovery;
+/// unwinds the A-stream to the parallel-region boundary where it rejoins.
+struct RecoveryException {};
+
+class SlipPair {
+ public:
+  SlipPair(sim::CpuId r_cpu, sim::CpuId a_cpu, sim::Cycles sem_access_cycles,
+           sim::Addr mailbox_addr)
+      : r_cpu_(r_cpu),
+        a_cpu_(a_cpu),
+        barrier_sem_(sem_access_cycles),
+        syscall_sem_(sem_access_cycles),
+        mailbox_addr_(mailbox_addr) {}
+
+  [[nodiscard]] sim::CpuId r_cpu() const { return r_cpu_; }
+  [[nodiscard]] sim::CpuId a_cpu() const { return a_cpu_; }
+
+  [[nodiscard]] TokenSemaphore& barrier_sem() { return barrier_sem_; }
+  [[nodiscard]] TokenSemaphore& syscall_sem() { return syscall_sem_; }
+
+  /// Simulated address of the scheduling-decision mailbox.
+  [[nodiscard]] sim::Addr mailbox_addr() const { return mailbox_addr_; }
+
+  /// Host-side mailbox payload (value forwarded from R to A). The queue
+  /// mirrors the syscall-semaphore token count: one entry per outstanding
+  /// forwarded decision (all timing flows through mailbox_addr traffic and
+  /// the semaphore; the queue carries only the values).
+  struct Mailbox {
+    long lo = 0;
+    long hi = 0;
+    bool last = false;  // no more chunks in this loop
+  };
+  std::deque<Mailbox> mailbox_queue;
+
+  /// Prepares the pair for a new parallel region.
+  void reset_for_region(int initial_tokens) {
+    barrier_sem_.initialize(initial_tokens);
+    syscall_sem_.initialize(0);
+    initial_tokens_ = initial_tokens;
+    r_barriers_ = 0;
+    a_barriers_ = 0;
+    recovery_requested_ = false;
+    a_recovered_this_region_ = false;
+  }
+
+  [[nodiscard]] int initial_tokens() const { return initial_tokens_; }
+
+  // Barrier-visit counters (host bookkeeping mirroring the token register).
+  void note_r_barrier() { ++r_barriers_; }
+  void note_a_barrier() { ++a_barriers_; }
+  [[nodiscard]] std::uint64_t r_barriers() const { return r_barriers_; }
+  [[nodiscard]] std::uint64_t a_barriers() const { return a_barriers_; }
+
+  /// R-side: flags the A-stream as diverged and kicks it out of any
+  /// semaphore wait. The A-stream observes the flag at its next simulated
+  /// operation and unwinds via RecoveryException.
+  void request_recovery(sim::SimCpu& r) {
+    if (recovery_requested_) return;
+    recovery_requested_ = true;
+    ++recoveries_;
+    barrier_sem_.poison(r);
+    syscall_sem_.poison(r);
+  }
+
+  [[nodiscard]] bool recovery_requested() const { return recovery_requested_; }
+
+  /// A-side: acknowledges recovery (called when the exception is caught).
+  void ack_recovery() {
+    recovery_requested_ = false;
+    a_recovered_this_region_ = true;
+  }
+
+  [[nodiscard]] bool a_recovered_this_region() const {
+    return a_recovered_this_region_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  sim::CpuId r_cpu_;
+  sim::CpuId a_cpu_;
+  TokenSemaphore barrier_sem_;
+  TokenSemaphore syscall_sem_;
+  sim::Addr mailbox_addr_;
+  int initial_tokens_ = 0;
+  std::uint64_t r_barriers_ = 0;
+  std::uint64_t a_barriers_ = 0;
+  std::uint64_t recoveries_ = 0;
+  bool recovery_requested_ = false;
+  bool a_recovered_this_region_ = false;
+};
+
+}  // namespace ssomp::slip

@@ -1,0 +1,102 @@
+// The A/R synchronization token semaphore (paper §2.2, Figure 1).
+//
+// Modeled as a hardware register shared by the two processors of a CMP:
+// every operation charges a small fixed access latency. The A-stream
+// consumes a token to skip a barrier and blocks when none is available;
+// the R-stream inserts a token at each barrier (on entry for LOCAL_SYNC,
+// on exit for GLOBAL_SYNC). The same mechanism, initialized to zero,
+// implements the "syscall semaphore" used for I/O synchronization and for
+// forwarding dynamic-scheduling decisions to the A-stream.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+
+namespace ssomp::slip {
+
+class TokenSemaphore {
+ public:
+  explicit TokenSemaphore(sim::Cycles access_cycles = 3)
+      : access_cycles_(access_cycles) {}
+
+  /// (Re)initializes the counter; legal only with no waiter.
+  void initialize(int tokens) {
+    SSOMP_CHECK(waiter_ == nullptr);
+    SSOMP_CHECK(tokens >= 0);
+    count_ = tokens;
+    poisoned_ = false;
+  }
+
+  /// Consumes one token, blocking the calling CPU while the count is zero.
+  /// Wait time is attributed to `cat`. Returns false if the wait was
+  /// poisoned (recovery requested) instead of satisfied by a token.
+  [[nodiscard]] bool consume(sim::SimCpu& cpu, sim::TimeCategory cat) {
+    cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
+    if (count_ == 0) {
+      SSOMP_CHECK(waiter_ == nullptr);  // one A-stream per semaphore
+      waiter_ = &cpu;
+      cpu.block(cat);
+      waiter_ = nullptr;
+      if (poisoned_) {
+        poisoned_ = false;
+        return false;
+      }
+      SSOMP_CHECK(count_ > 0);
+    }
+    --count_;
+    ++consumed_;
+    return true;
+  }
+
+  /// Non-blocking variant; returns true when a token was taken.
+  [[nodiscard]] bool try_consume(sim::SimCpu& cpu) {
+    cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
+    if (count_ == 0) return false;
+    --count_;
+    ++consumed_;
+    return true;
+  }
+
+  /// Inserts one token and wakes a blocked consumer if any.
+  void insert(sim::SimCpu& cpu) {
+    cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
+    ++count_;
+    ++inserted_;
+    if (waiter_ != nullptr && waiter_->blocked()) {
+      waiter_->wake(access_cycles_);
+    }
+  }
+
+  /// Reads the counter (the R-stream's divergence probe).
+  [[nodiscard]] int read_count(sim::SimCpu& cpu) {
+    cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
+    return count_;
+  }
+
+  /// Wakes a blocked consumer *without* providing a token; its consume()
+  /// returns false. Used to kick a waiting A-stream into recovery.
+  void poison(sim::SimCpu& waker) {
+    if (waiter_ != nullptr && waiter_->blocked()) {
+      poisoned_ = true;
+      waiter_->wake(access_cycles_);
+    }
+    (void)waker;
+  }
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] bool has_waiter() const { return waiter_ != nullptr; }
+  [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
+  [[nodiscard]] std::uint64_t total_consumed() const { return consumed_; }
+
+ private:
+  sim::Cycles access_cycles_;
+  int count_ = 0;
+  bool poisoned_ = false;
+  sim::SimCpu* waiter_ = nullptr;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace ssomp::slip

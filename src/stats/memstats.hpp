@@ -1,0 +1,53 @@
+// Aggregate memory-system counters.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/reqclass.hpp"
+
+namespace ssomp::stats {
+
+struct MemStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t prefetches = 0;
+
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;       // includes merges with outstanding fills
+  std::uint64_t l2_fills = 0;      // new lines brought into an L2
+  std::uint64_t merges = 0;        // requests merged with an outstanding fill
+
+  std::uint64_t fills_local = 0;         // home on requesting node, clean
+  std::uint64_t fills_remote_clean = 0;  // remote home, served from memory
+  std::uint64_t fills_dirty = 0;         // served by a dirty third-party L2
+
+  std::uint64_t upgrades = 0;            // S->M with no data transfer
+  std::uint64_t silent_upgrades = 0;     // E->M (MESI extension)
+  std::uint64_t invalidations = 0;       // sharer-invalidation messages
+  std::uint64_t self_invalidations = 0;  // slipstream self-invalidation hints
+  std::uint64_t writebacks = 0;          // dirty L2 evictions
+
+  ReqClassCounts req_class;  // application shared-data fills only
+
+  MemStats& operator+=(const MemStats& o) {
+    loads += o.loads;
+    stores += o.stores;
+    prefetches += o.prefetches;
+    l1_hits += o.l1_hits;
+    l2_hits += o.l2_hits;
+    l2_fills += o.l2_fills;
+    merges += o.merges;
+    fills_local += o.fills_local;
+    fills_remote_clean += o.fills_remote_clean;
+    fills_dirty += o.fills_dirty;
+    upgrades += o.upgrades;
+    silent_upgrades += o.silent_upgrades;
+    invalidations += o.invalidations;
+    self_invalidations += o.self_invalidations;
+    writebacks += o.writebacks;
+    req_class += o.req_class;
+    return *this;
+  }
+};
+
+}  // namespace ssomp::stats

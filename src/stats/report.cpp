@@ -1,0 +1,74 @@
+#include "stats/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace ssomp::stats {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t pad = width[i] - row[i].size();
+      const bool right = r > 0 && looks_numeric(row[i]);
+      if (i) out << "  ";
+      if (right) out << std::string(pad, ' ') << row[i];
+      else out << row[i] << std::string(pad, ' ');
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        total += width[i] + (i ? 2 : 0);
+      }
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ssomp::stats

@@ -1,0 +1,28 @@
+// Text-table reporting helpers shared by the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssomp::stats {
+
+/// Simple fixed-width table printer: first row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssomp::stats

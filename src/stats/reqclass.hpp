@@ -1,0 +1,107 @@
+// Shared-data request classification (paper Figures 3 and 5).
+//
+// Every L2 fill of an application shared-data line in slipstream mode is
+// classified, at line death (eviction/invalidation) or at end of run, into
+// one of six bins per request kind:
+//
+//   A-Timely : fetched by the A-stream, referenced by the R-stream after
+//              the fill completed — a useful prefetch.
+//   A-Late   : the R-stream requested the line while the A-stream's fill
+//              was still outstanding (the shared L2 merges the requests).
+//   A-Only   : fetched by the A-stream, evicted/invalidated without any
+//              R-stream reference — harmful traffic (premature prefetch).
+//   R-Timely / R-Late / R-Only : the symmetric bins for lines fetched by
+//              the R-stream (R-Timely means the A-stream was behind and
+//              benefited from R's fetch).
+//
+// Request kinds are Read (GETS, from loads) and ReadEx (GETX, from stores,
+// upgrades, and the A-stream's store-converted exclusive prefetches).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ssomp::stats {
+
+enum class StreamRole : std::uint8_t { kNone = 0, kR, kA };
+
+enum class ReqKind : std::uint8_t { kRead = 0, kReadEx };
+inline constexpr int kReqKindCount = 2;
+
+enum class ReqClass : std::uint8_t {
+  kATimely = 0,
+  kALate,
+  kAOnly,
+  kRTimely,
+  kRLate,
+  kROnly,
+};
+inline constexpr int kReqClassCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(ReqKind k) {
+  return k == ReqKind::kRead ? "read" : "read_ex";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ReqClass c) {
+  switch (c) {
+    case ReqClass::kATimely: return "A-Timely";
+    case ReqClass::kALate: return "A-Late";
+    case ReqClass::kAOnly: return "A-Only";
+    case ReqClass::kRTimely: return "R-Timely";
+    case ReqClass::kRLate: return "R-Late";
+    case ReqClass::kROnly: return "R-Only";
+  }
+  return "?";
+}
+
+class ReqClassCounts {
+ public:
+  void add(ReqKind kind, ReqClass cls, std::uint64_t n = 1) {
+    counts_[static_cast<int>(kind)][static_cast<int>(cls)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t get(ReqKind kind, ReqClass cls) const {
+    return counts_[static_cast<int>(kind)][static_cast<int>(cls)];
+  }
+
+  [[nodiscard]] std::uint64_t total(ReqKind kind) const {
+    std::uint64_t t = 0;
+    for (auto c : counts_[static_cast<int>(kind)]) t += c;
+    return t;
+  }
+
+  /// Fraction of `kind` fills in class `cls`; 0 when no fills were seen.
+  [[nodiscard]] double fraction(ReqKind kind, ReqClass cls) const {
+    const std::uint64_t t = total(kind);
+    return t == 0 ? 0.0 : static_cast<double>(get(kind, cls)) /
+                              static_cast<double>(t);
+  }
+
+  /// Fraction of fills referenced by both streams ("correlation", §5.1).
+  [[nodiscard]] double both_streams_fraction(ReqKind kind) const {
+    return fraction(kind, ReqClass::kATimely) +
+           fraction(kind, ReqClass::kALate) +
+           fraction(kind, ReqClass::kRTimely) +
+           fraction(kind, ReqClass::kRLate);
+  }
+
+  ReqClassCounts& operator+=(const ReqClassCounts& o) {
+    for (int k = 0; k < kReqKindCount; ++k) {
+      for (int c = 0; c < kReqClassCount; ++c) {
+        counts_[k][c] += o.counts_[k][c];
+      }
+    }
+    return *this;
+  }
+
+  void clear() {
+    for (auto& row : counts_) row.fill(0);
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, kReqClassCount>, kReqKindCount>
+      counts_{};
+};
+
+}  // namespace ssomp::stats

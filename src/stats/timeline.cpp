@@ -1,0 +1,60 @@
+#include "stats/timeline.hpp"
+
+#include <sstream>
+
+namespace ssomp::stats {
+
+Timeline::Timeline(sim::Engine& engine, sim::Cycles interval)
+    : engine_(engine), interval_(interval) {
+  SSOMP_CHECK(interval > 0);
+  engine_.schedule_after(interval_, [this] { tick(); });
+}
+
+void Timeline::tick() {
+  Sample s;
+  s.when = engine_.now();
+  bool any_alive = false;
+  for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
+    s.category.push_back(engine_.cpu(c).current_category());
+    any_alive |= !engine_.cpu(c).finished();
+  }
+  samples_.push_back(std::move(s));
+  // Keep sampling only while some CPU is still running; otherwise the
+  // self-rescheduling event would keep the queue alive forever.
+  if (any_alive) {
+    engine_.schedule_after(interval_, [this] { tick(); });
+  }
+}
+
+double Timeline::fraction(sim::CpuId cpu, sim::TimeCategory cat,
+                          sim::Cycles from, sim::Cycles to) const {
+  std::uint64_t in_window = 0;
+  std::uint64_t matching = 0;
+  for (const Sample& s : samples_) {
+    if (s.when < from || s.when >= to) continue;
+    ++in_window;
+    if (s.category[static_cast<std::size_t>(cpu)] == cat) ++matching;
+  }
+  return in_window == 0
+             ? 0.0
+             : static_cast<double>(matching) / static_cast<double>(in_window);
+}
+
+std::string Timeline::to_csv() const {
+  std::ostringstream out;
+  out << "cycle";
+  for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
+    out << ',' << engine_.cpu(c).name();
+  }
+  out << '\n';
+  for (const Sample& s : samples_) {
+    out << s.when;
+    for (sim::TimeCategory cat : s.category) {
+      out << ',' << to_string(cat);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ssomp::stats

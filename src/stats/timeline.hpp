@@ -1,0 +1,51 @@
+// Execution timeline sampling.
+//
+// A Timeline periodically samples every simulated CPU's current activity
+// category (a sampling profiler for the simulated machine). The samples
+// reconstruct phase behaviour over time — e.g. how the A-stream's token
+// waits interleave with the R-stream's barrier episodes — and export as
+// CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ssomp::stats {
+
+class Timeline {
+ public:
+  /// Starts sampling `engine`'s CPUs every `interval` cycles. Must be
+  /// called before Engine::run(); sampling stops when the event queue
+  /// drains (each tick reschedules itself only while CPUs are alive).
+  Timeline(sim::Engine& engine, sim::Cycles interval);
+
+  struct Sample {
+    sim::Cycles when = 0;
+    std::vector<sim::TimeCategory> category;  // one per CPU
+  };
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// Fraction of samples in which `cpu` was in `cat` within
+  /// [from, to) (the whole run by default).
+  [[nodiscard]] double fraction(sim::CpuId cpu, sim::TimeCategory cat,
+                                sim::Cycles from = 0,
+                                sim::Cycles to = ~sim::Cycles{0}) const;
+
+  /// CSV: header "cycle,cpu0,cpu1,..." then one row per sample with
+  /// category names.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  void tick();
+
+  sim::Engine& engine_;
+  sim::Cycles interval_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ssomp::stats

@@ -1,0 +1,265 @@
+// Workload correctness across all execution modes, schedules and
+// slipstream configurations — the end-to-end guarantee that slipstream
+// execution never changes program results (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/cg.hpp"
+#include "apps/lu.hpp"
+#include "apps/registry.hpp"
+#include "core/experiment.hpp"
+
+namespace ssomp::apps {
+namespace {
+
+struct Case {
+  const char* app;
+  rt::ExecutionMode mode;
+  slip::SlipstreamConfig slip;
+  front::ScheduleKind sched;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = info.param.app;
+  s += "_";
+  s += to_string(info.param.mode);
+  if (info.param.mode == rt::ExecutionMode::kSlipstream) {
+    s += info.param.slip.type == slip::SyncType::kLocal ? "_L" : "_G";
+    s += std::to_string(info.param.slip.tokens);
+  }
+  s += info.param.sched == front::ScheduleKind::kStatic ? "_static"
+                                                        : "_dynamic";
+  return s;
+}
+
+class AppModeTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AppModeTest, VerifiesAndKeepsInvariants) {
+  const Case& c = GetParam();
+  front::ScheduleClause sched;
+  sched.kind = c.sched;
+  if (c.sched == front::ScheduleKind::kDynamic) sched.chunk = 2;
+  auto factory = make_workload(c.app, AppScale::kTiny, sched);
+  core::ExperimentConfig cfg;
+  cfg.machine.ncmp = 4;
+  cfg.runtime.mode = c.mode;
+  cfg.runtime.slip = c.slip;
+  const auto res = core::run_experiment(cfg, factory);
+  EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+  EXPECT_TRUE(res.invariants_ok);
+  EXPECT_GT(res.cycles, 0u);
+  EXPECT_GT(res.participating_cpus, 0);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const auto g0 = slip::SlipstreamConfig::zero_token_global();
+  const auto l1 = slip::SlipstreamConfig::one_token_local();
+  for (const char* app :
+       {"BT", "CG", "LU", "MG", "SP", "EP", "FT", "IS"}) {
+    const bool dynamic_ok =
+        std::string(app) != "LU" && std::string(app) != "IS";
+    for (auto sched :
+         {front::ScheduleKind::kStatic, front::ScheduleKind::kDynamic}) {
+      if (sched == front::ScheduleKind::kDynamic && !dynamic_ok) continue;
+      cases.push_back({app, rt::ExecutionMode::kSingle, g0, sched});
+      cases.push_back({app, rt::ExecutionMode::kDouble, g0, sched});
+      cases.push_back({app, rt::ExecutionMode::kSlipstream, g0, sched});
+      cases.push_back({app, rt::ExecutionMode::kSlipstream, l1, sched});
+    }
+  }
+  // Extra token counts on one app.
+  cases.push_back({"CG", rt::ExecutionMode::kSlipstream,
+                   {.type = slip::SyncType::kLocal, .tokens = 2},
+                   front::ScheduleKind::kStatic});
+  cases.push_back({"CG", rt::ExecutionMode::kSlipstream,
+                   {.type = slip::SyncType::kGlobal, .tokens = 1},
+                   front::ScheduleKind::kStatic});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AppModeTest, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+TEST(AppRegistryTest, PaperSuiteOrderAndDynamicFlags) {
+  const auto& suite = paper_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "BT");
+  EXPECT_EQ(suite[2].name, "LU");
+  EXPECT_FALSE(suite[2].in_dynamic_suite);  // §5.2 excludes LU
+  EXPECT_TRUE(suite[1].in_dynamic_suite);
+}
+
+TEST(LuPipelinedTest, VerifiesInEveryMode) {
+  for (auto mode : {rt::ExecutionMode::kSingle, rt::ExecutionMode::kDouble,
+                    rt::ExecutionMode::kSlipstream}) {
+    LuParams p = LuParams::tiny();
+    p.pipelined = true;
+    auto factory = [p](rt::Runtime& rt) { return make_lu(rt, p); };
+    core::ExperimentConfig cfg;
+    cfg.machine.ncmp = 4;
+    cfg.runtime.mode = mode;
+    cfg.runtime.slip = slip::SlipstreamConfig::one_token_local();
+    const auto res = core::run_experiment(cfg, factory);
+    EXPECT_TRUE(res.workload.verified)
+        << to_string(mode) << ": " << res.workload.detail;
+    EXPECT_TRUE(res.invariants_ok);
+  }
+}
+
+TEST(LuPipelinedTest, SameResultAsBarrierVariant) {
+  double results[2];
+  for (int v = 0; v < 2; ++v) {
+    LuParams p = LuParams::tiny();
+    p.pipelined = v == 1;
+    auto factory = [p](rt::Runtime& rt) { return make_lu(rt, p); };
+    const auto res =
+        core::run_experiment(core::ExperimentConfig::single(4), factory);
+    EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+    results[v] = res.workload.checksum;
+  }
+  EXPECT_DOUBLE_EQ(results[0], results[1]);
+}
+
+TEST(LuPipelinedTest, PipeliningBeatsPerPlaneBarriers) {
+  sim::Cycles cycles[2];
+  for (int v = 0; v < 2; ++v) {
+    LuParams p;  // bench size
+    p.pipelined = v == 1;
+    auto factory = [p](rt::Runtime& rt) { return make_lu(rt, p); };
+    core::ExperimentConfig cfg = core::ExperimentConfig::single(16);
+    cfg.machine.mem = mem::MemParams::scaled_for_benchmarks();
+    const auto res = core::run_experiment(cfg, factory);
+    EXPECT_TRUE(res.workload.verified);
+    cycles[v] = res.cycles;
+  }
+  EXPECT_LT(cycles[1], cycles[0])
+      << "point-to-point pipelining should beat a 16-way barrier per plane";
+}
+
+TEST(AppRegistryTest, ExtendedSuite) {
+  const auto& suite = extended_suite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "EP");
+  EXPECT_EQ(suite[1].name, "FT");
+  EXPECT_EQ(suite[2].name, "IS");
+}
+
+TEST(AppRegistryTest, CgDynamicChunkHalvesStaticBlock) {
+  // §5.2: chunk = half the static block assignment.
+  const auto sched = dynamic_schedule_for("CG", AppScale::kBench, 16);
+  EXPECT_EQ(sched.kind, front::ScheduleKind::kDynamic);
+  EXPECT_EQ(sched.chunk, CgParams{}.n / 32);
+}
+
+TEST(AppRegistryTest, DefaultChunkElsewhere) {
+  EXPECT_EQ(dynamic_schedule_for("MG", AppScale::kBench, 16).chunk, 1);
+}
+
+TEST(AppDeterminismTest, IdenticalCyclesForIdenticalConfig) {
+  auto run = [] {
+    auto factory = make_workload("CG", AppScale::kTiny);
+    core::ExperimentConfig cfg;
+    cfg.machine.ncmp = 2;
+    cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
+    cfg.runtime.slip = slip::SlipstreamConfig::zero_token_global();
+    return core::run_experiment(cfg, factory).cycles;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AppResultInvarianceTest, ChecksumIndependentOfMode) {
+  // The computed numerical answer must be identical whichever way the
+  // machine executes it.
+  for (const char* app : {"CG", "MG", "BT"}) {
+    auto factory = make_workload(app, AppScale::kTiny);
+    double checksums[3];
+    int i = 0;
+    for (auto mode : {rt::ExecutionMode::kSingle, rt::ExecutionMode::kDouble,
+                      rt::ExecutionMode::kSlipstream}) {
+      core::ExperimentConfig cfg;
+      cfg.machine.ncmp = 2;
+      cfg.runtime.mode = mode;
+      cfg.runtime.slip = slip::SlipstreamConfig::one_token_local();
+      checksums[i++] = core::run_experiment(cfg, factory).workload.checksum;
+    }
+    EXPECT_DOUBLE_EQ(checksums[0], checksums[1]) << app;
+    EXPECT_DOUBLE_EQ(checksums[0], checksums[2]) << app;
+  }
+}
+
+TEST(AppScaleSweepTest, ChecksumInvariantAcrossMachineSizes) {
+  // The computed answer must not depend on the machine at all.
+  double ref = 0.0;
+  bool first = true;
+  for (int ncmp : {1, 2, 4, 8}) {
+    auto factory = make_workload("MG", AppScale::kTiny);
+    core::ExperimentConfig cfg;
+    cfg.machine.ncmp = ncmp;
+    cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
+    cfg.runtime.slip = slip::SlipstreamConfig::one_token_local();
+    const auto res = core::run_experiment(cfg, factory);
+    EXPECT_TRUE(res.workload.verified) << "ncmp=" << ncmp;
+    if (first) {
+      ref = res.workload.checksum;
+      first = false;
+    } else {
+      // Reduction partials are combined per thread id, so the summation
+      // order varies with the machine size: agreement is to rounding.
+      EXPECT_NEAR(res.workload.checksum, ref, 1e-9 * std::abs(ref))
+          << "ncmp=" << ncmp;
+    }
+  }
+}
+
+TEST(AppScaleSweepTest, MachineSizeChangesTimingNotResults) {
+  // Different machine sizes produce different timings (the machine is
+  // actually being simulated) but identical verification outcomes. Note
+  // the timing need not improve monotonically — at tiny scale more CMPs
+  // can lose to communication, which is the paper's entire premise.
+  std::set<sim::Cycles> timings;
+  for (int ncmp : {1, 2, 4}) {
+    auto factory = make_workload("CG", AppScale::kTiny);
+    const auto res =
+        core::run_experiment(core::ExperimentConfig::single(ncmp), factory);
+    EXPECT_TRUE(res.workload.verified) << "ncmp=" << ncmp;
+    timings.insert(res.cycles);
+  }
+  EXPECT_EQ(timings.size(), 3u);
+}
+
+TEST(ExperimentTest, ConfigFactories) {
+  const auto s = core::ExperimentConfig::single(8);
+  EXPECT_EQ(s.machine.ncmp, 8);
+  EXPECT_EQ(s.runtime.mode, rt::ExecutionMode::kSingle);
+  const auto d = core::ExperimentConfig::double_mode(8);
+  EXPECT_EQ(d.runtime.mode, rt::ExecutionMode::kDouble);
+  const auto sl = core::ExperimentConfig::slipstream(
+      8, slip::SlipstreamConfig::one_token_local());
+  EXPECT_EQ(sl.runtime.mode, rt::ExecutionMode::kSlipstream);
+  EXPECT_EQ(sl.runtime.slip.tokens, 1);
+}
+
+TEST(ExperimentTest, BreakdownFractionsSumBelowOne) {
+  auto factory = make_workload("MG", AppScale::kTiny);
+  const auto res =
+      core::run_experiment(core::ExperimentConfig::single(2), factory);
+  double total = 0.0;
+  for (int c = 0; c < sim::kTimeCategoryCount; ++c) {
+    total += res.fraction(static_cast<sim::TimeCategory>(c));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(res.fraction(sim::TimeCategory::kBusy), 0.0);
+}
+
+TEST(ExperimentTest, SpeedupHelper) {
+  core::ExperimentResult a, b;
+  a.cycles = 1000;
+  b.cycles = 800;
+  EXPECT_DOUBLE_EQ(core::speedup(a, b), 1.25);
+}
+
+}  // namespace
+}  // namespace ssomp::apps

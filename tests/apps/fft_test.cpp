@@ -1,0 +1,70 @@
+// FFT helper correctness against a direct DFT.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "apps/ft.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::apps {
+namespace {
+
+std::vector<std::complex<double>> dft(
+    const std::vector<std::complex<double>>& in, bool inverse) {
+  const auto n = static_cast<long>(in.size());
+  std::vector<std::complex<double>> out(in.size());
+  const double sign = inverse ? 1.0 : -1.0;
+  for (long k = 0; k < n; ++k) {
+    std::complex<double> sum(0.0, 0.0);
+    for (long j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(k) * static_cast<double>(j) /
+                         static_cast<double>(n);
+      sum += in[static_cast<std::size_t>(j)] *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<std::size_t>(k)] = sum;
+  }
+  return out;
+}
+
+class FftTest : public ::testing::TestWithParam<long> {};
+
+TEST_P(FftTest, MatchesDirectDft) {
+  const long n = GetParam();
+  sim::Rng rng(5 + static_cast<std::uint64_t>(n));
+  std::vector<std::complex<double>> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = {rng.next_double(), rng.next_double()};
+  const auto want = dft(data, false);
+  auto got = data;
+  fft_line(got.data(), n, false);
+  for (long k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(k)].real(),
+                want[static_cast<std::size_t>(k)].real(), 1e-9);
+    EXPECT_NEAR(got[static_cast<std::size_t>(k)].imag(),
+                want[static_cast<std::size_t>(k)].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftTest, InverseRoundTrips) {
+  const long n = GetParam();
+  sim::Rng rng(7);
+  std::vector<std::complex<double>> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = {rng.next_double(), rng.next_double()};
+  auto work = data;
+  fft_line(work.data(), n, false);
+  for (auto& c : work) c /= static_cast<double>(n);
+  fft_line(work.data(), n, true);
+  for (long k = 0; k < n; ++k) {
+    EXPECT_NEAR(work[static_cast<std::size_t>(k)].real(),
+                data[static_cast<std::size_t>(k)].real(), 1e-12);
+    EXPECT_NEAR(work[static_cast<std::size_t>(k)].imag(),
+                data[static_cast<std::size_t>(k)].imag(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftTest, ::testing::Values(2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace ssomp::apps

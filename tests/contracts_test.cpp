@@ -1,0 +1,84 @@
+// Contract violations abort with SSOMP_CHECK (death tests): the simulator
+// fails loudly on misuse rather than silently producing wrong timings.
+#include <gtest/gtest.h>
+
+#include "mem/addrspace.hpp"
+#include "mem/cache.hpp"
+#include "machine/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace ssomp {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(ContractsTest, EngineRejectsPastEvents) {
+  EXPECT_DEATH(
+      {
+        sim::Engine e;
+        e.schedule_at(100, [] {});
+        e.run();
+        e.schedule_at(50, [] {});  // the past
+      },
+      "check failed");
+}
+
+TEST(ContractsTest, CpuConsumeOutsideFiber) {
+  EXPECT_DEATH(
+      {
+        sim::Engine e;
+        sim::SimCpu& cpu = e.add_cpu("p0");
+        cpu.start([] {});
+        e.run();
+        cpu.consume(10, sim::TimeCategory::kBusy);  // not on its fiber
+      },
+      "check failed");
+}
+
+TEST(ContractsTest, WakeOfRunnableCpu) {
+  EXPECT_DEATH(
+      {
+        sim::Engine e;
+        sim::SimCpu& cpu = e.add_cpu("p0");
+        cpu.start([] {});
+        cpu.wake();  // never blocked
+      },
+      "check failed");
+}
+
+TEST(ContractsTest, CacheGeometryMustBePowerOfTwoSets) {
+  struct M {};
+  EXPECT_DEATH({ mem::SetAssocCache<M> c(3 * 64, 1, 64); }, "check failed");
+}
+
+TEST(ContractsTest, AddrSpaceOverflow) {
+  EXPECT_DEATH(
+      {
+        mem::AddrSpace as;
+        as.alloc_app(mem::AddrSpace::kArenaSize + 1);
+      },
+      "check failed");
+}
+
+TEST(ContractsTest, MachineRequiresDualCpuCmps) {
+  EXPECT_DEATH(
+      {
+        machine::MachineConfig mc;
+        mc.cpus_per_cmp = 4;
+        machine::Machine m(mc);
+      },
+      "check failed");
+}
+
+TEST(ContractsTest, MachineCmpCountBounds) {
+  EXPECT_DEATH(
+      {
+        machine::MachineConfig mc;
+        mc.ncmp = 65;  // directory sharer mask is 64 bits
+        machine::Machine m(mc);
+      },
+      "check failed");
+}
+
+}  // namespace
+}  // namespace ssomp

@@ -1,0 +1,59 @@
+// Per-region mode advisor tests.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/advisor.hpp"
+
+namespace ssomp::core {
+namespace {
+
+TEST(AdvisorTest, ProducesConsistentAdvice) {
+  machine::MachineConfig mc;
+  mc.ncmp = 4;
+  const auto advice =
+      advise(mc, apps::make_workload("CG", apps::AppScale::kTiny));
+  ASSERT_FALSE(advice.regions.empty());
+  for (const auto& r : advice.regions) {
+    EXPECT_LE(r.best_cycles, r.single_cycles) << "region " << r.region;
+    EXPECT_GE(r.gain_vs_single, 0.0);
+  }
+  // Idealized per-region selection can never lose to any single choice.
+  EXPECT_LE(advice.per_region_ideal_cycles, advice.best_overall_cycles);
+  EXPECT_LE(advice.best_overall_cycles, advice.single_cycles);
+}
+
+TEST(AdvisorTest, DirectiveTextOnlyForSlipstreamWinners) {
+  machine::MachineConfig mc;
+  mc.ncmp = 2;
+  const auto advice =
+      advise(mc, apps::make_workload("MG", apps::AppScale::kTiny));
+  for (const auto& r : advice.regions) {
+    const bool is_slip = r.best.rfind("slip", 0) == 0;
+    EXPECT_EQ(!r.directive.empty(), is_slip) << r.best;
+    if (is_slip) {
+      EXPECT_NE(r.directive.find("SLIPSTREAM("), std::string::npos);
+    }
+  }
+}
+
+TEST(AdvisorTest, FormatContainsEveryRegion) {
+  machine::MachineConfig mc;
+  mc.ncmp = 2;
+  const auto advice =
+      advise(mc, apps::make_workload("EP", apps::AppScale::kTiny));
+  const std::string text = format_advice(advice);
+  EXPECT_NE(text.find("whole-program winner"), std::string::npos);
+  EXPECT_NE(text.find("per-region selection"), std::string::npos);
+}
+
+TEST(AdvisorTest, DefaultCandidatesArePaperConfigs) {
+  const auto c = default_candidates();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0].name, "single");
+  EXPECT_EQ(c[2].slip.type, slip::SyncType::kLocal);
+  EXPECT_EQ(c[2].slip.tokens, 1);
+  EXPECT_EQ(c[3].slip.tokens, 0);
+}
+
+}  // namespace
+}  // namespace ssomp::core

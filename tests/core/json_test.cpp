@@ -1,0 +1,48 @@
+// JSON export smoke/structure tests.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/json.hpp"
+
+namespace ssomp::core {
+namespace {
+
+TEST(JsonTest, WellFormedAndComplete) {
+  auto factory = apps::make_workload("EP", apps::AppScale::kTiny);
+  ExperimentConfig cfg = ExperimentConfig::slipstream(
+      2, slip::SlipstreamConfig::one_token_local());
+  const auto result = run_experiment(cfg, factory);
+  const std::string j = to_json(cfg, result);
+
+  // Balanced braces and quotes.
+  long depth = 0;
+  long quotes = 0;
+  for (char c : j) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (c == '"') ++quotes;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+
+  for (const char* key :
+       {"\"config\"", "\"result\"", "\"breakdown\"", "\"memory\"",
+        "\"request_classes\"", "\"slipstream\"", "\"cycles\"",
+        "\"verified\":true", "\"mode\":\"slipstream\"",
+        "\"sync\":\"LOCAL_SYNC\"", "\"tokens_consumed\"", "\"A-Timely\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing\n" << j;
+  }
+}
+
+TEST(JsonTest, EscapesStrings) {
+  ExperimentConfig cfg = ExperimentConfig::single(1);
+  ExperimentResult r;
+  r.workload.detail = "a \"quoted\" thing\\with backslash";
+  const std::string j = to_json(cfg, r);
+  EXPECT_NE(j.find("\\\""), std::string::npos);
+  EXPECT_NE(j.find("\\\\"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssomp::core

@@ -1,0 +1,168 @@
+// SLIPSTREAM directive / OMP_SLIPSTREAM grammar tests (paper §3.3).
+#include <gtest/gtest.h>
+
+#include "front/directive.hpp"
+
+namespace ssomp::front {
+namespace {
+
+using slip::SyncType;
+
+TEST(DirectiveParseTest, BareDirective) {
+  const auto r = parse_slipstream_directive("SLIPSTREAM");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.value.type.has_value());
+  EXPECT_FALSE(r.value.tokens.has_value());
+}
+
+TEST(DirectiveParseTest, TypeOnly) {
+  const auto r = parse_slipstream_directive("SLIPSTREAM(LOCAL_SYNC)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kLocal);
+  EXPECT_FALSE(r.value.tokens.has_value());
+}
+
+TEST(DirectiveParseTest, TypeAndTokens) {
+  const auto r = parse_slipstream_directive("SLIPSTREAM(GLOBAL_SYNC, 2)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kGlobal);
+  EXPECT_EQ(r.value.tokens, 2);
+}
+
+TEST(DirectiveParseTest, TokensOnly) {
+  // Grammar: SLIPSTREAM([type] [, tokens]) — both parts optional.
+  const auto r = parse_slipstream_directive("SLIPSTREAM(3)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.value.type.has_value());
+  EXPECT_EQ(r.value.tokens, 3);
+}
+
+TEST(DirectiveParseTest, SentinelsAccepted) {
+  EXPECT_TRUE(parse_slipstream_directive("!$OMP SLIPSTREAM(RUNTIME_SYNC)")
+                  .ok);
+  EXPECT_TRUE(
+      parse_slipstream_directive("#pragma omp slipstream(local_sync,1)").ok);
+}
+
+TEST(DirectiveParseTest, CaseInsensitive) {
+  const auto r = parse_slipstream_directive("slipstream(global_sync, 1)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kGlobal);
+}
+
+TEST(DirectiveParseTest, WhitespaceTolerated) {
+  const auto r =
+      parse_slipstream_directive("  SLIPSTREAM (  LOCAL_SYNC ,  4 )  ");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kLocal);
+  EXPECT_EQ(r.value.tokens, 4);
+}
+
+TEST(DirectiveParseTest, Rejections) {
+  EXPECT_FALSE(parse_slipstream_directive("PARALLEL").ok);
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(BOGUS_SYNC, 1)").ok);
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(GLOBAL_SYNC, -1)").ok);
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(GLOBAL_SYNC, 1, 2)").ok);
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(1, GLOBAL_SYNC)").ok);
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(NONE)").ok)
+      << "NONE is an environment-only value";
+  EXPECT_FALSE(parse_slipstream_directive("SLIPSTREAM(GLOBAL_SYNC").ok);
+}
+
+TEST(EnvParseTest, AcceptsNone) {
+  const auto r = parse_slipstream_env("NONE");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kNone);
+}
+
+TEST(EnvParseTest, TypeAndTokens) {
+  const auto r = parse_slipstream_env("LOCAL_SYNC,1");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.type, SyncType::kLocal);
+  EXPECT_EQ(r.value.tokens, 1);
+}
+
+TEST(ScheduleParseTest, Kinds) {
+  EXPECT_EQ(parse_schedule_clause("static").value.kind,
+            ScheduleKind::kStatic);
+  EXPECT_EQ(parse_schedule_clause("schedule(dynamic, 4)").value.kind,
+            ScheduleKind::kDynamic);
+  EXPECT_EQ(parse_schedule_clause("schedule(dynamic, 4)").value.chunk, 4);
+  EXPECT_EQ(parse_schedule_clause("guided").value.kind,
+            ScheduleKind::kGuided);
+  EXPECT_EQ(parse_schedule_clause("schedule(affinity, 2)").value.kind,
+            ScheduleKind::kAffinity);
+  EXPECT_FALSE(parse_schedule_clause("schedule(random)").ok);
+  EXPECT_FALSE(parse_schedule_clause("schedule(dynamic, 0)").ok);
+}
+
+TEST(DirectiveControlTest, DefaultIsGlobalZero) {
+  DirectiveControl dc;
+  const auto cfg = dc.resolve();
+  EXPECT_EQ(cfg.type, SyncType::kGlobal);
+  EXPECT_EQ(cfg.tokens, 0);
+}
+
+TEST(DirectiveControlTest, SerialDirectiveSetsGlobal) {
+  DirectiveControl dc;
+  dc.apply_serial(parse_slipstream_directive("SLIPSTREAM(LOCAL_SYNC,1)")
+                      .value);
+  const auto cfg = dc.resolve();
+  EXPECT_EQ(cfg.type, SyncType::kLocal);
+  EXPECT_EQ(cfg.tokens, 1);
+}
+
+TEST(DirectiveControlTest, RegionOverridesButDoesNotPersist) {
+  // §3.3: "Using the directive on a parallel region takes precedence but
+  // does not override the global setting."
+  DirectiveControl dc;
+  dc.apply_serial(parse_slipstream_directive("SLIPSTREAM(LOCAL_SYNC,1)")
+                      .value);
+  const auto region =
+      parse_slipstream_directive("SLIPSTREAM(GLOBAL_SYNC)").value;
+  const auto cfg = dc.resolve(region);
+  EXPECT_EQ(cfg.type, SyncType::kGlobal);
+  EXPECT_EQ(cfg.tokens, 1);  // unspecified field inherits the global
+  // Global restored for the next region.
+  const auto cfg2 = dc.resolve();
+  EXPECT_EQ(cfg2.type, SyncType::kLocal);
+}
+
+TEST(DirectiveControlTest, RuntimeSyncReadsEnvironment) {
+  DirectiveControl dc;
+  ASSERT_TRUE(dc.set_env("LOCAL_SYNC,2"));
+  const auto region =
+      parse_slipstream_directive("SLIPSTREAM(RUNTIME_SYNC)").value;
+  const auto cfg = dc.resolve(region);
+  EXPECT_EQ(cfg.type, SyncType::kLocal);
+  EXPECT_EQ(cfg.tokens, 2);
+}
+
+TEST(DirectiveControlTest, RuntimeSyncWithoutEnvFallsBackToDefault) {
+  DirectiveControl dc;
+  const auto region =
+      parse_slipstream_directive("SLIPSTREAM(RUNTIME_SYNC)").value;
+  EXPECT_EQ(dc.resolve(region).type, SyncType::kGlobal);
+}
+
+TEST(DirectiveControlTest, EnvNoneDisablesSlipstream) {
+  DirectiveControl dc;
+  ASSERT_TRUE(dc.set_env("NONE"));
+  const auto region =
+      parse_slipstream_directive("SLIPSTREAM(RUNTIME_SYNC)").value;
+  EXPECT_FALSE(dc.resolve(region).enabled());
+}
+
+TEST(DirectiveControlTest, BadEnvRejectedAndPreserved) {
+  DirectiveControl dc;
+  ASSERT_TRUE(dc.set_env("LOCAL_SYNC"));
+  EXPECT_FALSE(dc.set_env("WAT"));
+  const auto region =
+      parse_slipstream_directive("SLIPSTREAM(RUNTIME_SYNC)").value;
+  EXPECT_EQ(dc.resolve(region).type, SyncType::kLocal);  // old value kept
+  ASSERT_TRUE(dc.set_env(""));  // unset
+  EXPECT_EQ(dc.resolve(region).type, SyncType::kGlobal);
+}
+
+}  // namespace
+}  // namespace ssomp::front

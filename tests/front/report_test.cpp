@@ -1,0 +1,163 @@
+// Slipstream compile-report analyzer tests.
+#include <gtest/gtest.h>
+
+#include "front/report.hpp"
+
+namespace ssomp::front {
+namespace {
+
+const ConstructReport* find_construct(const SourceReport& r,
+                                      const std::string& name) {
+  for (const auto& c : r.constructs) {
+    if (c.construct == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(ReportTest, RecognizesAllConstructs) {
+  const char* src = R"(
+#pragma omp parallel
+{
+#pragma omp for schedule(static)
+#pragma omp barrier
+#pragma omp single
+#pragma omp master
+#pragma omp critical
+#pragma omp atomic
+#pragma omp sections
+#pragma omp flush
+}
+)";
+  const auto r = analyze_source(src, "");
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.parallel_regions, 1);
+  for (const char* name : {"parallel", "for", "barrier", "single", "master",
+                           "critical", "atomic", "sections", "flush"}) {
+    EXPECT_NE(find_construct(r, name), nullptr) << name;
+  }
+}
+
+TEST(ReportTest, StaticVsDynamicForActions) {
+  const auto r = analyze_source(R"(
+#pragma omp parallel
+{
+#pragma omp for schedule(static)
+#pragma omp for schedule(dynamic, 4)
+}
+)",
+                                "");
+  ASSERT_EQ(r.constructs.size(), 3u);
+  EXPECT_NE(r.constructs[1].a_action.find("identical bounds"),
+            std::string::npos);
+  EXPECT_NE(r.constructs[2].a_action.find("syscall semaphore"),
+            std::string::npos);
+}
+
+TEST(ReportTest, SerialDirectiveSetsGlobal) {
+  const auto r = analyze_source(R"(
+#pragma omp slipstream(LOCAL_SYNC, 2)
+#pragma omp parallel
+{
+}
+)",
+                                "");
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.final_global.type, slip::SyncType::kLocal);
+  EXPECT_EQ(r.final_global.tokens, 2);
+  const auto* par = find_construct(r, "parallel");
+  ASSERT_NE(par, nullptr);
+  EXPECT_NE(par->sync.find("LOCAL_SYNC, tokens=2"), std::string::npos);
+}
+
+TEST(ReportTest, RegionOverrideDoesNotPersist) {
+  const auto r = analyze_source(R"(
+#pragma omp slipstream(LOCAL_SYNC, 1)
+#pragma omp parallel slipstream(GLOBAL_SYNC, 0)
+{
+}
+#pragma omp parallel
+{
+}
+)",
+                                "");
+  ASSERT_EQ(r.parallel_regions, 2);
+  EXPECT_NE(r.constructs[1].sync.find("GLOBAL_SYNC"), std::string::npos);
+  EXPECT_NE(r.constructs[2].sync.find("LOCAL_SYNC"), std::string::npos);
+  EXPECT_EQ(r.final_global.type, slip::SyncType::kLocal);
+}
+
+TEST(ReportTest, RuntimeSyncResolvesThroughEnvironment) {
+  const auto r = analyze_source(R"(
+#pragma omp parallel slipstream(RUNTIME_SYNC)
+{
+}
+)",
+                                "LOCAL_SYNC,3");
+  EXPECT_NE(r.constructs[0].sync.find("LOCAL_SYNC, tokens=3"),
+            std::string::npos);
+}
+
+TEST(ReportTest, EnvironmentNoneDisables) {
+  const auto r = analyze_source(R"(
+#pragma omp parallel slipstream(RUNTIME_SYNC)
+{
+}
+)",
+                                "NONE");
+  EXPECT_NE(r.constructs[0].sync.find("disabled"), std::string::npos);
+  EXPECT_NE(r.constructs[0].a_action.find("idle"), std::string::npos);
+}
+
+TEST(ReportTest, SlipstreamInsideRegionIsDiagnosed) {
+  const auto r = analyze_source(R"(
+#pragma omp parallel
+{
+#pragma omp slipstream(GLOBAL_SYNC)
+}
+)",
+                                "");
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find("no effect"), std::string::npos);
+}
+
+TEST(ReportTest, BadDirectivesAreDiagnosed) {
+  const auto r = analyze_source(R"(
+#pragma omp slipstream(BOGUS, 1)
+#pragma omp taskwait
+)",
+                                "");
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_NE(r.errors[1].find("taskwait"), std::string::npos);
+}
+
+TEST(ReportTest, BadEnvironmentDiagnosed) {
+  const auto r = analyze_source("", "WAT");
+  ASSERT_EQ(r.errors.size(), 1u);
+}
+
+TEST(ReportTest, FortranSentinelAccepted) {
+  const auto r = analyze_source(R"(
+!$OMP SLIPSTREAM(GLOBAL_SYNC, 1)
+!$OMP PARALLEL
+!$OMP DO
+)",
+                                "");
+  EXPECT_EQ(r.parallel_regions, 1);
+  EXPECT_NE(find_construct(r, "for"), nullptr);  // DO maps to for
+  EXPECT_EQ(r.final_global.tokens, 1);
+}
+
+TEST(ReportTest, FormatIncludesSummary) {
+  const auto r = analyze_source(R"(
+#pragma omp parallel
+{
+}
+)",
+                                "");
+  const std::string text = format_report(r);
+  EXPECT_NE(text.find("1 parallel region(s)"), std::string::npos);
+  EXPECT_NE(text.find("global setting"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssomp::front

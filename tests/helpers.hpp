@@ -1,0 +1,42 @@
+// Shared test utilities: build a small machine + runtime and run a
+// simulated program in one call.
+#pragma once
+
+#include <functional>
+
+#include "machine/machine.hpp"
+#include "rt/options.hpp"
+#include "rt/runtime.hpp"
+
+namespace ssomp::test {
+
+struct Harness {
+  explicit Harness(int ncmp = 4,
+                   rt::ExecutionMode mode = rt::ExecutionMode::kSingle,
+                   slip::SlipstreamConfig slip =
+                       slip::SlipstreamConfig::zero_token_global()) {
+    machine::MachineConfig mc;
+    mc.ncmp = ncmp;
+    machine = std::make_unique<machine::Machine>(mc);
+    rt::RuntimeOptions opts;
+    opts.mode = mode;
+    opts.slip = slip;
+    runtime = std::make_unique<rt::Runtime>(*machine, opts);
+  }
+
+  Harness(int ncmp, rt::RuntimeOptions opts) {
+    machine::MachineConfig mc;
+    mc.ncmp = ncmp;
+    machine = std::make_unique<machine::Machine>(mc);
+    runtime = std::make_unique<rt::Runtime>(*machine, opts);
+  }
+
+  sim::Cycles run(const std::function<void(rt::SerialCtx&)>& program) {
+    return runtime->run(program);
+  }
+
+  std::unique_ptr<machine::Machine> machine;
+  std::unique_ptr<rt::Runtime> runtime;
+};
+
+}  // namespace ssomp::test

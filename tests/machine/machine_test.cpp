@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+
+namespace ssomp::machine {
+namespace {
+
+TEST(MachineTest, PaperTopologySixteenCmps) {
+  Machine m((MachineConfig{}));
+  EXPECT_EQ(m.ncmp(), 16);
+  EXPECT_EQ(m.ncpus(), 32);
+  EXPECT_EQ(m.engine().cpu_count(), 32);
+}
+
+TEST(MachineTest, CpuToNodeMapping) {
+  MachineConfig mc;
+  mc.ncmp = 4;
+  Machine m(mc);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(1), 0);
+  EXPECT_EQ(m.node_of(6), 3);
+  EXPECT_EQ(m.r_cpu_of(2), 4);
+  EXPECT_EQ(m.a_cpu_of(2), 5);
+}
+
+TEST(MachineTest, PairsWiredToCpus) {
+  MachineConfig mc;
+  mc.ncmp = 2;
+  Machine m(mc);
+  EXPECT_EQ(m.pair(0).r_cpu(), 0);
+  EXPECT_EQ(m.pair(0).a_cpu(), 1);
+  EXPECT_EQ(m.pair(1).r_cpu(), 2);
+  EXPECT_EQ(m.pair(1).a_cpu(), 3);
+  // Mailboxes live in the runtime arena on distinct lines.
+  EXPECT_TRUE(mem::AddrSpace::is_runtime(m.pair(0).mailbox_addr()));
+  EXPECT_NE(m.pair(0).mailbox_addr(), m.pair(1).mailbox_addr());
+}
+
+TEST(MachineTest, CpuNamesEncodeTopology) {
+  MachineConfig mc;
+  mc.ncmp = 2;
+  Machine m(mc);
+  EXPECT_EQ(m.cpu(0).name(), "n0.p0");
+  EXPECT_EQ(m.cpu(3).name(), "n1.p1");
+}
+
+}  // namespace
+}  // namespace ssomp::machine

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+struct NoMeta {};
+using Cache = SetAssocCache<NoMeta>;
+
+TEST(CacheTest, LineOfMasksOffset) {
+  Cache c(1024, 2, 64);
+  EXPECT_EQ(c.line_of(0x1000), 0x1000u);
+  EXPECT_EQ(c.line_of(0x103f), 0x1000u);
+  EXPECT_EQ(c.line_of(0x1040), 0x1040u);
+}
+
+TEST(CacheTest, GeometryDerived) {
+  Cache c(16 * 1024, 2, 64);
+  EXPECT_EQ(c.sets(), 128u);
+  EXPECT_EQ(c.assoc(), 2u);
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(1024, 2, 64);
+  EXPECT_EQ(c.find(0x40), nullptr);
+  Cache::Evicted ev;
+  c.insert(0x40, LineState::kShared, ev);
+  EXPECT_FALSE(ev.valid);
+  Cache::Line* line = c.find(0x7f);  // same line as 0x40
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::kShared);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  // One set: size = assoc * line_bytes.
+  Cache c(2 * 64, 2, 64);
+  Cache::Evicted ev;
+  c.insert(0 * 64, LineState::kShared, ev);
+  c.insert(128 * 64, LineState::kShared, ev);  // same set (1 set total)
+  // Touch the first so the second becomes LRU.
+  c.touch(*c.find(0));
+  c.insert(256 * 64, LineState::kShared, ev);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 128u * 64u);
+  EXPECT_NE(c.find(0), nullptr);
+  EXPECT_EQ(c.find(128 * 64), nullptr);
+}
+
+TEST(CacheTest, EvictedCarriesStateAndMeta) {
+  struct M {
+    int tag = 0;
+  };
+  SetAssocCache<M> c(64, 1, 64);  // one line total
+  SetAssocCache<M>::Evicted ev;
+  auto& line = c.insert(0x0, LineState::kModified, ev);
+  line.meta.tag = 42;
+  c.insert(64 * 1, LineState::kShared, ev);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.state, LineState::kModified);
+  EXPECT_EQ(ev.meta.tag, 42);
+}
+
+TEST(CacheTest, InvalidateRemovesLine) {
+  Cache c(1024, 2, 64);
+  Cache::Evicted ev;
+  c.insert(0x80, LineState::kModified, ev);
+  const auto gone = c.invalidate(0x80);
+  EXPECT_TRUE(gone.valid);
+  EXPECT_EQ(gone.state, LineState::kModified);
+  EXPECT_EQ(c.find(0x80), nullptr);
+  // Idempotent.
+  EXPECT_FALSE(c.invalidate(0x80).valid);
+}
+
+TEST(CacheTest, ForEachVisitsOnlyValid) {
+  Cache c(1024, 2, 64);
+  Cache::Evicted ev;
+  c.insert(0x40, LineState::kShared, ev);
+  c.insert(0x80, LineState::kShared, ev);
+  c.invalidate(0x40);
+  int count = 0;
+  c.for_each([&](Cache::Line&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+// Property: the cache agrees with a reference model (map + per-set LRU
+// order) across random operation sequences, for several geometries.
+class CachePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CachePropertyTest, MatchesReferenceModel) {
+  const int size_kb = std::get<0>(GetParam());
+  const int assoc = std::get<1>(GetParam());
+  const std::uint32_t line = 64;
+  Cache c(static_cast<std::uint32_t>(size_kb) * 1024,
+          static_cast<std::uint32_t>(assoc), line);
+
+  // Reference: per set, list of lines in LRU order (front = LRU).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> ref;
+  const auto set_of = [&](std::uint64_t la) { return (la / line) % c.sets(); };
+
+  sim::Rng rng(2024);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t la = rng.next_below(4096) * line;
+    auto& set = ref[set_of(la)];
+    const auto it = std::find(set.begin(), set.end(), la);
+    if (rng.next_below(10) == 0) {
+      // Invalidate.
+      c.invalidate(la);
+      if (it != set.end()) set.erase(it);
+      continue;
+    }
+    Cache::Line* found = c.find(la);
+    EXPECT_EQ(found != nullptr, it != set.end()) << "line " << la;
+    if (found != nullptr) {
+      c.touch(*found);
+      set.erase(std::find(set.begin(), set.end(), la));
+      set.push_back(la);
+    } else {
+      Cache::Evicted ev;
+      c.insert(la, LineState::kShared, ev);
+      if (set.size() == static_cast<std::size_t>(assoc)) {
+        EXPECT_TRUE(ev.valid);
+        EXPECT_EQ(ev.line_addr, set.front());
+        set.erase(set.begin());
+      } else {
+        EXPECT_FALSE(ev.valid);
+      }
+      set.push_back(la);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CachePropertyTest,
+                         ::testing::Values(std::make_tuple(4, 1),
+                                           std::make_tuple(4, 2),
+                                           std::make_tuple(16, 2),
+                                           std::make_tuple(16, 4),
+                                           std::make_tuple(64, 4),
+                                           std::make_tuple(64, 8)));
+
+}  // namespace
+}  // namespace ssomp::mem

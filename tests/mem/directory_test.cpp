@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "mem/addrspace.hpp"
+#include "mem/directory.hpp"
+#include "mem/resource.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+TEST(DirectoryTest, EntriesStartUncached) {
+  Directory d(4);
+  DirEntry& e = d.entry(0x1000);
+  EXPECT_EQ(e.state, DirState::kUncached);
+  EXPECT_EQ(e.sharers, 0u);
+  EXPECT_EQ(e.owner, sim::kInvalidNode);
+}
+
+TEST(DirectoryTest, SharerBitManipulation) {
+  DirEntry e;
+  Directory::add_sharer(e, 0);
+  Directory::add_sharer(e, 3);
+  EXPECT_TRUE(Directory::is_sharer(e, 0));
+  EXPECT_FALSE(Directory::is_sharer(e, 1));
+  EXPECT_TRUE(Directory::is_sharer(e, 3));
+  EXPECT_EQ(Directory::sharer_count(e), 2);
+  Directory::remove_sharer(e, 0);
+  EXPECT_FALSE(Directory::is_sharer(e, 0));
+  EXPECT_EQ(Directory::sharer_count(e), 1);
+}
+
+TEST(DirectoryTest, InvariantViolationsDetected) {
+  {
+    Directory d(4);
+    DirEntry& e = d.entry(0);
+    e.state = DirState::kShared;  // shared with no sharers
+    EXPECT_FALSE(d.check_invariants());
+  }
+  {
+    Directory d(4);
+    DirEntry& e = d.entry(0);
+    e.state = DirState::kModified;
+    e.owner = 2;
+    e.sharers = 0b0101;  // modified with two sharers
+    EXPECT_FALSE(d.check_invariants());
+  }
+  {
+    Directory d(4);
+    DirEntry& e = d.entry(0);
+    e.state = DirState::kModified;
+    e.owner = 1;
+    e.sharers = 0b0010;
+    EXPECT_TRUE(d.check_invariants());
+  }
+}
+
+TEST(HomeMapTest, RoundRobinByPage) {
+  HomeMap hm(4, 4096);
+  EXPECT_EQ(hm.home_of(0), 0);
+  EXPECT_EQ(hm.home_of(4096), 1);
+  EXPECT_EQ(hm.home_of(4 * 4096), 0);
+  EXPECT_EQ(hm.home_of(4 * 4096 + 17), 0);  // same page, any offset
+}
+
+TEST(HomeMapTest, PinOverridesRoundRobin) {
+  HomeMap hm(4, 4096);
+  hm.pin_range(0, 3 * 4096, 2);
+  EXPECT_EQ(hm.home_of(0), 2);
+  EXPECT_EQ(hm.home_of(2 * 4096 + 100), 2);
+  EXPECT_EQ(hm.home_of(3 * 4096), 3);  // past the pinned range
+}
+
+TEST(HomeMapTest, BlockDistributionCoversAllNodes) {
+  HomeMap hm(4, 4096);
+  const std::uint64_t bytes = 16 * 4096;
+  hm.distribute_block(0, bytes);
+  // 16 pages over 4 nodes -> 4 pages each, contiguous.
+  EXPECT_EQ(hm.home_of(0), 0);
+  EXPECT_EQ(hm.home_of(3 * 4096), 0);
+  EXPECT_EQ(hm.home_of(4 * 4096), 1);
+  EXPECT_EQ(hm.home_of(15 * 4096), 3);
+}
+
+TEST(HomeMapTest, BlockDistributionUnevenClamps) {
+  HomeMap hm(4, 4096);
+  hm.distribute_block(0, 5 * 4096);  // 5 pages over 4 nodes (ceil = 2/node)
+  EXPECT_EQ(hm.home_of(0), 0);
+  EXPECT_EQ(hm.home_of(4 * 4096), 2);
+}
+
+TEST(ResourceTest, NoContentionNoDelay) {
+  Resource r("bus");
+  EXPECT_EQ(r.serve(100, 30), 130u);
+  EXPECT_EQ(r.queue_delay_total(), 0u);
+}
+
+TEST(ResourceTest, BackToBackQueues) {
+  Resource r;
+  EXPECT_EQ(r.serve(100, 30), 130u);
+  EXPECT_EQ(r.serve(110, 30), 160u);  // arrives busy: waits 20
+  EXPECT_EQ(r.queue_delay_total(), 20u);
+  EXPECT_EQ(r.requests(), 2u);
+}
+
+TEST(ResourceTest, OccupyAddsNoRequesterLatency) {
+  Resource r;
+  r.occupy(50, 100);
+  EXPECT_EQ(r.next_free(), 150u);
+  EXPECT_EQ(r.queue_delay_total(), 0u);
+  // A later request still queues behind the occupancy.
+  EXPECT_EQ(r.serve(100, 10), 160u);
+}
+
+TEST(AddrSpaceTest, ArenasAreDisjointAndAligned) {
+  AddrSpace as;
+  const sim::Addr a = as.alloc_app(100);
+  const sim::Addr b = as.alloc_app(10);
+  const sim::Addr r = as.alloc_runtime(8);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_TRUE(AddrSpace::is_app(a));
+  EXPECT_TRUE(AddrSpace::is_app(b));
+  EXPECT_TRUE(AddrSpace::is_runtime(r));
+  EXPECT_FALSE(AddrSpace::is_app(r));
+  EXPECT_TRUE(AddrSpace::is_shared(a));
+  EXPECT_TRUE(AddrSpace::is_shared(r));
+  EXPECT_FALSE(AddrSpace::is_shared(0x10));
+}
+
+TEST(AddrSpaceTest, TracksAllocatedBytes) {
+  AddrSpace as;
+  as.alloc_app(64);
+  as.alloc_app(1);
+  EXPECT_EQ(as.app_bytes_allocated(), 65u);  // 64, then 1 at offset 64
+  as.alloc_app(1);
+  EXPECT_EQ(as.app_bytes_allocated(), 129u);  // third alloc re-aligns to 128
+}
+
+}  // namespace
+}  // namespace ssomp::mem

@@ -1,0 +1,112 @@
+// MESI Exclusive-state extension tests (opt-in protocol feature).
+#include <gtest/gtest.h>
+
+#include "mem/addrspace.hpp"
+#include "mem/memsys.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+constexpr sim::Addr kApp = AddrSpace::kAppBase;
+
+MemParams estate_params() {
+  MemParams p;
+  p.exclusive_state = true;
+  return p;
+}
+
+TEST(EStateTest, SoleReaderGetsSilentStoreUpgrade) {
+  MemorySystem ms(estate_params(), 4);
+  (void)ms.load(0, kApp, 0);  // uncached -> E grant
+  // The first store upgrades silently: just an L2 access, no directory
+  // round-trip (in plain MSI this was a full upgrade transaction).
+  const sim::Cycles lat = ms.store(0, kApp, 10000);
+  EXPECT_EQ(lat, ms.params().l2_hit_cycles);
+  EXPECT_EQ(ms.stats().silent_upgrades, 1u);
+  EXPECT_EQ(ms.stats().upgrades, 0u);
+  EXPECT_TRUE(ms.check_invariants());
+}
+
+TEST(EStateTest, MsiDefaultStillPaysUpgrade) {
+  MemorySystem ms(MemParams{}, 4);  // extension off
+  (void)ms.load(0, kApp, 0);
+  EXPECT_GT(ms.store(0, kApp, 10000), ms.params().l2_hit_cycles);
+  EXPECT_EQ(ms.stats().silent_upgrades, 0u);
+  EXPECT_EQ(ms.stats().upgrades, 1u);
+}
+
+TEST(EStateTest, SecondReaderDemotesToShared) {
+  MemorySystem ms(estate_params(), 4);
+  (void)ms.load(0, kApp, 0);      // node 0: E
+  (void)ms.load(2, kApp, 10000);  // node 1 reads: owner forwards, both S
+  EXPECT_TRUE(ms.check_invariants());
+  // Now node 0's store must be a real upgrade with an invalidation.
+  EXPECT_GT(ms.store(0, kApp, 20000), ms.params().l2_hit_cycles);
+  EXPECT_EQ(ms.stats().upgrades, 1u);
+  EXPECT_EQ(ms.stats().invalidations, 1u);
+  EXPECT_TRUE(ms.check_invariants());
+}
+
+TEST(EStateTest, CleanExclusiveEvictionNeedsNoWriteback) {
+  MemParams p = estate_params();
+  p.l2_size_bytes = 4 * 1024;  // 1 set x ... small enough to force evicts
+  p.l1_size_bytes = 1 * 1024;
+  MemorySystem ms(p, 2);
+  // Fill well past the L2 with clean-exclusive lines.
+  for (int i = 0; i < 256; ++i) {
+    (void)ms.load(0, kApp + static_cast<sim::Addr>(i) * 64,
+                  static_cast<sim::Cycles>(i) * 1000);
+  }
+  EXPECT_EQ(ms.stats().writebacks, 0u);
+  EXPECT_TRUE(ms.check_invariants());
+}
+
+TEST(EStateTest, DirtyReadOfExclusiveLineForwardsFromOwner) {
+  MemorySystem ms(estate_params(), 4);
+  (void)ms.load(0, kApp, 0);  // node 0 E (clean)
+  const sim::Cycles lat = ms.load(4, kApp, 10000);  // node 2 reads
+  // Served through the owner (directory tracks E as owned): costlier than
+  // a clean remote miss.
+  EXPECT_GT(lat, ms.params().min_remote_miss_cycles());
+  EXPECT_EQ(ms.stats().fills_dirty, 1u);
+  EXPECT_TRUE(ms.check_invariants());
+}
+
+TEST(EStateTest, ExclusivePrefetchSatisfiedByEState) {
+  MemorySystem ms(estate_params(), 4);
+  ms.set_role(0, stats::StreamRole::kR);
+  ms.set_role(1, stats::StreamRole::kA);
+  (void)ms.load(1, kApp, 0);  // node 0 E via the A-stream
+  // A converted store needs ownership; E already provides it.
+  EXPECT_TRUE(ms.prefetch(1, kApp, /*exclusive=*/true, 10000));
+  EXPECT_EQ(ms.stats().upgrades, 0u);
+}
+
+TEST(EStateTest, StormKeepsInvariants) {
+  MemParams p = estate_params();
+  p.l2_size_bytes = 16 * 1024;
+  p.l1_size_bytes = 2 * 1024;
+  MemorySystem ms(p, 8);
+  sim::Rng rng(123);
+  sim::Cycles now = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const auto cpu =
+        static_cast<sim::CpuId>(rng.next_below(16));
+    const sim::Addr addr = kApp + rng.next_below(512) * 64;
+    now += rng.next_below(100);
+    switch (rng.next_below(3)) {
+      case 0: (void)ms.load(cpu, addr, now); break;
+      case 1: (void)ms.store(cpu, addr, now); break;
+      default: (void)ms.prefetch(cpu, addr, true, now); break;
+    }
+    if (op % 5000 == 0) {
+      ASSERT_TRUE(ms.check_invariants()) << op;
+    }
+  }
+  EXPECT_TRUE(ms.check_invariants());
+  EXPECT_GT(ms.stats().silent_upgrades, 0u);
+}
+
+}  // namespace
+}  // namespace ssomp::mem

@@ -1,0 +1,384 @@
+// MemorySystem protocol, latency, and classification tests.
+#include <gtest/gtest.h>
+
+#include "mem/addrspace.hpp"
+#include "mem/memsys.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+using stats::ReqClass;
+using stats::ReqKind;
+using stats::StreamRole;
+
+constexpr sim::Addr kApp = AddrSpace::kAppBase;
+
+class MemSysTest : public ::testing::Test {
+ protected:
+  MemSysTest() : ms_(MemParams{}, /*nodes=*/4) {
+    // Deterministic homes: page p -> node p % 4 (the default), so kApp
+    // (page-aligned) is homed at (kApp / 4096) % 4 == 0.
+  }
+
+  MemorySystem ms_;
+};
+
+TEST_F(MemSysTest, HomeOfAppBaseIsNode0) {
+  EXPECT_EQ(ms_.home_map().home_of(kApp), (kApp / 4096) % 4);
+}
+
+TEST_F(MemSysTest, ColdLocalMissCosts170ns) {
+  // CPU 0 lives on node 0; kApp is homed there.
+  const sim::Cycles lat = ms_.load(0, kApp, 0);
+  EXPECT_EQ(lat, ms_.params().min_local_miss_cycles());
+  EXPECT_EQ(ms_.stats().fills_local, 1u);
+}
+
+TEST_F(MemSysTest, ColdRemoteMissCosts290ns) {
+  // CPU 2 lives on node 1; kApp is homed on node 0.
+  const sim::Cycles lat = ms_.load(2, kApp, 0);
+  EXPECT_EQ(lat, ms_.params().min_remote_miss_cycles());
+  EXPECT_EQ(ms_.stats().fills_remote_clean, 1u);
+}
+
+TEST_F(MemSysTest, L1ThenL2Hits) {
+  (void)ms_.load(0, kApp, 0);
+  EXPECT_EQ(ms_.load(0, kApp, 1000), ms_.params().l1_hit_cycles);
+  // The sibling CPU on the same node misses L1 but hits the shared L2.
+  EXPECT_EQ(ms_.load(1, kApp, 2000), ms_.params().l2_hit_cycles);
+  // And then hits its own L1.
+  EXPECT_EQ(ms_.load(1, kApp, 3000), ms_.params().l1_hit_cycles);
+  EXPECT_EQ(ms_.stats().l2_fills, 1u);
+}
+
+TEST_F(MemSysTest, SameLineDifferentOffsetsHit) {
+  (void)ms_.load(0, kApp, 0);
+  EXPECT_EQ(ms_.load(0, kApp + 63, 100), ms_.params().l1_hit_cycles);
+  EXPECT_GT(ms_.load(0, kApp + 64, 200), ms_.params().l2_hit_cycles);
+}
+
+TEST_F(MemSysTest, StoreBringsLineExclusive) {
+  const sim::Cycles lat = ms_.store(0, kApp, 0);
+  EXPECT_GE(lat, ms_.params().min_local_miss_cycles());
+  // Subsequent store by the same CPU is an L1 hit.
+  EXPECT_EQ(ms_.store(0, kApp, 1000), ms_.params().l1_hit_cycles);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, StoreAfterSharedLoadUpgrades) {
+  (void)ms_.load(0, kApp, 0);      // node 0 shared
+  (void)ms_.load(2, kApp, 1000);   // node 1 shared
+  const sim::Cycles lat = ms_.store(0, kApp, 2000);
+  EXPECT_GT(lat, ms_.params().l2_hit_cycles);  // upgrade round-trip
+  EXPECT_EQ(ms_.stats().upgrades, 1u);
+  EXPECT_EQ(ms_.stats().invalidations, 1u);
+  // The other node's copy is gone: reloading misses.
+  EXPECT_GT(ms_.load(2, kApp, 3000), ms_.params().l2_hit_cycles);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, DirtyRemoteLineServedByOwner) {
+  (void)ms_.store(2, kApp, 0);  // node 1 owns dirty
+  const sim::Cycles lat = ms_.load(4, kApp, 1000);  // node 2 reads
+  EXPECT_GT(lat, ms_.params().min_remote_miss_cycles());  // 3-hop
+  EXPECT_EQ(ms_.stats().fills_dirty, 1u);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, StoreToDirtyRemoteTransfersOwnership) {
+  (void)ms_.store(2, kApp, 0);     // node 1 dirty
+  (void)ms_.store(4, kApp, 1000);  // node 2 takes ownership
+  // Node 1 lost its copy.
+  EXPECT_GT(ms_.load(2, kApp, 2000), ms_.params().l2_hit_cycles);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, SiblingStoreInvalidatesL1NotL2) {
+  (void)ms_.load(0, kApp, 0);
+  (void)ms_.load(1, kApp, 100);
+  (void)ms_.store(0, kApp, 200);
+  // While the store's upgrade is in flight the sibling's read merges and
+  // waits out the remainder at the shared L2.
+  EXPECT_GT(ms_.load(1, kApp, 210), ms_.params().l2_hit_cycles);
+  // Invalidate the sibling's L1 again and read well after completion: the
+  // shared L2 still holds the (modified) line — an L2 hit, not a miss.
+  (void)ms_.store(0, kApp, 5000);
+  EXPECT_EQ(ms_.load(1, kApp, 20000), ms_.params().l2_hit_cycles);
+}
+
+TEST_F(MemSysTest, ContentionQueuesAtHomeControllers) {
+  // Two remote requests for different lines with the same home node,
+  // issued at the same instant from different nodes: the second queues at
+  // the home directory controller.
+  const sim::Cycles lat1 = ms_.load(2, kApp, 0);              // node 1
+  const sim::Cycles lat2 = ms_.load(4, kApp + 4 * 4096, 0);   // node 2
+  EXPECT_EQ(lat1, ms_.params().min_remote_miss_cycles());
+  EXPECT_GT(lat2, ms_.params().min_remote_miss_cycles());
+  EXPECT_GT(ms_.total_queue_delay(), 0u);
+}
+
+TEST_F(MemSysTest, PrefetchInstallsPendingLine) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  EXPECT_TRUE(ms_.prefetch(1, kApp, false, 0));
+  // R accesses while the fill is outstanding: merged, waits out the rest.
+  const sim::Cycles wait = ms_.load(0, kApp, 10);
+  EXPECT_GT(wait, ms_.params().l2_hit_cycles);
+  EXPECT_LT(wait, ms_.params().min_local_miss_cycles() + 1);
+  EXPECT_EQ(ms_.stats().merges, 1u);
+}
+
+TEST_F(MemSysTest, PrefetchCompletedActsAsHit) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.prefetch(1, kApp, false, 0);
+  // Well past completion.
+  EXPECT_EQ(ms_.load(0, kApp, 100000), ms_.params().l2_hit_cycles);
+}
+
+TEST_F(MemSysTest, ClassificationATimely) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(1, kApp, 0);       // A fetches
+  (void)ms_.load(0, kApp, 100000);  // R references later
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kATimely),
+            1u);
+}
+
+TEST_F(MemSysTest, ClassificationALateOnMerge) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.prefetch(1, kApp, false, 0);
+  (void)ms_.load(0, kApp, 5);  // merges with outstanding fill
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kALate), 1u);
+}
+
+TEST_F(MemSysTest, ClassificationAOnlyWhenUnreferenced) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(1, kApp, 0);
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kAOnly), 1u);
+}
+
+TEST_F(MemSysTest, ClassificationRTimelyWhenABehind) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(0, kApp, 0);       // R fetches first
+  (void)ms_.load(1, kApp, 100000);  // A benefits later
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kRTimely),
+            1u);
+}
+
+TEST_F(MemSysTest, ClassificationExclusivePrefetch) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.prefetch(1, kApp, true, 0);   // converted store
+  (void)ms_.store(0, kApp, 100000);       // R's real store hits M line
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kReadEx, ReqClass::kATimely),
+            1u);
+  // And the R store paid only an L2 hit thanks to the prefetch.
+}
+
+TEST_F(MemSysTest, UpgradeStartsNewExclusiveEpoch) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(1, kApp, 0);       // A fetches shared
+  (void)ms_.load(0, kApp, 100000);  // R references -> read epoch A-Timely
+  (void)ms_.store(0, kApp, 200000);  // upgrade -> retires read epoch
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kATimely),
+            1u);
+  // The exclusive epoch belongs to R and was never touched by A.
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kReadEx, ReqClass::kROnly),
+            1u);
+}
+
+TEST_F(MemSysTest, RuntimeArenaExcludedFromClassification) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(1, AddrSpace::kRuntimeBase, 0);
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.total(ReqKind::kRead), 0u);
+}
+
+TEST_F(MemSysTest, NoneRoleFillsNotClassified) {
+  (void)ms_.load(0, kApp, 0);
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.total(ReqKind::kRead), 0u);
+}
+
+TEST_F(MemSysTest, FinalizeIsIdempotent) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(1, kApp, 0);
+  ms_.finalize_classification();
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.total(ReqKind::kRead), 1u);
+}
+
+TEST_F(MemSysTest, PrefetchThrottledByMshrBudget) {
+  ms_.set_role(1, StreamRole::kA);
+  // Fill the outstanding-fill budget with distinct lines.
+  int accepted = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (ms_.prefetch(1, kApp + static_cast<sim::Addr>(i) * 64, false, 0)) {
+      ++accepted;
+    }
+  }
+  EXPECT_LT(accepted, 32);  // the budget is finite
+  EXPECT_GE(accepted, 4);
+  // Once the fills complete, prefetching resumes.
+  EXPECT_TRUE(ms_.prefetch(1, kApp + 100 * 64, false, 1000000));
+}
+
+TEST_F(MemSysTest, ExclusivePrefetchSkipsWidelySharedLines) {
+  ms_.set_role(1, StreamRole::kA);
+  // Three other nodes share the line.
+  (void)ms_.load(2, kApp, 0);
+  (void)ms_.load(4, kApp, 1000);
+  (void)ms_.load(6, kApp, 2000);
+  EXPECT_FALSE(ms_.prefetch(1, kApp, /*exclusive=*/true, 3000))
+      << "exclusive prefetch must not rip a widely-shared line away";
+  // A read prefetch is still fine.
+  EXPECT_TRUE(ms_.prefetch(1, kApp, /*exclusive=*/false, 3000));
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, ExclusivePrefetchAllowedWithFewSharers) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(2, kApp, 0);  // one other sharer
+  EXPECT_TRUE(ms_.prefetch(1, kApp, /*exclusive=*/true, 1000));
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, SiblingLoadDowngradesDirtyL1) {
+  (void)ms_.store(0, kApp, 0);           // cpu0 L1 holds M
+  (void)ms_.load(1, kApp, 10000);        // sibling reads -> downgrade
+  // cpu0's next store must re-assert ownership (not a silent L1-M hit),
+  // which invalidates the sibling's copy again.
+  EXPECT_GT(ms_.store(0, kApp, 20000), ms_.params().l1_hit_cycles);
+  EXPECT_GT(ms_.load(1, kApp, 30000), ms_.params().l1_hit_cycles);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, DemandFillsMergeAtSharedL2) {
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  const sim::Cycles a_lat = ms_.load(1, kApp, 0);  // A demand-fetches
+  // R arrives mid-fill: it waits out the remainder instead of paying a
+  // fresh miss or getting an instant (physically impossible) hit.
+  const sim::Cycles r_lat = ms_.load(0, kApp, a_lat / 2);
+  EXPECT_GT(r_lat, ms_.params().l2_hit_cycles);
+  EXPECT_LE(r_lat, a_lat);
+  EXPECT_EQ(ms_.stats().merges, 1u);
+  ms_.finalize_classification();
+  EXPECT_EQ(ms_.stats().req_class.get(ReqKind::kRead, ReqClass::kALate), 1u);
+}
+
+TEST_F(MemSysTest, SharedL2PortContention) {
+  // Both CPUs of a CMP issue L2-hit accesses to different lines at the
+  // same instant: the single-ported shared L2 serializes them.
+  (void)ms_.load(0, kApp, 0);            // brings kApp into the L2
+  (void)ms_.load(1, kApp + 128, 0);      // brings kApp+128 into the L2
+  const sim::Cycles a = ms_.load(1, kApp, 200000);        // L1 miss, L2 hit
+  const sim::Cycles b = ms_.load(0, kApp + 128, 200000);  // same instant
+  EXPECT_EQ(a, ms_.params().l2_hit_cycles);
+  EXPECT_EQ(b, 2 * ms_.params().l2_hit_cycles);  // queued behind a
+}
+
+TEST_F(MemSysTest, SelfInvalidationHintsClearSharers) {
+  ms_.set_self_invalidation(true);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(2, kApp, 0);
+  (void)ms_.load(4, kApp, 1000);
+  (void)ms_.load(6, kApp, 2000);
+  // With hints enabled the conversion proceeds instead of being dropped.
+  EXPECT_TRUE(ms_.prefetch(1, kApp, /*exclusive=*/true, 3000));
+  EXPECT_EQ(ms_.stats().self_invalidations, 3u);
+  EXPECT_TRUE(ms_.check_invariants());
+  // The hinted sharers lost their copies (they refetch on next access).
+  EXPECT_GT(ms_.load(2, kApp, 100000), ms_.params().l2_hit_cycles);
+}
+
+TEST_F(MemSysTest, SelfInvalidationAvoidsFanOutOnStore) {
+  ms_.set_self_invalidation(true);
+  ms_.set_role(0, StreamRole::kR);
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(2, kApp, 0);
+  (void)ms_.load(4, kApp, 1000);
+  (void)ms_.load(6, kApp, 2000);
+  (void)ms_.load(0, kApp, 3000);  // R shares the line too
+  ASSERT_TRUE(ms_.prefetch(1, kApp, /*exclusive=*/true, 4000));
+  const auto invals_before = ms_.stats().invalidations;
+  // R's real store arrives after the prefetch completed: an L2 hit with no
+  // invalidation fan-out on the critical path.
+  EXPECT_EQ(ms_.store(0, kApp, 100000), ms_.params().l1_hit_cycles * 0 +
+                                            ms_.params().l2_hit_cycles);
+  EXPECT_EQ(ms_.stats().invalidations, invals_before);
+  EXPECT_TRUE(ms_.check_invariants());
+}
+
+TEST_F(MemSysTest, SelfInvalidationDisabledByDefault) {
+  ms_.set_role(1, StreamRole::kA);
+  (void)ms_.load(2, kApp, 0);
+  (void)ms_.load(4, kApp, 1000);
+  (void)ms_.load(6, kApp, 2000);
+  EXPECT_FALSE(ms_.prefetch(1, kApp, /*exclusive=*/true, 3000));
+  EXPECT_EQ(ms_.stats().self_invalidations, 0u);
+}
+
+// Property: a storm of random loads/stores/prefetches from random CPUs
+// leaves every protocol invariant intact, and the classification identity
+// (classified fills <= total fills) holds. Run over several node counts.
+class MemSysStormTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemSysStormTest, InvariantsSurviveRandomTraffic) {
+  const int nodes = GetParam();
+  MemParams params;
+  params.l2_size_bytes = 16 * 1024;  // small, to force evictions
+  params.l1_size_bytes = 2 * 1024;
+  MemorySystem ms(params, nodes);
+  const int ncpus = nodes * 2;
+  for (int c = 0; c < ncpus; ++c) {
+    ms.set_role(c, c % 2 == 0 ? StreamRole::kR : StreamRole::kA);
+  }
+  sim::Rng rng(77);
+  sim::Cycles now = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const auto cpu = static_cast<sim::CpuId>(rng.next_below(
+        static_cast<std::uint64_t>(ncpus)));
+    const sim::Addr addr = kApp + rng.next_below(512) * 64;
+    now += rng.next_below(100);
+    switch (rng.next_below(4)) {
+      case 0:
+        (void)ms.load(cpu, addr, now);
+        break;
+      case 1:
+        (void)ms.store(cpu, addr, now);
+        break;
+      case 2:
+        (void)ms.prefetch(cpu, addr, false, now);
+        break;
+      default:
+        (void)ms.prefetch(cpu, addr, true, now);
+        break;
+    }
+    if (op % 5000 == 0) {
+      EXPECT_TRUE(ms.check_invariants()) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(ms.check_invariants());
+  ms.finalize_classification();
+  const auto& rc = ms.stats().req_class;
+  EXPECT_LE(rc.total(ReqKind::kRead) + rc.total(ReqKind::kReadEx),
+            ms.stats().l2_fills + ms.stats().upgrades);
+  EXPECT_GT(ms.stats().writebacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, MemSysStormTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace ssomp::mem

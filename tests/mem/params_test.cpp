@@ -1,0 +1,57 @@
+// Validates the Table 1 machine parameters and the paper's two stated
+// latency calibration points.
+#include <gtest/gtest.h>
+
+#include "mem/params.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+TEST(ParamsTest, Table1Defaults) {
+  const MemParams p;
+  EXPECT_DOUBLE_EQ(p.clock_ghz, 1.2);
+  EXPECT_EQ(p.l1_size_bytes, 16u * 1024);
+  EXPECT_EQ(p.l1_assoc, 2u);
+  EXPECT_EQ(p.l1_hit_cycles, 1u);
+  EXPECT_EQ(p.l2_size_bytes, 1024u * 1024);
+  EXPECT_EQ(p.l2_assoc, 4u);
+  EXPECT_EQ(p.l2_hit_cycles, 10u);
+  EXPECT_DOUBLE_EQ(p.bus_ns, 30);
+  EXPECT_DOUBLE_EQ(p.pi_local_dc_ns, 10);
+  EXPECT_DOUBLE_EQ(p.ni_local_dc_ns, 60);
+  EXPECT_DOUBLE_EQ(p.ni_remote_dc_ns, 10);
+  EXPECT_DOUBLE_EQ(p.net_ns, 50);
+  EXPECT_DOUBLE_EQ(p.mem_ns, 50);
+}
+
+TEST(ParamsTest, NsToCyclesAt1200MHz) {
+  const MemParams p;
+  EXPECT_EQ(p.ns(50), 60u);
+  EXPECT_EQ(p.ns(30), 36u);
+  EXPECT_EQ(p.ns(10), 12u);
+}
+
+TEST(ParamsTest, PaperCalibrationLocalMiss170ns) {
+  const MemParams p;
+  // "A local miss requires 170 ns."
+  EXPECT_EQ(p.min_local_miss_cycles(), p.ns(170));
+}
+
+TEST(ParamsTest, PaperCalibrationRemoteMiss290ns) {
+  const MemParams p;
+  // "The minimum latency to bring data into the L2 cache on a remote miss
+  //  is 290 ns, assuming no contention."
+  EXPECT_EQ(p.min_remote_miss_cycles(), p.ns(290));
+}
+
+TEST(ParamsTest, ScaledConfigKeepsLatencies) {
+  const MemParams s = MemParams::scaled_for_benchmarks();
+  const MemParams d;
+  EXPECT_LT(s.l2_size_bytes, d.l2_size_bytes);
+  EXPECT_LT(s.l1_size_bytes, d.l1_size_bytes);
+  EXPECT_EQ(s.min_local_miss_cycles(), d.min_local_miss_cycles());
+  EXPECT_EQ(s.min_remote_miss_cycles(), d.min_remote_miss_cycles());
+}
+
+}  // namespace
+}  // namespace ssomp::mem

@@ -1,0 +1,96 @@
+// Gap-fitting Resource semantics (the contention model's core).
+#include <gtest/gtest.h>
+
+#include "mem/resource.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::mem {
+namespace {
+
+TEST(GapFitTest, RequestFitsInIdleWindowBetweenReservations) {
+  Resource r;
+  // A transaction reserves the bus now and for its reply far in the
+  // future (two separate serves).
+  EXPECT_EQ(r.serve(100, 36), 136u);
+  EXPECT_EQ(r.serve(400, 36), 436u);  // the "reply"
+  // Another processor's request in between must NOT queue behind the
+  // future reply: the bus is idle from 136 to 400.
+  EXPECT_EQ(r.serve(150, 36), 186u);
+  EXPECT_EQ(r.queue_delay_total(), 0u);
+}
+
+TEST(GapFitTest, TooLargeForGapQueues) {
+  Resource r;
+  (void)r.serve(100, 10);   // [100,110)
+  (void)r.serve(115, 10);   // [115,125)
+  // A 10-cycle job arriving at 102 does not fit in [110,115): queued to
+  // 125.
+  EXPECT_EQ(r.serve(102, 10), 135u);
+  EXPECT_EQ(r.queue_delay_total(), 23u);
+}
+
+TEST(GapFitTest, ExactFitUsesGap) {
+  Resource r;
+  (void)r.serve(0, 10);    // [0,10)
+  (void)r.serve(20, 10);   // [20,30)
+  EXPECT_EQ(r.serve(10, 10), 20u);  // fits exactly in [10,20)
+  EXPECT_EQ(r.queue_delay_total(), 0u);
+}
+
+TEST(GapFitTest, OccupyBlocksWithoutLatencyCharge) {
+  Resource r;
+  r.occupy(50, 100);
+  EXPECT_EQ(r.queue_delay_total(), 0u);
+  EXPECT_EQ(r.serve(60, 10), 160u);
+  EXPECT_EQ(r.queue_delay_total(), 90u);
+}
+
+TEST(GapFitTest, StatsAccumulate) {
+  Resource r("memctl");
+  (void)r.serve(0, 60);
+  (void)r.serve(0, 60);
+  EXPECT_EQ(r.requests(), 2u);
+  EXPECT_EQ(r.busy_total(), 120u);
+  EXPECT_EQ(r.queue_delay_total(), 60u);
+  EXPECT_EQ(r.name(), "memctl");
+}
+
+TEST(GapFitTest, PropertyNoOverlappingService) {
+  // Whatever the arrival pattern, granted service intervals never overlap
+  // and every request starts at or after its arrival.
+  sim::Rng rng(99);
+  Resource r;
+  std::vector<std::pair<sim::Cycles, sim::Cycles>> granted;
+  sim::Cycles t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.next_below(50);
+    const sim::Cycles occ = 1 + rng.next_below(40);
+    const sim::Cycles done = r.serve(t, occ);
+    const sim::Cycles start = done - occ;
+    ASSERT_GE(start, t);
+    granted.push_back({start, done});
+  }
+  std::sort(granted.begin(), granted.end());
+  for (std::size_t i = 1; i < granted.size(); ++i) {
+    ASSERT_LE(granted[i - 1].second, granted[i].first)
+        << "service intervals overlap at " << i;
+  }
+}
+
+TEST(GapFitTest, PropertyConservesWork) {
+  // Total service time granted equals the sum of occupancies.
+  sim::Rng rng(7);
+  Resource r;
+  sim::Cycles total_occ = 0;
+  sim::Cycles t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.next_below(20);
+    const sim::Cycles occ = 1 + rng.next_below(30);
+    total_occ += occ;
+    (void)r.serve(t, occ);
+  }
+  EXPECT_EQ(r.busy_total(), total_occ);
+}
+
+}  // namespace
+}  // namespace ssomp::mem

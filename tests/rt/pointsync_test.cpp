@@ -1,0 +1,103 @@
+// ProgressFlag point-to-point synchronization tests.
+#include <gtest/gtest.h>
+
+#include "rt/pointsync.hpp"
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using test::Harness;
+
+TEST(ProgressFlagTest, WaitBlocksUntilPosted) {
+  Harness h(2, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  std::vector<int> order;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(50000);
+        order.push_back(1);
+        flag.post(t, 1);
+      } else {
+        flag.wait_ge(t, 1);
+        order.push_back(2);
+      }
+    });
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ProgressFlagTest, AlreadySatisfiedWaitDoesNotBlock) {
+  Harness h(2, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) flag.post(t, 5);
+      t.barrier();
+      flag.wait_ge(t, 3);  // both threads: value already 5
+      EXPECT_EQ(flag.value(), 5);
+    });
+  });
+}
+
+TEST(ProgressFlagTest, MultipleWaitersWithDifferentThresholds) {
+  Harness h(4, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  std::vector<int> released;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        for (int v = 1; v <= 3; ++v) {
+          t.compute(20000);
+          flag.post(t, v);
+        }
+      } else {
+        flag.wait_ge(t, t.id());  // thresholds 1, 2, 3
+        released.push_back(t.id());
+      }
+    });
+  });
+  EXPECT_EQ(released, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ProgressFlagTest, AStreamSkipsPostAndWait) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  ProgressFlag flag(*h.runtime, "f");
+  int a_passed = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.is_a_stream()) {
+        // If the A-stream waited, it would deadlock: the R-streams post
+        // only *after* a long compute, and nobody waits for the A.
+        flag.wait_ge(t, 99);  // skipped
+        ++a_passed;
+        return;
+      }
+      t.compute(10000);
+      if (t.id() == 0) flag.post(t, 99);
+    });
+  });
+  EXPECT_EQ(a_passed, 2);
+}
+
+TEST(ProgressFlagTest, WaitTimeAttributedToLockCategory) {
+  Harness h(2, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(80000);
+        flag.post(t, 1);
+      } else {
+        flag.wait_ge(t, 1);
+      }
+    });
+  });
+  EXPECT_GT(
+      h.machine->cpu(2).breakdown().get(sim::TimeCategory::kLock), 60000u);
+}
+
+}  // namespace
+}  // namespace ssomp::rt

@@ -1,0 +1,601 @@
+// Runtime construct tests across all three execution modes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using front::ScheduleClause;
+using front::ScheduleKind;
+using test::Harness;
+
+struct ModeParam {
+  ExecutionMode mode;
+  const char* name;
+};
+
+class ModeTest : public ::testing::TestWithParam<ModeParam> {
+ protected:
+  [[nodiscard]] static int expected_threads(const Harness& h,
+                                            ExecutionMode mode) {
+    return mode == ExecutionMode::kDouble ? h.machine->ncpus()
+                                          : h.machine->ncmp();
+  }
+};
+
+TEST_P(ModeTest, TeamSizeAndIds) {
+  Harness h(4, GetParam().mode);
+  std::set<int> ids;
+  int nthreads = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (!t.is_a_stream()) ids.insert(t.id());
+      nthreads = t.nthreads();
+    });
+  });
+  const int want = expected_threads(h, GetParam().mode);
+  EXPECT_EQ(nthreads, want);
+  EXPECT_EQ(static_cast<int>(ids.size()), want);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), want - 1);
+}
+
+TEST_P(ModeTest, StaticLoopCoversEachIterationOnce) {
+  Harness h(4, GetParam().mode);
+  std::map<long, int> hits;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 1000, ScheduleClause{}, [&](long i) {
+        if (!t.is_a_stream()) ++hits[i];
+      });
+    });
+  });
+  EXPECT_EQ(hits.size(), 1000u);
+  for (const auto& [i, count] : hits) {
+    EXPECT_EQ(count, 1) << "iteration " << i;
+  }
+}
+
+TEST_P(ModeTest, StaticChunkedRoundRobin) {
+  Harness h(2, GetParam().mode);
+  std::map<long, int> owner;
+  ScheduleClause sched;
+  sched.chunk = 7;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 100, sched, [&](long i) {
+        if (!t.is_a_stream()) owner[i] = t.id();
+      });
+    });
+  });
+  ASSERT_EQ(owner.size(), 100u);
+  const int n = expected_threads(h, GetParam().mode);
+  for (long i = 0; i < 100; ++i) {
+    EXPECT_EQ(owner[i], static_cast<int>((i / 7) % n)) << "iteration " << i;
+  }
+}
+
+TEST_P(ModeTest, DynamicLoopCoversEachIterationOnce) {
+  Harness h(4, GetParam().mode);
+  std::map<long, int> hits;
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kDynamic;
+  sched.chunk = 5;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 512, sched, [&](long i) {
+        if (!t.is_a_stream()) ++hits[i];
+      });
+    });
+  });
+  EXPECT_EQ(hits.size(), 512u);
+  for (const auto& [i, count] : hits) EXPECT_EQ(count, 1);
+}
+
+TEST_P(ModeTest, GuidedChunksDecrease) {
+  Harness h(4, GetParam().mode);
+  std::vector<long> chunk_sizes;
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kGuided;
+  sched.chunk = 2;
+  long covered = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_chunks(0, 1000, sched, [&](long lo, long hi) {
+        if (!t.is_a_stream()) {
+          chunk_sizes.push_back(hi - lo);
+          covered += hi - lo;
+        }
+      });
+    });
+  });
+  EXPECT_EQ(covered, 1000);
+  EXPECT_GE(chunk_sizes.front(), chunk_sizes.back());
+  EXPECT_GE(chunk_sizes.front(), 1000 / (2 * 8));
+}
+
+TEST_P(ModeTest, SingleExecutesExactlyOnce) {
+  Harness h(4, GetParam().mode);
+  int executed = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      for (int s = 0; s < 3; ++s) {
+        t.single([&] { ++executed; });
+      }
+    });
+  });
+  EXPECT_EQ(executed, 3);
+}
+
+TEST_P(ModeTest, MasterExecutesOnThreadZeroOnly) {
+  Harness h(4, GetParam().mode);
+  int r_executions = 0;
+  int a_executions = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.master([&] {
+        if (t.is_a_stream()) {
+          ++a_executions;
+        } else {
+          ++r_executions;
+        }
+      });
+      t.barrier();
+    });
+  });
+  EXPECT_EQ(r_executions, 1);
+  // §3.1: the A-stream paired with the master executes master sections.
+  EXPECT_EQ(a_executions,
+            GetParam().mode == ExecutionMode::kSlipstream ? 1 : 0);
+}
+
+TEST_P(ModeTest, CriticalMutualExclusionAndSum) {
+  Harness h(4, GetParam().mode);
+  long counter = 0;
+  int inside = 0;
+  int max_inside = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      for (int i = 0; i < 5; ++i) {
+        t.critical([&] {
+          if (t.is_a_stream()) return;  // default policy skips anyway
+          ++inside;
+          max_inside = std::max(max_inside, inside);
+          t.compute(40);
+          ++counter;
+          --inside;
+        });
+      }
+    });
+  });
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(counter,
+            5L * expected_threads(h, GetParam().mode));
+}
+
+TEST_P(ModeTest, ReduceSumMatchesClosedForm) {
+  Harness h(4, GetParam().mode);
+  double result = 0.0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      double local = 0.0;
+      t.for_loop(
+          1, 101, ScheduleClause{}, [&](long i) { local += static_cast<double>(i); },
+          /*nowait=*/true);
+      const double sum = t.reduce_sum(local);
+      if (t.id() == 0 && !t.is_a_stream()) result = sum;
+    });
+  });
+  EXPECT_DOUBLE_EQ(result, 5050.0);
+}
+
+TEST_P(ModeTest, ReduceMax) {
+  Harness h(4, GetParam().mode);
+  double result = 0.0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      const double mine = 100.0 + t.id();
+      const double m = t.reduce_max(mine);
+      if (t.id() == 0 && !t.is_a_stream()) result = m;
+    });
+  });
+  EXPECT_DOUBLE_EQ(result,
+                   99.0 + expected_threads(h, GetParam().mode));
+}
+
+TEST_P(ModeTest, SectionsStaticAllExecuted) {
+  Harness h(4, GetParam().mode);
+  std::vector<int> executed(10, 0);
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      std::vector<std::function<void()>> secs;
+      for (int s = 0; s < 10; ++s) {
+        secs.push_back([&, s] {
+          if (!t.is_a_stream()) ++executed[static_cast<std::size_t>(s)];
+        });
+      }
+      t.sections(secs, ScheduleKind::kStatic);
+    });
+  });
+  for (int s = 0; s < 10; ++s) EXPECT_EQ(executed[static_cast<std::size_t>(s)], 1);
+}
+
+TEST_P(ModeTest, SectionsDynamicAllExecuted) {
+  Harness h(4, GetParam().mode);
+  std::vector<int> executed(10, 0);
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      std::vector<std::function<void()>> secs;
+      for (int s = 0; s < 10; ++s) {
+        secs.push_back([&, s] {
+          if (!t.is_a_stream()) ++executed[static_cast<std::size_t>(s)];
+        });
+      }
+      t.sections(secs, ScheduleKind::kDynamic);
+    });
+  });
+  for (int s = 0; s < 10; ++s) EXPECT_EQ(executed[static_cast<std::size_t>(s)], 1);
+}
+
+TEST_P(ModeTest, SharedArrayWritesVisibleAcrossRegions) {
+  Harness h(4, GetParam().mode);
+  SharedArray<double> data(*h.runtime, 256, "data");
+  double sum = 0.0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 256, ScheduleClause{}, [&](long i) {
+        data.write(t, static_cast<std::size_t>(i), static_cast<double>(i));
+      });
+    });
+    sc.parallel([&](ThreadCtx& t) {
+      double local = 0.0;
+      t.for_loop(
+          0, 256, ScheduleClause{},
+          [&](long i) { local += data.read(t, static_cast<std::size_t>(i)); },
+          /*nowait=*/true);
+      const double s = t.reduce_sum(local);
+      if (t.id() == 0 && !t.is_a_stream()) sum = s;
+    });
+  });
+  EXPECT_DOUBLE_EQ(sum, 255.0 * 256.0 / 2.0);
+}
+
+TEST_P(ModeTest, AtomicAddAccumulates) {
+  Harness h(4, GetParam().mode);
+  SharedVar<double> acc(*h.runtime, "acc");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) { acc.atomic_add(t, 1.0); });
+  });
+  EXPECT_DOUBLE_EQ(acc.host(),
+                   static_cast<double>(expected_threads(h, GetParam().mode)));
+}
+
+TEST_P(ModeTest, NowaitSkipsBarrierButJoinStillWorks) {
+  Harness h(4, GetParam().mode);
+  long total = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(
+          0, 64, ScheduleClause{},
+          [&](long) {
+            if (!t.is_a_stream()) ++total;
+          },
+          /*nowait=*/true);
+    });
+  });
+  EXPECT_EQ(total, 64);
+}
+
+TEST_P(ModeTest, BackToBackNowaitDynamicLoops) {
+  Harness h(4, GetParam().mode);
+  long a = 0;
+  long b = 0;
+  ScheduleClause dyn;
+  dyn.kind = ScheduleKind::kDynamic;
+  dyn.chunk = 3;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(
+          0, 100, dyn,
+          [&](long) {
+            if (!t.is_a_stream()) ++a;
+          },
+          /*nowait=*/true);
+      t.for_loop(
+          0, 50, dyn,
+          [&](long) {
+            if (!t.is_a_stream()) ++b;
+          },
+          /*nowait=*/true);
+    });
+  });
+  EXPECT_EQ(a, 100);
+  EXPECT_EQ(b, 50);
+}
+
+TEST_P(ModeTest, FlushIsVoid) {
+  Harness h(2, GetParam().mode);
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.flush();
+      t.barrier();
+    });
+  });
+  SUCCEED();
+}
+
+TEST_P(ModeTest, MultipleRegionsReuseThePool) {
+  Harness h(4, GetParam().mode);
+  int regions = 0;
+  h.run([&](SerialCtx& sc) {
+    for (int r = 0; r < 5; ++r) {
+      sc.parallel([&](ThreadCtx& t) {
+        if (t.id() == 0 && !t.is_a_stream()) ++regions;
+      });
+    }
+  });
+  EXPECT_EQ(regions, 5);
+  EXPECT_EQ(h.runtime->regions_executed(), 5);
+}
+
+TEST_P(ModeTest, IoOperations) {
+  Harness h(2, GetParam().mode);
+  h.run([&](SerialCtx& sc) {
+    sc.io_read(1000);
+    sc.parallel([&](ThreadCtx& t) {
+      t.master([&] {
+        t.io_read(500);
+        t.io_write(500);
+      });
+      t.barrier();
+      t.single([&] { t.io_write(100); });
+    });
+    sc.io_write(1000);
+  });
+  SUCCEED();  // completion without deadlock/stranded tokens is the assertion
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ModeTest,
+    ::testing::Values(ModeParam{ExecutionMode::kSingle, "single"},
+                      ModeParam{ExecutionMode::kDouble, "double"},
+                      ModeParam{ExecutionMode::kSlipstream, "slipstream"}),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+      return info.param.name;
+    });
+
+TEST_P(ModeTest, AffinityLoopCoversEachIterationOnce) {
+  Harness h(4, GetParam().mode);
+  std::map<long, int> hits;
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kAffinity;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 777, sched, [&](long i) {
+        if (!t.is_a_stream()) ++hits[i];
+      });
+    });
+  });
+  EXPECT_EQ(hits.size(), 777u);
+  for (const auto& [i, count] : hits) EXPECT_EQ(count, 1) << i;
+}
+
+TEST(AffinityTest, BalancedLoadStaysLocal) {
+  // With perfectly balanced work every thread consumes only its own
+  // partition — the static-like locality the extension is for.
+  Harness h(4, ExecutionMode::kSingle);
+  std::map<int, std::pair<long, long>> range_of_tid;  // tid -> [min,max]
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kAffinity;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 400, sched, [&](long i) {
+        t.compute(50);  // uniform cost
+        auto& r = range_of_tid.try_emplace(t.id(), i, i).first->second;
+        r.first = std::min(r.first, i);
+        r.second = std::max(r.second, i);
+      });
+    });
+  });
+  ASSERT_EQ(range_of_tid.size(), 4u);
+  // Partitions are contiguous blocks of 100; no thread crossed into
+  // another's block.
+  for (const auto& [tid, r] : range_of_tid) {
+    EXPECT_EQ(r.first / 100, tid) << "tid " << tid;
+    EXPECT_EQ(r.second / 100, tid) << "tid " << tid;
+  }
+}
+
+TEST(AffinityTest, ImbalancedLoadIsStolen) {
+  // Thread 0's partition is 50x more expensive; the others must steal
+  // from it, so every iteration still executes exactly once and the
+  // makespan beats leaving thread 0 alone with its block.
+  Harness h(4, ExecutionMode::kSingle);
+  std::map<long, int> hits;
+  std::map<long, int> owner;
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kAffinity;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 400, sched, [&](long i) {
+        t.compute(i < 100 ? 5000 : 100);
+        if (!t.is_a_stream()) {
+          ++hits[i];
+          owner[i] = t.id();
+        }
+      });
+    });
+  });
+  EXPECT_EQ(hits.size(), 400u);
+  std::set<int> heavy_executors;
+  for (long i = 0; i < 100; ++i) heavy_executors.insert(owner[i]);
+  EXPECT_GT(heavy_executors.size(), 1u)
+      << "nobody stole from the overloaded partition";
+}
+
+TEST(AffinityTest, SlipstreamForwardsAffinityChunks) {
+  Harness h(4, ExecutionMode::kSlipstream);
+  std::map<int, std::vector<std::pair<long, long>>> r_chunks, a_chunks;
+  ScheduleClause sched;
+  sched.kind = ScheduleKind::kAffinity;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_chunks(0, 300, sched, [&](long lo, long hi) {
+        (t.is_a_stream() ? a_chunks : r_chunks)[t.id()].push_back({lo, hi});
+      });
+    });
+  });
+  ASSERT_FALSE(r_chunks.empty());
+  for (const auto& [tid, chunks] : r_chunks) {
+    EXPECT_EQ(a_chunks[tid], chunks) << "thread " << tid;
+  }
+}
+
+TEST_P(ModeTest, NestedParallelSerializes) {
+  // A nested parallel region runs as a one-thread team on the
+  // encountering thread (nesting disabled, the §3.1 implementation-
+  // dependent choice): every outer thread executes the whole inner range.
+  Harness h(4, GetParam().mode);
+  std::map<long, int> inner_hits;
+  int inner_nthreads = -1;
+  int inner_tid = -1;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.parallel([&](ThreadCtx& inner) {
+        inner_nthreads = inner.nthreads();
+        inner_tid = inner.id();
+        inner.for_loop(0, 40, ScheduleClause{}, [&](long i) {
+          if (!inner.is_a_stream()) ++inner_hits[i];
+        });
+        inner.barrier();  // no-op in a one-thread team
+        const double r = inner.reduce_sum(3.0);
+        EXPECT_DOUBLE_EQ(r, 3.0);
+        inner.single([&] {});
+      });
+    });
+  });
+  EXPECT_EQ(inner_nthreads, 1);
+  EXPECT_EQ(inner_tid, 0);
+  const int outer = GetParam().mode == ExecutionMode::kDouble
+                        ? h.machine->ncpus()
+                        : h.machine->ncmp();
+  ASSERT_EQ(inner_hits.size(), 40u);
+  for (const auto& [i, count] : inner_hits) {
+    EXPECT_EQ(count, outer) << "iteration " << i;
+  }
+}
+
+TEST(RuntimeTest, NestedDynamicScheduleAlsoSerializes) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  long covered = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() != 0) return;
+      t.parallel([&](ThreadCtx& inner) {
+        ScheduleClause dyn;
+        dyn.kind = ScheduleKind::kDynamic;
+        dyn.chunk = 3;
+        inner.for_loop(0, 50, dyn, [&](long) {
+          if (!inner.is_a_stream()) ++covered;
+        });
+      });
+    });
+  });
+  EXPECT_EQ(covered, 50);
+}
+
+TEST(RuntimeTest, RegionRecordsCaptureEachRegion) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  SharedArray<double> data(*h.runtime, 256, "d");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 256, ScheduleClause{}, [&](long i) {
+        data.write(t, static_cast<std::size_t>(i), 1.0);
+      });
+    });
+    sc.parallel(
+        [&](ThreadCtx& t) {
+          t.barrier();
+          t.barrier();
+        },
+        "SLIPSTREAM(LOCAL_SYNC, 2)");
+  });
+  const auto& recs = h.runtime->region_records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].index, 0);
+  EXPECT_EQ(recs[0].mode, ExecutionMode::kSlipstream);
+  EXPECT_GT(recs[0].cycles, 0u);
+  EXPECT_GT(recs[0].tokens_consumed, 0u);
+  EXPECT_GT(recs[0].converted_stores + recs[0].dropped_stores, 0u);
+  EXPECT_EQ(recs[1].slip.type, slip::SyncType::kLocal);
+  EXPECT_EQ(recs[1].slip.tokens, 2);
+  // 2 explicit + 1 implicit end barrier, 2 pairs.
+  EXPECT_EQ(recs[1].tokens_consumed, 6u);
+  EXPECT_GE(recs[1].start, recs[0].start + recs[0].cycles);
+}
+
+TEST(RuntimeTest, IfClauseFalseRunsSerially) {
+  Harness h(4, ExecutionMode::kDouble);
+  int executions = 0;
+  int nthreads = -1;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel(
+        [&](ThreadCtx& t) {
+          ++executions;
+          nthreads = t.nthreads();
+        },
+        /*region_directive=*/{}, /*if_clause=*/false);
+  });
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(nthreads, 1);
+}
+
+TEST(RuntimeTest, LogicalThreadCountPerMode) {
+  {
+    Harness h(4, ExecutionMode::kSingle);
+    EXPECT_EQ(h.runtime->logical_thread_count(), 4);
+  }
+  {
+    Harness h(4, ExecutionMode::kDouble);
+    EXPECT_EQ(h.runtime->logical_thread_count(), 8);
+  }
+  {
+    Harness h(4, ExecutionMode::kSlipstream);
+    EXPECT_EQ(h.runtime->logical_thread_count(), 4);
+  }
+}
+
+TEST(RuntimeTest, JobWaitAccountedForSlaves) {
+  Harness h(2, ExecutionMode::kSingle);
+  h.run([&](SerialCtx& sc) {
+    sc.compute(10000);
+    sc.parallel([&](ThreadCtx& t) { t.compute(100); });
+  });
+  // CPU 2 (node 1 R-stream) idled in the pool while the master computed.
+  EXPECT_GT(h.machine->cpu(2).breakdown().get(sim::TimeCategory::kJobWait),
+            9000u);
+}
+
+TEST(RuntimeTest, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Harness h(4, ExecutionMode::kDouble);
+    return h.run([&](SerialCtx& sc) {
+      sc.parallel([&](ThreadCtx& t) {
+        front::ScheduleClause dyn;
+        dyn.kind = front::ScheduleKind::kDynamic;
+        dyn.chunk = 2;
+        t.for_loop(0, 200, dyn, [&](long) { t.compute(37); });
+      });
+    });
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ssomp::rt

@@ -1,0 +1,92 @@
+// SharedArray / SharedVar access semantics, including the line-granular
+// scan helpers the workloads are built on.
+#include <gtest/gtest.h>
+
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using test::Harness;
+
+TEST(SharedArrayTest, AddressesAreContiguousAndAligned) {
+  Harness h(2, ExecutionMode::kSingle);
+  SharedArray<double> a(*h.runtime, 100, "a");
+  EXPECT_EQ(a.addr(0) % 64, 0u);
+  EXPECT_EQ(a.addr(1), a.addr(0) + sizeof(double));
+  EXPECT_TRUE(mem::AddrSpace::is_app(a.addr(0)));
+  EXPECT_TRUE(mem::AddrSpace::is_app(a.addr(99)));
+}
+
+TEST(SharedArrayTest, ScanReadTouchesOneLoadPerLine) {
+  Harness h(1, ExecutionMode::kSingle);
+  SharedArray<double> a(*h.runtime, 64, "a");  // 64 doubles = 8 lines
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      const auto before = h.machine->mem().stats().loads;
+      a.scan_read(t, 0, 64);
+      EXPECT_EQ(h.machine->mem().stats().loads - before, 8u);
+      // Partial scan crossing two lines.
+      const auto mid = h.machine->mem().stats().loads;
+      a.scan_read(t, 7, 9);
+      EXPECT_EQ(h.machine->mem().stats().loads - mid, 2u);
+      // Empty scan touches nothing.
+      const auto last = h.machine->mem().stats().loads;
+      a.scan_read(t, 5, 5);
+      EXPECT_EQ(h.machine->mem().stats().loads - last, 0u);
+    });
+  });
+}
+
+TEST(SharedArrayTest, ScanWriteCommitsForRDropsForA) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  SharedArray<double> a(*h.runtime, 32, "a");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() != 0) return;
+      std::vector<double> vals(16);
+      for (int i = 0; i < 16; ++i) {
+        vals[static_cast<std::size_t>(i)] =
+            t.is_a_stream() ? -1.0 : static_cast<double>(i);
+      }
+      a.scan_write(t, 0, 16, vals.data());
+    });
+  });
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.host(i), static_cast<double>(i));
+  }
+  for (std::size_t i = 16; i < 32; ++i) {
+    EXPECT_EQ(a.host(i), 0.0);
+  }
+}
+
+TEST(SharedArrayTest, SerialAccessSimulatesOnMaster) {
+  Harness h(2, ExecutionMode::kSingle);
+  SharedArray<double> a(*h.runtime, 8, "a");
+  h.run([&](SerialCtx& sc) {
+    a.write(sc, 3, 7.5);
+    EXPECT_EQ(a.read(sc, 3), 7.5);
+  });
+  EXPECT_GT(h.machine->mem().stats().stores, 0u);
+  EXPECT_EQ(a.host(3), 7.5);
+}
+
+TEST(SharedVarTest, OwnLinePerScalar) {
+  Harness h(2, ExecutionMode::kSingle);
+  SharedVar<double> x(*h.runtime, "x");
+  SharedVar<double> y(*h.runtime, "y");
+  EXPECT_GE(y.addr() - x.addr(), 64u) << "scalars must not false-share";
+}
+
+TEST(SharedArrayTest, BlockDistributionPinsHomes) {
+  Harness h(4, ExecutionMode::kSingle);
+  // 4 pages worth of doubles, block-distributed over 4 nodes.
+  SharedArray<double> a(*h.runtime, 4 * 512, "a", Distribution::kBlock);
+  auto& hm = h.machine->mem().home_map();
+  EXPECT_EQ(hm.home_of(a.addr(0)), 0);
+  EXPECT_EQ(hm.home_of(a.addr(4 * 512 - 1)), 3);
+}
+
+}  // namespace
+}  // namespace ssomp::rt

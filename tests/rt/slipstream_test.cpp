@@ -1,0 +1,425 @@
+// Slipstream-specific runtime behaviour (paper §2, §3).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using front::ScheduleClause;
+using front::ScheduleKind;
+using test::Harness;
+
+RuntimeOptions slip_opts(slip::SlipstreamConfig cfg) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = cfg;
+  return o;
+}
+
+TEST(SlipstreamTest, AStreamSharesIdWithRStream) {
+  Harness h(4, ExecutionMode::kSlipstream);
+  std::map<int, std::vector<int>> ids_by_cpu;  // cpu -> ids seen
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      ids_by_cpu[t.cpu().id()].push_back(t.id());
+    });
+  });
+  for (int node = 0; node < 4; ++node) {
+    ASSERT_EQ(ids_by_cpu[2 * node].size(), 1u);
+    ASSERT_EQ(ids_by_cpu[2 * node + 1].size(), 1u);
+    EXPECT_EQ(ids_by_cpu[2 * node][0], ids_by_cpu[2 * node + 1][0])
+        << "A-stream must share its R-stream's thread id";
+    EXPECT_EQ(ids_by_cpu[2 * node][0], node);
+  }
+}
+
+TEST(SlipstreamTest, AStreamStoresNeverCommit) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  SharedArray<double> data(*h.runtime, 64, "d");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_loop(0, 64, ScheduleClause{}, [&](long i) {
+        // Both streams execute this; the A-stream writes a poison value
+        // which must never land in host memory.
+        data.write(t, static_cast<std::size_t>(i),
+                   t.is_a_stream() ? -999.0 : static_cast<double>(i));
+      });
+    });
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(data.host(i), static_cast<double>(i)) << "index " << i;
+  }
+}
+
+TEST(SlipstreamTest, ConvertedStoresCountedG0) {
+  // Zero-token global keeps A and R in the same session, so A-stores are
+  // converted to exclusive prefetches rather than dropped (§2, §5.1).
+  Harness h(2, slip_opts(slip::SlipstreamConfig::zero_token_global()));
+  SharedArray<double> data(*h.runtime, 512, "d");
+  h.run([&](SerialCtx& sc) {
+    for (int r = 0; r < 3; ++r) {
+      sc.parallel([&](ThreadCtx& t) {
+        t.for_loop(0, 512, ScheduleClause{}, [&](long i) {
+          data.write(t, static_cast<std::size_t>(i), 1.0);
+        });
+      });
+    }
+  });
+  const auto& s = h.runtime->slip_stats();
+  EXPECT_GT(s.converted_stores, 0u);
+  // Conversion is also bounded by the "no resource contention" condition:
+  // a dense store burst exceeds the outstanding-fill budget, so some
+  // stores are dropped rather than converted.
+  EXPECT_GT(s.dropped_stores, 0u);
+}
+
+TEST(SlipstreamTest, StoresDroppedWhenAheadL1) {
+  // One-token local lets the A-stream run a session ahead, where stores
+  // are dropped instead of converted.
+  Harness h(2, slip_opts(slip::SlipstreamConfig::one_token_local()));
+  SharedArray<double> data(*h.runtime, 512, "d");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      for (int phase = 0; phase < 4; ++phase) {
+        t.for_loop(0, 512, ScheduleClause{}, [&](long i) {
+          data.write(t, static_cast<std::size_t>(i), 1.0);
+        });
+      }
+    });
+  });
+  EXPECT_GT(h.runtime->slip_stats().dropped_stores, 0u);
+}
+
+TEST(SlipstreamTest, TokenAccountingBalances) {
+  Harness h(4, slip_opts(slip::SlipstreamConfig::zero_token_global()));
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      for (int b = 0; b < 5; ++b) {
+        t.compute(100);
+        t.barrier();
+      }
+    });
+  });
+  const auto& s = h.runtime->slip_stats();
+  // Each R inserts per barrier (5 explicit + 1 region end) and each A
+  // consumes the same number: 4 pairs x 6.
+  EXPECT_EQ(s.tokens_consumed, 24u);
+  EXPECT_EQ(s.tokens_inserted, 24u);
+  EXPECT_EQ(s.recoveries, 0u);
+}
+
+TEST(SlipstreamTest, DynamicChunksForwardedExactly) {
+  // §3.2.2: the A-stream executes exactly the chunks its R-stream was
+  // assigned, in order.
+  Harness h(4, ExecutionMode::kSlipstream);
+  std::map<int, std::vector<std::pair<long, long>>> r_chunks, a_chunks;
+  ScheduleClause dyn;
+  dyn.kind = ScheduleKind::kDynamic;
+  dyn.chunk = 7;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_chunks(0, 300, dyn, [&](long lo, long hi) {
+        if (t.is_a_stream()) {
+          a_chunks[t.id()].push_back({lo, hi});
+        } else {
+          r_chunks[t.id()].push_back({lo, hi});
+        }
+      });
+    });
+  });
+  ASSERT_FALSE(r_chunks.empty());
+  for (const auto& [tid, chunks] : r_chunks) {
+    EXPECT_EQ(a_chunks[tid], chunks) << "thread " << tid;
+  }
+  EXPECT_GT(h.runtime->slip_stats().forwarded_chunks, 0u);
+}
+
+TEST(SlipstreamTest, RegionDirectiveSelectsSync) {
+  Harness h(2, slip_opts(slip::SlipstreamConfig::zero_token_global()));
+  slip::SlipstreamConfig seen;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel(
+        [&](ThreadCtx& t) {
+          if (t.id() == 0 && !t.is_a_stream()) {
+            seen = t.runtime().team().slip;
+          }
+        },
+        "SLIPSTREAM(LOCAL_SYNC, 2)");
+  });
+  EXPECT_EQ(seen.type, slip::SyncType::kLocal);
+  EXPECT_EQ(seen.tokens, 2);
+}
+
+TEST(SlipstreamTest, SerialDirectiveSetsGlobalUntilOverridden) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  std::vector<slip::SyncType> seen;
+  h.run([&](SerialCtx& sc) {
+    sc.slipstream_directive("SLIPSTREAM(LOCAL_SYNC, 1)");
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0 && !t.is_a_stream()) {
+        seen.push_back(t.runtime().team().slip.type);
+      }
+    });
+    // Region-level override applies once; global restored after.
+    sc.parallel(
+        [&](ThreadCtx& t) {
+          if (t.id() == 0 && !t.is_a_stream()) {
+            seen.push_back(t.runtime().team().slip.type);
+          }
+        },
+        "SLIPSTREAM(GLOBAL_SYNC)");
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0 && !t.is_a_stream()) {
+        seen.push_back(t.runtime().team().slip.type);
+      }
+    });
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], slip::SyncType::kLocal);
+  EXPECT_EQ(seen[1], slip::SyncType::kGlobal);
+  EXPECT_EQ(seen[2], slip::SyncType::kLocal);
+}
+
+TEST(SlipstreamTest, EnvNoneFallsBackToSingleTasking) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = {.type = slip::SyncType::kRuntime, .tokens = 0};
+  o.omp_slipstream_env = "NONE";
+  Harness h(4, o);
+  int nthreads = 0;
+  int a_seen = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      nthreads = t.nthreads();
+      if (t.is_a_stream()) ++a_seen;
+    });
+  });
+  EXPECT_EQ(nthreads, 4);  // one task per CMP
+  EXPECT_EQ(a_seen, 0);    // no A-streams launched
+}
+
+TEST(SlipstreamTest, EnvSelectsRuntimeSync) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = {.type = slip::SyncType::kRuntime, .tokens = 0};
+  o.omp_slipstream_env = "LOCAL_SYNC,3";
+  Harness h(2, o);
+  slip::SlipstreamConfig seen;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0 && !t.is_a_stream()) seen = t.runtime().team().slip;
+    });
+  });
+  EXPECT_EQ(seen.type, slip::SyncType::kLocal);
+  EXPECT_EQ(seen.tokens, 3);
+}
+
+TEST(SlipstreamTest, DivergenceDetectedAndRecovered) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::one_token_local();
+  o.divergence_threshold = 3;
+  Harness h(2, o);
+  int a_completions = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.is_a_stream()) {
+        // A "diverged" A-stream: spins on private work and never reaches
+        // a barrier. check_recovery() is its only exit.
+        while (true) {
+          t.check_recovery();
+          t.compute(200);
+        }
+      }
+      for (int b = 0; b < 10; ++b) {
+        t.compute(100);
+        t.barrier();
+      }
+    });
+    // The next region must run normally: A-streams rejoin after recovery.
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.is_a_stream()) ++a_completions;
+      t.barrier();
+    });
+  });
+  EXPECT_EQ(h.runtime->slip_stats().recoveries, 2u);  // one per pair
+  EXPECT_EQ(a_completions, 2);
+}
+
+TEST(SlipstreamTest, DivergenceInTokenWaitIsPoisoned) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::zero_token_global();
+  o.divergence_threshold = 2;
+  Harness h(2, o);
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.is_a_stream()) {
+        // The A-stream consumes more barriers than the R-stream will ever
+        // insert tokens for (10 in-loop + 1 region end), so it blocks in
+        // token wait until the divergence backstop poisons it.
+        for (int b = 0; b < 12; ++b) t.barrier();
+        FAIL() << "A-stream escaped a poisoned wait";
+      }
+      for (int b = 0; b < 10; ++b) {
+        t.compute(1000);
+        t.barrier();
+      }
+    });
+  });
+  EXPECT_GE(h.runtime->slip_stats().recoveries, 1u);
+}
+
+TEST(SlipstreamTest, SingleSkippedByAStream) {
+  Harness h(2, ExecutionMode::kSlipstream);
+  int a_in_single = 0;
+  int executions = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.single([&] {
+        ++executions;
+        if (t.is_a_stream()) ++a_in_single;
+      });
+    });
+  });
+  EXPECT_EQ(executions, 1);
+  EXPECT_EQ(a_in_single, 0);
+}
+
+TEST(SlipstreamTest, CriticalPolicyExecutesAStreamUnlocked) {
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::zero_token_global();
+  o.policies.a_executes_critical = true;
+  Harness h(2, o);
+  int a_in_critical = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      t.critical([&] {
+        if (t.is_a_stream()) ++a_in_critical;
+      });
+    });
+  });
+  EXPECT_EQ(a_in_critical, 2);  // both A-streams executed the body
+}
+
+TEST(SlipstreamTest, ReduceSyncAGivesFreshResult) {
+  Harness h(2, slip_opts(slip::SlipstreamConfig::one_token_local()));
+  std::vector<double> a_values;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      const double r = t.reduce_sum(1.0, /*sync_a=*/true);
+      if (t.is_a_stream()) a_values.push_back(r);
+    });
+  });
+  ASSERT_EQ(a_values.size(), 2u);
+  for (double v : a_values) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(SlipstreamTest, MemStatsShowAStreamPrefetchTraffic) {
+  Harness h(4, slip_opts(slip::SlipstreamConfig::zero_token_global()));
+  SharedArray<double> data(*h.runtime, 4096, "d");
+  h.run([&](SerialCtx& sc) {
+    for (int r = 0; r < 2; ++r) {
+      sc.parallel([&](ThreadCtx& t) {
+        t.for_loop(0, 4096, ScheduleClause{}, [&](long i) {
+          data.write(t, static_cast<std::size_t>(i),
+                     data.read(t, static_cast<std::size_t>(i)) + 1.0);
+        });
+      });
+    }
+  });
+  EXPECT_GT(h.machine->mem().stats().prefetches, 0u);
+  h.machine->mem().finalize_classification();
+  EXPECT_TRUE(h.machine->mem().check_invariants());
+}
+
+TEST(SlipstreamTest, ConversionWindowPolicyControlsL1Coverage) {
+  // With a strict same-session window the A-stream (one session ahead
+  // under one-token local) converts almost nothing; the default window of
+  // one session restores exclusive-prefetch coverage.
+  auto run_with_window = [](int window) {
+    RuntimeOptions o;
+    o.mode = ExecutionMode::kSlipstream;
+    o.slip = slip::SlipstreamConfig::one_token_local();
+    o.policies.conversion_window = window;
+    Harness h(2, o);
+    SharedArray<double> data(*h.runtime, 2048, "d");
+    h.run([&](SerialCtx& sc) {
+      sc.parallel([&](ThreadCtx& t) {
+        for (int phase = 0; phase < 6; ++phase) {
+          t.for_loop(0, 2048, ScheduleClause{}, [&](long i) {
+            data.write(t, static_cast<std::size_t>(i), 1.0);
+            t.compute(10);
+          });
+        }
+      });
+    });
+    return h.runtime->slip_stats().converted_stores;
+  };
+  // The wider window converts strictly more stores (how much more is
+  // workload-dependent: it covers the phases where the A-stream holds a
+  // one-session lead).
+  const auto strict = run_with_window(0);
+  const auto window1 = run_with_window(1);
+  EXPECT_GT(window1, strict + strict / 4);
+}
+
+TEST(SlipstreamTest, DoubleModeScatterPlacement) {
+  // Consecutive thread ids must land on different CMPs (OS-style scatter;
+  // compact placement would fabricate an affinity guarantee).
+  Harness h(4, ExecutionMode::kDouble);
+  std::map<int, int> cpu_of_tid;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel(
+        [&](ThreadCtx& t) { cpu_of_tid[t.id()] = t.cpu().id(); });
+  });
+  ASSERT_EQ(cpu_of_tid.size(), 8u);
+  for (int t = 0; t + 1 < 8; ++t) {
+    EXPECT_NE(cpu_of_tid[t] / 2, cpu_of_tid[t + 1] / 2)
+        << "threads " << t << " and " << t + 1 << " share a CMP";
+  }
+}
+
+TEST(SlipstreamTest, IfClauseLimitsSlipstreamUse) {
+  // §3.3: the directive "can be used in conjunction with conditional IF
+  // statements, to limit the use of slipstream when the number of CMPs
+  // involved ... exceeds a certain limit". IF(false) serializes the
+  // region regardless of mode.
+  Harness h(4, ExecutionMode::kSlipstream);
+  int serial_runs = 0;
+  int team_threads = 0;
+  h.run([&](SerialCtx& sc) {
+    const bool enough_cmps = h.machine->ncmp() >= 8;  // false here
+    sc.parallel(
+        [&](ThreadCtx& t) {
+          ++serial_runs;
+          team_threads = t.nthreads();
+        },
+        "SLIPSTREAM(GLOBAL_SYNC, 0)", /*if_clause=*/enough_cmps);
+  });
+  EXPECT_EQ(serial_runs, 1);
+  EXPECT_EQ(team_threads, 1);
+}
+
+TEST(SlipstreamTest, OddCpusIdleInSingleMode) {
+  Harness h(4, ExecutionMode::kSingle);
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) { t.compute(5000); });
+  });
+  // A-side processors never execute anything in single mode.
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(h.machine->cpu(2 * node + 1)
+                  .breakdown()
+                  .get(sim::TimeCategory::kBusy),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace ssomp::rt

@@ -1,0 +1,166 @@
+// SpinLock and SenseBarrier tests over simulated CPUs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/memsys.hpp"
+#include "rt/sync_primitives.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using sim::TimeCategory;
+
+struct Rig {
+  explicit Rig(int ncpus) : ms(mem::MemParams{}, (ncpus + 1) / 2) {
+    for (int c = 0; c < ncpus; ++c) {
+      engine.add_cpu("p" + std::to_string(c));
+    }
+  }
+  sim::Engine engine;
+  mem::AddrSpace addr_space;
+  mem::MemorySystem ms;
+};
+
+TEST(SpinLockTest, UncontendedAcquireRelease) {
+  Rig rig(1);
+  SpinLock lock(rig.ms, rig.addr_space);
+  rig.engine.cpu(0).start([&] {
+    lock.acquire(rig.engine.cpu(0), TimeCategory::kLock);
+    EXPECT_TRUE(lock.held());
+    lock.release(rig.engine.cpu(0));
+    EXPECT_FALSE(lock.held());
+  });
+  rig.engine.run();
+  EXPECT_EQ(lock.acquisitions(), 1u);
+  EXPECT_EQ(lock.contended_acquisitions(), 0u);
+}
+
+class SpinLockContentionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpinLockContentionTest, MutualExclusionUnderContention) {
+  const int ncpus = GetParam();
+  Rig rig(ncpus);
+  SpinLock lock(rig.ms, rig.addr_space);
+  int inside = 0;
+  int max_inside = 0;
+  long counter = 0;
+  sim::Rng rng(3);
+  for (int c = 0; c < ncpus; ++c) {
+    sim::SimCpu& cpu = rig.engine.cpu(c);
+    const auto jitter = static_cast<sim::Cycles>(rng.next_below(300));
+    cpu.start([&, c, jitter] {
+      sim::SimCpu& me = rig.engine.cpu(c);
+      me.consume(jitter, TimeCategory::kBusy);
+      for (int i = 0; i < 20; ++i) {
+        lock.acquire(me, TimeCategory::kLock);
+        ++inside;
+        max_inside = std::max(max_inside, inside);
+        me.consume(50, TimeCategory::kBusy);  // critical-section work
+        ++counter;
+        --inside;
+        lock.release(me);
+        me.consume(30, TimeCategory::kBusy);
+      }
+    });
+  }
+  rig.engine.run();
+  EXPECT_EQ(max_inside, 1) << "two CPUs inside the critical section";
+  EXPECT_EQ(counter, static_cast<long>(ncpus) * 20);
+  EXPECT_EQ(lock.acquisitions(), static_cast<std::uint64_t>(ncpus) * 20);
+  EXPECT_FALSE(lock.held());
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuCounts, SpinLockContentionTest,
+                         ::testing::Values(2, 3, 8, 16, 32));
+
+TEST(SpinLockTest, ContendedWaitAttributedToCategory) {
+  Rig rig(2);
+  SpinLock lock(rig.ms, rig.addr_space);
+  rig.engine.cpu(0).start([&] {
+    sim::SimCpu& me = rig.engine.cpu(0);
+    lock.acquire(me, TimeCategory::kLock);
+    me.consume(10000, TimeCategory::kBusy);
+    lock.release(me);
+  });
+  rig.engine.cpu(1).start([&] {
+    sim::SimCpu& me = rig.engine.cpu(1);
+    me.consume(100, TimeCategory::kBusy);
+    lock.acquire(me, TimeCategory::kScheduling);
+    lock.release(me);
+  });
+  rig.engine.run();
+  EXPECT_GT(rig.engine.cpu(1).breakdown().get(TimeCategory::kScheduling),
+            5000u);
+}
+
+class BarrierTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierTest, NobodyEscapesEarly) {
+  const int n = GetParam();
+  Rig rig(n);
+  SenseBarrier barrier(rig.ms, rig.addr_space);
+  barrier.configure(n);
+  const int episodes = 5;
+  std::vector<int> arrived(episodes, 0);
+  sim::Rng rng(11);
+  for (int c = 0; c < n; ++c) {
+    const auto skew = static_cast<sim::Cycles>(rng.next_below(2000));
+    rig.engine.cpu(c).start([&, c, skew] {
+      sim::SimCpu& me = rig.engine.cpu(c);
+      me.consume(skew, TimeCategory::kBusy);
+      for (int ep = 0; ep < episodes; ++ep) {
+        ++arrived[static_cast<std::size_t>(ep)];
+        barrier.arrive(me, c, TimeCategory::kBarrier);
+        // Everyone must have arrived at episode ep before anyone leaves.
+        EXPECT_EQ(arrived[static_cast<std::size_t>(ep)], n)
+            << "cpu " << c << " escaped episode " << ep;
+        me.consume(100 + static_cast<sim::Cycles>(c) * 13,
+                   TimeCategory::kBusy);
+      }
+    });
+  }
+  rig.engine.run();
+  EXPECT_EQ(barrier.episodes(), static_cast<std::uint64_t>(episodes));
+  for (int c = 0; c < n; ++c) {
+    EXPECT_TRUE(rig.engine.cpu(c).finished()) << "cpu " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParticipantCounts, BarrierTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+TEST(BarrierTest, ReconfigureBetweenRegions) {
+  Rig rig(4);
+  SenseBarrier barrier(rig.ms, rig.addr_space);
+  barrier.configure(4);
+  for (int c = 0; c < 4; ++c) {
+    rig.engine.cpu(c).start([&, c] {
+      barrier.arrive(rig.engine.cpu(c), c, TimeCategory::kBarrier);
+    });
+  }
+  rig.engine.run();
+  barrier.configure(2);
+  EXPECT_EQ(barrier.participants(), 2);
+}
+
+TEST(BarrierTest, WaitTimeAttributed) {
+  Rig rig(2);
+  SenseBarrier barrier(rig.ms, rig.addr_space);
+  barrier.configure(2);
+  rig.engine.cpu(0).start([&] {
+    barrier.arrive(rig.engine.cpu(0), 0, TimeCategory::kBarrier);
+  });
+  rig.engine.cpu(1).start([&] {
+    rig.engine.cpu(1).consume(50000, TimeCategory::kBusy);
+    barrier.arrive(rig.engine.cpu(1), 1, TimeCategory::kBarrier);
+  });
+  rig.engine.run();
+  EXPECT_GT(rig.engine.cpu(0).breakdown().get(TimeCategory::kBarrier),
+            40000u);
+}
+
+}  // namespace
+}  // namespace ssomp::rt

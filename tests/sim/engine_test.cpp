@@ -1,0 +1,246 @@
+// Engine, fiber, and CPU time-accounting tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace ssomp::sim {
+namespace {
+
+TEST(FiberTest, RunsBodyToCompletion) {
+  int steps = 0;
+  Fiber f("t", [&] { steps = 3; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(steps, 3);
+}
+
+TEST(FiberTest, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber* handle = nullptr;
+  Fiber f("t", [&] {
+    order.push_back(1);
+    handle->yield();
+    order.push_back(3);
+  });
+  handle = &f;
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(FiberTest, CurrentTracksExecution) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f("t", [&] { seen = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(FiberTest, DeepStackUsage) {
+  // Recursion exercising a good chunk of the 256 KiB stack.
+  std::function<long(long)> rec = [&](long n) -> long {
+    volatile char pad[512] = {};
+    (void)pad;
+    return n == 0 ? 0 : n + rec(n - 1);
+  };
+  long result = -1;
+  Fiber f("deep", [&] { result = rec(200); });
+  f.resume();
+  EXPECT_EQ(result, 200 * 201 / 2);
+}
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, RunUntilStopsEarly) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(5, [&] { ++fired; });
+  e.schedule_at(50, [&] { ++fired; });
+  e.run(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 5u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int value = 0;
+  e.schedule_at(1, [&] {
+    e.schedule_after(4, [&] { value = 42; });
+  });
+  e.run();
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(SimCpuTest, ConsumeAdvancesTimeAndAccounts) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  cpu.start([&] {
+    cpu.consume(100, TimeCategory::kBusy);
+    cpu.consume(50, TimeCategory::kMemStall);
+  });
+  e.run();
+  EXPECT_EQ(e.now(), 150u);
+  EXPECT_EQ(cpu.breakdown().get(TimeCategory::kBusy), 100u);
+  EXPECT_EQ(cpu.breakdown().get(TimeCategory::kMemStall), 50u);
+  EXPECT_TRUE(cpu.finished());
+}
+
+TEST(SimCpuTest, ChargeDefersYieldUntilThreshold) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  Cycles seen_pending = 0;
+  cpu.start([&] {
+    cpu.charge(10, TimeCategory::kBusy);
+    seen_pending = cpu.pending();
+    cpu.charge(5, TimeCategory::kBusy);
+    EXPECT_EQ(cpu.issue_time(), e.now() + 15);
+    cpu.flush_time();
+    EXPECT_EQ(cpu.pending(), 0u);
+  });
+  e.run();
+  EXPECT_EQ(seen_pending, 10u);
+  EXPECT_EQ(e.now(), 15u);
+  EXPECT_EQ(cpu.breakdown().get(TimeCategory::kBusy), 15u);
+}
+
+TEST(SimCpuTest, ChargeAutoFlushesPastQuantum) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  cpu.start([&] {
+    for (int i = 0; i < 100; ++i) cpu.charge(10, TimeCategory::kBusy);
+    cpu.flush_time();
+  });
+  e.run();
+  EXPECT_EQ(e.now(), 1000u);
+}
+
+TEST(SimCpuTest, BlockAndWake) {
+  Engine e;
+  SimCpu& sleeper = e.add_cpu("sleeper");
+  SimCpu& waker = e.add_cpu("waker");
+  Cycles woke_at = 0;
+  sleeper.start([&] {
+    sleeper.block(TimeCategory::kJobWait);
+    woke_at = e.now();
+  });
+  waker.start([&] {
+    waker.consume(500, TimeCategory::kBusy);
+    sleeper.wake();
+  });
+  e.run();
+  EXPECT_EQ(woke_at, 500u);
+  EXPECT_EQ(sleeper.breakdown().get(TimeCategory::kJobWait), 500u);
+}
+
+TEST(SimCpuTest, WakeWithDelay) {
+  Engine e;
+  SimCpu& sleeper = e.add_cpu("s");
+  SimCpu& waker = e.add_cpu("w");
+  Cycles woke_at = 0;
+  sleeper.start([&] {
+    sleeper.block(TimeCategory::kBarrier);
+    woke_at = e.now();
+  });
+  waker.start([&] {
+    waker.consume(100, TimeCategory::kBusy);
+    sleeper.wake(25);
+  });
+  e.run();
+  EXPECT_EQ(woke_at, 125u);
+}
+
+TEST(SimCpuTest, BlockFlushesPendingCharges) {
+  Engine e;
+  SimCpu& sleeper = e.add_cpu("s");
+  SimCpu& waker = e.add_cpu("w");
+  sleeper.start([&] {
+    sleeper.charge(40, TimeCategory::kBusy);
+    sleeper.block(TimeCategory::kJobWait);  // must flush the 40 first
+  });
+  waker.start([&] {
+    waker.consume(100, TimeCategory::kBusy);
+    sleeper.wake();
+  });
+  e.run();
+  // Waiting started at 40, ended at 100.
+  EXPECT_EQ(sleeper.breakdown().get(TimeCategory::kJobWait), 60u);
+}
+
+TEST(SimCpuTest, InterleavingIsDeterministic) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int c = 0; c < 4; ++c) {
+      SimCpu& cpu = e.add_cpu("p" + std::to_string(c));
+      cpu.start([&e, &cpu, &order, c] {
+        for (int i = 0; i < 10; ++i) {
+          cpu.consume(static_cast<Cycles>(7 + c), TimeCategory::kBusy);
+          order.push_back(c);
+        }
+        (void)e;
+      });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimCpuTest, FinishTimeRecorded) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  cpu.start([&] { cpu.consume(123, TimeCategory::kBusy); });
+  e.run();
+  EXPECT_EQ(cpu.finish_time(), 123u);
+}
+
+TEST(TimeBreakdownTest, TotalsAndMerge) {
+  TimeBreakdown a;
+  a.add(TimeCategory::kBusy, 10);
+  a.add(TimeCategory::kLock, 5);
+  TimeBreakdown b;
+  b.add(TimeCategory::kBusy, 1);
+  a += b;
+  EXPECT_EQ(a.get(TimeCategory::kBusy), 11u);
+  EXPECT_EQ(a.total(), 16u);
+  a.clear();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(TimeCategoryTest, NamesAreStable) {
+  EXPECT_EQ(to_string(TimeCategory::kBusy), "busy");
+  EXPECT_EQ(to_string(TimeCategory::kJobWait), "job_wait");
+  EXPECT_EQ(to_string(TimeCategory::kTokenWait), "token_wait");
+}
+
+}  // namespace
+}  // namespace ssomp::sim

@@ -1,0 +1,85 @@
+// Randomized token-semaphore property test against a reference counter
+// model: whatever the interleaving of inserts and consumes, the counter
+// equals T0 + inserted - consumed, never goes negative, and every blocked
+// consume is eventually satisfied by an insert.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "slip/tokens.hpp"
+
+namespace ssomp::slip {
+namespace {
+
+class TokenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenPropertyTest, CounterModelHolds) {
+  const int initial = GetParam();
+  sim::Engine engine;
+  sim::SimCpu& a = engine.add_cpu("a");
+  sim::SimCpu& r = engine.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(initial);
+
+  constexpr int kOps = 400;
+  int consumed = 0;
+  a.start([&] {
+    sim::Rng rng(42);
+    for (int i = 0; i < kOps; ++i) {
+      a.consume(1 + rng.next_below(120), sim::TimeCategory::kBusy);
+      ASSERT_TRUE(sem.consume(a, sim::TimeCategory::kTokenWait));
+      ++consumed;
+      // Counter never negative, and respects the conservation law.
+      ASSERT_GE(sem.count(), 0);
+      ASSERT_EQ(sem.count(),
+                initial + static_cast<int>(sem.total_inserted()) - consumed);
+    }
+  });
+  r.start([&] {
+    sim::Rng rng(43);
+    for (int i = 0; i < kOps; ++i) {
+      r.consume(1 + rng.next_below(120), sim::TimeCategory::kBusy);
+      sem.insert(r);
+    }
+  });
+  engine.run();
+  ASSERT_TRUE(a.finished());
+  ASSERT_TRUE(r.finished());
+  EXPECT_EQ(sem.total_consumed(), static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(sem.total_inserted(), static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(sem.count(), initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(InitialTokens, TokenPropertyTest,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+TEST(TokenPropertyTest, ConsumerNeverOvertakesAllowance) {
+  // With T0 tokens, the consumer can never have consumed more than
+  // inserted + T0 at any instant.
+  constexpr int kT0 = 2;
+  sim::Engine engine;
+  sim::SimCpu& a = engine.add_cpu("a");
+  sim::SimCpu& r = engine.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(kT0);
+  int consumed = 0;
+  a.start([&] {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(sem.consume(a, sim::TimeCategory::kTokenWait));
+      ++consumed;
+      ASSERT_LE(consumed, static_cast<int>(sem.total_inserted()) + kT0);
+      a.consume(1, sim::TimeCategory::kBusy);
+    }
+  });
+  r.start([&] {
+    for (int i = 0; i < 100; ++i) {
+      r.consume(500, sim::TimeCategory::kBusy);  // slow producer
+      sem.insert(r);
+    }
+  });
+  engine.run();
+  EXPECT_TRUE(a.finished());
+}
+
+}  // namespace
+}  // namespace ssomp::slip

@@ -1,0 +1,193 @@
+// Token semaphore and A/R pair tests (paper §2.2, Figure 1).
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "slip/config.hpp"
+#include "slip/pair.hpp"
+#include "slip/tokens.hpp"
+
+namespace ssomp::slip {
+namespace {
+
+using sim::TimeCategory;
+
+TEST(TokenSemaphoreTest, ConsumeAvailableTokenDoesNotBlock) {
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  bool consumed = false;
+  TokenSemaphore sem(3);
+  sem.initialize(2);
+  a.start([&] { consumed = sem.consume(a, TimeCategory::kTokenWait); });
+  e.run();
+  EXPECT_TRUE(consumed);
+  EXPECT_EQ(sem.count(), 1);
+  EXPECT_EQ(sem.total_consumed(), 1u);
+}
+
+TEST(TokenSemaphoreTest, ConsumeBlocksUntilInsert) {
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(0);
+  sim::Cycles a_done = 0;
+  a.start([&] {
+    EXPECT_TRUE(sem.consume(a, TimeCategory::kTokenWait));
+    a_done = e.now();
+  });
+  r.start([&] {
+    r.consume(1000, TimeCategory::kBusy);
+    sem.insert(r);
+  });
+  e.run();
+  EXPECT_GE(a_done, 1000u);
+  EXPECT_EQ(sem.count(), 0);
+  // The A-stream's wait was attributed to TokenWait.
+  EXPECT_GT(a.breakdown().get(TimeCategory::kTokenWait), 900u);
+}
+
+TEST(TokenSemaphoreTest, CountReflectsInsertMinusConsume) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(1);
+  r.start([&] {
+    sem.insert(r);
+    sem.insert(r);
+    EXPECT_EQ(sem.read_count(r), 3);
+    EXPECT_TRUE(sem.try_consume(r));
+    EXPECT_EQ(sem.count(), 2);
+  });
+  e.run();
+}
+
+TEST(TokenSemaphoreTest, TryConsumeFailsOnEmpty) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(0);
+  bool got = true;
+  r.start([&] { got = sem.try_consume(r); });
+  e.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(TokenSemaphoreTest, OperationsChargeAccessLatency) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(5);
+  sem.initialize(1);
+  r.start([&] {
+    sem.insert(r);
+    (void)sem.read_count(r);
+    EXPECT_TRUE(sem.try_consume(r));
+  });
+  e.run();
+  EXPECT_EQ(e.now(), 15u);  // 3 ops x 5 cycles
+}
+
+TEST(TokenSemaphoreTest, PoisonWakesWaiterWithoutToken) {
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(0);
+  bool got = true;
+  a.start([&] { got = sem.consume(a, TimeCategory::kTokenWait); });
+  r.start([&] {
+    r.consume(100, TimeCategory::kBusy);
+    sem.poison(r);
+  });
+  e.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(TokenSemaphoreTest, FigureOneProtocol) {
+  // Figure 1: with T0 = 1 (one-token local), the A-stream can skip one
+  // barrier immediately but blocks on the second until the R-stream
+  // reaches its first barrier.
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(1);
+  std::vector<sim::Cycles> a_barriers;
+  a.start([&] {
+    for (int b = 0; b < 2; ++b) {
+      a.consume(50, TimeCategory::kBusy);  // session work (shortened)
+      EXPECT_TRUE(sem.consume(a, TimeCategory::kTokenWait));
+      a_barriers.push_back(e.now());
+    }
+  });
+  r.start([&] {
+    for (int b = 0; b < 2; ++b) {
+      r.consume(500, TimeCategory::kBusy);  // full session work
+      sem.insert(r);                        // local insertion: on entry
+    }
+  });
+  e.run();
+  ASSERT_EQ(a_barriers.size(), 2u);
+  EXPECT_LT(a_barriers[0], 100u);   // first barrier skipped via T0
+  EXPECT_GE(a_barriers[1], 500u);   // second waits for R's first insert
+}
+
+TEST(SlipPairTest, ResetInitializesBothSemaphores) {
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(2);
+  EXPECT_EQ(p.barrier_sem().count(), 2);
+  EXPECT_EQ(p.syscall_sem().count(), 0);
+  EXPECT_EQ(p.initial_tokens(), 2);
+  EXPECT_EQ(p.r_barriers(), 0u);
+  EXPECT_FALSE(p.recovery_requested());
+}
+
+TEST(SlipPairTest, BarrierCountersTrackLag) {
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  p.note_r_barrier();
+  p.note_r_barrier();
+  p.note_a_barrier();
+  EXPECT_EQ(p.r_barriers(), 2u);
+  EXPECT_EQ(p.a_barriers(), 1u);
+}
+
+TEST(SlipPairTest, RecoveryLifecycle) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  r.start([&] {
+    p.request_recovery(r);
+    EXPECT_TRUE(p.recovery_requested());
+    p.request_recovery(r);  // idempotent
+    EXPECT_EQ(p.recoveries(), 1u);
+  });
+  e.run();
+  p.ack_recovery();
+  EXPECT_FALSE(p.recovery_requested());
+  EXPECT_TRUE(p.a_recovered_this_region());
+  p.reset_for_region(0);
+  EXPECT_FALSE(p.a_recovered_this_region());
+}
+
+TEST(SlipConfigTest, PaperConfigurations) {
+  const auto l1 = SlipstreamConfig::one_token_local();
+  EXPECT_EQ(l1.type, SyncType::kLocal);
+  EXPECT_EQ(l1.tokens, 1);
+  const auto g0 = SlipstreamConfig::zero_token_global();
+  EXPECT_EQ(g0.type, SyncType::kGlobal);
+  EXPECT_EQ(g0.tokens, 0);
+  EXPECT_TRUE(g0.enabled());
+  EXPECT_FALSE(SlipstreamConfig::disabled().enabled());
+}
+
+TEST(SlipConfigTest, TypeNames) {
+  EXPECT_EQ(to_string(SyncType::kGlobal), "GLOBAL_SYNC");
+  EXPECT_EQ(to_string(SyncType::kLocal), "LOCAL_SYNC");
+  EXPECT_EQ(to_string(SyncType::kRuntime), "RUNTIME_SYNC");
+  EXPECT_EQ(to_string(SyncType::kNone), "NONE");
+}
+
+}  // namespace
+}  // namespace ssomp::slip

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "stats/memstats.hpp"
+#include "stats/report.hpp"
+#include "stats/reqclass.hpp"
+#include "stats/timeline.hpp"
+
+namespace ssomp::stats {
+namespace {
+
+TEST(ReqClassTest, CountsAndFractions) {
+  ReqClassCounts c;
+  c.add(ReqKind::kRead, ReqClass::kATimely, 30);
+  c.add(ReqKind::kRead, ReqClass::kAOnly, 10);
+  c.add(ReqKind::kReadEx, ReqClass::kRTimely, 5);
+  EXPECT_EQ(c.total(ReqKind::kRead), 40u);
+  EXPECT_EQ(c.total(ReqKind::kReadEx), 5u);
+  EXPECT_DOUBLE_EQ(c.fraction(ReqKind::kRead, ReqClass::kATimely), 0.75);
+  EXPECT_DOUBLE_EQ(c.fraction(ReqKind::kReadEx, ReqClass::kRTimely), 1.0);
+}
+
+TEST(ReqClassTest, EmptyFractionIsZero) {
+  ReqClassCounts c;
+  EXPECT_DOUBLE_EQ(c.fraction(ReqKind::kRead, ReqClass::kALate), 0.0);
+}
+
+TEST(ReqClassTest, BothStreamsFraction) {
+  ReqClassCounts c;
+  c.add(ReqKind::kRead, ReqClass::kATimely, 50);
+  c.add(ReqKind::kRead, ReqClass::kALate, 20);
+  c.add(ReqKind::kRead, ReqClass::kAOnly, 20);
+  c.add(ReqKind::kRead, ReqClass::kROnly, 10);
+  EXPECT_DOUBLE_EQ(c.both_streams_fraction(ReqKind::kRead), 0.70);
+}
+
+TEST(ReqClassTest, Merge) {
+  ReqClassCounts a, b;
+  a.add(ReqKind::kRead, ReqClass::kATimely, 1);
+  b.add(ReqKind::kRead, ReqClass::kATimely, 2);
+  a += b;
+  EXPECT_EQ(a.get(ReqKind::kRead, ReqClass::kATimely), 3u);
+  a.clear();
+  EXPECT_EQ(a.total(ReqKind::kRead), 0u);
+}
+
+TEST(ReqClassTest, Names) {
+  EXPECT_EQ(to_string(ReqClass::kATimely), "A-Timely");
+  EXPECT_EQ(to_string(ReqClass::kROnly), "R-Only");
+  EXPECT_EQ(to_string(ReqKind::kReadEx), "read_ex");
+}
+
+TEST(MemStatsTest, Merge) {
+  MemStats a, b;
+  a.loads = 10;
+  b.loads = 5;
+  b.writebacks = 2;
+  a += b;
+  EXPECT_EQ(a.loads, 15u);
+  EXPECT_EQ(a.writebacks, 2u);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "100.00"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "  1.25" ends aligned with "100.00".
+  EXPECT_NE(s.find("  1.25"), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
+}
+
+TEST(TimelineTest, SamplesCategoriesOverTime) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("p0");
+  cpu.start([&] {
+    cpu.consume(1000, sim::TimeCategory::kBusy);
+    cpu.consume(1000, sim::TimeCategory::kMemStall);
+  });
+  Timeline tl(engine, 100);
+  engine.run();
+  ASSERT_GE(tl.samples().size(), 15u);
+  // First half busy, second half stalled.
+  EXPECT_GT(tl.fraction(0, sim::TimeCategory::kBusy, 0, 1000), 0.9);
+  EXPECT_GT(tl.fraction(0, sim::TimeCategory::kMemStall, 1001, 2001), 0.9);
+  const std::string csv = tl.to_csv();
+  EXPECT_NE(csv.find("cycle,p0"), std::string::npos);
+  EXPECT_NE(csv.find("busy"), std::string::npos);
+  EXPECT_NE(csv.find("mem_stall"), std::string::npos);
+}
+
+TEST(TimelineTest, SamplingStopsWhenCpusFinish) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("p0");
+  cpu.start([&] { cpu.consume(500, sim::TimeCategory::kBusy); });
+  Timeline tl(engine, 50);
+  engine.run();
+  // One trailing sample after completion at most.
+  EXPECT_LE(tl.samples().back().when, 600u);
+}
+
+TEST(TimelineTest, BlockedCpuReportsWaitCategory) {
+  sim::Engine engine;
+  sim::SimCpu& sleeper = engine.add_cpu("s");
+  sim::SimCpu& waker = engine.add_cpu("w");
+  sleeper.start([&] { sleeper.block(sim::TimeCategory::kJobWait); });
+  waker.start([&] {
+    waker.consume(2000, sim::TimeCategory::kBusy);
+    sleeper.wake();
+  });
+  Timeline tl(engine, 100);
+  engine.run();
+  EXPECT_GT(tl.fraction(0, sim::TimeCategory::kJobWait, 0, 2000), 0.9);
+}
+
+}  // namespace
+}  // namespace ssomp::stats

@@ -1,0 +1,37 @@
+// slipreport — the slipstream-aware compiler's report tool.
+//
+//   slipreport file.c [OMP_SLIPSTREAM-value]
+//
+// Scans OpenMP-annotated source and prints the slipstream handling of
+// every construct (paper §3.1) plus the resolved A/R synchronization per
+// parallel region (§3.3 precedence). With no file argument, reads stdin.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "front/report.hpp"
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::string env;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "slipreport: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  }
+  if (argc > 2) env = argv[2];
+
+  const auto report = ssomp::front::analyze_source(source, env);
+  std::fputs(ssomp::front::format_report(report).c_str(), stdout);
+  return report.errors.empty() ? 0 : 2;
+}

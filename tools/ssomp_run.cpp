@@ -1,0 +1,130 @@
+// ssomp_run — general experiment driver.
+//
+//   ssomp_run [--app NAME] [--mode single|double|slipstream]
+//             [--sync global|local] [--tokens N] [--ncmp N]
+//             [--sched static|dynamic|guided|affinity[,CHUNK]]
+//             [--scale tiny|bench] [--env OMP_SLIPSTREAM-value]
+//             [--self-invalidation] [--json]
+//
+// Runs one workload on one configuration and prints either a summary
+// table or a machine-readable JSON object.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/json.hpp"
+#include "core/ssomp.hpp"
+
+using namespace ssomp;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "ssomp_run: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: ssomp_run [--app NAME] [--mode single|double|slipstream]\n"
+      "                 [--sync global|local] [--tokens N] [--ncmp N]\n"
+      "                 [--sched KIND[,CHUNK]] [--scale tiny|bench]\n"
+      "                 [--env VALUE] [--self-invalidation] [--json]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "CG";
+  std::string mode = "slipstream";
+  std::string sync = "local";
+  std::string sched_text = "static";
+  std::string env;
+  int tokens = 1;
+  int ncmp = 16;
+  bool tiny = false;
+  bool json = false;
+  bool self_inval = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      app = value();
+    } else if (arg == "--mode") {
+      mode = value();
+    } else if (arg == "--sync") {
+      sync = value();
+    } else if (arg == "--tokens") {
+      tokens = std::atoi(value().c_str());
+    } else if (arg == "--ncmp") {
+      ncmp = std::atoi(value().c_str());
+    } else if (arg == "--sched") {
+      sched_text = value();
+    } else if (arg == "--scale") {
+      tiny = value() == "tiny";
+    } else if (arg == "--env") {
+      env = value();
+    } else if (arg == "--self-invalidation") {
+      self_inval = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      usage(("unknown argument " + arg).c_str());
+    }
+  }
+
+  core::ExperimentConfig cfg;
+  cfg.machine.ncmp = ncmp;
+  cfg.machine.mem = mem::MemParams::scaled_for_benchmarks();
+  if (mode == "single") {
+    cfg.runtime.mode = rt::ExecutionMode::kSingle;
+  } else if (mode == "double") {
+    cfg.runtime.mode = rt::ExecutionMode::kDouble;
+  } else if (mode == "slipstream") {
+    cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
+  } else {
+    usage("bad --mode");
+  }
+  cfg.runtime.slip.type =
+      sync == "local" ? slip::SyncType::kLocal : slip::SyncType::kGlobal;
+  cfg.runtime.slip.tokens = tokens;
+  cfg.runtime.omp_slipstream_env = env;
+  cfg.runtime.policies.self_invalidation = self_inval;
+
+  const auto sched = front::parse_schedule_clause(sched_text);
+  if (!sched.ok) usage(("bad --sched: " + sched.error).c_str());
+
+  const auto factory = apps::make_workload(
+      app, tiny ? apps::AppScale::kTiny : apps::AppScale::kBench,
+      sched.value);
+  const auto result = core::run_experiment(cfg, factory);
+
+  if (json) {
+    std::printf("%s\n", core::to_json(cfg, result).c_str());
+  } else {
+    std::printf("%s on %d CMPs, %s mode", app.c_str(), ncmp, mode.c_str());
+    if (cfg.runtime.mode == rt::ExecutionMode::kSlipstream) {
+      std::printf(" (%s, tokens=%d)", std::string(to_string(
+                                          cfg.runtime.slip.type))
+                                          .c_str(),
+                  tokens);
+    }
+    std::printf(", schedule %s\n", sched_text.c_str());
+    std::printf("cycles: %llu   verified: %s   %s\n",
+                static_cast<unsigned long long>(result.cycles),
+                result.workload.verified ? "yes" : "NO",
+                result.workload.detail.c_str());
+    stats::Table t({"category", "fraction"});
+    for (int c = 0; c < sim::kTimeCategoryCount; ++c) {
+      const auto cat = static_cast<sim::TimeCategory>(c);
+      if (result.team_breakdown.get(cat) == 0) continue;
+      t.add_row({std::string(to_string(cat)),
+                 stats::Table::pct(result.fraction(cat))});
+    }
+    t.print();
+  }
+  return result.workload.verified && result.invariants_ok ? 0 : 1;
+}
