@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tokens"
+  "../bench/ablation_tokens.pdb"
+  "CMakeFiles/ablation_tokens.dir/ablation_tokens.cpp.o"
+  "CMakeFiles/ablation_tokens.dir/ablation_tokens.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_affinity"
+  "../bench/ext_affinity.pdb"
+  "CMakeFiles/ext_affinity.dir/ext_affinity.cpp.o"
+  "CMakeFiles/ext_affinity.dir/ext_affinity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_estate"
+  "../bench/ext_estate.pdb"
+  "CMakeFiles/ext_estate.dir/ext_estate.cpp.o"
+  "CMakeFiles/ext_estate.dir/ext_estate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_estate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_lu_pipeline"
+  "../bench/ext_lu_pipeline.pdb"
+  "CMakeFiles/ext_lu_pipeline.dir/ext_lu_pipeline.cpp.o"
+  "CMakeFiles/ext_lu_pipeline.dir/ext_lu_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

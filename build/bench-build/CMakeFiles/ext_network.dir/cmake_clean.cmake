@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_network"
+  "../bench/ext_network.pdb"
+  "CMakeFiles/ext_network.dir/ext_network.cpp.o"
+  "CMakeFiles/ext_network.dir/ext_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_token_protocol"
+  "../bench/fig1_token_protocol.pdb"
+  "CMakeFiles/fig1_token_protocol.dir/fig1_token_protocol.cpp.o"
+  "CMakeFiles/fig1_token_protocol.dir/fig1_token_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_token_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

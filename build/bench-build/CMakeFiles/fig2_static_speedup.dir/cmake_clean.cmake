@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_static_speedup"
+  "../bench/fig2_static_speedup.pdb"
+  "CMakeFiles/fig2_static_speedup.dir/fig2_static_speedup.cpp.o"
+  "CMakeFiles/fig2_static_speedup.dir/fig2_static_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_static_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

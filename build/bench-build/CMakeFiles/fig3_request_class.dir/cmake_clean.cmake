@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_request_class"
+  "../bench/fig3_request_class.pdb"
+  "CMakeFiles/fig3_request_class.dir/fig3_request_class.cpp.o"
+  "CMakeFiles/fig3_request_class.dir/fig3_request_class.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_request_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_request_class_dynamic"
+  "../bench/fig5_request_class_dynamic.pdb"
+  "CMakeFiles/fig5_request_class_dynamic.dir/fig5_request_class_dynamic.cpp.o"
+  "CMakeFiles/fig5_request_class_dynamic.dir/fig5_request_class_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_request_class_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_primitives.cpp" "bench-build/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o" "gcc" "bench-build/CMakeFiles/micro_primitives.dir/micro_primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ssomp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ssomp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ssomp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ssomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/ssomp_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssomp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssomp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

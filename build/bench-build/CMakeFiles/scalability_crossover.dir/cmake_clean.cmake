@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scalability_crossover"
+  "../bench/scalability_crossover.pdb"
+  "CMakeFiles/scalability_crossover.dir/scalability_crossover.cpp.o"
+  "CMakeFiles/scalability_crossover.dir/scalability_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_select.dir/auto_select.cpp.o"
+  "CMakeFiles/auto_select.dir/auto_select.cpp.o.d"
+  "auto_select"
+  "auto_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_lb.dir/dynamic_lb.cpp.o"
+  "CMakeFiles/dynamic_lb.dir/dynamic_lb.cpp.o.d"
+  "dynamic_lb"
+  "dynamic_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

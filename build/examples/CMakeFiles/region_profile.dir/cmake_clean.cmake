@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_profile.dir/region_profile.cpp.o"
+  "CMakeFiles/region_profile.dir/region_profile.cpp.o.d"
+  "region_profile"
+  "region_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

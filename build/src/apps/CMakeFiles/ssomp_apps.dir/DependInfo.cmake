@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adi.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/adi.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/adi.cpp.o.d"
+  "/root/repo/src/apps/bt.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/bt.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/bt.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "src/apps/CMakeFiles/ssomp_apps.dir/sp.cpp.o" "gcc" "src/apps/CMakeFiles/ssomp_apps.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ssomp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ssomp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ssomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/ssomp_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssomp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssomp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

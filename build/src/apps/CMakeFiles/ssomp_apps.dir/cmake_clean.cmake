@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_apps.dir/adi.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/adi.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/bt.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/bt.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/cg.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/ep.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/ft.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/is.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/is.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/lu.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/mg.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/registry.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/ssomp_apps.dir/sp.cpp.o"
+  "CMakeFiles/ssomp_apps.dir/sp.cpp.o.d"
+  "libssomp_apps.a"
+  "libssomp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

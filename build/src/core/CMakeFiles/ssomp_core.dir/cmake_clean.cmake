@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_core.dir/advisor.cpp.o"
+  "CMakeFiles/ssomp_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/ssomp_core.dir/experiment.cpp.o"
+  "CMakeFiles/ssomp_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ssomp_core.dir/json.cpp.o"
+  "CMakeFiles/ssomp_core.dir/json.cpp.o.d"
+  "libssomp_core.a"
+  "libssomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssomp_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_front.dir/directive.cpp.o"
+  "CMakeFiles/ssomp_front.dir/directive.cpp.o.d"
+  "CMakeFiles/ssomp_front.dir/report.cpp.o"
+  "CMakeFiles/ssomp_front.dir/report.cpp.o.d"
+  "libssomp_front.a"
+  "libssomp_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

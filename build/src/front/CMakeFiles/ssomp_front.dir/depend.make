@@ -1,0 +1,2 @@
+# Empty dependencies file for ssomp_front.
+# This may be replaced when dependencies are built.

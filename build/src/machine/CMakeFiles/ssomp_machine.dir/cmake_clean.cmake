@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_machine.dir/machine.cpp.o"
+  "CMakeFiles/ssomp_machine.dir/machine.cpp.o.d"
+  "libssomp_machine.a"
+  "libssomp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_mem.dir/memsys.cpp.o"
+  "CMakeFiles/ssomp_mem.dir/memsys.cpp.o.d"
+  "libssomp_mem.a"
+  "libssomp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

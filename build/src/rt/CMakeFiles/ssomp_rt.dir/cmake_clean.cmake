@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_rt.dir/pointsync.cpp.o"
+  "CMakeFiles/ssomp_rt.dir/pointsync.cpp.o.d"
+  "CMakeFiles/ssomp_rt.dir/runtime.cpp.o"
+  "CMakeFiles/ssomp_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/ssomp_rt.dir/sync_primitives.cpp.o"
+  "CMakeFiles/ssomp_rt.dir/sync_primitives.cpp.o.d"
+  "libssomp_rt.a"
+  "libssomp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_sim.dir/engine.cpp.o"
+  "CMakeFiles/ssomp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ssomp_sim.dir/fiber.cpp.o"
+  "CMakeFiles/ssomp_sim.dir/fiber.cpp.o.d"
+  "libssomp_sim.a"
+  "libssomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

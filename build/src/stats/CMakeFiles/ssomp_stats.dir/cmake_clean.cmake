@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_stats.dir/report.cpp.o"
+  "CMakeFiles/ssomp_stats.dir/report.cpp.o.d"
+  "CMakeFiles/ssomp_stats.dir/timeline.cpp.o"
+  "CMakeFiles/ssomp_stats.dir/timeline.cpp.o.d"
+  "libssomp_stats.a"
+  "libssomp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contracts_tests.dir/contracts_test.cpp.o"
+  "CMakeFiles/contracts_tests.dir/contracts_test.cpp.o.d"
+  "contracts_tests"
+  "contracts_tests.pdb"
+  "contracts_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contracts_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for contracts_tests.
+# This may be replaced when dependencies are built.

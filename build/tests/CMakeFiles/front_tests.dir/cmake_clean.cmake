@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/front_tests.dir/front/directive_test.cpp.o"
+  "CMakeFiles/front_tests.dir/front/directive_test.cpp.o.d"
+  "CMakeFiles/front_tests.dir/front/report_test.cpp.o"
+  "CMakeFiles/front_tests.dir/front/report_test.cpp.o.d"
+  "front_tests"
+  "front_tests.pdb"
+  "front_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/front_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

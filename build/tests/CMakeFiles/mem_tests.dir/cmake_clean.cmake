@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/cache_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/cache_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/directory_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/directory_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/estate_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/estate_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/memsys_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/memsys_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/params_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/params_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem/resource_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem/resource_test.cpp.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/fuzz_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/fuzz_test.cpp.o.d"
+  "/root/repo/tests/rt/pointsync_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/pointsync_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/pointsync_test.cpp.o.d"
+  "/root/repo/tests/rt/runtime_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o.d"
+  "/root/repo/tests/rt/shared_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/shared_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/shared_test.cpp.o.d"
+  "/root/repo/tests/rt/slipstream_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/slipstream_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/slipstream_test.cpp.o.d"
+  "/root/repo/tests/rt/sync_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/sync_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ssomp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ssomp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ssomp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ssomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/ssomp_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssomp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssomp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

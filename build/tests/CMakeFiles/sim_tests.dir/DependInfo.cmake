@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ssomp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ssomp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ssomp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ssomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/ssomp_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ssomp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssomp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

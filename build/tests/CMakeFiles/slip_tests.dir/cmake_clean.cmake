@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slip_tests.dir/slip/tokens_property_test.cpp.o"
+  "CMakeFiles/slip_tests.dir/slip/tokens_property_test.cpp.o.d"
+  "CMakeFiles/slip_tests.dir/slip/tokens_test.cpp.o"
+  "CMakeFiles/slip_tests.dir/slip/tokens_test.cpp.o.d"
+  "slip_tests"
+  "slip_tests.pdb"
+  "slip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

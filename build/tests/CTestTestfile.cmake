@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/slip_tests[1]_include.cmake")
+include("/root/repo/build/tests/front_tests[1]_include.cmake")
+include("/root/repo/build/tests/machine_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/rt_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/contracts_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slipreport.dir/slipreport.cpp.o"
+  "CMakeFiles/slipreport.dir/slipreport.cpp.o.d"
+  "slipreport"
+  "slipreport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slipreport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssomp_run.dir/ssomp_run.cpp.o"
+  "CMakeFiles/ssomp_run.dir/ssomp_run.cpp.o.d"
+  "ssomp_run"
+  "ssomp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssomp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

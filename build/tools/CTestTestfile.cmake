@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ssomp_run_smoke "/root/repo/build/tools/ssomp_run" "--app" "EP" "--scale" "tiny" "--ncmp" "2" "--json")
+set_tests_properties(ssomp_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ssomp_run_table "/root/repo/build/tools/ssomp_run" "--app" "CG" "--scale" "tiny" "--ncmp" "2" "--mode" "single")
+set_tests_properties(ssomp_run_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(slipreport_smoke "/root/repo/build/tools/slipreport" "/root/repo/examples/sources/cg_annotated.c" "GLOBAL_SYNC,0")
+set_tests_properties(slipreport_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
