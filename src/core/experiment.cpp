@@ -62,6 +62,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.slip = runtime.slip_stats();
   result.workload = workload->verify();
   result.invariants_ok = machine.mem().check_invariants();
+  result.audit_ok = runtime.auditor().ok();
+  result.audit_checks = runtime.auditor().checks_performed();
+  result.audit_violations = runtime.auditor().violations();
+  result.faults_injected = runtime.fault_injector().fired();
   return result;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/workload.hpp"
 #include "machine/machine.hpp"
@@ -30,6 +31,15 @@ struct ExperimentResult {
   rt::SlipRegionStats slip;
   WorkloadResult workload;
   bool invariants_ok = false;
+
+  /// Slipstream invariant-audit outcome (rt::RuntimeOptions::audit).
+  /// Vacuously true when auditing was disabled.
+  bool audit_ok = true;
+  std::uint64_t audit_checks = 0;
+  std::vector<std::string> audit_violations;
+
+  /// Number of faults the injector fired (0 on clean runs).
+  std::uint64_t faults_injected = 0;
 
   /// Fraction of aggregate accounted CPU time in a category (the bars of
   /// the paper's Figures 2 and 4). TokenWait and StreamWait fold into the

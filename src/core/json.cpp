@@ -83,6 +83,9 @@ std::string to_json(const ExperimentConfig& config,
     o.field("participating_cpus", result.participating_cpus);
     o.field("verified", result.workload.verified);
     o.field("invariants_ok", result.invariants_ok);
+    o.field("audit_ok", result.audit_ok);
+    o.field("audit_checks", result.audit_checks);
+    o.field("faults_injected", result.faults_injected);
     o.field("checksum", result.workload.checksum);
     o.field("detail", result.workload.detail);
     o.close();

@@ -4,7 +4,9 @@
 #include <string>
 
 #include "front/directive.hpp"
+#include "slip/audit.hpp"
 #include "slip/config.hpp"
+#include "slip/faultinject.hpp"
 
 namespace ssomp::rt {
 
@@ -42,6 +44,14 @@ struct RuntimeOptions {
 
   /// Default schedule for loops that do not specify one.
   front::ScheduleClause default_schedule{};
+
+  /// Deterministic fault to inject into the recovery machinery
+  /// (FaultKind::kNone = nothing injected).
+  slip::FaultPlan fault{};
+
+  /// Cross-validate the token-semaphore / mailbox / recovery accounting
+  /// at region boundaries. Always on in debug builds, opt-in in release.
+  bool audit = slip::kAuditDefaultOn;
 };
 
 }  // namespace ssomp::rt

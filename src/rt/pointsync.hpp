@@ -37,6 +37,11 @@ class ProgressFlag {
 
   [[nodiscard]] long value() const { return value_; }
 
+  /// Number of parked waiters (invariant probe: must be zero whenever all
+  /// consumers have been satisfied — a nonzero count at quiescence is a
+  /// leaked waiter-list entry, i.e. a lost wakeup).
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
  private:
   struct Waiter {
     sim::SimCpu* cpu;

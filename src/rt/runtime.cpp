@@ -11,15 +11,16 @@ namespace {
 /// Fixed cost charged for computing static-loop bounds (a handful of
 /// integer instructions).
 constexpr sim::Cycles kStaticSchedCost = 20;
-/// Host-side bound on outstanding forwarded scheduling decisions.
-constexpr std::size_t kMailboxDepth = 1024;
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Runtime
 
 Runtime::Runtime(machine::Machine& machine, RuntimeOptions options)
-    : machine_(machine), options_(std::move(options)) {
+    : machine_(machine),
+      options_(std::move(options)),
+      injector_(options_.fault, machine.ncmp()),
+      auditor_(options_.audit, machine.ncmp()) {
   directives_.set_env(options_.omp_slipstream_env);
   // The program-global slipstream setting (overridable by serial-part
   // directives at run time).
@@ -89,7 +90,7 @@ sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
     for (int n = 0; n < machine_.ncmp(); ++n) {
       slip::SlipPair& p = machine_.pair(n);
       if (p.barrier_sem().has_waiter() || p.syscall_sem().has_waiter()) {
-        p.request_recovery(machine_.cpu(p.r_cpu()));
+        request_pair_recovery(p, machine_.cpu(p.r_cpu()));
         rescued = true;
       }
     }
@@ -108,8 +109,16 @@ sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
     slip_stats_.tokens_consumed += p.barrier_sem().total_consumed();
     slip_stats_.tokens_inserted += p.barrier_sem().total_inserted();
     slip_stats_.recoveries += p.recoveries();
+    auditor_.on_run_end(n, p, injector_);
   }
   return machine_.engine().now();
+}
+
+void Runtime::request_pair_recovery(slip::SlipPair& pair, sim::SimCpu& r) {
+  if (!pair.recovery_requested()) {
+    auditor_.on_recovery_requested(machine_.node_of(pair.r_cpu()));
+  }
+  pair.request_recovery(r);
 }
 
 void Runtime::slave_loop(sim::CpuId cpu_id) {
@@ -138,6 +147,7 @@ void Runtime::run_member(const Member& m) {
       // Recovery terminates the A-stream for the remainder of the region;
       // it rejoins at the next parallel region (§2.2 recovery routine).
       m.pair->ack_recovery();
+      auditor_.on_recovery_acked(machine_.node_of(m.cpu));
     }
   } else {
     current_body_(t);
@@ -231,7 +241,7 @@ void Runtime::dispatch_region(
   if (team_.slipstream()) {
     for (int n = 0; n < machine_.ncmp(); ++n) {
       machine_.pair(n).reset_for_region(team_.slip.tokens);
-      machine_.pair(n).mailbox_queue.clear();
+      auditor_.on_region_reset(n, machine_.pair(n), injector_);
     }
   }
   join_count_ = 0;
@@ -284,6 +294,7 @@ void Runtime::dispatch_region(
     std::uint64_t tokens_after = 0;
     for (int n = 0; n < machine_.ncmp(); ++n) {
       tokens_after += machine_.pair(n).barrier_sem().total_consumed();
+      auditor_.on_region_end(n, machine_.pair(n), injector_);
     }
     record.tokens_consumed = tokens_after - tokens_before;
   }
@@ -307,8 +318,15 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     return;
   }
   slip::SlipPair& pair = *t.member().pair;
+  const int node = machine_.node_of(t.member().cpu);
   if (t.role() == StreamRole::kR) {
     pair.note_r_barrier();
+    // Fault injection: force a recovery landing in the hardest window —
+    // while the A-stream is blocked inside a token consume().
+    if (injector_.on_r_divergence_probe(node,
+                                        pair.barrier_sem().has_waiter())) {
+      request_pair_recovery(pair, cpu);
+    }
     // Divergence probe (§2.2): the R-stream compares the token count with
     // the initial value to predict whether its A-stream visited this
     // barrier; a persistent lag beyond the threshold triggers recovery.
@@ -322,19 +340,35 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
               ? pair.r_barriers() - pair.a_barriers()
               : 0;
       if (lag > static_cast<std::uint64_t>(options_.divergence_threshold)) {
-        pair.request_recovery(cpu);
+        request_pair_recovery(pair, cpu);
       }
     }
-    if (team_.slip.type == slip::SyncType::kLocal) {
+    // Fault injection may starve (skip) or over-insert (duplicate) the
+    // token this barrier visit owes the A-stream.
+    const slip::TokenAction ins = injector_.on_r_token_insert(node);
+    if (team_.slip.type == slip::SyncType::kLocal &&
+        ins != slip::TokenAction::kSkip) {
       pair.barrier_sem().insert(cpu);  // token on barrier *entry*
+      if (ins == slip::TokenAction::kDuplicate) pair.barrier_sem().insert(cpu);
     }
     barrier_->arrive(cpu, t.id(), cat);
-    if (team_.slip.type == slip::SyncType::kGlobal) {
+    if (team_.slip.type == slip::SyncType::kGlobal &&
+        ins != slip::TokenAction::kSkip) {
       pair.barrier_sem().insert(cpu);  // token on barrier *exit*
+      if (ins == slip::TokenAction::kDuplicate) pair.barrier_sem().insert(cpu);
     }
   } else {
     t.check_recovery();
+    // Fault injection: skip this visit's consume entirely (the A-stream
+    // barges past the barrier, unsynchronized) or consume a duplicate
+    // token (it stalls a full session behind).
+    const slip::TokenAction act = injector_.on_a_token_consume(node);
+    if (act == slip::TokenAction::kSkip) return;
     if (!pair.barrier_sem().consume(cpu, TimeCategory::kTokenWait)) {
+      throw slip::RecoveryException{};
+    }
+    if (act == slip::TokenAction::kDuplicate &&
+        !pair.barrier_sem().consume(cpu, TimeCategory::kTokenWait)) {
       throw slip::RecoveryException{};
     }
     pair.note_a_barrier();
@@ -449,10 +483,14 @@ void Runtime::forward_chunk(ThreadCtx& t, long lo, long hi, bool last) {
   // A-stream by adding a token to the syscall semaphore (§3.2.2).
   cpu.consume(mem().store(cpu.id(), pair.mailbox_addr(), cpu.issue_time()),
               TimeCategory::kScheduling);
-  if (pair.mailbox_queue.size() >= kMailboxDepth) {
-    pair.mailbox_queue.pop_front();  // drop the stalest decision
+  // Fault injection: corrupt this forwarded decision, or force a recovery
+  // while the A-stream is blocked in the syscall-semaphore wait.
+  slip::SlipPair::Mailbox mb{lo, hi, last};
+  if (injector_.on_forward(machine_.node_of(t.member().cpu), mb,
+                           pair.syscall_sem().has_waiter())) {
+    request_pair_recovery(pair, cpu);
   }
-  pair.mailbox_queue.push_back(slip::SlipPair::Mailbox{lo, hi, last});
+  pair.mailbox_push(mb);
   pair.syscall_sem().insert(cpu);
   ++slip_stats_.forwarded_chunks;
 }
@@ -581,9 +619,14 @@ void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
       cpu().consume(
           rt_.mem().load(cpu().id(), pair.mailbox_addr(), cpu().issue_time()),
           TimeCategory::kScheduling);
-      SSOMP_CHECK(!pair.mailbox_queue.empty());
-      const slip::SlipPair::Mailbox mb = pair.mailbox_queue.front();
-      pair.mailbox_queue.pop_front();
+      if (pair.mailbox_empty()) {
+        // A token with no decision behind it: only possible after the
+        // depth clamp dropped stale entries (a deeply diverged A-stream).
+        // Abandon the loop; the next barrier resynchronizes.
+        SSOMP_CHECK(pair.mailbox_dropped() > 0);
+        break;
+      }
+      const slip::SlipPair::Mailbox mb = pair.mailbox_pop();
       if (mb.last) break;
       body(mb.lo, mb.hi);
     }

@@ -264,6 +264,12 @@ class Runtime {
   [[nodiscard]] const Team& team() const { return team_; }
   [[nodiscard]] SlipRegionStats& slip_stats() { return slip_stats_; }
   [[nodiscard]] int regions_executed() const { return regions_executed_; }
+  [[nodiscard]] const slip::FaultInjector& fault_injector() const {
+    return injector_;
+  }
+  [[nodiscard]] const slip::InvariantAuditor& auditor() const {
+    return auditor_;
+  }
 
   /// Execution records for every parallel region, in program order.
   [[nodiscard]] const std::vector<RegionRecord>& region_records() const {
@@ -320,8 +326,15 @@ class Runtime {
   /// A-stream and release it with a syscall-semaphore token.
   void forward_chunk(ThreadCtx& t, long lo, long hi, bool last);
 
+  /// Audited recovery entry point: notifies the invariant auditor for
+  /// newly raised requests, then delegates to the pair (which re-poisons
+  /// on repeat requests).
+  void request_pair_recovery(slip::SlipPair& pair, sim::SimCpu& r);
+
   machine::Machine& machine_;
   RuntimeOptions options_;
+  slip::FaultInjector injector_;
+  slip::InvariantAuditor auditor_;
   front::DirectiveControl directives_;
 
   Team team_;

@@ -4,6 +4,16 @@
 
 #include "sim/check.hpp"
 
+#ifdef SSOMP_FIBER_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
 namespace ssomp::sim {
 
 namespace {
@@ -64,6 +74,12 @@ Fiber::~Fiber() = default;
 void Fiber::trampoline() {
   Fiber* self = g_current;
   SSOMP_CHECK(self != nullptr);
+#ifdef SSOMP_FIBER_ASAN
+  // First activation: no fake stack of our own to restore yet; record
+  // where we came from so yield()/the final switch can announce it.
+  __sanitizer_finish_switch_fiber(nullptr, &self->parent_stack_bottom_,
+                                  &self->parent_stack_size_);
+#endif
   try {
     self->body_();
   } catch (...) {
@@ -73,6 +89,11 @@ void Fiber::trampoline() {
   }
   self->finished_ = true;
   // Permanently return to the scheduler.
+#ifdef SSOMP_FIBER_ASAN
+  // Null save slot: the fiber is done, its fake stack can be destroyed.
+  __sanitizer_start_switch_fiber(nullptr, self->parent_stack_bottom_,
+                                 self->parent_stack_size_);
+#endif
   ssomp_ctx_switch(&self->sp_, self->parent_sp_);
   SSOMP_CHECK(false);  // a finished fiber must never be resumed
 }
@@ -81,13 +102,29 @@ void Fiber::resume() {
   SSOMP_CHECK(!finished_);
   SSOMP_CHECK(g_current == nullptr);  // no nested fibers
   g_current = this;
+#ifdef SSOMP_FIBER_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_.get(), kStackSize);
+#endif
   ssomp_ctx_switch(&parent_sp_, sp_);
+#ifdef SSOMP_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
   g_current = nullptr;
 }
 
 void Fiber::yield() {
   SSOMP_CHECK(g_current == this);
+#ifdef SSOMP_FIBER_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, parent_stack_bottom_,
+                                 parent_stack_size_);
+#endif
   ssomp_ctx_switch(&sp_, parent_sp_);
+#ifdef SSOMP_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake, &parent_stack_bottom_,
+                                  &parent_stack_size_);
+#endif
 }
 
 #else  // portable fallback

@@ -21,6 +21,17 @@
 #define SSOMP_FIBER_UCONTEXT 1
 #endif
 
+// AddressSanitizer tracks each stack with a shadow; switching to a stack
+// it does not know about breaks its unwinding and no-return handling, so
+// every context switch must be bracketed with the sanitizer fiber hooks.
+#if defined(__SANITIZE_ADDRESS__)
+#define SSOMP_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SSOMP_FIBER_ASAN 1
+#endif
+#endif
+
 namespace ssomp::sim {
 
 class Fiber {
@@ -65,7 +76,19 @@ class Fiber {
   void* parent_sp_ = nullptr;  // the scheduler's saved stack pointer
 #endif
 
+#ifdef SSOMP_FIBER_ASAN
+  // Bounds of the stack we switched in from, reported by
+  // __sanitizer_finish_switch_fiber; needed to announce the switch back.
+  const void* parent_stack_bottom_ = nullptr;
+  std::size_t parent_stack_size_ = 0;
+#endif
+
+#ifdef SSOMP_FIBER_ASAN
+  // Redzones between stack frames roughly quadruple stack usage.
+  static constexpr std::size_t kStackSize = 1024 * 1024;
+#else
   static constexpr std::size_t kStackSize = 256 * 1024;
+#endif
 };
 
 }  // namespace ssomp::sim

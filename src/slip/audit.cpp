@@ -1,0 +1,160 @@
+#include "slip/audit.hpp"
+
+#include <sstream>
+
+namespace ssomp::slip {
+
+InvariantAuditor::InvariantAuditor(bool enabled, int ncmp)
+    : enabled_(enabled),
+      base_(static_cast<std::size_t>(ncmp)),
+      recovery_outstanding_(static_cast<std::size_t>(ncmp), false) {}
+
+void InvariantAuditor::expect(bool condition, int node, const char* when,
+                              const std::string& detail) {
+  ++checks_;
+  if (condition) return;
+  std::ostringstream msg;
+  msg << "node " << node << " [" << when << "]: " << detail;
+  violations_.push_back(msg.str());
+}
+
+void InvariantAuditor::on_region_reset(int node, const SlipPair& p,
+                                       const FaultInjector& inj) {
+  if (!enabled_) return;
+  Baseline& b = base_[static_cast<std::size_t>(node)];
+  b.valid = true;
+  b.barrier_inserted = p.barrier_sem().total_inserted();
+  b.barrier_consumed = p.barrier_sem().total_consumed();
+  b.syscall_inserted = p.syscall_sem().total_inserted();
+  b.syscall_consumed = p.syscall_sem().total_consumed();
+  b.mailbox_pushed = p.mailbox_pushed();
+  b.mailbox_popped = p.mailbox_popped();
+  b.mailbox_dropped = p.mailbox_dropped();
+  b.initial_tokens = p.initial_tokens();
+  b.ledger = inj.ledger(node);
+  recovery_outstanding_[static_cast<std::size_t>(node)] = false;
+  // The reset itself must leave the pair quiescent.
+  expect(p.mailbox_size() == 0, node, "region-reset",
+         "mailbox not cleared by reset_for_region");
+  expect(!p.barrier_sem().has_waiter() && !p.syscall_sem().has_waiter(),
+         node, "region-reset", "semaphore re-initialized with a waiter");
+}
+
+void InvariantAuditor::check_pair(int node, const SlipPair& p,
+                                  const FaultInjector& inj, const char* when) {
+  const Baseline& b = base_[static_cast<std::size_t>(node)];
+  if (!b.valid) return;
+
+  const auto d = [](std::uint64_t now, std::uint64_t base) {
+    return static_cast<std::int64_t>(now - base);
+  };
+  const std::int64_t bar_ins = d(p.barrier_sem().total_inserted(),
+                                 b.barrier_inserted);
+  const std::int64_t bar_cons = d(p.barrier_sem().total_consumed(),
+                                  b.barrier_consumed);
+  const std::int64_t sys_ins = d(p.syscall_sem().total_inserted(),
+                                 b.syscall_inserted);
+  const std::int64_t sys_cons = d(p.syscall_sem().total_consumed(),
+                                  b.syscall_consumed);
+  const FaultInjector::NodeLedger& led = inj.ledger(node);
+  const std::int64_t suppressed =
+      d(led.suppressed_inserts, b.ledger.suppressed_inserts);
+  const std::int64_t extra_ins = d(led.extra_inserts, b.ledger.extra_inserts);
+  const std::int64_t extra_cons =
+      d(led.extra_consumes, b.ledger.extra_consumes);
+
+  const auto fmt = [](std::int64_t a, std::int64_t c) {
+    std::ostringstream s;
+    s << " (expected " << a << ", got " << c << ")";
+    return s.str();
+  };
+
+  // Token conservation: count == initial + inserted − consumed, per
+  // semaphore (the syscall semaphore always starts at zero).
+  const std::int64_t bar_count = b.initial_tokens + bar_ins - bar_cons;
+  expect(p.barrier_sem().count() == bar_count, node, when,
+         "barrier-token conservation violated" +
+             fmt(bar_count, p.barrier_sem().count()));
+  const std::int64_t sys_count = sys_ins - sys_cons;
+  expect(p.syscall_sem().count() == sys_count, node, when,
+         "syscall-token conservation violated" +
+             fmt(sys_count, p.syscall_sem().count()));
+  expect(p.barrier_sem().count() >= 0 && p.syscall_sem().count() >= 0, node,
+         when, "negative token count");
+
+  // Insert/visit agreement: one token per R barrier visit, modulo
+  // injected starvation / surplus.
+  const auto r_vis = static_cast<std::int64_t>(p.r_barriers());
+  expect(bar_ins == r_vis - suppressed + extra_ins, node, when,
+         "R-stream inserts disagree with its barrier visits" +
+             fmt(r_vis - suppressed + extra_ins, bar_ins));
+
+  // Consume/visit agreement: one successful consume per A barrier visit,
+  // modulo injected duplicates (a skipped visit skips both).
+  const auto a_vis = static_cast<std::int64_t>(p.a_barriers());
+  expect(bar_cons == a_vis + extra_cons, node, when,
+         "A-stream consumes disagree with its barrier visits" +
+             fmt(a_vis + extra_cons, bar_cons));
+
+  // The A-stream can never be ahead past the token allowance.
+  expect(a_vis + extra_cons <= b.initial_tokens + bar_ins, node, when,
+         "A-stream ran past the token allowance");
+
+  // Mailbox conservation and coverage: the queue holds exactly what was
+  // pushed and not yet popped or depth-dropped, and every queued decision
+  // is backed by an unconsumed syscall token.
+  const std::int64_t mb_expect = d(p.mailbox_pushed(), b.mailbox_pushed) -
+                                 d(p.mailbox_popped(), b.mailbox_popped) -
+                                 d(p.mailbox_dropped(), b.mailbox_dropped);
+  const auto mb_size = static_cast<std::int64_t>(p.mailbox_size());
+  expect(mb_size == mb_expect, node, when,
+         "mailbox push/pop/drop conservation violated" +
+             fmt(mb_expect, mb_size));
+  expect(mb_size <= p.syscall_sem().count(), node, when,
+         "queued scheduling decisions exceed outstanding syscall tokens" +
+             fmt(p.syscall_sem().count(), mb_size));
+}
+
+void InvariantAuditor::on_region_end(int node, const SlipPair& p,
+                                     const FaultInjector& inj) {
+  if (!enabled_) return;
+  check_pair(node, p, inj, "region-end");
+  // The join completed, so no member can still be parked on a semaphore.
+  expect(!p.barrier_sem().has_waiter() && !p.syscall_sem().has_waiter(),
+         node, "region-end", "semaphore waiter survived the region join");
+}
+
+void InvariantAuditor::on_recovery_requested(int node) {
+  if (!enabled_) return;
+  expect(!recovery_outstanding_[static_cast<std::size_t>(node)], node,
+         "recovery", "second recovery raised before acknowledgement");
+  recovery_outstanding_[static_cast<std::size_t>(node)] = true;
+}
+
+void InvariantAuditor::on_recovery_acked(int node) {
+  if (!enabled_) return;
+  expect(recovery_outstanding_[static_cast<std::size_t>(node)], node,
+         "recovery", "acknowledgement without a pending recovery request");
+  recovery_outstanding_[static_cast<std::size_t>(node)] = false;
+}
+
+void InvariantAuditor::on_run_end(int node, const SlipPair& p,
+                                  const FaultInjector& inj) {
+  if (!enabled_) return;
+  // Re-validate the final region's accounting after the divergence
+  // backstop drained (poisons change no counters), then confirm the
+  // machine is quiescent.
+  check_pair(node, p, inj, "run-end");
+  expect(!p.barrier_sem().has_waiter() && !p.syscall_sem().has_waiter(),
+         node, "run-end", "semaphore waiter survived the run");
+}
+
+std::string InvariantAuditor::summary() const {
+  std::ostringstream s;
+  s << "audit: " << checks_ << " checks, " << violations_.size()
+    << " violation" << (violations_.size() == 1 ? "" : "s");
+  if (!violations_.empty()) s << "; first: " << violations_.front();
+  return s.str();
+}
+
+}  // namespace ssomp::slip

@@ -1,0 +1,103 @@
+// Invariant auditor for the slipstream token-semaphore protocol.
+//
+// Cross-validates the accounting identities the recovery machinery
+// depends on (§2.2, Figure 1), at every parallel-region boundary and at
+// end of run:
+//
+//   * token conservation, per semaphore per region:
+//       count == initial + inserted_delta − consumed_delta
+//     (and therefore consumed_delta <= initial + inserted_delta, i.e. the
+//     A-stream can never hold more sessions than the token allowance);
+//   * insert/visit agreement: the R-stream inserts exactly one token per
+//     barrier visit, so inserted_delta == r_barriers, compensated by any
+//     injected starve/extra faults;
+//   * consume/visit agreement: the A-stream notes exactly one barrier per
+//     successful consume, so consumed_delta == a_barriers, compensated by
+//     injected skip/duplicate faults;
+//   * mailbox conservation: queue depth == pushed − popped − dropped
+//     deltas, and (clean runs) every queued decision is backed by an
+//     unconsumed syscall token;
+//   * recovery ordering: an acknowledgement must follow a request, and at
+//     most one recovery can be outstanding per pair.
+//
+// The auditor is always on in debug builds and opt-in in release builds
+// (RuntimeOptions::audit / --audit). Violations are collected, not fatal:
+// the caller decides whether to abort, fail the experiment, or report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slip/faultinject.hpp"
+#include "slip/pair.hpp"
+
+namespace ssomp::slip {
+
+/// Build-dependent default: every debug build audits; release builds
+/// (NDEBUG) opt in via RuntimeOptions::audit or --audit.
+#ifdef NDEBUG
+inline constexpr bool kAuditDefaultOn = false;
+#else
+inline constexpr bool kAuditDefaultOn = true;
+#endif
+
+class InvariantAuditor {
+ public:
+  InvariantAuditor() : InvariantAuditor(false, 1) {}
+  InvariantAuditor(bool enabled, int ncmp);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Called after SlipPair::reset_for_region: snapshots the cumulative
+  /// semaphore/mailbox/ledger counters the region-end check diffs against.
+  void on_region_reset(int node, const SlipPair& p, const FaultInjector& inj);
+
+  /// Called after the region join completes (all members finished).
+  void on_region_end(int node, const SlipPair& p, const FaultInjector& inj);
+
+  /// Recovery-ordering hooks. `on_recovery_requested` is called only for
+  /// a newly raised request (not idempotent re-requests).
+  void on_recovery_requested(int node);
+  void on_recovery_acked(int node);
+
+  /// Whole-run finale, after the divergence backstop has drained.
+  void on_run_end(int node, const SlipPair& p, const FaultInjector& inj);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t checks_performed() const { return checks_; }
+
+  /// One-line summary ("audit: 120 checks, 0 violations" or the first
+  /// violation text).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct Baseline {
+    bool valid = false;
+    std::uint64_t barrier_inserted = 0;
+    std::uint64_t barrier_consumed = 0;
+    std::uint64_t syscall_inserted = 0;
+    std::uint64_t syscall_consumed = 0;
+    std::uint64_t mailbox_pushed = 0;
+    std::uint64_t mailbox_popped = 0;
+    std::uint64_t mailbox_dropped = 0;
+    int initial_tokens = 0;
+    FaultInjector::NodeLedger ledger;
+  };
+
+  void check_pair(int node, const SlipPair& p, const FaultInjector& inj,
+                  const char* when);
+  void expect(bool condition, int node, const char* when,
+              const std::string& detail);
+
+  bool enabled_;
+  std::vector<Baseline> base_;
+  std::vector<bool> recovery_outstanding_;
+  std::vector<std::string> violations_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace ssomp::slip

@@ -1,0 +1,151 @@
+#include "slip/faultinject.hpp"
+
+#include <charconv>
+
+namespace ssomp::slip {
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kSkipBarrier,      FaultKind::kDuplicateBarrier,
+      FaultKind::kStarveToken,      FaultKind::kExtraToken,
+      FaultKind::kRecoverInConsume, FaultKind::kRecoverInSyscall,
+      FaultKind::kCorruptForward,
+  };
+  return kinds;
+}
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto* end = s.data() + s.size();
+  const auto r = std::from_chars(s.data(), end, out);
+  return r.ec == std::errc{} && r.ptr == end;
+}
+
+}  // namespace
+
+FaultPlanParse parse_fault_plan(std::string_view text) {
+  FaultPlanParse result;
+  std::vector<std::string_view> fields;
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    fields.push_back(text.substr(0, comma));
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+  }
+  if (fields.empty() || fields.size() > 4) {
+    result.error = "expected KIND[,NODE[,VISIT[,SEED]]]";
+    return result;
+  }
+  bool known = false;
+  for (FaultKind k : all_fault_kinds()) {
+    if (fields[0] == to_string(k)) {
+      result.value.kind = k;
+      known = true;
+      break;
+    }
+  }
+  if (!known && fields[0] != "none") {
+    result.error = "unknown fault kind '" + std::string(fields[0]) + "'";
+    return result;
+  }
+  std::uint64_t v = 0;
+  if (fields.size() > 1) {
+    if (!parse_u64(fields[1], v)) {
+      result.error = "bad node '" + std::string(fields[1]) + "'";
+      return result;
+    }
+    result.value.node = static_cast<int>(v);
+  }
+  if (fields.size() > 2) {
+    if (!parse_u64(fields[2], v) || v == 0) {
+      result.error = "bad visit '" + std::string(fields[2]) + "' (1-based)";
+      return result;
+    }
+    result.value.visit = v;
+  }
+  if (fields.size() > 3) {
+    if (!parse_u64(fields[3], v)) {
+      result.error = "bad seed '" + std::string(fields[3]) + "'";
+      return result;
+    }
+    result.value.seed = v;
+  }
+  result.ok = true;
+  return result;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int ncmp)
+    : plan_(plan),
+      ledgers_(static_cast<std::size_t>(ncmp)),
+      site_visits_(static_cast<std::size_t>(ncmp), 0),
+      rng_(plan.seed) {}
+
+bool FaultInjector::fire(FaultKind kind, int node) {
+  if (plan_.kind != kind || plan_.node != node || fired_ > 0) return false;
+  if (node < 0 || static_cast<std::size_t>(node) >= site_visits_.size()) {
+    return false;
+  }
+  const std::uint64_t visit = ++site_visits_[static_cast<std::size_t>(node)];
+  if (visit != plan_.visit) return false;
+  ++fired_;
+  return true;
+}
+
+TokenAction FaultInjector::on_r_token_insert(int node) {
+  if (fire(FaultKind::kStarveToken, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].suppressed_inserts;
+    return TokenAction::kSkip;
+  }
+  if (fire(FaultKind::kExtraToken, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].extra_inserts;
+    return TokenAction::kDuplicate;
+  }
+  return TokenAction::kNormal;
+}
+
+TokenAction FaultInjector::on_a_token_consume(int node) {
+  if (fire(FaultKind::kSkipBarrier, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].skipped_consumes;
+    return TokenAction::kSkip;
+  }
+  if (fire(FaultKind::kDuplicateBarrier, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].extra_consumes;
+    return TokenAction::kDuplicate;
+  }
+  return TokenAction::kNormal;
+}
+
+bool FaultInjector::on_r_divergence_probe(int node, bool a_waiting) {
+  // Only visits where the A-stream is actually blocked in consume() are
+  // eligible: the point of the fault is a recovery landing mid-wait.
+  if (plan_.kind != FaultKind::kRecoverInConsume || !a_waiting) return false;
+  if (fire(FaultKind::kRecoverInConsume, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].forced_recoveries;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::on_forward(int node, SlipPair::Mailbox& mb,
+                               bool a_waiting) {
+  if (plan_.kind == FaultKind::kRecoverInSyscall && a_waiting &&
+      fire(FaultKind::kRecoverInSyscall, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].forced_recoveries;
+    return true;
+  }
+  if (fire(FaultKind::kCorruptForward, node)) {
+    ++ledgers_[static_cast<std::size_t>(node)].corrupted_forwards;
+    // Two corruption shapes, both memory-safe for the speculative
+    // consumer (bounds never widen): an empty chunk (a stale re-read of
+    // the previous decision's end), or a premature end-of-loop marker.
+    if ((rng_.next() & 1) != 0) {
+      mb.hi = mb.lo;  // empty chunk
+    } else {
+      mb = SlipPair::Mailbox{0, 0, /*last=*/true};  // premature last
+    }
+  }
+  return false;
+}
+
+}  // namespace ssomp::slip

@@ -1,0 +1,140 @@
+// Deterministic fault injection for the slipstream recovery machinery.
+//
+// The paper's correctness story (§2.2, Figure 1) rests on the token-
+// semaphore protocol and the A-stream recovery routine, but in normal
+// operation those paths are exercised only incidentally. The injector
+// deliberately forces the failure modes the protocol must survive:
+//
+//   * the A-stream skipping or duplicating a barrier token consume,
+//   * the R-stream starving or over-inserting barrier tokens,
+//   * a recovery request landing while the A-stream is blocked in a
+//     token consume() or in the syscall-semaphore wait,
+//   * a corrupted forwarded scheduling decision (§3.2.2 mailbox).
+//
+// Faults fire deterministically: the injector counts visits of each
+// injection site per CMP and fires the planned fault exactly once, at the
+// Nth visit on the targeted node. Value corruption is driven by the
+// deterministic sim/rng generator seeded from the plan, so every injected
+// run is exactly reproducible. Everything the injector does is recorded
+// in a per-node ledger so the invariant auditor (slip/audit.hpp) can
+// compensate its accounting checks for the injected deltas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "slip/pair.hpp"
+
+namespace ssomp::slip {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kSkipBarrier,       // A-stream skips the token consume at the Nth barrier
+  kDuplicateBarrier,  // A-stream consumes an extra token at the Nth barrier
+  kStarveToken,       // R-stream suppresses its Nth token insertion
+  kExtraToken,        // R-stream inserts a surplus token at its Nth barrier
+  kRecoverInConsume,  // request recovery while A blocks in a token consume
+  kRecoverInSyscall,  // request recovery while A blocks in the syscall wait
+  kCorruptForward,    // corrupt the Nth forwarded scheduling decision
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kSkipBarrier: return "skip-barrier";
+    case FaultKind::kDuplicateBarrier: return "duplicate-barrier";
+    case FaultKind::kStarveToken: return "starve-token";
+    case FaultKind::kExtraToken: return "extra-token";
+    case FaultKind::kRecoverInConsume: return "recover-in-consume";
+    case FaultKind::kRecoverInSyscall: return "recover-in-syscall";
+    case FaultKind::kCorruptForward: return "corrupt-forward";
+  }
+  return "?";
+}
+
+/// Every injectable kind, in declaration order (for sweeps and --help).
+[[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+/// One planned fault: `kind` at the `visit`-th eligible visit of the
+/// injection site on CMP `node` (1-based; recovery-forcing kinds count
+/// only visits where the A-stream is actually blocked in the wait).
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  int node = 0;
+  std::uint64_t visit = 1;
+  std::uint64_t seed = 0x51195;  // drives corruption value choice
+
+  [[nodiscard]] bool active() const { return kind != FaultKind::kNone; }
+};
+
+struct FaultPlanParse {
+  bool ok = false;
+  FaultPlan value;
+  std::string error;
+};
+
+/// Parses "KIND[,NODE[,VISIT[,SEED]]]", e.g. "starve-token,0,3".
+[[nodiscard]] FaultPlanParse parse_fault_plan(std::string_view text);
+
+/// What the runtime should do at a token-semaphore injection site.
+enum class TokenAction : std::uint8_t { kNormal = 0, kSkip, kDuplicate };
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultPlan{}, 1) {}
+  FaultInjector(const FaultPlan& plan, int ncmp);
+
+  /// Per-node record of every injected perturbation, used by the
+  /// invariant auditor to compensate its accounting cross-checks.
+  struct NodeLedger {
+    std::uint64_t skipped_consumes = 0;
+    std::uint64_t extra_consumes = 0;
+    std::uint64_t suppressed_inserts = 0;
+    std::uint64_t extra_inserts = 0;
+    std::uint64_t forced_recoveries = 0;
+    std::uint64_t corrupted_forwards = 0;
+  };
+
+  // --- injection-site hooks (called by the runtime) ---
+
+  /// R-stream at a barrier, about to insert its token.
+  [[nodiscard]] TokenAction on_r_token_insert(int node);
+
+  /// A-stream at a barrier, about to consume its token.
+  [[nodiscard]] TokenAction on_a_token_consume(int node);
+
+  /// R-stream divergence-probe point; `a_waiting` is whether the paired
+  /// A-stream is currently blocked in a barrier-token consume. Returns
+  /// true when the runtime should force request_recovery now.
+  [[nodiscard]] bool on_r_divergence_probe(int node, bool a_waiting);
+
+  /// R-stream about to forward a scheduling decision; `a_waiting` is
+  /// whether the A-stream is blocked in the syscall-semaphore wait.
+  /// May corrupt `mb` in place; returns true when the runtime should
+  /// force request_recovery before inserting the syscall token.
+  [[nodiscard]] bool on_forward(int node, SlipPair::Mailbox& mb,
+                                bool a_waiting);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] const NodeLedger& ledger(int node) const {
+    return ledgers_.at(static_cast<std::size_t>(node));
+  }
+
+ private:
+  /// Counts one eligible visit of `kind`'s site on `node`; true when the
+  /// planned fault fires here (right kind, right node, Nth visit, not
+  /// yet fired).
+  bool fire(FaultKind kind, int node);
+
+  FaultPlan plan_{};
+  std::vector<NodeLedger> ledgers_;
+  std::vector<std::uint64_t> site_visits_;  // per node, for the planned site
+  std::uint64_t fired_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace ssomp::slip

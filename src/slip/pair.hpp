@@ -11,9 +11,11 @@
 //   * divergence/recovery bookkeeping.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 
+#include "sim/check.hpp"
 #include "sim/types.hpp"
 #include "slip/tokens.hpp"
 
@@ -38,6 +40,12 @@ class SlipPair {
 
   [[nodiscard]] TokenSemaphore& barrier_sem() { return barrier_sem_; }
   [[nodiscard]] TokenSemaphore& syscall_sem() { return syscall_sem_; }
+  [[nodiscard]] const TokenSemaphore& barrier_sem() const {
+    return barrier_sem_;
+  }
+  [[nodiscard]] const TokenSemaphore& syscall_sem() const {
+    return syscall_sem_;
+  }
 
   /// Simulated address of the scheduling-decision mailbox.
   [[nodiscard]] sim::Addr mailbox_addr() const { return mailbox_addr_; }
@@ -51,12 +59,52 @@ class SlipPair {
     long hi = 0;
     bool last = false;  // no more chunks in this loop
   };
-  std::deque<Mailbox> mailbox_queue;
 
-  /// Prepares the pair for a new parallel region.
+  /// Host-side bound on outstanding forwarded scheduling decisions; past
+  /// it the stalest decision is dropped (and accounted, so the auditor
+  /// can reconcile queue depth against the syscall-token count).
+  static constexpr std::size_t kMailboxDepth = 1024;
+
+  void mailbox_push(const Mailbox& mb) {
+    if (mailbox_queue_.size() >= kMailboxDepth) {
+      mailbox_queue_.pop_front();
+      ++mailbox_dropped_;
+    }
+    mailbox_queue_.push_back(mb);
+    ++mailbox_pushed_;
+  }
+
+  [[nodiscard]] Mailbox mailbox_pop() {
+    SSOMP_CHECK(!mailbox_queue_.empty());
+    const Mailbox mb = mailbox_queue_.front();
+    mailbox_queue_.pop_front();
+    ++mailbox_popped_;
+    return mb;
+  }
+
+  [[nodiscard]] bool mailbox_empty() const { return mailbox_queue_.empty(); }
+  [[nodiscard]] std::size_t mailbox_size() const {
+    return mailbox_queue_.size();
+  }
+  [[nodiscard]] std::uint64_t mailbox_pushed() const {
+    return mailbox_pushed_;
+  }
+  [[nodiscard]] std::uint64_t mailbox_popped() const {
+    return mailbox_popped_;
+  }
+  [[nodiscard]] std::uint64_t mailbox_dropped() const {
+    return mailbox_dropped_;
+  }
+
+  /// Prepares the pair for a new parallel region. Clears the mailbox:
+  /// a recovery can unwind the A-stream with forwarded-but-unconsumed
+  /// decisions still queued, and a stale entry surviving into the next
+  /// region would pair with the wrong syscall token and poison that
+  /// region's dynamic schedule.
   void reset_for_region(int initial_tokens) {
     barrier_sem_.initialize(initial_tokens);
     syscall_sem_.initialize(0);
+    mailbox_queue_.clear();
     initial_tokens_ = initial_tokens;
     r_barriers_ = 0;
     a_barriers_ = 0;
@@ -74,11 +122,15 @@ class SlipPair {
 
   /// R-side: flags the A-stream as diverged and kicks it out of any
   /// semaphore wait. The A-stream observes the flag at its next simulated
-  /// operation and unwinds via RecoveryException.
+  /// operation and unwinds via RecoveryException. Repeat requests do not
+  /// count a new recovery but DO re-poison: the first poison can land
+  /// while the A-stream is not waiting (or already woken), and a later
+  /// request must still be able to kick a wait entered afterwards.
   void request_recovery(sim::SimCpu& r) {
-    if (recovery_requested_) return;
-    recovery_requested_ = true;
-    ++recoveries_;
+    if (!recovery_requested_) {
+      recovery_requested_ = true;
+      ++recoveries_;
+    }
     barrier_sem_.poison(r);
     syscall_sem_.poison(r);
   }
@@ -102,6 +154,10 @@ class SlipPair {
   TokenSemaphore barrier_sem_;
   TokenSemaphore syscall_sem_;
   sim::Addr mailbox_addr_;
+  std::deque<Mailbox> mailbox_queue_;
+  std::uint64_t mailbox_pushed_ = 0;
+  std::uint64_t mailbox_popped_ = 0;
+  std::uint64_t mailbox_dropped_ = 0;
   int initial_tokens_ = 0;
   std::uint64_t r_barriers_ = 0;
   std::uint64_t a_barriers_ = 0;

@@ -21,12 +21,16 @@ class TokenSemaphore {
   explicit TokenSemaphore(sim::Cycles access_cycles = 3)
       : access_cycles_(access_cycles) {}
 
-  /// (Re)initializes the counter; legal only with no waiter.
+  /// (Re)initializes the counter; legal only with no waiter. A pending
+  /// poison can only exist while its waiter is still registered (the
+  /// waiter clears the flag when it resumes), so by the time re-
+  /// initialization is legal the flag must already be clear — assert
+  /// that instead of silently masking a lost poison.
   void initialize(int tokens) {
     SSOMP_CHECK(waiter_ == nullptr);
+    SSOMP_CHECK(!poisoned_);
     SSOMP_CHECK(tokens >= 0);
     count_ = tokens;
-    poisoned_ = false;
   }
 
   /// Consumes one token, blocking the calling CPU while the count is zero.
@@ -77,11 +81,17 @@ class TokenSemaphore {
 
   /// Wakes a blocked consumer *without* providing a token; its consume()
   /// returns false. Used to kick a waiting A-stream into recovery.
+  ///
+  /// The flag is latched for any *registered* waiter, not only a blocked
+  /// one: a waiter that insert() has already woken but that has not yet
+  /// resumed (wake() clears blocked_ immediately; the fiber resumes at a
+  /// later event) must still observe a poison arriving in that window —
+  /// otherwise the poison is silently lost and a later re-request cannot
+  /// reach a waiter that blocked again in the meantime.
   void poison(sim::SimCpu& waker) {
-    if (waiter_ != nullptr && waiter_->blocked()) {
-      poisoned_ = true;
-      waiter_->wake(access_cycles_);
-    }
+    if (waiter_ == nullptr) return;
+    poisoned_ = true;
+    if (waiter_->blocked()) waiter_->wake(access_cycles_);
     (void)waker;
   }
 

@@ -21,6 +21,7 @@ struct Harness {
     rt::RuntimeOptions opts;
     opts.mode = mode;
     opts.slip = slip;
+    opts.audit = true;  // every test run doubles as a clean-run audit
     runtime = std::make_unique<rt::Runtime>(*machine, opts);
   }
 
@@ -28,6 +29,7 @@ struct Harness {
     machine::MachineConfig mc;
     mc.ncmp = ncmp;
     machine = std::make_unique<machine::Machine>(mc);
+    opts.audit = true;
     runtime = std::make_unique<rt::Runtime>(*machine, opts);
   }
 

@@ -1,6 +1,8 @@
 // ProgressFlag point-to-point synchronization tests.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "rt/pointsync.hpp"
 #include "rt/shared.hpp"
 #include "tests/helpers.hpp"
@@ -80,6 +82,104 @@ TEST(ProgressFlagTest, AStreamSkipsPostAndWait) {
     });
   });
   EXPECT_EQ(a_passed, 2);
+}
+
+TEST(ProgressFlagTest, ParkedWaiterLeavesNoListEntry) {
+  // The producer posts long after the consumer exhausted its spin probes
+  // (kSpinProbes x kBackoff << 50000 cycles), so the consumer must have
+  // parked in the waiter list — and its entry must be gone once released.
+  Harness h(2, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(50000);
+        flag.post(t, 1);
+      } else {
+        flag.wait_ge(t, 1);
+        EXPECT_EQ(flag.waiter_count(), 0u);
+      }
+    });
+  });
+  EXPECT_EQ(flag.waiter_count(), 0u);
+}
+
+TEST(ProgressFlagTest, SatisfiedThenReblockedWaiterIsNotLeaked) {
+  // A waiter that is woken and immediately waits again for a higher
+  // value re-enters the list; the wake/re-park cycle must neither lose
+  // the second wakeup nor leave duplicate entries behind.
+  Harness h(2, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  std::vector<long> observed;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(50000);
+        flag.post(t, 1);
+        t.compute(50000);
+        flag.post(t, 2);
+      } else {
+        flag.wait_ge(t, 1);
+        observed.push_back(flag.value());
+        flag.wait_ge(t, 2);  // re-parks in the same flag
+        observed.push_back(flag.value());
+      }
+    });
+  });
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_GE(observed[0], 1);
+  EXPECT_GE(observed[1], 2);
+  EXPECT_EQ(flag.waiter_count(), 0u);
+}
+
+TEST(ProgressFlagTest, OnePostReleasesAllSatisfiedWaiters) {
+  // A single post that satisfies several parked waiters at once must
+  // wake every one of them and empty the list (no partial wake, no
+  // stale entries for the still-unsatisfied).
+  Harness h(4, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  int released = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(60000);
+        flag.post(t, 3);  // satisfies thresholds 1..3 in one shot
+      } else {
+        flag.wait_ge(t, t.id());
+        ++released;
+      }
+    });
+  });
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(flag.waiter_count(), 0u);
+}
+
+TEST(ProgressFlagTest, UnsatisfiedWaiterStaysParkedAcrossPost) {
+  // A post below a parked waiter's threshold wakes others but must keep
+  // that waiter's entry intact for the later post that satisfies it.
+  Harness h(4, ExecutionMode::kSingle);
+  ProgressFlag flag(*h.runtime, "f");
+  std::vector<int> released;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.id() == 0) {
+        t.compute(60000);
+        flag.post(t, 1);  // releases only the threshold-1 waiter
+        t.compute(60000);
+        flag.post(t, 3);  // releases the rest
+      } else {
+        flag.wait_ge(t, t.id());
+        released.push_back(t.id());
+      }
+    });
+  });
+  // Thread 1 is released by the first post, strictly before the others;
+  // the relative order of waiters freed by the same post is unspecified.
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0], 1);
+  EXPECT_EQ(std::set<int>(released.begin(), released.end()),
+            (std::set<int>{1, 2, 3}));
+  EXPECT_EQ(flag.waiter_count(), 0u);
 }
 
 TEST(ProgressFlagTest, WaitTimeAttributedToLockCategory) {

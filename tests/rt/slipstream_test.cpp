@@ -275,6 +275,81 @@ TEST(SlipstreamTest, DivergenceInTokenWaitIsPoisoned) {
   EXPECT_GE(h.runtime->slip_stats().recoveries, 1u);
 }
 
+TEST(SlipstreamTest, RecoveryDoesNotLeakMailboxIntoNextRegion) {
+  // Regression: a recovery that unwinds the A-stream mid-dynamic-loop
+  // leaves forwarded-but-unconsumed scheduling decisions queued. They
+  // must not survive into the next region, where they would pair with
+  // the wrong syscall tokens and shift every subsequent chunk.
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::one_token_local();
+  o.fault = {.kind = slip::FaultKind::kRecoverInSyscall,
+             .node = 0,
+             .visit = 1};
+  Harness h(2, o);
+  ScheduleClause dyn;
+  dyn.kind = ScheduleKind::kDynamic;
+  dyn.chunk = 5;
+  std::map<int, std::vector<std::pair<long, long>>> r_chunks, a_chunks;
+  h.run([&](SerialCtx& sc) {
+    // Region 1: the injected fault forces recovery while the A-stream is
+    // blocked in the syscall wait, abandoning queued decisions.
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_chunks(0, 200, dyn, [&](long, long) { t.compute(50); });
+    });
+    // Region 2: forwarding must be exact again.
+    sc.parallel([&](ThreadCtx& t) {
+      t.for_chunks(0, 200, dyn, [&](long lo, long hi) {
+        if (t.is_a_stream()) {
+          a_chunks[t.id()].push_back({lo, hi});
+        } else {
+          r_chunks[t.id()].push_back({lo, hi});
+        }
+      });
+    });
+  });
+  EXPECT_EQ(h.runtime->fault_injector().fired(), 1u);
+  EXPECT_GE(h.runtime->slip_stats().recoveries, 1u);
+  ASSERT_FALSE(r_chunks.empty());
+  for (const auto& [tid, chunks] : r_chunks) {
+    EXPECT_EQ(a_chunks[tid], chunks) << "thread " << tid;
+  }
+  EXPECT_TRUE(h.runtime->auditor().ok())
+      << (h.runtime->auditor().violations().empty()
+              ? ""
+              : h.runtime->auditor().violations().front());
+}
+
+TEST(SlipstreamTest, InjectedStarveRecoversViaBackstop) {
+  // A starved token leaves the A-stream one session short; the divergence
+  // machinery (threshold probe or end-of-run backstop) must rescue it and
+  // the next region must run normally.
+  RuntimeOptions o;
+  o.mode = ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::zero_token_global();
+  o.fault = {.kind = slip::FaultKind::kStarveToken, .node = 0, .visit = 2};
+  Harness h(2, o);
+  int a_completions = 0;
+  h.run([&](SerialCtx& sc) {
+    sc.parallel([&](ThreadCtx& t) {
+      for (int b = 0; b < 4; ++b) {
+        t.compute(100);
+        t.barrier();
+      }
+    });
+    sc.parallel([&](ThreadCtx& t) {
+      if (t.is_a_stream()) ++a_completions;
+      t.barrier();
+    });
+  });
+  EXPECT_EQ(h.runtime->fault_injector().fired(), 1u);
+  EXPECT_EQ(a_completions, 2);
+  EXPECT_TRUE(h.runtime->auditor().ok())
+      << (h.runtime->auditor().violations().empty()
+              ? ""
+              : h.runtime->auditor().violations().front());
+}
+
 TEST(SlipstreamTest, SingleSkippedByAStream) {
   Harness h(2, ExecutionMode::kSlipstream);
   int a_in_single = 0;

@@ -1,0 +1,128 @@
+// Invariant-auditor tests (slip/audit.hpp): the auditor must pass clean
+// protocol traces, compensate for injected faults via the ledger, and
+// flag genuinely broken accounting.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "slip/audit.hpp"
+#include "slip/faultinject.hpp"
+#include "slip/pair.hpp"
+
+namespace ssomp::slip {
+namespace {
+
+using sim::TimeCategory;
+
+TEST(InvariantAuditorTest, DisabledAuditorChecksNothing) {
+  InvariantAuditor aud(false, 1);
+  aud.on_recovery_acked(0);  // would be a violation when enabled
+  EXPECT_TRUE(aud.ok());
+  EXPECT_EQ(aud.checks_performed(), 0u);
+}
+
+TEST(InvariantAuditorTest, CleanRegionLifecyclePasses) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  FaultInjector inj;  // inactive plan
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(1);
+  aud.on_region_reset(0, p, inj);
+  r.start([&] {
+    // One R barrier (one insert), two A barriers: initial token + the
+    // inserted one are both consumed, leaving the count at zero.
+    p.note_r_barrier();
+    p.barrier_sem().insert(r);
+    EXPECT_TRUE(p.barrier_sem().try_consume(r));
+    p.note_a_barrier();
+    EXPECT_TRUE(p.barrier_sem().try_consume(r));
+    p.note_a_barrier();
+  });
+  e.run();
+  aud.on_region_end(0, p, inj);
+  aud.on_run_end(0, p, inj);
+  EXPECT_TRUE(aud.ok()) << aud.summary();
+  EXPECT_GT(aud.checks_performed(), 0u);
+}
+
+TEST(InvariantAuditorTest, DetectsConsumeVisitMismatch) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  FaultInjector inj;
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(1);
+  aud.on_region_reset(0, p, inj);
+  r.start([&] {
+    // A consume with no matching note_a_barrier: the per-visit accounting
+    // no longer agrees with the semaphore totals.
+    EXPECT_TRUE(p.barrier_sem().try_consume(r));
+  });
+  e.run();
+  aud.on_region_end(0, p, inj);
+  EXPECT_FALSE(aud.ok());
+  EXPECT_FALSE(aud.violations().empty());
+}
+
+TEST(InvariantAuditorTest, LedgerCompensatesInjectedStarve) {
+  // An R-side insert suppressed by the injector breaks the raw
+  // insert==visits identity, but the ledger records the suppression and
+  // the compensated audit must pass.
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  FaultInjector inj({.kind = FaultKind::kStarveToken, .node = 0, .visit = 1},
+                    1);
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(1);
+  aud.on_region_reset(0, p, inj);
+  r.start([&] {
+    p.note_r_barrier();
+    // The injector suppresses this insert; the runtime honours kSkip.
+    if (inj.on_r_token_insert(0) != TokenAction::kSkip) {
+      p.barrier_sem().insert(r);
+    }
+    EXPECT_TRUE(p.barrier_sem().try_consume(r));  // A takes initial token
+    p.note_a_barrier();
+  });
+  e.run();
+  aud.on_region_end(0, p, inj);
+  EXPECT_TRUE(aud.ok()) << aud.summary();
+}
+
+TEST(InvariantAuditorTest, DetectsStaleMailboxAtRegionReset) {
+  SlipPair p(0, 1, 3, 0x8000);
+  FaultInjector inj;
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(0);
+  p.mailbox_push({0, 10, false});  // stale entry surviving into the reset
+  aud.on_region_reset(0, p, inj);
+  EXPECT_FALSE(aud.ok());
+}
+
+TEST(InvariantAuditorTest, RecoveryOrderingEnforced) {
+  InvariantAuditor aud(true, 2);
+  aud.on_recovery_requested(1);
+  aud.on_recovery_acked(1);
+  EXPECT_TRUE(aud.ok());
+  aud.on_recovery_acked(1);  // ack with nothing outstanding
+  EXPECT_FALSE(aud.ok());
+}
+
+TEST(InvariantAuditorTest, DoubleRequestWithoutAckIsViolation) {
+  InvariantAuditor aud(true, 1);
+  aud.on_recovery_requested(0);
+  aud.on_recovery_requested(0);
+  EXPECT_FALSE(aud.ok());
+}
+
+TEST(InvariantAuditorTest, SummaryReportsCountsAndFirstViolation) {
+  InvariantAuditor aud(true, 1);
+  EXPECT_NE(aud.summary().find("0 violations"), std::string::npos);
+  aud.on_recovery_acked(0);
+  EXPECT_NE(aud.summary().find("1 violation"), std::string::npos);
+  EXPECT_NE(aud.summary().find("acknowledgement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssomp::slip

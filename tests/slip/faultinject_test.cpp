@@ -1,0 +1,140 @@
+// Deterministic fault-injection layer tests (slip/faultinject.hpp).
+#include <gtest/gtest.h>
+
+#include "slip/faultinject.hpp"
+
+namespace ssomp::slip {
+namespace {
+
+TEST(FaultPlanParseTest, KindOnlyUsesDefaults) {
+  const auto p = parse_fault_plan("starve-token");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value.kind, FaultKind::kStarveToken);
+  EXPECT_EQ(p.value.node, 0);
+  EXPECT_EQ(p.value.visit, 1u);
+  EXPECT_TRUE(p.value.active());
+}
+
+TEST(FaultPlanParseTest, FullSpecParses) {
+  const auto p = parse_fault_plan("corrupt-forward,3,7,42");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value.kind, FaultKind::kCorruptForward);
+  EXPECT_EQ(p.value.node, 3);
+  EXPECT_EQ(p.value.visit, 7u);
+  EXPECT_EQ(p.value.seed, 42u);
+}
+
+TEST(FaultPlanParseTest, NoneIsInactive) {
+  const auto p = parse_fault_plan("none");
+  ASSERT_TRUE(p.ok);
+  EXPECT_FALSE(p.value.active());
+}
+
+TEST(FaultPlanParseTest, RejectsBadInput) {
+  EXPECT_FALSE(parse_fault_plan("frobnicate").ok);
+  EXPECT_FALSE(parse_fault_plan("skip-barrier,abc").ok);
+  EXPECT_FALSE(parse_fault_plan("skip-barrier,0,0").ok);  // visit is 1-based
+  EXPECT_FALSE(parse_fault_plan("skip-barrier,0,1,nan").ok);
+  EXPECT_FALSE(parse_fault_plan("skip-barrier,0,1,2,3").ok);
+}
+
+TEST(FaultPlanParseTest, EveryKindRoundTrips) {
+  for (FaultKind k : all_fault_kinds()) {
+    const auto p = parse_fault_plan(to_string(k));
+    EXPECT_TRUE(p.ok) << to_string(k);
+    EXPECT_EQ(p.value.kind, k);
+  }
+  EXPECT_EQ(all_fault_kinds().size(), 7u);
+}
+
+TEST(FaultInjectorTest, InactivePlanNeverFires) {
+  FaultInjector inj(FaultPlan{}, 2);
+  SlipPair::Mailbox mb{0, 10, false};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kNormal);
+    EXPECT_EQ(inj.on_a_token_consume(1), TokenAction::kNormal);
+    EXPECT_FALSE(inj.on_r_divergence_probe(0, true));
+    EXPECT_FALSE(inj.on_forward(0, mb, true));
+  }
+  EXPECT_EQ(inj.fired(), 0u);
+  EXPECT_EQ(mb.hi, 10);
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnceAtNthVisitOnTargetNode) {
+  FaultInjector inj({.kind = FaultKind::kSkipBarrier, .node = 1, .visit = 3},
+                    2);
+  // Wrong node: never fires, does not advance the target's visit count.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inj.on_a_token_consume(0), TokenAction::kNormal);
+  }
+  EXPECT_EQ(inj.on_a_token_consume(1), TokenAction::kNormal);  // visit 1
+  EXPECT_EQ(inj.on_a_token_consume(1), TokenAction::kNormal);  // visit 2
+  EXPECT_EQ(inj.on_a_token_consume(1), TokenAction::kSkip);    // visit 3
+  EXPECT_EQ(inj.on_a_token_consume(1), TokenAction::kNormal);  // after
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_EQ(inj.ledger(1).skipped_consumes, 1u);
+  EXPECT_EQ(inj.ledger(0).skipped_consumes, 0u);
+}
+
+TEST(FaultInjectorTest, TokenKindsMapToActionsAndLedger) {
+  {
+    FaultInjector inj({.kind = FaultKind::kDuplicateBarrier}, 1);
+    EXPECT_EQ(inj.on_a_token_consume(0), TokenAction::kDuplicate);
+    EXPECT_EQ(inj.ledger(0).extra_consumes, 1u);
+  }
+  {
+    FaultInjector inj({.kind = FaultKind::kStarveToken}, 1);
+    EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kSkip);
+    EXPECT_EQ(inj.ledger(0).suppressed_inserts, 1u);
+  }
+  {
+    FaultInjector inj({.kind = FaultKind::kExtraToken}, 1);
+    EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kDuplicate);
+    EXPECT_EQ(inj.ledger(0).extra_inserts, 1u);
+  }
+}
+
+TEST(FaultInjectorTest, RecoverInConsumeCountsOnlyWaitingVisits) {
+  FaultInjector inj(
+      {.kind = FaultKind::kRecoverInConsume, .node = 0, .visit = 2}, 1);
+  // Probes with the A-stream not blocked are not eligible visits.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(inj.on_r_divergence_probe(0, /*a_waiting=*/false));
+  }
+  EXPECT_FALSE(inj.on_r_divergence_probe(0, true));  // waiting visit 1
+  EXPECT_TRUE(inj.on_r_divergence_probe(0, true));   // waiting visit 2
+  EXPECT_FALSE(inj.on_r_divergence_probe(0, true));  // already fired
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_EQ(inj.ledger(0).forced_recoveries, 1u);
+}
+
+TEST(FaultInjectorTest, RecoverInSyscallLeavesMailboxIntact) {
+  FaultInjector inj({.kind = FaultKind::kRecoverInSyscall}, 1);
+  SlipPair::Mailbox mb{5, 15, false};
+  EXPECT_FALSE(inj.on_forward(0, mb, /*a_waiting=*/false));  // not eligible
+  EXPECT_TRUE(inj.on_forward(0, mb, /*a_waiting=*/true));
+  EXPECT_EQ(mb.lo, 5);
+  EXPECT_EQ(mb.hi, 15);
+  EXPECT_EQ(inj.ledger(0).forced_recoveries, 1u);
+}
+
+TEST(FaultInjectorTest, CorruptForwardIsMemorySafeAndDeterministic) {
+  auto corrupt_once = [](std::uint64_t seed) {
+    FaultInjector inj({.kind = FaultKind::kCorruptForward, .seed = seed}, 1);
+    SlipPair::Mailbox mb{5, 15, false};
+    EXPECT_FALSE(inj.on_forward(0, mb, false));  // corruption, no recovery
+    EXPECT_EQ(inj.ledger(0).corrupted_forwards, 1u);
+    return mb;
+  };
+  const auto a = corrupt_once(123);
+  const auto b = corrupt_once(123);
+  // Same seed, same corruption (reproducible runs).
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.last, b.last);
+  // Both corruption shapes shrink the chunk; bounds never widen.
+  EXPECT_TRUE(a.hi == a.lo || a.last);
+}
+
+}  // namespace
+}  // namespace ssomp::slip

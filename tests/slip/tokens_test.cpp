@@ -171,6 +171,135 @@ TEST(SlipPairTest, RecoveryLifecycle) {
   EXPECT_FALSE(p.a_recovered_this_region());
 }
 
+TEST(TokenSemaphoreTest, PoisonInWokenNotResumedWindowStillPoisons) {
+  // wake() clears blocked_ immediately but the waiter's fiber resumes at
+  // a later event. A poison landing in that window (after an insert has
+  // already woken the waiter) must still be observed: consume() returns
+  // false and the inserted token is retained.
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(0);
+  bool got = true;
+  a.start([&] { got = sem.consume(a, TimeCategory::kTokenWait); });
+  r.start([&] {
+    r.consume(100, TimeCategory::kBusy);
+    sem.insert(r);   // wakes A; A has not resumed yet
+    sem.poison(r);   // must latch, not get lost
+  });
+  e.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(sem.count(), 1);  // token survives the aborted consume
+  EXPECT_EQ(sem.total_consumed(), 0u);
+}
+
+TEST(TokenSemaphoreTest, PoisonThenInsertBeforeResumeStillPoisons) {
+  // Reverse interleaving: the poison wakes the waiter, then a token is
+  // inserted before the waiter resumes. The poison must still win.
+  sim::Engine e;
+  sim::SimCpu& a = e.add_cpu("a");
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(0);
+  bool got = true;
+  a.start([&] { got = sem.consume(a, TimeCategory::kTokenWait); });
+  r.start([&] {
+    r.consume(100, TimeCategory::kBusy);
+    sem.poison(r);
+    sem.insert(r);
+  });
+  e.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(sem.count(), 1);
+}
+
+TEST(TokenSemaphoreTest, PoisonWithNoWaiterIsNoOpAndNotSticky) {
+  // A poison with no registered waiter must not latch: a later consume
+  // with a token available succeeds normally.
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  TokenSemaphore sem(3);
+  sem.initialize(1);
+  bool got = false;
+  r.start([&] {
+    sem.poison(r);  // nobody waiting
+    got = sem.consume(r, TimeCategory::kTokenWait);
+  });
+  e.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(sem.count(), 0);
+}
+
+TEST(SlipPairTest, RepeatRecoveryRequestRePoisonsLaterWait) {
+  // The first request can land while the A-stream is not waiting (its
+  // poison is a no-op). A repeat request must still be able to kick a
+  // wait entered afterwards, even though it does not count a new
+  // recovery.
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  sim::SimCpu& a = e.add_cpu("a");
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  bool got = true;
+  r.start([&] {
+    p.request_recovery(r);  // A not waiting yet: poison evaporates
+    r.consume(500, TimeCategory::kBusy);
+    p.request_recovery(r);  // repeat: must re-poison the now-blocked wait
+  });
+  a.start([&] {
+    a.consume(10, TimeCategory::kBusy);
+    got = p.barrier_sem().consume(a, TimeCategory::kTokenWait);
+  });
+  e.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(p.recoveries(), 1u);  // still a single logical recovery
+}
+
+TEST(SlipPairTest, MailboxCountsPushPopDrop) {
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  p.mailbox_push({0, 10, false});
+  p.mailbox_push({10, 20, false});
+  p.mailbox_push({20, 20, true});
+  EXPECT_EQ(p.mailbox_size(), 3u);
+  const auto mb = p.mailbox_pop();
+  EXPECT_EQ(mb.lo, 0);
+  EXPECT_EQ(mb.hi, 10);
+  EXPECT_EQ(p.mailbox_pushed(), 3u);
+  EXPECT_EQ(p.mailbox_popped(), 1u);
+  EXPECT_EQ(p.mailbox_dropped(), 0u);
+  EXPECT_EQ(p.mailbox_size(), 2u);
+}
+
+TEST(SlipPairTest, MailboxDropsStalestPastDepthAndAccountsIt) {
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  const auto depth = SlipPair::kMailboxDepth;
+  for (std::size_t i = 0; i < depth + 2; ++i) {
+    p.mailbox_push({static_cast<long>(i), static_cast<long>(i + 1), false});
+  }
+  EXPECT_EQ(p.mailbox_size(), depth);
+  EXPECT_EQ(p.mailbox_dropped(), 2u);
+  // The stalest entries were dropped: the head is now entry #2.
+  EXPECT_EQ(p.mailbox_pop().lo, 2);
+}
+
+TEST(SlipPairTest, ResetForRegionClearsMailbox) {
+  // Regression: a recovery can unwind the A-stream with forwarded-but-
+  // unconsumed decisions still queued; reset_for_region must clear them
+  // or the next region's dynamic schedule pairs tokens with stale chunks.
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  p.mailbox_push({0, 10, false});
+  p.mailbox_push({10, 20, true});
+  p.reset_for_region(1);
+  EXPECT_TRUE(p.mailbox_empty());
+  EXPECT_EQ(p.mailbox_size(), 0u);
+  // Cumulative counters survive (the auditor diffs them across regions).
+  EXPECT_EQ(p.mailbox_pushed(), 2u);
+}
+
 TEST(SlipConfigTest, PaperConfigurations) {
   const auto l1 = SlipstreamConfig::one_token_local();
   EXPECT_EQ(l1.type, SyncType::kLocal);

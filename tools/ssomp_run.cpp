@@ -4,10 +4,14 @@
 //             [--sync global|local] [--tokens N] [--ncmp N]
 //             [--sched static|dynamic|guided|affinity[,CHUNK]]
 //             [--scale tiny|bench] [--env OMP_SLIPSTREAM-value]
-//             [--self-invalidation] [--json]
+//             [--self-invalidation] [--divergence N]
+//             [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit] [--json]
 //
 // Runs one workload on one configuration and prints either a summary
-// table or a machine-readable JSON object.
+// table or a machine-readable JSON object. --inject deterministically
+// fires one fault into the slipstream recovery machinery (see
+// docs/FAULTS.md); --audit enables the token/mailbox/recovery invariant
+// auditor (always on in debug builds) and fails the run on violations.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,7 +31,11 @@ namespace {
       "usage: ssomp_run [--app NAME] [--mode single|double|slipstream]\n"
       "                 [--sync global|local] [--tokens N] [--ncmp N]\n"
       "                 [--sched KIND[,CHUNK]] [--scale tiny|bench]\n"
-      "                 [--env VALUE] [--self-invalidation] [--json]\n");
+      "                 [--env VALUE] [--self-invalidation] [--json]\n"
+      "                 [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit]\n"
+      "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
+      "               extra-token recover-in-consume recover-in-syscall\n"
+      "               corrupt-forward\n");
   std::exit(2);
 }
 
@@ -44,6 +52,8 @@ int main(int argc, char** argv) {
   bool tiny = false;
   bool json = false;
   bool self_inval = false;
+  slip::FaultPlan fault{};
+  bool audit = slip::kAuditDefaultOn;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +79,13 @@ int main(int argc, char** argv) {
       env = value();
     } else if (arg == "--self-invalidation") {
       self_inval = true;
+    } else if (arg == "--inject") {
+      const auto parsed = slip::parse_fault_plan(value());
+      if (!parsed.ok) usage(("bad --inject: " + parsed.error).c_str());
+      fault = parsed.value;
+      audit = true;  // an injected fault is only meaningful if checked
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -93,6 +110,8 @@ int main(int argc, char** argv) {
   cfg.runtime.slip.tokens = tokens;
   cfg.runtime.omp_slipstream_env = env;
   cfg.runtime.policies.self_invalidation = self_inval;
+  cfg.runtime.fault = fault;
+  cfg.runtime.audit = audit;
 
   const auto sched = front::parse_schedule_clause(sched_text);
   if (!sched.ok) usage(("bad --sched: " + sched.error).c_str());
@@ -117,6 +136,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.cycles),
                 result.workload.verified ? "yes" : "NO",
                 result.workload.detail.c_str());
+    if (fault.active()) {
+      std::printf("fault: %s node=%d visit=%d   fired: %llu\n",
+                  std::string(slip::to_string(fault.kind)).c_str(),
+                  fault.node, fault.visit,
+                  static_cast<unsigned long long>(result.faults_injected));
+    }
+    if (audit) {
+      std::printf("audit: %s (%llu checks)\n",
+                  result.audit_ok ? "ok" : "VIOLATIONS",
+                  static_cast<unsigned long long>(result.audit_checks));
+      for (const auto& v : result.audit_violations)
+        std::printf("  violation: %s\n", v.c_str());
+    }
     stats::Table t({"category", "fraction"});
     for (int c = 0; c < sim::kTimeCategoryCount; ++c) {
       const auto cat = static_cast<sim::TimeCategory>(c);
@@ -126,5 +158,8 @@ int main(int argc, char** argv) {
     }
     t.print();
   }
-  return result.workload.verified && result.invariants_ok ? 0 : 1;
+  return result.workload.verified && result.invariants_ok &&
+                 result.audit_ok
+             ? 0
+             : 1;
 }
