@@ -1,5 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+
+#include "stats/timeline.hpp"
+#include "trace/chrome.hpp"
+
 namespace ssomp::core {
 
 ExperimentConfig ExperimentConfig::single(int ncmp) {
@@ -47,9 +52,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   rt::Runtime runtime(machine, config.runtime);
   std::unique_ptr<Workload> workload = factory(runtime);
 
+  std::optional<stats::Timeline> timeline;
+  if (config.timeline_interval > 0) {
+    timeline.emplace(machine.engine(), config.timeline_interval);
+  }
+
   ExperimentResult result;
   result.cycles =
       runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
+
+  if (timeline.has_value()) {
+    timeline->finalize();
+    result.timeline_csv = timeline->to_csv();
+  }
 
   for (sim::CpuId c = 0; c < machine.ncpus(); ++c) {
     const sim::TimeBreakdown& b = machine.cpu(c).breakdown();
@@ -66,6 +81,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.audit_checks = runtime.auditor().checks_performed();
   result.audit_violations = runtime.auditor().violations();
   result.faults_injected = runtime.fault_injector().fired();
+
+  const trace::Instrumentation& inst = runtime.instrumentation();
+  result.trace_enabled = inst.tracer().enabled();
+  result.metrics_enabled = inst.metrics_on();
+  if (result.trace_enabled) {
+    result.trace_json = trace::chrome_trace_json(inst.tracer());
+    result.trace_counts = inst.tracer().counts();
+  }
+  if (result.metrics_enabled) {
+    result.metrics_json = inst.metrics().to_json();
+    result.metrics_text = inst.metrics().to_text();
+  }
   return result;
 }
 

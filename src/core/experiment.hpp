@@ -9,12 +9,17 @@
 #include "machine/machine.hpp"
 #include "rt/options.hpp"
 #include "stats/memstats.hpp"
+#include "trace/tracer.hpp"
 
 namespace ssomp::core {
 
 struct ExperimentConfig {
   machine::MachineConfig machine{};
   rt::RuntimeOptions runtime{};
+
+  /// Sample every CPU's activity category at this period for the
+  /// execution-timeline CSV (0 = no timeline).
+  sim::Cycles timeline_interval = 0;
 
   /// Convenience constructors for the paper's three execution modes.
   [[nodiscard]] static ExperimentConfig single(int ncmp);
@@ -40,6 +45,15 @@ struct ExperimentResult {
 
   /// Number of faults the injector fired (0 on clean runs).
   std::uint64_t faults_injected = 0;
+
+  /// Observability captures (filled only when the matching option is on).
+  bool trace_enabled = false;
+  bool metrics_enabled = false;
+  std::string trace_json;    // Chrome trace-event JSON (Perfetto-loadable)
+  std::string metrics_json;  // MetricsRegistry::to_json()
+  std::string metrics_text;  // MetricsRegistry::to_text()
+  std::string timeline_csv;  // Timeline::to_csv() (timeline_interval > 0)
+  trace::TraceCounts trace_counts;
 
   /// Fraction of aggregate accounted CPU time in a category (the bars of
   /// the paper's Figures 2 and 4). TokenWait and StreamWait fold into the

@@ -46,6 +46,11 @@ class Obj {
     }
     out_ << '"';
   }
+  /// Embeds `json` verbatim (already-serialized sub-document).
+  void raw(const std::string& k, const std::string& json) {
+    key(k);
+    out_ << json;
+  }
   void close() { out_ << '}'; }
 
  private:
@@ -153,6 +158,23 @@ std::string to_json(const ExperimentConfig& config,
     o.field("forwarded_chunks", s.forwarded_chunks);
     o.field("converted_stores", s.converted_stores);
     o.field("dropped_stores", s.dropped_stores);
+    o.close();
+  }
+
+  if (result.metrics_enabled && !result.metrics_json.empty()) {
+    root.raw("metrics", result.metrics_json);
+  }
+
+  if (result.trace_enabled) {
+    root.key("trace");
+    Obj o(out);
+    o.field("events_recorded", result.trace_counts.recorded);
+    o.field("events_dropped", result.trace_counts.dropped);
+    for (int k = 0; k < trace::kEventKindCount; ++k) {
+      const auto kind = static_cast<trace::EventKind>(k);
+      o.field(std::string(trace::to_string(kind)),
+              result.trace_counts.of(kind));
+    }
     o.close();
   }
 

@@ -7,6 +7,7 @@
 #include "slip/audit.hpp"
 #include "slip/config.hpp"
 #include "slip/faultinject.hpp"
+#include "trace/tracer.hpp"
 
 namespace ssomp::rt {
 
@@ -52,6 +53,13 @@ struct RuntimeOptions {
   /// Cross-validate the token-semaphore / mailbox / recovery accounting
   /// at region boundaries. Always on in debug builds, opt-in in release.
   bool audit = slip::kAuditDefaultOn;
+
+  /// Event-level protocol tracing (per-CPU ring buffers, Perfetto export).
+  trace::TraceConfig trace{};
+
+  /// Online metrics registry (counters + cycle histograms). Cheap enough
+  /// to keep on without tracing; implied by `trace.enabled`.
+  bool metrics = false;
 };
 
 }  // namespace ssomp::rt

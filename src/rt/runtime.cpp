@@ -21,6 +21,13 @@ Runtime::Runtime(machine::Machine& machine, RuntimeOptions options)
       options_(std::move(options)),
       injector_(options_.fault, machine.ncmp()),
       auditor_(options_.audit, machine.ncmp()) {
+  inst_.configure(machine_.engine(), options_.trace,
+                  options_.metrics || options_.trace.enabled);
+  if (inst_.active()) {
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      machine_.pair(n).set_instrumentation(&inst_, n);
+    }
+  }
   directives_.set_env(options_.omp_slipstream_env);
   // The program-global slipstream setting (overridable by serial-part
   // directives at run time).
@@ -116,9 +123,18 @@ sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
 
 void Runtime::request_pair_recovery(slip::SlipPair& pair, sim::SimCpu& r) {
   if (!pair.recovery_requested()) {
-    auditor_.on_recovery_requested(machine_.node_of(pair.r_cpu()));
+    const int node = machine_.node_of(pair.r_cpu());
+    auditor_.on_recovery_requested(node);
+    if (inst_.active()) inst_.recovery_request(r.id(), node);
   }
   pair.request_recovery(r);
+}
+
+void Runtime::note_fault(sim::CpuId cpu, int node,
+                         std::uint64_t fired_before) {
+  if (inst_.active() && injector_.fired() > fired_before) {
+    inst_.fault(cpu, node, static_cast<std::uint64_t>(injector_.plan().kind));
+  }
 }
 
 void Runtime::slave_loop(sim::CpuId cpu_id) {
@@ -148,6 +164,7 @@ void Runtime::run_member(const Member& m) {
       // it rejoins at the next parallel region (§2.2 recovery routine).
       m.pair->ack_recovery();
       auditor_.on_recovery_acked(machine_.node_of(m.cpu));
+      if (inst_.active()) inst_.recovery_ack(m.cpu, machine_.node_of(m.cpu));
     }
   } else {
     current_body_(t);
@@ -263,6 +280,9 @@ void Runtime::dispatch_region(
       tokens_before += machine_.pair(n).barrier_sem().total_consumed();
     }
   }
+  if (inst_.active()) {
+    inst_.region_begin(0, record.index, static_cast<int>(team_.mode));
+  }
 
   // Publish the job and wake the team (master's store invalidates the
   // slaves' cached copies of the job word).
@@ -301,6 +321,10 @@ void Runtime::dispatch_region(
   record.converted_stores = slip_stats_.converted_stores - converted_before;
   record.dropped_stores = slip_stats_.dropped_stores - dropped_before;
   record.forwarded_chunks = slip_stats_.forwarded_chunks - forwarded_before;
+  if (inst_.active()) {
+    inst_.region_end(0, record.index, record.cycles, record.converted_stores,
+                     record.dropped_stores);
+  }
   region_records_.push_back(record);
 
   for (const Member& m : team_.members) {
@@ -313,20 +337,32 @@ void Runtime::dispatch_region(
 
 void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
   sim::SimCpu& cpu = t.cpu();
+  const bool observed = inst_.active();
+  const int role = static_cast<int>(t.role());
   if (!team_.slipstream() || t.role() == StreamRole::kNone) {
+    const int node = machine_.node_of(t.member().cpu);
+    if (observed) inst_.barrier_enter(cpu.id(), node, role);
+    const sim::Cycles entered = machine_.engine().now();
     barrier_->arrive(cpu, t.id(), cat);
+    if (observed) {
+      inst_.barrier_exit(cpu.id(), node, role,
+                         machine_.engine().now() - entered);
+    }
     return;
   }
   slip::SlipPair& pair = *t.member().pair;
   const int node = machine_.node_of(t.member().cpu);
   if (t.role() == StreamRole::kR) {
+    if (observed) inst_.barrier_enter(cpu.id(), node, role);
     pair.note_r_barrier();
     // Fault injection: force a recovery landing in the hardest window —
     // while the A-stream is blocked inside a token consume().
+    const std::uint64_t fired_before = injector_.fired();
     if (injector_.on_r_divergence_probe(node,
                                         pair.barrier_sem().has_waiter())) {
       request_pair_recovery(pair, cpu);
     }
+    note_fault(cpu.id(), node, fired_before);
     // Divergence probe (§2.2): the R-stream compares the token count with
     // the initial value to predict whether its A-stream visited this
     // barrier; a persistent lag beyond the threshold triggers recovery.
@@ -345,33 +381,60 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     }
     // Fault injection may starve (skip) or over-insert (duplicate) the
     // token this barrier visit owes the A-stream.
+    const std::uint64_t ins_fired_before = injector_.fired();
     const slip::TokenAction ins = injector_.on_r_token_insert(node);
+    note_fault(cpu.id(), node, ins_fired_before);
     if (team_.slip.type == slip::SyncType::kLocal &&
         ins != slip::TokenAction::kSkip) {
       pair.barrier_sem().insert(cpu);  // token on barrier *entry*
       if (ins == slip::TokenAction::kDuplicate) pair.barrier_sem().insert(cpu);
     }
+    const sim::Cycles entered = machine_.engine().now();
     barrier_->arrive(cpu, t.id(), cat);
+    const sim::Cycles stall = machine_.engine().now() - entered;
     if (team_.slip.type == slip::SyncType::kGlobal &&
         ins != slip::TokenAction::kSkip) {
       pair.barrier_sem().insert(cpu);  // token on barrier *exit*
       if (ins == slip::TokenAction::kDuplicate) pair.barrier_sem().insert(cpu);
     }
+    if (observed) inst_.barrier_exit(cpu.id(), node, role, stall);
   } else {
     t.check_recovery();
+    // From here on, every barrier_enter pairs with an exit even on the
+    // recovery-unwind paths, so exported trace slices never dangle.
+    if (observed) inst_.barrier_enter(cpu.id(), node, role);
+    const auto a_exit = [&] {
+      if (observed) inst_.barrier_exit(cpu.id(), node, role, 0);
+    };
     // Fault injection: skip this visit's consume entirely (the A-stream
     // barges past the barrier, unsynchronized) or consume a duplicate
     // token (it stalls a full session behind).
+    const std::uint64_t fired_before = injector_.fired();
     const slip::TokenAction act = injector_.on_a_token_consume(node);
-    if (act == slip::TokenAction::kSkip) return;
+    note_fault(cpu.id(), node, fired_before);
+    if (act == slip::TokenAction::kSkip) {
+      a_exit();
+      return;
+    }
     if (!pair.barrier_sem().consume(cpu, TimeCategory::kTokenWait)) {
+      a_exit();
       throw slip::RecoveryException{};
     }
     if (act == slip::TokenAction::kDuplicate &&
         !pair.barrier_sem().consume(cpu, TimeCategory::kTokenWait)) {
+      a_exit();
       throw slip::RecoveryException{};
     }
     pair.note_a_barrier();
+    if (inst_.active()) {
+      // Run-ahead distance (in barrier sessions) the A-stream enjoys at
+      // this barrier — the fig-2/fig-4 instrument.
+      inst_.run_ahead(cpu.id(), node,
+                      pair.a_barriers() > pair.r_barriers()
+                          ? pair.a_barriers() - pair.r_barriers()
+                          : 0);
+    }
+    a_exit();
   }
 }
 
@@ -486,10 +549,12 @@ void Runtime::forward_chunk(ThreadCtx& t, long lo, long hi, bool last) {
   // Fault injection: corrupt this forwarded decision, or force a recovery
   // while the A-stream is blocked in the syscall-semaphore wait.
   slip::SlipPair::Mailbox mb{lo, hi, last};
-  if (injector_.on_forward(machine_.node_of(t.member().cpu), mb,
-                           pair.syscall_sem().has_waiter())) {
+  const int node = machine_.node_of(t.member().cpu);
+  const std::uint64_t fired_before = injector_.fired();
+  if (injector_.on_forward(node, mb, pair.syscall_sem().has_waiter())) {
     request_pair_recovery(pair, cpu);
   }
+  note_fault(cpu.id(), node, fired_before);
   pair.mailbox_push(mb);
   pair.syscall_sem().insert(cpu);
   ++slip_stats_.forwarded_chunks;
@@ -525,12 +590,15 @@ bool ThreadCtx::mem_write(sim::Addr a) {
     // §2: the A-stream skips stores to shared variables. When it is in the
     // same session as its R-stream, the store is converted into an
     // exclusive prefetch; otherwise it is dropped.
+    const int node = rt_.machine_.node_of(member_.cpu);
     if (rt_.options_.policies.a_stores_as_prefetch &&
         within_session_window(rt_.options_.policies.conversion_window) &&
         rt_.mem().prefetch(c.id(), a, /*exclusive=*/true, c.issue_time())) {
       ++rt_.slip_stats_.converted_stores;
+      if (rt_.inst_.active()) rt_.inst_.store_converted(c.id(), node, a);
     } else {
       ++rt_.slip_stats_.dropped_stores;
+      if (rt_.inst_.active()) rt_.inst_.store_dropped(c.id(), node, a);
     }
     c.charge(1, TimeCategory::kBusy);
     return false;

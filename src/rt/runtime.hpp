@@ -270,6 +270,9 @@ class Runtime {
   [[nodiscard]] const slip::InvariantAuditor& auditor() const {
     return auditor_;
   }
+  [[nodiscard]] const trace::Instrumentation& instrumentation() const {
+    return inst_;
+  }
 
   /// Execution records for every parallel region, in program order.
   [[nodiscard]] const std::vector<RegionRecord>& region_records() const {
@@ -331,10 +334,15 @@ class Runtime {
   /// on repeat requests).
   void request_pair_recovery(slip::SlipPair& pair, sim::SimCpu& r);
 
+  /// Emits a kFault marker when the injector's fired-count advanced past
+  /// `fired_before` (call sites bracket each injector hook).
+  void note_fault(sim::CpuId cpu, int node, std::uint64_t fired_before);
+
   machine::Machine& machine_;
   RuntimeOptions options_;
   slip::FaultInjector injector_;
   slip::InvariantAuditor auditor_;
+  trace::Instrumentation inst_;
   front::DirectiveControl directives_;
 
   Team team_;

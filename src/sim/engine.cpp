@@ -12,15 +12,32 @@ SimCpu& Engine::add_cpu(std::string name) {
 
 void Engine::schedule_at(Cycles when, std::function<void()> fn) {
   SSOMP_CHECK(when >= now_);
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+  ++ordinary_pending_;
+}
+
+Engine::CancelHandle Engine::schedule_cancelable_at(Cycles when,
+                                                    std::function<void()> fn) {
+  SSOMP_CHECK(when >= now_);
+  auto handle = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), handle});
+  return handle;
 }
 
 Cycles Engine::run(Cycles until) {
   SSOMP_CHECK(Fiber::current() == nullptr);
   while (!queue_.empty()) {
+    // Cancelled events — and auxiliary events with no ordinary event left
+    // to observe — are dropped before they can advance time.
+    if (queue_.top().cancelled &&
+        (*queue_.top().cancelled || ordinary_pending_ == 0)) {
+      queue_.pop();
+      continue;
+    }
     if (queue_.top().when > until) break;
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    if (ev.cancelled == nullptr) --ordinary_pending_;
     SSOMP_CHECK(ev.when >= now_);
     now_ = ev.when;
     ++events_processed_;

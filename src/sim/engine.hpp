@@ -48,6 +48,26 @@ class Engine {
     schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Handle for a cancelable event: set `*handle = true` to cancel.
+  /// A cancelled event is discarded without running and — critically —
+  /// without advancing `now()`, so a pending periodic tick cannot inflate
+  /// the measured run length after the workload finishes.
+  using CancelHandle = std::shared_ptr<bool>;
+
+  /// Like schedule_at(), but returns a handle that cancels the event.
+  /// Cancelable events are *auxiliary*: they observe the simulation but
+  /// must not extend it. When only cancelable events remain in the queue
+  /// they are discarded unrun, again without advancing `now()` — a
+  /// periodic sampler therefore never pushes simulated time past the last
+  /// ordinary event.
+  CancelHandle schedule_cancelable_at(Cycles when, std::function<void()> fn);
+
+  /// Like schedule_after(), but returns a handle that cancels the event.
+  CancelHandle schedule_cancelable_after(Cycles delay,
+                                         std::function<void()> fn) {
+    return schedule_cancelable_at(now_ + delay, std::move(fn));
+  }
+
   /// Runs events until the queue drains or `until` is reached.
   /// Returns the final simulated time.
   Cycles run(Cycles until = ~Cycles{0});
@@ -64,6 +84,7 @@ class Engine {
     Cycles when;
     std::uint64_t seq;
     std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // null for ordinary events
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -74,6 +95,7 @@ class Engine {
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t ordinary_pending_ = 0;  // non-cancelable events in queue_
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<SimCpu>> cpus_;
 };

@@ -18,6 +18,7 @@
 #include "sim/check.hpp"
 #include "sim/types.hpp"
 #include "slip/tokens.hpp"
+#include "trace/tracer.hpp"
 
 namespace ssomp::slip {
 
@@ -37,6 +38,16 @@ class SlipPair {
 
   [[nodiscard]] sim::CpuId r_cpu() const { return r_cpu_; }
   [[nodiscard]] sim::CpuId a_cpu() const { return a_cpu_; }
+
+  /// Arms protocol observability for this pair: both semaphores report
+  /// token traffic and the mailbox reports push/pop/drop, all attributed
+  /// to CMP `node`. Null detaches.
+  void set_instrumentation(trace::Instrumentation* inst, int node) {
+    inst_ = inst;
+    node_ = node;
+    barrier_sem_.set_instrumentation(inst, node, /*syscall=*/false);
+    syscall_sem_.set_instrumentation(inst, node, /*syscall=*/true);
+  }
 
   [[nodiscard]] TokenSemaphore& barrier_sem() { return barrier_sem_; }
   [[nodiscard]] TokenSemaphore& syscall_sem() { return syscall_sem_; }
@@ -69,9 +80,13 @@ class SlipPair {
     if (mailbox_queue_.size() >= kMailboxDepth) {
       mailbox_queue_.pop_front();
       ++mailbox_dropped_;
+      if (inst_ != nullptr) {
+        inst_->mailbox_drop(r_cpu_, node_, mailbox_dropped_);
+      }
     }
     mailbox_queue_.push_back(mb);
     ++mailbox_pushed_;
+    if (inst_ != nullptr) inst_->mailbox_push(r_cpu_, node_, mb.lo, mb.hi);
   }
 
   [[nodiscard]] Mailbox mailbox_pop() {
@@ -79,6 +94,7 @@ class SlipPair {
     const Mailbox mb = mailbox_queue_.front();
     mailbox_queue_.pop_front();
     ++mailbox_popped_;
+    if (inst_ != nullptr) inst_->mailbox_pop(a_cpu_, node_, mb.lo, mb.hi);
     return mb;
   }
 
@@ -164,6 +180,8 @@ class SlipPair {
   std::uint64_t recoveries_ = 0;
   bool recovery_requested_ = false;
   bool a_recovered_this_region_ = false;
+  trace::Instrumentation* inst_ = nullptr;
+  int node_ = -1;
 };
 
 }  // namespace ssomp::slip

@@ -13,6 +13,7 @@
 
 #include "sim/check.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace ssomp::slip {
 
@@ -20,6 +21,17 @@ class TokenSemaphore {
  public:
   explicit TokenSemaphore(sim::Cycles access_cycles = 3)
       : access_cycles_(access_cycles) {}
+
+  /// Arms protocol observability: every insert/consume/wait on this
+  /// semaphore is reported to `inst` as an event on CMP `node`.
+  /// `syscall` selects the syscall-semaphore event kinds over the
+  /// barrier-token ones. Null detaches (the default: zero overhead).
+  void set_instrumentation(trace::Instrumentation* inst, int node,
+                           bool syscall) {
+    inst_ = inst;
+    node_ = node;
+    syscall_ = syscall;
+  }
 
   /// (Re)initializes the counter; legal only with no waiter. A pending
   /// poison can only exist while its waiter is still registered (the
@@ -40,10 +52,17 @@ class TokenSemaphore {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
     if (count_ == 0) {
       SSOMP_CHECK(waiter_ == nullptr);  // one A-stream per semaphore
+      const sim::Cycles wait_start = cpu.engine().now();
+      if (inst_ != nullptr) inst_->sem_wait_begin(cpu.id(), node_, syscall_);
       waiter_ = &cpu;
       cpu.block(cat);
       waiter_ = nullptr;
-      if (poisoned_) {
+      const bool poisoned = poisoned_;
+      if (inst_ != nullptr) {
+        inst_->sem_wait_end(cpu.id(), node_, syscall_,
+                            cpu.engine().now() - wait_start, poisoned);
+      }
+      if (poisoned) {
         poisoned_ = false;
         return false;
       }
@@ -51,6 +70,7 @@ class TokenSemaphore {
     }
     --count_;
     ++consumed_;
+    if (inst_ != nullptr) inst_->sem_consume(cpu.id(), node_, syscall_, count_);
     return true;
   }
 
@@ -60,6 +80,7 @@ class TokenSemaphore {
     if (count_ == 0) return false;
     --count_;
     ++consumed_;
+    if (inst_ != nullptr) inst_->sem_consume(cpu.id(), node_, syscall_, count_);
     return true;
   }
 
@@ -68,6 +89,7 @@ class TokenSemaphore {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
     ++count_;
     ++inserted_;
+    if (inst_ != nullptr) inst_->sem_insert(cpu.id(), node_, syscall_, count_);
     if (waiter_ != nullptr && waiter_->blocked()) {
       waiter_->wake(access_cycles_);
     }
@@ -107,6 +129,9 @@ class TokenSemaphore {
   sim::SimCpu* waiter_ = nullptr;
   std::uint64_t inserted_ = 0;
   std::uint64_t consumed_ = 0;
+  trace::Instrumentation* inst_ = nullptr;
+  int node_ = -1;
+  bool syscall_ = false;
 };
 
 }  // namespace ssomp::slip

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace ssomp::stats {
@@ -59,16 +60,34 @@ std::string Table::to_string() const {
 
 void Table::print() const { std::fputs(to_string().c_str(), stdout); }
 
+namespace {
+
+/// snprintf into a right-sized string: a fixed buffer silently truncates
+/// huge magnitudes (1e300 renders as 300+ characters with %f).
+std::string format_double(double v, int precision, const char* suffix) {
+  if (v != v) return std::string("nan") + suffix;
+  if (v == std::numeric_limits<double>::infinity()) {
+    return std::string("inf") + suffix;
+  }
+  if (v == -std::numeric_limits<double>::infinity()) {
+    return std::string("-inf") + suffix;
+  }
+  const int n = std::snprintf(nullptr, 0, "%.*f", precision, v);
+  if (n <= 0) return std::string("?") + suffix;
+  std::string out(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(out.data(), out.size(), "%.*f", precision, v);
+  out.resize(static_cast<std::size_t>(n));
+  return out + suffix;
+}
+
+}  // namespace
+
 std::string Table::fmt(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  return format_double(v, precision, "");
 }
 
 std::string Table::pct(double fraction, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
-  return buf;
+  return format_double(fraction * 100.0, precision, "%");
 }
 
 }  // namespace ssomp::stats

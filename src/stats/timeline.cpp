@@ -7,33 +7,61 @@ namespace ssomp::stats {
 Timeline::Timeline(sim::Engine& engine, sim::Cycles interval)
     : engine_(engine), interval_(interval) {
   SSOMP_CHECK(interval > 0);
-  engine_.schedule_after(interval_, [this] { tick(); });
+  pending_tick_ = engine_.schedule_cancelable_after(interval_, [this] {
+    tick();
+  });
+}
+
+void Timeline::record_sample() {
+  Sample s;
+  s.when = engine_.now();
+  for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
+    s.category.push_back(engine_.cpu(c).current_category());
+  }
+  samples_.push_back(std::move(s));
 }
 
 void Timeline::tick() {
-  Sample s;
-  s.when = engine_.now();
+  record_sample();
   bool any_alive = false;
   for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
-    s.category.push_back(engine_.cpu(c).current_category());
     any_alive |= !engine_.cpu(c).finished();
   }
-  samples_.push_back(std::move(s));
   // Keep sampling only while some CPU is still running; otherwise the
-  // self-rescheduling event would keep the queue alive forever.
+  // self-rescheduling event would keep the queue alive forever. The tick
+  // is cancelable so finalize() can retract it without advancing time.
   if (any_alive) {
-    engine_.schedule_after(interval_, [this] { tick(); });
+    pending_tick_ = engine_.schedule_cancelable_after(interval_, [this] {
+      tick();
+    });
+  } else {
+    pending_tick_ = nullptr;
+  }
+}
+
+void Timeline::finalize() {
+  if (pending_tick_ != nullptr) {
+    *pending_tick_ = true;
+    pending_tick_ = nullptr;
+  }
+  // Record the end state unless a tick already sampled this very cycle —
+  // this is what gives sub-interval runs their (single) sample.
+  if (samples_.empty() || samples_.back().when < engine_.now()) {
+    record_sample();
   }
 }
 
 double Timeline::fraction(sim::CpuId cpu, sim::TimeCategory cat,
                           sim::Cycles from, sim::Cycles to) const {
+  if (cpu < 0) return 0.0;
+  const auto idx = static_cast<std::size_t>(cpu);
   std::uint64_t in_window = 0;
   std::uint64_t matching = 0;
   for (const Sample& s : samples_) {
     if (s.when < from || s.when >= to) continue;
+    if (idx >= s.category.size()) continue;
     ++in_window;
-    if (s.category[static_cast<std::size_t>(cpu)] == cat) ++matching;
+    if (s.category[idx] == cat) ++matching;
   }
   return in_window == 0
              ? 0.0

@@ -30,8 +30,14 @@ class Timeline {
     return samples_;
   }
 
+  /// Closes out sampling after Engine::run() returns: cancels the pending
+  /// tick (so it cannot inflate simulated time) and records one final
+  /// sample at the current time. Guarantees at least one sample even for
+  /// runs shorter than `interval`. Idempotent per point in time.
+  void finalize();
+
   /// Fraction of samples in which `cpu` was in `cat` within
-  /// [from, to) (the whole run by default).
+  /// [from, to) (the whole run by default). Out-of-range `cpu` yields 0.
   [[nodiscard]] double fraction(sim::CpuId cpu, sim::TimeCategory cat,
                                 sim::Cycles from = 0,
                                 sim::Cycles to = ~sim::Cycles{0}) const;
@@ -42,10 +48,12 @@ class Timeline {
 
  private:
   void tick();
+  void record_sample();
 
   sim::Engine& engine_;
   sim::Cycles interval_;
   std::vector<Sample> samples_;
+  sim::Engine::CancelHandle pending_tick_;
 };
 
 }  // namespace ssomp::stats

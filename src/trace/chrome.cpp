@@ -1,0 +1,220 @@
+#include "trace/chrome.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ssomp::trace {
+
+namespace {
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostringstream& out) : out_(out) {}
+
+  /// Starts one trace-event record: {"name":NAME,"ph":PH,"ts":TS,
+  /// "pid":0,"tid":TID ... (caller appends fields, then calls close()).
+  void open(std::string_view name, char ph, std::uint64_t ts, int tid) {
+    if (!first_) out_ << ',';
+    first_ = false;
+    out_ << "{\"name\":\"" << name << "\",\"ph\":\"" << ph
+         << "\",\"ts\":" << ts << ",\"pid\":0,\"tid\":" << tid;
+  }
+  void cat(std::string_view c) { out_ << ",\"cat\":\"" << c << "\""; }
+  void id(std::uint64_t i) { out_ << ",\"id\":" << i; }
+  void args_begin() { out_ << ",\"args\":{"; }
+  void arg(std::string_view k, std::uint64_t v, bool first) {
+    if (!first) out_ << ',';
+    out_ << '"' << k << "\":" << v;
+  }
+  void args_end() { out_ << '}'; }
+  void close() { out_ << '}'; }
+
+  /// Convenience: a complete instant event with up to two numeric args.
+  void instant(std::string_view name, std::uint64_t ts, int tid,
+               std::string_view cat_name,
+               std::initializer_list<std::pair<std::string_view, std::uint64_t>>
+                   args) {
+    open(name, 'i', ts, tid);
+    cat(cat_name);
+    out_ << ",\"s\":\"t\"";
+    args_begin();
+    bool first = true;
+    for (const auto& [k, v] : args) {
+      arg(k, v, first);
+      first = false;
+    }
+    args_end();
+    close();
+  }
+
+ private:
+  std::ostringstream& out_;
+  bool first_ = true;
+};
+
+constexpr std::string_view kModeNames[] = {"single", "double", "slipstream"};
+
+std::string_view mode_name(std::uint64_t m) {
+  return m < 3 ? kModeNames[m] : "?";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  EventWriter w(out);
+
+  // Track metadata: process name plus one named, ordered track per CPU.
+  w.open("process_name", 'M', 0, 0);
+  out << ",\"args\":{\"name\":\"ssomp\"}";
+  w.close();
+  for (int c = 0; c < tracer.cpu_count(); ++c) {
+    w.open("thread_name", 'M', 0, c);
+    out << ",\"args\":{\"name\":\"" << tracer.cpu_name(c) << "\"}";
+    w.close();
+    w.open("thread_sort_index", 'M', 0, c);
+    out << ",\"args\":{\"sort_index\":" << c << "}";
+    w.close();
+  }
+
+  // Duration-slice pairing state: per-CPU stack depth per slice name, so
+  // an end whose begin was evicted from the ring never emits an orphan E.
+  std::map<std::pair<int, std::string_view>, int> open_slices;
+  const auto begin_slice = [&](std::string_view name, const Event& e) {
+    w.open(name, 'B', e.when, e.cpu);
+    w.cat("slip");
+    w.close();
+    ++open_slices[{e.cpu, name}];
+  };
+  const auto end_slice = [&](std::string_view name, const Event& e,
+                             std::uint64_t dur_arg) {
+    int& depth = open_slices[{e.cpu, name}];
+    if (depth <= 0) return;  // begin evicted by ring wraparound
+    --depth;
+    w.open(name, 'E', e.when, e.cpu);
+    w.args_begin();
+    w.arg("cycles", dur_arg, true);
+    w.args_end();
+    w.close();
+  };
+
+  // Async "token" span bookkeeping: FIFO of open insert timestamps per
+  // node (token semantics are FIFO — the A-stream consumes the oldest).
+  std::map<int, std::deque<std::uint64_t>> open_tokens;  // node -> span ids
+  std::uint64_t next_span = 1;
+
+  for (const Event& e : tracer.sorted_events()) {
+    switch (e.kind) {
+      case EventKind::kRegionBegin:
+        w.open("region", 'B', e.when, e.cpu);
+        w.cat("region");
+        w.args_begin();
+        w.arg("index", e.arg0, true);
+        w.args_end();
+        w.close();
+        ++open_slices[{e.cpu, "region"}];
+        // The mode only renders in args; keep an instant for findability.
+        w.instant(mode_name(e.arg1), e.when, e.cpu, "region",
+                  {{"index", e.arg0}});
+        break;
+      case EventKind::kRegionEnd:
+        end_slice("region", e, e.arg1);
+        break;
+      case EventKind::kBarrierEnter:
+        begin_slice("barrier", e);
+        break;
+      case EventKind::kBarrierExit:
+        end_slice("barrier", e, e.arg1);
+        break;
+      case EventKind::kTokenWaitBegin:
+        begin_slice("token-wait", e);
+        break;
+      case EventKind::kTokenWaitEnd:
+        end_slice("token-wait", e, e.arg0);
+        break;
+      case EventKind::kSyscallWaitBegin:
+        begin_slice("syscall-wait", e);
+        break;
+      case EventKind::kSyscallWaitEnd:
+        end_slice("syscall-wait", e, e.arg0);
+        break;
+      case EventKind::kTokenInsert: {
+        w.instant("token+", e.when, e.cpu, "token", {{"count", e.arg0}});
+        const std::uint64_t span = next_span++;
+        open_tokens[e.node].push_back(span);
+        w.open("token", 'b', e.when, e.cpu);
+        w.cat("token");
+        w.id(span);
+        w.close();
+        break;
+      }
+      case EventKind::kTokenConsume: {
+        w.instant("token-", e.when, e.cpu, "token", {{"count", e.arg0}});
+        auto& q = open_tokens[e.node];
+        if (!q.empty()) {  // initial-allowance tokens have no insert event
+          w.open("token", 'e', e.when, e.cpu);
+          w.cat("token");
+          w.id(q.front());
+          w.close();
+          q.pop_front();
+        }
+        break;
+      }
+      case EventKind::kSyscallInsert:
+        w.instant("sys+", e.when, e.cpu, "syscall", {{"count", e.arg0}});
+        break;
+      case EventKind::kSyscallConsume:
+        w.instant("sys-", e.when, e.cpu, "syscall", {{"count", e.arg0}});
+        break;
+      case EventKind::kChunkPush:
+        w.instant("chunk-push", e.when, e.cpu, "sched",
+                  {{"lo", e.arg0}, {"hi", e.arg1}});
+        break;
+      case EventKind::kChunkPop:
+        w.instant("chunk-pop", e.when, e.cpu, "sched",
+                  {{"lo", e.arg0}, {"hi", e.arg1}});
+        break;
+      case EventKind::kChunkDrop:
+        w.instant("chunk-drop", e.when, e.cpu, "sched", {{"depth", e.arg0}});
+        break;
+      case EventKind::kStoreConvert:
+        w.instant("store-convert", e.when, e.cpu, "astore",
+                  {{"addr", e.arg0}});
+        break;
+      case EventKind::kStoreDrop:
+        w.instant("store-drop", e.when, e.cpu, "astore", {{"addr", e.arg0}});
+        break;
+      case EventKind::kRecoveryRequest:
+        w.instant("recovery-request", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)}});
+        break;
+      case EventKind::kRecoveryAck:
+        w.instant("recovery-ack", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)}});
+        break;
+      case EventKind::kFault:
+        w.instant("fault", e.when, e.cpu, "fault", {{"kind", e.arg0}});
+        break;
+      case EventKind::kKindCount:
+        break;
+    }
+  }
+
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"cycles\"";
+  const TraceCounts counts = tracer.counts();
+  out << ",\"events_recorded\":" << counts.recorded
+      << ",\"events_dropped\":" << counts.dropped;
+  for (int k = 0; k < kEventKindCount; ++k) {
+    out << ",\"" << to_string(static_cast<EventKind>(k))
+        << "\":" << counts.by_kind[static_cast<std::size_t>(k)];
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace ssomp::trace

@@ -1,0 +1,25 @@
+// Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+//
+// Layout: one named track per simulated CPU (pid 0, tid = cpu id) carrying
+// duration slices for token/syscall waits, barrier episodes and parallel
+// regions, plus instant markers for token traffic, forwarded chunks,
+// A-store outcomes, recoveries and injected faults. Barrier-token
+// lifetimes additionally render as async "token" spans (ph b/e) anchored
+// to each CMP's R-CPU track, so run-ahead distance is visible as stacked
+// in-flight tokens. Timestamps are simulated cycles written into the
+// microsecond "ts" field (absolute units don't matter for inspection).
+//
+// The top-level "otherData" object carries the tracer's exact aggregate
+// counts (recorded/dropped/per-kind), which survive ring-buffer eviction;
+// consumers cross-check these against SlipRegionStats.
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace ssomp::trace {
+
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+
+}  // namespace ssomp::trace

@@ -1,0 +1,85 @@
+// Typed slipstream protocol events (the observability layer's vocabulary).
+//
+// Every interesting transition of the token protocol — token traffic on
+// the barrier and syscall semaphores, barrier episodes, forwarded
+// scheduling decisions, recovery requests, A-store conversion outcomes,
+// region boundaries, and injected faults — is recorded as one fixed-size
+// Event. Events are stamped with simulated time and a global sequence
+// number (for a stable total order among same-cycle events) and stored in
+// per-CPU ring buffers (trace/ring.hpp), then exported as a Chrome
+// trace-event JSON file (trace/chrome.hpp) loadable in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace ssomp::trace {
+
+enum class EventKind : std::uint8_t {
+  kRegionBegin = 0,   // arg0 = region index, arg1 = execution mode
+  kRegionEnd,         // arg0 = region index, arg1 = region cycles
+  kBarrierEnter,      // arg0 = stream role
+  kBarrierExit,       // arg0 = stream role, arg1 = stall cycles
+  kTokenInsert,       // barrier semaphore; arg0 = count after insert
+  kTokenConsume,      // barrier semaphore; arg0 = count after consume
+  kTokenWaitBegin,    // A-stream blocked in a barrier-token consume
+  kTokenWaitEnd,      // arg0 = wait cycles, arg1 = 1 when poisoned
+  kSyscallInsert,     // syscall semaphore; arg0 = count after insert
+  kSyscallConsume,    // syscall semaphore; arg0 = count after consume
+  kSyscallWaitBegin,  // A-stream blocked in a syscall-token consume
+  kSyscallWaitEnd,    // arg0 = wait cycles, arg1 = 1 when poisoned
+  kRecoveryRequest,   // R-side request_recovery (first request per episode)
+  kRecoveryAck,       // A-side ack after unwinding to the region boundary
+  kChunkPush,         // forwarded scheduling decision; arg0 = lo, arg1 = hi
+  kChunkPop,          // A-stream consumed a decision; arg0 = lo, arg1 = hi
+  kChunkDrop,         // depth clamp dropped the stalest decision
+  kStoreConvert,      // A-store converted to exclusive prefetch; arg0 = addr
+  kStoreDrop,         // A-store dropped outright; arg0 = addr
+  kFault,             // injected fault fired; arg0 = slip::FaultKind
+  kKindCount
+};
+
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kKindCount);
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kRegionBegin: return "region_begin";
+    case EventKind::kRegionEnd: return "region_end";
+    case EventKind::kBarrierEnter: return "barrier_enter";
+    case EventKind::kBarrierExit: return "barrier_exit";
+    case EventKind::kTokenInsert: return "token_insert";
+    case EventKind::kTokenConsume: return "token_consume";
+    case EventKind::kTokenWaitBegin: return "token_wait_begin";
+    case EventKind::kTokenWaitEnd: return "token_wait_end";
+    case EventKind::kSyscallInsert: return "syscall_insert";
+    case EventKind::kSyscallConsume: return "syscall_consume";
+    case EventKind::kSyscallWaitBegin: return "syscall_wait_begin";
+    case EventKind::kSyscallWaitEnd: return "syscall_wait_end";
+    case EventKind::kRecoveryRequest: return "recovery_request";
+    case EventKind::kRecoveryAck: return "recovery_ack";
+    case EventKind::kChunkPush: return "chunk_push";
+    case EventKind::kChunkPop: return "chunk_pop";
+    case EventKind::kChunkDrop: return "chunk_drop";
+    case EventKind::kStoreConvert: return "store_convert";
+    case EventKind::kStoreDrop: return "store_drop";
+    case EventKind::kFault: return "fault";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+/// One recorded protocol event. `node` is the CMP the event concerns
+/// (-1 for events with no CMP affinity, e.g. region boundaries).
+struct Event {
+  sim::Cycles when = 0;
+  std::uint64_t seq = 0;  // global emission order (ties within a cycle)
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  EventKind kind = EventKind::kRegionBegin;
+  std::int16_t cpu = 0;
+  std::int16_t node = -1;
+};
+
+}  // namespace ssomp::trace

@@ -1,0 +1,229 @@
+#include "trace/jsonv.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace ssomp::trace {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->str : std::move(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult parse() {
+    JsonParseResult r;
+    skip_ws();
+    if (!parse_value(r.value)) {
+      r.error = error_;
+      r.offset = pos_;
+      return r;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      r.error = "trailing characters after JSON value";
+      r.offset = pos_;
+      return r;
+    }
+    r.ok = true;
+    return r;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      error_ = std::string("expected '") + c + "'";
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.type = JsonValue::Type::kString; return parse_string(out.str);
+      case 't': return parse_literal("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return parse_literal("false", out, JsonValue::Type::kBool, false);
+      case 'n': return parse_literal("null", out, JsonValue::Type::kNull, false);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view lit, JsonValue& out,
+                     JsonValue::Type type, bool b) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    out.type = type;
+    out.boolean = b;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            const auto [p, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || p != text_.data() + pos_ + 4) {
+              return fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Traces are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (!expect('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (!expect('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (!expect(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace ssomp::trace

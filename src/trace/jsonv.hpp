@@ -1,0 +1,54 @@
+// Minimal JSON value + recursive-descent parser (no dependencies).
+//
+// The repo writes JSON in several places (core/json, trace/chrome); this
+// is the matching reader, used to validate emitted traces in tests and to
+// power `slipreport --trace` summaries. Strictness favors catching writer
+// bugs: trailing garbage, unterminated strings and malformed numbers are
+// errors with a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ssomp::trace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  /// First member named `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Numeric value of member `key`, or `fallback`.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback = 0.0) const;
+
+  /// String value of member `key`, or `fallback`.
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback = {}) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;
+  std::size_t offset = 0;  // byte offset of the error
+};
+
+[[nodiscard]] JsonParseResult parse_json(std::string_view text);
+
+}  // namespace ssomp::trace

@@ -1,0 +1,104 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "stats/report.hpp"
+
+namespace ssomp::trace {
+
+int Histogram::bucket_of(std::uint64_t v) {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+std::uint64_t Histogram::bucket_upper(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t v) {
+  min_ = count_ == 0 ? v : std::min(min_, v);
+  max_ = std::max(max_, v);
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_of(v)];
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum >= rank) {
+      return std::clamp(bucket_upper(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << c.value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << h.count()
+        << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+        << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
+        << ",\"p50\":" << h.percentile(50) << ",\"p90\":" << h.percentile(90)
+        << ",\"p99\":" << h.percentile(99) << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!bfirst) out << ',';
+      bfirst = false;
+      const std::uint64_t lo = b == 0 ? 0 : Histogram::bucket_upper(b - 1) + 1;
+      out << '[' << lo << ',' << Histogram::bucket_upper(b) << ','
+          << h.bucket_count(b) << ']';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream out;
+  if (!counters_.empty()) {
+    stats::Table t({"counter", "value"});
+    for (const auto& [name, c] : counters_) {
+      t.add_row({name, std::to_string(c.value())});
+    }
+    out << t.to_string();
+  }
+  if (!histograms_.empty()) {
+    if (!counters_.empty()) out << '\n';
+    stats::Table t({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : histograms_) {
+      t.add_row({name, std::to_string(h.count()),
+                 stats::Table::fmt(h.mean(), 1),
+                 std::to_string(h.percentile(50)),
+                 std::to_string(h.percentile(90)),
+                 std::to_string(h.percentile(99)), std::to_string(h.max())});
+    }
+    out << t.to_string();
+  }
+  return out.str();
+}
+
+}  // namespace ssomp::trace

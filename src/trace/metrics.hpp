@@ -1,0 +1,96 @@
+// Online metrics registry: named counters and cycle-valued histograms.
+//
+// The registry aggregates as the simulation runs (O(1) per sample, no
+// event storage), so metrics can stay enabled when full event tracing is
+// off. Histograms use power-of-two buckets — exact count/sum/min/max,
+// bucket-resolution percentiles — which is the right fidelity for
+// latency-style distributions (token-wait durations, barrier stalls,
+// run-ahead distances) at a fixed 65-word footprint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ssomp::trace {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bucket b>0 covers [2^(b-1), 2^b-1]
+
+  void record(std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Bucket index holding `v`: 0 for 0, else bit_width(v).
+  [[nodiscard]] static int bucket_of(std::uint64_t v);
+
+  /// Inclusive upper bound of bucket `b` (0 for b == 0, 2^b - 1 otherwise).
+  [[nodiscard]] static std::uint64_t bucket_upper(int b);
+
+  /// Estimated p-th percentile (p in [0, 100]): the upper bound of the
+  /// bucket where the cumulative count reaches ceil(p/100 * count),
+  /// clamped to the exact observed [min, max]. Deterministic, within one
+  /// power of two of the true value. Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  [[nodiscard]] std::uint64_t bucket_count(int b) const {
+    return buckets_[b];
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metric store. Lookup is by string name; references returned are
+/// stable for the registry's lifetime (hot paths resolve once and keep
+/// the pointer). std::map keeps report output deterministically sorted.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// JSON object: {"counters": {...}, "histograms": {name: {count, sum,
+  /// min, max, mean, p50, p90, p99, buckets: [[lo, hi, n], ...]}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable tables (counters, then histogram summaries).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ssomp::trace

@@ -1,0 +1,58 @@
+// Fixed-capacity per-CPU event ring buffer.
+//
+// Tracing must be droppable-overhead: each CPU appends into its own
+// preallocated ring and the oldest events are overwritten once the ring
+// wraps. Total pushes are counted independently of the storage, so
+// aggregate event counts (the numbers cross-checked against
+// SlipRegionStats) stay exact even after overflow; only the evicted
+// events' *details* are lost, and the eviction count is reported so a
+// truncated trace is never mistaken for a complete one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "trace/events.hpp"
+
+namespace ssomp::trace {
+
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity) : buf_(capacity) {
+    SSOMP_CHECK(capacity > 0);
+  }
+
+  void push(const Event& e) {
+    buf_[static_cast<std::size_t>(pushed_ % buf_.size())] = e;
+    ++pushed_;
+  }
+
+  /// Events currently stored (<= capacity).
+  [[nodiscard]] std::size_t size() const {
+    return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_)
+                                 : buf_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Total events ever pushed.
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+  /// Events evicted by wraparound.
+  [[nodiscard]] std::uint64_t dropped() const { return pushed_ - size(); }
+
+  /// i-th stored event in chronological (push) order: 0 is the oldest
+  /// still retained, size()-1 the newest.
+  [[nodiscard]] const Event& at(std::size_t i) const {
+    SSOMP_CHECK(i < size());
+    return buf_[static_cast<std::size_t>((dropped() + i) % buf_.size())];
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace ssomp::trace

@@ -1,0 +1,128 @@
+#include "trace/summary.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "stats/report.hpp"
+
+namespace ssomp::trace {
+
+TraceSummary summarize_chrome_trace(const JsonValue& root) {
+  TraceSummary s;
+  if (!root.is_object()) {
+    s.error = "top-level JSON value is not an object";
+    return s;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    s.error = "missing \"traceEvents\" array";
+    return s;
+  }
+
+  std::map<double, std::string> track_names;  // tid -> thread_name
+  // Open B-slice timestamps per (tid, name) for duration pairing.
+  std::map<std::pair<double, std::string>, std::vector<double>> open;
+
+  for (const JsonValue& e : events->array) {
+    if (!e.is_object()) {
+      s.error = "traceEvents entry is not an object";
+      return s;
+    }
+    ++s.trace_events;
+    const std::string ph = e.string_or("ph");
+    const std::string name = e.string_or("name");
+    const double tid = e.number_or("tid");
+    if (ph == "M") {
+      if (name == "thread_name") {
+        if (const JsonValue* args = e.find("args")) {
+          track_names[tid] = args->string_or("name");
+        }
+      }
+      continue;
+    }
+    ++s.by_track[track_names.count(tid)
+                     ? track_names[tid]
+                     : "tid" + std::to_string(static_cast<long>(tid))];
+    if (ph == "i" || ph == "B" || ph == "b") ++s.by_name[name];
+    if (ph == "B") {
+      open[{tid, name}].push_back(e.number_or("ts"));
+    } else if (ph == "E") {
+      auto& stack = open[{tid, name}];
+      if (!stack.empty()) {
+        const double begin = stack.back();
+        stack.pop_back();
+        SliceStats& ss = s.slices[name];
+        ++ss.count;
+        ss.total_cycles +=
+            static_cast<std::uint64_t>(e.number_or("ts") - begin);
+      }
+    }
+  }
+
+  if (const JsonValue* other = root.find("otherData")) {
+    s.events_recorded =
+        static_cast<std::uint64_t>(other->number_or("events_recorded"));
+    s.events_dropped =
+        static_cast<std::uint64_t>(other->number_or("events_dropped"));
+    s.token_inserts =
+        static_cast<std::uint64_t>(other->number_or("token_insert"));
+    s.token_consumes =
+        static_cast<std::uint64_t>(other->number_or("token_consume"));
+    s.recoveries =
+        static_cast<std::uint64_t>(other->number_or("recovery_request"));
+    s.faults = static_cast<std::uint64_t>(other->number_or("fault"));
+  }
+  s.ok = true;
+  return s;
+}
+
+TraceSummary summarize_chrome_trace_text(std::string_view text) {
+  const JsonParseResult parsed = parse_json(text);
+  if (!parsed.ok) {
+    TraceSummary s;
+    s.error = "JSON parse error at byte " + std::to_string(parsed.offset) +
+              ": " + parsed.error;
+    return s;
+  }
+  return summarize_chrome_trace(parsed.value);
+}
+
+std::string TraceSummary::format() const {
+  std::ostringstream out;
+  out << "trace: " << trace_events << " JSON records, " << events_recorded
+      << " protocol events recorded, " << events_dropped
+      << " evicted by ring wraparound\n"
+      << "tokens: " << token_inserts << " inserted, " << token_consumes
+      << " consumed   recoveries: " << recoveries << "   faults: " << faults
+      << "\n\n";
+  if (!by_name.empty()) {
+    stats::Table t({"event", "retained"});
+    for (const auto& [name, n] : by_name) {
+      t.add_row({name, std::to_string(n)});
+    }
+    out << t.to_string() << '\n';
+  }
+  if (!slices.empty()) {
+    stats::Table t({"slice", "count", "total cycles", "mean cycles"});
+    for (const auto& [name, ss] : slices) {
+      t.add_row({name, std::to_string(ss.count),
+                 std::to_string(ss.total_cycles),
+                 stats::Table::fmt(ss.count == 0
+                                       ? 0.0
+                                       : static_cast<double>(ss.total_cycles) /
+                                             static_cast<double>(ss.count),
+                                   1)});
+    }
+    out << t.to_string() << '\n';
+  }
+  if (!by_track.empty()) {
+    stats::Table t({"track", "events"});
+    for (const auto& [name, n] : by_track) {
+      t.add_row({name, std::to_string(n)});
+    }
+    out << t.to_string();
+  }
+  return out.str();
+}
+
+}  // namespace ssomp::trace

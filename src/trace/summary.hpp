@@ -1,0 +1,52 @@
+// Trace-file summarization for `slipreport --trace FILE`.
+//
+// Parses a Chrome trace-event JSON file produced by trace/chrome.hpp and
+// reduces it to the numbers a terminal reader wants: exact protocol
+// counts (from otherData, eviction-proof), retained-event breakdowns per
+// name and per track, and total/mean durations of the retained wait and
+// barrier slices. Parse failures are reported with a byte offset so a
+// malformed trace fails loudly (the CI smoke job relies on this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "trace/jsonv.hpp"
+
+namespace ssomp::trace {
+
+struct SliceStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_cycles = 0;
+};
+
+struct TraceSummary {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t trace_events = 0;  // records in the traceEvents array
+  std::map<std::string, std::uint64_t> by_name;    // instants + B slices
+  std::map<std::string, std::uint64_t> by_track;   // per thread_name
+  std::map<std::string, SliceStats> slices;        // paired B/E durations
+
+  // Exact aggregate counts from otherData (0 when absent).
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t token_inserts = 0;
+  std::uint64_t token_consumes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t faults = 0;
+
+  /// Renders the summary as text tables.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Summarizes parsed trace JSON. Returns ok=false with an explanation
+/// when the document is not a chrome trace object.
+[[nodiscard]] TraceSummary summarize_chrome_trace(const JsonValue& root);
+
+/// Convenience: parse + summarize raw text.
+[[nodiscard]] TraceSummary summarize_chrome_trace_text(std::string_view text);
+
+}  // namespace ssomp::trace

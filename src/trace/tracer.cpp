@@ -1,0 +1,189 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+namespace ssomp::trace {
+
+void Tracer::attach(sim::Engine& engine, const TraceConfig& cfg) {
+  if (!cfg.enabled) return;
+  SSOMP_CHECK(engine_ == nullptr);
+  engine_ = &engine;
+  rings_.reserve(static_cast<std::size_t>(engine.cpu_count()));
+  for (int c = 0; c < engine.cpu_count(); ++c) {
+    rings_.emplace_back(cfg.ring_capacity);
+    cpu_names_.push_back(engine.cpu(c).name());
+  }
+}
+
+void Tracer::emit(int cpu, EventKind kind, std::uint64_t arg0,
+                  std::uint64_t arg1, int node) {
+  if (engine_ == nullptr) return;
+  SSOMP_CHECK(cpu >= 0 && cpu < cpu_count());
+  Event e;
+  e.when = engine_->now();
+  e.seq = next_seq_++;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.kind = kind;
+  e.cpu = static_cast<std::int16_t>(cpu);
+  e.node = static_cast<std::int16_t>(node);
+  rings_[static_cast<std::size_t>(cpu)].push(e);
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+TraceCounts Tracer::counts() const {
+  TraceCounts c;
+  c.by_kind = kind_counts_;
+  for (const EventRing& r : rings_) {
+    c.recorded += r.pushed();
+    c.dropped += r.dropped();
+  }
+  return c;
+}
+
+std::vector<Event> Tracer::sorted_events() const {
+  std::vector<Event> all;
+  std::size_t total = 0;
+  for (const EventRing& r : rings_) total += r.size();
+  all.reserve(total);
+  for (const EventRing& r : rings_) {
+    for (std::size_t i = 0; i < r.size(); ++i) all.push_back(r.at(i));
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  });
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+
+void Instrumentation::configure(sim::Engine& engine,
+                                const TraceConfig& trace_cfg,
+                                bool metrics_on) {
+  tracer_.attach(engine, trace_cfg);
+  metrics_on_ = metrics_on;
+  active_ = tracer_.enabled() || metrics_on_;
+  if (!metrics_on_) return;
+  token_wait_ = &metrics_.histogram("token_wait_cycles");
+  syscall_wait_ = &metrics_.histogram("syscall_wait_cycles");
+  barrier_stall_ = &metrics_.histogram("barrier_stall_cycles");
+  run_ahead_ = &metrics_.histogram("run_ahead_distance");
+  region_conversion_pct_ = &metrics_.histogram("region_conversion_pct");
+  tokens_inserted_ = &metrics_.counter("tokens_inserted");
+  tokens_consumed_ = &metrics_.counter("tokens_consumed");
+  chunks_forwarded_ = &metrics_.counter("chunks_forwarded");
+  chunks_dropped_ = &metrics_.counter("chunks_dropped");
+  stores_converted_ = &metrics_.counter("stores_converted");
+  stores_dropped_ = &metrics_.counter("stores_dropped");
+  recoveries_ = &metrics_.counter("recoveries_requested");
+  faults_ = &metrics_.counter("faults_injected");
+}
+
+void Instrumentation::sem_insert(int cpu, int node, bool syscall,
+                                 int count_after) {
+  tracer_.emit(cpu, syscall ? EventKind::kSyscallInsert
+                            : EventKind::kTokenInsert,
+               static_cast<std::uint64_t>(count_after), 0, node);
+  if (metrics_on_ && !syscall) tokens_inserted_->inc();
+}
+
+void Instrumentation::sem_consume(int cpu, int node, bool syscall,
+                                  int count_after) {
+  tracer_.emit(cpu, syscall ? EventKind::kSyscallConsume
+                            : EventKind::kTokenConsume,
+               static_cast<std::uint64_t>(count_after), 0, node);
+  if (metrics_on_ && !syscall) tokens_consumed_->inc();
+}
+
+void Instrumentation::sem_wait_begin(int cpu, int node, bool syscall) {
+  tracer_.emit(cpu, syscall ? EventKind::kSyscallWaitBegin
+                            : EventKind::kTokenWaitBegin,
+               0, 0, node);
+}
+
+void Instrumentation::sem_wait_end(int cpu, int node, bool syscall,
+                                   std::uint64_t waited, bool poisoned) {
+  tracer_.emit(cpu, syscall ? EventKind::kSyscallWaitEnd
+                            : EventKind::kTokenWaitEnd,
+               waited, poisoned ? 1 : 0, node);
+  if (metrics_on_) {
+    (syscall ? syscall_wait_ : token_wait_)->record(waited);
+  }
+}
+
+void Instrumentation::mailbox_push(int cpu, int node, long lo, long hi) {
+  tracer_.emit(cpu, EventKind::kChunkPush, static_cast<std::uint64_t>(lo),
+               static_cast<std::uint64_t>(hi), node);
+  if (metrics_on_) chunks_forwarded_->inc();
+}
+
+void Instrumentation::mailbox_pop(int cpu, int node, long lo, long hi) {
+  tracer_.emit(cpu, EventKind::kChunkPop, static_cast<std::uint64_t>(lo),
+               static_cast<std::uint64_t>(hi), node);
+}
+
+void Instrumentation::mailbox_drop(int cpu, int node, std::uint64_t depth) {
+  tracer_.emit(cpu, EventKind::kChunkDrop, depth, 0, node);
+  if (metrics_on_) chunks_dropped_->inc();
+}
+
+void Instrumentation::barrier_enter(int cpu, int node, int role) {
+  tracer_.emit(cpu, EventKind::kBarrierEnter,
+               static_cast<std::uint64_t>(role), 0, node);
+}
+
+void Instrumentation::barrier_exit(int cpu, int node, int role,
+                                   std::uint64_t stall) {
+  tracer_.emit(cpu, EventKind::kBarrierExit, static_cast<std::uint64_t>(role),
+               stall, node);
+  if (metrics_on_) barrier_stall_->record(stall);
+}
+
+void Instrumentation::region_begin(int cpu, int index, int mode) {
+  tracer_.emit(cpu, EventKind::kRegionBegin,
+               static_cast<std::uint64_t>(index),
+               static_cast<std::uint64_t>(mode));
+}
+
+void Instrumentation::region_end(int cpu, int index, std::uint64_t cycles,
+                                 std::uint64_t converted,
+                                 std::uint64_t dropped) {
+  tracer_.emit(cpu, EventKind::kRegionEnd, static_cast<std::uint64_t>(index),
+               cycles);
+  if (metrics_on_ && converted + dropped > 0) {
+    region_conversion_pct_->record(converted * 100 / (converted + dropped));
+  }
+}
+
+void Instrumentation::recovery_request(int cpu, int node) {
+  tracer_.emit(cpu, EventKind::kRecoveryRequest, 0, 0, node);
+  if (metrics_on_) recoveries_->inc();
+}
+
+void Instrumentation::recovery_ack(int cpu, int node) {
+  tracer_.emit(cpu, EventKind::kRecoveryAck, 0, 0, node);
+}
+
+void Instrumentation::store_converted(int cpu, int node, std::uint64_t addr) {
+  tracer_.emit(cpu, EventKind::kStoreConvert, addr, 0, node);
+  if (metrics_on_) stores_converted_->inc();
+}
+
+void Instrumentation::store_dropped(int cpu, int node, std::uint64_t addr) {
+  tracer_.emit(cpu, EventKind::kStoreDrop, addr, 0, node);
+  if (metrics_on_) stores_dropped_->inc();
+}
+
+void Instrumentation::fault(int cpu, int node, std::uint64_t kind) {
+  tracer_.emit(cpu, EventKind::kFault, kind, 0, node);
+  if (metrics_on_) faults_->inc();
+}
+
+void Instrumentation::run_ahead(int cpu, int node, std::uint64_t distance) {
+  if (metrics_on_) run_ahead_->record(distance);
+  (void)cpu;
+  (void)node;
+}
+
+}  // namespace ssomp::trace

@@ -1,0 +1,136 @@
+// Event tracer + instrumentation facade.
+//
+// Tracer owns one EventRing per simulated CPU plus exact per-kind
+// monotonic counters (immune to ring overflow). Instrumentation bundles
+// the tracer with the online MetricsRegistry and exposes one inline hook
+// per protocol transition; the runtime, the token semaphores and the
+// SlipPair mailbox call these hooks. Either half can be enabled
+// independently: full event tracing (--trace) is heavyweight in memory,
+// the metrics registry (--metrics) is O(1) per sample, and with both off
+// every hook is a single predictable branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "trace/metrics.hpp"
+#include "trace/ring.hpp"
+
+namespace ssomp::trace {
+
+/// Tracing knobs carried by rt::RuntimeOptions.
+struct TraceConfig {
+  bool enabled = false;
+  /// Events retained per CPU; older events are evicted on wraparound
+  /// (counts stay exact, see EventRing).
+  std::size_t ring_capacity = 1 << 14;
+};
+
+/// Exact aggregate counts, independent of ring eviction.
+struct TraceCounts {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;  // evicted by ring wraparound
+  std::array<std::uint64_t, kEventKindCount> by_kind{};
+
+  [[nodiscard]] std::uint64_t of(EventKind k) const {
+    return by_kind[static_cast<std::size_t>(k)];
+  }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Arms the tracer: one ring per CPU of `engine`, stamped from its
+  /// clock. Without this call the tracer stays disabled.
+  void attach(sim::Engine& engine, const TraceConfig& cfg);
+
+  [[nodiscard]] bool enabled() const { return engine_ != nullptr; }
+
+  void emit(int cpu, EventKind kind, std::uint64_t arg0 = 0,
+            std::uint64_t arg1 = 0, int node = -1);
+
+  [[nodiscard]] int cpu_count() const { return static_cast<int>(rings_.size()); }
+  [[nodiscard]] const EventRing& ring(int cpu) const { return rings_[static_cast<std::size_t>(cpu)]; }
+  [[nodiscard]] const std::string& cpu_name(int cpu) const {
+    return cpu_names_[static_cast<std::size_t>(cpu)];
+  }
+
+  /// Exact per-kind counts (monotonic; unaffected by eviction).
+  [[nodiscard]] TraceCounts counts() const;
+
+  /// All retained events merged across rings, ordered by (when, seq).
+  [[nodiscard]] std::vector<Event> sorted_events() const;
+
+ private:
+  sim::Engine* engine_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  std::vector<EventRing> rings_;
+  std::vector<std::string> cpu_names_;
+  std::array<std::uint64_t, kEventKindCount> kind_counts_{};
+};
+
+/// The single object the runtime wires through itself and the slipstream
+/// hardware models. Hooks fan out to the tracer (when tracing) and to the
+/// metrics registry (when metrics are on).
+class Instrumentation {
+ public:
+  /// Must be called once before the simulation starts. `metrics_on`
+  /// keeps the registry live even when `trace_cfg.enabled` is false.
+  void configure(sim::Engine& engine, const TraceConfig& trace_cfg,
+                 bool metrics_on);
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool metrics_on() const { return metrics_on_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  // --- hooks (semantics documented at the EventKind taxonomy) ---
+
+  void sem_insert(int cpu, int node, bool syscall, int count_after);
+  void sem_consume(int cpu, int node, bool syscall, int count_after);
+  void sem_wait_begin(int cpu, int node, bool syscall);
+  void sem_wait_end(int cpu, int node, bool syscall, std::uint64_t waited,
+                    bool poisoned);
+  void mailbox_push(int cpu, int node, long lo, long hi);
+  void mailbox_pop(int cpu, int node, long lo, long hi);
+  void mailbox_drop(int cpu, int node, std::uint64_t depth);
+  void barrier_enter(int cpu, int node, int role);
+  void barrier_exit(int cpu, int node, int role, std::uint64_t stall);
+  void region_begin(int cpu, int index, int mode);
+  void region_end(int cpu, int index, std::uint64_t cycles,
+                  std::uint64_t converted, std::uint64_t dropped);
+  void recovery_request(int cpu, int node);
+  void recovery_ack(int cpu, int node);
+  void store_converted(int cpu, int node, std::uint64_t addr);
+  void store_dropped(int cpu, int node, std::uint64_t addr);
+  void fault(int cpu, int node, std::uint64_t kind);
+  void run_ahead(int cpu, int node, std::uint64_t distance);
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+  bool metrics_on_ = false;
+  bool active_ = false;
+
+  // Pre-resolved registry handles for the hot hooks.
+  Histogram* token_wait_ = nullptr;
+  Histogram* syscall_wait_ = nullptr;
+  Histogram* barrier_stall_ = nullptr;
+  Histogram* run_ahead_ = nullptr;
+  Histogram* region_conversion_pct_ = nullptr;
+  Counter* tokens_inserted_ = nullptr;
+  Counter* tokens_consumed_ = nullptr;
+  Counter* chunks_forwarded_ = nullptr;
+  Counter* chunks_dropped_ = nullptr;
+  Counter* stores_converted_ = nullptr;
+  Counter* stores_dropped_ = nullptr;
+  Counter* recoveries_ = nullptr;
+  Counter* faults_ = nullptr;
+};
+
+}  // namespace ssomp::trace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "stats/memstats.hpp"
 #include "stats/report.hpp"
 #include "stats/reqclass.hpp"
@@ -75,6 +77,34 @@ TEST(TableTest, Formatters) {
   EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
 }
 
+TEST(TableTest, FormattersNegativeValues) {
+  EXPECT_EQ(Table::fmt(-1.2345, 2), "-1.23");
+  EXPECT_EQ(Table::pct(-0.5, 1), "-50.0%");
+}
+
+TEST(TableTest, FormattersHugeValuesAreNotTruncated) {
+  // %f on 1e300 needs 300+ characters; a fixed 64-byte buffer would
+  // silently truncate. The full rendering ends with the asked precision.
+  const std::string s = Table::fmt(1e300, 2);
+  EXPECT_GT(s.size(), 300u);
+  EXPECT_EQ(s.substr(s.size() - 3), ".00");
+  EXPECT_EQ(s[0], '1');
+  const std::string p = Table::pct(1e300, 1);
+  EXPECT_EQ(p.back(), '%');
+  EXPECT_GT(p.size(), 300u);
+}
+
+TEST(TableTest, FormattersNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Table::fmt(nan, 2), "nan");
+  EXPECT_EQ(Table::fmt(inf, 2), "inf");
+  EXPECT_EQ(Table::fmt(-inf, 2), "-inf");
+  EXPECT_EQ(Table::pct(nan, 1), "nan%");
+  EXPECT_EQ(Table::pct(inf, 1), "inf%");
+  EXPECT_EQ(Table::pct(-inf, 1), "-inf%");
+}
+
 TEST(TimelineTest, SamplesCategoriesOverTime) {
   sim::Engine engine;
   sim::SimCpu& cpu = engine.add_cpu("p0");
@@ -102,6 +132,47 @@ TEST(TimelineTest, SamplingStopsWhenCpusFinish) {
   engine.run();
   // One trailing sample after completion at most.
   EXPECT_LE(tl.samples().back().when, 600u);
+}
+
+TEST(TimelineTest, ShortRunStillGetsASampleAfterFinalize) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("p0");
+  cpu.start([&] { cpu.consume(100, sim::TimeCategory::kBusy); });
+  Timeline tl(engine, 10000);  // interval longer than the whole run
+  engine.run();
+  EXPECT_TRUE(tl.samples().empty());  // no tick ever fired...
+  tl.finalize();
+  ASSERT_EQ(tl.samples().size(), 1u);  // ...but the end state is recorded
+  EXPECT_EQ(tl.samples().back().when, 100u);
+  EXPECT_GT(tl.fraction(0, sim::TimeCategory::kBusy), 0.9);
+}
+
+TEST(TimelineTest, FinalizeCancelsPendingTickWithoutAdvancingTime) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("p0");
+  cpu.start([&] { cpu.consume(120, sim::TimeCategory::kBusy); });
+  Timeline tl(engine, 100);
+  engine.run();
+  tl.finalize();
+  // The tick due at cycle 200 must not fire or inflate simulated time.
+  EXPECT_EQ(engine.run(), 120u);
+  EXPECT_EQ(tl.samples().back().when, 120u);
+  // Idempotent: a second finalize at the same instant records nothing new.
+  const std::size_t n = tl.samples().size();
+  tl.finalize();
+  EXPECT_EQ(tl.samples().size(), n);
+}
+
+TEST(TimelineTest, FractionBoundsChecksCpu) {
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("p0");
+  cpu.start([&] { cpu.consume(500, sim::TimeCategory::kBusy); });
+  Timeline tl(engine, 50);
+  engine.run();
+  tl.finalize();
+  EXPECT_EQ(tl.fraction(-1, sim::TimeCategory::kBusy), 0.0);
+  EXPECT_EQ(tl.fraction(7, sim::TimeCategory::kBusy), 0.0);
+  EXPECT_GT(tl.fraction(0, sim::TimeCategory::kBusy), 0.9);
 }
 
 TEST(TimelineTest, BlockedCpuReportsWaitCategory) {

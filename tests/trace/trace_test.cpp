@@ -1,0 +1,290 @@
+// Observability layer: ring buffers, metrics, tracer, Chrome export,
+// the JSON reader, and the end-to-end cross-check against the runtime's
+// SlipRegionStats counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "rt/shared.hpp"
+#include "tests/helpers.hpp"
+#include "trace/chrome.hpp"
+#include "trace/jsonv.hpp"
+#include "trace/metrics.hpp"
+#include "trace/ring.hpp"
+#include "trace/summary.hpp"
+#include "trace/tracer.hpp"
+
+namespace ssomp::trace {
+namespace {
+
+using front::ScheduleClause;
+using test::Harness;
+
+// --- EventRing -----------------------------------------------------------
+
+TEST(EventRingTest, StoresUpToCapacity) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Event e;
+    e.seq = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.pushed(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.at(0).seq, 0u);
+  EXPECT_EQ(ring.at(2).seq, 2u);
+}
+
+TEST(EventRingTest, WraparoundEvictsOldestAndCountsExactly) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Event e;
+    e.seq = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Chronological order is preserved: oldest retained is seq 6.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).seq, 6u + i);
+  }
+}
+
+// --- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, ExactAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0u);  // empty
+  h.record(0);
+  h.record(7);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 107u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.mean(), 107.0 / 3.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentilesAreBucketUppersClampedToObservedRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  // Rank 50 lands in bucket [32, 63] (cumulative 63) -> upper bound 63.
+  EXPECT_EQ(h.percentile(50), 63u);
+  // Rank 100 lands in bucket [64, 127]; clamped to the observed max.
+  EXPECT_EQ(h.percentile(100), 100u);
+  // Rank floor: clamped to the observed min.
+  EXPECT_EQ(h.percentile(0), 1u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(MetricsRegistryTest, JsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("tokens").inc(3);
+  reg.histogram("wait").record(5);
+  reg.histogram("wait").record(90);
+  const auto parsed = parse_json(reg.to_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue* counters = parsed.value.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("tokens"), 3.0);
+  const JsonValue* hists = parsed.value.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* wait = hists->find("wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->number_or("count"), 2.0);
+  EXPECT_EQ(wait->number_or("sum"), 95.0);
+}
+
+// --- Tracer --------------------------------------------------------------
+
+TEST(TracerTest, KindCountsSurviveRingEviction) {
+  sim::Engine engine;
+  engine.add_cpu("p0");
+  Tracer tracer;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 8;
+  tracer.attach(engine, cfg);
+  for (int i = 0; i < 100; ++i) {
+    tracer.emit(0, EventKind::kTokenInsert, static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 50; ++i) {
+    tracer.emit(0, EventKind::kTokenConsume);
+  }
+  const TraceCounts counts = tracer.counts();
+  EXPECT_EQ(counts.recorded, 150u);
+  EXPECT_EQ(counts.dropped, 142u);  // ring keeps only 8
+  EXPECT_EQ(counts.of(EventKind::kTokenInsert), 100u);
+  EXPECT_EQ(counts.of(EventKind::kTokenConsume), 50u);
+  EXPECT_EQ(tracer.ring(0).size(), 8u);
+  // Exact counts still flow into the exported JSON's otherData.
+  const auto parsed = parse_json(chrome_trace_json(tracer));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue* other = parsed.value.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->number_or("token_insert"), 100.0);
+  EXPECT_EQ(other->number_or("token_consume"), 50.0);
+  EXPECT_EQ(other->number_or("events_dropped"), 142.0);
+}
+
+TEST(TracerTest, SortedEventsMergeAcrossCpus) {
+  sim::Engine engine;
+  engine.add_cpu("p0");
+  engine.add_cpu("p1");
+  Tracer tracer;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  tracer.attach(engine, cfg);
+  tracer.emit(1, EventKind::kBarrierEnter);
+  tracer.emit(0, EventKind::kBarrierEnter);
+  tracer.emit(1, EventKind::kBarrierExit);
+  const auto events = tracer.sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Same cycle: global sequence breaks the tie in emission order.
+  EXPECT_EQ(events[0].cpu, 1);
+  EXPECT_EQ(events[1].cpu, 0);
+  EXPECT_EQ(events[2].kind, EventKind::kBarrierExit);
+}
+
+// --- JSON reader ---------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalarsArraysObjects) {
+  const auto r = parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": "x\"yA", "c": true, "d": null})");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.value.is_object());
+  const JsonValue* a = r.value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].number, -300.0);
+  EXPECT_EQ(r.value.string_or("b"), "x\"yA");
+  EXPECT_TRUE(r.value.find("c")->boolean);
+  EXPECT_EQ(r.value.find("d")->type, JsonValue::Type::kNull);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{").ok);
+  EXPECT_FALSE(parse_json("[1,]").ok);
+  EXPECT_FALSE(parse_json("\"unterminated").ok);
+  EXPECT_FALSE(parse_json("{} trailing").ok);
+  EXPECT_FALSE(parse_json("{\"k\" 1}").ok);
+  const auto r = parse_json("[1, x]");
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.offset, 0u);
+}
+
+// --- End-to-end: slipstream run -> trace -> parse-back -------------------
+
+rt::RuntimeOptions traced_slip_opts() {
+  rt::RuntimeOptions o;
+  o.mode = rt::ExecutionMode::kSlipstream;
+  o.slip = slip::SlipstreamConfig::one_token_local();
+  o.trace.enabled = true;
+  o.metrics = true;
+  return o;
+}
+
+TEST(TraceEndToEndTest, TokenEventCountsMatchSlipRegionStats) {
+  Harness h(2, traced_slip_opts());
+  rt::SharedArray<double> data(*h.runtime, 256, "d");
+  h.run([&](rt::SerialCtx& sc) {
+    for (int r = 0; r < 3; ++r) {
+      sc.parallel([&](rt::ThreadCtx& t) {
+        t.for_loop(0, 256, ScheduleClause{}, [&](long i) {
+          data.write(t, static_cast<std::size_t>(i),
+                     static_cast<double>(i));
+        });
+        t.barrier();
+      });
+    }
+  });
+  const auto& stats = h.runtime->slip_stats();
+  const auto counts = h.runtime->instrumentation().tracer().counts();
+  EXPECT_GT(stats.tokens_inserted, 0u);
+  EXPECT_EQ(counts.of(EventKind::kTokenInsert), stats.tokens_inserted);
+  EXPECT_EQ(counts.of(EventKind::kTokenConsume), stats.tokens_consumed);
+  EXPECT_EQ(counts.of(EventKind::kChunkPush), stats.forwarded_chunks);
+  EXPECT_EQ(counts.of(EventKind::kStoreConvert), stats.converted_stores);
+  EXPECT_EQ(counts.of(EventKind::kStoreDrop), stats.dropped_stores);
+  EXPECT_EQ(counts.of(EventKind::kRecoveryRequest), stats.recoveries);
+
+  // The metrics registry aggregates the same protocol online.
+  const auto& metrics = h.runtime->instrumentation().metrics();
+  EXPECT_EQ(metrics.counters().at("tokens_inserted").value(),
+            stats.tokens_inserted);
+  EXPECT_EQ(metrics.counters().at("tokens_consumed").value(),
+            stats.tokens_consumed);
+}
+
+TEST(TraceEndToEndTest, ChromeExportParsesBackAndSummarizes) {
+  Harness h(2, traced_slip_opts());
+  rt::SharedArray<double> data(*h.runtime, 128, "d");
+  h.run([&](rt::SerialCtx& sc) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      t.for_loop(0, 128, ScheduleClause{}, [&](long i) {
+        data.write(t, static_cast<std::size_t>(i), 1.0);
+      });
+    });
+  });
+  const auto& tracer = h.runtime->instrumentation().tracer();
+  const std::string json = chrome_trace_json(tracer);
+  const auto parsed = parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error << " at offset " << parsed.offset;
+
+  const JsonValue* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->array.size(), 0u);
+  // Every record carries the mandatory chrome fields, and B/E slices
+  // balance per track (no dangling begins).
+  std::map<std::string, int> depth;  // tid|name -> open count
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const std::string ph = e.string_or("ph");
+    ASSERT_FALSE(ph.empty());
+    if (ph == "B") ++depth[e.string_or("name")];
+    if (ph == "E") --depth[e.string_or("name")];
+  }
+  for (const auto& [name, d] : depth) EXPECT_EQ(d, 0) << name;
+
+  const auto summary = summarize_chrome_trace_text(json);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.token_inserts,
+            h.runtime->slip_stats().tokens_inserted);
+  EXPECT_EQ(summary.token_consumes,
+            h.runtime->slip_stats().tokens_consumed);
+  EXPECT_FALSE(summary.format().empty());
+}
+
+TEST(TraceEndToEndTest, DisabledInstrumentationRecordsNothing) {
+  Harness h(2, rt::ExecutionMode::kSlipstream);
+  rt::SharedArray<double> data(*h.runtime, 64, "d");
+  h.run([&](rt::SerialCtx& sc) {
+    sc.parallel([&](rt::ThreadCtx& t) {
+      t.for_loop(0, 64, ScheduleClause{}, [&](long i) {
+        data.write(t, static_cast<std::size_t>(i), 1.0);
+      });
+    });
+  });
+  const auto& inst = h.runtime->instrumentation();
+  EXPECT_FALSE(inst.active());
+  EXPECT_FALSE(inst.tracer().enabled());
+  EXPECT_EQ(inst.tracer().counts().recorded, 0u);
+}
+
+}  // namespace
+}  // namespace ssomp::trace

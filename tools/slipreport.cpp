@@ -1,29 +1,67 @@
 // slipreport — the slipstream-aware compiler's report tool.
 //
 //   slipreport file.c [OMP_SLIPSTREAM-value]
+//   slipreport --trace trace.json
 //
-// Scans OpenMP-annotated source and prints the slipstream handling of
-// every construct (paper §3.1) plus the resolved A/R synchronization per
-// parallel region (§3.3 precedence). With no file argument, reads stdin.
+// In source mode, scans OpenMP-annotated source and prints the slipstream
+// handling of every construct (paper §3.1) plus the resolved A/R
+// synchronization per parallel region (§3.3 precedence). With no file
+// argument, reads stdin.
+//
+// In trace mode, parses a Chrome trace-event JSON file produced by
+// `ssomp_run --trace` and prints the protocol summary (exact token
+// counts, retained-event breakdowns, wait/barrier slice durations).
+// Exits nonzero when the file is not valid trace JSON.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "front/report.hpp"
+#include "trace/summary.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--trace") {
+    if (argc < 3) {
+      std::fprintf(stderr, "slipreport: --trace needs a file argument\n");
+      return 2;
+    }
+    std::string text;
+    if (!read_file(argv[2], text)) {
+      std::fprintf(stderr, "slipreport: cannot open %s\n", argv[2]);
+      return 1;
+    }
+    const auto summary = ssomp::trace::summarize_chrome_trace_text(text);
+    if (!summary.ok) {
+      std::fprintf(stderr, "slipreport: %s: %s\n", argv[2],
+                   summary.error.c_str());
+      return 2;
+    }
+    std::fputs(summary.format().c_str(), stdout);
+    return 0;
+  }
+
   std::string source;
   std::string env;
   if (argc > 1 && std::string(argv[1]) != "-") {
-    std::ifstream in(argv[1]);
-    if (!in) {
+    if (!read_file(argv[1], source)) {
       std::fprintf(stderr, "slipreport: cannot open %s\n", argv[1]);
       return 1;
     }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    source = ss.str();
   } else {
     std::stringstream ss;
     ss << std::cin.rdbuf();

@@ -6,14 +6,20 @@
 //             [--scale tiny|bench] [--env OMP_SLIPSTREAM-value]
 //             [--self-invalidation] [--divergence N]
 //             [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit] [--json]
+//             [--trace FILE] [--metrics] [--timeline FILE[,INTERVAL]]
 //
 // Runs one workload on one configuration and prints either a summary
 // table or a machine-readable JSON object. --inject deterministically
 // fires one fault into the slipstream recovery machinery (see
 // docs/FAULTS.md); --audit enables the token/mailbox/recovery invariant
 // auditor (always on in debug builds) and fails the run on violations.
+// --trace/--metrics/--timeline are the observability layer (see
+// docs/OBSERVABILITY.md). Every value-taking flag also accepts the
+// --flag=value form.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "apps/registry.hpp"
@@ -33,10 +39,26 @@ namespace {
       "                 [--sched KIND[,CHUNK]] [--scale tiny|bench]\n"
       "                 [--env VALUE] [--self-invalidation] [--json]\n"
       "                 [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit]\n"
+      "                 [--trace FILE] [--metrics]\n"
+      "                 [--timeline FILE[,INTERVAL]]\n"
       "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
       "               extra-token recover-in-consume recover-in-syscall\n"
-      "               corrupt-forward\n");
+      "               corrupt-forward\n"
+      "  --trace FILE     write a Perfetto-loadable Chrome trace-event\n"
+      "                   JSON of the slipstream protocol to FILE\n"
+      "  --metrics        print counters + cycle histograms (implied by\n"
+      "                   --trace; included in --json output)\n"
+      "  --timeline FILE  write per-CPU activity samples as CSV, sampled\n"
+      "                   every INTERVAL cycles (default 10000)\n"
+      "  all value flags accept --flag VALUE or --flag=VALUE\n");
   std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -54,10 +76,24 @@ int main(int argc, char** argv) {
   bool self_inval = false;
   slip::FaultPlan fault{};
   bool audit = slip::kAuditDefaultOn;
+  std::string trace_file;
+  std::string timeline_spec;
+  bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline = true;
+      }
+    }
     const auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
@@ -88,10 +124,22 @@ int main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--trace") {
+      trace_file = value();
+      if (trace_file.empty()) usage("empty --trace file name");
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--timeline") {
+      timeline_spec = value();
+      if (timeline_spec.empty()) usage("empty --timeline file name");
     } else {
-      usage(("unknown argument " + arg).c_str());
+      usage(("unknown argument " + std::string(argv[i])).c_str());
     }
   }
+
+  // App names are registered uppercase; accept any casing on the CLI.
+  for (char& c : app) c = static_cast<char>(std::toupper(
+                         static_cast<unsigned char>(c)));
 
   core::ExperimentConfig cfg;
   cfg.machine.ncmp = ncmp;
@@ -112,6 +160,23 @@ int main(int argc, char** argv) {
   cfg.runtime.policies.self_invalidation = self_inval;
   cfg.runtime.fault = fault;
   cfg.runtime.audit = audit;
+  cfg.runtime.trace.enabled = !trace_file.empty();
+  cfg.runtime.metrics = metrics;
+
+  std::string timeline_file;
+  if (!timeline_spec.empty()) {
+    timeline_file = timeline_spec;
+    cfg.timeline_interval = 10000;
+    const auto comma = timeline_spec.rfind(',');
+    if (comma != std::string::npos && comma + 1 < timeline_spec.size()) {
+      const long interval = std::atol(timeline_spec.c_str() + comma + 1);
+      if (interval > 0) {
+        timeline_file = timeline_spec.substr(0, comma);
+        cfg.timeline_interval = static_cast<sim::Cycles>(interval);
+      }
+    }
+    if (timeline_file.empty()) usage("empty --timeline file name");
+  }
 
   const auto sched = front::parse_schedule_clause(sched_text);
   if (!sched.ok) usage(("bad --sched: " + sched.error).c_str());
@@ -120,6 +185,22 @@ int main(int argc, char** argv) {
       app, tiny ? apps::AppScale::kTiny : apps::AppScale::kBench,
       sched.value);
   const auto result = core::run_experiment(cfg, factory);
+
+  bool outputs_ok = true;
+  if (!trace_file.empty()) {
+    if (!write_file(trace_file, result.trace_json)) {
+      std::fprintf(stderr, "ssomp_run: cannot write trace to %s\n",
+                   trace_file.c_str());
+      outputs_ok = false;
+    }
+  }
+  if (!timeline_file.empty()) {
+    if (!write_file(timeline_file, result.timeline_csv)) {
+      std::fprintf(stderr, "ssomp_run: cannot write timeline to %s\n",
+                   timeline_file.c_str());
+      outputs_ok = false;
+    }
+  }
 
   if (json) {
     std::printf("%s\n", core::to_json(cfg, result).c_str());
@@ -157,9 +238,37 @@ int main(int argc, char** argv) {
                  stats::Table::pct(result.fraction(cat))});
     }
     t.print();
+    if (result.trace_enabled) {
+      const auto& tc = result.trace_counts;
+      std::printf(
+          "trace: %s  (%llu events, %llu evicted)\n"
+          "trace tokens: insert=%llu consume=%llu  "
+          "slip stats: insert=%llu consume=%llu  [%s]\n",
+          trace_file.c_str(), static_cast<unsigned long long>(tc.recorded),
+          static_cast<unsigned long long>(tc.dropped),
+          static_cast<unsigned long long>(tc.of(trace::EventKind::kTokenInsert)),
+          static_cast<unsigned long long>(
+              tc.of(trace::EventKind::kTokenConsume)),
+          static_cast<unsigned long long>(result.slip.tokens_inserted),
+          static_cast<unsigned long long>(result.slip.tokens_consumed),
+          tc.of(trace::EventKind::kTokenInsert) ==
+                      result.slip.tokens_inserted &&
+                  tc.of(trace::EventKind::kTokenConsume) ==
+                      result.slip.tokens_consumed
+              ? "match"
+              : "MISMATCH");
+    }
+    if (!timeline_file.empty()) {
+      std::printf("timeline: %s  (interval %llu cycles)\n",
+                  timeline_file.c_str(),
+                  static_cast<unsigned long long>(cfg.timeline_interval));
+    }
+    if (result.metrics_enabled) {
+      std::fputs(result.metrics_text.c_str(), stdout);
+    }
   }
   return result.workload.verified && result.invariants_ok &&
-                 result.audit_ok
+                 result.audit_ok && outputs_ok
              ? 0
              : 1;
 }
