@@ -81,6 +81,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.audit_checks = runtime.auditor().checks_performed();
   result.audit_violations = runtime.auditor().violations();
   result.faults_injected = runtime.fault_injector().fired();
+  for (const slip::WatchdogReport& rep : runtime.watchdog().reports()) {
+    result.watchdog_reports.push_back(rep.describe());
+  }
 
   const trace::Instrumentation& inst = runtime.instrumentation();
   result.trace_enabled = inst.tracer().enabled();

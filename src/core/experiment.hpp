@@ -46,6 +46,10 @@ struct ExperimentResult {
   /// Number of faults the injector fired (0 on clean runs).
   std::uint64_t faults_injected = 0;
 
+  /// One line per diagnosed no-progress hang (slip::WatchdogReport
+  /// describe() strings; empty when the watchdog never tripped).
+  std::vector<std::string> watchdog_reports;
+
   /// Observability captures (filled only when the matching option is on).
   bool trace_enabled = false;
   bool metrics_enabled = false;

@@ -91,6 +91,8 @@ std::string to_json(const ExperimentConfig& config,
     o.field("audit_ok", result.audit_ok);
     o.field("audit_checks", result.audit_checks);
     o.field("faults_injected", result.faults_injected);
+    o.field("watchdog_reports",
+            static_cast<std::uint64_t>(result.watchdog_reports.size()));
     o.field("checksum", result.workload.checksum);
     o.field("detail", result.workload.detail);
     o.close();
@@ -158,6 +160,11 @@ std::string to_json(const ExperimentConfig& config,
     o.field("forwarded_chunks", s.forwarded_chunks);
     o.field("converted_stores", s.converted_stores);
     o.field("dropped_stores", s.dropped_stores);
+    o.field("restarts", s.restarts);
+    o.field("benched_barriers", s.benched_barriers);
+    o.field("watchdog_trips", s.watchdog_trips);
+    o.field("demotions", s.demotions);
+    o.field("promotions", s.promotions);
     o.close();
   }
 

@@ -1,0 +1,40 @@
+#include "rt/degrade.hpp"
+
+namespace ssomp::rt {
+
+DegradationController::Transition DegradationController::on_region_end(
+    int node, bool recovered) {
+  if (!enabled_) return Transition::kNone;
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  switch (n.state) {
+    case State::kHealthy:
+      if (!recovered) {
+        n.strikes = 0;
+        return Transition::kNone;
+      }
+      if (++n.strikes < demote_after_) return Transition::kNone;
+      n.state = State::kDegraded;
+      n.strikes = 0;
+      n.demoted_clock = 0;
+      ++demotions_;
+      return Transition::kDemoted;
+    case State::kDegraded:
+      if (++n.demoted_clock < probation_) return Transition::kNone;
+      n.state = State::kProbation;
+      ++promotions_;
+      return Transition::kPromoted;
+    case State::kProbation:
+      if (recovered) {
+        n.state = State::kDegraded;
+        n.demoted_clock = 0;
+        ++demotions_;
+        return Transition::kDemoted;
+      }
+      n.state = State::kHealthy;
+      n.strikes = 0;
+      return Transition::kRestored;
+  }
+  return Transition::kNone;
+}
+
+}  // namespace ssomp::rt

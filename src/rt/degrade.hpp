@@ -1,0 +1,100 @@
+// Adaptive per-CMP degradation of chronically diverging slipstream pairs.
+//
+// Recovery is not free: every divergence costs the R-stream a probe and
+// the A-stream an unwind (plus replay under the restart policy), and a
+// pair that diverges every region burns those cycles without ever
+// delivering run-ahead benefit. The controller watches each CMP's
+// region-by-region recovery record and demotes a pair that strikes out
+// `demote_after` regions in a row to single-stream: the runtime stops
+// building an A-stream member for that CMP, so the node runs its task
+// exactly like ExecutionMode::kSingle while the rest of the machine keeps
+// slipstreaming. After `probation` demoted regions the pair is re-promoted
+// on probation for one region: a clean probation region restores it to
+// healthy, a recovery during probation sends it straight back to the
+// bench for another probation period.
+//
+// State machine, advanced once per (node, region) at region end:
+//
+//            recovered && ++strikes >= demote_after
+//   Healthy ------------------------------------------> Degraded
+//      ^  \______ clean region resets strikes ______/      |
+//      |                                                   | probation
+//      |   clean probation region                          v  regions pass
+//      +----------------------------------------------- Probation
+//                      recovered -> Degraded (probation restarts)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ssomp::rt {
+
+class DegradationController {
+ public:
+  enum class State : std::uint8_t { kHealthy = 0, kDegraded, kProbation };
+
+  /// What on_region_end decided for the node this region.
+  enum class Transition : std::uint8_t {
+    kNone = 0,
+    kDemoted,   // Healthy/Probation -> Degraded
+    kPromoted,  // Degraded -> Probation (one trial region)
+    kRestored,  // Probation -> Healthy (clean trial)
+  };
+
+  DegradationController() : DegradationController(false, 2, 4, 1) {}
+  DegradationController(bool enabled, int demote_after, int probation,
+                        int ncmp)
+      : enabled_(enabled),
+        demote_after_(demote_after),
+        probation_(probation),
+        nodes_(static_cast<std::size_t>(ncmp)) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Whether the runtime should build an A-stream member for `node` in
+  /// the region about to start. Degraded nodes run single-stream.
+  [[nodiscard]] bool slipstream_allowed(int node) const {
+    if (!enabled_) return true;
+    return nodes_[static_cast<std::size_t>(node)].state != State::kDegraded;
+  }
+
+  [[nodiscard]] State state(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].state;
+  }
+
+  /// Advances the per-node state machine after a region's join completes.
+  /// `recovered` is whether the node's pair raised at least one recovery
+  /// in the region just finished (always false for a demoted node — it
+  /// had no A-stream to diverge). Returns the transition taken, if any.
+  Transition on_region_end(int node, bool recovered);
+
+  [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+
+ private:
+  struct Node {
+    State state = State::kHealthy;
+    int strikes = 0;       // consecutive recovered regions while Healthy
+    int demoted_clock = 0;  // regions served while Degraded
+  };
+
+  bool enabled_;
+  int demote_after_;
+  int probation_;
+  std::vector<Node> nodes_;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    DegradationController::State s) {
+  switch (s) {
+    case DegradationController::State::kHealthy: return "healthy";
+    case DegradationController::State::kDegraded: return "degraded";
+    case DegradationController::State::kProbation: return "probation";
+  }
+  return "?";
+}
+
+}  // namespace ssomp::rt

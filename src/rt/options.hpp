@@ -4,6 +4,7 @@
 #include <string>
 
 #include "front/directive.hpp"
+#include "sim/types.hpp"
 #include "slip/audit.hpp"
 #include "slip/config.hpp"
 #include "slip/faultinject.hpp"
@@ -27,6 +28,32 @@ enum class ExecutionMode : std::uint8_t { kSingle = 0, kDouble, kSlipstream };
   return "?";
 }
 
+/// What the A-stream does after a recovery unwinds it mid-region:
+///   kBench    sit out the rest of the region (the paper's conservative
+///             recovery — run-ahead resumes at the next region);
+///   kRestart  resynchronize to the R-stream's current barrier episode and
+///             resume run-ahead inside the same region, falling back to
+///             the bench once the per-region restart budget is exhausted.
+enum class RecoveryPolicy : std::uint8_t { kBench = 0, kRestart };
+
+[[nodiscard]] constexpr std::string_view to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kBench: return "bench";
+    case RecoveryPolicy::kRestart: return "restart";
+  }
+  return "?";
+}
+
+/// Adaptive per-CMP degradation (rt/degrade.hpp): demote a chronically
+/// diverging pair to single-stream, re-probe it after a probation period.
+struct DegradeOptions {
+  bool enabled = false;
+  /// Consecutive regions with a recovery before the CMP is demoted.
+  int demote_after = 2;
+  /// Regions a demoted CMP sits out before a probation re-promotion.
+  int probation = 4;
+};
+
 struct RuntimeOptions {
   ExecutionMode mode = ExecutionMode::kSingle;
 
@@ -45,6 +72,22 @@ struct RuntimeOptions {
 
   /// Default schedule for loops that do not specify one.
   front::ScheduleClause default_schedule{};
+
+  /// What the A-stream does after a recovery unwinds it mid-region.
+  RecoveryPolicy recovery = RecoveryPolicy::kBench;
+
+  /// Restarts allowed per region per CMP before falling back to the
+  /// bench (kRestart only). The divergence threshold backs off
+  /// exponentially with each restart, so a chronically diverging region
+  /// converges to the bench behavior rather than thrashing.
+  int restart_budget = 3;
+
+  /// Simulated-cycle timeout for the protocol-wait watchdog
+  /// (slip/watchdog.hpp). 0 disables it.
+  sim::Cycles watchdog_cycles = 0;
+
+  /// Adaptive per-CMP degradation of chronically diverging pairs.
+  DegradeOptions degrade{};
 
   /// Deterministic fault to inject into the recovery machinery
   /// (FaultKind::kNone = nothing injected).

@@ -11,6 +11,14 @@ namespace {
 /// Fixed cost charged for computing static-loop bounds (a handful of
 /// integer instructions).
 constexpr sim::Cycles kStaticSchedCost = 20;
+
+/// Fixed cost of the A-stream restart routine (re-initializing the token
+/// register and jumping the architectural position — the paper's recovery
+/// routine run in resynchronize-instead-of-bench form).
+constexpr sim::Cycles kRestartCost = 200;
+
+/// Cap on the exponential divergence-threshold backoff shift.
+constexpr std::uint64_t kMaxBackoffShift = 16;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -28,6 +36,16 @@ Runtime::Runtime(machine::Machine& machine, RuntimeOptions options)
       machine_.pair(n).set_instrumentation(&inst_, n);
     }
   }
+  watchdog_.configure(
+      machine_.engine(), options_.watchdog_cycles,
+      [this](const slip::WatchdogReport& rep) { watchdog_rescue(rep); });
+  for (int n = 0; n < machine_.ncmp(); ++n) {
+    machine_.pair(n).set_watchdog(&watchdog_, n);
+  }
+  degrade_ = DegradationController(options_.degrade.enabled,
+                                   options_.degrade.demote_after,
+                                   options_.degrade.probation, machine.ncmp());
+  hung_.assign(static_cast<std::size_t>(machine.ncpus()), false);
   directives_.set_env(options_.omp_slipstream_env);
   // The program-global slipstream setting (overridable by serial-part
   // directives at run time).
@@ -101,6 +119,15 @@ sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
         rescued = true;
       }
     }
+    // A CPU parked by an injected hang is blocked raw — not a semaphore
+    // waiter — so the poison sweep cannot reach it. Wake it directly; it
+    // raises its own recovery on resume (hang_park).
+    for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+      if (hung_[static_cast<std::size_t>(c)] && machine_.cpu(c).blocked()) {
+        machine_.cpu(c).wake();
+        rescued = true;
+      }
+    }
     if (rescued) machine_.engine().run();
   }
 
@@ -116,8 +143,13 @@ sim::Cycles Runtime::run(const std::function<void(SerialCtx&)>& program) {
     slip_stats_.tokens_consumed += p.barrier_sem().total_consumed();
     slip_stats_.tokens_inserted += p.barrier_sem().total_inserted();
     slip_stats_.recoveries += p.recoveries();
+    slip_stats_.restarts += p.restarts_total();
+    slip_stats_.benched_barriers += p.benched_barriers();
     auditor_.on_run_end(n, p, injector_);
   }
+  slip_stats_.watchdog_trips += watchdog_.trips();
+  slip_stats_.demotions += degrade_.demotions();
+  slip_stats_.promotions += degrade_.promotions();
   return machine_.engine().now();
 }
 
@@ -156,21 +188,116 @@ void Runtime::slave_loop(sim::CpuId cpu_id) {
 void Runtime::run_member(const Member& m) {
   ThreadCtx t(*this, m);
   if (m.role == StreamRole::kA) {
-    try {
-      current_body_(t);
-      region_end_member(t);
-    } catch (const slip::RecoveryException&) {
-      // Recovery terminates the A-stream for the remainder of the region;
-      // it rejoins at the next parallel region (§2.2 recovery routine).
-      m.pair->ack_recovery();
-      auditor_.on_recovery_acked(machine_.node_of(m.cpu));
-      if (inst_.active()) inst_.recovery_ack(m.cpu, machine_.node_of(m.cpu));
+    bool done = false;
+    while (!done) {
+      try {
+        current_body_(t);
+        region_end_member(t);
+        done = true;
+      } catch (const slip::RecoveryException&) {
+        // The recovery routine (§2.2): under kBench the A-stream is done
+        // for the region and rejoins at the next one; under kRestart it
+        // resynchronizes and re-runs the body in fast-forward replay.
+        done = !begin_a_recovery(t);
+      }
     }
   } else {
     current_body_(t);
     region_end_member(t);
   }
   if (m.cpu != 0) signal_done(t);
+}
+
+bool Runtime::begin_a_recovery(ThreadCtx& t) {
+  slip::SlipPair& pair = *t.member().pair;
+  sim::SimCpu& cpu = t.cpu();
+  const int node = machine_.node_of(t.member().cpu);
+  const slip::SlipPair::AckReconcile rec = pair.ack_recovery();
+  auditor_.on_recovery_acked(node, pair);
+  if (inst_.active()) {
+    inst_.recovery_ack(cpu.id(), node);
+    if (rec.mailbox_cleared + rec.syscall_drained > 0) {
+      inst_.mailbox_clear(cpu.id(), node, rec.mailbox_cleared,
+                          rec.syscall_drained);
+    }
+  }
+  const bool restart =
+      options_.recovery == RecoveryPolicy::kRestart &&
+      pair.restarts_this_region() <
+          static_cast<std::uint64_t>(std::max(0, options_.restart_budget));
+  if (!restart) {
+    pair.set_benched();
+    if (inst_.active()) {
+      inst_.a_bench(cpu.id(), node, pair.restarts_this_region());
+    }
+    return false;
+  }
+  cpu.consume(kRestartCost, TimeCategory::kBusy);
+  const std::uint64_t resync = pair.prepare_restart();
+  t.begin_fast_forward(pair.a_barriers());
+  if (inst_.active()) inst_.restart(cpu.id(), node, resync);
+  return true;
+}
+
+void Runtime::hang_park(ThreadCtx& t) {
+  slip::SlipPair& pair = *t.member().pair;
+  sim::SimCpu& cpu = t.cpu();
+  const int node = machine_.node_of(t.member().cpu);
+  sim::Engine::CancelHandle guard =
+      watchdog_.arm(slip::WatchSite::kHangPark, node, cpu.id());
+  hung_[static_cast<std::size_t>(cpu.id())] = true;
+  cpu.block(TimeCategory::kTokenWait);
+  hung_[static_cast<std::size_t>(cpu.id())] = false;
+  if (guard != nullptr) *guard = true;
+  // Whoever woke us (watchdog rescue or end-of-run backstop) may already
+  // have raised the recovery; raise it here otherwise so the unwind's ack
+  // always follows a request.
+  if (!pair.recovery_requested()) {
+    request_pair_recovery(pair, machine_.cpu(pair.r_cpu()));
+  }
+  throw slip::RecoveryException{};
+}
+
+void Runtime::watchdog_rescue(const slip::WatchdogReport& rep) {
+  // (The trip itself is already recorded in watchdog_.reports(); the
+  // run-end harvest folds the count into slip_stats_.)
+  if (inst_.active()) {
+    inst_.watchdog_trip(rep.cpu, std::max(rep.node, 0),
+                        static_cast<std::uint64_t>(rep.site),
+                        rep.fired_at - rep.wait_start);
+  }
+  switch (rep.site) {
+    case slip::WatchSite::kBarrierToken:
+    case slip::WatchSite::kSyscallToken: {
+      // The A-stream is parked in a token consume with no supplier in
+      // sight: poison the wait so it unwinds through the recovery path.
+      slip::SlipPair& p = machine_.pair(rep.node);
+      request_pair_recovery(p, machine_.cpu(p.r_cpu()));
+      break;
+    }
+    case slip::WatchSite::kHangPark: {
+      sim::SimCpu& c = machine_.cpu(static_cast<sim::CpuId>(rep.cpu));
+      if (c.blocked()) c.wake();
+      break;
+    }
+    case slip::WatchSite::kTeamBarrier: {
+      // A member never reached the join: some pair is wedged. Sweep every
+      // CMP — poison token waits and wake hung CPUs; the freed A-streams
+      // unwind and the barrier drains.
+      for (int n = 0; n < machine_.ncmp(); ++n) {
+        slip::SlipPair& p = machine_.pair(n);
+        if (p.barrier_sem().has_waiter() || p.syscall_sem().has_waiter()) {
+          request_pair_recovery(p, machine_.cpu(p.r_cpu()));
+        }
+      }
+      for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+        if (hung_[static_cast<std::size_t>(c)] && machine_.cpu(c).blocked()) {
+          machine_.cpu(c).wake();
+        }
+      }
+      break;
+    }
+  }
 }
 
 void Runtime::region_end_member(ThreadCtx& t) {
@@ -226,6 +353,14 @@ Team Runtime::build_team(const slip::SlipstreamConfig& cfg) const {
     case ExecutionMode::kSlipstream:
       team.nthreads = ncmp;
       for (int n = 0; n < ncmp; ++n) {
+        // A CMP demoted by the degradation controller runs single-stream
+        // for this region: its task gets no A-stream member and takes the
+        // plain (non-slipstream) barrier path.
+        if (!degrade_.slipstream_allowed(n)) {
+          team.members.push_back(Member{machine_.r_cpu_of(n), n,
+                                        StreamRole::kNone, nullptr});
+          continue;
+        }
         slip::SlipPair* pair =
             &const_cast<machine::Machine&>(machine_).pair(n);
         team.members.push_back(
@@ -275,9 +410,11 @@ void Runtime::dispatch_region(
   const std::uint64_t converted_before = slip_stats_.converted_stores;
   const std::uint64_t dropped_before = slip_stats_.dropped_stores;
   const std::uint64_t forwarded_before = slip_stats_.forwarded_chunks;
+  std::vector<std::uint64_t> recoveries_before;
   if (team_.slipstream()) {
     for (int n = 0; n < machine_.ncmp(); ++n) {
       tokens_before += machine_.pair(n).barrier_sem().total_consumed();
+      recoveries_before.push_back(machine_.pair(n).recoveries());
     }
   }
   if (inst_.active()) {
@@ -315,6 +452,29 @@ void Runtime::dispatch_region(
     for (int n = 0; n < machine_.ncmp(); ++n) {
       tokens_after += machine_.pair(n).barrier_sem().total_consumed();
       auditor_.on_region_end(n, machine_.pair(n), injector_);
+      // Advance the per-CMP degradation state machine on this region's
+      // recovery record (a demoted CMP had no A-stream to diverge, so it
+      // reads as clean and its probation clock ticks).
+      const bool recovered =
+          machine_.pair(n).recoveries() >
+          recoveries_before[static_cast<std::size_t>(n)];
+      switch (degrade_.on_region_end(n, recovered)) {
+        case DegradationController::Transition::kDemoted:
+          if (inst_.active()) {
+            inst_.demote(0, n,
+                         static_cast<std::uint64_t>(
+                             options_.degrade.demote_after));
+          }
+          break;
+        case DegradationController::Transition::kPromoted:
+          if (inst_.active()) inst_.promote(0, n, /*probation=*/true);
+          break;
+        case DegradationController::Transition::kRestored:
+          if (inst_.active()) inst_.promote(0, n, /*probation=*/false);
+          break;
+        case DegradationController::Transition::kNone:
+          break;
+      }
     }
     record.tokens_consumed = tokens_after - tokens_before;
   }
@@ -343,7 +503,10 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     const int node = machine_.node_of(t.member().cpu);
     if (observed) inst_.barrier_enter(cpu.id(), node, role);
     const sim::Cycles entered = machine_.engine().now();
+    sim::Engine::CancelHandle wguard =
+        watchdog_.arm(slip::WatchSite::kTeamBarrier, node, cpu.id());
     barrier_->arrive(cpu, t.id(), cat);
+    if (wguard != nullptr) *wguard = true;
     if (observed) {
       inst_.barrier_exit(cpu.id(), node, role,
                          machine_.engine().now() - entered);
@@ -355,6 +518,7 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
   if (t.role() == StreamRole::kR) {
     if (observed) inst_.barrier_enter(cpu.id(), node, role);
     pair.note_r_barrier();
+    if (pair.a_benched()) pair.note_benched_barrier();
     // Fault injection: force a recovery landing in the hardest window —
     // while the A-stream is blocked inside a token consume().
     const std::uint64_t fired_before = injector_.fired();
@@ -366,7 +530,16 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     // Divergence probe (§2.2): the R-stream compares the token count with
     // the initial value to predict whether its A-stream visited this
     // barrier; a persistent lag beyond the threshold triggers recovery.
-    if (options_.divergence_threshold > 0 && !pair.a_recovered_this_region() &&
+    // Under the bench policy a recovered A-stream is out for the region,
+    // so re-probing would only re-flag it; under the restart policy it
+    // comes back, so keep probing — with the threshold backed off
+    // exponentially per restart so a chronically diverging region settles
+    // into the bench instead of thrashing through its restart budget.
+    const bool probe_armed =
+        options_.recovery == RecoveryPolicy::kRestart
+            ? !pair.a_benched()
+            : !pair.a_recovered_this_region();
+    if (options_.divergence_threshold > 0 && probe_armed &&
         !pair.recovery_requested()) {
       (void)pair.barrier_sem().read_count(cpu);
       // A lagging A-stream (it may legitimately be *ahead* by the token
@@ -375,7 +548,10 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
           pair.r_barriers() > pair.a_barriers()
               ? pair.r_barriers() - pair.a_barriers()
               : 0;
-      if (lag > static_cast<std::uint64_t>(options_.divergence_threshold)) {
+      const std::uint64_t threshold =
+          static_cast<std::uint64_t>(options_.divergence_threshold)
+          << std::min(pair.restarts_this_region(), kMaxBackoffShift);
+      if (lag > threshold) {
         request_pair_recovery(pair, cpu);
       }
     }
@@ -390,7 +566,10 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
       if (ins == slip::TokenAction::kDuplicate) pair.barrier_sem().insert(cpu);
     }
     const sim::Cycles entered = machine_.engine().now();
+    sim::Engine::CancelHandle wguard =
+        watchdog_.arm(slip::WatchSite::kTeamBarrier, node, cpu.id());
     barrier_->arrive(cpu, t.id(), cat);
+    if (wguard != nullptr) *wguard = true;
     const sim::Cycles stall = machine_.engine().now() - entered;
     if (team_.slip.type == slip::SyncType::kGlobal &&
         ins != slip::TokenAction::kSkip) {
@@ -400,6 +579,21 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     if (observed) inst_.barrier_exit(cpu.id(), node, role, stall);
   } else {
     t.check_recovery();
+    if (t.in_replay()) {
+      // Fast-forward replay after a restart: this barrier episode is one
+      // prepare_restart already jumped the A-stream's position over —
+      // pass it without consuming a token or counting a visit.
+      t.note_replay_barrier();
+      cpu.charge(1, TimeCategory::kBusy);
+      return;
+    }
+    // Injected hang: park raw, with no token or poison on the way. Only
+    // the watchdog (or the end-of-run backstop) gets the stream moving.
+    const std::uint64_t hang_fired_before = injector_.fired();
+    if (injector_.on_a_hang(node)) {
+      note_fault(cpu.id(), node, hang_fired_before);
+      hang_park(t);
+    }
     // From here on, every barrier_enter pairs with an exit even on the
     // recovery-unwind paths, so exported trace slices never dangle.
     if (observed) inst_.barrier_enter(cpu.id(), node, role);
@@ -573,11 +767,23 @@ int ThreadCtx::nthreads() const {
 sim::SimCpu& ThreadCtx::cpu() { return rt_.machine_.cpu(member_.cpu); }
 
 void ThreadCtx::compute(sim::Cycles n) {
+  // Fast-forward replay re-executes the region body only to get the
+  // A-stream structurally back to the R-stream's episode: computation is
+  // suppressed to a nominal charge (nonzero, so host-side loops that spin
+  // on simulated progress still advance the clock).
+  if (replay_remaining_ > 0) {
+    cpu().charge(1, TimeCategory::kBusy);
+    return;
+  }
   cpu().charge(n, TimeCategory::kBusy);
 }
 
 void ThreadCtx::mem_read(sim::Addr a) {
   sim::SimCpu& c = cpu();
+  if (replay_remaining_ > 0) {
+    c.charge(1, TimeCategory::kBusy);
+    return;
+  }
   const sim::Cycles lat = rt_.mem().load(c.id(), a, c.issue_time());
   c.charge(lat, lat <= rt_.mem().params().l1_hit_cycles
                     ? TimeCategory::kBusy
@@ -586,6 +792,10 @@ void ThreadCtx::mem_read(sim::Addr a) {
 
 bool ThreadCtx::mem_write(sim::Addr a) {
   sim::SimCpu& c = cpu();
+  if (replay_remaining_ > 0) {  // only ever set on an A-stream context
+    c.charge(1, TimeCategory::kBusy);
+    return false;
+  }
   if (member_.role == StreamRole::kA) {
     // §2: the A-stream skips stores to shared variables. When it is in the
     // same session as its R-stream, the store is converted into an
@@ -675,6 +885,12 @@ void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
       body(clo, chi);
     }
     if (forward) rt_.forward_chunk(*this, 0, 0, /*last=*/true);
+  } else if (in_replay()) {
+    // Fast-forward replay: the R-stream's decisions for this loop predate
+    // the restart (the ack-time reconcile cleared them), so consuming here
+    // would pair fresh tokens with the wrong construct. Skip straight to
+    // the trailing barrier.
+    cpu().charge(1, TimeCategory::kBusy);
   } else {
     // A-stream under dynamic/guided scheduling: §3.2.2 — wait for the
     // R-stream's decision on the syscall semaphore, then run its chunk.
@@ -688,10 +904,13 @@ void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
           rt_.mem().load(cpu().id(), pair.mailbox_addr(), cpu().issue_time()),
           TimeCategory::kScheduling);
       if (pair.mailbox_empty()) {
-        // A token with no decision behind it: only possible after the
-        // depth clamp dropped stale entries (a deeply diverged A-stream).
+        // A token with no decision behind it: possible after the depth
+        // clamp dropped stale entries (a deeply diverged A-stream), or
+        // after a restart whose replay skipped paired syscall consumes
+        // (reduce/io sync tokens the R-stream inserted regardless).
         // Abandon the loop; the next barrier resynchronizes.
-        SSOMP_CHECK(pair.mailbox_dropped() > 0);
+        SSOMP_CHECK(pair.mailbox_dropped() > 0 ||
+                    pair.restarts_this_region() > 0);
         break;
       }
       const slip::SlipPair::Mailbox mb = pair.mailbox_pop();
@@ -841,7 +1060,7 @@ double ThreadCtx::reduce(double v, bool sync_a, bool is_max) {
   if (rt_.team_.slipstream()) {
     if (member_.role == StreamRole::kR && sync_a) {
       member_.pair->syscall_sem().insert(c);
-    } else if (is_a_stream() && sync_a) {
+    } else if (is_a_stream() && sync_a && !in_replay()) {
       if (!member_.pair->syscall_sem().consume(c,
                                                TimeCategory::kStreamWait)) {
         throw slip::RecoveryException{};
@@ -865,6 +1084,9 @@ void ThreadCtx::parallel(const std::function<void(ThreadCtx&)>& body) {
   ThreadCtx inner(rt_, member_);
   inner.serial_nested_ = true;
   inner.io_pairing_ = io_pairing_;
+  // Nested barriers are no-ops, so the inner region cannot retire replay
+  // sites — but its computation must stay suppressed during replay.
+  inner.replay_remaining_ = replay_remaining_;
   body(inner);
 }
 
@@ -881,6 +1103,12 @@ void ThreadCtx::io_read(sim::Cycles cost) {
     // stalls on the syscall semaphore until the R-stream completes the
     // input (§2.2, §3.1).
     check_recovery();
+    if (in_replay()) {
+      // The R-stream's pairing token for this input predates the restart
+      // (drained at ack); the buffered image is host state, re-read free.
+      cpu().charge(1, TimeCategory::kBusy);
+      return;
+    }
     if (!member_.pair->syscall_sem().consume(cpu(),
                                              TimeCategory::kStreamWait)) {
       throw slip::RecoveryException{};

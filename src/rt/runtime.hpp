@@ -42,9 +42,11 @@
 
 #include "front/directive.hpp"
 #include "machine/machine.hpp"
+#include "rt/degrade.hpp"
 #include "rt/options.hpp"
 #include "rt/sync_primitives.hpp"
 #include "slip/pair.hpp"
+#include "slip/watchdog.hpp"
 #include "stats/reqclass.hpp"
 
 namespace ssomp::rt {
@@ -95,6 +97,11 @@ struct SlipRegionStats {
   std::uint64_t forwarded_chunks = 0;  // dynamic-scheduling decisions sent
   std::uint64_t dropped_stores = 0;    // A-stores skipped outright
   std::uint64_t converted_stores = 0;  // A-stores turned into prefetches
+  std::uint64_t restarts = 0;          // mid-region A-stream resyncs
+  std::uint64_t benched_barriers = 0;  // R barrier visits with A benched
+  std::uint64_t watchdog_trips = 0;    // diagnosed no-progress hangs
+  std::uint64_t demotions = 0;         // CMPs demoted to single-stream
+  std::uint64_t promotions = 0;        // probation re-promotions
 
   SlipRegionStats& operator+=(const SlipRegionStats& o) {
     tokens_consumed += o.tokens_consumed;
@@ -103,6 +110,11 @@ struct SlipRegionStats {
     forwarded_chunks += o.forwarded_chunks;
     dropped_stores += o.dropped_stores;
     converted_stores += o.converted_stores;
+    restarts += o.restarts;
+    benched_barriers += o.benched_barriers;
+    watchdog_trips += o.watchdog_trips;
+    demotions += o.demotions;
+    promotions += o.promotions;
     return *this;
   }
 };
@@ -200,6 +212,20 @@ class ThreadCtx {
   /// Throws slip::RecoveryException if this A-stream was flagged.
   void check_recovery();
 
+  /// --- restart fast-forward replay (recovery policy kRestart) ---
+  /// After a mid-region restart the A-stream re-executes the region body
+  /// from the top, passing the first `barriers` barrier sites without
+  /// consuming tokens (prepare_restart already advanced its position) and
+  /// with computation/memory suppressed to a nominal charge, until it is
+  /// structurally back at the R-stream's current episode.
+  [[nodiscard]] bool in_replay() const { return replay_remaining_ > 0; }
+  void begin_fast_forward(std::uint64_t barriers) {
+    replay_remaining_ = barriers;
+  }
+  void note_replay_barrier() {
+    if (replay_remaining_ > 0) --replay_remaining_;
+  }
+
   [[nodiscard]] const Member& member() const { return member_; }
 
  private:
@@ -214,6 +240,8 @@ class ThreadCtx {
   bool io_pairing_ = true;
   // True inside a serialized nested parallel region (one-thread team).
   bool serial_nested_ = false;
+  // Barrier sites left to pass in fast-forward replay (A-stream restart).
+  std::uint64_t replay_remaining_ = 0;
 };
 
 /// Execution context for the serial parts of the program (master only).
@@ -272,6 +300,10 @@ class Runtime {
   }
   [[nodiscard]] const trace::Instrumentation& instrumentation() const {
     return inst_;
+  }
+  [[nodiscard]] const slip::Watchdog& watchdog() const { return watchdog_; }
+  [[nodiscard]] const DegradationController& degradation() const {
+    return degrade_;
   }
 
   /// Execution records for every parallel region, in program order.
@@ -334,6 +366,22 @@ class Runtime {
   /// on repeat requests).
   void request_pair_recovery(slip::SlipPair& pair, sim::SimCpu& r);
 
+  /// A-side recovery after a RecoveryException: acks (reconciling the
+  /// syscall channel), then either resynchronizes for a mid-region
+  /// restart (returns true — the caller re-runs the body in fast-forward
+  /// replay) or benches the A-stream for the region (returns false).
+  bool begin_a_recovery(ThreadCtx& t);
+
+  /// Injected kAStreamHang: parks the A-stream in a raw block (no token,
+  /// no poison) until the watchdog or the end-of-run backstop wakes it,
+  /// then raises a recovery and throws. Never returns normally.
+  [[noreturn]] void hang_park(ThreadCtx& t);
+
+  /// Watchdog rescue callback (engine-event context): converts a
+  /// diagnosed no-progress hang into a recovery by poisoning the stuck
+  /// wait / waking the hung CPU.
+  void watchdog_rescue(const slip::WatchdogReport& rep);
+
   /// Emits a kFault marker when the injector's fired-count advanced past
   /// `fired_before` (call sites bracket each injector hook).
   void note_fault(sim::CpuId cpu, int node, std::uint64_t fired_before);
@@ -343,7 +391,14 @@ class Runtime {
   slip::FaultInjector injector_;
   slip::InvariantAuditor auditor_;
   trace::Instrumentation inst_;
+  slip::Watchdog watchdog_;
+  DegradationController degrade_;
   front::DirectiveControl directives_;
+
+  // Per-CPU "parked by an injected hang" flag: a hung CPU is blocked raw
+  // (not registered as a semaphore waiter), so the watchdog rescue and
+  // the end-of-run backstop need their own registry to find it.
+  std::vector<bool> hung_;
 
   Team team_;
   std::function<void(ThreadCtx&)> current_body_;

@@ -20,17 +20,28 @@ Engine::CancelHandle Engine::schedule_cancelable_at(Cycles when,
                                                     std::function<void()> fn) {
   SSOMP_CHECK(when >= now_);
   auto handle = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), handle});
+  queue_.push(Event{when, next_seq_++, std::move(fn), handle, false});
+  return handle;
+}
+
+Engine::CancelHandle Engine::schedule_timer_at(Cycles when,
+                                               std::function<void()> fn) {
+  SSOMP_CHECK(when >= now_);
+  auto handle = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), handle, true});
   return handle;
 }
 
 Cycles Engine::run(Cycles until) {
   SSOMP_CHECK(Fiber::current() == nullptr);
   while (!queue_.empty()) {
-    // Cancelled events — and auxiliary events with no ordinary event left
-    // to observe — are dropped before they can advance time.
+    // Cancelled events — and auxiliary (non-timer) events with no
+    // ordinary event left to observe — are dropped before they can
+    // advance time. Armed timers survive the drain: when everything else
+    // is blocked, the timer expiry is the next real thing that happens.
     if (queue_.top().cancelled &&
-        (*queue_.top().cancelled || ordinary_pending_ == 0)) {
+        (*queue_.top().cancelled ||
+         (!queue_.top().timer && ordinary_pending_ == 0))) {
       queue_.pop();
       continue;
     }

@@ -68,6 +68,18 @@ class Engine {
     return schedule_cancelable_at(now_ + delay, std::move(fn));
   }
 
+  /// A *timer* event: cancelable like the auxiliary events above (a
+  /// cancelled timer is discarded without advancing `now()`), but NOT
+  /// discarded when only cancelable events remain. A watchdog armed on a
+  /// wait must still fire when the whole simulation wedges — at that
+  /// point the timer expiry IS the next thing that happens, exactly as a
+  /// hardware timer interrupt would be. Disarm by setting `*handle`.
+  CancelHandle schedule_timer_at(Cycles when, std::function<void()> fn);
+
+  CancelHandle schedule_timer_after(Cycles delay, std::function<void()> fn) {
+    return schedule_timer_at(now_ + delay, std::move(fn));
+  }
+
   /// Runs events until the queue drains or `until` is reached.
   /// Returns the final simulated time.
   Cycles run(Cycles until = ~Cycles{0});
@@ -85,6 +97,7 @@ class Engine {
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;  // null for ordinary events
+    bool timer = false;  // survives ordinary-queue drain (watchdogs)
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {

@@ -30,6 +30,10 @@ void InvariantAuditor::on_region_reset(int node, const SlipPair& p,
   b.mailbox_pushed = p.mailbox_pushed();
   b.mailbox_popped = p.mailbox_popped();
   b.mailbox_dropped = p.mailbox_dropped();
+  b.mailbox_cleared = p.mailbox_cleared();
+  b.barrier_drained = p.barrier_sem().total_drained();
+  b.syscall_drained = p.syscall_sem().total_drained();
+  b.restart_skipped = p.restart_skipped_barriers();
   b.initial_tokens = p.initial_tokens();
   b.ledger = inj.ledger(node);
   recovery_outstanding_[static_cast<std::size_t>(node)] = false;
@@ -62,6 +66,12 @@ void InvariantAuditor::check_pair(int node, const SlipPair& p,
   const std::int64_t extra_ins = d(led.extra_inserts, b.ledger.extra_inserts);
   const std::int64_t extra_cons =
       d(led.extra_consumes, b.ledger.extra_consumes);
+  const std::int64_t bar_drained =
+      d(p.barrier_sem().total_drained(), b.barrier_drained);
+  const std::int64_t sys_drained =
+      d(p.syscall_sem().total_drained(), b.syscall_drained);
+  const std::int64_t restart_skipped =
+      d(p.restart_skipped_barriers(), b.restart_skipped);
 
   const auto fmt = [](std::int64_t a, std::int64_t c) {
     std::ostringstream s;
@@ -69,13 +79,15 @@ void InvariantAuditor::check_pair(int node, const SlipPair& p,
     return s.str();
   };
 
-  // Token conservation: count == initial + inserted − consumed, per
-  // semaphore (the syscall semaphore always starts at zero).
-  const std::int64_t bar_count = b.initial_tokens + bar_ins - bar_cons;
+  // Token conservation: count == initial + inserted − consumed − drained,
+  // per semaphore (the syscall semaphore always starts at zero; drains
+  // come from the restart/reconcile routines resetting the registers).
+  const std::int64_t bar_count =
+      b.initial_tokens + bar_ins - bar_cons - bar_drained;
   expect(p.barrier_sem().count() == bar_count, node, when,
          "barrier-token conservation violated" +
              fmt(bar_count, p.barrier_sem().count()));
-  const std::int64_t sys_count = sys_ins - sys_cons;
+  const std::int64_t sys_count = sys_ins - sys_cons - sys_drained;
   expect(p.syscall_sem().count() == sys_count, node, when,
          "syscall-token conservation violated" +
              fmt(sys_count, p.syscall_sem().count()));
@@ -90,22 +102,28 @@ void InvariantAuditor::check_pair(int node, const SlipPair& p,
              fmt(r_vis - suppressed + extra_ins, bar_ins));
 
   // Consume/visit agreement: one successful consume per A barrier visit,
-  // modulo injected duplicates (a skipped visit skips both).
+  // modulo injected duplicates (a skipped visit skips both) and barrier
+  // episodes jumped over by a restart resync (counted as visits, no
+  // consume).
   const auto a_vis = static_cast<std::int64_t>(p.a_barriers());
-  expect(bar_cons == a_vis + extra_cons, node, when,
+  expect(bar_cons == a_vis - restart_skipped + extra_cons, node, when,
          "A-stream consumes disagree with its barrier visits" +
-             fmt(a_vis + extra_cons, bar_cons));
+             fmt(a_vis - restart_skipped + extra_cons, bar_cons));
 
   // The A-stream can never be ahead past the token allowance.
-  expect(a_vis + extra_cons <= b.initial_tokens + bar_ins, node, when,
-         "A-stream ran past the token allowance");
+  expect(a_vis - restart_skipped + extra_cons <=
+             b.initial_tokens + bar_ins - bar_drained,
+         node, when, "A-stream ran past the token allowance");
 
   // Mailbox conservation and coverage: the queue holds exactly what was
-  // pushed and not yet popped or depth-dropped, and every queued decision
-  // is backed by an unconsumed syscall token.
-  const std::int64_t mb_expect = d(p.mailbox_pushed(), b.mailbox_pushed) -
-                                 d(p.mailbox_popped(), b.mailbox_popped) -
-                                 d(p.mailbox_dropped(), b.mailbox_dropped);
+  // pushed and not yet popped, depth-dropped, or cleared by a recovery
+  // reconcile, and every queued decision is backed by an unconsumed
+  // syscall token.
+  const std::int64_t mb_expect =
+      d(p.mailbox_pushed(), b.mailbox_pushed) -
+      d(p.mailbox_popped(), b.mailbox_popped) -
+      d(p.mailbox_dropped(), b.mailbox_dropped) -
+      d(p.mailbox_cleared(), b.mailbox_cleared);
   const auto mb_size = static_cast<std::int64_t>(p.mailbox_size());
   expect(mb_size == mb_expect, node, when,
          "mailbox push/pop/drop conservation violated" +
@@ -136,6 +154,15 @@ void InvariantAuditor::on_recovery_acked(int node) {
   expect(recovery_outstanding_[static_cast<std::size_t>(node)], node,
          "recovery", "acknowledgement without a pending recovery request");
   recovery_outstanding_[static_cast<std::size_t>(node)] = false;
+}
+
+void InvariantAuditor::on_recovery_acked(int node, const SlipPair& p) {
+  on_recovery_acked(node);
+  if (!enabled_) return;
+  expect(p.syscall_sem().count() == 0, node, "recovery-ack",
+         "syscall token survived the ack-time reconcile");
+  expect(p.mailbox_size() == 0, node, "recovery-ack",
+         "stale forwarded decision survived the ack-time reconcile");
 }
 
 void InvariantAuditor::on_run_end(int node, const SlipPair& p,

@@ -61,6 +61,12 @@ class InvariantAuditor {
   void on_recovery_requested(int node);
   void on_recovery_acked(int node);
 
+  /// Ack-time reconcile invariant: SlipPair::ack_recovery just drained the
+  /// syscall semaphore and cleared the mailbox, so immediately after it
+  /// there can be no orphaned syscall token and no stale forwarded
+  /// decision — the two sides of the forwarding channel restart in sync.
+  void on_recovery_acked(int node, const SlipPair& p);
+
   /// Whole-run finale, after the divergence backstop has drained.
   void on_run_end(int node, const SlipPair& p, const FaultInjector& inj);
 
@@ -84,6 +90,10 @@ class InvariantAuditor {
     std::uint64_t mailbox_pushed = 0;
     std::uint64_t mailbox_popped = 0;
     std::uint64_t mailbox_dropped = 0;
+    std::uint64_t mailbox_cleared = 0;
+    std::uint64_t barrier_drained = 0;
+    std::uint64_t syscall_drained = 0;
+    std::uint64_t restart_skipped = 0;
     int initial_tokens = 0;
     FaultInjector::NodeLedger ledger;
   };

@@ -9,7 +9,8 @@ const std::vector<FaultKind>& all_fault_kinds() {
       FaultKind::kSkipBarrier,      FaultKind::kDuplicateBarrier,
       FaultKind::kStarveToken,      FaultKind::kExtraToken,
       FaultKind::kRecoverInConsume, FaultKind::kRecoverInSyscall,
-      FaultKind::kCorruptForward,
+      FaultKind::kCorruptForward,   FaultKind::kAStreamHang,
+      FaultKind::kRStreamTokenLoss,
   };
   return kinds;
 }
@@ -93,6 +94,15 @@ bool FaultInjector::fire(FaultKind kind, int node) {
 }
 
 TokenAction FaultInjector::on_r_token_insert(int node) {
+  if (token_loss_active_ && plan_.node == node) {
+    ++ledgers_[static_cast<std::size_t>(node)].suppressed_inserts;
+    return TokenAction::kSkip;
+  }
+  if (fire(FaultKind::kRStreamTokenLoss, node)) {
+    token_loss_active_ = true;
+    ++ledgers_[static_cast<std::size_t>(node)].suppressed_inserts;
+    return TokenAction::kSkip;
+  }
   if (fire(FaultKind::kStarveToken, node)) {
     ++ledgers_[static_cast<std::size_t>(node)].suppressed_inserts;
     return TokenAction::kSkip;
@@ -146,6 +156,10 @@ bool FaultInjector::on_forward(int node, SlipPair::Mailbox& mb,
     }
   }
   return false;
+}
+
+bool FaultInjector::on_a_hang(int node) {
+  return fire(FaultKind::kAStreamHang, node);
 }
 
 }  // namespace ssomp::slip

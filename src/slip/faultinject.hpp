@@ -39,6 +39,8 @@ enum class FaultKind : std::uint8_t {
   kRecoverInConsume,  // request recovery while A blocks in a token consume
   kRecoverInSyscall,  // request recovery while A blocks in the syscall wait
   kCorruptForward,    // corrupt the Nth forwarded scheduling decision
+  kAStreamHang,       // A-stream parks indefinitely at its Nth barrier
+  kRStreamTokenLoss,  // from the Nth insert on, every R token is lost
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultKind k) {
@@ -51,6 +53,8 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::kRecoverInConsume: return "recover-in-consume";
     case FaultKind::kRecoverInSyscall: return "recover-in-syscall";
     case FaultKind::kCorruptForward: return "corrupt-forward";
+    case FaultKind::kAStreamHang: return "a-stream-hang";
+    case FaultKind::kRStreamTokenLoss: return "r-stream-token-loss";
   }
   return "?";
 }
@@ -118,6 +122,12 @@ class FaultInjector {
   [[nodiscard]] bool on_forward(int node, SlipPair::Mailbox& mb,
                                 bool a_waiting);
 
+  /// A-stream at a barrier, before the token consume. Returns true when
+  /// the planned kAStreamHang fires here: the runtime parks the A-stream
+  /// in a raw block with no token or poison on the way — only the
+  /// watchdog (or the end-of-run backstop) can get it moving again.
+  [[nodiscard]] bool on_a_hang(int node);
+
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] std::uint64_t fired() const { return fired_; }
   [[nodiscard]] const NodeLedger& ledger(int node) const {
@@ -134,6 +144,10 @@ class FaultInjector {
   std::vector<NodeLedger> ledgers_;
   std::vector<std::uint64_t> site_visits_;  // per node, for the planned site
   std::uint64_t fired_ = 0;
+  // kRStreamTokenLoss is persistent, not one-shot: once the Nth insert
+  // fires the latch, every subsequent insert on the node is lost too
+  // (a broken wire, not a glitch). Each suppression is ledgered.
+  bool token_loss_active_ = false;
   sim::Rng rng_;
 };
 

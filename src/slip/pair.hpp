@@ -49,6 +49,16 @@ class SlipPair {
     syscall_sem_.set_instrumentation(inst, node, /*syscall=*/true);
   }
 
+  /// Arms hang detection on both semaphores (see slip/watchdog.hpp).
+  /// `node` identifies the CMP in watchdog reports; it must be passed
+  /// here because instrumentation (which also carries the node) is only
+  /// armed when tracing is on, while the watchdog must report a valid
+  /// node regardless.
+  void set_watchdog(Watchdog* wdog, int node) {
+    barrier_sem_.set_watchdog(wdog, node);
+    syscall_sem_.set_watchdog(wdog, node);
+  }
+
   [[nodiscard]] TokenSemaphore& barrier_sem() { return barrier_sem_; }
   [[nodiscard]] TokenSemaphore& syscall_sem() { return syscall_sem_; }
   [[nodiscard]] const TokenSemaphore& barrier_sem() const {
@@ -126,6 +136,8 @@ class SlipPair {
     a_barriers_ = 0;
     recovery_requested_ = false;
     a_recovered_this_region_ = false;
+    restarts_this_region_ = 0;
+    a_benched_ = false;
   }
 
   [[nodiscard]] int initial_tokens() const { return initial_tokens_; }
@@ -153,16 +165,78 @@ class SlipPair {
 
   [[nodiscard]] bool recovery_requested() const { return recovery_requested_; }
 
-  /// A-side: acknowledges recovery (called when the exception is caught).
-  void ack_recovery() {
+  /// What ack_recovery() reconciled away (for instrumentation).
+  struct AckReconcile {
+    std::uint64_t mailbox_cleared = 0;
+    std::uint64_t syscall_drained = 0;
+  };
+
+  /// A-side: acknowledges recovery (called when the exception is caught)
+  /// and reconciles the syscall channel. The mailbox was previously
+  /// cleared only at region reset, while every outstanding syscall token
+  /// survived the unwind — so a restarted A-stream could pop a decision
+  /// that belongs to a pre-recovery token. Dropping the queue AND
+  /// draining the semaphore to zero together keeps the two sides of the
+  /// channel consistent: post-ack, forwarded decisions and their tokens
+  /// are created strictly in pairs again.
+  AckReconcile ack_recovery() {
     recovery_requested_ = false;
     a_recovered_this_region_ = true;
+    AckReconcile r;
+    r.mailbox_cleared = mailbox_queue_.size();
+    mailbox_cleared_ += r.mailbox_cleared;
+    mailbox_queue_.clear();
+    r.syscall_drained = syscall_sem_.drain_to(0);
+    return r;
   }
+
+  /// A-side resynchronization for a mid-region restart: fast-forwards the
+  /// A-stream's barrier position to the R-stream's current episode and
+  /// resets the barrier-token register to the region's initial allowance
+  /// (draining any surplus; a deficit is left to the R-stream's future
+  /// inserts). The jumped barrier visits are tracked so the auditor can
+  /// reconcile consumes against visits. Returns the resync distance in
+  /// barrier episodes — the number of body barriers the restarted
+  /// A-stream must replay without consuming tokens.
+  std::uint64_t prepare_restart() {
+    ++restarts_this_region_;
+    ++restarts_total_;
+    (void)barrier_sem_.drain_to(initial_tokens_);
+    std::uint64_t skipped = 0;
+    if (r_barriers_ > a_barriers_) {
+      skipped = r_barriers_ - a_barriers_;
+      restart_skipped_barriers_ += skipped;
+      a_barriers_ = r_barriers_;
+    }
+    return skipped;
+  }
+
+  /// A-side: the A-stream is out for the remainder of this region (bench
+  /// policy, or restart budget exhausted). The R-stream counts its
+  /// remaining barrier visits as benched — run-ahead coverage forfeited.
+  void set_benched() { a_benched_ = true; }
+  void note_benched_barrier() { ++benched_barriers_; }
 
   [[nodiscard]] bool a_recovered_this_region() const {
     return a_recovered_this_region_;
   }
+  [[nodiscard]] bool a_benched() const { return a_benched_; }
   [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] std::uint64_t restarts_this_region() const {
+    return restarts_this_region_;
+  }
+  [[nodiscard]] std::uint64_t restarts_total() const {
+    return restarts_total_;
+  }
+  [[nodiscard]] std::uint64_t restart_skipped_barriers() const {
+    return restart_skipped_barriers_;
+  }
+  [[nodiscard]] std::uint64_t benched_barriers() const {
+    return benched_barriers_;
+  }
+  [[nodiscard]] std::uint64_t mailbox_cleared() const {
+    return mailbox_cleared_;
+  }
 
  private:
   sim::CpuId r_cpu_;
@@ -180,6 +254,12 @@ class SlipPair {
   std::uint64_t recoveries_ = 0;
   bool recovery_requested_ = false;
   bool a_recovered_this_region_ = false;
+  bool a_benched_ = false;
+  std::uint64_t restarts_this_region_ = 0;
+  std::uint64_t restarts_total_ = 0;
+  std::uint64_t restart_skipped_barriers_ = 0;
+  std::uint64_t benched_barriers_ = 0;
+  std::uint64_t mailbox_cleared_ = 0;
   trace::Instrumentation* inst_ = nullptr;
   int node_ = -1;
 };

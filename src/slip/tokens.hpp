@@ -13,6 +13,7 @@
 
 #include "sim/check.hpp"
 #include "sim/engine.hpp"
+#include "slip/watchdog.hpp"
 #include "trace/tracer.hpp"
 
 namespace ssomp::slip {
@@ -31,6 +32,16 @@ class TokenSemaphore {
     inst_ = inst;
     node_ = node;
     syscall_ = syscall;
+  }
+
+  /// Arms hang detection: every blocking consume() on this semaphore is
+  /// guarded by a watchdog timer reporting CMP `node`. Null detaches
+  /// (the default). The node is carried separately from the
+  /// instrumentation node because tracing may be off while the watchdog
+  /// is on.
+  void set_watchdog(Watchdog* wdog, int node) {
+    wdog_ = wdog;
+    node_ = node;
   }
 
   /// (Re)initializes the counter; legal only with no waiter. A pending
@@ -54,9 +65,16 @@ class TokenSemaphore {
       SSOMP_CHECK(waiter_ == nullptr);  // one A-stream per semaphore
       const sim::Cycles wait_start = cpu.engine().now();
       if (inst_ != nullptr) inst_->sem_wait_begin(cpu.id(), node_, syscall_);
+      sim::Engine::CancelHandle guard =
+          wdog_ != nullptr
+              ? wdog_->arm(syscall_ ? WatchSite::kSyscallToken
+                                    : WatchSite::kBarrierToken,
+                           node_, cpu.id())
+              : nullptr;
       waiter_ = &cpu;
       cpu.block(cat);
       waiter_ = nullptr;
+      if (guard != nullptr) *guard = true;  // disarm; dropped timelessly
       const bool poisoned = poisoned_;
       if (inst_ != nullptr) {
         inst_->sem_wait_end(cpu.id(), node_, syscall_,
@@ -117,10 +135,25 @@ class TokenSemaphore {
     (void)waker;
   }
 
+  /// Discards tokens down to `target` (the recovery routine resetting the
+  /// hardware register to a known state — see SlipPair::ack_recovery and
+  /// prepare_restart). Returns the number of tokens removed; the removal
+  /// is tracked in total_drained() so the auditor's conservation identity
+  /// stays exact across restarts. No-op when count <= target.
+  std::uint64_t drain_to(int target) {
+    SSOMP_CHECK(target >= 0);
+    if (count_ <= target) return 0;
+    const auto removed = static_cast<std::uint64_t>(count_ - target);
+    count_ = target;
+    drained_ += removed;
+    return removed;
+  }
+
   [[nodiscard]] int count() const { return count_; }
   [[nodiscard]] bool has_waiter() const { return waiter_ != nullptr; }
   [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
   [[nodiscard]] std::uint64_t total_consumed() const { return consumed_; }
+  [[nodiscard]] std::uint64_t total_drained() const { return drained_; }
 
  private:
   sim::Cycles access_cycles_;
@@ -129,9 +162,11 @@ class TokenSemaphore {
   sim::SimCpu* waiter_ = nullptr;
   std::uint64_t inserted_ = 0;
   std::uint64_t consumed_ = 0;
+  std::uint64_t drained_ = 0;
   trace::Instrumentation* inst_ = nullptr;
   int node_ = -1;
   bool syscall_ = false;
+  Watchdog* wdog_ = nullptr;
 };
 
 }  // namespace ssomp::slip

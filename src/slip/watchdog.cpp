@@ -1,0 +1,30 @@
+#include "slip/watchdog.hpp"
+
+#include <sstream>
+
+namespace ssomp::slip {
+
+std::string WatchdogReport::describe() const {
+  std::ostringstream s;
+  s << "watchdog: cpu " << cpu << " (node " << node << ") stuck in "
+    << to_string(site) << " wait since cycle " << wait_start
+    << ", timed out after " << timeout << " cycles at " << fired_at;
+  return s.str();
+}
+
+sim::Engine::CancelHandle Watchdog::arm(WatchSite site, int node, int cpu) {
+  if (!enabled()) return nullptr;
+  WatchdogReport rep;
+  rep.site = site;
+  rep.node = node;
+  rep.cpu = cpu;
+  rep.wait_start = engine_->now();
+  rep.timeout = timeout_;
+  return engine_->schedule_timer_after(timeout_, [this, rep]() mutable {
+    rep.fired_at = engine_->now();
+    reports_.push_back(rep);
+    if (rescue_) rescue_(rep);
+  });
+}
+
+}  // namespace ssomp::slip

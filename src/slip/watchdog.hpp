@@ -1,0 +1,93 @@
+// Simulated-time watchdog for slipstream protocol waits.
+//
+// Every blocking wait of the protocol — the A-stream's barrier-token and
+// syscall-token consumes, the team barrier, and the injected hang park —
+// can arm a timer before parking. If the wait outlives the configured
+// timeout, the timer fires, records a structured WatchdogReport, and
+// invokes the runtime's rescue callback, which converts the hang into a
+// diagnosed recovery instead of a wedged simulation. A wait that
+// completes in time disarms its timer, which is then discarded without
+// advancing simulated time (sim::Engine timer events), so a clean run
+// with the watchdog enabled is cycle-identical to one without it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ssomp::slip {
+
+/// Which wait the watchdog was guarding when it tripped.
+enum class WatchSite : std::uint8_t {
+  kBarrierToken = 0,  // A-stream blocked in a barrier-token consume
+  kSyscallToken,      // A-stream blocked in a syscall-token consume
+  kTeamBarrier,       // member blocked in the team sense barrier
+  kHangPark,          // injected kAStreamHang park
+};
+
+[[nodiscard]] constexpr std::string_view to_string(WatchSite s) {
+  switch (s) {
+    case WatchSite::kBarrierToken: return "barrier-token";
+    case WatchSite::kSyscallToken: return "syscall-token";
+    case WatchSite::kTeamBarrier: return "team-barrier";
+    case WatchSite::kHangPark: return "hang-park";
+  }
+  return "?";
+}
+
+/// One diagnosed no-progress hang.
+struct WatchdogReport {
+  WatchSite site = WatchSite::kBarrierToken;
+  int node = -1;
+  int cpu = -1;
+  sim::Cycles wait_start = 0;
+  sim::Cycles fired_at = 0;
+  sim::Cycles timeout = 0;
+
+  /// One line: "watchdog: cpu 3 (node 1) stuck in barrier-token wait
+  /// since cycle N, timed out after T cycles".
+  [[nodiscard]] std::string describe() const;
+};
+
+class Watchdog {
+ public:
+  /// Called when a timer expires with its wait still outstanding. The
+  /// callback runs in engine-event context (no fiber current) and is
+  /// expected to kick the stuck wait loose (poison / wake).
+  using RescueFn = std::function<void(const WatchdogReport&)>;
+
+  /// Arms the watchdog. `timeout` of 0 disables it: arm() returns a null
+  /// handle and no timers are ever scheduled.
+  void configure(sim::Engine& engine, sim::Cycles timeout, RescueFn rescue) {
+    engine_ = &engine;
+    timeout_ = timeout;
+    rescue_ = std::move(rescue);
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return engine_ != nullptr && timeout_ > 0;
+  }
+  [[nodiscard]] sim::Cycles timeout() const { return timeout_; }
+
+  /// Starts guarding a wait that begins now. Returns the disarm handle
+  /// (set `*handle = true` when the wait completes), or null when the
+  /// watchdog is disabled.
+  sim::Engine::CancelHandle arm(WatchSite site, int node, int cpu);
+
+  [[nodiscard]] std::uint64_t trips() const { return reports_.size(); }
+  [[nodiscard]] const std::vector<WatchdogReport>& reports() const {
+    return reports_;
+  }
+
+ private:
+  sim::Engine* engine_ = nullptr;
+  sim::Cycles timeout_ = 0;
+  RescueFn rescue_;
+  std::vector<WatchdogReport> reports_;
+};
+
+}  // namespace ssomp::slip

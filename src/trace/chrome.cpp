@@ -200,6 +200,44 @@ std::string chrome_trace_json(const Tracer& tracer) {
       case EventKind::kFault:
         w.instant("fault", e.when, e.cpu, "fault", {{"kind", e.arg0}});
         break;
+      case EventKind::kRestart:
+        w.instant("restart", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"resync", e.arg0}});
+        break;
+      case EventKind::kBench:
+        w.instant("a-bench", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"restarts", e.arg0}});
+        break;
+      case EventKind::kWatchdog:
+        w.instant("watchdog", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"site", e.arg0},
+                   {"waited", e.arg1}});
+        break;
+      case EventKind::kMailboxClear:
+        w.instant("mailbox-clear", e.when, e.cpu, "recovery",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"cleared", e.arg0},
+                   {"drained", e.arg1}});
+        break;
+      case EventKind::kDemote:
+        w.instant("demote", e.when, e.cpu, "degrade",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"strikes", e.arg0}});
+        break;
+      case EventKind::kPromote:
+        w.instant("promote", e.when, e.cpu, "degrade",
+                  {{"node", static_cast<std::uint64_t>(
+                                e.node < 0 ? 0 : e.node)},
+                   {"probation", e.arg0}});
+        break;
       case EventKind::kKindCount:
         break;
     }

@@ -38,6 +38,12 @@ enum class EventKind : std::uint8_t {
   kStoreConvert,      // A-store converted to exclusive prefetch; arg0 = addr
   kStoreDrop,         // A-store dropped outright; arg0 = addr
   kFault,             // injected fault fired; arg0 = slip::FaultKind
+  kRestart,           // A-stream restarted mid-region; arg0 = resync distance
+  kBench,             // A-stream benched for the region; arg0 = restarts used
+  kWatchdog,          // watchdog tripped; arg0 = WatchSite, arg1 = wait cycles
+  kMailboxClear,      // ack-time reconcile; arg0 = cleared, arg1 = drained
+  kDemote,            // CMP demoted to single-stream; arg0 = strike count
+  kPromote,           // CMP re-promoted on probation (arg0 = 1) or restored
   kKindCount
 };
 
@@ -65,6 +71,12 @@ inline constexpr int kEventKindCount = static_cast<int>(EventKind::kKindCount);
     case EventKind::kStoreConvert: return "store_convert";
     case EventKind::kStoreDrop: return "store_drop";
     case EventKind::kFault: return "fault";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kBench: return "a_bench";
+    case EventKind::kWatchdog: return "watchdog";
+    case EventKind::kMailboxClear: return "mailbox_clear";
+    case EventKind::kDemote: return "demote";
+    case EventKind::kPromote: return "promote";
     case EventKind::kKindCount: break;
   }
   return "?";

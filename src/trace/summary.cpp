@@ -44,6 +44,17 @@ TraceSummary summarize_chrome_trace(const JsonValue& root) {
                      ? track_names[tid]
                      : "tid" + std::to_string(static_cast<long>(tid))];
     if (ph == "i" || ph == "B" || ph == "b") ++s.by_name[name];
+    if (ph == "i") {
+      if (const JsonValue* args = e.find("args")) {
+        const int node = static_cast<int>(args->number_or("node"));
+        if (name == "recovery-request") ++s.per_node[node].recoveries;
+        if (name == "restart") ++s.per_node[node].restarts;
+        if (name == "a-bench") ++s.per_node[node].benches;
+        if (name == "watchdog") ++s.per_node[node].watchdog_trips;
+        if (name == "demote") ++s.per_node[node].demotions;
+        if (name == "promote") ++s.per_node[node].promotions;
+      }
+    }
     if (ph == "B") {
       open[{tid, name}].push_back(e.number_or("ts"));
     } else if (ph == "E") {
@@ -71,6 +82,14 @@ TraceSummary summarize_chrome_trace(const JsonValue& root) {
     s.recoveries =
         static_cast<std::uint64_t>(other->number_or("recovery_request"));
     s.faults = static_cast<std::uint64_t>(other->number_or("fault"));
+    s.restarts = static_cast<std::uint64_t>(other->number_or("restart"));
+    s.benches = static_cast<std::uint64_t>(other->number_or("a_bench"));
+    s.watchdog_trips =
+        static_cast<std::uint64_t>(other->number_or("watchdog"));
+    s.mailbox_clears =
+        static_cast<std::uint64_t>(other->number_or("mailbox_clear"));
+    s.demotions = static_cast<std::uint64_t>(other->number_or("demote"));
+    s.promotions = static_cast<std::uint64_t>(other->number_or("promote"));
   }
   s.ok = true;
   return s;
@@ -94,7 +113,40 @@ std::string TraceSummary::format() const {
       << " evicted by ring wraparound\n"
       << "tokens: " << token_inserts << " inserted, " << token_consumes
       << " consumed   recoveries: " << recoveries << "   faults: " << faults
-      << "\n\n";
+      << "\n"
+      << "resilience: " << restarts << " restarts, " << benches
+      << " benchings, " << watchdog_trips << " watchdog trips, "
+      << mailbox_clears << " mailbox clears, " << demotions << " demotions, "
+      << promotions << " promotions\n\n";
+  if (!per_node.empty()) {
+    stats::Table t({"cmp", "recoveries", "restarts", "benchings", "watchdog",
+                    "demotions", "promotions"});
+    NodeResilience sum;
+    for (const auto& [node, r] : per_node) {
+      t.add_row({std::to_string(node), std::to_string(r.recoveries),
+                 std::to_string(r.restarts), std::to_string(r.benches),
+                 std::to_string(r.watchdog_trips),
+                 std::to_string(r.demotions), std::to_string(r.promotions)});
+      sum.recoveries += r.recoveries;
+      sum.restarts += r.restarts;
+      sum.benches += r.benches;
+      sum.watchdog_trips += r.watchdog_trips;
+      sum.demotions += r.demotions;
+      sum.promotions += r.promotions;
+    }
+    out << t.to_string();
+    // Retained instants vs the eviction-proof otherData counts: unequal
+    // sums mean the ring evicted resilience events (or the file was
+    // hand-edited) — flag it the same way ssomp_run flags stat drift.
+    const bool match = sum.recoveries == recoveries &&
+                       sum.restarts == restarts && sum.benches == benches &&
+                       sum.watchdog_trips == watchdog_trips &&
+                       sum.demotions == demotions &&
+                       sum.promotions == promotions;
+    out << "per-CMP totals vs exact counts: "
+        << (match ? "[match]" : "[MISMATCH — ring eviction or edited file]")
+        << "\n\n";
+  }
   if (!by_name.empty()) {
     stats::Table t({"event", "retained"});
     for (const auto& [name, n] : by_name) {

@@ -37,6 +37,25 @@ struct TraceSummary {
   std::uint64_t token_consumes = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t faults = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t benches = 0;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t mailbox_clears = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t promotions = 0;
+
+  /// Per-CMP resilience activity, built from retained instant events'
+  /// args.node (subject to ring eviction, unlike the otherData counts —
+  /// comparing the column sums against them is the eviction check).
+  struct NodeResilience {
+    std::uint64_t recoveries = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t benches = 0;
+    std::uint64_t watchdog_trips = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotions = 0;
+  };
+  std::map<int, NodeResilience> per_node;
 
   /// Renders the summary as text tables.
   [[nodiscard]] std::string format() const;

@@ -78,6 +78,12 @@ void Instrumentation::configure(sim::Engine& engine,
   stores_dropped_ = &metrics_.counter("stores_dropped");
   recoveries_ = &metrics_.counter("recoveries_requested");
   faults_ = &metrics_.counter("faults_injected");
+  restarts_ = &metrics_.counter("a_stream_restarts");
+  benched_regions_ = &metrics_.counter("a_stream_benched_regions");
+  watchdog_trips_ = &metrics_.counter("watchdog_trips");
+  demotions_ = &metrics_.counter("cmp_demotions");
+  promotions_ = &metrics_.counter("cmp_promotions");
+  restart_resync_ = &metrics_.histogram("restart_resync_distance");
 }
 
 void Instrumentation::sem_insert(int cpu, int node, bool syscall,
@@ -184,6 +190,41 @@ void Instrumentation::run_ahead(int cpu, int node, std::uint64_t distance) {
   if (metrics_on_) run_ahead_->record(distance);
   (void)cpu;
   (void)node;
+}
+
+void Instrumentation::restart(int cpu, int node,
+                              std::uint64_t resync_distance) {
+  tracer_.emit(cpu, EventKind::kRestart, resync_distance, 0, node);
+  if (metrics_on_) {
+    restarts_->inc();
+    restart_resync_->record(resync_distance);
+  }
+}
+
+void Instrumentation::a_bench(int cpu, int node, std::uint64_t restarts_used) {
+  tracer_.emit(cpu, EventKind::kBench, restarts_used, 0, node);
+  if (metrics_on_) benched_regions_->inc();
+}
+
+void Instrumentation::watchdog_trip(int cpu, int node, std::uint64_t site,
+                                    std::uint64_t waited) {
+  tracer_.emit(cpu, EventKind::kWatchdog, site, waited, node);
+  if (metrics_on_) watchdog_trips_->inc();
+}
+
+void Instrumentation::mailbox_clear(int cpu, int node, std::uint64_t cleared,
+                                    std::uint64_t drained) {
+  tracer_.emit(cpu, EventKind::kMailboxClear, cleared, drained, node);
+}
+
+void Instrumentation::demote(int cpu, int node, std::uint64_t strikes) {
+  tracer_.emit(cpu, EventKind::kDemote, strikes, 0, node);
+  if (metrics_on_) demotions_->inc();
+}
+
+void Instrumentation::promote(int cpu, int node, bool probation) {
+  tracer_.emit(cpu, EventKind::kPromote, probation ? 1 : 0, 0, node);
+  if (metrics_on_) promotions_->inc();
 }
 
 }  // namespace ssomp::trace

@@ -110,6 +110,14 @@ class Instrumentation {
   void store_dropped(int cpu, int node, std::uint64_t addr);
   void fault(int cpu, int node, std::uint64_t kind);
   void run_ahead(int cpu, int node, std::uint64_t distance);
+  void restart(int cpu, int node, std::uint64_t resync_distance);
+  void a_bench(int cpu, int node, std::uint64_t restarts_used);
+  void watchdog_trip(int cpu, int node, std::uint64_t site,
+                     std::uint64_t waited);
+  void mailbox_clear(int cpu, int node, std::uint64_t cleared,
+                     std::uint64_t drained);
+  void demote(int cpu, int node, std::uint64_t strikes);
+  void promote(int cpu, int node, bool probation);
 
  private:
   Tracer tracer_;
@@ -131,6 +139,12 @@ class Instrumentation {
   Counter* stores_dropped_ = nullptr;
   Counter* recoveries_ = nullptr;
   Counter* faults_ = nullptr;
+  Counter* restarts_ = nullptr;
+  Counter* benched_regions_ = nullptr;
+  Counter* watchdog_trips_ = nullptr;
+  Counter* demotions_ = nullptr;
+  Counter* promotions_ = nullptr;
+  Histogram* restart_resync_ = nullptr;
 };
 
 }  // namespace ssomp::trace

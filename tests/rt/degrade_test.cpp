@@ -1,0 +1,82 @@
+// DegradationController state-machine tests (rt/degrade.hpp).
+#include <gtest/gtest.h>
+
+#include "rt/degrade.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using State = DegradationController::State;
+using Transition = DegradationController::Transition;
+
+TEST(DegradationControllerTest, DisabledControllerAlwaysAllowsSlipstream) {
+  DegradationController c(false, 1, 1, 2);
+  EXPECT_FALSE(c.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c.on_region_end(0, true), Transition::kNone);
+  }
+  EXPECT_TRUE(c.slipstream_allowed(0));
+  EXPECT_EQ(c.demotions(), 0u);
+}
+
+TEST(DegradationControllerTest, DemotesAfterConsecutiveRecoveredRegions) {
+  DegradationController c(true, 2, 4, 2);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kNone);  // strike 1
+  EXPECT_TRUE(c.slipstream_allowed(0));
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);  // strike 2
+  EXPECT_FALSE(c.slipstream_allowed(0));
+  EXPECT_EQ(c.state(0), State::kDegraded);
+  EXPECT_EQ(c.demotions(), 1u);
+  // The other node's record is independent.
+  EXPECT_TRUE(c.slipstream_allowed(1));
+  EXPECT_EQ(c.state(1), State::kHealthy);
+}
+
+TEST(DegradationControllerTest, CleanRegionResetsTheStrikeCount) {
+  DegradationController c(true, 2, 4, 1);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kNone);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kNone);  // forgiven
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kNone);   // strike 1 again
+  EXPECT_TRUE(c.slipstream_allowed(0));
+}
+
+TEST(DegradationControllerTest, ProbationAfterServingDemotedRegions) {
+  DegradationController c(true, 1, 2, 1);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kNone);  // demoted 1/2
+  EXPECT_FALSE(c.slipstream_allowed(0));
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kPromoted);  // 2/2
+  EXPECT_EQ(c.state(0), State::kProbation);
+  EXPECT_TRUE(c.slipstream_allowed(0));  // trial region gets an A-stream
+  EXPECT_EQ(c.promotions(), 1u);
+}
+
+TEST(DegradationControllerTest, CleanProbationRestoresHealthy) {
+  DegradationController c(true, 1, 1, 1);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kPromoted);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kRestored);
+  EXPECT_EQ(c.state(0), State::kHealthy);
+  // A fresh divergence starts a fresh strike count, not instant demotion.
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);  // demote_after=1
+}
+
+TEST(DegradationControllerTest, RecoveredProbationGoesStraightBack) {
+  DegradationController c(true, 1, 2, 1);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kNone);
+  EXPECT_EQ(c.on_region_end(0, false), Transition::kPromoted);
+  EXPECT_EQ(c.on_region_end(0, true), Transition::kDemoted);  // failed trial
+  EXPECT_EQ(c.state(0), State::kDegraded);
+  EXPECT_EQ(c.demotions(), 2u);
+  EXPECT_EQ(c.promotions(), 1u);
+}
+
+TEST(DegradationControllerTest, StateNamesAreStable) {
+  EXPECT_EQ(to_string(State::kHealthy), "healthy");
+  EXPECT_EQ(to_string(State::kDegraded), "degraded");
+  EXPECT_EQ(to_string(State::kProbation), "probation");
+}
+
+}  // namespace
+}  // namespace ssomp::rt

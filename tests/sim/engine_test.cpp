@@ -223,6 +223,60 @@ TEST(SimCpuTest, FinishTimeRecorded) {
   EXPECT_EQ(cpu.finish_time(), 123u);
 }
 
+TEST(EngineTimerTest, ArmedTimerFiresAfterOrdinaryEventsDrain) {
+  // Hardware-timer semantics: unlike auxiliary cancelable events, an
+  // armed timer is not dropped when the last ordinary event drains — a
+  // hung simulation's next real event IS the timer expiry.
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  bool fired = false;
+  cpu.start([&] { cpu.consume(10, TimeCategory::kBusy); });
+  (void)e.schedule_timer_at(100, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(EngineTimerTest, CancelledTimerIsDroppedWithoutAdvancingTime) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  bool fired = false;
+  auto handle = e.schedule_timer_at(100, [&] { fired = true; });
+  cpu.start([&] {
+    cpu.consume(10, TimeCategory::kBusy);
+    *handle = true;  // disarm: the wait this timer guarded completed
+  });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 10u);  // cycle-identical to a run with no timer
+}
+
+TEST(EngineTimerTest, TimerAfterIsRelativeToNow) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  Cycles fired_at = 0;
+  cpu.start([&] {
+    cpu.consume(40, TimeCategory::kBusy);
+    (void)e.schedule_timer_after(60, [&] { fired_at = e.now(); });
+    cpu.consume(5, TimeCategory::kBusy);
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EngineTimerTest, CancelableAuxEventDropsWhenOrdinaryDrain) {
+  // Contrast with the timer above: an auxiliary cancelable event is
+  // dropped once no ordinary event remains to observe it.
+  Engine e;
+  SimCpu& cpu = e.add_cpu("p0");
+  bool fired = false;
+  cpu.start([&] { cpu.consume(10, TimeCategory::kBusy); });
+  (void)e.schedule_cancelable_at(100, [&] { fired = true; });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 10u);
+}
+
 TEST(TimeBreakdownTest, TotalsAndMerge) {
   TimeBreakdown a;
   a.add(TimeCategory::kBusy, 10);

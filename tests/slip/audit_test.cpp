@@ -116,6 +116,78 @@ TEST(InvariantAuditorTest, DoubleRequestWithoutAckIsViolation) {
   EXPECT_FALSE(aud.ok());
 }
 
+TEST(InvariantAuditorTest, UnreconciledAckIsAViolation) {
+  // The ack-time invariant: after SlipPair::ack_recovery the syscall
+  // channel must be empty on both sides. An ack recorded while tokens
+  // or mailbox entries are still outstanding is the stale-state leak.
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(0);
+  r.start([&] {
+    p.syscall_sem().insert(r);
+    p.mailbox_push({0, 10, false});
+    p.request_recovery(r);
+  });
+  e.run();
+  aud.on_recovery_requested(0);
+  aud.on_recovery_acked(0, p);  // without ack_recovery's reconcile
+  EXPECT_FALSE(aud.ok());
+}
+
+TEST(InvariantAuditorTest, ReconciledAckPasses) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(0);
+  r.start([&] {
+    p.syscall_sem().insert(r);
+    p.mailbox_push({0, 10, false});
+    p.request_recovery(r);
+  });
+  e.run();
+  aud.on_recovery_requested(0);
+  const auto rec = p.ack_recovery();
+  EXPECT_EQ(rec.syscall_drained, 1u);
+  EXPECT_EQ(rec.mailbox_cleared, 1u);
+  aud.on_recovery_acked(0, p);
+  EXPECT_TRUE(aud.ok()) << aud.summary();
+}
+
+TEST(InvariantAuditorTest, RestartAccountingReconciles) {
+  // A restart drains surplus barrier tokens and fast-forwards the
+  // A-stream past R's episodes; the region-end identities must absorb
+  // both via total_drained() and restart_skipped_barriers().
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  FaultInjector inj;
+  InvariantAuditor aud(true, 1);
+  p.reset_for_region(1);
+  aud.on_region_reset(0, p, inj);
+  r.start([&] {
+    for (int i = 0; i < 3; ++i) {
+      p.note_r_barrier();
+      p.barrier_sem().insert(r);
+    }
+    p.request_recovery(r);
+    aud.on_recovery_requested(0);
+    (void)p.ack_recovery();
+    aud.on_recovery_acked(0, p);
+    (void)p.prepare_restart();  // jumps a_barriers 0 -> 3, drains to initial
+    // Post-restart: one more R episode, which the A-stream consumes.
+    p.note_r_barrier();
+    p.barrier_sem().insert(r);
+    EXPECT_TRUE(p.barrier_sem().try_consume(r));
+    p.note_a_barrier();
+  });
+  e.run();
+  aud.on_region_end(0, p, inj);
+  EXPECT_TRUE(aud.ok()) << aud.summary();
+}
+
 TEST(InvariantAuditorTest, SummaryReportsCountsAndFirstViolation) {
   InvariantAuditor aud(true, 1);
   EXPECT_NE(aud.summary().find("0 violations"), std::string::npos);

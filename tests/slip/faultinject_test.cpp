@@ -44,7 +44,7 @@ TEST(FaultPlanParseTest, EveryKindRoundTrips) {
     EXPECT_TRUE(p.ok) << to_string(k);
     EXPECT_EQ(p.value.kind, k);
   }
-  EXPECT_EQ(all_fault_kinds().size(), 7u);
+  EXPECT_EQ(all_fault_kinds().size(), 9u);
 }
 
 TEST(FaultInjectorTest, InactivePlanNeverFires) {
@@ -116,6 +116,28 @@ TEST(FaultInjectorTest, RecoverInSyscallLeavesMailboxIntact) {
   EXPECT_EQ(mb.lo, 5);
   EXPECT_EQ(mb.hi, 15);
   EXPECT_EQ(inj.ledger(0).forced_recoveries, 1u);
+}
+
+TEST(FaultInjectorTest, AStreamHangFiresOnceAtNthVisitOnTargetNode) {
+  FaultInjector inj({.kind = FaultKind::kAStreamHang, .node = 1, .visit = 2},
+                    2);
+  EXPECT_FALSE(inj.on_a_hang(0));  // wrong node
+  EXPECT_FALSE(inj.on_a_hang(1));  // visit 1
+  EXPECT_TRUE(inj.on_a_hang(1));   // visit 2: park here
+  EXPECT_FALSE(inj.on_a_hang(1));  // one-shot
+  EXPECT_EQ(inj.fired(), 1u);
+}
+
+TEST(FaultInjectorTest, RStreamTokenLossIsPersistentAfterTheNthInsert) {
+  FaultInjector inj(
+      {.kind = FaultKind::kRStreamTokenLoss, .node = 0, .visit = 2}, 2);
+  EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kNormal);  // visit 1
+  EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kSkip);    // wire breaks
+  EXPECT_EQ(inj.on_r_token_insert(0), TokenAction::kSkip);    // still broken
+  EXPECT_EQ(inj.on_r_token_insert(1), TokenAction::kNormal);  // other node ok
+  EXPECT_EQ(inj.fired(), 1u);  // one fault, many suppressions
+  EXPECT_EQ(inj.ledger(0).suppressed_inserts, 2u);
+  EXPECT_EQ(inj.ledger(1).suppressed_inserts, 0u);
 }
 
 TEST(FaultInjectorTest, CorruptForwardIsMemorySafeAndDeterministic) {

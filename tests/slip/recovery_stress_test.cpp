@@ -24,6 +24,7 @@ struct StressCase {
   const char* app;
   SlipstreamConfig slip;
   FaultKind kind;
+  rt::RecoveryPolicy policy = rt::RecoveryPolicy::kBench;
 };
 
 std::string case_name(const ::testing::TestParamInfo<StressCase>& info) {
@@ -35,25 +36,55 @@ std::string case_name(const ::testing::TestParamInfo<StressCase>& info) {
   return s;
 }
 
-core::ExperimentResult run_with_fault(const char* app, SlipstreamConfig cfg,
-                                      FaultPlan plan,
-                                      front::ScheduleClause sched = {}) {
-  auto factory = apps::make_workload(app, apps::AppScale::kTiny, sched);
+struct RunKnobs {
+  front::ScheduleClause sched{};
+  rt::RecoveryPolicy policy = rt::RecoveryPolicy::kBench;
+  int divergence = 0;
+  sim::Cycles watchdog = 0;
+  rt::DegradeOptions degrade{};
+  rt::ExecutionMode mode = rt::ExecutionMode::kSlipstream;
+};
+
+core::ExperimentResult run_case(const char* app, SlipstreamConfig cfg,
+                                FaultPlan plan, const RunKnobs& knobs) {
+  auto factory = apps::make_workload(app, apps::AppScale::kTiny, knobs.sched);
   core::ExperimentConfig ec;
   ec.machine.ncmp = 2;
-  ec.runtime.mode = rt::ExecutionMode::kSlipstream;
+  ec.runtime.mode = knobs.mode;
   ec.runtime.slip = cfg;
   ec.runtime.fault = plan;
   ec.runtime.audit = true;
+  ec.runtime.recovery = knobs.policy;
+  ec.runtime.divergence_threshold = knobs.divergence;
+  ec.runtime.watchdog_cycles = knobs.watchdog;
+  ec.runtime.degrade = knobs.degrade;
   return core::run_experiment(ec, factory);
+}
+
+core::ExperimentResult run_with_fault(const char* app, SlipstreamConfig cfg,
+                                      FaultPlan plan,
+                                      front::ScheduleClause sched = {}) {
+  RunKnobs knobs;
+  knobs.sched = sched;
+  return run_case(app, cfg, plan, knobs);
 }
 
 class RecoveryStressTest : public ::testing::TestWithParam<StressCase> {};
 
 TEST_P(RecoveryStressTest, SelfVerifiesAndAuditsClean) {
   const StressCase& c = GetParam();
-  const auto res = run_with_fault(
-      c.app, c.slip, {.kind = c.kind, .node = 0, .visit = 2});
+  // Restart-policy cases run the full resilience stack: divergence
+  // probing (so persistent faults are noticed mid-region) plus the
+  // watchdog (so injected hangs are diagnosed instead of riding the
+  // end-of-run backstop).
+  RunKnobs knobs;
+  knobs.policy = c.policy;
+  if (c.policy == rt::RecoveryPolicy::kRestart) {
+    knobs.divergence = 2;
+    knobs.watchdog = 50000;
+  }
+  const auto res = run_case(c.app, c.slip,
+                            {.kind = c.kind, .node = 0, .visit = 2}, knobs);
   EXPECT_TRUE(res.workload.verified) << res.workload.detail;
   EXPECT_TRUE(res.invariants_ok);
   EXPECT_TRUE(res.audit_ok)
@@ -75,22 +106,27 @@ TEST_P(RecoveryStressTest, SelfVerifiesAndAuditsClean) {
   }
 }
 
-std::vector<StressCase> all_cases() {
+std::vector<StressCase> all_cases(rt::RecoveryPolicy policy) {
   std::vector<StressCase> cases;
   const auto l1 = SlipstreamConfig::one_token_local();
   const auto g0 = SlipstreamConfig::zero_token_global();
   for (const char* app : {"BT", "CG", "LU", "MG", "SP"}) {
     for (const auto& cfg : {l1, g0}) {
       for (FaultKind kind : all_fault_kinds()) {
-        cases.push_back({app, cfg, kind});
+        cases.push_back({app, cfg, kind, policy});
       }
     }
   }
   return cases;
 }
 
-INSTANTIATE_TEST_SUITE_P(PaperSuite, RecoveryStressTest,
-                         ::testing::ValuesIn(all_cases()), case_name);
+INSTANTIATE_TEST_SUITE_P(
+    PaperSuite, RecoveryStressTest,
+    ::testing::ValuesIn(all_cases(rt::RecoveryPolicy::kBench)), case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSuiteRestart, RecoveryStressTest,
+    ::testing::ValuesIn(all_cases(rt::RecoveryPolicy::kRestart)), case_name);
 
 TEST(RecoveryStressTest, CleanRunInjectsNothingAndAuditsClean) {
   for (const char* app : {"BT", "CG", "LU", "MG", "SP"}) {
@@ -135,6 +171,133 @@ TEST(RecoveryStressTest, ConsumeWaitFaultForcesRealRecovery) {
   EXPECT_TRUE(res.workload.verified) << res.workload.detail;
   EXPECT_TRUE(res.audit_ok)
       << (res.audit_violations.empty() ? "" : res.audit_violations.front());
+}
+
+TEST(RecoveryStressTest, RestartKeepsRunAheadThatBenchForfeits) {
+  // Persistent token loss forces a divergence every region. Under the
+  // bench policy the A-stream sits out the rest of each diverged region
+  // (counted as benched barriers); under restart it resynchronizes and
+  // keeps running ahead, so it must bench strictly fewer barriers while
+  // reporting actual restarts. Both must still verify and audit clean.
+  const FaultPlan loss{
+      .kind = FaultKind::kRStreamTokenLoss, .node = 0, .visit = 2};
+  RunKnobs bench;
+  bench.divergence = 2;
+  bench.watchdog = 50000;
+  RunKnobs restart = bench;
+  restart.policy = rt::RecoveryPolicy::kRestart;
+
+  const auto b =
+      run_case("CG", SlipstreamConfig::one_token_local(), loss, bench);
+  const auto r =
+      run_case("CG", SlipstreamConfig::one_token_local(), loss, restart);
+
+  for (const auto* res : {&b, &r}) {
+    EXPECT_TRUE(res->workload.verified) << res->workload.detail;
+    EXPECT_TRUE(res->audit_ok)
+        << (res->audit_violations.empty() ? ""
+                                          : res->audit_violations.front());
+    EXPECT_GE(res->slip.recoveries, 1u);
+  }
+  EXPECT_EQ(b.slip.restarts, 0u);
+  EXPECT_GT(r.slip.restarts, 0u);
+  EXPECT_GT(b.slip.benched_barriers, 0u);
+  EXPECT_LT(r.slip.benched_barriers, b.slip.benched_barriers);
+}
+
+TEST(RecoveryStressTest, WatchdogDiagnosesInjectedHang) {
+  // An A-stream parked with no token or poison on the way would sit
+  // until the end-of-run backstop; with the watchdog armed it must be
+  // diagnosed as a hang, kicked into recovery, and the run must finish
+  // verified with a structured report on file.
+  RunKnobs knobs;
+  knobs.divergence = 2;
+  knobs.watchdog = 20000;
+  knobs.policy = rt::RecoveryPolicy::kRestart;
+  const auto res = run_case(
+      "CG", SlipstreamConfig::one_token_local(),
+      {.kind = FaultKind::kAStreamHang, .node = 0, .visit = 2}, knobs);
+  EXPECT_EQ(res.faults_injected, 1u);
+  EXPECT_GE(res.slip.watchdog_trips, 1u);
+  EXPECT_FALSE(res.watchdog_reports.empty());
+  EXPECT_GE(res.slip.recoveries, 1u);
+  EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+  EXPECT_TRUE(res.audit_ok)
+      << (res.audit_violations.empty() ? "" : res.audit_violations.front());
+}
+
+TEST(RecoveryStressTest, ChronicDivergenceDemotesAndStaysNearSingleMode) {
+  // A CMP whose R-stream token wire is permanently broken diverges in
+  // every region. With degradation on, the controller must demote it to
+  // single-stream, after which the machine must not run meaningfully
+  // slower than plain single mode (the healthy CMP may still help).
+  const FaultPlan loss{
+      .kind = FaultKind::kRStreamTokenLoss, .node = 1, .visit = 1};
+  RunKnobs knobs;
+  knobs.divergence = 1;
+  knobs.watchdog = 50000;
+  knobs.policy = rt::RecoveryPolicy::kRestart;
+  knobs.degrade = {.enabled = true, .demote_after = 1, .probation = 1000};
+  const auto degraded =
+      run_case("CG", SlipstreamConfig::one_token_local(), loss, knobs);
+  EXPECT_GE(degraded.slip.demotions, 1u);
+  EXPECT_TRUE(degraded.workload.verified) << degraded.workload.detail;
+  EXPECT_TRUE(degraded.audit_ok)
+      << (degraded.audit_violations.empty()
+              ? ""
+              : degraded.audit_violations.front());
+
+  RunKnobs single;
+  single.mode = rt::ExecutionMode::kSingle;
+  const auto base = run_case("CG", SlipstreamConfig::one_token_local(),
+                             FaultPlan{}, single);
+  EXPECT_TRUE(base.workload.verified);
+  EXPECT_LE(static_cast<double>(degraded.cycles),
+            static_cast<double>(base.cycles) * 1.05);
+}
+
+TEST(RecoveryStressTest, ProbationRepromotesACleanPair) {
+  // Demotion must not be a life sentence: with a transient fault (the
+  // one-shot recover-in-consume) and a short probation window, a demoted
+  // CMP must be re-promoted and finish the run back in slipstream mode.
+  RunKnobs knobs;
+  knobs.divergence = 2;
+  knobs.policy = rt::RecoveryPolicy::kRestart;
+  knobs.degrade = {.enabled = true, .demote_after = 1, .probation = 2};
+  const auto res = run_case(
+      "CG", SlipstreamConfig::zero_token_global(),
+      {.kind = FaultKind::kRecoverInConsume, .node = 0, .visit = 1}, knobs);
+  EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+  EXPECT_TRUE(res.audit_ok)
+      << (res.audit_violations.empty() ? "" : res.audit_violations.front());
+  EXPECT_GE(res.slip.demotions, 1u);
+  EXPECT_GE(res.slip.promotions, 1u);
+}
+
+TEST(RecoveryStressTest, RestartBudgetExhaustionFallsBackToBench) {
+  // With a zero restart budget the restart policy must degenerate to
+  // the bench behavior: recoveries happen, no restart is attempted, and
+  // the diverged A-stream's forfeited barriers are counted.
+  const FaultPlan loss{
+      .kind = FaultKind::kRStreamTokenLoss, .node = 0, .visit = 2};
+  auto factory = apps::make_workload("CG", apps::AppScale::kTiny, {});
+  core::ExperimentConfig ec;
+  ec.machine.ncmp = 2;
+  ec.runtime.mode = rt::ExecutionMode::kSlipstream;
+  ec.runtime.slip = SlipstreamConfig::one_token_local();
+  ec.runtime.fault = loss;
+  ec.runtime.audit = true;
+  ec.runtime.recovery = rt::RecoveryPolicy::kRestart;
+  ec.runtime.restart_budget = 0;
+  ec.runtime.divergence_threshold = 2;
+  ec.runtime.watchdog_cycles = 50000;
+  const auto res = core::run_experiment(ec, factory);
+  EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+  EXPECT_TRUE(res.audit_ok)
+      << (res.audit_violations.empty() ? "" : res.audit_violations.front());
+  EXPECT_EQ(res.slip.restarts, 0u);
+  EXPECT_GE(res.slip.recoveries, 1u);
+  EXPECT_GT(res.slip.benched_barriers, 0u);
 }
 
 }  // namespace

@@ -300,6 +300,91 @@ TEST(SlipPairTest, ResetForRegionClearsMailbox) {
   EXPECT_EQ(p.mailbox_pushed(), 2u);
 }
 
+TEST(TokenSemaphoreTest, DrainToRemovesSurplusAndAccountsIt) {
+  TokenSemaphore sem(3);
+  sem.initialize(5);
+  EXPECT_EQ(sem.drain_to(2), 3u);
+  EXPECT_EQ(sem.count(), 2);
+  EXPECT_EQ(sem.total_drained(), 3u);
+  EXPECT_EQ(sem.drain_to(4), 0u);  // deficit: nothing to remove
+  EXPECT_EQ(sem.count(), 2);
+  EXPECT_EQ(sem.drain_to(0), 2u);
+  EXPECT_EQ(sem.count(), 0);
+  EXPECT_EQ(sem.total_drained(), 5u);
+}
+
+TEST(SlipPairTest, AckRecoveryReconcilesSyscallChannel) {
+  // Regression for the stale-state leak: an unwound A-stream used to
+  // leave forwarded-but-unconsumed syscall tokens behind, which could
+  // later pair with post-recovery mailbox entries (or vice versa).
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(1);
+  r.start([&] {
+    p.syscall_sem().insert(r);
+    p.syscall_sem().insert(r);
+    p.mailbox_push({0, 10, false});
+    p.request_recovery(r);
+  });
+  e.run();
+  const auto rec = p.ack_recovery();
+  EXPECT_EQ(rec.syscall_drained, 2u);
+  EXPECT_EQ(rec.mailbox_cleared, 1u);
+  EXPECT_EQ(p.syscall_sem().count(), 0);
+  EXPECT_TRUE(p.mailbox_empty());
+  EXPECT_EQ(p.mailbox_cleared(), 1u);  // cumulative, for the auditor
+  EXPECT_FALSE(p.recovery_requested());
+  EXPECT_TRUE(p.a_recovered_this_region());
+}
+
+TEST(SlipPairTest, PrepareRestartResyncsBarrierPosition) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(1);
+  r.start([&] {
+    for (int i = 0; i < 5; ++i) {
+      p.note_r_barrier();
+      p.barrier_sem().insert(r);
+    }
+    p.note_a_barrier();  // the A-stream only got through one episode
+  });
+  e.run();
+  EXPECT_EQ(p.barrier_sem().count(), 6);  // initial + 5 inserted
+  EXPECT_EQ(p.prepare_restart(), 4u);     // resync distance: 5 - 1
+  EXPECT_EQ(p.a_barriers(), 5u);          // jumped to R's episode
+  EXPECT_EQ(p.barrier_sem().count(), 1);  // back to the initial allowance
+  EXPECT_EQ(p.restarts_this_region(), 1u);
+  EXPECT_EQ(p.restarts_total(), 1u);
+  EXPECT_EQ(p.restart_skipped_barriers(), 4u);
+  // A second restart with A already caught up skips nothing.
+  EXPECT_EQ(p.prepare_restart(), 0u);
+  EXPECT_EQ(p.restarts_this_region(), 2u);
+}
+
+TEST(SlipPairTest, RegionResetClearsPerRegionRestartState) {
+  sim::Engine e;
+  sim::SimCpu& r = e.add_cpu("r");
+  SlipPair p(0, 1, 3, 0x8000);
+  p.reset_for_region(0);
+  r.start([&] {
+    p.note_r_barrier();
+    p.barrier_sem().insert(r);
+  });
+  e.run();
+  (void)p.prepare_restart();
+  p.set_benched();
+  p.note_benched_barrier();
+  EXPECT_TRUE(p.a_benched());
+  p.reset_for_region(0);
+  EXPECT_FALSE(p.a_benched());
+  EXPECT_EQ(p.restarts_this_region(), 0u);
+  // Cumulative counters survive the reset for end-of-run harvesting.
+  EXPECT_EQ(p.restarts_total(), 1u);
+  EXPECT_EQ(p.benched_barriers(), 1u);
+}
+
 TEST(SlipConfigTest, PaperConfigurations) {
   const auto l1 = SlipstreamConfig::one_token_local();
   EXPECT_EQ(l1.type, SyncType::kLocal);

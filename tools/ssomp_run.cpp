@@ -5,6 +5,8 @@
 //             [--sched static|dynamic|guided|affinity[,CHUNK]]
 //             [--scale tiny|bench] [--env OMP_SLIPSTREAM-value]
 //             [--self-invalidation] [--divergence N]
+//             [--recovery bench|restart[,BUDGET]] [--watchdog N]
+//             [--degrade[=DEMOTE,PROBATION]]
 //             [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit] [--json]
 //             [--trace FILE] [--metrics] [--timeline FILE[,INTERVAL]]
 //
@@ -13,9 +15,10 @@
 // fires one fault into the slipstream recovery machinery (see
 // docs/FAULTS.md); --audit enables the token/mailbox/recovery invariant
 // auditor (always on in debug builds) and fails the run on violations.
-// --trace/--metrics/--timeline are the observability layer (see
-// docs/OBSERVABILITY.md). Every value-taking flag also accepts the
-// --flag=value form.
+// --recovery/--watchdog/--degrade select the resilience machinery (see
+// docs/RECOVERY.md). --trace/--metrics/--timeline are the observability
+// layer (see docs/OBSERVABILITY.md). Every value-taking flag also
+// accepts the --flag=value form.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -38,12 +41,24 @@ namespace {
       "                 [--sync global|local] [--tokens N] [--ncmp N]\n"
       "                 [--sched KIND[,CHUNK]] [--scale tiny|bench]\n"
       "                 [--env VALUE] [--self-invalidation] [--json]\n"
+      "                 [--divergence N] [--recovery bench|restart[,N]]\n"
+      "                 [--watchdog CYCLES] [--degrade[=DEMOTE,PROBATION]]\n"
       "                 [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit]\n"
       "                 [--trace FILE] [--metrics]\n"
       "                 [--timeline FILE[,INTERVAL]]\n"
       "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
       "               extra-token recover-in-consume recover-in-syscall\n"
-      "               corrupt-forward\n"
+      "               corrupt-forward a-stream-hang r-stream-token-loss\n"
+      "  --divergence N   flag divergence when the A-stream lags the\n"
+      "                   R-stream by more than N barriers (0 = off)\n"
+      "  --recovery P[,N] bench: a diverged A-stream sits out the region;\n"
+      "                   restart: resynchronize and resume run-ahead, up\n"
+      "                   to N restarts per region (default 3)\n"
+      "  --watchdog C     diagnose any protocol wait longer than C\n"
+      "                   simulated cycles as a hang and force recovery\n"
+      "  --degrade[=D,P]  demote a CMP to single-stream after D regions\n"
+      "                   with recoveries; re-probe after P regions\n"
+      "                   (defaults 2,4)\n"
       "  --trace FILE     write a Perfetto-loadable Chrome trace-event\n"
       "                   JSON of the slipstream protocol to FILE\n"
       "  --metrics        print counters + cycle histograms (implied by\n"
@@ -79,6 +94,11 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string timeline_spec;
   bool metrics = false;
+  int divergence = 0;
+  rt::RecoveryPolicy recovery = rt::RecoveryPolicy::kBench;
+  int restart_budget = 3;
+  long watchdog_cycles = 0;
+  rt::DegradeOptions degrade{};
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -115,6 +135,40 @@ int main(int argc, char** argv) {
       env = value();
     } else if (arg == "--self-invalidation") {
       self_inval = true;
+    } else if (arg == "--divergence") {
+      divergence = std::atoi(value().c_str());
+      if (divergence < 0) usage("bad --divergence (must be >= 0)");
+    } else if (arg == "--recovery") {
+      std::string v = value();
+      const auto comma = v.find(',');
+      if (comma != std::string::npos) {
+        restart_budget = std::atoi(v.c_str() + comma + 1);
+        if (restart_budget < 0) usage("bad --recovery budget");
+        v.erase(comma);
+      }
+      if (v == "bench") {
+        recovery = rt::RecoveryPolicy::kBench;
+      } else if (v == "restart") {
+        recovery = rt::RecoveryPolicy::kRestart;
+      } else {
+        usage("bad --recovery (expected bench or restart)");
+      }
+    } else if (arg == "--watchdog") {
+      watchdog_cycles = std::atol(value().c_str());
+      if (watchdog_cycles < 0) usage("bad --watchdog (must be >= 0)");
+    } else if (arg == "--degrade") {
+      degrade.enabled = true;
+      if (has_inline) {  // value is optional: bare --degrade uses defaults
+        const std::string v = value();
+        const auto comma = v.find(',');
+        degrade.demote_after = std::atoi(v.c_str());
+        if (comma != std::string::npos) {
+          degrade.probation = std::atoi(v.c_str() + comma + 1);
+        }
+        if (degrade.demote_after < 1 || degrade.probation < 1) {
+          usage("bad --degrade (expected DEMOTE,PROBATION >= 1)");
+        }
+      }
     } else if (arg == "--inject") {
       const auto parsed = slip::parse_fault_plan(value());
       if (!parsed.ok) usage(("bad --inject: " + parsed.error).c_str());
@@ -158,6 +212,11 @@ int main(int argc, char** argv) {
   cfg.runtime.slip.tokens = tokens;
   cfg.runtime.omp_slipstream_env = env;
   cfg.runtime.policies.self_invalidation = self_inval;
+  cfg.runtime.divergence_threshold = divergence;
+  cfg.runtime.recovery = recovery;
+  cfg.runtime.restart_budget = restart_budget;
+  cfg.runtime.watchdog_cycles = static_cast<sim::Cycles>(watchdog_cycles);
+  cfg.runtime.degrade = degrade;
   cfg.runtime.fault = fault;
   cfg.runtime.audit = audit;
   cfg.runtime.trace.enabled = !trace_file.empty();
@@ -218,10 +277,35 @@ int main(int argc, char** argv) {
                 result.workload.verified ? "yes" : "NO",
                 result.workload.detail.c_str());
     if (fault.active()) {
-      std::printf("fault: %s node=%d visit=%d   fired: %llu\n",
+      std::printf("fault: %s node=%d visit=%llu   fired: %llu\n",
                   std::string(slip::to_string(fault.kind)).c_str(),
-                  fault.node, fault.visit,
+                  fault.node, static_cast<unsigned long long>(fault.visit),
                   static_cast<unsigned long long>(result.faults_injected));
+    }
+    if (cfg.runtime.mode == rt::ExecutionMode::kSlipstream &&
+        (result.slip.recoveries > 0 ||
+         recovery == rt::RecoveryPolicy::kRestart)) {
+      std::printf(
+          "recovery: policy=%s budget=%d   recoveries=%llu restarts=%llu "
+          "benched-barriers=%llu\n",
+          std::string(to_string(recovery)).c_str(), restart_budget,
+          static_cast<unsigned long long>(result.slip.recoveries),
+          static_cast<unsigned long long>(result.slip.restarts),
+          static_cast<unsigned long long>(result.slip.benched_barriers));
+    }
+    if (watchdog_cycles > 0) {
+      std::printf("watchdog: timeout=%ld cycles   trips=%llu\n",
+                  watchdog_cycles,
+                  static_cast<unsigned long long>(result.slip.watchdog_trips));
+      for (const auto& rep : result.watchdog_reports)
+        std::printf("  %s\n", rep.c_str());
+    }
+    if (degrade.enabled) {
+      std::printf("degrade: demote-after=%d probation=%d   demotions=%llu "
+                  "promotions=%llu\n",
+                  degrade.demote_after, degrade.probation,
+                  static_cast<unsigned long long>(result.slip.demotions),
+                  static_cast<unsigned long long>(result.slip.promotions));
     }
     if (audit) {
       std::printf("audit: %s (%llu checks)\n",
@@ -255,6 +339,26 @@ int main(int argc, char** argv) {
                       result.slip.tokens_inserted &&
                   tc.of(trace::EventKind::kTokenConsume) ==
                       result.slip.tokens_consumed
+              ? "match"
+              : "MISMATCH");
+      std::printf(
+          "trace resilience: restart=%llu bench=%llu watchdog=%llu "
+          "demote=%llu promote=%llu  [%s]\n",
+          static_cast<unsigned long long>(
+              tc.of(trace::EventKind::kRestart)),
+          static_cast<unsigned long long>(tc.of(trace::EventKind::kBench)),
+          static_cast<unsigned long long>(
+              tc.of(trace::EventKind::kWatchdog)),
+          static_cast<unsigned long long>(tc.of(trace::EventKind::kDemote)),
+          static_cast<unsigned long long>(
+              tc.of(trace::EventKind::kPromote)),
+          tc.of(trace::EventKind::kRestart) == result.slip.restarts &&
+                  tc.of(trace::EventKind::kWatchdog) ==
+                      result.slip.watchdog_trips &&
+                  tc.of(trace::EventKind::kDemote) ==
+                      result.slip.demotions &&
+                  tc.of(trace::EventKind::kPromote) ==
+                      result.slip.promotions
               ? "match"
               : "MISMATCH");
     }
