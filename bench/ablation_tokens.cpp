@@ -2,89 +2,80 @@
 //   1. token count x insertion point sweep on CG and MG (the paper's §5.1
 //      "this encourages further exploration" of per-region A/R sync);
 //   2. the A-stream construct policies: store conversion on/off and
-//      critical-section execution on/off (§3.1 "advisable" defaults).
+//      critical-section execution on/off (§3.1 "advisable" defaults);
+//   3. slipstream self-invalidation under one-token global sync.
 #include "bench/bench_common.hpp"
 
 using namespace ssomp;
 
-namespace {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
 
-core::ExperimentResult run_policy(const std::string& app,
-                                  slip::SlipstreamConfig slip) {
-  core::ExperimentConfig cfg;
-  cfg.machine = bench::paper_machine();
-  cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
-  cfg.runtime.slip = slip;
-  cfg.runtime.policies = slip.policies;
-  return core::run_experiment(
-      cfg, apps::make_workload(app, apps::AppScale::kBench));
-}
-
-}  // namespace
-
-int main() {
   std::printf("=== Ablation 1: A/R synchronization sweep (tokens x "
               "insertion) ===\n\n");
+  core::ExperimentPlan sync_plan = bench::paper_plan("ablation_sync");
+  sync_plan.apps = {"CG", "MG"};
+  sync_plan.modes = {core::parse_mode_axis("single").value};
+  for (const char* mode : {"slip-G0", "slip-G1", "slip-G2", "slip-G4",
+                           "slip-L0", "slip-L1", "slip-L2", "slip-L4"}) {
+    sync_plan.modes.push_back(core::parse_mode_axis(mode).value);
+  }
+  const core::SweepRun sync_run = bench::run_plan(sync_plan, args);
+
   stats::Table sweep({"benchmark", "sync", "tokens", "cycles",
                       "speedup vs single"});
-  for (const std::string app : {"CG", "MG"}) {
-    const auto single = bench::run_mode(app, rt::ExecutionMode::kSingle,
-                                        slip::SlipstreamConfig::disabled());
-    bench::check_verified(app, single);
-    for (slip::SyncType type :
-         {slip::SyncType::kGlobal, slip::SyncType::kLocal}) {
-      for (int tokens : {0, 1, 2, 4}) {
-        slip::SlipstreamConfig cfg{.type = type, .tokens = tokens};
-        const auto r =
-            bench::run_mode(app, rt::ExecutionMode::kSlipstream, cfg);
-        bench::check_verified(app, r);
-        sweep.add_row({app, std::string(to_string(type)),
-                       std::to_string(tokens), std::to_string(r.cycles),
-                       stats::Table::fmt(core::speedup(single, r), 3)});
-      }
+  for (const std::string& app : sync_plan.apps) {
+    const auto& single = bench::at(sync_run, app + "/single");
+    for (std::size_t m = 1; m < sync_plan.modes.size(); ++m) {
+      const core::ModeAxis& mode = sync_plan.modes[m];
+      const auto& r = bench::at(sync_run, app + "/" + mode.name);
+      sweep.add_row({app, std::string(to_string(mode.slip.type)),
+                     std::to_string(mode.slip.tokens),
+                     std::to_string(r.cycles),
+                     stats::Table::fmt(core::speedup(single, r), 3)});
     }
   }
   sweep.print();
 
   std::printf("\n=== Ablation 2: A-stream construct policies (CG) ===\n\n");
+  core::ExperimentPlan pol_plan = bench::paper_plan("ablation_policy");
+  pol_plan.apps = {"CG"};
+  pol_plan.modes = {core::parse_mode_axis("slip-G0").value};
+  pol_plan.variants = {
+      {"", {}},
+      {"no-conversion",
+       [](core::ExperimentConfig& c) {
+         c.runtime.policies.a_stores_as_prefetch = false;  // drop A-stores
+       }},
+      {"a-criticals",
+       [](core::ExperimentConfig& c) {
+         c.runtime.policies.a_executes_critical = true;
+       }},
+      {"no-atomics",
+       [](core::ExperimentConfig& c) {
+         c.runtime.policies.a_executes_atomic = false;
+       }},
+  };
+  bench::BenchArgs pol_args = args;
+  pol_args.out.clear();  // --out names the sync-sweep file only
+  const core::SweepRun pol_run = bench::run_plan(pol_plan, pol_args);
+
   stats::Table pol({"policy", "cycles", "vs default", "converted",
                     "dropped"});
-  slip::SlipstreamConfig base_cfg = slip::SlipstreamConfig::zero_token_global();
-  const auto base = run_policy("CG", base_cfg);
-  bench::check_verified("CG", base);
+  const auto& pol_base = bench::at(pol_run, "CG/slip-G0");
   pol.add_row({"default (stores->prefetch, A skips critical)",
-               std::to_string(base.cycles), "1.000",
-               std::to_string(base.slip.converted_stores),
-               std::to_string(base.slip.dropped_stores)});
-
-  {
-    slip::SlipstreamConfig c = base_cfg;
-    c.policies.a_stores_as_prefetch = false;  // drop all A-stores
-    const auto r = run_policy("CG", c);
-    bench::check_verified("CG", r);
-    pol.add_row({"A-stores dropped (no conversion)",
-                 std::to_string(r.cycles),
-                 stats::Table::fmt(core::speedup(base, r), 3),
-                 std::to_string(r.slip.converted_stores),
-                 std::to_string(r.slip.dropped_stores)});
-  }
-  {
-    slip::SlipstreamConfig c = base_cfg;
-    c.policies.a_executes_critical = true;
-    const auto r = run_policy("CG", c);
-    bench::check_verified("CG", r);
-    pol.add_row({"A executes criticals (unlocked)", std::to_string(r.cycles),
-                 stats::Table::fmt(core::speedup(base, r), 3),
-                 std::to_string(r.slip.converted_stores),
-                 std::to_string(r.slip.dropped_stores)});
-  }
-  {
-    slip::SlipstreamConfig c = base_cfg;
-    c.policies.a_executes_atomic = false;
-    const auto r = run_policy("CG", c);
-    bench::check_verified("CG", r);
-    pol.add_row({"A skips atomics", std::to_string(r.cycles),
-                 stats::Table::fmt(core::speedup(base, r), 3),
+               std::to_string(pol_base.cycles), "1.000",
+               std::to_string(pol_base.slip.converted_stores),
+               std::to_string(pol_base.slip.dropped_stores)});
+  const std::pair<const char*, const char*> pol_rows[] = {
+      {"no-conversion", "A-stores dropped (no conversion)"},
+      {"a-criticals", "A executes criticals (unlocked)"},
+      {"no-atomics", "A skips atomics"},
+  };
+  for (const auto& [variant, display] : pol_rows) {
+    const auto& r = bench::at(pol_run, std::string("CG/slip-G0/") + variant);
+    pol.add_row({display, std::to_string(r.cycles),
+                 stats::Table::fmt(core::speedup(pol_base, r), 3),
                  std::to_string(r.slip.converted_stores),
                  std::to_string(r.slip.dropped_stores)});
   }
@@ -94,17 +85,32 @@ int main() {
   // optimization tied to the one-token-global sync model).
   std::printf("\n=== Ablation 3: slipstream self-invalidation (one-token "
               "global) ===\n\n");
+  core::ExperimentPlan si_plan = bench::paper_plan("ablation_selfinval");
+  si_plan.apps = {"CG", "MG"};
+  si_plan.modes = {core::parse_mode_axis("single").value,
+                   core::parse_mode_axis("slip-G1").value};
+  si_plan.variants = {
+      {"si-off",
+       [](core::ExperimentConfig& c) {
+         c.runtime.policies.self_invalidation = false;
+       }},
+      {"si-on",
+       [](core::ExperimentConfig& c) {
+         c.runtime.policies.self_invalidation = true;
+       }},
+  };
+  bench::BenchArgs si_args = args;
+  si_args.out.clear();
+  const core::SweepRun si_run = bench::run_plan(si_plan, si_args);
+
   stats::Table si({"benchmark", "self-inval", "cycles", "speedup vs single",
                    "hints sent"});
-  for (const std::string app : {"CG", "MG"}) {
-    const auto single = bench::run_mode(app, rt::ExecutionMode::kSingle,
-                                        slip::SlipstreamConfig::disabled());
-    for (bool enabled : {false, true}) {
-      slip::SlipstreamConfig c{.type = slip::SyncType::kGlobal, .tokens = 1};
-      c.policies.self_invalidation = enabled;
-      const auto r = run_policy(app, c);
-      bench::check_verified(app, r);
-      si.add_row({app, enabled ? "on" : "off", std::to_string(r.cycles),
+  for (const std::string& app : si_plan.apps) {
+    const auto& single = bench::at(si_run, app + "/single/si-off");
+    for (const char* variant : {"si-off", "si-on"}) {
+      const auto& r = bench::at(si_run, app + "/slip-G1/" + std::string(variant));
+      si.add_row({app, std::string(variant) == "si-on" ? "on" : "off",
+                  std::to_string(r.cycles),
                   stats::Table::fmt(core::speedup(single, r), 3),
                   std::to_string(r.mem.self_invalidations)});
     }

@@ -1,7 +1,11 @@
-// Shared helpers for the figure-reproduction harnesses.
+// Shared helpers for the figure-reproduction harnesses: the Table 1/2
+// printers and the sweep plumbing every harness shares — CLI flags, plan
+// execution on the parallel driver, verification, and canonical
+// BENCH_*.json emission (docs/SWEEPS.md).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -9,60 +13,6 @@
 #include "core/ssomp.hpp"
 
 namespace ssomp::bench {
-
-/// The machine every experiment harness simulates: the paper's 16-CMP
-/// system (Table 1) with cache capacities scaled to the reduced problem
-/// classes (EXPERIMENTS.md, "scaling").
-inline machine::MachineConfig paper_machine(int ncmp = 16) {
-  machine::MachineConfig mc;
-  mc.ncmp = ncmp;
-  mc.mem = mem::MemParams::scaled_for_benchmarks();
-  return mc;
-}
-
-inline void print_table1(const mem::MemParams& p) {
-  std::printf("Simulated system parameters (paper Table 1):\n");
-  std::printf("  CPU: MIPSY-like in-order CMP model, %.1f GHz\n", p.clock_ghz);
-  std::printf("  L1: %u KB, %u-way, hit %llu cycle(s)\n",
-              p.l1_size_bytes / 1024, p.l1_assoc,
-              static_cast<unsigned long long>(p.l1_hit_cycles));
-  std::printf("  L2 (shared): %u KB, %u-way, hit %llu cycles\n",
-              p.l2_size_bytes / 1024, p.l2_assoc,
-              static_cast<unsigned long long>(p.l2_hit_cycles));
-  std::printf(
-      "  BusTime %.0fns  PILocalDC %.0fns  NILocalDC %.0fns  NIRemoteDC "
-      "%.0fns  Net %.0fns  Mem %.0fns\n",
-      p.bus_ns, p.pi_local_dc_ns, p.ni_local_dc_ns, p.ni_remote_dc_ns,
-      p.net_ns, p.mem_ns);
-  std::printf("  min local miss %llu cycles (170ns), min remote miss %llu "
-              "cycles (290ns)\n\n",
-              static_cast<unsigned long long>(p.min_local_miss_cycles()),
-              static_cast<unsigned long long>(p.min_remote_miss_cycles()));
-}
-
-inline void print_table2() {
-  std::printf("Benchmarks (paper Table 2; reduced problem classes):\n");
-  stats::Table t({"benchmark", "description", "dynamic suite"});
-  for (const auto& s : apps::paper_suite()) {
-    t.add_row({s.name, s.description, s.in_dynamic_suite ? "yes" : "no"});
-  }
-  t.print();
-  std::printf("\n");
-}
-
-/// Runs one workload under one mode on the paper machine.
-inline core::ExperimentResult run_mode(const std::string& app,
-                                       rt::ExecutionMode mode,
-                                       slip::SlipstreamConfig slip,
-                                       front::ScheduleClause sched = {},
-                                       int ncmp = 16) {
-  core::ExperimentConfig cfg;
-  cfg.machine = paper_machine(ncmp);
-  cfg.runtime.mode = mode;
-  cfg.runtime.slip = slip;
-  return core::run_experiment(
-      cfg, apps::make_workload(app, apps::AppScale::kBench, sched));
-}
 
 /// Breakdown columns in the paper's Figure 2/4 order. TokenWait and
 /// StreamWait fold into the barrier category as in the paper's plots.
@@ -82,13 +32,74 @@ inline std::vector<std::string> breakdown_cells(
 inline const std::vector<std::string> kBreakdownHeader = {
     "busy", "mem_stall", "lock", "barrier", "sched", "job_wait"};
 
-inline void check_verified(const std::string& app,
-                           const core::ExperimentResult& r) {
-  if (!r.workload.verified || !r.invariants_ok) {
-    std::fprintf(stderr, "FATAL: %s failed verification: %s\n", app.c_str(),
-                 r.workload.detail.c_str());
+using BenchArgs = core::SweepCli;
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (!core::parse_sweep_flag(argc, argv, i, args)) {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--out FILE] [--no-host-seconds]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// A plan whose base machine is the paper machine: the 16-CMP system of
+/// Table 1 with cache capacities scaled to the reduced problem classes
+/// (EXPERIMENTS.md, "scaling").
+inline core::ExperimentPlan paper_plan(const std::string& name) {
+  core::ExperimentPlan plan;
+  plan.name = name;
+  plan.base.machine.mem = mem::MemParams::scaled_for_benchmarks();
+  return plan;
+}
+
+/// Runs `plan` on the parallel sweep driver and writes the canonical
+/// aggregate JSON to BENCH_<plan.name>.json (or `args.out`). The figure
+/// harnesses expect a fully-verified grid, so any failed or unverified
+/// point is fatal.
+inline core::SweepRun run_plan(const core::ExperimentPlan& plan,
+                               const BenchArgs& args,
+                               const core::WorkloadResolver& resolver =
+                                   apps::plan_resolver()) {
+  core::SweepRun run =
+      core::run_sweep(plan, resolver, core::SweepOptions{.jobs = args.jobs});
+  for (const core::RunRecord& rec : run.records) {
+    if (!rec.ok || !rec.result.workload.verified ||
+        !rec.result.invariants_ok) {
+      std::fprintf(stderr, "FATAL: %s failed: %s\n", rec.label.c_str(),
+                   rec.ok ? rec.result.workload.detail.c_str()
+                          : rec.error.c_str());
+      std::exit(1);
+    }
+  }
+  const std::string path =
+      args.out.empty() ? "BENCH_" + plan.name + ".json" : args.out;
+  if (!core::write_sweep_json(
+          run, path,
+          core::SweepJsonOptions{.host_seconds = args.host_seconds})) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
+  std::printf("[%s] %zu points on %d job(s) -> %s\n", plan.name.c_str(),
+              run.points.size(), run.jobs, path.c_str());
+  return run;
+}
+
+/// The result of the successful run labelled "CG/slip-L1/cmp4", ...;
+/// fatal if the plan has no such point.
+inline const core::ExperimentResult& at(const core::SweepRun& run,
+                                        const std::string& label) {
+  const core::RunRecord* rec = run.find(label);
+  if (rec == nullptr || !rec->ok) {
+    std::fprintf(stderr, "FATAL: no successful run labelled '%s'\n",
+                 label.c_str());
+    std::exit(1);
+  }
+  return rec->result;
 }
 
 }  // namespace ssomp::bench

@@ -10,33 +10,34 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Extension: affinity scheduling x slipstream (MG, 16 "
               "CMPs) ===\n\n");
 
+  core::ExperimentPlan plan = bench::paper_plan("ext_affinity");
+  plan.apps = {"MG"};
+  plan.modes = {core::parse_mode_axis("single").value,
+                core::parse_mode_axis("slip-G0").value};
+  front::ScheduleClause dynamic_sched;
+  dynamic_sched.kind = front::ScheduleKind::kDynamic;
+  dynamic_sched.chunk = 1;
+  front::ScheduleClause affinity_sched;
+  affinity_sched.kind = front::ScheduleKind::kAffinity;
+  plan.schedules = {{"static", {}},
+                    {"dynamic", dynamic_sched},
+                    {"affinity", affinity_sched}};
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table table({"schedule", "mode", "cycles", "vs static-single",
                       "remote fills", "sched"});
-  front::ScheduleClause scheds[3];
-  scheds[0].kind = front::ScheduleKind::kStatic;
-  scheds[1].kind = front::ScheduleKind::kDynamic;
-  scheds[1].chunk = 1;
-  scheds[2].kind = front::ScheduleKind::kAffinity;
-  const char* sched_names[3] = {"static", "dynamic", "affinity"};
-
-  sim::Cycles base = 0;
-  for (int s = 0; s < 3; ++s) {
-    for (int m = 0; m < 2; ++m) {
-      const bool slip = m == 1;
-      const auto r = bench::run_mode(
-          "MG",
-          slip ? rt::ExecutionMode::kSlipstream : rt::ExecutionMode::kSingle,
-          slip ? slip::SlipstreamConfig::zero_token_global()
-               : slip::SlipstreamConfig::disabled(),
-          scheds[s]);
-      bench::check_verified("MG", r);
-      if (base == 0) base = r.cycles;
+  const sim::Cycles base = bench::at(run, "MG/single/static").cycles;
+  for (const core::SchedAxis& sched : plan.schedules) {
+    for (const core::ModeAxis& mode : plan.modes) {
+      const auto& r = bench::at(run, "MG/" + mode.name + "/" + sched.name);
       table.add_row(
-          {sched_names[s], slip ? "slipstream" : "single",
+          {sched.name, mode.mode == rt::ExecutionMode::kSingle ? "single"
+                                                               : "slipstream",
            std::to_string(r.cycles),
            stats::Table::fmt(static_cast<double>(base) / r.cycles, 3),
            std::to_string(r.mem.fills_remote_clean + r.mem.fills_dirty),

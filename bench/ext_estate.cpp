@@ -10,36 +10,33 @@
 
 using namespace ssomp;
 
-namespace {
-
-core::ExperimentResult run(const std::string& app, bool estate,
-                           rt::ExecutionMode mode,
-                           slip::SlipstreamConfig slip) {
-  core::ExperimentConfig cfg;
-  cfg.machine = bench::paper_machine();
-  cfg.machine.mem.exclusive_state = estate;
-  cfg.runtime.mode = mode;
-  cfg.runtime.slip = slip;
-  return core::run_experiment(
-      cfg, apps::make_workload(app, apps::AppScale::kBench));
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Extension: MESI E-state x slipstream (16 CMPs) ===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("ext_estate");
+  plan.apps = {"MG", "SP", "CG"};
+  plan.modes = {core::parse_mode_axis("single").value,
+                core::parse_mode_axis("slip-L1").value};
+  plan.variants = {
+      {"msi", {}},
+      {"mesi",
+       [](core::ExperimentConfig& c) {
+         c.machine.mem.exclusive_state = true;
+       }},
+  };
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table table({"benchmark", "protocol", "single", "slip-L1 speedup",
                       "slip gain", "silent E->M", "dir upgrades"});
-  for (const std::string app : {"MG", "SP", "CG"}) {
-    for (bool estate : {false, true}) {
-      const auto single = run(app, estate, rt::ExecutionMode::kSingle,
-                              slip::SlipstreamConfig::disabled());
-      const auto slip = run(app, estate, rt::ExecutionMode::kSlipstream,
-                            slip::SlipstreamConfig::one_token_local());
-      bench::check_verified(app, single);
-      bench::check_verified(app, slip);
+  for (const std::string& app : plan.apps) {
+    for (const char* variant : {"msi", "mesi"}) {
+      const auto& single = bench::at(run, app + "/single/" + std::string(variant));
+      const auto& slip = bench::at(run, app + "/slip-L1/" + std::string(variant));
       const double sp = core::speedup(single, slip);
-      table.add_row({app, estate ? "MESI (E-state)" : "MSI (paper)",
+      table.add_row({app,
+                     std::string(variant) == "mesi" ? "MESI (E-state)"
+                                                    : "MSI (paper)",
                      std::to_string(single.cycles),
                      stats::Table::fmt(sp, 3),
                      stats::Table::pct(sp - 1.0),

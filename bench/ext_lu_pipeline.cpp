@@ -10,28 +10,36 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Extension: LU wavefront sync — barriers vs point-to-point "
               "pipelining (16 CMPs) ===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("ext_lu_pipeline");
+  plan.apps = {"LU"};
+  plan.modes = {core::parse_mode_axis("single").value,
+                core::parse_mode_axis("slip-L1").value};
+  plan.variants = {{"barrier", {}}, {"pipelined", {}}};
+  // The pipelining switch is a workload parameter, not a runtime option,
+  // so this harness resolves workloads itself keyed on the variant axis.
+  const core::WorkloadResolver resolver = [](const core::PlanPoint& point) {
+    apps::LuParams p;
+    p.pipelined = point.variant == "pipelined";
+    return [p](rt::Runtime& rt) { return apps::make_lu(rt, p); };
+  };
+  const core::SweepRun run = bench::run_plan(plan, args, resolver);
+
   stats::Table table({"sweep sync", "mode", "cycles", "vs barrier-single",
                       "barrier", "lock"});
-  sim::Cycles base = 0;
-  for (bool pipelined : {false, true}) {
-    for (int m = 0; m < 2; ++m) {
-      apps::LuParams p;
-      p.pipelined = pipelined;
-      auto factory = [p](rt::Runtime& rt) { return apps::make_lu(rt, p); };
-      core::ExperimentConfig cfg;
-      cfg.machine = bench::paper_machine();
-      cfg.runtime.mode =
-          m == 0 ? rt::ExecutionMode::kSingle : rt::ExecutionMode::kSlipstream;
-      cfg.runtime.slip = slip::SlipstreamConfig::one_token_local();
-      const auto r = core::run_experiment(cfg, factory);
-      bench::check_verified("LU", r);
-      if (base == 0) base = r.cycles;
+  const sim::Cycles base = bench::at(run, "LU/single/barrier").cycles;
+  for (const char* variant : {"barrier", "pipelined"}) {
+    for (const core::ModeAxis& mode : plan.modes) {
+      const auto& r =
+          bench::at(run, "LU/" + mode.name + "/" + std::string(variant));
       table.add_row(
-          {pipelined ? "point-to-point" : "barrier/plane",
-           m == 0 ? "single" : "slip-L1", std::to_string(r.cycles),
+          {std::string(variant) == "pipelined" ? "point-to-point"
+                                               : "barrier/plane",
+           mode.name, std::to_string(r.cycles),
            stats::Table::fmt(static_cast<double>(base) / r.cycles, 3),
            stats::Table::pct(r.barrier_fraction()),
            stats::Table::pct(r.fraction(sim::TimeCategory::kLock))});

@@ -6,60 +6,58 @@
 // proportionally) and tracks each mode: slipstream's margin over both
 // baselines should widen as remote misses get more expensive, and the
 // machine's crossover point should shift accordingly.
-#include "apps/registry.hpp"
 #include "bench/bench_common.hpp"
 
 using namespace ssomp;
 
 namespace {
 
-core::ExperimentResult run_scaled(const std::string& app, double net_scale,
-                                  rt::ExecutionMode mode,
-                                  slip::SlipstreamConfig slip) {
-  core::ExperimentConfig cfg;
-  cfg.machine = bench::paper_machine();
-  cfg.machine.mem.net_ns *= net_scale;
-  cfg.machine.mem.ni_remote_dc_ns *= net_scale;
-  cfg.runtime.mode = mode;
-  cfg.runtime.slip = slip;
-  return core::run_experiment(
-      cfg, apps::make_workload(app, apps::AppScale::kBench));
+core::ConfigVariant net_variant(const std::string& name, double scale) {
+  return {name, [scale](core::ExperimentConfig& cfg) {
+            cfg.machine.mem.net_ns *= scale;
+            cfg.machine.mem.ni_remote_dc_ns *= scale;
+          }};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Extension: interconnect-latency sweep (MG, CG; 16 CMPs) "
               "===\n\n");
+
+  const std::pair<const char*, double> scales[] = {
+      {"net0.5x", 0.5}, {"net1x", 1.0}, {"net2x", 2.0}, {"net4x", 4.0}};
+  const char* slip_modes[] = {"slip-G0", "slip-L0", "slip-L1"};
+
+  core::ExperimentPlan plan = bench::paper_plan("ext_network");
+  plan.apps = {"MG", "CG"};
+  plan.modes = {core::parse_mode_axis("single").value,
+                core::parse_mode_axis("double").value};
+  for (const char* mode : slip_modes) {
+    plan.modes.push_back(core::parse_mode_axis(mode).value);
+  }
+  for (const auto& [name, scale] : scales) {
+    plan.variants.push_back(net_variant(name, scale));
+  }
+  plan.variants.erase(plan.variants.begin());  // drop the default variant
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table table({"benchmark", "NetTime", "remote miss", "single cycles",
                       "double", "slip best", "best sync",
                       "slip gain vs best"});
-  struct SyncOpt {
-    const char* name;
-    slip::SlipstreamConfig cfg;
-  };
-  const SyncOpt syncs[] = {
-      {"G0", slip::SlipstreamConfig::zero_token_global()},
-      {"L0", {.type = slip::SyncType::kLocal, .tokens = 0}},
-      {"L1", slip::SlipstreamConfig::one_token_local()},
-  };
-  for (const std::string app : {"MG", "CG"}) {
-    for (double scale : {0.5, 1.0, 2.0, 4.0}) {
-      const auto single = run_scaled(app, scale, rt::ExecutionMode::kSingle,
-                                     slip::SlipstreamConfig::disabled());
-      const auto dbl = run_scaled(app, scale, rt::ExecutionMode::kDouble,
-                                  slip::SlipstreamConfig::disabled());
-      bench::check_verified(app, single);
-      bench::check_verified(app, dbl);
+  for (const std::string& app : plan.apps) {
+    for (const auto& [variant, scale] : scales) {
+      const std::string suffix = "/" + std::string(variant);
+      const auto& single = bench::at(run, app + "/single" + suffix);
+      const auto& dbl = bench::at(run, app + "/double" + suffix);
       sim::Cycles best_slip = ~sim::Cycles{0};
       const char* best_sync = "?";
-      for (const SyncOpt& sync : syncs) {
-        const auto r = run_scaled(app, scale, rt::ExecutionMode::kSlipstream,
-                                  sync.cfg);
-        bench::check_verified(app, r);
+      for (const char* mode : slip_modes) {
+        const auto& r = bench::at(run, app + "/" + mode + suffix);
         if (r.cycles < best_slip) {
           best_slip = r.cycles;
-          best_sync = sync.name;
+          best_sync = mode + 5;  // "G0" / "L0" / "L1"
         }
       }
       mem::MemParams p;

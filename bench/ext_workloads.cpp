@@ -10,32 +10,32 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Extended workloads: EP / FT / IS across modes (16 CMPs) "
               "===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("ext_workloads");
+  for (const auto& spec : apps::extended_suite()) {
+    plan.apps.push_back(spec.name);
+  }
+  plan.modes = core::paper_modes();
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table table({"workload", "mode", "cycles", "speedup", "busy",
                       "stall", "lock", "barrier"});
-  for (const auto& spec : apps::extended_suite()) {
-    core::ExperimentResult results[4];
-    const char* names[4] = {"single", "double", "slip-L1", "slip-G0"};
-    results[0] = bench::run_mode(spec.name, rt::ExecutionMode::kSingle,
-                                 slip::SlipstreamConfig::disabled());
-    results[1] = bench::run_mode(spec.name, rt::ExecutionMode::kDouble,
-                                 slip::SlipstreamConfig::disabled());
-    results[2] = bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                                 slip::SlipstreamConfig::one_token_local());
-    results[3] = bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                                 slip::SlipstreamConfig::zero_token_global());
-    for (int s = 0; s < 4; ++s) {
-      bench::check_verified(spec.name, results[s]);
+  for (const std::string& app : plan.apps) {
+    const auto& single = bench::at(run, app + "/single");
+    for (const core::ModeAxis& mode : plan.modes) {
+      const auto& r = bench::at(run, app + "/" + mode.name);
       using sim::TimeCategory;
       table.add_row(
-          {spec.name, names[s], std::to_string(results[s].cycles),
-           stats::Table::fmt(core::speedup(results[0], results[s]), 3),
-           stats::Table::pct(results[s].fraction(TimeCategory::kBusy)),
-           stats::Table::pct(results[s].fraction(TimeCategory::kMemStall)),
-           stats::Table::pct(results[s].fraction(TimeCategory::kLock)),
-           stats::Table::pct(results[s].barrier_fraction())});
+          {app, mode.name, std::to_string(r.cycles),
+           stats::Table::fmt(core::speedup(single, r), 3),
+           stats::Table::pct(r.fraction(TimeCategory::kBusy)),
+           stats::Table::pct(r.fraction(TimeCategory::kMemStall)),
+           stats::Table::pct(r.fraction(TimeCategory::kLock)),
+           stats::Table::pct(r.barrier_fraction())});
     }
   }
   table.print();

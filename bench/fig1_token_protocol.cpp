@@ -5,76 +5,68 @@
 // streams at every barrier, the token counter trace, and the A-stream's
 // token-wait time. This is the mechanism figure of the paper made
 // executable.
+#include <memory>
+
 #include "bench/bench_common.hpp"
 #include "rt/shared.hpp"
-#include "tests/helpers.hpp"
 
 using namespace ssomp;
 
 namespace {
 
-struct ProtocolResult {
-  double avg_lead_sessions = 0;  // how many sessions A leads R by
-  sim::Cycles a_token_wait = 0;
-  sim::Cycles total = 0;
-  std::uint64_t converted = 0;
-  std::uint64_t dropped = 0;
+/// Per-pair lead samples: a_barriers - r_barriers at each A barrier pass.
+struct LeadStats {
+  long sum = 0;
+  long samples = 0;
 };
 
-ProtocolResult run_protocol(slip::SyncType type, int tokens) {
-  machine::MachineConfig mc = bench::paper_machine(4);
-  machine::Machine machine(mc);
-  rt::RuntimeOptions opts;
-  opts.mode = rt::ExecutionMode::kSlipstream;
-  opts.slip = {.type = type, .tokens = tokens};
-  rt::Runtime runtime(machine, opts);
+class ProtocolWorkload final : public core::Workload {
+ public:
+  ProtocolWorkload(rt::Runtime& runtime, std::shared_ptr<LeadStats> leads)
+      : data_(runtime, kElems, "data"), leads_(std::move(leads)) {}
 
-  constexpr int kBarriers = 40;
-  constexpr long kElems = 2048;
-  rt::SharedArray<double> data(runtime, kElems, "data");
+  [[nodiscard]] std::string name() const override { return "protocol"; }
 
-  // Per-pair lead samples: r_barriers-a_barriers at each A token consume.
-  long lead_sum = 0;
-  long lead_samples = 0;
-  const auto total = runtime.run([&](rt::SerialCtx& sc) {
+  void run(rt::SerialCtx& sc) override {
     sc.parallel([&](rt::ThreadCtx& t) {
       for (int b = 0; b < kBarriers; ++b) {
         t.for_loop(
             0, kElems, front::ScheduleClause{},
             [&](long i) {
-              data.write(t, static_cast<std::size_t>(i),
-                         data.read(t, static_cast<std::size_t>(i)) + 1.0);
+              data_.write(t, static_cast<std::size_t>(i),
+                          data_.read(t, static_cast<std::size_t>(i)) + 1.0);
               t.compute(20);
             },
             /*nowait=*/true);
         if (t.is_a_stream()) {
           const auto& pair = *t.member().pair;
-          lead_sum += static_cast<long>(pair.a_barriers()) -
-                      static_cast<long>(pair.r_barriers());
-          ++lead_samples;
+          leads_->sum += static_cast<long>(pair.a_barriers()) -
+                         static_cast<long>(pair.r_barriers());
+          ++leads_->samples;
         }
         t.barrier();
       }
     });
-  });
-
-  ProtocolResult out;
-  out.total = total;
-  out.avg_lead_sessions =
-      lead_samples ? static_cast<double>(lead_sum) / lead_samples : 0.0;
-  for (int n = 0; n < machine.ncmp(); ++n) {
-    out.a_token_wait += machine.cpu(machine.a_cpu_of(n))
-                            .breakdown()
-                            .get(sim::TimeCategory::kTokenWait);
   }
-  out.converted = runtime.slip_stats().converted_stores;
-  out.dropped = runtime.slip_stats().dropped_stores;
-  return out;
-}
+
+  [[nodiscard]] core::WorkloadResult verify() override {
+    return {.verified = true,
+            .checksum = static_cast<double>(kBarriers),
+            .detail = "protocol demonstration (no reference check)"};
+  }
+
+  static constexpr int kBarriers = 40;
+  static constexpr long kElems = 2048;
+
+ private:
+  rt::SharedArray<double> data_;
+  std::shared_ptr<LeadStats> leads_;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Figure 1: token-based A/R synchronization — protocol "
               "behaviour ===\n\n");
   std::printf("Synthetic 40-barrier loop on 4 CMPs. 'lead' is how many\n"
@@ -83,17 +75,42 @@ int main() {
               "barrier entry, global insertion at R's exit; the initial\n"
               "token count bounds the lead).\n\n");
 
+  core::ExperimentPlan plan = bench::paper_plan("fig1_protocol");
+  plan.apps = {"protocol"};
+  for (const char* mode : {"slip-G0", "slip-G1", "slip-G2", "slip-G4",
+                           "slip-L0", "slip-L1", "slip-L2", "slip-L4"}) {
+    plan.modes.push_back(core::parse_mode_axis(mode).value);
+  }
+  plan.ncmps = {4};
+
+  // One lead-sample slot per grid point; the workers write disjoint slots.
+  auto leads = std::make_shared<std::vector<LeadStats>>(plan.size());
+  const core::WorkloadResolver resolver = [leads](const core::PlanPoint& p) {
+    auto slot = std::shared_ptr<LeadStats>(leads, &(*leads)[p.index]);
+    return [slot](rt::Runtime& runtime) -> std::unique_ptr<core::Workload> {
+      return std::make_unique<ProtocolWorkload>(runtime, slot);
+    };
+  };
+  const core::SweepRun run = bench::run_plan(plan, args, resolver);
+
   stats::Table table({"sync", "tokens", "cycles", "avg lead", "A token wait",
                       "stores converted", "stores dropped"});
-  for (slip::SyncType type : {slip::SyncType::kGlobal, slip::SyncType::kLocal}) {
-    for (int tokens : {0, 1, 2, 4}) {
-      const auto r = run_protocol(type, tokens);
-      table.add_row({std::string(to_string(type)), std::to_string(tokens),
-                     std::to_string(r.total),
-                     stats::Table::fmt(r.avg_lead_sessions, 2),
-                     std::to_string(r.a_token_wait),
-                     std::to_string(r.converted), std::to_string(r.dropped)});
-    }
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const core::PlanPoint& p = run.points[i];
+    const core::ExperimentResult& r = run.records[i].result;
+    const LeadStats& lead = (*leads)[i];
+    table.add_row(
+        {std::string(to_string(p.config.runtime.slip.type)),
+         std::to_string(p.config.runtime.slip.tokens),
+         std::to_string(r.cycles),
+         stats::Table::fmt(lead.samples ? static_cast<double>(lead.sum) /
+                                              lead.samples
+                                        : 0.0,
+                           2),
+         // Only A-streams accrue TokenWait, so the team sum is theirs.
+         std::to_string(r.team_breakdown.get(sim::TimeCategory::kTokenWait)),
+         std::to_string(r.slip.converted_stores),
+         std::to_string(r.slip.dropped_stores)});
   }
   table.print();
   std::printf(

@@ -9,25 +9,17 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Figure 2: slipstream vs single/double, static scheduling "
               "(16 CMPs) ===\n\n");
-  bench::print_table1(bench::paper_machine().mem);
-  bench::print_table2();
+  mem::print_params(mem::MemParams::scaled_for_benchmarks());
+  apps::print_paper_suite();
 
-  struct Series {
-    const char* name;
-    rt::ExecutionMode mode;
-    slip::SlipstreamConfig slip;
-  };
-  const Series series[] = {
-      {"single", rt::ExecutionMode::kSingle, slip::SlipstreamConfig::disabled()},
-      {"double", rt::ExecutionMode::kDouble, slip::SlipstreamConfig::disabled()},
-      {"slip-L1", rt::ExecutionMode::kSlipstream,
-       slip::SlipstreamConfig::one_token_local()},
-      {"slip-G0", rt::ExecutionMode::kSlipstream,
-       slip::SlipstreamConfig::zero_token_global()},
-  };
+  core::ExperimentPlan plan = bench::paper_plan("fig2_static");
+  for (const auto& spec : apps::paper_suite()) plan.apps.push_back(spec.name);
+  plan.modes = core::paper_modes();
+  const core::SweepRun run = bench::run_plan(plan, args);
 
   std::vector<std::string> header = {"benchmark", "mode", "cycles",
                                      "speedup"};
@@ -37,31 +29,29 @@ int main() {
 
   double gain_product = 1.0;
   int gain_count = 0;
-  for (const auto& spec : apps::paper_suite()) {
-    core::ExperimentResult results[4];
-    for (int s = 0; s < 4; ++s) {
-      results[s] = bench::run_mode(spec.name, series[s].mode, series[s].slip);
-      bench::check_verified(spec.name, results[s]);
+  for (const std::string& app : plan.apps) {
+    const core::ExperimentResult* results[4];
+    for (std::size_t m = 0; m < plan.modes.size(); ++m) {
+      results[m] = &bench::at(run, app + "/" + plan.modes[m].name);
     }
-    for (int s = 0; s < 4; ++s) {
+    for (std::size_t m = 0; m < plan.modes.size(); ++m) {
       std::vector<std::string> row = {
-          spec.name, series[s].name,
-          std::to_string(results[s].cycles),
-          stats::Table::fmt(core::speedup(results[0], results[s]), 3)};
-      const auto cells = bench::breakdown_cells(results[s]);
+          app, plan.modes[m].name, std::to_string(results[m]->cycles),
+          stats::Table::fmt(core::speedup(*results[0], *results[m]), 3)};
+      const auto cells = bench::breakdown_cells(*results[m]);
       row.insert(row.end(), cells.begin(), cells.end());
       table.add_row(row);
     }
     const double best_base =
-        std::min(results[0].cycles, results[1].cycles);
+        std::min(results[0]->cycles, results[1]->cycles);
     const double best_slip =
-        std::min(results[2].cycles, results[3].cycles);
+        std::min(results[2]->cycles, results[3]->cycles);
     gain_product *= best_base / best_slip;
     ++gain_count;
     std::printf("%s: best slipstream vs best(single,double): %+.1f%%  "
                 "(favors %s)\n",
-                spec.name.c_str(), 100.0 * (best_base / best_slip - 1.0),
-                results[2].cycles < results[3].cycles ? "L1" : "G0");
+                app.c_str(), 100.0 * (best_base / best_slip - 1.0),
+                results[2]->cycles < results[3]->cycles ? "L1" : "G0");
   }
   std::printf("\n");
   table.print();

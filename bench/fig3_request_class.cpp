@@ -32,9 +32,16 @@ void add_rows(stats::Table& t, const std::string& app, const char* sync,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Figure 3: shared-data request classification, static "
               "scheduling (16 CMPs) ===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("fig3_reqclass");
+  for (const auto& spec : apps::paper_suite()) plan.apps.push_back(spec.name);
+  plan.modes = {core::parse_mode_axis("slip-L1").value,
+                core::parse_mode_axis("slip-G0").value};
+  const core::SweepRun run = bench::run_plan(plan, args);
 
   stats::Table table({"benchmark", "sync", "kind", "A-Timely", "A-Late",
                       "A-Only", "R-Timely", "R-Late", "R-Only", "requests",
@@ -45,16 +52,11 @@ int main() {
   double l1_ex_a = 0, g0_ex_a = 0;
   double l1_only = 0, g0_only = 0;
   int n = 0;
-  for (const auto& spec : apps::paper_suite()) {
-    const auto l1 = bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                                    slip::SlipstreamConfig::one_token_local());
-    const auto g0 =
-        bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                        slip::SlipstreamConfig::zero_token_global());
-    bench::check_verified(spec.name, l1);
-    bench::check_verified(spec.name, g0);
-    add_rows(table, spec.name, "L1", l1);
-    add_rows(table, spec.name, "G0", g0);
+  for (const std::string& app : plan.apps) {
+    const auto& l1 = bench::at(run, app + "/slip-L1");
+    const auto& g0 = bench::at(run, app + "/slip-G0");
+    add_rows(table, app, "L1", l1);
+    add_rows(table, app, "G0", g0);
     using stats::ReqClass;
     using stats::ReqKind;
     l1_read_timely +=

@@ -11,9 +11,23 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Figure 4: dynamic scheduling, base vs slipstream-G0 "
               "(16 CMPs) ===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("fig4_dynamic");
+  for (const auto& spec : apps::paper_suite()) {
+    if (spec.in_dynamic_suite) plan.apps.push_back(spec.name);
+  }
+  plan.modes = {core::parse_mode_axis("single").value,
+                core::parse_mode_axis("slip-G0").value};
+  plan.schedules = {{"dynamic", {}}};
+  // The paper's per-app dynamic chunk sizes (CG: half the static block).
+  plan.schedule_override = [](const core::PlanPoint& p) {
+    return apps::dynamic_schedule_for(p.app, apps::AppScale::kBench, 16);
+  };
+  const core::SweepRun run = bench::run_plan(plan, args);
 
   std::vector<std::string> header = {"benchmark", "mode", "cycles",
                                      "speedup"};
@@ -24,23 +38,14 @@ int main() {
   double gain_product = 1.0;
   double sched_sum = 0.0;
   int n = 0;
-  for (const auto& spec : apps::paper_suite()) {
-    if (!spec.in_dynamic_suite) continue;  // LU: static programmatic
-    const auto sched =
-        apps::dynamic_schedule_for(spec.name, apps::AppScale::kBench, 16);
-    const auto base =
-        bench::run_mode(spec.name, rt::ExecutionMode::kSingle,
-                        slip::SlipstreamConfig::disabled(), sched);
-    const auto slip =
-        bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                        slip::SlipstreamConfig::zero_token_global(), sched);
-    bench::check_verified(spec.name, base);
-    bench::check_verified(spec.name, slip);
+  for (const std::string& app : plan.apps) {
+    const auto& base = bench::at(run, app + "/single");
+    const auto& slip = bench::at(run, app + "/slip-G0");
     const std::pair<const char*, const core::ExperimentResult*> rows[] = {
         {"base", &base}, {"slip-G0", &slip}};
     for (const auto& [label, result] : rows) {
       std::vector<std::string> row = {
-          spec.name, label, std::to_string(result->cycles),
+          app, label, std::to_string(result->cycles),
           stats::Table::fmt(core::speedup(base, *result), 3)};
       const auto cells = bench::breakdown_cells(*result);
       row.insert(row.end(), cells.begin(), cells.end());
@@ -50,7 +55,7 @@ int main() {
     sched_sum += base.fraction(sim::TimeCategory::kScheduling);
     ++n;
     std::printf("%s: slipstream gain over dynamic base: %+.1f%%\n",
-                spec.name.c_str(),
+                app.c_str(),
                 100.0 * (static_cast<double>(base.cycles) / slip.cycles - 1));
   }
   std::printf("\n");

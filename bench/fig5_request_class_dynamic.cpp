@@ -9,9 +9,21 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Figure 5: request classification, dynamic scheduling, "
               "slipstream-G0 (16 CMPs) ===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("fig5_reqclass_dynamic");
+  for (const auto& spec : apps::paper_suite()) {
+    if (spec.in_dynamic_suite) plan.apps.push_back(spec.name);
+  }
+  plan.modes = {core::parse_mode_axis("slip-G0").value};
+  plan.schedules = {{"dynamic", {}}};
+  plan.schedule_override = [](const core::PlanPoint& p) {
+    return apps::dynamic_schedule_for(p.app, apps::AppScale::kBench, 16);
+  };
+  const core::SweepRun run = bench::run_plan(plan, args);
 
   stats::Table table({"benchmark", "kind", "A-Timely", "A-Late", "A-Only",
                       "R-Timely", "R-Late", "R-Only", "requests"});
@@ -19,17 +31,10 @@ int main() {
   using stats::ReqKind;
   double read_timely = 0, read_late = 0, ex_timely = 0, ex_late = 0;
   int n = 0;
-  for (const auto& spec : apps::paper_suite()) {
-    if (!spec.in_dynamic_suite) continue;
-    const auto sched =
-        apps::dynamic_schedule_for(spec.name, apps::AppScale::kBench, 16);
-    const auto r =
-        bench::run_mode(spec.name, rt::ExecutionMode::kSlipstream,
-                        slip::SlipstreamConfig::zero_token_global(), sched);
-    bench::check_verified(spec.name, r);
+  for (const std::string& app : plan.apps) {
+    const auto& r = bench::at(run, app + "/slip-G0");
     for (ReqKind kind : {ReqKind::kRead, ReqKind::kReadEx}) {
-      std::vector<std::string> row = {spec.name,
-                                      std::string(to_string(kind))};
+      std::vector<std::string> row = {app, std::string(to_string(kind))};
       for (ReqClass cls :
            {ReqClass::kATimely, ReqClass::kALate, ReqClass::kAOnly,
             ReqClass::kRTimely, ReqClass::kRLate, ReqClass::kROnly}) {

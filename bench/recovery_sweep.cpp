@@ -3,115 +3,83 @@
 // Injects a persistent R-stream token loss (the harshest protocol fault:
 // the pair diverges in every region from the fault on) and sweeps the
 // divergence threshold under both recovery policies, against a clean
-// slipstream run and the single-mode baseline. Emits the table to stdout
-// and the raw numbers to BENCH_recovery.json for the CI trend check.
-#include <fstream>
-
+// slipstream run and the single-mode baseline. The faulty grid is a
+// variants axis on one declared plan; the canonical aggregate lands in
+// BENCH_recovery.json for the CI trend check.
 #include "bench/bench_common.hpp"
 
 using namespace ssomp;
 
 namespace {
 
-struct SweepPoint {
-  std::string app;
-  std::string policy;
-  int divergence = 0;
-  core::ExperimentResult result;
-};
-
-core::ExperimentResult run_point(const std::string& app,
-                                 rt::RecoveryPolicy policy, int divergence,
-                                 bool inject) {
-  core::ExperimentConfig cfg;
-  cfg.machine = bench::paper_machine();
-  cfg.runtime.mode = rt::ExecutionMode::kSlipstream;
-  cfg.runtime.slip = slip::SlipstreamConfig::one_token_local();
-  cfg.runtime.recovery = policy;
-  cfg.runtime.divergence_threshold = divergence;
-  cfg.runtime.watchdog_cycles = 200000;
-  cfg.runtime.audit = true;
-  if (inject) {
-    cfg.runtime.fault = {.kind = slip::FaultKind::kRStreamTokenLoss,
-                         .node = 0,
-                         .visit = 4};
-  }
-  return core::run_experiment(
-      cfg, apps::make_workload(app, apps::AppScale::kBench));
-}
-
-void check_audited(const std::string& app, const core::ExperimentResult& r) {
-  bench::check_verified(app, r);
-  if (!r.audit_ok) {
-    std::fprintf(stderr, "FATAL: %s failed the invariant audit\n",
-                 app.c_str());
-    std::exit(1);
-  }
+core::ConfigVariant fault_variant(const char* name,
+                                  rt::RecoveryPolicy policy,
+                                  int divergence) {
+  return {name, [policy, divergence](core::ExperimentConfig& cfg) {
+            cfg.runtime.recovery = policy;
+            cfg.runtime.divergence_threshold = divergence;
+            cfg.runtime.fault = {.kind = slip::FaultKind::kRStreamTokenLoss,
+                                 .node = 0,
+                                 .visit = 4};
+          }};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Recovery-policy sweep (persistent token loss on CMP 0, "
               "watchdog armed) ===\n\n");
 
-  std::vector<SweepPoint> points;
+  // Single-mode baselines, separate from the faulted grid so the fault
+  // variants only ever apply to slipstream runs.
+  core::ExperimentPlan base_plan = bench::paper_plan("recovery_baseline");
+  base_plan.apps = {"CG", "MG"};
+  base_plan.modes = {core::parse_mode_axis("single").value};
+  bench::BenchArgs base_args = args;
+  base_args.out.clear();
+  const core::SweepRun base_run = bench::run_plan(base_plan, base_args);
+
+  core::ExperimentPlan plan = bench::paper_plan("recovery");
+  plan.apps = {"CG", "MG"};
+  plan.modes = {core::parse_mode_axis("slip-L1").value};
+  plan.base.runtime.watchdog_cycles = 200000;
+  plan.base.runtime.audit = true;
+  plan.variants = {
+      {"clean", {}},
+      fault_variant("bench-d2", rt::RecoveryPolicy::kBench, 2),
+      fault_variant("bench-d8", rt::RecoveryPolicy::kBench, 8),
+      fault_variant("restart-d2", rt::RecoveryPolicy::kRestart, 2),
+      fault_variant("restart-d8", rt::RecoveryPolicy::kRestart, 8),
+  };
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table t({"benchmark", "policy", "divergence", "cycles",
                   "vs single", "recoveries", "restarts", "benched barriers",
                   "watchdog trips"});
-
-  for (const std::string app : {"CG", "MG"}) {
-    const auto single = bench::run_mode(app, rt::ExecutionMode::kSingle,
-                                        slip::SlipstreamConfig::disabled());
-    bench::check_verified(app, single);
-    const auto clean = run_point(app, rt::RecoveryPolicy::kBench, 0, false);
-    check_audited(app, clean);
-    t.add_row({app, "clean", "-", std::to_string(clean.cycles),
-               stats::Table::fmt(core::speedup(single, clean), 3), "0", "0",
-               "0", "0"});
-    for (const char* policy_name : {"bench", "restart"}) {
-      const rt::RecoveryPolicy policy = std::string(policy_name) == "bench"
-                                            ? rt::RecoveryPolicy::kBench
-                                            : rt::RecoveryPolicy::kRestart;
-      for (int divergence : {2, 8}) {
-        auto r = run_point(app, policy, divergence, true);
-        check_audited(app, r);
-        t.add_row({app, policy_name, std::to_string(divergence),
-                   std::to_string(r.cycles),
-                   stats::Table::fmt(core::speedup(single, r), 3),
-                   std::to_string(r.slip.recoveries),
-                   std::to_string(r.slip.restarts),
-                   std::to_string(r.slip.benched_barriers),
-                   std::to_string(r.slip.watchdog_trips)});
-        points.push_back({app, policy_name, divergence, std::move(r)});
-      }
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const core::PlanPoint& p = run.points[i];
+    const core::ExperimentResult& r = run.records[i].result;
+    if (!r.audit_ok) {
+      std::fprintf(stderr, "FATAL: %s failed the invariant audit\n",
+                   p.label.c_str());
+      return 1;
     }
+    const auto& single = bench::at(base_run, p.app + "/single");
+    const bool clean = p.variant == "clean";
+    const std::string policy =
+        clean ? "clean" : p.variant.substr(0, p.variant.find('-'));
+    const std::string divergence =
+        clean ? "-" : p.variant.substr(p.variant.find("-d") + 2);
+    t.add_row({p.app, policy, divergence, std::to_string(r.cycles),
+               stats::Table::fmt(core::speedup(single, r), 3),
+               std::to_string(r.slip.recoveries),
+               std::to_string(r.slip.restarts),
+               std::to_string(r.slip.benched_barriers),
+               std::to_string(r.slip.watchdog_trips)});
   }
   t.print();
-
-  std::ofstream json("BENCH_recovery.json", std::ios::binary);
-  json << "{\"bench\":\"recovery_sweep\",\"points\":[";
-  bool first = true;
-  for (const auto& p : points) {
-    if (!first) json << ',';
-    first = false;
-    json << "{\"app\":\"" << p.app << "\",\"policy\":\"" << p.policy
-         << "\",\"divergence\":" << p.divergence
-         << ",\"cycles\":" << p.result.cycles
-         << ",\"recoveries\":" << p.result.slip.recoveries
-         << ",\"restarts\":" << p.result.slip.restarts
-         << ",\"benched_barriers\":" << p.result.slip.benched_barriers
-         << ",\"watchdog_trips\":" << p.result.slip.watchdog_trips
-         << ",\"verified\":" << (p.result.workload.verified ? "true" : "false")
-         << ",\"audit_ok\":" << (p.result.audit_ok ? "true" : "false")
-         << '}';
-  }
-  json << "]}\n";
-  if (!json) {
-    std::fprintf(stderr, "FATAL: cannot write BENCH_recovery.json\n");
-    return 1;
-  }
-  std::printf("\nwrote BENCH_recovery.json (%zu sweep points)\n",
-              points.size());
+  std::printf("\n%zu sweep points in BENCH_recovery.json\n",
+              run.points.size());
   return 0;
 }

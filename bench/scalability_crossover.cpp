@@ -8,29 +8,26 @@
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Scalability: double vs slipstream across machine sizes "
               "===\n\n");
+
+  core::ExperimentPlan plan = bench::paper_plan("scalability");
+  plan.apps = {"CG", "MG", "SP"};
+  plan.modes = core::paper_modes();
+  plan.ncmps = {2, 4, 8, 16};
+  const core::SweepRun run = bench::run_plan(plan, args);
+
   stats::Table table({"benchmark", "CMPs", "single cycles", "double",
                       "slip-L1", "slip-G0", "winner"});
-  for (const std::string app : {"CG", "MG", "SP"}) {
-    for (int ncmp : {2, 4, 8, 16}) {
-      const auto single =
-          bench::run_mode(app, rt::ExecutionMode::kSingle,
-                          slip::SlipstreamConfig::disabled(), {}, ncmp);
-      const auto dbl =
-          bench::run_mode(app, rt::ExecutionMode::kDouble,
-                          slip::SlipstreamConfig::disabled(), {}, ncmp);
-      const auto l1 =
-          bench::run_mode(app, rt::ExecutionMode::kSlipstream,
-                          slip::SlipstreamConfig::one_token_local(), {}, ncmp);
-      const auto g0 = bench::run_mode(
-          app, rt::ExecutionMode::kSlipstream,
-          slip::SlipstreamConfig::zero_token_global(), {}, ncmp);
-      bench::check_verified(app, single);
-      bench::check_verified(app, dbl);
-      bench::check_verified(app, l1);
-      bench::check_verified(app, g0);
+  for (const std::string& app : plan.apps) {
+    for (int ncmp : plan.ncmps) {
+      const std::string size = "/cmp" + std::to_string(ncmp);
+      const auto& single = bench::at(run, app + "/single" + size);
+      const auto& dbl = bench::at(run, app + "/double" + size);
+      const auto& l1 = bench::at(run, app + "/slip-L1" + size);
+      const auto& g0 = bench::at(run, app + "/slip-G0" + size);
       const double sd = core::speedup(single, dbl);
       const double sl = core::speedup(single, l1);
       const double sg = core::speedup(single, g0);

@@ -3,47 +3,34 @@
 // run quarters. Writes the full per-CPU trace to timeline_slipstream.csv
 // for external plotting (one row per 2000-cycle sample) and the event-
 // level protocol trace to trace_slipstream.json (open in Perfetto).
-#include <cstdio>
 #include <fstream>
 
-#include "apps/registry.hpp"
 #include "bench/bench_common.hpp"
-#include "stats/timeline.hpp"
-#include "trace/chrome.hpp"
 
 using namespace ssomp;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
   std::printf("=== Timeline trace: MG under slipstream (one-token local) "
               "===\n\n");
 
-  machine::MachineConfig mc = bench::paper_machine();
-  machine::Machine machine(mc);
-  rt::RuntimeOptions opts;
-  opts.mode = rt::ExecutionMode::kSlipstream;
-  opts.slip = slip::SlipstreamConfig::one_token_local();
-  opts.trace.enabled = true;
-  rt::Runtime runtime(machine, opts);
-  auto workload =
-      apps::make_workload("MG", apps::AppScale::kBench)(runtime);
-
-  stats::Timeline timeline(machine.engine(), 2000);
-  const sim::Cycles total =
-      runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
-  timeline.finalize();
-  const auto verdict = workload->verify();
-  if (!verdict.verified) {
-    std::fprintf(stderr, "verification failed: %s\n", verdict.detail.c_str());
-    return 1;
-  }
+  core::ExperimentPlan plan = bench::paper_plan("trace_timeline");
+  plan.apps = {"MG"};
+  plan.modes = {core::parse_mode_axis("slip-L1").value};
+  plan.base.timeline_interval = 2000;
+  plan.base.runtime.trace.enabled = true;
+  const core::SweepRun run = bench::run_plan(plan, args);
+  const core::ExperimentResult& r = run.records[0].result;
+  const sim::Cycles total = r.cycles;
 
   std::printf("run: %llu cycles, %zu samples (every 2000 cycles)\n\n",
               static_cast<unsigned long long>(total),
-              timeline.samples().size());
+              r.timeline.samples.size());
 
-  // How CMP 3's R-stream (cpu 6) and A-stream (cpu 7) spend each quarter.
-  const sim::CpuId r_cpu = machine.r_cpu_of(3);
-  const sim::CpuId a_cpu = machine.a_cpu_of(3);
+  // How CMP 3's R-stream and A-stream spend each quarter.
+  const auto& mc = run.points[0].config.machine;
+  const sim::CpuId r_cpu = 3 * mc.cpus_per_cmp;
+  const sim::CpuId a_cpu = r_cpu + 1;
   stats::Table table({"quarter", "R busy", "R stall", "R barrier", "A busy",
                       "A stall", "A token-wait"});
   for (int q = 0; q < 4; ++q) {
@@ -52,34 +39,32 @@ int main() {
     using sim::TimeCategory;
     table.add_row(
         {"Q" + std::to_string(q + 1),
-         stats::Table::pct(timeline.fraction(r_cpu, TimeCategory::kBusy,
-                                             from, to)),
-         stats::Table::pct(timeline.fraction(r_cpu, TimeCategory::kMemStall,
-                                             from, to)),
-         stats::Table::pct(timeline.fraction(r_cpu, TimeCategory::kBarrier,
-                                             from, to)),
-         stats::Table::pct(timeline.fraction(a_cpu, TimeCategory::kBusy,
-                                             from, to)),
-         stats::Table::pct(timeline.fraction(a_cpu, TimeCategory::kMemStall,
-                                             from, to)),
-         stats::Table::pct(timeline.fraction(a_cpu, TimeCategory::kTokenWait,
-                                             from, to))});
+         stats::Table::pct(r.timeline.fraction(r_cpu, TimeCategory::kBusy,
+                                               from, to)),
+         stats::Table::pct(r.timeline.fraction(r_cpu, TimeCategory::kMemStall,
+                                               from, to)),
+         stats::Table::pct(r.timeline.fraction(r_cpu, TimeCategory::kBarrier,
+                                               from, to)),
+         stats::Table::pct(r.timeline.fraction(a_cpu, TimeCategory::kBusy,
+                                               from, to)),
+         stats::Table::pct(r.timeline.fraction(a_cpu, TimeCategory::kMemStall,
+                                               from, to)),
+         stats::Table::pct(r.timeline.fraction(a_cpu, TimeCategory::kTokenWait,
+                                               from, to))});
   }
   table.print();
 
   std::ofstream csv("timeline_slipstream.csv");
-  csv << timeline.to_csv();
+  csv << r.timeline_csv;
   std::printf("\nfull trace written to timeline_slipstream.csv (%zu rows, "
               "%d CPUs)\n",
-              timeline.samples().size(), machine.ncpus());
+              r.timeline.samples.size(), mc.ncpus());
 
-  const auto& tracer = runtime.instrumentation().tracer();
   std::ofstream json("trace_slipstream.json");
-  json << trace::chrome_trace_json(tracer);
-  const auto counts = tracer.counts();
+  json << r.trace_json;
   std::printf("protocol trace written to trace_slipstream.json "
               "(%llu events, %llu evicted) — open in Perfetto\n",
-              static_cast<unsigned long long>(counts.recorded),
-              static_cast<unsigned long long>(counts.dropped));
+              static_cast<unsigned long long>(r.trace_counts.recorded),
+              static_cast<unsigned long long>(r.trace_counts.dropped));
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "apps/registry.hpp"
 
+#include <cstdio>
+#include <stdexcept>
+
 #include "apps/bt.hpp"
 #include "apps/cg.hpp"
 #include "apps/ep.hpp"
@@ -8,6 +11,7 @@
 #include "apps/lu.hpp"
 #include "apps/mg.hpp"
 #include "apps/sp.hpp"
+#include "stats/report.hpp"
 #include "sim/check.hpp"
 
 namespace ssomp::apps {
@@ -32,50 +36,77 @@ const std::vector<AppSpec>& paper_suite() {
   return kSuite;
 }
 
+void print_paper_suite() {
+  std::printf("Benchmarks (paper Table 2; reduced problem classes):\n");
+  stats::Table t({"benchmark", "description", "dynamic suite"});
+  for (const AppSpec& s : paper_suite()) {
+    t.add_row({s.name, s.description, s.in_dynamic_suite ? "yes" : "no"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
 core::WorkloadFactory make_workload(const std::string& name, AppScale scale,
-                                    front::ScheduleClause sched) {
+                                    front::ScheduleClause sched,
+                                    std::uint64_t seed_override) {
   const bool tiny = scale == AppScale::kTiny;
   if (name == "CG") {
     CgParams p = tiny ? CgParams::tiny() : CgParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_cg(rt, p); };
   }
   if (name == "MG") {
     MgParams p = tiny ? MgParams::tiny() : MgParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_mg(rt, p); };
   }
   if (name == "BT") {
     BtParams p = tiny ? BtParams::tiny() : BtParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_bt(rt, p); };
   }
   if (name == "SP") {
     SpParams p = tiny ? SpParams::tiny() : SpParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_sp(rt, p); };
   }
   if (name == "LU") {
     LuParams p = tiny ? LuParams::tiny() : LuParams{};
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_lu(rt, p); };
   }
   if (name == "EP") {
     EpParams p = tiny ? EpParams::tiny() : EpParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_ep(rt, p); };
   }
   if (name == "FT") {
     FtParams p = tiny ? FtParams::tiny() : FtParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_ft(rt, p); };
   }
   if (name == "IS") {
     IsParams p = tiny ? IsParams::tiny() : IsParams{};
     p.sched = sched;
+    if (seed_override != 0) p.seed = seed_override;
     return [p](rt::Runtime& rt) { return make_is(rt, p); };
   }
-  SSOMP_CHECK(false && "unknown workload name");
-  return {};
+  throw std::invalid_argument("unknown workload name: " + name);
+}
+
+core::WorkloadResolver plan_resolver() {
+  return [](const core::PlanPoint& point) {
+    return make_workload(point.app,
+                         point.scale == 1 ? AppScale::kTiny
+                                          : AppScale::kBench,
+                         point.schedule.clause, point.workload_seed);
+  };
 }
 
 front::ScheduleClause dynamic_schedule_for(const std::string& name,

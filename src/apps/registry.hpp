@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "apps/common.hpp"
+#include "core/plan.hpp"
 #include "core/workload.hpp"
 
 namespace ssomp::apps {
@@ -24,6 +25,9 @@ struct AppSpec {
 /// The paper's suite order: BT, CG, LU, MG, SP (Table 2).
 [[nodiscard]] const std::vector<AppSpec>& paper_suite();
 
+/// Prints the paper's Table 2 (the suite plus reduced-class notes).
+void print_paper_suite();
+
 /// Extended workloads beyond the paper's evaluation (EP compute-bound,
 /// FT transpose-heavy, IS atomic/critical-heavy).
 [[nodiscard]] const std::vector<AppSpec>& extended_suite();
@@ -31,10 +35,17 @@ struct AppSpec {
 /// Builds a workload by name ("BT", "CG", "LU", "MG", "SP", "EP", "FT",
 /// "IS").
 /// `sched` applies to the app's schedulable loops (LU ignores it for its
-/// programmatically-static portions). Aborts on unknown name.
+/// programmatically-static portions). `seed_override` replaces the app's
+/// built-in workload seed when nonzero. Aborts on unknown name.
 [[nodiscard]] core::WorkloadFactory make_workload(
     const std::string& name, AppScale scale,
-    front::ScheduleClause sched = {});
+    front::ScheduleClause sched = {}, std::uint64_t seed_override = 0);
+
+/// The registry-backed resolver for plan-driven sweeps: maps a PlanPoint
+/// to its workload by app name, honoring the point's scale, schedule and
+/// workload seed. Throws std::invalid_argument on unknown app names (the
+/// SweepDriver turns that into a per-point error record).
+[[nodiscard]] core::WorkloadResolver plan_resolver();
 
 /// The dynamic-scheduling chunk the paper uses for CG (half the static
 /// block assignment) and the compiler defaults elsewhere.

@@ -2,8 +2,7 @@
 
 #include <sstream>
 
-#include "machine/machine.hpp"
-#include "rt/runtime.hpp"
+#include "core/driver.hpp"
 #include "sim/check.hpp"
 #include "stats/report.hpp"
 
@@ -24,26 +23,6 @@ std::vector<CandidateConfig> default_candidates() {
 
 namespace {
 
-struct ProbeRun {
-  sim::Cycles total = 0;
-  std::vector<rt::RegionRecord> regions;
-};
-
-ProbeRun probe(const machine::MachineConfig& mc, const WorkloadFactory& f,
-               const CandidateConfig& candidate) {
-  machine::Machine machine(mc);
-  rt::RuntimeOptions opts;
-  opts.mode = candidate.mode;
-  opts.slip = candidate.slip;
-  rt::Runtime runtime(machine, opts);
-  auto workload = f(runtime);
-  ProbeRun run;
-  run.total = runtime.run([&](rt::SerialCtx& sc) { workload->run(sc); });
-  SSOMP_CHECK(workload->verify().verified);
-  run.regions = runtime.region_records();
-  return run;
-}
-
 std::string directive_for(const CandidateConfig& c) {
   if (c.mode != rt::ExecutionMode::kSlipstream || !c.slip.enabled()) {
     return "";
@@ -56,32 +35,51 @@ std::string directive_for(const CandidateConfig& c) {
 
 Advice advise(const machine::MachineConfig& machine_config,
               const WorkloadFactory& factory,
-              const std::vector<CandidateConfig>& candidates) {
+              const std::vector<CandidateConfig>& candidates, int jobs) {
   SSOMP_CHECK(!candidates.empty());
-  std::vector<ProbeRun> runs;
-  runs.reserve(candidates.size());
+
+  // Candidate probes are independent simulations: batch them through the
+  // sweep driver so they run concurrently.
+  std::vector<BatchItem> items;
+  items.reserve(candidates.size());
   std::size_t baseline = 0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    runs.push_back(probe(machine_config, factory, candidates[i]));
     if (candidates[i].mode == rt::ExecutionMode::kSingle) baseline = i;
+    BatchItem item;
+    item.label = candidates[i].name;
+    item.config.machine = machine_config;
+    item.config.runtime.mode = candidates[i].mode;
+    item.config.runtime.slip = candidates[i].slip;
+    item.factory = factory;
+    items.push_back(std::move(item));
+  }
+  const std::vector<RunRecord> runs =
+      run_batch(items, SweepOptions{.jobs = jobs});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    SSOMP_CHECK(runs[i].ok && "advisor probe failed");
+    SSOMP_CHECK(runs[i].result.workload.verified);
     // The same program must produce the same region sequence everywhere.
-    SSOMP_CHECK(runs[i].regions.size() == runs[0].regions.size());
+    SSOMP_CHECK(runs[i].result.regions.size() ==
+                runs[0].result.regions.size());
   }
 
   Advice advice;
-  advice.single_cycles = runs[baseline].total;
+  advice.single_cycles = runs[baseline].result.cycles;
   std::size_t best_overall = 0;
   for (std::size_t i = 1; i < runs.size(); ++i) {
-    if (runs[i].total < runs[best_overall].total) best_overall = i;
+    if (runs[i].result.cycles < runs[best_overall].result.cycles) {
+      best_overall = i;
+    }
   }
   advice.best_overall = candidates[best_overall].name;
-  advice.best_overall_cycles = runs[best_overall].total;
+  advice.best_overall_cycles = runs[best_overall].result.cycles;
 
   sim::Cycles region_savings = 0;
-  for (std::size_t r = 0; r < runs[0].regions.size(); ++r) {
+  for (std::size_t r = 0; r < runs[0].result.regions.size(); ++r) {
     std::size_t best = 0;
     for (std::size_t i = 1; i < runs.size(); ++i) {
-      if (runs[i].regions[r].cycles < runs[best].regions[r].cycles) {
+      if (runs[i].result.regions[r].cycles <
+          runs[best].result.regions[r].cycles) {
         best = i;
       }
     }
@@ -89,8 +87,8 @@ Advice advise(const machine::MachineConfig& machine_config,
     ra.region = static_cast<int>(r);
     ra.best = candidates[best].name;
     ra.directive = directive_for(candidates[best]);
-    ra.best_cycles = runs[best].regions[r].cycles;
-    ra.single_cycles = runs[baseline].regions[r].cycles;
+    ra.best_cycles = runs[best].result.regions[r].cycles;
+    ra.single_cycles = runs[baseline].result.regions[r].cycles;
     ra.gain_vs_single =
         ra.best_cycles == 0
             ? 0.0

@@ -49,11 +49,15 @@ struct Advice {
 /// Probes `factory`'s workload under every candidate on `machine_config`
 /// and produces per-region recommendations. Workload runs must execute
 /// the same region sequence in every mode (true for OpenMP-style
-/// programs; region counts are checked).
+/// programs; region counts are checked). Candidate probes are
+/// independent simulations and run concurrently on the sweep driver's
+/// thread pool; `jobs` follows the driver's resolution chain (explicit >
+/// SSOMP_JOBS > hardware concurrency).
 [[nodiscard]] Advice advise(const machine::MachineConfig& machine_config,
                             const WorkloadFactory& factory,
                             const std::vector<CandidateConfig>& candidates =
-                                default_candidates());
+                                default_candidates(),
+                            int jobs = 0);
 
 /// Renders the advice as a table plus directive suggestions.
 [[nodiscard]] std::string format_advice(const Advice& advice);

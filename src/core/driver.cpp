@@ -1,0 +1,145 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace ssomp::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs one item, converting any exception into an error record. Aborts
+/// (SSOMP_CHECK failures) are simulator bugs and still kill the process —
+/// only recoverable, per-run failures are isolated.
+RunRecord execute(const BatchItem& item) {
+  RunRecord rec;
+  rec.label = item.label;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rec.result = run_experiment(item.config, item.factory);
+    rec.ok = true;
+  } catch (const std::exception& e) {
+    rec.error = e.what();
+  } catch (...) {
+    rec.error = "unknown exception";
+  }
+  rec.host_seconds = seconds_since(start);
+  return rec;
+}
+
+}  // namespace
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SSOMP_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<RunRecord> run_batch(const std::vector<BatchItem>& items,
+                                 const SweepOptions& opts) {
+  std::vector<RunRecord> records(items.size());
+  if (items.empty()) return records;
+
+  const int jobs = std::min<int>(resolve_jobs(opts.jobs),
+                                 static_cast<int>(items.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      records[i] = execute(items[i]);
+    }
+    return records;
+  }
+
+  // Work-stealing off a shared counter; each worker writes only its own
+  // disjoint record slots, so no further synchronization is needed.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) break;
+      records[i] = execute(items[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return records;
+}
+
+int SweepRun::failures() const {
+  int n = 0;
+  for (const RunRecord& r : records) {
+    if (!r.ok) ++n;
+  }
+  return n;
+}
+
+const RunRecord* SweepRun::find(const std::string& label) const {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].label == label) return &records[i];
+  }
+  return nullptr;
+}
+
+SweepRun run_sweep(const ExperimentPlan& plan,
+                   const WorkloadResolver& resolver,
+                   const SweepOptions& opts) {
+  SweepRun run;
+  run.plan = plan;
+  run.points = plan.expand();
+  run.jobs = resolve_jobs(opts.jobs);
+  if (static_cast<std::size_t>(run.jobs) > run.points.size()) {
+    run.jobs = std::max<int>(1, static_cast<int>(run.points.size()));
+  }
+
+  std::vector<BatchItem> items;
+  items.reserve(run.points.size());
+  for (const PlanPoint& point : run.points) {
+    BatchItem item;
+    item.label = point.label;
+    item.config = point.config;
+    // Resolve lazily on the worker thread so a throwing resolver is
+    // isolated to its own record like any other per-run failure.
+    item.factory = [&resolver, &point](rt::Runtime& rt) {
+      return resolver(point)(rt);
+    };
+    items.push_back(std::move(item));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  run.records = run_batch(items, SweepOptions{.jobs = run.jobs});
+  run.host_seconds_total = seconds_since(start);
+  return run;
+}
+
+bool parse_sweep_flag(int argc, char** argv, int& i, SweepCli& cli) {
+  const std::string arg = argv[i];
+  if (arg == "--jobs" && i + 1 < argc) {
+    cli.jobs = std::atoi(argv[++i]);
+    return true;
+  }
+  if (arg == "--out" && i + 1 < argc) {
+    cli.out = argv[++i];
+    return true;
+  }
+  if (arg == "--no-host-seconds") {
+    cli.host_seconds = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ssomp::core

@@ -1,0 +1,91 @@
+// Parallel sweep driver.
+//
+// Executes a batch of independent experiments on a pool of host threads.
+// Simulations are instance-scoped (machine, runtime, fibers, RNGs all
+// live per run; sim::Fiber's current-fiber slot is thread_local), so the
+// runs are embarrassingly parallel and results are bit-identical at any
+// job count. Guarantees:
+//
+//   * deterministic result ordering — records come back in plan/batch
+//     order no matter how the scheduler interleaved the runs;
+//   * per-run failure isolation — a run whose resolver/factory/experiment
+//     throws becomes a structured error record, not a sunk batch;
+//   * per-run host wall-clock timing — every record carries host seconds
+//     alongside the simulated cycle count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace ssomp::core {
+
+struct SweepOptions {
+  /// Worker threads. 0 = the SSOMP_JOBS environment variable if set and
+  /// positive, else std::thread::hardware_concurrency().
+  int jobs = 0;
+};
+
+/// Resolves the effective job count: `requested` > 0 wins, then
+/// SSOMP_JOBS, then hardware concurrency (at least 1).
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// One batch entry: an arbitrary configuration plus the factory that
+/// builds its workload (invoked on the worker thread).
+struct BatchItem {
+  std::string label;
+  ExperimentConfig config;
+  WorkloadFactory factory;
+};
+
+/// The outcome of one run.
+struct RunRecord {
+  std::string label;
+  bool ok = false;
+  std::string error;        // exception message when !ok
+  ExperimentResult result;  // valid only when ok
+  double host_seconds = 0.0;
+};
+
+/// Runs every item on a pool of `opts.jobs` threads; records are returned
+/// in item order. Throwing items yield !ok records; the rest of the batch
+/// still completes.
+[[nodiscard]] std::vector<RunRecord> run_batch(
+    const std::vector<BatchItem>& items, const SweepOptions& opts = {});
+
+/// A fully-executed plan: points and records are parallel arrays in
+/// deterministic grid order.
+struct SweepRun {
+  ExperimentPlan plan;
+  std::vector<PlanPoint> points;
+  std::vector<RunRecord> records;
+  int jobs = 1;
+  double host_seconds_total = 0.0;
+
+  [[nodiscard]] int failures() const;
+
+  /// The record for the point labelled `label` ("CG/slip-L1/cmp4", ...),
+  /// or nullptr if the plan has no such point.
+  [[nodiscard]] const RunRecord* find(const std::string& label) const;
+};
+
+/// Expands `plan` and runs every point through `resolver` on the pool.
+[[nodiscard]] SweepRun run_sweep(const ExperimentPlan& plan,
+                                 const WorkloadResolver& resolver,
+                                 const SweepOptions& opts = {});
+
+/// The CLI surface shared by every sweep-running binary (the bench
+/// harnesses, ssomp_run --sweep): --jobs N, --out FILE,
+/// --no-host-seconds.
+struct SweepCli {
+  int jobs = 0;              // 0 → SSOMP_JOBS env → hardware concurrency
+  bool host_seconds = true;  // off → byte-deterministic aggregate JSON
+  std::string out;           // aggregate path ("" → the caller's default)
+};
+
+/// Consumes argv[i] (advancing `i` past a value operand) when it is one
+/// of the shared sweep flags; returns false on anything else.
+bool parse_sweep_flag(int argc, char** argv, int& i, SweepCli& cli);
+
+}  // namespace ssomp::core

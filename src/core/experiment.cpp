@@ -63,7 +63,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 
   if (timeline.has_value()) {
     timeline->finalize();
-    result.timeline_csv = timeline->to_csv();
+    result.timeline = timeline->data();
+    result.timeline_csv = result.timeline.to_csv();
   }
 
   for (sim::CpuId c = 0; c < machine.ncpus(); ++c) {
@@ -75,6 +76,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   result.mem = machine.mem().stats();
   result.slip = runtime.slip_stats();
+  result.regions = runtime.region_records();
   result.workload = workload->verify();
   result.invariants_ok = machine.mem().check_invariants();
   result.audit_ok = runtime.auditor().ok();

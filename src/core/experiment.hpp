@@ -9,6 +9,7 @@
 #include "machine/machine.hpp"
 #include "rt/options.hpp"
 #include "stats/memstats.hpp"
+#include "stats/timeline.hpp"
 #include "trace/tracer.hpp"
 
 namespace ssomp::core {
@@ -37,6 +38,10 @@ struct ExperimentResult {
   WorkloadResult workload;
   bool invariants_ok = false;
 
+  /// Per-parallel-region execution records (what the per-region advisor
+  /// aligns across configurations).
+  std::vector<rt::RegionRecord> regions;
+
   /// Slipstream invariant-audit outcome (rt::RuntimeOptions::audit).
   /// Vacuously true when auditing was disabled.
   bool audit_ok = true;
@@ -57,6 +62,7 @@ struct ExperimentResult {
   std::string metrics_json;  // MetricsRegistry::to_json()
   std::string metrics_text;  // MetricsRegistry::to_text()
   std::string timeline_csv;  // Timeline::to_csv() (timeline_interval > 0)
+  stats::TimelineData timeline;  // detached samples (timeline_interval > 0)
   trace::TraceCounts trace_counts;
 
   /// Fraction of aggregate accounted CPU time in a category (the bars of

@@ -1,5 +1,6 @@
 #include "core/json.hpp"
 
+#include <fstream>
 #include <sstream>
 
 namespace ssomp::core {
@@ -187,6 +188,105 @@ std::string to_json(const ExperimentConfig& config,
 
   root.close();
   return out.str();
+}
+
+std::string sweep_to_json(const SweepRun& run, const SweepJsonOptions& opts) {
+  std::ostringstream out;
+  out.precision(12);
+  Obj root(out);
+  root.field("schema", std::string("ssomp-sweep-v1"));
+
+  root.key("plan");
+  {
+    Obj o(out);
+    o.field("name", run.plan.name);
+    o.field("points", static_cast<std::uint64_t>(run.points.size()));
+    o.field("scale", run.plan.scale == 1 ? std::string("tiny")
+                                         : std::string("bench"));
+    o.field("seed", run.plan.seed);
+    o.close();
+  }
+
+  root.key("points");
+  out << '[';
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const PlanPoint& p = run.points[i];
+    const RunRecord& rec = run.records[i];
+    if (i > 0) out << ',';
+    Obj o(out);
+    o.field("index", static_cast<std::uint64_t>(p.index));
+    o.field("label", p.label);
+    o.field("app", p.app);
+    o.field("mode", p.mode.name);
+    o.field("sync", std::string(to_string(p.config.runtime.slip.type)));
+    o.field("tokens", p.config.runtime.slip.tokens);
+    o.field("ncmp", p.ncmp);
+    o.field("sched", p.schedule.name);
+    o.field("variant", p.variant);
+    o.field("workload_seed", p.workload_seed);
+    o.field("ok", rec.ok);
+    if (!rec.ok) {
+      o.field("error", rec.error);
+    } else {
+      const ExperimentResult& r = rec.result;
+      o.field("cycles", r.cycles);
+      o.field("verified", r.workload.verified);
+      o.field("invariants_ok", r.invariants_ok);
+      o.field("audit_ok", r.audit_ok);
+      o.field("checksum", r.workload.checksum);
+      o.field("participating_cpus", r.participating_cpus);
+      o.field("faults_injected", r.faults_injected);
+      o.key("breakdown");
+      {
+        Obj b(out);
+        for (int c = 0; c < sim::kTimeCategoryCount; ++c) {
+          const auto cat = static_cast<sim::TimeCategory>(c);
+          b.field(std::string(to_string(cat)), r.fraction(cat));
+        }
+        b.field("barrier_folded", r.barrier_fraction());
+        b.close();
+      }
+      o.key("slipstream");
+      {
+        Obj s(out);
+        s.field("tokens_consumed", r.slip.tokens_consumed);
+        s.field("tokens_inserted", r.slip.tokens_inserted);
+        s.field("converted_stores", r.slip.converted_stores);
+        s.field("dropped_stores", r.slip.dropped_stores);
+        s.field("forwarded_chunks", r.slip.forwarded_chunks);
+        s.field("recoveries", r.slip.recoveries);
+        s.field("restarts", r.slip.restarts);
+        s.field("benched_barriers", r.slip.benched_barriers);
+        s.field("watchdog_trips", r.slip.watchdog_trips);
+        s.field("demotions", r.slip.demotions);
+        s.field("promotions", r.slip.promotions);
+        s.close();
+      }
+    }
+    if (opts.host_seconds) o.field("host_seconds", rec.host_seconds);
+    o.close();
+  }
+  out << ']';
+
+  if (opts.host_seconds) {
+    root.key("execution");
+    Obj o(out);
+    o.field("jobs", run.jobs);
+    o.field("host_seconds_total", run.host_seconds_total);
+    o.field("failures", run.failures());
+    o.close();
+  }
+
+  root.close();
+  return out.str();
+}
+
+bool write_sweep_json(const SweepRun& run, const std::string& path,
+                      const SweepJsonOptions& opts) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << sweep_to_json(run, opts) << '\n';
+  return static_cast<bool>(file);
 }
 
 }  // namespace ssomp::core

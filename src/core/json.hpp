@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "core/driver.hpp"
 #include "core/experiment.hpp"
 
 namespace ssomp::core {
@@ -14,5 +15,25 @@ namespace ssomp::core {
 /// "slipstream" sections.
 [[nodiscard]] std::string to_json(const ExperimentConfig& config,
                                   const ExperimentResult& result);
+
+struct SweepJsonOptions {
+  /// Include host wall-clock timing (per-point "host_seconds" and the
+  /// top-level "execution" object). This is the only non-deterministic
+  /// content: with it off, the same plan serializes byte-identically at
+  /// any --jobs count.
+  bool host_seconds = true;
+};
+
+/// Canonical aggregate schema ("ssomp-sweep-v1") for BENCH_*.json: one
+/// uniform document for every sweep — plan identity, per-point
+/// coordinates + simulated results, and (optionally) host timing. See
+/// docs/SWEEPS.md for the field list.
+[[nodiscard]] std::string sweep_to_json(const SweepRun& run,
+                                        const SweepJsonOptions& opts = {});
+
+/// Writes sweep_to_json(run, opts) plus a trailing newline to `path`;
+/// false on I/O error.
+bool write_sweep_json(const SweepRun& run, const std::string& path,
+                      const SweepJsonOptions& opts = {});
 
 }  // namespace ssomp::core

@@ -1,0 +1,283 @@
+#include "core/plan.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "mem/params.hpp"
+#include "slip/faultinject.hpp"
+
+namespace ssomp::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(trim(cur));
+  return parts;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  int v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// SplitMix64-style mixing of a string into a seed word.
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;  // FNV-1a prime: stable across platforms
+  }
+  return h;
+}
+
+}  // namespace
+
+front::ParseResult<ModeAxis> parse_mode_axis(const std::string& name) {
+  using Result = front::ParseResult<ModeAxis>;
+  ModeAxis m;
+  m.name = name;
+  if (name == "single") {
+    m.mode = rt::ExecutionMode::kSingle;
+    return Result::success(m);
+  }
+  if (name == "double") {
+    m.mode = rt::ExecutionMode::kDouble;
+    return Result::success(m);
+  }
+  if (name.rfind("slip-", 0) == 0 && name.size() >= 7) {
+    const char sync = name[5];
+    int tokens = 0;
+    if ((sync == 'L' || sync == 'G') && parse_int(name.substr(6), tokens)) {
+      m.mode = rt::ExecutionMode::kSlipstream;
+      m.slip.type =
+          sync == 'L' ? slip::SyncType::kLocal : slip::SyncType::kGlobal;
+      m.slip.tokens = tokens;
+      return Result::success(m);
+    }
+  }
+  return Result::failure("bad mode '" + name +
+                         "' (expected single, double, or slip-<L|G><N>)");
+}
+
+std::vector<ModeAxis> paper_modes() {
+  return {
+      {"single", rt::ExecutionMode::kSingle,
+       slip::SlipstreamConfig::disabled()},
+      {"double", rt::ExecutionMode::kDouble,
+       slip::SlipstreamConfig::disabled()},
+      {"slip-L1", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::one_token_local()},
+      {"slip-G0", rt::ExecutionMode::kSlipstream,
+       slip::SlipstreamConfig::zero_token_global()},
+  };
+}
+
+std::vector<PlanPoint> ExperimentPlan::expand() const {
+  std::vector<PlanPoint> points;
+  points.reserve(size());
+  for (const std::string& app : apps) {
+    for (const ModeAxis& mode : modes) {
+      for (int ncmp : ncmps) {
+        for (const SchedAxis& sched : schedules) {
+          for (const ConfigVariant& variant : variants) {
+            PlanPoint p;
+            p.index = points.size();
+            p.app = app;
+            p.mode = mode;
+            p.ncmp = ncmp;
+            p.schedule = sched;
+            p.variant = variant.name;
+            p.scale = scale;
+            if (seed != 0) {
+              // Derived from (plan seed, app) only: every mode/size/
+              // variant of one app sees identical workload data, so
+              // speedups stay comparable across the grid.
+              p.workload_seed = mix_string(seed ^ 0x9e3779b97f4a7c15ULL, app);
+              if (p.workload_seed == 0) p.workload_seed = 1;
+            }
+
+            p.config = base;
+            p.config.machine.ncmp = ncmp;
+            p.config.runtime.mode = mode.mode;
+            p.config.runtime.slip = mode.slip;
+            if (schedule_override) {
+              p.schedule.clause = schedule_override(p);
+            }
+            if (variant.mutate) variant.mutate(p.config);
+
+            p.label = app + "/" + mode.name;
+            if (ncmps.size() > 1) {
+              p.label += "/cmp" + std::to_string(ncmp);
+            }
+            if (schedules.size() > 1) p.label += "/" + sched.name;
+            if (!variant.name.empty()) p.label += "/" + variant.name;
+
+            points.push_back(std::move(p));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+front::ParseResult<ExperimentPlan> parse_plan(const std::string& text) {
+  using Result = front::ParseResult<ExperimentPlan>;
+  ExperimentPlan plan;
+  plan.modes.clear();
+  plan.ncmps.clear();
+  plan.schedules.clear();
+  plan.base.machine.mem = mem::MemParams::scaled_for_benchmarks();
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& msg) {
+    return Result::failure("plan line " + std::to_string(lineno) + ": " +
+                           msg);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) return fail("empty value for '" + key + "'");
+
+    if (key == "name") {
+      plan.name = value;
+    } else if (key == "apps" || key == "app") {
+      for (std::string app : split(value, ',')) {
+        for (char& c : app) {
+          c = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(c)));
+        }
+        plan.apps.push_back(app);
+      }
+    } else if (key == "modes" || key == "mode") {
+      for (const std::string& name : split(value, ',')) {
+        const auto parsed = parse_mode_axis(name);
+        if (!parsed.ok) return fail(parsed.error);
+        plan.modes.push_back(parsed.value);
+      }
+    } else if (key == "ncmp") {
+      for (const std::string& n : split(value, ',')) {
+        int ncmp = 0;
+        if (!parse_int(n, ncmp) || ncmp < 1) {
+          return fail("bad ncmp '" + n + "'");
+        }
+        plan.ncmps.push_back(ncmp);
+      }
+    } else if (key == "sched") {
+      // Schedules use ';' between axis values because a clause itself
+      // may contain ',' (e.g. "dynamic,2").
+      for (const std::string& s : split(value, ';')) {
+        const auto parsed = front::parse_schedule_clause(s);
+        if (!parsed.ok) return fail("bad sched: " + parsed.error);
+        plan.schedules.push_back({s, parsed.value});
+      }
+    } else if (key == "scale") {
+      if (value == "bench") {
+        plan.scale = 0;
+      } else if (value == "tiny") {
+        plan.scale = 1;
+      } else {
+        return fail("bad scale '" + value + "' (expected bench or tiny)");
+      }
+    } else if (key == "seed") {
+      if (!parse_u64(value, plan.seed)) return fail("bad seed");
+    } else if (key == "audit") {
+      if (value == "on") {
+        plan.base.runtime.audit = true;
+      } else if (value == "off") {
+        plan.base.runtime.audit = false;
+      } else {
+        return fail("bad audit '" + value + "' (expected on or off)");
+      }
+    } else if (key == "recovery") {
+      auto v = split(value, ',');
+      if (v[0] == "bench") {
+        plan.base.runtime.recovery = rt::RecoveryPolicy::kBench;
+      } else if (v[0] == "restart") {
+        plan.base.runtime.recovery = rt::RecoveryPolicy::kRestart;
+      } else {
+        return fail("bad recovery (expected bench or restart)");
+      }
+      if (v.size() > 1) {
+        int budget = 0;
+        if (!parse_int(v[1], budget)) return fail("bad recovery budget");
+        plan.base.runtime.restart_budget = budget;
+      }
+    } else if (key == "divergence") {
+      int d = 0;
+      if (!parse_int(value, d)) return fail("bad divergence");
+      plan.base.runtime.divergence_threshold = d;
+    } else if (key == "watchdog") {
+      std::uint64_t cycles = 0;
+      if (!parse_u64(value, cycles)) return fail("bad watchdog");
+      plan.base.runtime.watchdog_cycles =
+          static_cast<sim::Cycles>(cycles);
+    } else if (key == "inject") {
+      const auto parsed = slip::parse_fault_plan(value);
+      if (!parsed.ok) return fail("bad inject: " + parsed.error);
+      plan.base.runtime.fault = parsed.value;
+      plan.base.runtime.audit = true;
+    } else if (key == "timeline") {
+      std::uint64_t interval = 0;
+      if (!parse_u64(value, interval) || interval == 0) {
+        return fail("bad timeline interval");
+      }
+      plan.base.timeline_interval = static_cast<sim::Cycles>(interval);
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+
+  if (plan.apps.empty()) return Result::failure("plan declares no apps");
+  if (plan.modes.empty()) return Result::failure("plan declares no modes");
+  if (plan.ncmps.empty()) plan.ncmps = {16};
+  if (plan.schedules.empty()) plan.schedules = {SchedAxis{}};
+  return Result::success(std::move(plan));
+}
+
+}  // namespace ssomp::core

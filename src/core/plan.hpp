@@ -1,0 +1,150 @@
+// Declarative experiment plans.
+//
+// The paper's evaluation is a grid — apps × execution modes × sync
+// configurations × machine sizes — and every harness used to re-implement
+// that grid as hand-rolled nested loops. An ExperimentPlan describes the
+// grid once, as named axes, and expands it into a deterministic sequence
+// of fully-resolved PlanPoints that the SweepDriver (core/driver.hpp)
+// executes in parallel. Plans can also be loaded from a small text format
+// (`ssomp_run --sweep PLANFILE`; see docs/SWEEPS.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/workload.hpp"
+#include "front/directive.hpp"
+
+namespace ssomp::core {
+
+/// One named execution configuration: the mode axis value. The paper's
+/// four evaluated configurations are "single", "double", "slip-L1"
+/// (one-token local) and "slip-G0" (zero-token global); any
+/// "slip-<L|G><tokens>" combination names the general case.
+struct ModeAxis {
+  std::string name;
+  rt::ExecutionMode mode = rt::ExecutionMode::kSingle;
+  slip::SlipstreamConfig slip = slip::SlipstreamConfig::disabled();
+};
+
+/// Parses a mode-axis name: "single", "double", or "slip-<L|G><tokens>"
+/// (e.g. "slip-L1", "slip-G0", "slip-G4").
+[[nodiscard]] front::ParseResult<ModeAxis> parse_mode_axis(
+    const std::string& name);
+
+/// The paper's four evaluated configurations, in canonical order.
+[[nodiscard]] std::vector<ModeAxis> paper_modes();
+
+/// A named schedule-axis value.
+struct SchedAxis {
+  std::string name = "static";
+  front::ScheduleClause clause{};
+};
+
+/// A named free-form configuration variant (the axis benches use for
+/// anything beyond app/mode/ncmp/schedule: recovery policies, fault
+/// injection, coherence-protocol switches, latency scaling, ...).
+/// `mutate` is applied to the fully-resolved point config last.
+struct ConfigVariant {
+  std::string name;
+  std::function<void(ExperimentConfig&)> mutate;
+};
+
+struct PlanPoint;
+
+/// A sweep described as named axes. Expansion order (and therefore run
+/// indices, result ordering and aggregate-JSON ordering) is the
+/// deterministic cross product: apps × modes × ncmps × schedules ×
+/// variants, each axis in declaration order.
+struct ExperimentPlan {
+  std::string name = "sweep";
+
+  /// Workload registry names ("CG", "MG", ...). Axis values are carried
+  /// verbatim; they are resolved to factories only by the driver's
+  /// WorkloadResolver, so core stays independent of the app layer.
+  std::vector<std::string> apps;
+
+  std::vector<ModeAxis> modes;
+  std::vector<int> ncmps = {16};
+  std::vector<SchedAxis> schedules = {SchedAxis{}};
+  std::vector<ConfigVariant> variants = {ConfigVariant{}};
+
+  /// Workload problem scale (apps::AppScale numeric value; 0 = bench,
+  /// 1 = tiny — mirrored here to keep core decoupled from apps).
+  int scale = 0;
+
+  /// Base configuration every point starts from: machine parameters,
+  /// runtime options (recovery/watchdog/audit/trace/...), timeline
+  /// sampling. Expansion overwrites machine.ncmp, runtime.mode and
+  /// runtime.slip from the axes.
+  ExperimentConfig base{};
+
+  /// Plan-level workload seed. 0 = keep each app's built-in default
+  /// (paper-comparable data). Nonzero: every point's workload seed is
+  /// derived deterministically from (seed, app) — deliberately NOT from
+  /// mode/ncmp/variant, so cross-mode comparisons stay apples-to-apples.
+  std::uint64_t seed = 0;
+
+  /// Optional per-point schedule override, applied after expansion (e.g.
+  /// the paper's per-app dynamic chunk sizes in Figure 4). Returning the
+  /// passed-in clause keeps the axis value.
+  std::function<front::ScheduleClause(const PlanPoint&)> schedule_override;
+
+  /// Number of grid points expand() will produce.
+  [[nodiscard]] std::size_t size() const {
+    return apps.size() * modes.size() * ncmps.size() * schedules.size() *
+           variants.size();
+  }
+
+  /// Expands the axes into the deterministic config grid.
+  [[nodiscard]] std::vector<PlanPoint> expand() const;
+};
+
+/// One fully-resolved grid point.
+struct PlanPoint {
+  std::size_t index = 0;  // position in the expanded grid
+  std::string app;
+  ModeAxis mode;
+  int ncmp = 16;
+  SchedAxis schedule;
+  std::string variant;  // "" for the default variant
+  int scale = 0;        // apps::AppScale numeric value
+  /// Workload seed for this point (0 = app default; see
+  /// ExperimentPlan::seed).
+  std::uint64_t workload_seed = 0;
+  ExperimentConfig config;  // ready to hand to run_experiment
+
+  /// Stable display name: "app/mode[/cmpN][/sched][/variant]" (optional
+  /// parts appear only when the corresponding axis has >1 value).
+  std::string label;
+};
+
+/// Maps a plan point to the workload it runs. The apps layer provides the
+/// registry-backed standard resolver (apps::plan_resolver()); tests
+/// inject synthetic workloads. A resolver (or the factory it returns) may
+/// throw — the driver turns that into a structured error record.
+using WorkloadResolver = std::function<WorkloadFactory(const PlanPoint&)>;
+
+/// Parses the textual plan-file format (docs/SWEEPS.md):
+///
+///   # comment
+///   name  = ci-smoke
+///   apps  = CG, MG
+///   modes = single, double, slip-L1, slip-G0
+///   ncmp  = 4, 16
+///   sched = static, dynamic,2
+///   scale = tiny            # or bench (default)
+///   seed  = 0
+///   audit = on              # or off
+///   recovery = restart,3    # or bench
+///   divergence = 2
+///   watchdog = 200000
+///
+/// Unknown keys are errors. `apps` and `modes` are required.
+[[nodiscard]] front::ParseResult<ExperimentPlan> parse_plan(
+    const std::string& text);
+
+}  // namespace ssomp::core

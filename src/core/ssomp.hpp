@@ -21,7 +21,10 @@
 #pragma once
 
 #include "core/advisor.hpp"      // IWYU pragma: export
+#include "core/driver.hpp"       // IWYU pragma: export
 #include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/json.hpp"         // IWYU pragma: export
+#include "core/plan.hpp"         // IWYU pragma: export
 #include "core/workload.hpp"     // IWYU pragma: export
 #include "front/directive.hpp"   // IWYU pragma: export
 #include "machine/machine.hpp"   // IWYU pragma: export

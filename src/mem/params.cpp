@@ -1,0 +1,27 @@
+#include "mem/params.hpp"
+
+#include <cstdio>
+
+namespace ssomp::mem {
+
+void print_params(const MemParams& p) {
+  std::printf("Simulated system parameters (paper Table 1):\n");
+  std::printf("  CPU: MIPSY-like in-order CMP model, %.1f GHz\n", p.clock_ghz);
+  std::printf("  L1: %u KB, %u-way, hit %llu cycle(s)\n",
+              p.l1_size_bytes / 1024, p.l1_assoc,
+              static_cast<unsigned long long>(p.l1_hit_cycles));
+  std::printf("  L2 (shared): %u KB, %u-way, hit %llu cycles\n",
+              p.l2_size_bytes / 1024, p.l2_assoc,
+              static_cast<unsigned long long>(p.l2_hit_cycles));
+  std::printf(
+      "  BusTime %.0fns  PILocalDC %.0fns  NILocalDC %.0fns  NIRemoteDC "
+      "%.0fns  Net %.0fns  Mem %.0fns\n",
+      p.bus_ns, p.pi_local_dc_ns, p.ni_local_dc_ns, p.ni_remote_dc_ns,
+      p.net_ns, p.mem_ns);
+  std::printf("  min local miss %llu cycles (170ns), min remote miss %llu "
+              "cycles (290ns)\n\n",
+              static_cast<unsigned long long>(p.min_local_miss_cycles()),
+              static_cast<unsigned long long>(p.min_remote_miss_cycles()));
+}
+
+}  // namespace ssomp::mem

@@ -93,4 +93,8 @@ struct MemParams {
   }
 };
 
+/// Prints the paper's Table 1 for `p`, including the two latency
+/// calibration points (170 ns minimum local miss, 290 ns remote).
+void print_params(const MemParams& p);
+
 }  // namespace ssomp::mem

@@ -17,9 +17,12 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 namespace ssomp::sim {
 
 namespace {
-// Single-threaded simulator: the fiber being switched into / currently
-// running. Used by the trampoline and by Fiber::current().
-Fiber* g_current = nullptr;
+// The fiber being switched into / currently running, used by the
+// trampoline and by Fiber::current(). Each simulation is single-threaded,
+// but the sweep driver (core/driver.hpp) runs many independent
+// simulations on concurrent host threads, so the slot must be per-thread:
+// a fiber is always resumed and yielded on the thread that created it.
+thread_local Fiber* g_current = nullptr;
 }  // namespace
 
 #ifndef SSOMP_FIBER_UCONTEXT

@@ -7,6 +7,10 @@ namespace ssomp::stats {
 Timeline::Timeline(sim::Engine& engine, sim::Cycles interval)
     : engine_(engine), interval_(interval) {
   SSOMP_CHECK(interval > 0);
+  data_.interval = interval;
+  for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
+    data_.cpu_names.push_back(engine_.cpu(c).name());
+  }
   pending_tick_ = engine_.schedule_cancelable_after(interval_, [this] {
     tick();
   });
@@ -18,7 +22,7 @@ void Timeline::record_sample() {
   for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
     s.category.push_back(engine_.cpu(c).current_category());
   }
-  samples_.push_back(std::move(s));
+  data_.samples.push_back(std::move(s));
 }
 
 void Timeline::tick() {
@@ -46,18 +50,18 @@ void Timeline::finalize() {
   }
   // Record the end state unless a tick already sampled this very cycle —
   // this is what gives sub-interval runs their (single) sample.
-  if (samples_.empty() || samples_.back().when < engine_.now()) {
+  if (data_.samples.empty() || data_.samples.back().when < engine_.now()) {
     record_sample();
   }
 }
 
-double Timeline::fraction(sim::CpuId cpu, sim::TimeCategory cat,
-                          sim::Cycles from, sim::Cycles to) const {
+double TimelineData::fraction(sim::CpuId cpu, sim::TimeCategory cat,
+                              sim::Cycles from, sim::Cycles to) const {
   if (cpu < 0) return 0.0;
   const auto idx = static_cast<std::size_t>(cpu);
   std::uint64_t in_window = 0;
   std::uint64_t matching = 0;
-  for (const Sample& s : samples_) {
+  for (const Sample& s : samples) {
     if (s.when < from || s.when >= to) continue;
     if (idx >= s.category.size()) continue;
     ++in_window;
@@ -68,14 +72,14 @@ double Timeline::fraction(sim::CpuId cpu, sim::TimeCategory cat,
              : static_cast<double>(matching) / static_cast<double>(in_window);
 }
 
-std::string Timeline::to_csv() const {
+std::string TimelineData::to_csv() const {
   std::ostringstream out;
   out << "cycle";
-  for (sim::CpuId c = 0; c < engine_.cpu_count(); ++c) {
-    out << ',' << engine_.cpu(c).name();
+  for (const std::string& name : cpu_names) {
+    out << ',' << name;
   }
   out << '\n';
-  for (const Sample& s : samples_) {
+  for (const Sample& s : samples) {
     out << s.when;
     for (sim::TimeCategory cat : s.category) {
       out << ',' << to_string(cat);

@@ -14,6 +14,32 @@
 
 namespace ssomp::stats {
 
+/// The collected samples, detached from the engine that produced them so
+/// a run's timeline can outlive its machine (core::ExperimentResult
+/// carries one per timed run).
+struct TimelineData {
+  struct Sample {
+    sim::Cycles when = 0;
+    std::vector<sim::TimeCategory> category;  // one per CPU
+  };
+
+  sim::Cycles interval = 0;
+  std::vector<std::string> cpu_names;
+  std::vector<Sample> samples;
+
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+
+  /// Fraction of samples in which `cpu` was in `cat` within
+  /// [from, to) (the whole run by default). Out-of-range `cpu` yields 0.
+  [[nodiscard]] double fraction(sim::CpuId cpu, sim::TimeCategory cat,
+                                sim::Cycles from = 0,
+                                sim::Cycles to = ~sim::Cycles{0}) const;
+
+  /// CSV: header "cycle,cpu0,cpu1,..." then one row per sample with
+  /// category names.
+  [[nodiscard]] std::string to_csv() const;
+};
+
 class Timeline {
  public:
   /// Starts sampling `engine`'s CPUs every `interval` cycles. Must be
@@ -21,14 +47,14 @@ class Timeline {
   /// drains (each tick reschedules itself only while CPUs are alive).
   Timeline(sim::Engine& engine, sim::Cycles interval);
 
-  struct Sample {
-    sim::Cycles when = 0;
-    std::vector<sim::TimeCategory> category;  // one per CPU
-  };
+  using Sample = TimelineData::Sample;
 
   [[nodiscard]] const std::vector<Sample>& samples() const {
-    return samples_;
+    return data_.samples;
   }
+
+  /// The detached sample set (copyable, engine-independent).
+  [[nodiscard]] const TimelineData& data() const { return data_; }
 
   /// Closes out sampling after Engine::run() returns: cancels the pending
   /// tick (so it cannot inflate simulated time) and records one final
@@ -40,11 +66,13 @@ class Timeline {
   /// [from, to) (the whole run by default). Out-of-range `cpu` yields 0.
   [[nodiscard]] double fraction(sim::CpuId cpu, sim::TimeCategory cat,
                                 sim::Cycles from = 0,
-                                sim::Cycles to = ~sim::Cycles{0}) const;
+                                sim::Cycles to = ~sim::Cycles{0}) const {
+    return data_.fraction(cpu, cat, from, to);
+  }
 
   /// CSV: header "cycle,cpu0,cpu1,..." then one row per sample with
   /// category names.
-  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_csv() const { return data_.to_csv(); }
 
  private:
   void tick();
@@ -52,7 +80,7 @@ class Timeline {
 
   sim::Engine& engine_;
   sim::Cycles interval_;
-  std::vector<Sample> samples_;
+  TimelineData data_;
   sim::Engine::CancelHandle pending_tick_;
 };
 

@@ -1,0 +1,151 @@
+// SweepDriver: job resolution, deterministic result ordering, per-run
+// failure isolation, and byte-identical aggregates at any job count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "apps/registry.hpp"
+#include "core/driver.hpp"
+#include "core/json.hpp"
+
+namespace ssomp::core {
+namespace {
+
+/// A trivial simulated program: one parallel region of pure compute,
+/// sized per-instance so distinct items produce distinct cycle counts.
+class ComputeWorkload final : public Workload {
+ public:
+  explicit ComputeWorkload(int amount) : amount_(amount) {}
+  [[nodiscard]] std::string name() const override { return "compute"; }
+  void run(rt::SerialCtx& sc) override {
+    sc.parallel([&](rt::ThreadCtx& t) { t.compute(amount_); });
+  }
+  [[nodiscard]] WorkloadResult verify() override {
+    return {.verified = true,
+            .checksum = static_cast<double>(amount_),
+            .detail = "compute-only"};
+  }
+
+ private:
+  int amount_;
+};
+
+WorkloadFactory compute_factory(int amount) {
+  return [amount](rt::Runtime&) {
+    return std::make_unique<ComputeWorkload>(amount);
+  };
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.machine.ncmp = 2;
+  return cfg;
+}
+
+TEST(ResolveJobsTest, ExplicitBeatsEnvBeatsHardware) {
+  ::setenv("SSOMP_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(5), 5);
+  EXPECT_EQ(resolve_jobs(0), 3);
+  ::setenv("SSOMP_JOBS", "garbage", 1);
+  EXPECT_GE(resolve_jobs(0), 1);  // falls through to hardware concurrency
+  ::unsetenv("SSOMP_JOBS");
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+TEST(RunBatchTest, RecordsStayInItemOrderAtAnyJobCount) {
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 6; ++i) {
+    items.push_back({"item" + std::to_string(i), tiny_config(),
+                     compute_factory(100 * (i + 1))});
+  }
+  const auto serial = run_batch(items, SweepOptions{.jobs = 1});
+  const auto parallel = run_batch(items, SweepOptions{.jobs = 8});
+  ASSERT_EQ(serial.size(), items.size());
+  ASSERT_EQ(parallel.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(serial[i].label, items[i].label);
+    EXPECT_EQ(parallel[i].label, items[i].label);
+    ASSERT_TRUE(serial[i].ok);
+    ASSERT_TRUE(parallel[i].ok);
+    // Simulated results are independent of host scheduling.
+    EXPECT_EQ(serial[i].result.cycles, parallel[i].result.cycles);
+    EXPECT_GT(serial[i].host_seconds, 0.0);
+  }
+  // Distinct compute amounts -> monotonically growing region time.
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GT(serial[i].result.cycles, serial[i - 1].result.cycles);
+  }
+}
+
+TEST(RunBatchTest, ThrowingRunBecomesAnErrorRecordOthersComplete) {
+  std::vector<BatchItem> items;
+  items.push_back({"good0", tiny_config(), compute_factory(50)});
+  items.push_back({"bad", tiny_config(), [](rt::Runtime&) ->
+                       std::unique_ptr<Workload> {
+                     throw std::runtime_error("factory exploded");
+                   }});
+  items.push_back({"good1", tiny_config(), compute_factory(60)});
+  const auto records = run_batch(items, SweepOptions{.jobs = 4});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_FALSE(records[1].ok);
+  EXPECT_EQ(records[1].error, "factory exploded");
+  EXPECT_TRUE(records[2].ok);
+  EXPECT_TRUE(records[2].result.workload.verified);
+}
+
+TEST(RunSweepTest, UnknownAppIsIsolatedToItsPoint) {
+  ExperimentPlan plan;
+  plan.name = "isolation";
+  plan.scale = 1;  // tiny
+  plan.apps = {"EP", "BOGUS"};
+  plan.modes = {parse_mode_axis("single").value};
+  plan.ncmps = {2};
+  const SweepRun run =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 2});
+  ASSERT_EQ(run.records.size(), 2u);
+  EXPECT_TRUE(run.records[0].ok);
+  EXPECT_TRUE(run.records[0].result.workload.verified);
+  EXPECT_FALSE(run.records[1].ok);
+  EXPECT_NE(run.records[1].error.find("BOGUS"), std::string::npos);
+  EXPECT_EQ(run.failures(), 1);
+}
+
+TEST(RunSweepTest, AggregateJsonIsByteIdenticalAtAnyJobCount) {
+  ExperimentPlan plan;
+  plan.name = "determinism";
+  plan.scale = 1;
+  plan.apps = {"EP", "IS"};
+  plan.modes = paper_modes();
+  plan.ncmps = {2};
+  const SweepRun serial =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 1});
+  const SweepRun parallel =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 8});
+  const SweepJsonOptions no_host{.host_seconds = false};
+  const std::string a = sweep_to_json(serial, no_host);
+  const std::string b = sweep_to_json(parallel, no_host);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\":\"ssomp-sweep-v1\""), std::string::npos);
+  // Host timing is the only non-deterministic content, and it is present
+  // only when asked for.
+  EXPECT_EQ(a.find("host_seconds"), std::string::npos);
+  EXPECT_NE(sweep_to_json(serial).find("host_seconds"), std::string::npos);
+}
+
+TEST(RunSweepTest, JobsAreClampedToThePointCount) {
+  ExperimentPlan plan;
+  plan.name = "clamp";
+  plan.scale = 1;
+  plan.apps = {"EP"};
+  plan.modes = {parse_mode_axis("single").value};
+  plan.ncmps = {2};
+  const SweepRun run =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 64});
+  EXPECT_EQ(run.jobs, 1);
+  EXPECT_GT(run.host_seconds_total, 0.0);
+}
+
+}  // namespace
+}  // namespace ssomp::core

@@ -1,0 +1,209 @@
+// ExperimentPlan: mode parsing, deterministic expansion, labels, seeds,
+// and the textual plan-file format.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+
+namespace ssomp::core {
+namespace {
+
+TEST(ModeAxisTest, ParsesPaperModes) {
+  auto single = parse_mode_axis("single");
+  ASSERT_TRUE(single.ok);
+  EXPECT_EQ(single.value.mode, rt::ExecutionMode::kSingle);
+  EXPECT_FALSE(single.value.slip.enabled());
+
+  auto dbl = parse_mode_axis("double");
+  ASSERT_TRUE(dbl.ok);
+  EXPECT_EQ(dbl.value.mode, rt::ExecutionMode::kDouble);
+
+  auto l1 = parse_mode_axis("slip-L1");
+  ASSERT_TRUE(l1.ok);
+  EXPECT_EQ(l1.value.mode, rt::ExecutionMode::kSlipstream);
+  EXPECT_EQ(l1.value.slip.type, slip::SyncType::kLocal);
+  EXPECT_EQ(l1.value.slip.tokens, 1);
+
+  auto g12 = parse_mode_axis("slip-G12");
+  ASSERT_TRUE(g12.ok);
+  EXPECT_EQ(g12.value.slip.type, slip::SyncType::kGlobal);
+  EXPECT_EQ(g12.value.slip.tokens, 12);
+}
+
+TEST(ModeAxisTest, RejectsMalformedNames) {
+  for (const char* bad : {"", "Single", "slip", "slip-", "slip-X1",
+                          "slip-L", "slip-L1x", "triple"}) {
+    EXPECT_FALSE(parse_mode_axis(bad).ok) << bad;
+  }
+}
+
+TEST(PlanTest, ExpansionOrderIsTheDeclaredCrossProduct) {
+  ExperimentPlan plan;
+  plan.apps = {"CG", "MG"};
+  plan.modes = paper_modes();
+  plan.ncmps = {4, 16};
+  ASSERT_EQ(plan.size(), 16u);
+
+  const auto points = plan.expand();
+  ASSERT_EQ(points.size(), 16u);
+  // Declaration order: apps outermost, then modes, then ncmps.
+  EXPECT_EQ(points[0].label, "CG/single/cmp4");
+  EXPECT_EQ(points[1].label, "CG/single/cmp16");
+  EXPECT_EQ(points[2].label, "CG/double/cmp4");
+  EXPECT_EQ(points[8].label, "MG/single/cmp4");
+  EXPECT_EQ(points[15].label, "MG/slip-G0/cmp16");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+}
+
+TEST(PlanTest, SingleValuedAxesLeaveNoLabelResidue) {
+  ExperimentPlan plan;
+  plan.apps = {"CG"};
+  plan.modes = {parse_mode_axis("slip-L1").value};
+  const auto points = plan.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].label, "CG/slip-L1");
+}
+
+TEST(PlanTest, PointConfigCarriesTheAxes) {
+  ExperimentPlan plan;
+  plan.apps = {"CG"};
+  plan.modes = {parse_mode_axis("slip-G2").value};
+  plan.ncmps = {8};
+  const auto points = plan.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].config.machine.ncmp, 8);
+  EXPECT_EQ(points[0].config.runtime.mode, rt::ExecutionMode::kSlipstream);
+  EXPECT_EQ(points[0].config.runtime.slip.type, slip::SyncType::kGlobal);
+  EXPECT_EQ(points[0].config.runtime.slip.tokens, 2);
+}
+
+TEST(PlanTest, VariantsMutateTheResolvedConfig) {
+  ExperimentPlan plan;
+  plan.apps = {"CG"};
+  plan.modes = {parse_mode_axis("single").value};
+  plan.variants = {
+      {"slow-net",
+       [](ExperimentConfig& c) { c.machine.mem.net_ns *= 4.0; }},
+  };
+  const auto points = plan.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].label, "CG/single/slow-net");
+  ExperimentPlan base;
+  EXPECT_DOUBLE_EQ(points[0].config.machine.mem.net_ns,
+                   base.base.machine.mem.net_ns * 4.0);
+}
+
+TEST(PlanTest, ScheduleOverrideSeesTheResolvedPoint) {
+  ExperimentPlan plan;
+  plan.apps = {"CG", "MG"};
+  plan.modes = {parse_mode_axis("single").value};
+  plan.schedule_override = [](const PlanPoint& p) {
+    front::ScheduleClause sched;
+    sched.kind = front::ScheduleKind::kDynamic;
+    sched.chunk = p.app == "CG" ? 7 : 3;
+    return sched;
+  };
+  const auto points = plan.expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].schedule.clause.chunk, 7);
+  EXPECT_EQ(points[1].schedule.clause.chunk, 3);
+}
+
+TEST(PlanTest, SeedsDependOnAppOnly) {
+  ExperimentPlan plan;
+  plan.apps = {"CG", "MG"};
+  plan.modes = paper_modes();
+  plan.ncmps = {4, 16};
+  plan.seed = 1234;
+  const auto points = plan.expand();
+  // Same app -> same workload data in every mode and machine size, so
+  // cross-mode speedups compare identical work.
+  for (const auto& p : points) {
+    EXPECT_EQ(p.workload_seed, points[p.app == "CG" ? 0 : 8].workload_seed);
+    EXPECT_NE(p.workload_seed, 0u);
+  }
+  EXPECT_NE(points[0].workload_seed, points[8].workload_seed);
+
+  // The derivation is stable: a different plan with the same seed maps
+  // the same app to the same workload seed.
+  ExperimentPlan other;
+  other.apps = {"CG"};
+  other.modes = {parse_mode_axis("single").value};
+  other.seed = 1234;
+  EXPECT_EQ(other.expand()[0].workload_seed, points[0].workload_seed);
+}
+
+TEST(PlanTest, ZeroSeedKeepsAppDefaults) {
+  ExperimentPlan plan;
+  plan.apps = {"CG"};
+  plan.modes = {parse_mode_axis("single").value};
+  EXPECT_EQ(plan.expand()[0].workload_seed, 0u);
+}
+
+TEST(PlanFileTest, ParsesTheDocumentedFormat) {
+  const auto parsed = parse_plan(
+      "# a comment\n"
+      "name  = smoke\n"
+      "apps  = cg, MG\n"
+      "modes = single, slip-L1\n"
+      "ncmp  = 4, 8\n"
+      "sched = static; dynamic,2\n"
+      "scale = tiny\n"
+      "seed  = 42\n"
+      "audit = on\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const ExperimentPlan& plan = parsed.value;
+  EXPECT_EQ(plan.name, "smoke");
+  EXPECT_EQ(plan.apps, (std::vector<std::string>{"CG", "MG"}));
+  ASSERT_EQ(plan.modes.size(), 2u);
+  EXPECT_EQ(plan.modes[1].name, "slip-L1");
+  EXPECT_EQ(plan.ncmps, (std::vector<int>{4, 8}));
+  ASSERT_EQ(plan.schedules.size(), 2u);
+  EXPECT_EQ(plan.schedules[1].clause.kind, front::ScheduleKind::kDynamic);
+  EXPECT_EQ(plan.schedules[1].clause.chunk, 2);
+  EXPECT_EQ(plan.scale, 1);
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_TRUE(plan.base.runtime.audit);
+  EXPECT_EQ(plan.size(), 2u * 2u * 2u * 2u);
+}
+
+TEST(PlanFileTest, ParsesResilienceKnobs) {
+  const auto parsed = parse_plan(
+      "apps = CG\n"
+      "modes = slip-L1\n"
+      "recovery = restart,5\n"
+      "divergence = 2\n"
+      "watchdog = 100000\n"
+      "inject = r-stream-token-loss,0,4\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto& rt_opts = parsed.value.base.runtime;
+  EXPECT_EQ(rt_opts.recovery, rt::RecoveryPolicy::kRestart);
+  EXPECT_EQ(rt_opts.restart_budget, 5);
+  EXPECT_EQ(rt_opts.divergence_threshold, 2);
+  EXPECT_EQ(rt_opts.watchdog_cycles, 100000u);
+  EXPECT_EQ(rt_opts.fault.kind, slip::FaultKind::kRStreamTokenLoss);
+  EXPECT_TRUE(rt_opts.audit);  // injection forces the audit on
+}
+
+TEST(PlanFileTest, ErrorsNameTheLine) {
+  const auto missing_eq = parse_plan("apps = CG\nmodes = single\nbogus\n");
+  ASSERT_FALSE(missing_eq.ok);
+  EXPECT_NE(missing_eq.error.find("line 3"), std::string::npos)
+      << missing_eq.error;
+
+  const auto unknown = parse_plan("apps = CG\nfrobnicate = 7\n");
+  ASSERT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("line 2"), std::string::npos);
+  EXPECT_NE(unknown.error.find("frobnicate"), std::string::npos);
+
+  const auto bad_mode = parse_plan("apps = CG\nmodes = slip-Q3\n");
+  ASSERT_FALSE(bad_mode.ok);
+  EXPECT_NE(bad_mode.error.find("slip-Q3"), std::string::npos);
+
+  EXPECT_FALSE(parse_plan("modes = single\n").ok);  // no apps
+  EXPECT_FALSE(parse_plan("apps = CG\n").ok);       // no modes
+}
+
+}  // namespace
+}  // namespace ssomp::core

@@ -9,6 +9,8 @@
 //             [--degrade[=DEMOTE,PROBATION]]
 //             [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit] [--json]
 //             [--trace FILE] [--metrics] [--timeline FILE[,INTERVAL]]
+//   ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]
+//             [--no-host-seconds]
 //
 // Runs one workload on one configuration and prints either a summary
 // table or a machine-readable JSON object. --inject deterministically
@@ -19,10 +21,18 @@
 // docs/RECOVERY.md). --trace/--metrics/--timeline are the observability
 // layer (see docs/OBSERVABILITY.md). Every value-taking flag also
 // accepts the --flag=value form.
+//
+// --sweep switches to plan mode: PLANFILE declares an experiment grid
+// (docs/SWEEPS.md) that runs on the parallel sweep driver (--jobs, or
+// SSOMP_JOBS, default = hardware concurrency) and emits the canonical
+// ssomp-sweep-v1 aggregate JSON to --out (default stdout).
+// --no-host-seconds drops wall-clock timing so the same plan serializes
+// byte-identically at any job count.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "apps/registry.hpp"
@@ -46,6 +56,8 @@ namespace {
       "                 [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit]\n"
       "                 [--trace FILE] [--metrics]\n"
       "                 [--timeline FILE[,INTERVAL]]\n"
+      "       ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]\n"
+      "                 [--no-host-seconds]\n"
       "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
       "               extra-token recover-in-consume recover-in-syscall\n"
       "               corrupt-forward a-stream-hang r-stream-token-loss\n"
@@ -65,6 +77,14 @@ namespace {
       "                   --trace; included in --json output)\n"
       "  --timeline FILE  write per-CPU activity samples as CSV, sampled\n"
       "                   every INTERVAL cycles (default 10000)\n"
+      "  --sweep FILE     run the declared experiment grid in FILE on the\n"
+      "                   parallel sweep driver (docs/SWEEPS.md)\n"
+      "  --jobs N         concurrent runs for --sweep (default: SSOMP_JOBS\n"
+      "                   env, then hardware concurrency)\n"
+      "  --out FILE       write the sweep aggregate JSON to FILE\n"
+      "                   (default stdout)\n"
+      "  --no-host-seconds  omit wall-clock fields: the sweep JSON is then\n"
+      "                   byte-identical at any --jobs count\n"
       "  all value flags accept --flag VALUE or --flag=VALUE\n");
   std::exit(2);
 }
@@ -74,6 +94,65 @@ bool write_file(const std::string& path, const std::string& body) {
   if (!out) return false;
   out << body;
   return static_cast<bool>(out);
+}
+
+/// --sweep mode: parse the plan file, run it on the driver, emit the
+/// canonical aggregate. Per-point failures are reported but only fail the
+/// process exit code — the rest of the grid still completes and lands in
+/// the JSON.
+int run_sweep_mode(const std::string& plan_file, int jobs,
+                   const std::string& out_file, bool host_seconds) {
+  std::ifstream in(plan_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ssomp_run: cannot read plan file %s\n",
+                 plan_file.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = core::parse_plan(text.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "ssomp_run: %s: %s\n", plan_file.c_str(),
+                 parsed.error.c_str());
+    return 2;
+  }
+
+  const core::SweepRun run =
+      core::run_sweep(parsed.value, apps::plan_resolver(),
+                      core::SweepOptions{.jobs = jobs});
+
+  stats::Table t({"point", "cycles", "verified", "status"});
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const core::RunRecord& rec = run.records[i];
+    if (rec.ok) {
+      t.add_row({run.points[i].label, std::to_string(rec.result.cycles),
+                 rec.result.workload.verified ? "yes" : "NO", "ok"});
+    } else {
+      t.add_row({run.points[i].label, "-", "-", "ERROR: " + rec.error});
+    }
+  }
+  std::fprintf(stderr, "sweep '%s': %zu points on %d job(s), %d failure(s)\n",
+               run.plan.name.c_str(), run.points.size(), run.jobs,
+               run.failures());
+  const core::SweepJsonOptions jopts{.host_seconds = host_seconds};
+  if (out_file.empty()) {
+    std::printf("%s\n", core::sweep_to_json(run, jopts).c_str());
+  } else {
+    t.print();
+    if (!core::write_sweep_json(run, out_file, jopts)) {
+      std::fprintf(stderr, "ssomp_run: cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_file.c_str());
+  }
+  bool all_verified = true;
+  for (const core::RunRecord& rec : run.records) {
+    if (!rec.ok || !rec.result.workload.verified ||
+        !rec.result.invariants_ok || !rec.result.audit_ok) {
+      all_verified = false;
+    }
+  }
+  return all_verified ? 0 : 1;
 }
 
 }  // namespace
@@ -99,6 +178,10 @@ int main(int argc, char** argv) {
   int restart_budget = 3;
   long watchdog_cycles = 0;
   rt::DegradeOptions degrade{};
+  std::string sweep_file;
+  std::string out_file;
+  int jobs = 0;
+  bool host_seconds = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -186,9 +269,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeline") {
       timeline_spec = value();
       if (timeline_spec.empty()) usage("empty --timeline file name");
+    } else if (arg == "--sweep") {
+      sweep_file = value();
+      if (sweep_file.empty()) usage("empty --sweep plan file name");
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(value().c_str());
+      if (jobs < 0) usage("bad --jobs (must be >= 0)");
+    } else if (arg == "--out") {
+      out_file = value();
+      if (out_file.empty()) usage("empty --out file name");
+    } else if (arg == "--no-host-seconds") {
+      host_seconds = false;
     } else {
       usage(("unknown argument " + std::string(argv[i])).c_str());
     }
+  }
+
+  if (!sweep_file.empty()) {
+    return run_sweep_mode(sweep_file, jobs, out_file, host_seconds);
   }
 
   // App names are registered uppercase; accept any casing on the CLI.
