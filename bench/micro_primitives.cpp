@@ -34,6 +34,75 @@ void BM_EngineEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEvent);
 
+void BM_EngineThroughput(benchmark::State& state) {
+  // Steady-state scheduling: a batch of pending events per run() drain,
+  // exercising the arena free list rather than a one-slot ping-pong.
+  sim::Engine engine;
+  std::uint64_t n = 0;
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      engine.schedule_after(static_cast<sim::Cycles>(i % 7), [&n] { ++n; });
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EngineThroughput);
+
+void BM_WakeResume(benchmark::State& state) {
+  // The dominant event: block a processor context, wake it, drain. This
+  // is the typed resume fast path — no closure, no arena slot.
+  sim::Engine engine;
+  sim::SimCpu& cpu = engine.add_cpu("w");
+  std::uint64_t wakes = 0;
+  cpu.start([&] {
+    while (true) {
+      cpu.block(sim::TimeCategory::kTokenWait);
+      ++wakes;
+    }
+  });
+  engine.run();  // reach the first block()
+  for (auto _ : state) {
+    cpu.wake(1);
+    engine.run();
+  }
+  benchmark::DoNotOptimize(wakes);
+}
+BENCHMARK(BM_WakeResume);
+
+void BM_CancelableChurn(benchmark::State& state) {
+  // Arm-then-disarm, the watchdog/guard pattern: every iteration acquires
+  // an arena slot and recycles it through the free list via cancel().
+  sim::Engine engine;
+  for (auto _ : state) {
+    auto h = engine.schedule_cancelable_after(1000, [] {});
+    h.cancel();
+    engine.run();  // pop the stale entry so the queue never grows
+  }
+  benchmark::DoNotOptimize(engine.event_pool_capacity());
+}
+BENCHMARK(BM_CancelableChurn);
+
+void BM_DirectoryProbe(benchmark::State& state) {
+  // Directory entry probe over a strided line-address working set — the
+  // flat-map lookup on every miss-path coherence action.
+  mem::Directory dir(8);
+  constexpr int kLines = 4096;
+  for (int i = 0; i < kLines; ++i) {
+    mem::DirEntry& e = dir.entry(static_cast<sim::Addr>(i) * 64);
+    e.state = mem::DirState::kShared;
+    e.sharers = 1;
+  }
+  sim::Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.find(a));
+    a = (a + 64 * 17) % (kLines * 64);
+  }
+}
+BENCHMARK(BM_DirectoryProbe);
+
 void BM_CacheLookupHit(benchmark::State& state) {
   struct M {};
   mem::SetAssocCache<M> cache(64 * 1024, 4, 64);

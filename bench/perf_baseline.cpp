@@ -1,0 +1,325 @@
+// Tracked performance baseline (BENCH_perf.json, schema ssomp-perf-v1).
+//
+// Two layers of measurement, both host-side:
+//
+//   * micro: tight chrono loops over the primitives the simulator spends
+//     its host time in — engine event dispatch, the typed wake/resume
+//     path, cancelable-event churn, the directory probe, an L1 hit.
+//     Reported as best-of-batches ns/op (best, not mean: the minimum is
+//     the least noise-contaminated estimate on a shared machine).
+//
+//   * e2e: the full ci_smoke experiment grid run repeatedly *in-process*
+//     (jobs=1, so the measurement is single-threaded host work, not
+//     scheduler luck), reporting best and median wall seconds per sweep.
+//     One ci_smoke sweep is only tens of milliseconds, far too short to
+//     time once; repetition inside one process amortizes startup and
+//     lets the best-of estimate converge.
+//
+// Host seconds are the *only* thing this harness measures. Optimizations
+// may change them freely; they must never change simulated cycles — that
+// is enforced separately by the byte-identical sweep-JSON gate (see
+// docs/PERFORMANCE.md).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/driver.hpp"
+#include "core/plan.hpp"
+#include "mem/memsys.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Times `body(iters)` in `batches` batches and returns the best ns/op.
+template <typename Body>
+double best_ns_per_op(std::uint64_t iters, int batches, Body&& body) {
+  double best = 1e300;
+  for (int b = 0; b < batches; ++b) {
+    const Clock::time_point t0 = Clock::now();
+    body(iters);
+    best = std::min(best, seconds_since(t0));
+  }
+  return best * 1e9 / static_cast<double>(iters);
+}
+
+double micro_engine_event(std::uint64_t iters, int batches) {
+  ssomp::sim::Engine engine;
+  std::uint64_t n = 0;
+  return best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      engine.schedule_after(1, [&n] { ++n; });
+      engine.run();
+    }
+  });
+}
+
+double micro_engine_throughput(std::uint64_t iters, int batches) {
+  ssomp::sim::Engine engine;
+  std::uint64_t n = 0;
+  constexpr std::uint64_t kBatch = 256;
+  return best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+           for (std::uint64_t i = 0; i < k; ++i) {
+             for (std::uint64_t j = 0; j < kBatch; ++j) {
+               engine.schedule_after(j % 7, [&n] { ++n; });
+             }
+             engine.run();
+           }
+         }) /
+         static_cast<double>(kBatch);
+}
+
+double micro_wake_resume(std::uint64_t iters, int batches) {
+  ssomp::sim::Engine engine;
+  ssomp::sim::SimCpu& cpu = engine.add_cpu("w");
+  std::uint64_t wakes = 0;
+  cpu.start([&] {
+    while (true) {
+      cpu.block(ssomp::sim::TimeCategory::kTokenWait);
+      ++wakes;
+    }
+  });
+  engine.run();  // reach the first block()
+  return best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      cpu.wake(1);
+      engine.run();
+    }
+  });
+}
+
+double micro_cancel_churn(std::uint64_t iters, int batches) {
+  ssomp::sim::Engine engine;
+  return best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      auto h = engine.schedule_cancelable_after(1000, [] {});
+      h.cancel();
+      engine.run();  // pop the stale entry so the queue never grows
+    }
+  });
+}
+
+double micro_directory_probe(std::uint64_t iters, int batches) {
+  ssomp::mem::Directory dir(8);
+  constexpr std::uint64_t kLines = 4096;
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    ssomp::mem::DirEntry& e = dir.entry(i * 64);
+    e.state = ssomp::mem::DirState::kShared;
+    e.sharers = 1;
+  }
+  ssomp::sim::Addr a = 0;
+  const ssomp::mem::DirEntry* last = nullptr;
+  const double ns = best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      last = dir.find(a);
+      a = (a + 64 * 17) % (kLines * 64);
+    }
+  });
+  if (last == nullptr) std::fprintf(stderr, "probe missed\n");
+  return ns;
+}
+
+double micro_l1_hit(std::uint64_t iters, int batches) {
+  ssomp::mem::MemorySystem ms(ssomp::mem::MemParams{}, 4);
+  (void)ms.load(0, ssomp::mem::AddrSpace::kAppBase, 0);
+  ssomp::sim::Cycles now = 1;
+  ssomp::sim::Cycles sink = 0;
+  const double ns = best_ns_per_op(iters, batches, [&](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      sink += ms.load(0, ssomp::mem::AddrSpace::kAppBase, now++);
+    }
+  });
+  if (sink == 0) std::fprintf(stderr, "impossible l1 timing\n");
+  return ns;
+}
+
+struct E2eResult {
+  bool ok = false;
+  std::string plan_name;
+  std::size_t points = 0;
+  int reps = 0;
+  std::vector<double> seconds;  // one entry per in-process sweep run
+  bool all_verified = true;
+};
+
+E2eResult run_e2e(const std::string& plan_file, int reps) {
+  E2eResult out;
+  std::ifstream in(plan_file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "perf_baseline: cannot read plan file %s\n",
+                 plan_file.c_str());
+    return out;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = ssomp::core::parse_plan(text.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "perf_baseline: %s: %s\n", plan_file.c_str(),
+                 parsed.error.c_str());
+    return out;
+  }
+  out.plan_name = parsed.value.name;
+  out.reps = reps;
+  const ssomp::core::WorkloadResolver resolver = ssomp::apps::plan_resolver();
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    const ssomp::core::SweepRun run = ssomp::core::run_sweep(
+        parsed.value, resolver, ssomp::core::SweepOptions{.jobs = 1});
+    out.seconds.push_back(seconds_since(t0));
+    out.points = run.points.size();
+    if (run.failures() != 0) out.all_verified = false;
+    for (const ssomp::core::RunRecord& rec : run.records) {
+      if (!rec.ok || !rec.result.workload.verified ||
+          !rec.result.invariants_ok || !rec.result.audit_ok) {
+        out.all_verified = false;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+double best_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: perf_baseline [--plan FILE] [--reps N] [--scale X]\n"
+      "                     [--out FILE] [--skip-e2e]\n"
+      "  --plan FILE   plan for the e2e timing (default plans/ci_smoke.plan)\n"
+      "  --reps N      in-process sweep repetitions (default 15)\n"
+      "  --scale X     micro-loop iteration multiplier (default 1.0)\n"
+      "  --out FILE    write BENCH_perf.json here (default stdout)\n"
+      "  --skip-e2e    micro loops only\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_file = "plans/ci_smoke.plan";
+  std::string out_file;
+  int reps = 15;
+  double scale = 1.0;
+  bool skip_e2e = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) return arg.substr(eq + 1);
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg.rfind("--plan", 0) == 0) {
+      plan_file = value();
+    } else if (arg.rfind("--reps", 0) == 0) {
+      reps = std::stoi(value());
+    } else if (arg.rfind("--scale", 0) == 0) {
+      scale = std::stod(value());
+    } else if (arg.rfind("--out", 0) == 0) {
+      out_file = value();
+    } else if (arg == "--skip-e2e") {
+      skip_e2e = true;
+    } else {
+      usage();
+    }
+  }
+  if (reps < 1 || scale <= 0.0) usage();
+
+  const auto iters = [scale](double base) {
+    return static_cast<std::uint64_t>(
+        std::max(1.0, base * scale));
+  };
+  constexpr int kBatches = 5;
+
+  struct Micro {
+    const char* name;
+    double ns;
+  };
+  std::vector<Micro> micro;
+  std::fprintf(stderr, "perf_baseline: micro loops...\n");
+  micro.push_back({"engine_event_ns",
+                   micro_engine_event(iters(2e6), kBatches)});
+  micro.push_back({"engine_throughput_ns",
+                   micro_engine_throughput(iters(8e3), kBatches)});
+  micro.push_back({"wake_resume_ns",
+                   micro_wake_resume(iters(2e6), kBatches)});
+  micro.push_back({"cancel_churn_ns",
+                   micro_cancel_churn(iters(2e6), kBatches)});
+  micro.push_back({"directory_probe_ns",
+                   micro_directory_probe(iters(1e7), kBatches)});
+  micro.push_back({"l1_hit_ns", micro_l1_hit(iters(1e7), kBatches)});
+  for (const Micro& m : micro) {
+    std::fprintf(stderr, "  %-22s %10.2f ns/op\n", m.name, m.ns);
+  }
+
+  E2eResult e2e;
+  if (!skip_e2e) {
+    std::fprintf(stderr, "perf_baseline: e2e sweep '%s' x%d (jobs=1)...\n",
+                 plan_file.c_str(), reps);
+    e2e = run_e2e(plan_file, reps);
+    if (!e2e.ok) return 2;
+    std::fprintf(stderr,
+                 "  best %.4fs  median %.4fs  (%zu points, verified=%s)\n",
+                 best_of(e2e.seconds), median_of(e2e.seconds), e2e.points,
+                 e2e.all_verified ? "yes" : "NO");
+  }
+
+  std::ostringstream json;
+  json << "{\"schema\":\"ssomp-perf-v1\"";
+  json << ",\"micro\":{";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    if (i != 0) json << ',';
+    json << '"' << micro[i].name << "\":" << fmt(micro[i].ns);
+  }
+  json << '}';
+  if (!skip_e2e) {
+    json << ",\"e2e\":{\"plan\":\"" << e2e.plan_name << '"'
+         << ",\"points\":" << e2e.points << ",\"reps\":" << e2e.reps
+         << ",\"jobs\":1"
+         << ",\"best_host_seconds\":" << fmt(best_of(e2e.seconds))
+         << ",\"median_host_seconds\":" << fmt(median_of(e2e.seconds))
+         << ",\"all_verified\":" << (e2e.all_verified ? "true" : "false")
+         << '}';
+  }
+  json << "}\n";
+
+  if (out_file.empty()) {
+    std::fputs(json.str().c_str(), stdout);
+  } else {
+    std::ofstream out(out_file, std::ios::binary);
+    if (!out || !(out << json.str())) {
+      std::fprintf(stderr, "perf_baseline: cannot write %s\n",
+                   out_file.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_file.c_str());
+  }
+  return skip_e2e || e2e.all_verified ? 0 : 1;
+}

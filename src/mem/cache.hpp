@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/check.hpp"
@@ -51,6 +50,7 @@ class SetAssocCache {
     SSOMP_CHECK(size_bytes % (assoc * line_bytes) == 0);
     sets_ = size_bytes / (assoc * line_bytes);
     SSOMP_CHECK((sets_ & (sets_ - 1)) == 0);
+    while ((std::uint32_t{1} << line_shift_) < line_bytes_) ++line_shift_;
     lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
   }
 
@@ -120,9 +120,19 @@ class SetAssocCache {
   }
 
   /// Applies `fn` to every valid line (used to finalize classification at
-  /// the end of a run and in invariant-checking tests).
-  void for_each(const std::function<void(Line&)>& fn) {
+  /// the end of a run and in invariant-checking tests). A template, not a
+  /// std::function taker: the per-line indirect call and the per-call
+  /// closure allocation both disappear.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
     for (Line& l : lines_) {
+      if (l.valid()) fn(l);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Line& l : lines_) {
       if (l.valid()) fn(l);
     }
   }
@@ -133,13 +143,15 @@ class SetAssocCache {
 
  private:
   [[nodiscard]] Line* set_of(sim::Addr line_addr) {
-    const std::size_t index = (line_addr / line_bytes_) & (sets_ - 1);
+    // Shift, not divide: this index computation is on every cache probe.
+    const std::size_t index = (line_addr >> line_shift_) & (sets_ - 1);
     return &lines_[index * assoc_];
   }
 
   std::uint32_t line_bytes_;
   std::uint32_t assoc_;
   std::uint32_t sets_ = 0;
+  int line_shift_ = 0;
   std::uint64_t lru_clock_ = 0;
   std::vector<Line> lines_;
 };

@@ -6,11 +6,19 @@
 // at its home node (page-granular home assignment, see HomeMap). Entries
 // track Uncached/Shared/Modified state, a sharer bit per node, and the
 // owner node for modified lines.
+//
+// Entries live in an open-addressing FlatMap keyed by line address — the
+// directory probe is on the miss walk of every coherence action, so it
+// must be a single contiguous-table probe, not an unordered_map chase.
+// entry() may grow the table: per FlatMap's contract, callers must not
+// hold a reference to one entry across an entry() call for a different
+// line (the memory system resolves the entry once per transaction).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 
+#include "mem/flat_map.hpp"
 #include "sim/check.hpp"
 #include "sim/types.hpp"
 
@@ -31,12 +39,11 @@ class Directory {
   }
 
   [[nodiscard]] DirEntry& entry(sim::Addr line_addr) {
-    return entries_[line_addr];
+    return entries_.get_or_insert(line_addr);
   }
 
   [[nodiscard]] const DirEntry* find(sim::Addr line_addr) const {
-    auto it = entries_.find(line_addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(line_addr);
   }
 
   static void add_sharer(DirEntry& e, sim::NodeId n) {
@@ -54,62 +61,71 @@ class Directory {
 
   [[nodiscard]] int nodes() const { return nodes_; }
 
+  /// Number of lines the directory has ever tracked.
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Applies `fn(line_addr, entry)` to every tracked line.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    entries_.for_each(fn);
+  }
+
   /// Protocol invariant check, used by tests after every simulated run:
   /// Modified lines have exactly one sharer equal to the owner; Shared
   /// lines have >= 1 sharer and no owner; Uncached lines have none.
   [[nodiscard]] bool check_invariants() const {
-    for (const auto& [addr, e] : entries_) {
+    bool ok = true;
+    entries_.for_each([&ok](sim::Addr, const DirEntry& e) {
       switch (e.state) {
         case DirState::kUncached:
-          if (e.sharers != 0 || e.owner != sim::kInvalidNode) return false;
+          if (e.sharers != 0 || e.owner != sim::kInvalidNode) ok = false;
           break;
         case DirState::kShared:
-          if (e.sharers == 0 || e.owner != sim::kInvalidNode) return false;
+          if (e.sharers == 0 || e.owner != sim::kInvalidNode) ok = false;
           break;
         case DirState::kModified:
-          if (e.owner == sim::kInvalidNode) return false;
-          if (e.sharers != (std::uint64_t{1} << e.owner)) return false;
+          if (e.owner == sim::kInvalidNode) ok = false;
+          else if (e.sharers != (std::uint64_t{1} << e.owner)) ok = false;
           break;
       }
-    }
-    return true;
-  }
-
-  [[nodiscard]] const std::unordered_map<sim::Addr, DirEntry>& entries()
-      const {
-    return entries_;
+    });
+    return ok;
   }
 
  private:
   int nodes_;
-  std::unordered_map<sim::Addr, DirEntry> entries_;
+  FlatMap<DirEntry> entries_;
 };
 
 /// Page-to-home-node assignment. Default is round-robin by page number;
 /// ranges can be pinned explicitly, which the workloads use for block
 /// distribution of their main arrays (the common CC-NUMA placement the
-/// paper's benchmarks rely on).
+/// paper's benchmarks rely on). home_of() is on every fill path, so the
+/// page split is a shift (page sizes are powers of two) and the pin
+/// lookup a flat-table probe.
 class HomeMap {
  public:
   HomeMap(int nodes, std::uint32_t page_bytes)
       : nodes_(nodes), page_bytes_(page_bytes) {
     SSOMP_CHECK(nodes >= 1);
     SSOMP_CHECK(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0);
+    while ((std::uint32_t{1} << page_shift_) < page_bytes) ++page_shift_;
   }
 
   [[nodiscard]] sim::NodeId home_of(sim::Addr addr) const {
-    const sim::Addr page = addr / page_bytes_;
-    auto it = pinned_.find(page);
-    if (it != pinned_.end()) return it->second;
+    const sim::Addr page = addr >> page_shift_;
+    if (const sim::NodeId* pinned = pinned_.find(page)) return *pinned;
     return static_cast<sim::NodeId>(page % nodes_);
   }
 
   /// Pins all pages overlapping [base, base+bytes) to `node`.
   void pin_range(sim::Addr base, std::uint64_t bytes, sim::NodeId node) {
     SSOMP_CHECK(node >= 0 && node < nodes_);
-    const sim::Addr first = base / page_bytes_;
-    const sim::Addr last = (base + bytes - 1) / page_bytes_;
-    for (sim::Addr p = first; p <= last; ++p) pinned_[p] = node;
+    const sim::Addr first = base >> page_shift_;
+    const sim::Addr last = (base + bytes - 1) >> page_shift_;
+    for (sim::Addr p = first; p <= last; ++p) {
+      pinned_.get_or_insert(p) = node;
+    }
   }
 
   /// Distributes [base, base+bytes) across all nodes in contiguous blocks
@@ -121,7 +137,7 @@ class HomeMap {
       const auto node = static_cast<sim::NodeId>(
           std::min<std::uint64_t>(i / std::max<std::uint64_t>(per, 1),
                                   static_cast<std::uint64_t>(nodes_ - 1)));
-      pinned_[base / page_bytes_ + i] = node;
+      pinned_.get_or_insert((base >> page_shift_) + i) = node;
     }
   }
 
@@ -131,7 +147,8 @@ class HomeMap {
  private:
   int nodes_;
   std::uint32_t page_bytes_;
-  std::unordered_map<sim::Addr, sim::NodeId> pinned_;
+  int page_shift_ = 0;
+  FlatMap<sim::NodeId> pinned_;
 };
 
 }  // namespace ssomp::mem

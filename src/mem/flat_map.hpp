@@ -1,0 +1,140 @@
+// Open-addressing hash map for the coherence fast path.
+//
+// The directory and home map used to probe std::unordered_map on every
+// miss-path coherence action — a pointer-chasing, allocation-per-node
+// structure paid millions of times per run. FlatMap is a linear-probing
+// table over one contiguous slot array: probes touch a single cache line
+// in the common case and inserts allocate only on growth (power-of-two
+// capacity, rehash at 70% load).
+//
+// Deliberately minimal for the simulator's needs:
+//   * keys are 64-bit integers; one key value (kEmptyKey, all ones) is
+//     reserved as the empty-slot marker — line addresses and page numbers
+//     never take it;
+//   * no erase (the directory and home map only grow);
+//   * references returned by find()/get_or_insert() are invalidated by a
+//     rehash, i.e. by any later insert — callers must not hold an entry
+//     reference across an insert of a *different* key (the memory system's
+//     pattern: resolve the entry first, mutate, then move on).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace ssomp::mem {
+
+template <typename V>
+class FlatMap {
+ public:
+  using Key = std::uint64_t;
+  static constexpr Key kEmptyKey = ~Key{0};
+
+  FlatMap() { rehash(kMinCapacity); }
+
+  /// Number of stored entries.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the table for `n` entries without rehashing on the way.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 / 10 < n) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Returns the value for `key`, or nullptr when absent. Never grows.
+  [[nodiscard]] const V* find(Key key) const {
+    SSOMP_DCHECK(key != kEmptyKey);
+    std::size_t i = index_of(key);
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  [[nodiscard]] V* find(Key key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Returns the value for `key`, default-constructing it when absent.
+  /// May grow the table (invalidating other references).
+  [[nodiscard]] V& get_or_insert(Key key) {
+    SSOMP_DCHECK(key != kEmptyKey);
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmptyKey) break;
+      i = (i + 1) & mask_;
+    }
+    if ((size_ + 1) * 10 > slots_.size() * 7) {
+      rehash(slots_.size() * 2);
+      i = index_of(key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+    }
+    Slot& s = slots_[i];
+    s.key = key;
+    s.value = V{};
+    ++size_;
+    return s.value;
+  }
+
+  /// Applies `fn(key, value)` to every entry (iteration order is the
+  /// table's probe order — callers must not depend on it).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = kEmptyKey;
+    V value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 64;
+
+  [[nodiscard]] std::size_t index_of(Key key) const {
+    // Fibonacci multiplicative hash: line addresses and page numbers are
+    // regular (strided), which raw masking would collide badly on.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_) &
+           mask_;
+  }
+
+  void rehash(std::size_t capacity) {
+    SSOMP_DCHECK((capacity & (capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    shift_ = 64 - bit_width(capacity);
+    for (Slot& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  [[nodiscard]] static int bit_width(std::size_t v) {
+    int w = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++w;
+    }
+    return w;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ssomp::mem

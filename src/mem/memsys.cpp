@@ -11,6 +11,7 @@ using stats::StreamRole;
 MemorySystem::MemorySystem(const MemParams& params, int nodes,
                            int cpus_per_node)
     : params_(params),
+      lat_(params),
       nodes_(nodes),
       cpus_per_node_(cpus_per_node),
       home_map_(nodes, params.page_bytes),
@@ -31,11 +32,15 @@ MemorySystem::MemorySystem(const MemParams& params, int nodes,
 }
 
 void MemorySystem::set_role(sim::CpuId cpu, StreamRole role) {
-  roles_.at(static_cast<std::size_t>(cpu)) = role;
+  SSOMP_CHECK(cpu >= 0 &&
+              static_cast<std::size_t>(cpu) < roles_.size());
+  roles_[static_cast<std::size_t>(cpu)] = role;
 }
 
 StreamRole MemorySystem::role(sim::CpuId cpu) const {
-  return roles_.at(static_cast<std::size_t>(cpu));
+  SSOMP_DCHECK(cpu >= 0 &&
+               static_cast<std::size_t>(cpu) < roles_.size());
+  return roles_[static_cast<std::size_t>(cpu)];
 }
 
 void MemorySystem::record_ref(L2Meta& meta, StreamRole role) {
@@ -101,7 +106,7 @@ void MemorySystem::handle_l2_eviction(sim::NodeId node,
     SSOMP_DCHECK(e.state == DirState::kModified && e.owner == node);
     // Victim writeback: buffered, contributes occupancy but no latency to
     // the access that triggered the eviction.
-    res_[h].memctl.occupy(now, params_.mem_cycles());
+    res_[h].memctl.occupy(now, lat_.mem);
     e.state = DirState::kUncached;
     e.sharers = 0;
     e.owner = sim::kInvalidNode;
@@ -130,14 +135,14 @@ sim::Cycles MemorySystem::invalidate_sharers(sim::NodeId h, DirEntry& e,
     if (s == except || !Directory::is_sharer(e, s)) continue;
     PathTimer inv(t_home);
     if (s != h) {
-      inv.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
-      inv.wire(params_.net_cycles());
-      inv.serve(res_[s].ni_in, params_.ni_remote_dc_cycles());
+      inv.serve(res_[h].ni_out, lat_.ni_remote_dc);
+      inv.wire(lat_.net);
+      inv.serve(res_[s].ni_in, lat_.ni_remote_dc);
     }
-    inv.serve(res_[s].bus, params_.bus_cycles());
+    inv.serve(res_[s].bus, lat_.bus);
     invalidate_at_node(s, line_addr);
     Directory::remove_sharer(e, s);
-    if (s != h) inv.wire(params_.net_cycles());  // ack back to home
+    if (s != h) inv.wire(lat_.net);  // ack back to home
     acks_done = std::max(acks_done, inv.at());
     ++stats_.invalidations;
   }
@@ -153,12 +158,12 @@ sim::Cycles MemorySystem::fill_line(sim::CpuId cpu, sim::Addr line_addr,
   const bool local = (h == n);
 
   PathTimer t(now);
-  t.serve(res_[n].bus, params_.bus_cycles());
+  t.serve(res_[n].bus, lat_.bus);
   if (!local) {
-    t.serve(res_[n].ni_out, params_.ni_remote_dc_cycles());
-    t.wire(params_.net_cycles());
+    t.serve(res_[n].ni_out, lat_.ni_remote_dc);
+    t.wire(lat_.net);
   }
-  t.serve(res_[h].dirctl, params_.ni_local_dc_cycles());
+  t.serve(res_[h].dirctl, lat_.ni_local_dc);
   const sim::Cycles t_home = t.at();
 
   bool fill_exclusive = false;  // MESI E-grant for this fill
@@ -168,25 +173,25 @@ sim::Cycles MemorySystem::fill_line(sim::CpuId cpu, sim::Addr line_addr,
     const sim::NodeId o = e.owner;
     SSOMP_CHECK(o != n);
     // Forward request home -> owner.
-    t.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
+    t.serve(res_[h].ni_out, lat_.ni_remote_dc);
     if (o != h) {
-      t.wire(params_.net_cycles());
-      t.serve(res_[o].ni_in, params_.ni_remote_dc_cycles());
+      t.wire(lat_.net);
+      t.serve(res_[o].ni_in, lat_.ni_remote_dc);
     }
-    t.serve(res_[o].bus, params_.bus_cycles());
+    t.serve(res_[o].bus, lat_.bus);
     t.wire(params_.l2_hit_cycles);  // owner L2 lookup/transfer
     // Owner -> requester data transfer.
     if (o != n) {
-      t.serve(res_[o].ni_out, params_.ni_remote_dc_cycles());
-      t.wire(params_.net_cycles());
-      t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+      t.serve(res_[o].ni_out, lat_.ni_remote_dc);
+      t.wire(lat_.net);
+      t.serve(res_[n].ni_in, lat_.ni_remote_dc);
     }
-    t.serve(res_[n].bus, params_.bus_cycles());
+    t.serve(res_[n].bus, lat_.bus);
     // Sharing writeback / ownership transfer at the home memory (clean
     // exclusive owners have nothing to write back).
     L2::Line* owner_line = l2(o).find(line_addr);
     if (owner_line == nullptr || owner_line->state == LineState::kModified) {
-      res_[h].memctl.occupy(t_home, params_.mem_cycles());
+      res_[h].memctl.occupy(t_home, lat_.mem);
     }
     if (kind == ReqKind::kRead) {
       // Owner downgrades to Shared.
@@ -218,13 +223,13 @@ sim::Cycles MemorySystem::fill_line(sim::CpuId cpu, sim::Addr line_addr,
     }
     // Memory fetch proceeds in parallel with invalidations.
     PathTimer data(t_home);
-    data.serve(res_[h].memctl, params_.mem_cycles());
+    data.serve(res_[h].memctl, lat_.mem);
     t.at_least(std::max(ready, data.at()));
     if (!local) {
-      t.wire(params_.net_cycles());
-      t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+      t.wire(lat_.net);
+      t.serve(res_[n].ni_in, lat_.ni_remote_dc);
     }
-    t.serve(res_[n].bus, params_.bus_cycles());
+    t.serve(res_[n].bus, lat_.bus);
     if (kind == ReqKind::kRead) {
       if (params_.exclusive_state && e.state == DirState::kUncached) {
         // MESI E: sole reader takes clean-exclusive ownership.
@@ -277,19 +282,19 @@ sim::Cycles MemorySystem::upgrade_line(sim::CpuId cpu, L2::Line& line,
   const bool local = (h == n);
 
   PathTimer t(now);
-  t.serve(res_[n].bus, params_.bus_cycles());
+  t.serve(res_[n].bus, lat_.bus);
   if (!local) {
-    t.serve(res_[n].ni_out, params_.ni_remote_dc_cycles());
-    t.wire(params_.net_cycles());
+    t.serve(res_[n].ni_out, lat_.ni_remote_dc);
+    t.wire(lat_.net);
   }
-  t.serve(res_[h].dirctl, params_.ni_local_dc_cycles());
+  t.serve(res_[h].dirctl, lat_.ni_local_dc);
   const sim::Cycles acks = invalidate_sharers(h, e, n, la, t.at());
   t.at_least(acks);
   if (!local) {
-    t.wire(params_.net_cycles());
-    t.serve(res_[n].ni_in, params_.ni_remote_dc_cycles());
+    t.wire(lat_.net);
+    t.serve(res_[n].ni_in, lat_.ni_remote_dc);
   }
-  t.serve(res_[n].bus, params_.bus_cycles());
+  t.serve(res_[n].bus, lat_.bus);
 
   e.state = DirState::kModified;
   e.sharers = 0;
@@ -355,11 +360,13 @@ sim::Cycles MemorySystem::load(sim::CpuId cpu, sim::Addr addr,
     return params_.l1_hit_cycles;
   }
 
+  // Resolved once for the whole miss walk, not per protocol step.
+  const StreamRole who = role(cpu);
   L2& c2 = l2(n);
   if (L2::Line* line = c2.find(la)) {
-    const sim::Cycles wait = absorb_pending(*line, role(cpu), now);
+    const sim::Cycles wait = absorb_pending(*line, who, now);
     c2.touch(*line);
-    record_ref(line->meta, role(cpu));
+    record_ref(line->meta, who);
     ++stats_.l2_hits;
     // Intra-CMP coherence: sharing a dirty line downgrades the sibling's
     // exclusive L1 copy, so its next store must re-assert ownership.
@@ -379,7 +386,7 @@ sim::Cycles MemorySystem::load(sim::CpuId cpu, sim::Addr addr,
   // processor inside that window merges at the shared L2 (the A-Late /
   // R-Late mechanism of Figures 3 and 5).
   line->meta.pending_until = now + lat;
-  record_ref(line->meta, role(cpu));
+  record_ref(line->meta, who);
   fill_l1(cpu, la, LineState::kShared);
   return lat;
 }
@@ -398,21 +405,23 @@ sim::Cycles MemorySystem::store(sim::CpuId cpu, sim::Addr addr,
     return params_.l1_hit_cycles;
   }
 
+  // Resolved once for the whole miss walk, not per protocol step.
+  const StreamRole who = role(cpu);
   L2& c2 = l2(n);
   sim::Cycles lat = 0;
   L2::Line* line = c2.find(la);
   if (line != nullptr) {
-    lat += absorb_pending(*line, role(cpu), now);
+    lat += absorb_pending(*line, who, now);
     c2.touch(*line);
     if (line->state == LineState::kModified) {
-      record_ref(line->meta, role(cpu));
+      record_ref(line->meta, who);
       ++stats_.l2_hits;
       lat = res_[n].l2port.serve(now + lat, params_.l2_hit_cycles) - now;
     } else if (line->state == LineState::kExclusive) {
       // MESI E: first store by the clean-exclusive owner upgrades
       // silently — no directory round-trip (the point of the extension).
       line->state = LineState::kModified;
-      record_ref(line->meta, role(cpu));
+      record_ref(line->meta, who);
       ++stats_.l2_hits;
       ++stats_.silent_upgrades;
       lat = res_[n].l2port.serve(now + lat, params_.l2_hit_cycles) - now;
@@ -420,14 +429,14 @@ sim::Cycles MemorySystem::store(sim::CpuId cpu, sim::Addr addr,
       // S -> M upgrade through the directory.
       lat += upgrade_line(cpu, *line, now + lat);
       line->meta.pending_until = now + lat;
-      record_ref(line->meta, role(cpu));
+      record_ref(line->meta, who);
     }
   } else {
     lat += fill_line(cpu, la, ReqKind::kReadEx, now);
     line = c2.find(la);
     SSOMP_CHECK(line != nullptr);
     line->meta.pending_until = now + lat;
-    record_ref(line->meta, role(cpu));
+    record_ref(line->meta, who);
   }
   invalidate_sibling_l1(cpu, la);
   fill_l1(cpu, la, LineState::kModified);
@@ -454,10 +463,10 @@ void MemorySystem::send_self_invalidation_hints(sim::Addr line_addr,
     // waits for acknowledgements — that is the optimization.
     PathTimer hint(now);
     if (s != h) {
-      hint.serve(res_[h].ni_out, params_.ni_remote_dc_cycles());
-      hint.wire(params_.net_cycles());
+      hint.serve(res_[h].ni_out, lat_.ni_remote_dc);
+      hint.wire(lat_.net);
     }
-    res_[s].bus.occupy(hint.at(), params_.bus_cycles());
+    res_[s].bus.occupy(hint.at(), lat_.bus);
     invalidate_at_node(s, line_addr);
     Directory::remove_sharer(e, s);
     ++stats_.self_invalidations;
@@ -536,7 +545,7 @@ bool MemorySystem::check_invariants() const {
     for (int c = 0; c < cpus_per_node_; ++c) {
       const L1& c1 = *l1s_[node * cpus_per_node_ + c];
       bool ok = true;
-      const_cast<L1&>(c1).for_each([&](L1::Line& line) {
+      c1.for_each([&](const L1::Line& line) {
         const L2::Line* l2line = c2.find(line.line_addr);
         if (l2line == nullptr) ok = false;
         // A dirty L1 line requires an exclusive L2 line.
@@ -549,7 +558,7 @@ bool MemorySystem::check_invariants() const {
     }
     // L2 / directory consistency.
     bool ok = true;
-    const_cast<L2&>(c2).for_each([&](L2::Line& line) {
+    c2.for_each([&](const L2::Line& line) {
       const DirEntry* e = directory_.find(line.line_addr);
       if (e == nullptr) {
         ok = false;

@@ -194,7 +194,27 @@ class MemorySystem {
   /// line the sibling holds dirty.
   void downgrade_sibling_l1(sim::CpuId cpu, sim::Addr line_addr);
 
+  /// Latency parameters pre-converted to cycles at construction. The
+  /// ns→cycles conversion is a double multiply plus llround — far too
+  /// expensive to repeat on every protocol step of every miss.
+  struct LatencyTable {
+    sim::Cycles bus = 0;
+    sim::Cycles ni_local_dc = 0;
+    sim::Cycles ni_remote_dc = 0;
+    sim::Cycles net = 0;
+    sim::Cycles mem = 0;
+
+    LatencyTable() = default;
+    explicit LatencyTable(const MemParams& p)
+        : bus(p.bus_cycles()),
+          ni_local_dc(p.ni_local_dc_cycles()),
+          ni_remote_dc(p.ni_remote_dc_cycles()),
+          net(p.net_cycles()),
+          mem(p.mem_cycles()) {}
+  };
+
   MemParams params_;
+  LatencyTable lat_;
   int nodes_;
   int cpus_per_node_;
   HomeMap home_map_;

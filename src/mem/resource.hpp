@@ -42,7 +42,7 @@ class Resource {
 
   /// Earliest time a request arriving at `t` could start service.
   [[nodiscard]] sim::Cycles next_free() const {
-    return intervals_.empty() ? 0 : intervals_.back().second;
+    return head_ >= intervals_.size() ? 0 : intervals_.back().second;
   }
 
   [[nodiscard]] sim::Cycles busy_total() const { return busy_total_; }
@@ -54,32 +54,52 @@ class Resource {
 
  private:
   /// Inserts a busy interval of `occ` cycles at the earliest gap >= t;
-  /// returns its start time.
+  /// returns its start time. This runs on every modeled protocol step, so
+  /// the list is managed as a vector with a dead prefix: pruning advances
+  /// `head_` (no memmove per call) and the common append lands at the
+  /// back (no shift); compaction is amortized over many prunes.
   sim::Cycles reserve(sim::Cycles t, sim::Cycles occ) {
     // Prune intervals that can no longer interact with new arrivals.
     // Arrival times are near-monotonic (bounded by the CPUs' deferral
     // quantum plus path offsets), so a generous slack keeps this exact in
     // practice while bounding the list.
     constexpr sim::Cycles kSlack = 4096;
-    if (!intervals_.empty() && t > kSlack) {
+    if (head_ < intervals_.size() && t > kSlack) {
       const sim::Cycles horizon = t - kSlack;
-      auto keep = std::find_if(
-          intervals_.begin(), intervals_.end(),
-          [horizon](const auto& iv) { return iv.second > horizon; });
-      intervals_.erase(intervals_.begin(), keep);
+      while (head_ < intervals_.size() &&
+             intervals_[head_].second <= horizon) {
+        ++head_;
+      }
+      if (head_ >= 64 && head_ * 2 >= intervals_.size()) {
+        intervals_.erase(intervals_.begin(),
+                         intervals_.begin() +
+                             static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
     }
+    // Intervals are disjoint and sorted, so end times are monotonic:
+    // everything ending at or before `t` ends before any candidate start
+    // and can be skipped wholesale.
+    const auto first = intervals_.begin() + static_cast<std::ptrdiff_t>(head_);
+    const auto from = std::partition_point(
+        first, intervals_.end(),
+        [t](const std::pair<sim::Cycles, sim::Cycles>& iv) {
+          return iv.second <= t;
+        });
     sim::Cycles start = t;
-    auto pos = intervals_.begin();
-    for (; pos != intervals_.end(); ++pos) {
-      if (start + occ <= pos->first) break;  // fits in the gap before *pos
-      start = std::max(start, pos->second);
+    auto pos = static_cast<std::size_t>(from - intervals_.begin());
+    for (; pos != intervals_.size(); ++pos) {
+      if (start + occ <= intervals_[pos].first) break;  // fits in this gap
+      start = std::max(start, intervals_[pos].second);
     }
-    intervals_.insert(pos, {start, start + occ});
+    intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      {start, start + occ});
     return start;
   }
 
   std::string name_;
   std::vector<std::pair<sim::Cycles, sim::Cycles>> intervals_;
+  std::size_t head_ = 0;  // intervals_[0, head_) are pruned (dead)
   sim::Cycles busy_total_ = 0;
   sim::Cycles queue_delay_total_ = 0;
   std::uint64_t requests_ = 0;

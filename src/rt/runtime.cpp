@@ -248,7 +248,7 @@ void Runtime::hang_park(ThreadCtx& t) {
   hung_[static_cast<std::size_t>(cpu.id())] = true;
   cpu.block(TimeCategory::kTokenWait);
   hung_[static_cast<std::size_t>(cpu.id())] = false;
-  if (guard != nullptr) *guard = true;
+  guard.cancel();
   // Whoever woke us (watchdog rescue or end-of-run backstop) may already
   // have raised the recovery; raise it here otherwise so the unwind's ack
   // always follows a request.
@@ -506,7 +506,7 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     sim::Engine::CancelHandle wguard =
         watchdog_.arm(slip::WatchSite::kTeamBarrier, node, cpu.id());
     barrier_->arrive(cpu, t.id(), cat);
-    if (wguard != nullptr) *wguard = true;
+    wguard.cancel();
     if (observed) {
       inst_.barrier_exit(cpu.id(), node, role,
                          machine_.engine().now() - entered);
@@ -569,7 +569,7 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
     sim::Engine::CancelHandle wguard =
         watchdog_.arm(slip::WatchSite::kTeamBarrier, node, cpu.id());
     barrier_->arrive(cpu, t.id(), cat);
-    if (wguard != nullptr) *wguard = true;
+    wguard.cancel();
     const sim::Cycles stall = machine_.engine().now() - entered;
     if (team_.slip.type == slip::SyncType::kGlobal &&
         ins != slip::TokenAction::kSkip) {

@@ -1,0 +1,121 @@
+// Small-buffer-optimized move-only callable storage for engine events.
+//
+// Every event the engine schedules used to be a heap-allocated
+// std::function closure. The closures the simulator actually schedules
+// are tiny — a captured `this` plus a few words; the largest is the
+// watchdog's report capture at ~56 bytes — so InlineCallback stores them
+// in a fixed in-slot buffer and the steady-state scheduling paths perform
+// zero heap allocations. Oversized callables still work through a single
+// heap allocation as a correctness fallback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace ssomp::sim {
+
+class InlineCallback {
+ public:
+  /// Inline capacity. Covers every closure the runtime schedules; bump it
+  /// if a new hot-path closure grows past it (the arena test asserts the
+  /// runtime's closures stay inline).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() = default;
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineCallback(InlineCallback&& other) noexcept { take(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  ~InlineCallback() { reset(); }
+
+  /// Stores `fn`, replacing any current callable.
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (stored_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) (Fn*)(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  /// True when `F` would be stored in the inline buffer (no allocation).
+  template <typename F>
+  [[nodiscard]] static constexpr bool stored_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  [[nodiscard]] bool empty() const { return ops_ == nullptr; }
+
+  /// Destroys the stored callable, if any.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Invokes the stored callable (must be non-empty).
+  void operator()() {
+    SSOMP_DCHECK(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs dst's storage from src's and ends src's ownership
+    /// (inline: move + destroy source; heap: pointer transfer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) {
+        Fn& from = *std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(from));
+        from.~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) (Fn*)(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  void take(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ssomp::sim

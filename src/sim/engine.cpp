@@ -10,49 +10,47 @@ SimCpu& Engine::add_cpu(std::string name) {
   return *cpus_.back();
 }
 
-void Engine::schedule_at(Cycles when, std::function<void()> fn) {
-  SSOMP_CHECK(when >= now_);
-  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
-  ++ordinary_pending_;
-}
-
-Engine::CancelHandle Engine::schedule_cancelable_at(Cycles when,
-                                                    std::function<void()> fn) {
-  SSOMP_CHECK(when >= now_);
-  auto handle = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), handle, false});
-  return handle;
-}
-
-Engine::CancelHandle Engine::schedule_timer_at(Cycles when,
-                                               std::function<void()> fn) {
-  SSOMP_CHECK(when >= now_);
-  auto handle = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), handle, true});
-  return handle;
-}
-
 Cycles Engine::run(Cycles until) {
   SSOMP_CHECK(Fiber::current() == nullptr);
   while (!queue_.empty()) {
-    // Cancelled events — and auxiliary (non-timer) events with no
-    // ordinary event left to observe — are dropped before they can
-    // advance time. Armed timers survive the drain: when everything else
-    // is blocked, the timer expiry is the next real thing that happens.
-    if (queue_.top().cancelled &&
-        (*queue_.top().cancelled ||
-         (!queue_.top().timer && ordinary_pending_ == 0))) {
-      queue_.pop();
-      continue;
+    const QueuedEvent top = queue_.top();
+    if (top.kind == EventKind::kCallback) {
+      // Cancelled events (generation moved on) — and auxiliary
+      // (non-timer) events with no ordinary event left to observe — are
+      // dropped before they can advance time. Armed timers survive the
+      // drain: when everything else is blocked, the timer expiry is the
+      // next real thing that happens. Dropped events never touch
+      // `events_processed_`; `ordinary_pending_` only ever counted
+      // non-cancelable events, so cancellation cannot perturb it either.
+      const EventArena::Slot& s = arena_.slot(top.slot);
+      if (s.gen != top.gen) {
+        queue_.pop();
+        continue;
+      }
+      if (s.cancelable && !s.timer && ordinary_pending_ == 0) {
+        arena_.release(top.slot);
+        queue_.pop();
+        continue;
+      }
     }
-    if (queue_.top().when > until) break;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    if (top.when > until) break;
     queue_.pop();
-    if (ev.cancelled == nullptr) --ordinary_pending_;
-    SSOMP_CHECK(ev.when >= now_);
-    now_ = ev.when;
+    SSOMP_CHECK(top.when >= now_);
+    now_ = top.when;
     ++events_processed_;
-    ev.fn();
+    if (top.kind == EventKind::kResumeCpu) {
+      --ordinary_pending_;
+      cpus_[static_cast<std::size_t>(top.cpu)]->resume_from_scheduler();
+    } else {
+      EventArena::Slot& s = arena_.slot(top.slot);
+      if (!s.cancelable) --ordinary_pending_;
+      // Move the callback out and recycle the slot *before* invoking: the
+      // callback may schedule (reusing this very slot), and a handle to
+      // this event must read as fired from inside its own callback.
+      InlineCallback fn = std::move(s.fn);
+      arena_.release(top.slot);
+      fn();
+    }
   }
   return now_;
 }
@@ -63,7 +61,7 @@ SimCpu::SimCpu(Engine& engine, CpuId id, std::string name)
 void SimCpu::start(std::function<void()> body, Cycles start_at) {
   SSOMP_CHECK(fiber_ == nullptr);
   fiber_ = std::make_unique<Fiber>(name_, std::move(body));
-  engine_.schedule_at(start_at, [this] { resume_from_scheduler(); });
+  engine_.schedule_resume(id_, start_at);
 }
 
 void SimCpu::resume_from_scheduler() {
@@ -82,24 +80,14 @@ void SimCpu::consume(Cycles n, TimeCategory cat) {
   flush_time();
 }
 
-void SimCpu::charge(Cycles n, TimeCategory cat) {
-  SSOMP_DCHECK(is_current());
-  breakdown_.add(cat, n);
-  last_category_ = cat;
-  pending_ += n;
-  if (pending_ >= kMaxDefer) flush_time();
-}
-
 void SimCpu::flush_time() {
   SSOMP_DCHECK(is_current());
   if (pending_ == 0) return;
   const Cycles n = pending_;
   pending_ = 0;
-  engine_.schedule_at(engine_.now() + n, [this] { resume_from_scheduler(); });
+  engine_.schedule_resume(id_, engine_.now() + n);
   fiber_->yield();
 }
-
-Cycles SimCpu::issue_time() const { return engine_.now() + pending_; }
 
 void SimCpu::block(TimeCategory cat) {
   SSOMP_CHECK(is_current());
@@ -118,7 +106,7 @@ void SimCpu::wake(Cycles delay) {
   SSOMP_CHECK(!is_current());
   SSOMP_CHECK(blocked_);
   blocked_ = false;
-  engine_.schedule_after(delay, [this] { resume_from_scheduler(); });
+  engine_.schedule_resume(id_, engine_.now() + delay);
 }
 
 }  // namespace ssomp::sim

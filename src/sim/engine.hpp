@@ -5,15 +5,23 @@
 // running a plain callback (used for fire-and-forget completions such as
 // A-stream prefetch fills). Ties are broken by insertion order, making the
 // whole simulation deterministic.
+//
+// The hot path is allocation-free in steady state: the dominant event —
+// "resume CPU k" — is a typed entry encoded entirely in the queue (no
+// closure, no slot), and callback events live in a pooled EventArena whose
+// slots are recycled through a free list with the closure stored inline
+// (sim/callback.hpp). Cancellation uses per-slot generation counters, so a
+// cancel handle is two integers, not a shared_ptr.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/check.hpp"
+#include "sim/event_arena.hpp"
 #include "sim/fiber.hpp"
 #include "sim/time_category.hpp"
 #include "sim/types.hpp"
@@ -40,19 +48,52 @@ class Engine {
     return *cpus_[static_cast<std::size_t>(id)];
   }
 
-  /// Schedules `fn` to run at absolute time `when` (>= now).
-  void schedule_at(Cycles when, std::function<void()> fn);
+  /// Handle for a cancelable event. A value type: two integers naming the
+  /// arena slot and the generation it was issued for. Cancelling is safe
+  /// at any time — if the event already fired, was cancelled, or its slot
+  /// was recycled, the generation no longer matches and cancel() is a
+  /// no-op. A cancelled event is discarded without running and —
+  /// critically — without advancing `now()`, so a pending periodic tick
+  /// cannot inflate the measured run length after the workload finishes.
+  class CancelHandle {
+   public:
+    CancelHandle() = default;
 
-  /// Schedules `fn` to run `delay` cycles from now.
-  void schedule_after(Cycles delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+    /// True while the underlying event is still pending.
+    [[nodiscard]] bool armed() const {
+      return engine_ != nullptr && engine_->event_armed(slot_, gen_);
+    }
+
+    /// Cancels the event if it is still pending; otherwise a no-op.
+    /// Clears the handle either way.
+    void cancel() {
+      if (engine_ != nullptr) engine_->cancel_event(slot_, gen_);
+      engine_ = nullptr;
+    }
+
+   private:
+    friend class Engine;
+    CancelHandle(Engine* engine, std::uint32_t slot, std::uint32_t gen)
+        : engine_(engine), slot_(slot), gen_(gen) {}
+
+    Engine* engine_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
+  };
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  template <typename F>
+  void schedule_at(Cycles when, F&& fn) {
+    push_callback(when, std::forward<F>(fn), /*cancelable=*/false,
+                  /*timer=*/false);
+    ++ordinary_pending_;
   }
 
-  /// Handle for a cancelable event: set `*handle = true` to cancel.
-  /// A cancelled event is discarded without running and — critically —
-  /// without advancing `now()`, so a pending periodic tick cannot inflate
-  /// the measured run length after the workload finishes.
-  using CancelHandle = std::shared_ptr<bool>;
+  /// Schedules `fn` to run `delay` cycles from now.
+  template <typename F>
+  void schedule_after(Cycles delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Like schedule_at(), but returns a handle that cancels the event.
   /// Cancelable events are *auxiliary*: they observe the simulation but
@@ -60,12 +101,17 @@ class Engine {
   /// they are discarded unrun, again without advancing `now()` — a
   /// periodic sampler therefore never pushes simulated time past the last
   /// ordinary event.
-  CancelHandle schedule_cancelable_at(Cycles when, std::function<void()> fn);
+  template <typename F>
+  CancelHandle schedule_cancelable_at(Cycles when, F&& fn) {
+    const std::uint32_t slot = push_callback(when, std::forward<F>(fn),
+                                             /*cancelable=*/true,
+                                             /*timer=*/false);
+    return CancelHandle{this, slot, arena_.slot(slot).gen};
+  }
 
-  /// Like schedule_after(), but returns a handle that cancels the event.
-  CancelHandle schedule_cancelable_after(Cycles delay,
-                                         std::function<void()> fn) {
-    return schedule_cancelable_at(now_ + delay, std::move(fn));
+  template <typename F>
+  CancelHandle schedule_cancelable_after(Cycles delay, F&& fn) {
+    return schedule_cancelable_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// A *timer* event: cancelable like the auxiliary events above (a
@@ -73,11 +119,18 @@ class Engine {
   /// discarded when only cancelable events remain. A watchdog armed on a
   /// wait must still fire when the whole simulation wedges — at that
   /// point the timer expiry IS the next thing that happens, exactly as a
-  /// hardware timer interrupt would be. Disarm by setting `*handle`.
-  CancelHandle schedule_timer_at(Cycles when, std::function<void()> fn);
+  /// hardware timer interrupt would be. Disarm with `handle.cancel()`.
+  template <typename F>
+  CancelHandle schedule_timer_at(Cycles when, F&& fn) {
+    const std::uint32_t slot = push_callback(when, std::forward<F>(fn),
+                                             /*cancelable=*/true,
+                                             /*timer=*/true);
+    return CancelHandle{this, slot, arena_.slot(slot).gen};
+  }
 
-  CancelHandle schedule_timer_after(Cycles delay, std::function<void()> fn) {
-    return schedule_timer_at(now_ + delay, std::move(fn));
+  template <typename F>
+  CancelHandle schedule_timer_after(Cycles delay, F&& fn) {
+    return schedule_timer_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Runs events until the queue drains or `until` is reached.
@@ -85,31 +138,84 @@ class Engine {
   Cycles run(Cycles until = ~Cycles{0});
 
   /// Number of events processed so far (for micro-benchmarks and tests).
+  /// Cancelled and drain-dropped events never count.
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
+  }
+
+  /// Event-pool introspection (arena tests and the perf harness).
+  [[nodiscard]] std::size_t event_pool_capacity() const {
+    return arena_.capacity();
+  }
+  [[nodiscard]] std::size_t event_pool_live() const {
+    return arena_.live_slots();
   }
 
  private:
   friend class SimCpu;
 
-  struct Event {
+  enum class EventKind : std::uint8_t { kResumeCpu, kCallback };
+
+  /// A queued event reference. Resume events are fully encoded here; for
+  /// callback events the payload lives in the arena and `gen` detects
+  /// cancellation (a slot whose generation moved on was cancelled, and
+  /// the queue entry is stale).
+  struct QueuedEvent {
     Cycles when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;  // null for ordinary events
-    bool timer = false;  // survives ordinary-queue drain (watchdogs)
+    std::uint32_t slot;
+    std::uint32_t gen;
+    EventKind kind;
+    CpuId cpu;
   };
   struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
+
+  template <typename F>
+  std::uint32_t push_callback(Cycles when, F&& fn, bool cancelable,
+                              bool timer) {
+    SSOMP_CHECK(when >= now_);
+    const std::uint32_t slot =
+        arena_.acquire(std::forward<F>(fn), cancelable, timer);
+    queue_.push(QueuedEvent{when, next_seq_++, slot, arena_.slot(slot).gen,
+                            EventKind::kCallback, kInvalidCpu});
+    return slot;
+  }
+
+  /// The typed fast path for the dominant event: make CPU `cpu` runnable
+  /// at absolute time `when`. No closure, no arena slot — the queue entry
+  /// is the whole event.
+  void schedule_resume(CpuId cpu, Cycles when) {
+    SSOMP_CHECK(when >= now_);
+    queue_.push(
+        QueuedEvent{when, next_seq_++, 0, 0, EventKind::kResumeCpu, cpu});
+    ++ordinary_pending_;
+  }
+
+  [[nodiscard]] bool event_armed(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < arena_.capacity() && arena_.slot(slot).gen == gen;
+  }
+
+  /// Cancels a pending callback event. The arena slot is recycled
+  /// immediately (its generation moves on); the stale queue entry is
+  /// dropped when it reaches the top. Ordinary-event accounting is
+  /// untouched: only cancelable events ever produce handles, and they
+  /// never counted toward `ordinary_pending_`.
+  void cancel_event(std::uint32_t slot, std::uint32_t gen) {
+    if (!event_armed(slot, gen)) return;
+    arena_.release(slot);
+  }
 
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t ordinary_pending_ = 0;  // non-cancelable events in queue_
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventArena arena_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder>
+      queue_;
   std::vector<std::unique_ptr<SimCpu>> cpus_;
 };
 
@@ -142,8 +248,15 @@ class SimCpu {
   /// only yields to the engine once the accrued debt crosses a threshold.
   /// This keeps host event counts proportional to cache *misses* rather
   /// than accesses. Pair with `issue_time()` so the memory system sees
-  /// this CPU's true local time.
-  void charge(Cycles n, TimeCategory cat);
+  /// this CPU's true local time. Inline: this runs on every simulated
+  /// memory access.
+  void charge(Cycles n, TimeCategory cat) {
+    SSOMP_DCHECK(is_current());
+    breakdown_.add(cat, n);
+    last_category_ = cat;
+    pending_ += n;
+    if (pending_ >= kMaxDefer) flush_time();
+  }
 
   /// Yields until all lazily-charged time has elapsed.
   void flush_time();
@@ -153,7 +266,7 @@ class SimCpu {
 
   /// This CPU's local time: engine time plus unelapsed charges. Memory-
   /// system requests must be stamped with this.
-  [[nodiscard]] Cycles issue_time() const;
+  [[nodiscard]] Cycles issue_time() const { return engine_.now() + pending_; }
 
   /// Blocks until another agent calls `wake()` (flushes charges first).
   /// Waiting time is attributed to `cat`.
@@ -185,6 +298,8 @@ class SimCpu {
   [[nodiscard]] Cycles finish_time() const { return finish_time_; }
 
  private:
+  friend class Engine;
+
   void resume_from_scheduler();
 
   Engine& engine_;

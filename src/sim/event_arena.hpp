@@ -1,0 +1,102 @@
+// Pooled storage for scheduled callback events.
+//
+// The engine's priority queue holds small POD references; the callback
+// payloads live here, in recycled slots. Chunked allocation keeps slot
+// addresses stable (a growing arena never moves live callbacks), a LIFO
+// free list makes steady-state schedule/run cycles allocation-free, and a
+// per-slot generation counter lets cancel handles outlive their event
+// safely: a handle whose generation no longer matches the slot refers to
+// an event that already fired, was cancelled, or whose slot was recycled,
+// and cancelling it is a no-op.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/check.hpp"
+
+namespace ssomp::sim {
+
+class EventArena {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Slot {
+    InlineCallback fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNone;
+    bool cancelable = false;
+    bool timer = false;
+  };
+
+  /// Takes a free slot (growing by one chunk when the pool is empty) and
+  /// stores `fn` in it. Returns the slot index; read the slot's `gen` to
+  /// build a cancel handle.
+  template <typename F>
+  std::uint32_t acquire(F&& fn, bool cancelable, bool timer) {
+    if (free_head_ == kNone) grow();
+    const std::uint32_t idx = free_head_;
+    Slot& s = slot(idx);
+    free_head_ = s.next_free;
+    --free_count_;
+    s.fn.emplace(std::forward<F>(fn));
+    s.cancelable = cancelable;
+    s.timer = timer;
+    return idx;
+  }
+
+  /// Destroys the slot's callback and recycles the slot. Bumping the
+  /// generation invalidates every outstanding handle (and stale queue
+  /// reference) to the old occupant.
+  void release(std::uint32_t idx) {
+    Slot& s = slot(idx);
+    s.fn.reset();
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = idx;
+    ++free_count_;
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    SSOMP_DCHECK(idx < capacity());
+    return (*chunks_[idx >> kChunkShift])[idx & (kChunkSlots - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    SSOMP_DCHECK(idx < capacity());
+    return (*chunks_[idx >> kChunkShift])[idx & (kChunkSlots - 1)];
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return chunks_.size() * kChunkSlots;
+  }
+  [[nodiscard]] std::size_t free_slots() const { return free_count_; }
+  [[nodiscard]] std::size_t live_slots() const {
+    return capacity() - free_count_;
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 6;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  using Chunk = std::array<Slot, kChunkSlots>;
+
+  void grow() {
+    const auto base = static_cast<std::uint32_t>(capacity());
+    chunks_.push_back(std::make_unique<Chunk>());
+    // Thread the new chunk onto the free list low-index-first.
+    for (std::uint32_t i = kChunkSlots; i-- > 0;) {
+      Slot& s = (*chunks_.back())[i];
+      s.next_free = free_head_;
+      free_head_ = base + i;
+    }
+    free_count_ += kChunkSlots;
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::uint32_t free_head_ = kNone;
+  std::uint32_t free_count_ = 0;
+};
+
+}  // namespace ssomp::sim

@@ -59,7 +59,10 @@ ssomp_ctx_switch:
 Fiber::Fiber(std::string name, std::function<void()> body)
     : name_(std::move(name)),
       body_(std::move(body)),
-      stack_(std::make_unique<char[]>(kStackSize)) {
+      // for_overwrite: zero-filling the whole stack would touch (and fault
+      // in) every page of every fiber up front; the switch machinery only
+      // needs the initial frame written below.
+      stack_(std::make_unique_for_overwrite<char[]>(kStackSize)) {
   SSOMP_CHECK(body_ != nullptr);
   // Lay out the initial stack frame so the first switch "returns" into the
   // trampoline: six dummy callee-saved slots below the return address.
@@ -68,6 +71,7 @@ Fiber::Fiber(std::string name, std::function<void()> body)
   auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + kStackSize;
   top &= ~std::uintptr_t{15};
   auto* frame = reinterpret_cast<void**>(top - 64);
+  for (int i = 0; i < 6; ++i) frame[i] = nullptr;  // dummy callee-saved
   frame[6] = reinterpret_cast<void*>(&Fiber::trampoline);
   sp_ = frame;
 }
@@ -135,7 +139,7 @@ void Fiber::yield() {
 Fiber::Fiber(std::string name, std::function<void()> body)
     : name_(std::move(name)),
       body_(std::move(body)),
-      stack_(std::make_unique<char[]>(kStackSize)) {
+      stack_(std::make_unique_for_overwrite<char[]>(kStackSize)) {
   SSOMP_CHECK(body_ != nullptr);
 }
 

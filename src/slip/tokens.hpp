@@ -70,11 +70,11 @@ class TokenSemaphore {
               ? wdog_->arm(syscall_ ? WatchSite::kSyscallToken
                                     : WatchSite::kBarrierToken,
                            node_, cpu.id())
-              : nullptr;
+              : sim::Engine::CancelHandle{};
       waiter_ = &cpu;
       cpu.block(cat);
       waiter_ = nullptr;
-      if (guard != nullptr) *guard = true;  // disarm; dropped timelessly
+      guard.cancel();  // disarm; dropped timelessly
       const bool poisoned = poisoned_;
       if (inst_ != nullptr) {
         inst_->sem_wait_end(cpu.id(), node_, syscall_,

@@ -13,7 +13,7 @@ std::string WatchdogReport::describe() const {
 }
 
 sim::Engine::CancelHandle Watchdog::arm(WatchSite site, int node, int cpu) {
-  if (!enabled()) return nullptr;
+  if (!enabled()) return {};
   WatchdogReport rep;
   rep.site = site;
   rep.node = node;

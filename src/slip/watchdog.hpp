@@ -74,8 +74,9 @@ class Watchdog {
   [[nodiscard]] sim::Cycles timeout() const { return timeout_; }
 
   /// Starts guarding a wait that begins now. Returns the disarm handle
-  /// (set `*handle = true` when the wait completes), or null when the
-  /// watchdog is disabled.
+  /// (call `handle.cancel()` when the wait completes), or an empty handle
+  /// when the watchdog is disabled (cancelling an empty handle is a
+  /// no-op, so callers need no null check).
   sim::Engine::CancelHandle arm(WatchSite site, int node, int cpu);
 
   [[nodiscard]] std::uint64_t trips() const { return reports_.size(); }

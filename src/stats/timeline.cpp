@@ -39,15 +39,13 @@ void Timeline::tick() {
       tick();
     });
   } else {
-    pending_tick_ = nullptr;
+    pending_tick_ = {};
   }
 }
 
 void Timeline::finalize() {
-  if (pending_tick_ != nullptr) {
-    *pending_tick_ = true;
-    pending_tick_ = nullptr;
-  }
+  // Retract the pending tick (no-op if it already fired or was dropped).
+  pending_tick_.cancel();
   // Record the end state unless a tick already sampled this very cycle —
   // this is what gives sub-interval runs their (single) sample.
   if (data_.samples.empty() || data_.samples.back().when < engine_.now()) {

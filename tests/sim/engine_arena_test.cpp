@@ -1,0 +1,447 @@
+// Event-arena and allocation-discipline tests for the engine hot path:
+// slot recycling, generation-counter cancellation, semantic equivalence
+// of the pooled queue with the reference event semantics, and the
+// zero-allocation guarantee for steady-state scheduling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_arena.hpp"
+
+// ---------------------------------------------------------------------
+// Global operator-new hook. Counting is off by default, so the rest of
+// the test binary (gtest, other suites) is unaffected; the allocation
+// tests below switch it on around the region they assert over.
+namespace {
+std::atomic<std::uint64_t> g_new_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+void* counted_alloc(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_new_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ssomp::sim {
+namespace {
+
+struct AllocWindow {
+  AllocWindow() {
+    g_new_count.store(0);
+    g_count_allocs.store(true);
+  }
+  ~AllocWindow() { g_count_allocs.store(false); }
+  [[nodiscard]] std::uint64_t count() const { return g_new_count.load(); }
+};
+
+// ---------------------------------------------------------------------
+// InlineCallback
+
+TEST(InlineCallbackTest, SmallCallableStoredInline) {
+  std::uint64_t n = 0;
+  AllocWindow w;
+  InlineCallback cb;
+  cb.emplace([&n] { ++n; });
+  cb();
+  cb();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(w.count(), 0u);  // fits the inline buffer: no heap
+}
+
+TEST(InlineCallbackTest, OversizedCallableFallsBackToHeap) {
+  struct Big {
+    char pad[128] = {};
+    std::uint64_t* out = nullptr;
+  };
+  std::uint64_t n = 0;
+  Big big;
+  big.out = &n;
+  auto fn = [big] { ++*big.out; };
+  static_assert(!InlineCallback::stored_inline<decltype(fn)>());
+  InlineCallback cb;
+  cb.emplace(fn);
+  cb();
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  auto flag = std::make_shared<int>(7);
+  InlineCallback a;
+  a.emplace([flag] { ++*flag; });
+  EXPECT_EQ(flag.use_count(), 2);
+  InlineCallback b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  ASSERT_FALSE(b.empty());
+  b();
+  EXPECT_EQ(*flag, 8);
+  b.reset();
+  EXPECT_EQ(flag.use_count(), 1);  // destroyed exactly once
+}
+
+// ---------------------------------------------------------------------
+// EventArena
+
+TEST(EventArenaTest, PoolReusesSlotsAfterChurn) {
+  EventArena arena;
+  // Far more acquire/release cycles than slots: capacity must stay at
+  // one chunk because released slots are recycled through the free list.
+  for (int round = 0; round < 1000; ++round) {
+    const std::uint32_t idx = arena.acquire([] {}, false, false);
+    arena.release(idx);
+  }
+  EXPECT_EQ(arena.capacity(), 64u);
+  EXPECT_EQ(arena.live_slots(), 0u);
+
+  // Interleaved bursts: hold a working set, release in mixed order.
+  std::vector<std::uint32_t> held;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 48; ++i) {
+      held.push_back(arena.acquire([] {}, false, false));
+    }
+    for (std::size_t i = 0; i < held.size(); i += 2) {
+      arena.release(held[i]);
+    }
+    for (std::size_t i = 1; i < held.size(); i += 2) {
+      arena.release(held[i]);
+    }
+    held.clear();
+  }
+  EXPECT_EQ(arena.capacity(), 64u);
+  EXPECT_EQ(arena.live_slots(), 0u);
+}
+
+TEST(EventArenaTest, GenerationAdvancesOnRelease) {
+  EventArena arena;
+  const std::uint32_t idx = arena.acquire([] {}, false, false);
+  const std::uint32_t gen = arena.slot(idx).gen;
+  arena.release(idx);
+  const std::uint32_t again = arena.acquire([] {}, false, false);
+  ASSERT_EQ(again, idx);  // LIFO free list hands the same slot back
+  EXPECT_NE(arena.slot(idx).gen, gen);
+  arena.release(again);
+}
+
+TEST(EngineCancelTest, StaleHandleCannotCancelRecycledSlot) {
+  Engine e;
+  bool first = false;
+  bool second = false;
+  auto h1 = e.schedule_cancelable_at(10, [&first] { first = true; });
+  e.schedule_at(20, [] {});  // keeps the queue ordinary so aux events run
+  e.run(15);
+  EXPECT_TRUE(first);     // fired; its arena slot was recycled
+  EXPECT_FALSE(h1.armed());
+
+  // The recycled slot is reused by a new event; the stale handle must
+  // not be able to cancel it (generation mismatch).
+  auto h2 = e.schedule_cancelable_at(18, [&second] { second = true; });
+  h1.cancel();
+  EXPECT_TRUE(h2.armed());
+  e.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EngineCancelTest, CancelInsideOwnCallbackIsNoop) {
+  Engine e;
+  Engine::CancelHandle self;
+  int fired = 0;
+  self = e.schedule_cancelable_at(5, [&] {
+    ++fired;
+    EXPECT_FALSE(self.armed());  // already fired: handle reads disarmed
+    self.cancel();               // must be a harmless no-op
+  });
+  e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineCancelTest, DoubleCancelIsNoop) {
+  Engine e;
+  bool fired = false;
+  auto h = e.schedule_cancelable_at(10, [&fired] { fired = true; });
+  auto copy = h;
+  h.cancel();
+  copy.cancel();  // second cancel through a copied handle: no-op
+  e.schedule_at(20, [] {});
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 20u);
+}
+
+// ---------------------------------------------------------------------
+// Satellite regression: a cancelled timer sharing a timestamp with an
+// ordinary event must not perturb event accounting or time.
+
+TEST(EngineCancelTest, CancelledTimerAtSameCycleDoesNotPerturbAccounting) {
+  Engine e;
+  std::vector<int> order;
+  auto timer = e.schedule_timer_at(10, [&] { order.push_back(99); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  timer.cancel();
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(e.now(), 10u);
+  EXPECT_EQ(e.events_processed(), 1u);  // the dropped timer never counts
+}
+
+TEST(EngineCancelTest, TimerCancelledByCoTimedEventIsDropped) {
+  // The ordinary event at t=10 runs first (earlier seq: ties break by
+  // insertion order) and disarms the timer also pending at t=10 — the
+  // timer must be discarded mid-run.
+  Engine e;
+  std::vector<int> order;
+  Engine::CancelHandle timer;
+  e.schedule_at(10, [&] {
+    order.push_back(1);
+    timer.cancel();
+  });
+  timer = e.schedule_timer_at(10, [&] { order.push_back(99); });
+  e.schedule_at(11, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
+TEST(EngineCancelTest, TimerSurvivesOrdinaryDrainAuxDoesNot) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  (void)e.schedule_cancelable_at(50, [&] { order.push_back(98); });
+  (void)e.schedule_timer_at(100, [&] { order.push_back(2); });
+  e.run();
+  // Aux dropped at the drain, timer fired as the wedge-breaker.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Property test: the pooled engine is observation-equivalent to the
+// reference semantics (the previous std::function/shared_ptr design) on
+// randomized schedule/cancel/run sequences.
+
+/// Reference implementation of the engine's event semantics, kept
+/// deliberately naive: heap-allocated closures, shared_ptr cancellation
+/// flags, the exact drop rules the real engine documents.
+class RefEngine {
+ public:
+  using Handle = std::shared_ptr<bool>;
+
+  void schedule_at(Cycles when, std::function<void()> fn) {
+    push(when, std::move(fn), false, false, nullptr);
+    ++ordinary_;
+  }
+  Handle schedule_cancelable_at(Cycles when, std::function<void()> fn) {
+    auto h = std::make_shared<bool>(false);
+    push(when, std::move(fn), true, false, h);
+    return h;
+  }
+  Handle schedule_timer_at(Cycles when, std::function<void()> fn) {
+    auto h = std::make_shared<bool>(false);
+    push(when, std::move(fn), true, true, h);
+    return h;
+  }
+
+  Cycles run(Cycles until = ~Cycles{0}) {
+    while (!q_.empty()) {
+      const Ev& top = q_.top();
+      if (top.cancelled && *top.cancelled) {
+        q_.pop();
+        continue;
+      }
+      if (top.cancelable && !top.timer && ordinary_ == 0) {
+        q_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      Ev ev = top;
+      q_.pop();
+      now_ = ev.when;
+      ++events_;
+      if (!ev.cancelable) --ordinary_;
+      ev.fn();
+    }
+    return now_;
+  }
+
+  [[nodiscard]] Cycles now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Ev {
+    Cycles when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool cancelable;
+    bool timer;
+    Handle cancelled;
+  };
+  struct Order {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void push(Cycles when, std::function<void()> fn, bool cancelable,
+            bool timer, Handle h) {
+    q_.push(Ev{when, seq_++, std::move(fn), cancelable, timer, std::move(h)});
+  }
+
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t ordinary_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Order> q_;
+};
+
+TEST(EnginePropertyTest, RandomSequencesMatchReferenceSemantics) {
+  std::mt19937 rng(0xC0FFEEu);
+  for (int trial = 0; trial < 50; ++trial) {
+    Engine real;
+    RefEngine ref;
+    std::vector<int> real_log;
+    std::vector<int> ref_log;
+    std::vector<Engine::CancelHandle> real_handles;
+    std::vector<RefEngine::Handle> ref_handles;
+    int next_id = 0;
+
+    for (int op = 0; op < 200; ++op) {
+      const int kind = static_cast<int>(rng() % 6);
+      const Cycles delay = rng() % 37;
+      switch (kind) {
+        case 0:
+        case 1: {  // ordinary event
+          const int id = next_id++;
+          real.schedule_at(real.now() + delay,
+                           [&real_log, id] { real_log.push_back(id); });
+          ref.schedule_at(ref.now() + delay,
+                          [&ref_log, id] { ref_log.push_back(id); });
+          break;
+        }
+        case 2: {  // cancelable auxiliary event
+          const int id = next_id++;
+          real_handles.push_back(real.schedule_cancelable_at(
+              real.now() + delay,
+              [&real_log, id] { real_log.push_back(id); }));
+          ref_handles.push_back(ref.schedule_cancelable_at(
+              ref.now() + delay, [&ref_log, id] { ref_log.push_back(id); }));
+          break;
+        }
+        case 3: {  // timer event
+          const int id = next_id++;
+          real_handles.push_back(real.schedule_timer_at(
+              real.now() + delay,
+              [&real_log, id] { real_log.push_back(id); }));
+          ref_handles.push_back(ref.schedule_timer_at(
+              ref.now() + delay, [&ref_log, id] { ref_log.push_back(id); }));
+          break;
+        }
+        case 4: {  // cancel a random outstanding handle
+          if (!real_handles.empty()) {
+            const std::size_t pick = rng() % real_handles.size();
+            real_handles[pick].cancel();
+            *ref_handles[pick] = true;
+          }
+          break;
+        }
+        case 5: {  // bounded run
+          const Cycles until = real.now() + delay;
+          EXPECT_EQ(real.run(until), ref.run(until));
+          break;
+        }
+      }
+      ASSERT_EQ(real.now(), ref.now()) << "trial " << trial << " op " << op;
+    }
+    EXPECT_EQ(real.run(), ref.run()) << "trial " << trial;
+    EXPECT_EQ(real_log, ref_log) << "trial " << trial;
+    EXPECT_EQ(real.events_processed(), ref.events_processed())
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Allocation discipline: steady-state scheduling is heap-free.
+
+TEST(EngineAllocTest, SteadyStateSchedulingIsAllocationFree) {
+  Engine e;
+  std::uint64_t n = 0;
+  // Warm-up: grow the queue vector and the arena chunk past the working
+  // set this test uses.
+  for (int i = 0; i < 48; ++i) {
+    e.schedule_after(static_cast<Cycles>(i), [&n] { ++n; });
+  }
+  e.run();
+
+  {
+    AllocWindow w;
+    for (int round = 0; round < 1000; ++round) {
+      for (int i = 0; i < 48; ++i) {
+        e.schedule_after(static_cast<Cycles>(i % 7), [&n] { ++n; });
+      }
+      e.run();
+    }
+    EXPECT_EQ(w.count(), 0u) << "heap allocation on the event hot path";
+  }
+  EXPECT_EQ(n, 48u + 48u * 1000u);
+}
+
+TEST(EngineAllocTest, WakeResumeIsAllocationFree) {
+  Engine e;
+  SimCpu& cpu = e.add_cpu("w");
+  std::uint64_t wakes = 0;
+  cpu.start([&] {
+    while (true) {
+      cpu.block(TimeCategory::kTokenWait);
+      ++wakes;
+    }
+  });
+  e.run();  // create the fiber, reach the first block()
+
+  {
+    AllocWindow w;
+    for (int round = 0; round < 1000; ++round) {
+      cpu.wake(1);
+      e.run();
+    }
+    EXPECT_EQ(w.count(), 0u) << "heap allocation on the wake/resume path";
+  }
+  EXPECT_EQ(wakes, 1000u);
+}
+
+TEST(EngineAllocTest, CancelableChurnIsAllocationFree) {
+  Engine e;
+  // Warm-up acquires the first arena chunk.
+  auto h0 = e.schedule_cancelable_after(10, [] {});
+  h0.cancel();
+  e.run();  // drop the stale queue entry
+  {
+    AllocWindow w;
+    for (int round = 0; round < 1000; ++round) {
+      auto h = e.schedule_cancelable_after(1000, [] {});
+      h.cancel();
+      e.run();  // pop the stale entry so the queue never grows
+    }
+    EXPECT_EQ(w.count(), 0u) << "heap allocation in cancelable churn";
+  }
+  EXPECT_EQ(e.event_pool_capacity(), 64u);
+}
+
+}  // namespace
+}  // namespace ssomp::sim

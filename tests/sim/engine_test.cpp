@@ -244,7 +244,7 @@ TEST(EngineTimerTest, CancelledTimerIsDroppedWithoutAdvancingTime) {
   auto handle = e.schedule_timer_at(100, [&] { fired = true; });
   cpu.start([&] {
     cpu.consume(10, TimeCategory::kBusy);
-    *handle = true;  // disarm: the wait this timer guarded completed
+    handle.cancel();  // disarm: the wait this timer guarded completed
   });
   e.run();
   EXPECT_FALSE(fired);

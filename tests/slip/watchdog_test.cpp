@@ -13,11 +13,11 @@ using sim::TimeCategory;
 TEST(WatchdogTest, DisabledWatchdogArmsNothing) {
   Watchdog w;
   EXPECT_FALSE(w.enabled());
-  EXPECT_EQ(w.arm(WatchSite::kBarrierToken, 0, 0), nullptr);
+  EXPECT_FALSE(w.arm(WatchSite::kBarrierToken, 0, 0).armed());
   sim::Engine e;
   w.configure(e, 0, [](const WatchdogReport&) {});
   EXPECT_FALSE(w.enabled());  // zero timeout still disabled
-  EXPECT_EQ(w.arm(WatchSite::kBarrierToken, 0, 0), nullptr);
+  EXPECT_FALSE(w.arm(WatchSite::kBarrierToken, 0, 0).armed());
 }
 
 TEST(WatchdogTest, TripRecordsReportAndInvokesRescue) {
@@ -34,9 +34,9 @@ TEST(WatchdogTest, TripRecordsReportAndInvokesRescue) {
   cpu.start([&] {
     cpu.consume(10, TimeCategory::kBusy);
     auto guard = w.arm(WatchSite::kSyscallToken, 3, cpu.id());
-    ASSERT_NE(guard, nullptr);
+    ASSERT_TRUE(guard.armed());
     cpu.block(TimeCategory::kTokenWait);  // nobody will ever wake this
-    *guard = true;
+    guard.cancel();  // too late: the timer already fired
   });
   e.run();
   ASSERT_EQ(w.trips(), 1u);
@@ -55,7 +55,7 @@ TEST(WatchdogTest, DisarmedGuardNeverTripsNorAdvancesTime) {
   cpu.start([&] {
     auto guard = w.arm(WatchSite::kTeamBarrier, 0, cpu.id());
     cpu.consume(10, TimeCategory::kBusy);  // "wait" completes quickly
-    *guard = true;
+    guard.cancel();
   });
   e.run();
   EXPECT_EQ(w.trips(), 0u);
