@@ -72,6 +72,18 @@ class DegradationController {
   [[nodiscard]] std::uint64_t demotions() const { return demotions_; }
   [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
 
+  // --- state exposure for the model checker ---
+  //
+  // The controller is embedded by value in model-checker states, so the
+  // per-node counters that drive future transitions must be
+  // hashable/comparable.
+  [[nodiscard]] int strikes(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].strikes;
+  }
+  [[nodiscard]] int demoted_clock(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].demoted_clock;
+  }
+
  private:
   struct Node {
     State state = State::kHealthy;

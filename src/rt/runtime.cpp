@@ -908,9 +908,11 @@ void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
         // clamp dropped stale entries (a deeply diverged A-stream), or
         // after a restart whose replay skipped paired syscall consumes
         // (reduce/io sync tokens the R-stream inserted regardless).
-        // Abandon the loop; the next barrier resynchronizes.
-        SSOMP_CHECK(pair.mailbox_dropped() > 0 ||
-                    pair.restarts_this_region() > 0);
+        // Only a drop from THIS region (or this region's restart) is a
+        // legitimate cause; the cumulative drop count would let one
+        // region-1 drop excuse broken pairing forever after. Abandon the
+        // loop; the next barrier resynchronizes.
+        SSOMP_CHECK(pair.unpaired_syscall_token_explained());
         break;
       }
       const slip::SlipPair::Mailbox mb = pair.mailbox_pop();

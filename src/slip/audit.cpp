@@ -36,6 +36,11 @@ void InvariantAuditor::on_region_reset(int node, const SlipPair& p,
   b.restart_skipped = p.restart_skipped_barriers();
   b.initial_tokens = p.initial_tokens();
   b.ledger = inj.ledger(node);
+  // A request that was still outstanding when its region was torn down
+  // lapsed: the join made it moot. Account it explicitly (the old code
+  // cleared the flag silently, hiding the only audit-visible evidence
+  // that a request was never acknowledged).
+  if (recovery_outstanding_[static_cast<std::size_t>(node)]) ++lapsed_;
   recovery_outstanding_[static_cast<std::size_t>(node)] = false;
   // The reset itself must leave the pair quiescent.
   expect(p.mailbox_size() == 0, node, "region-reset",

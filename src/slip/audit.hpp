@@ -76,6 +76,14 @@ class InvariantAuditor {
   }
   [[nodiscard]] std::uint64_t checks_performed() const { return checks_; }
 
+  /// Recovery requests still outstanding when their region was reset.
+  /// A request can legitimately land after the A-stream's last protocol
+  /// operation of the region (the divergence still happened; the region
+  /// join makes it moot), but it must be accounted, not silently
+  /// discarded — a rising lapse count in a run that should recover
+  /// promptly is a protocol smell the model checker and reports key off.
+  [[nodiscard]] std::uint64_t lapsed_recoveries() const { return lapsed_; }
+
   /// One-line summary ("audit: 120 checks, 0 violations" or the first
   /// violation text).
   [[nodiscard]] std::string summary() const;
@@ -108,6 +116,7 @@ class InvariantAuditor {
   std::vector<bool> recovery_outstanding_;
   std::vector<std::string> violations_;
   std::uint64_t checks_ = 0;
+  std::uint64_t lapsed_ = 0;
 };
 
 }  // namespace ssomp::slip

@@ -134,6 +134,17 @@ class FaultInjector {
     return ledgers_.at(static_cast<std::size_t>(node));
   }
 
+  // --- state exposure for the model checker ---
+  //
+  // The injector is embedded by value in model-checker states, so its
+  // evolving internals must be hashable/comparable. The RNG is excluded
+  // on purpose: it is only drawn from when the one-shot corruption fires,
+  // so its state is a function of `fired()` and the (constant) plan.
+  [[nodiscard]] std::uint64_t site_visits(int node) const {
+    return site_visits_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] bool token_loss_active() const { return token_loss_active_; }
+
  private:
   /// Counts one eligible visit of `kind`'s site on `node`; true when the
   /// planned fault fires here (right kind, right node, Nth visit, not

@@ -1,0 +1,167 @@
+#include "slip/model/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace ssomp::slip::model {
+namespace {
+
+/// 128-bit key from two independent FNV-1a passes over the canonical
+/// encoding (different offset bases and a byte salt on the second pass).
+/// Collisions would silently prune distinct states, so the combined
+/// width is kept far above what a few hundred thousand states need.
+struct Key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+Key hash_state(const ModelState& s, const ModelConfig& cfg) {
+  std::string bytes;
+  bytes.reserve(512);
+  s.encode(bytes, cfg);
+  Key k{14695981039346656037ull, 0xcbf29ce484222325ull};
+  for (unsigned char c : bytes) {
+    k.lo = (k.lo ^ c) * 1099511628211ull;
+    k.hi = (k.hi ^ (c + 0x42u)) * 0x100000001b3ull;
+  }
+  return k;
+}
+
+struct Visit {
+  Key parent{};
+  Action action{};
+  std::uint32_t depth = 0;
+  bool has_parent = false;
+};
+
+void tally(const ModelState& s, CheckStats& st) {
+  st.faults_fired = std::max(st.faults_fired, s.injector.fired());
+  std::uint64_t rec = 0;
+  std::uint64_t rst = 0;
+  for (const NodeState& n : s.nodes) {
+    rec += n.pair.recoveries;
+    rst += n.pair.restarts_total;
+  }
+  st.recoveries = std::max(st.recoveries, rec);
+  st.restarts = std::max(st.restarts, rst);
+  st.demotions = std::max(st.demotions, s.degrade.demotions());
+  if (s.finished) ++st.terminal_states;
+}
+
+std::vector<Action> rebuild_schedule(
+    const std::unordered_map<Key, Visit, KeyHash>& visited, const Key& leaf,
+    const Action& last) {
+  std::vector<Action> sched{last};
+  Key at = leaf;
+  for (;;) {
+    const Visit& v = visited.at(at);
+    if (!v.has_parent) break;
+    sched.push_back(v.action);
+    at = v.parent;
+  }
+  std::reverse(sched.begin(), sched.end());
+  return sched;
+}
+
+}  // namespace
+
+CheckResult run_checker(const Model& model, const CheckerOptions& opts) {
+  CheckResult res;
+  const ModelConfig& cfg = model.config();
+
+  ModelState init = model.initial();
+  {
+    StepResult first = model.check(init);
+    if (!first.ok) {
+      res.ok = false;
+      res.violation = first.violation;
+      res.stats.states_visited = 1;
+      return res;
+    }
+  }
+
+  std::unordered_map<Key, Visit, KeyHash> visited;
+  std::deque<std::pair<Key, ModelState>> frontier;
+  const Key k0 = hash_state(init, cfg);
+  visited.emplace(k0, Visit{});
+  tally(init, res.stats);
+  frontier.emplace_back(k0, std::move(init));
+
+  while (!frontier.empty()) {
+    auto [key, state] = std::move(frontier.front());
+    frontier.pop_front();
+    const std::uint32_t depth = visited.at(key).depth;
+    res.stats.max_depth_seen = std::max(res.stats.max_depth_seen, depth);
+    if (depth >= opts.max_depth) {
+      res.truncated = true;
+      continue;
+    }
+    for (const Action& a : model.enabled(state)) {
+      ModelState next = state;  // copy, then step in place
+      if (a.kind == ActionKind::kBackstop) ++res.stats.backstop_runs;
+      StepResult r = model.step(next, a);
+      ++res.stats.transitions;
+      if (!r.ok) {
+        res.ok = false;
+        res.violation = r.violation;
+        res.schedule = rebuild_schedule(visited, key, a);
+        res.stats.states_visited = visited.size();
+        return res;
+      }
+      const Key nk = hash_state(next, cfg);
+      auto [it, fresh] = visited.emplace(
+          nk, Visit{key, a, depth + 1, /*has_parent=*/true});
+      if (!fresh) continue;
+      tally(next, res.stats);
+      if (visited.size() >= opts.max_states) {
+        res.truncated = true;
+        res.stats.states_visited = visited.size();
+        return res;
+      }
+      if (!next.finished) frontier.emplace_back(nk, std::move(next));
+    }
+  }
+  res.stats.states_visited = visited.size();
+  return res;
+}
+
+CheckResult random_walk(const Model& model, std::uint64_t seed,
+                        std::uint32_t max_steps) {
+  CheckResult res;
+  ModelState s = model.initial();
+  std::uint64_t x = seed ^ 0x9e3779b97f4a7c15ull;
+  const auto next_u64 = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (std::uint32_t step = 0; step < max_steps && !s.finished; ++step) {
+    const std::vector<Action> acts = model.enabled(s);
+    if (acts.empty()) break;
+    const Action a = acts[next_u64() % acts.size()];
+    if (a.kind == ActionKind::kBackstop) ++res.stats.backstop_runs;
+    StepResult r = model.step(s, a);
+    res.schedule.push_back(a);
+    ++res.stats.transitions;
+    if (!r.ok) {
+      res.ok = false;
+      res.violation = r.violation;
+      return res;
+    }
+  }
+  res.truncated = !s.finished;
+  tally(s, res.stats);
+  res.stats.states_visited = res.stats.transitions + 1;
+  return res;
+}
+
+}  // namespace ssomp::slip::model

@@ -1,0 +1,63 @@
+// Bounded explicit-state enumeration of the protocol model.
+//
+// Breadth-first search over Model states: every enabled action of every
+// frontier state is applied, successors are deduplicated by a 128-bit
+// hash of the canonical state encoding, and every transition runs the
+// full invariant battery. BFS means the first violation found is at
+// minimal scheduling depth — the counterexample schedule is already
+// minimized, no separate shrinking pass needed.
+//
+// Bounds: `max_states` caps the visited set (the search reports
+// truncated=true when it gives up) and `max_depth` caps schedule length
+// (a backstop against modelling bugs that open an infinite region; real
+// configs terminate long before it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slip/model/model.hpp"
+
+namespace ssomp::slip::model {
+
+struct CheckerOptions {
+  std::uint64_t max_states = 2000000;
+  std::uint32_t max_depth = 4096;
+};
+
+/// Aggregate facts about the explored space, for coverage assertions in
+/// tests ("this config really did exercise a restart / a demotion").
+struct CheckStats {
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminal_states = 0;   // finished == true
+  std::uint32_t max_depth_seen = 0;
+  std::uint64_t faults_fired = 0;      // max injector.fired() over the space
+  std::uint64_t recoveries = 0;        // max total pair recoveries seen
+  std::uint64_t restarts = 0;          // max total restarts seen
+  std::uint64_t demotions = 0;         // max degrade demotions seen
+  std::uint64_t backstop_runs = 0;     // times the wedge backstop fired
+};
+
+struct CheckResult {
+  bool ok = true;             // no violation found in the explored space
+  bool truncated = false;     // state budget or depth bound hit
+  std::string violation;      // first (minimal-depth) violation text
+  std::vector<Action> schedule;  // actions from initial() to the violation
+  CheckStats stats;
+};
+
+/// Exhaustively explores `model` within `opts` bounds.
+[[nodiscard]] CheckResult run_checker(const Model& model,
+                                      const CheckerOptions& opts = {});
+
+/// Follows one pseudo-random path from initial() to termination (or the
+/// step bound) and returns the schedule taken; used by the live-replay
+/// property test. The walk never picks disabled actions, so the schedule
+/// is always replayable. A violation found on the walk is reported the
+/// same way run_checker reports one.
+[[nodiscard]] CheckResult random_walk(const Model& model, std::uint64_t seed,
+                                      std::uint32_t max_steps = 4096);
+
+}  // namespace ssomp::slip::model

@@ -1,0 +1,114 @@
+#include "slip/model/grid.hpp"
+
+namespace ssomp::slip::model {
+namespace {
+
+bool fault_wants_chunks(FaultKind k) {
+  // Faults that live on the syscall-semaphore / mailbox path are only
+  // reachable when the region actually forwards decisions.
+  return k == FaultKind::kCorruptForward || k == FaultKind::kRecoverInSyscall;
+}
+
+bool fault_wants_watchdog(FaultKind k) {
+  // The watchdog is what turns these faults into recoverable events; the
+  // fault-free baseline keeps it on too so the rescue machinery is
+  // enumerated against healthy runs.
+  return k == FaultKind::kNone || k == FaultKind::kAStreamHang ||
+         k == FaultKind::kRStreamTokenLoss;
+}
+
+ModelConfig base_config() {
+  ModelConfig c;
+  c.ncmp = 2;
+  c.sync = SyncType::kLocal;
+  c.regions = 2;
+  c.barriers = 2;
+  c.chunks = 0;
+  c.mailbox_depth = 2;
+  c.divergence_threshold = 1;
+  c.restart_budget = 2;
+  // Tight degradation knobs: with 2-3 regions, demote_after=1 and
+  // probation=1 let a single faulty region drive demote -> probation ->
+  // re-promote (or a second strike) inside the enumerated horizon.
+  c.demote_after = 1;
+  c.probation = 1;
+  return c;
+}
+
+}  // namespace
+
+std::vector<ModelConfig> default_grid() {
+  std::vector<ModelConfig> grid;
+
+  const FaultKind kinds[] = {
+      FaultKind::kNone,
+      FaultKind::kSkipBarrier,
+      FaultKind::kDuplicateBarrier,
+      FaultKind::kStarveToken,
+      FaultKind::kExtraToken,
+      FaultKind::kRecoverInConsume,
+      FaultKind::kRecoverInSyscall,
+      FaultKind::kCorruptForward,
+      FaultKind::kAStreamHang,
+      FaultKind::kRStreamTokenLoss,
+  };
+
+  for (int tokens : {1, 2}) {
+    for (Policy policy : {Policy::kBench, Policy::kRestart}) {
+      for (bool degrade : {false, true}) {
+        for (FaultKind kind : kinds) {
+          ModelConfig c = base_config();
+          c.tokens = tokens;
+          c.policy = policy;
+          c.degrade_enabled = degrade;
+          c.watchdog = fault_wants_watchdog(kind);
+          // watchdog x restart multiplies rescue x replay interleavings;
+          // a single-restart budget keeps those configs exhaustively
+          // enumerable (~1.8M states) while still covering the restart
+          // path and the budget-exhausted bench fallback.
+          if (c.watchdog && policy == Policy::kRestart) c.restart_budget = 1;
+          if (fault_wants_chunks(kind)) {
+            // The fault lives on the syscall/mailbox path; one barrier
+            // episode keeps the product space exhaustive within budget.
+            c.chunks = 1;
+            c.barriers = 1;
+          }
+          if (kind != FaultKind::kNone) {
+            c.fault.kind = kind;
+            c.fault.node = 0;
+            c.fault.visit = 1;
+          }
+          if (degrade) c.regions = 3;  // room for demote + probation verdict
+          grid.push_back(c);
+        }
+      }
+    }
+  }
+
+  // Global-sync slice: exit-side token inserts ride the team barrier, so
+  // the insert/arrive orderings differ from the LOCAL_SYNC default.
+  for (Policy policy : {Policy::kBench, Policy::kRestart}) {
+    for (FaultKind kind :
+         {FaultKind::kNone, FaultKind::kSkipBarrier, FaultKind::kStarveToken}) {
+      ModelConfig c = base_config();
+      c.sync = SyncType::kGlobal;
+      c.tokens = 1;
+      c.policy = policy;
+      // watchdog x restart explodes the space under GLOBAL_SYNC (team
+      // rescue x replay interleavings); that pairing is covered in the
+      // LOCAL_SYNC block, so the global slice arms the watchdog only
+      // for the bench policy.
+      c.watchdog = fault_wants_watchdog(kind) && policy == Policy::kBench;
+      if (kind != FaultKind::kNone) {
+        c.fault.kind = kind;
+        c.fault.node = 0;
+        c.fault.visit = 1;
+      }
+      grid.push_back(c);
+    }
+  }
+
+  return grid;
+}
+
+}  // namespace ssomp::slip::model

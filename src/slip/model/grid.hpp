@@ -1,0 +1,19 @@
+// The canonical verification grid.
+//
+// Small enough to enumerate exhaustively in CI, wide enough to cover the
+// protocol's hard axes: both token allowances, every fault kind from
+// faultinject.hpp (plus the fault-free baseline), bench and restart
+// recovery, degradation off and on (with demote/probation tightened so
+// the 3-region run actually drives the state machine through demotion
+// and probation), and a global-sync slice for the exit-insert path.
+#pragma once
+
+#include <vector>
+
+#include "slip/model/model.hpp"
+
+namespace ssomp::slip::model {
+
+[[nodiscard]] std::vector<ModelConfig> default_grid();
+
+}  // namespace ssomp::slip::model

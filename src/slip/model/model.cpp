@@ -1,0 +1,833 @@
+#include "slip/model/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssomp::slip::model {
+namespace {
+
+constexpr std::uint64_t kMaxBackoffShift = 16;  // mirrors rt/runtime.cpp
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (i * 8)));
+}
+void put_i32(std::string& out, int v) {
+  put_u64(out, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_bool(std::string& out, bool v) { put_u8(out, v ? 1 : 0); }
+
+void encode_token(std::string& out, const proto::TokenState& t) {
+  put_i32(out, t.count);
+  put_bool(out, t.poisoned);
+  put_bool(out, t.waiter);
+  put_u64(out, t.inserted);
+  put_u64(out, t.consumed);
+  put_u64(out, t.drained);
+}
+
+void encode_pair(std::string& out, const proto::PairState& p) {
+  put_i32(out, p.initial_tokens);
+  put_u64(out, p.r_barriers);
+  put_u64(out, p.a_barriers);
+  put_u64(out, p.recoveries);
+  put_bool(out, p.recovery_requested);
+  put_bool(out, p.a_recovered_this_region);
+  put_bool(out, p.a_benched);
+  put_u64(out, p.restarts_this_region);
+  put_u64(out, p.restarts_total);
+  put_u64(out, p.restart_skipped_barriers);
+  put_u64(out, p.benched_barriers);
+  put_u64(out, p.mb_size);
+  put_u64(out, p.mb_pushed);
+  put_u64(out, p.mb_popped);
+  put_u64(out, p.mb_dropped);
+  put_u64(out, p.mb_cleared);
+  put_u64(out, p.mb_dropped_at_region_start);
+}
+
+void encode_ledger(std::string& out, const FaultInjector::NodeLedger& l) {
+  put_u64(out, l.skipped_consumes);
+  put_u64(out, l.extra_consumes);
+  put_u64(out, l.suppressed_inserts);
+  put_u64(out, l.extra_inserts);
+  put_u64(out, l.forced_recoveries);
+  put_u64(out, l.corrupted_forwards);
+}
+
+}  // namespace
+
+std::string ModelConfig::describe() const {
+  std::ostringstream s;
+  s << "ncmp=" << ncmp << " tokens=" << tokens << " sync="
+    << slip::to_string(sync) << " regions=" << regions
+    << " barriers=" << barriers << " chunks=" << chunks
+    << " policy=" << model::to_string(policy)
+    << " budget=" << restart_budget
+    << " wdog=" << (watchdog ? 1 : 0)
+    << " degrade=" << (degrade_enabled ? 1 : 0);
+  if (degrade_enabled) {
+    s << "(demote=" << demote_after << ",probation=" << probation << ")";
+  }
+  s << " fault=" << slip::to_string(fault.kind);
+  if (fault.active()) {
+    s << "," << fault.node << "," << fault.visit;
+  }
+  return s.str();
+}
+
+std::string to_string(const Action& a) {
+  std::ostringstream s;
+  switch (a.kind) {
+    case ActionKind::kRStep: s << "r " << a.node; break;
+    case ActionKind::kAStep: s << "a " << a.node; break;
+    case ActionKind::kWdogToken: s << "wdog-token " << a.node; break;
+    case ActionKind::kWdogTeam: s << "wdog-team " << a.node; break;
+    case ActionKind::kWdogHang: s << "wdog-hang " << a.node; break;
+    case ActionKind::kBackstop: s << "backstop"; break;
+    case ActionKind::kRegionEnd: s << "region-end"; break;
+  }
+  return s.str();
+}
+
+void ModelState::encode(std::string& out, const ModelConfig& cfg) const {
+  put_u8(out, region);
+  put_u8(out, team_arrived);
+  put_bool(out, finished);
+  for (const NodeState& n : nodes) {
+    encode_pair(out, n.pair);
+    encode_token(out, n.barrier);
+    encode_token(out, n.syscall);
+    put_u64(out, n.mb_last.size());
+    for (std::uint8_t b : n.mb_last) put_u8(out, b);
+    put_u8(out, static_cast<std::uint8_t>(n.r.phase));
+    put_u8(out, n.r.bar);
+    put_u8(out, n.r.chunk);
+    put_bool(out, n.r.slip);
+    put_bool(out, n.r.wdog_fired);
+    put_u8(out, n.r.owed);
+    put_u8(out, n.r.pending_ins);
+    put_u8(out, static_cast<std::uint8_t>(n.a.phase));
+    put_u8(out, n.a.bar);
+    put_bool(out, n.a.exists);
+    put_bool(out, n.a.parked);
+    put_bool(out, n.a.wake_pending);
+    put_bool(out, n.a.hung);
+    put_bool(out, n.a.hung_wake);
+    put_bool(out, n.a.dup_pending);
+    put_u64(out, n.a.replay);
+    put_bool(out, n.a.wdog_fired);
+    put_bool(out, n.a.hang_wdog_fired);
+    put_bool(out, n.ghost.poison_due_barrier);
+    put_bool(out, n.ghost.poison_due_syscall);
+    encode_pair(out, n.base_pair);
+    encode_token(out, n.base_barrier);
+    encode_token(out, n.base_syscall);
+    encode_ledger(out, n.base_ledger);
+    put_u64(out, n.recoveries_at_region_start);
+    put_bool(out, n.recovery_outstanding);
+  }
+  for (int node = 0; node < cfg.ncmp; ++node) {
+    encode_ledger(out, injector.ledger(node));
+    put_u64(out, injector.site_visits(node));
+    put_u8(out, static_cast<std::uint8_t>(degrade.state(node)));
+    put_i32(out, degrade.strikes(node));
+    put_i32(out, degrade.demoted_clock(node));
+  }
+  put_u64(out, injector.fired());
+  put_bool(out, injector.token_loss_active());
+  put_u64(out, degrade.demotions());
+  put_u64(out, degrade.promotions());
+}
+
+Model::Model(const ModelConfig& cfg) : cfg_(cfg) {}
+
+ModelState Model::initial() const {
+  ModelState s;
+  s.nodes.resize(static_cast<std::size_t>(cfg_.ncmp));
+  s.injector = FaultInjector(cfg_.fault, cfg_.ncmp);
+  s.degrade = rt::DegradationController(cfg_.degrade_enabled, cfg_.demote_after,
+                                        cfg_.probation, cfg_.ncmp);
+  s.team_expected = static_cast<std::uint8_t>(cfg_.ncmp);
+  dispatch_region(s);
+  return s;
+}
+
+void Model::reset_node(ModelState& s, int node) const {
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  // Mirrors InvariantAuditor::on_region_reset: an un-acked request lapses
+  // here (accounted by the live auditor; the model just clears the ghost).
+  n.recovery_outstanding = false;
+  proto::enforce(proto::pair_reset_for_region(n.pair, n.barrier, n.syscall,
+                                              cfg_.tokens));
+  n.mb_last.clear();
+  n.ghost = Ghost{};
+  n.base_pair = n.pair;
+  n.base_barrier = n.barrier;
+  n.base_syscall = n.syscall;
+  n.base_ledger = s.injector.ledger(node);
+  n.recoveries_at_region_start = n.pair.recoveries;
+}
+
+void Model::dispatch_region(ModelState& s) const {
+  for (int node = 0; node < cfg_.ncmp; ++node) {
+    reset_node(s, node);
+    NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    n.r = RActor{};
+    n.a = AActor{};
+    n.r.slip = s.degrade.slipstream_allowed(node);
+    if (n.r.slip) {
+      n.r.phase = cfg_.chunks > 0 ? RPhase::kFwdPush : RPhase::kBarNote;
+      n.a.exists = true;
+      n.a.phase = cfg_.chunks > 0 ? APhase::kChunkCheck : APhase::kBarCheck;
+    } else {
+      n.r.phase = RPhase::kBarArrive;  // plain member: team barriers only
+      n.a.exists = false;
+      n.a.phase = APhase::kDone;
+    }
+  }
+  s.team_arrived = 0;
+}
+
+bool Model::any_wake_pending(const ModelState& s) const {
+  for (const NodeState& n : s.nodes) {
+    if (n.a.wake_pending || n.a.hung_wake) return true;
+  }
+  return false;
+}
+
+std::vector<Action> Model::enabled(const ModelState& s) const {
+  std::vector<Action> out;
+  if (s.finished) return out;
+  const bool window = any_wake_pending(s);
+  bool all_done = true;
+  for (int node = 0; node < cfg_.ncmp; ++node) {
+    const NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    // R-stream. In the wake window only host-only segments may run (the
+    // engine's tie-breaking delivers a pending resume before any charging
+    // segment issued afterwards completes; see the header comment).
+    const bool r_runnable = n.r.phase != RPhase::kDone &&
+                            n.r.phase != RPhase::kWaitTeam;
+    const bool r_host_only =
+        n.r.phase == RPhase::kFwdPush || n.r.phase == RPhase::kBarNote;
+    if (r_runnable && (!window || r_host_only)) {
+      out.push_back({ActionKind::kRStep, node});
+    }
+    if (n.r.phase != RPhase::kDone) all_done = false;
+    // A-stream.
+    if (n.a.wake_pending || n.a.hung_wake) {
+      out.push_back({ActionKind::kAStep, node});
+    } else if (!window && n.a.exists && n.a.phase != APhase::kDone &&
+               !n.a.parked && !n.a.hung) {
+      out.push_back({ActionKind::kAStep, node});
+    }
+    if (n.a.exists && n.a.phase != APhase::kDone) all_done = false;
+    // Watchdog timers fire from engine-event (host) context, so they are
+    // enabled even inside a wake window — a timer can trip while its
+    // waiter's resume is still in flight.
+    if (cfg_.watchdog) {
+      if (n.a.exists && (n.a.parked || n.a.wake_pending) && !n.a.wdog_fired) {
+        out.push_back({ActionKind::kWdogToken, node});
+      }
+      if (n.r.phase == RPhase::kWaitTeam && !n.r.wdog_fired) {
+        out.push_back({ActionKind::kWdogTeam, node});
+      }
+      if (n.a.hung && !n.a.hung_wake && !n.a.hang_wdog_fired) {
+        out.push_back({ActionKind::kWdogHang, node});
+      }
+    }
+  }
+  if (all_done) {
+    out.push_back({ActionKind::kRegionEnd, 0});
+    return out;
+  }
+  if (out.empty()) {
+    // Engine drained with unfinished members: the run-loop backstop sweep.
+    out.push_back({ActionKind::kBackstop, 0});
+  }
+  return out;
+}
+
+void Model::request_recovery(ModelState& s, int node, StepResult& r) const {
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  // Runtime::request_pair_recovery: the auditor hook runs only for a new
+  // request; the poisons always run (PR-3 semantics: a later request must
+  // still kick a wait entered after the first poison).
+  if (proto::pair_request_recovery(n.pair)) {
+    if (n.recovery_outstanding && r.ok) {
+      r.ok = false;
+      r.violation = "second recovery raised before acknowledgement";
+    }
+    n.recovery_outstanding = true;
+  }
+  const bool bar_parked = n.a.parked && (n.a.phase == APhase::kBarConsume ||
+                                         n.a.phase == APhase::kBarConsumeDup);
+  const bool sys_parked = n.a.parked && n.a.phase == APhase::kChunkConsume;
+  if (n.barrier.waiter) n.ghost.poison_due_barrier = true;
+  if (proto::token_poison(n.barrier, bar_parked)) {
+    n.a.parked = false;
+    n.a.wake_pending = true;
+  }
+  if (n.syscall.waiter) n.ghost.poison_due_syscall = true;
+  if (proto::token_poison(n.syscall, sys_parked)) {
+    n.a.parked = false;
+    n.a.wake_pending = true;
+  }
+}
+
+void Model::insert_token(ModelState& s, int node, bool syscall) const {
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  proto::TokenState& st = syscall ? n.syscall : n.barrier;
+  const bool parked_here =
+      n.a.parked &&
+      (syscall ? n.a.phase == APhase::kChunkConsume
+               : (n.a.phase == APhase::kBarConsume ||
+                  n.a.phase == APhase::kBarConsumeDup));
+  if (proto::token_insert(st, parked_here)) {
+    n.a.parked = false;
+    n.a.wake_pending = true;
+  }
+}
+
+void Model::arrive_team(ModelState& s, int node) const {
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  n.r.phase = RPhase::kWaitTeam;
+  n.r.wdog_fired = false;
+  ++s.team_arrived;
+  if (s.team_arrived == s.team_expected) release_team(s);
+}
+
+void Model::release_team(ModelState& s) const {
+  s.team_arrived = 0;
+  for (int node = 0; node < cfg_.ncmp; ++node) {
+    NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    if (n.r.phase != RPhase::kWaitTeam) continue;
+    n.r.wdog_fired = false;
+    if (n.r.slip && cfg_.sync == SyncType::kGlobal) {
+      n.r.phase = RPhase::kBarInsertPost;  // token on barrier *exit*
+      continue;
+    }
+    ++n.r.bar;
+    n.r.phase = n.r.bar < cfg_.barriers
+                    ? (n.r.slip ? RPhase::kBarNote : RPhase::kBarArrive)
+                    : RPhase::kDone;
+  }
+}
+
+StepResult Model::step_r(ModelState& s, int node) const {
+  StepResult r;
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  switch (n.r.phase) {
+    case RPhase::kFwdPush: {
+      // forward_chunk's host segment: fault hook, then the mailbox push.
+      SlipPair::Mailbox mb{0, 0, n.r.chunk == cfg_.chunks};
+      if (s.injector.on_forward(node, mb, n.syscall.waiter)) {
+        request_recovery(s, node, r);
+      }
+      if (proto::pair_mailbox_push(n.pair, cfg_.mailbox_depth)) {
+        n.mb_last.erase(n.mb_last.begin());
+      }
+      n.mb_last.push_back(mb.last ? 1 : 0);
+      n.r.phase = RPhase::kFwdInsert;
+      break;
+    }
+    case RPhase::kFwdInsert: {
+      insert_token(s, node, /*syscall=*/true);
+      ++n.r.chunk;
+      n.r.phase =
+          n.r.chunk <= cfg_.chunks ? RPhase::kFwdPush : RPhase::kBarNote;
+      break;
+    }
+    case RPhase::kBarNote: {
+      n.pair.r_barriers += 1;
+      n.r.owed += 1;
+      if (n.pair.a_benched) n.pair.benched_barriers += 1;
+      if (s.injector.on_r_divergence_probe(node, n.barrier.waiter)) {
+        request_recovery(s, node, r);
+      }
+      n.r.phase = RPhase::kBarProbe;
+      break;
+    }
+    case RPhase::kBarProbe: {
+      const bool probe_armed = cfg_.policy == Policy::kRestart
+                                   ? !n.pair.a_benched
+                                   : !n.pair.a_recovered_this_region;
+      if (cfg_.divergence_threshold > 0 && probe_armed &&
+          !n.pair.recovery_requested) {
+        const std::uint64_t lag = n.pair.r_barriers > n.pair.a_barriers
+                                      ? n.pair.r_barriers - n.pair.a_barriers
+                                      : 0;
+        const std::uint64_t threshold =
+            static_cast<std::uint64_t>(cfg_.divergence_threshold)
+            << std::min(n.pair.restarts_this_region, kMaxBackoffShift);
+        if (lag > threshold) request_recovery(s, node, r);
+      }
+      // LOCAL_SYNC runs the insert hook in the next (insert) segment;
+      // GLOBAL_SYNC runs it at the head of the arrive segment.
+      n.r.phase = cfg_.sync == SyncType::kLocal ? RPhase::kBarInsert
+                                                : RPhase::kBarArrive;
+      break;
+    }
+    case RPhase::kBarInsert: {  // LOCAL_SYNC: hook + first entry-insert
+      const TokenAction act = s.injector.on_r_token_insert(node);
+      if (act == TokenAction::kSkip) {
+        n.r.owed -= 1;
+        n.r.phase = RPhase::kBarArrive;
+      } else {
+        if (act == TokenAction::kDuplicate) n.r.owed += 1;
+        insert_token(s, node, /*syscall=*/false);
+        n.r.owed -= 1;
+        n.r.phase = act == TokenAction::kDuplicate ? RPhase::kBarInsertDup
+                                                   : RPhase::kBarArrive;
+      }
+      break;
+    }
+    case RPhase::kBarInsertDup: {
+      insert_token(s, node, /*syscall=*/false);
+      n.r.owed -= 1;
+      n.r.phase = RPhase::kBarArrive;
+      break;
+    }
+    case RPhase::kBarArrive: {
+      if (n.r.slip && cfg_.sync == SyncType::kGlobal) {
+        const TokenAction act = s.injector.on_r_token_insert(node);
+        n.r.pending_ins = static_cast<std::uint8_t>(act);
+        if (act == TokenAction::kSkip) n.r.owed -= 1;
+        if (act == TokenAction::kDuplicate) n.r.owed += 1;
+      }
+      arrive_team(s, node);
+      break;
+    }
+    case RPhase::kBarInsertPost: {  // GLOBAL_SYNC exit-insert
+      const auto act = static_cast<TokenAction>(n.r.pending_ins);
+      if (act != TokenAction::kSkip) {
+        insert_token(s, node, /*syscall=*/false);
+        n.r.owed -= 1;
+      }
+      if (act == TokenAction::kDuplicate) {
+        n.r.phase = RPhase::kBarInsertPostDup;
+        break;
+      }
+      ++n.r.bar;
+      n.r.phase = n.r.bar < cfg_.barriers ? RPhase::kBarNote : RPhase::kDone;
+      break;
+    }
+    case RPhase::kBarInsertPostDup: {
+      insert_token(s, node, /*syscall=*/false);
+      n.r.owed -= 1;
+      ++n.r.bar;
+      n.r.phase = n.r.bar < cfg_.barriers ? RPhase::kBarNote : RPhase::kDone;
+      break;
+    }
+    case RPhase::kWaitTeam:
+    case RPhase::kDone:
+      r.ok = false;
+      r.violation = "R-step scheduled for a non-runnable R-stream";
+      return r;
+  }
+  return r;
+}
+
+void Model::a_unwind(ModelState& s, int node) const {
+  // RecoveryException thrown → caught in run_member → begin_a_recovery up
+  // to the restart decision; all one host segment.
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  proto::AckReconcile rec;
+  proto::enforce(proto::pair_ack_recovery(n.pair, n.syscall, rec));
+  n.mb_last.clear();
+  n.recovery_outstanding = false;  // auditor on_recovery_acked
+  n.a.dup_pending = false;
+  const bool restart =
+      cfg_.policy == Policy::kRestart &&
+      n.pair.restarts_this_region <
+          static_cast<std::uint64_t>(std::max(0, cfg_.restart_budget));
+  if (!restart) {
+    n.pair.a_benched = true;
+    n.a.phase = APhase::kDone;
+    return;
+  }
+  n.a.phase = APhase::kRecover;  // prepare_restart after the restart charge
+}
+
+StepResult Model::a_recover(ModelState& s, int node) const {
+  StepResult r;
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  std::uint64_t resync = 0;
+  const char* v = proto::pair_prepare_restart(n.pair, n.barrier, resync);
+  if (v != nullptr) {
+    r.ok = false;
+    r.violation = v;
+    return r;
+  }
+  n.a.replay = n.pair.a_barriers;  // begin_fast_forward
+  n.a.bar = 0;
+  n.a.phase = cfg_.chunks > 0 ? APhase::kChunkCheck : APhase::kBarCheck;
+  return r;
+}
+
+StepResult Model::step_a(ModelState& s, int node) const {
+  StepResult r;
+  NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+  const auto advance_bar = [&](bool note) {
+    if (note) n.pair.a_barriers += 1;
+    ++n.a.bar;
+    n.a.phase = n.a.bar < cfg_.barriers ? APhase::kBarCheck : APhase::kDone;
+  };
+  if (n.a.hung_wake) {  // resume from the injected hang park
+    n.a.hung = false;
+    n.a.hung_wake = false;
+    n.a.hang_wdog_fired = false;
+    if (!n.pair.recovery_requested) request_recovery(s, node, r);
+    a_unwind(s, node);
+    if (!r.ok) return r;
+    return check(s);
+  }
+  if (n.a.wake_pending) {  // resume from a semaphore wait
+    n.a.wake_pending = false;
+    n.a.wdog_fired = false;
+    const bool on_syscall = n.a.phase == APhase::kChunkConsume;
+    proto::TokenState& st = on_syscall ? n.syscall : n.barrier;
+    bool& due = on_syscall ? n.ghost.poison_due_syscall
+                           : n.ghost.poison_due_barrier;
+    proto::Resume res = proto::Resume::kToken;
+    const char* v = proto::token_consume_resume(st, res);
+    if (v != nullptr) {
+      r.ok = false;
+      r.violation = v;
+      return r;
+    }
+    if (due && res == proto::Resume::kToken) {
+      r.ok = false;
+      r.violation = "waiter resumed past a delivered poison";
+      return r;
+    }
+    due = false;
+    if (res == proto::Resume::kPoisoned) {
+      a_unwind(s, node);
+      return check(s);
+    }
+    if (on_syscall) {
+      n.a.phase = APhase::kChunkPop;
+    } else if (n.a.phase == APhase::kBarConsume && n.a.dup_pending) {
+      n.a.phase = APhase::kBarConsumeDup;
+    } else {
+      n.a.dup_pending = false;
+      advance_bar(/*note=*/true);
+    }
+    return check(s);
+  }
+  switch (n.a.phase) {
+    case APhase::kChunkCheck: {
+      if (n.pair.recovery_requested) {
+        a_unwind(s, node);
+        break;
+      }
+      // for_chunks: a replaying A-stream skips the whole dynamic loop.
+      n.a.phase = n.a.replay > 0 ? APhase::kBarCheck : APhase::kChunkConsume;
+      break;
+    }
+    case APhase::kChunkConsume: {
+      proto::Acquire acq = proto::Acquire::kTaken;
+      const char* v = proto::token_consume_begin(n.syscall, acq);
+      if (v != nullptr) {
+        r.ok = false;
+        r.violation = v;
+        return r;
+      }
+      if (acq == proto::Acquire::kMustWait) {
+        n.a.parked = true;
+        n.a.wdog_fired = false;
+      } else {
+        n.a.phase = APhase::kChunkPop;
+      }
+      break;
+    }
+    case APhase::kChunkPop: {
+      if (n.pair.mb_size == 0) {
+        // A token with no decision behind it needs a this-region cause
+        // (the per-region tripwire the live runtime asserts).
+        if (!proto::pair_unpaired_token_explained(n.pair)) {
+          r.ok = false;
+          r.violation =
+              "syscall token consumed with no decision and no "
+              "this-region drop or restart to explain it";
+          return r;
+        }
+        n.a.phase = APhase::kBarCheck;  // abandon the loop
+        break;
+      }
+      const char* v = proto::pair_mailbox_pop(n.pair);
+      if (v != nullptr) {
+        r.ok = false;
+        r.violation = v;
+        return r;
+      }
+      const bool last = n.mb_last.front() != 0;
+      n.mb_last.erase(n.mb_last.begin());
+      n.a.phase = last ? APhase::kBarCheck : APhase::kChunkCheck;
+      break;
+    }
+    case APhase::kBarCheck: {
+      if (n.pair.recovery_requested) {
+        a_unwind(s, node);
+        break;
+      }
+      if (n.a.replay > 0) {
+        --n.a.replay;  // note_replay_barrier: pass without consume or note
+        advance_bar(/*note=*/false);
+        break;
+      }
+      if (s.injector.on_a_hang(node)) {
+        n.a.hung = true;
+        n.a.hang_wdog_fired = false;
+        break;
+      }
+      const TokenAction act = s.injector.on_a_token_consume(node);
+      if (act == TokenAction::kSkip) {
+        advance_bar(/*note=*/false);  // barges past: no consume, no note
+        break;
+      }
+      n.a.dup_pending = act == TokenAction::kDuplicate;
+      n.a.phase = APhase::kBarConsume;
+      break;
+    }
+    case APhase::kBarConsume:
+    case APhase::kBarConsumeDup: {
+      proto::Acquire acq = proto::Acquire::kTaken;
+      const char* v = proto::token_consume_begin(n.barrier, acq);
+      if (v != nullptr) {
+        r.ok = false;
+        r.violation = v;
+        return r;
+      }
+      if (acq == proto::Acquire::kMustWait) {
+        n.a.parked = true;
+        n.a.wdog_fired = false;
+      } else if (n.a.phase == APhase::kBarConsume && n.a.dup_pending) {
+        n.a.phase = APhase::kBarConsumeDup;
+      } else {
+        n.a.dup_pending = false;
+        advance_bar(/*note=*/true);
+      }
+      break;
+    }
+    case APhase::kRecover: {
+      StepResult rr = a_recover(s, node);
+      if (!rr.ok) return rr;
+      return check(s);
+    }
+    case APhase::kDone:
+      r.ok = false;
+      r.violation = "A-step scheduled for a finished A-stream";
+      return r;
+  }
+  if (!r.ok) return r;
+  return check(s);
+}
+
+void Model::backstop(ModelState& s, StepResult& r) const {
+  bool rescued = false;
+  for (int node = 0; node < cfg_.ncmp; ++node) {
+    NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    if (n.barrier.waiter || n.syscall.waiter) {
+      request_recovery(s, node, r);
+      rescued = true;
+    }
+    if (n.a.hung && !n.a.hung_wake) {
+      n.a.hung_wake = true;
+      rescued = true;
+    }
+  }
+  if (!rescued) {
+    r.ok = false;
+    r.violation =
+        "wedged: no runnable member and the backstop sweep found "
+        "nothing to rescue";
+  }
+}
+
+StepResult Model::region_end(ModelState& s) const {
+  StepResult r = check(s);
+  if (!r.ok) return r;
+  for (int node = 0; node < cfg_.ncmp; ++node) {
+    NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    // Auditor on_region_end: the join completed, so nobody is parked.
+    if (n.barrier.waiter || n.syscall.waiter) {
+      r.ok = false;
+      r.violation = "semaphore waiter survived the region join";
+      return r;
+    }
+    const bool recovered = n.pair.recoveries > n.recoveries_at_region_start;
+    (void)s.degrade.on_region_end(node, recovered);
+  }
+  ++s.region;
+  if (s.region >= cfg_.regions) {
+    s.finished = true;  // run-end: check(s) above is the final audit
+    return r;
+  }
+  dispatch_region(s);
+  return check(s);
+}
+
+StepResult Model::step(ModelState& s, const Action& a) const {
+  switch (a.kind) {
+    case ActionKind::kRStep: {
+      StepResult r = step_r(s, a.node);
+      if (!r.ok) return r;
+      return check(s);
+    }
+    case ActionKind::kAStep:
+      return step_a(s, a.node);
+    case ActionKind::kWdogToken: {
+      StepResult r;
+      NodeState& n = s.nodes[static_cast<std::size_t>(a.node)];
+      n.a.wdog_fired = true;
+      request_recovery(s, a.node, r);  // watchdog_rescue, token sites
+      if (!r.ok) return r;
+      return check(s);
+    }
+    case ActionKind::kWdogTeam: {
+      StepResult r;
+      NodeState& n = s.nodes[static_cast<std::size_t>(a.node)];
+      n.r.wdog_fired = true;
+      // watchdog_rescue kTeamBarrier: sweep every CMP.
+      for (int node = 0; node < cfg_.ncmp; ++node) {
+        NodeState& m = s.nodes[static_cast<std::size_t>(node)];
+        if (m.barrier.waiter || m.syscall.waiter) {
+          request_recovery(s, node, r);
+        }
+        if (m.a.hung && !m.a.hung_wake) m.a.hung_wake = true;
+      }
+      if (!r.ok) return r;
+      return check(s);
+    }
+    case ActionKind::kWdogHang: {
+      NodeState& n = s.nodes[static_cast<std::size_t>(a.node)];
+      n.a.hang_wdog_fired = true;
+      n.a.hung_wake = true;  // wake; hang_park raises recovery on resume
+      return check(s);
+    }
+    case ActionKind::kBackstop: {
+      StepResult r;
+      backstop(s, r);
+      if (!r.ok) return r;
+      return check(s);
+    }
+    case ActionKind::kRegionEnd:
+      return region_end(s);
+  }
+  StepResult r;
+  r.ok = false;
+  r.violation = "unknown action";
+  return r;
+}
+
+StepResult Model::check(const ModelState& s) const {
+  StepResult r;
+  const auto fail = [&](int node, const std::string& what) {
+    r.ok = false;
+    std::ostringstream msg;
+    msg << "node " << node << ": " << what;
+    r.violation = msg.str();
+  };
+  for (int node = 0; node < cfg_.ncmp && r.ok; ++node) {
+    const NodeState& n = s.nodes[static_cast<std::size_t>(node)];
+    const auto d = [](std::uint64_t now, std::uint64_t base) {
+      return static_cast<std::int64_t>(now - base);
+    };
+    // Token conservation (audit.hpp), valid in EVERY state.
+    const std::int64_t bar_ins = d(n.barrier.inserted, n.base_barrier.inserted);
+    const std::int64_t bar_cons =
+        d(n.barrier.consumed, n.base_barrier.consumed);
+    const std::int64_t bar_drained =
+        d(n.barrier.drained, n.base_barrier.drained);
+    if (n.barrier.count !=
+        n.pair.initial_tokens + bar_ins - bar_cons - bar_drained) {
+      fail(node, "barrier-token conservation violated");
+      break;
+    }
+    const std::int64_t sys_ins = d(n.syscall.inserted, n.base_syscall.inserted);
+    const std::int64_t sys_cons =
+        d(n.syscall.consumed, n.base_syscall.consumed);
+    const std::int64_t sys_drained =
+        d(n.syscall.drained, n.base_syscall.drained);
+    if (n.syscall.count != sys_ins - sys_cons - sys_drained) {
+      fail(node, "syscall-token conservation violated");
+      break;
+    }
+    if (n.barrier.count < 0 || n.syscall.count < 0) {
+      fail(node, "negative token count");
+      break;
+    }
+    // Insert/visit agreement, adjusted by the tokens the R-stream still
+    // owes for visits whose insert segment has not completed.
+    const FaultInjector::NodeLedger& led = s.injector.ledger(node);
+    const std::int64_t suppressed =
+        d(led.suppressed_inserts, n.base_ledger.suppressed_inserts);
+    const std::int64_t extra_ins =
+        d(led.extra_inserts, n.base_ledger.extra_inserts);
+    const std::int64_t extra_cons =
+        d(led.extra_consumes, n.base_ledger.extra_consumes);
+    const std::int64_t r_vis = d(n.pair.r_barriers, n.base_pair.r_barriers);
+    if (bar_ins != r_vis - suppressed + extra_ins -
+                       static_cast<std::int64_t>(n.r.owed)) {
+      fail(node, "R-stream inserts disagree with its barrier visits");
+      break;
+    }
+    // Consume/visit agreement. The duplicate-consume fault is recorded
+    // in the ledger at hook time, one micro-op before the first of the
+    // two consumes lands; while the episode is still in kBarConsume with
+    // the duplicate pending, that ledger entry is not yet matched by a
+    // consume and must be discounted.
+    const std::int64_t a_vis = d(n.pair.a_barriers, n.base_pair.a_barriers);
+    const std::int64_t restart_skipped = d(
+        n.pair.restart_skipped_barriers, n.base_pair.restart_skipped_barriers);
+    const std::int64_t dup_announced =
+        (n.a.phase == APhase::kBarConsume && n.a.dup_pending) ? 1 : 0;
+    if (bar_cons != a_vis - restart_skipped + extra_cons - dup_announced) {
+      fail(node, "A-stream consumes disagree with its barrier visits");
+      break;
+    }
+    // Allowance bound.
+    if (a_vis - restart_skipped + extra_cons - dup_announced >
+        n.pair.initial_tokens + bar_ins - bar_drained) {
+      fail(node, "A-stream ran past the token allowance");
+      break;
+    }
+    // Mailbox conservation + coverage. One forwarded decision may be
+    // in flight: pushed, with its syscall-token insert still pending.
+    const std::int64_t mb_expect = d(n.pair.mb_pushed, n.base_pair.mb_pushed) -
+                                   d(n.pair.mb_popped, n.base_pair.mb_popped) -
+                                   d(n.pair.mb_dropped, n.base_pair.mb_dropped) -
+                                   d(n.pair.mb_cleared, n.base_pair.mb_cleared);
+    if (static_cast<std::int64_t>(n.pair.mb_size) != mb_expect) {
+      fail(node, "mailbox push/pop/drop conservation violated");
+      break;
+    }
+    if (n.mb_last.size() != n.pair.mb_size) {
+      fail(node, "mailbox value queue out of sync with its counter");
+      break;
+    }
+    // One decision may be pushed with its token insert still pending
+    // (R mid-forward), and one token may be consumed with its pop still
+    // pending (A in kChunkPop).
+    const std::int64_t r_in_flight = n.r.phase == RPhase::kFwdInsert ? 1 : 0;
+    const std::int64_t a_in_flight = n.a.phase == APhase::kChunkPop ? 1 : 0;
+    if (static_cast<std::int64_t>(n.pair.mb_size) >
+        n.syscall.count + r_in_flight + a_in_flight) {
+      fail(node, "queued scheduling decisions exceed outstanding syscall "
+                 "tokens");
+      break;
+    }
+    // Recovery ordering ghost stays consistent with the pair flag.
+    if (n.recovery_outstanding != n.pair.recovery_requested) {
+      fail(node, "auditor recovery ledger out of sync with the pair");
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace ssomp::slip::model

@@ -1,0 +1,251 @@
+// Explicit-state model of the slipstream token/recovery protocol.
+//
+// The model steps the SAME transition functions the engine runs
+// (slip/protocol.hpp) plus the real FaultInjector and
+// DegradationController embedded by value, over a small configuration:
+// up to 2 CMPs, a few tokens, a few barriers/chunks per region, one fault
+// plan, restart/degrade on or off. What is abstracted away is only
+// timing: the engine's yield-delimited execution is discretized into
+// micro-ops at exactly the points where the real fibers can interleave
+// (every cycle charge is a yield), so every reachable ordering of the
+// real engine maps to a path of the model.
+//
+// Interleaving soundness. The engine breaks timestamp ties by insertion
+// order, which gives one load-bearing guarantee the model mirrors: a
+// parked fiber woken by insert()/poison() resumes BEFORE any charging
+// operation issued afterwards completes. The model therefore restricts
+// enabled actions while a wake is pending to that fiber's resume plus
+// host-only (non-charging) operations — which is exactly the set of
+// orderings the engine can produce: a charging op started after the wake
+// completes after the resume (model: resume first, then the op), and a
+// charging op started before the wake commutes with the resume (it
+// touches a different pair or the team phaser).
+//
+// Every state is checked against every audit.hpp identity (token
+// conservation, insert/visit and consume/visit agreement, allowance
+// bound, mailbox conservation and coverage, recovery ordering) plus
+// model-only ghost invariants the boundary auditor cannot see:
+// a delivered poison may never be resumed past, an unpaired syscall
+// token needs a this-region cause, and the system may never wedge with
+// the backstop unable to rescue anyone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/degrade.hpp"
+#include "slip/config.hpp"
+#include "slip/faultinject.hpp"
+#include "slip/protocol.hpp"
+
+namespace ssomp::slip::model {
+
+/// Recovery policy mirror (rt/options.hpp is a heavier include and the
+/// model needs only the branch begin_a_recovery takes).
+enum class Policy : std::uint8_t { kBench = 0, kRestart };
+
+[[nodiscard]] constexpr std::string_view to_string(Policy p) {
+  return p == Policy::kBench ? "bench" : "restart";
+}
+
+struct ModelConfig {
+  int ncmp = 2;
+  int tokens = 1;             // initial barrier-token allowance
+  SyncType sync = SyncType::kLocal;
+  int regions = 1;
+  int barriers = 2;           // barrier episodes per region body
+  int chunks = 0;             // forwarded dynamic chunks per region (per CMP)
+  std::uint64_t mailbox_depth = 4;
+  int divergence_threshold = 1;
+  Policy policy = Policy::kBench;
+  int restart_budget = 3;
+  bool watchdog = false;      // hang-detection timers armed
+  bool degrade_enabled = false;
+  int demote_after = 2;
+  int probation = 4;
+  FaultPlan fault{};
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One scheduling decision: which actor takes its next micro-op. The
+/// micro-op itself is determined by the actor's current phase, so a
+/// schedule (sequence of actions) fully determines the run.
+enum class ActionKind : std::uint8_t {
+  kRStep = 0,    // the node's R-stream runs its next yield-delimited segment
+  kAStep,        // the node's A-stream runs its next segment (or resumes)
+  kWdogToken,    // watchdog fires on the A-stream's semaphore wait
+  kWdogTeam,     // watchdog fires on the R-stream's team-barrier wait
+  kWdogHang,     // watchdog fires on a hang-parked A-stream
+  kBackstop,     // end-of-run divergence backstop sweep (only when wedged)
+  kRegionEnd,    // master: join completed; audit, degrade, reset/terminate
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kRStep;
+  int node = 0;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Action& a);
+
+/// R-stream control position (phases are the engine's yield boundaries).
+enum class RPhase : std::uint8_t {
+  kFwdPush = 0,   // host: fault hook + mailbox push for chunk `chunk`
+  kFwdInsert,     // charge: syscall-token insert for the pushed chunk
+  kBarNote,       // host: note_r_barrier + benched note + probe fault hook
+  kBarProbe,      // charge: divergence probe (read_count + lag test)
+  kBarInsert,     // charge: token insert on barrier entry (LOCAL_SYNC)
+  kBarInsertDup,  // charge: surplus insert (kExtraToken fired)
+  kBarArrive,     // charge: arrive at the team barrier
+  kWaitTeam,      // parked at the team barrier
+  kBarInsertPost, // charge: token insert on barrier exit (GLOBAL_SYNC)
+  kBarInsertPostDup,
+  kDone,          // region body finished (joined)
+};
+
+/// A-stream control position.
+enum class APhase : std::uint8_t {
+  kChunkCheck = 0,  // host: check_recovery at dynamic-loop head
+  kChunkConsume,    // charge: syscall-semaphore consume (may park)
+  kChunkPop,        // charge+host: mailbox load, empty-check, pop
+  kBarCheck,        // host: check_recovery / replay retire / hang hook
+  kBarConsume,      // charge: barrier-token consume (may park)
+  kBarConsumeDup,   // charge: duplicate consume (kDuplicateBarrier fired)
+  kRecover,         // host: ack + bench-or-restart decision
+  kDone,            // region body finished, or benched, or no A this region
+};
+
+struct RActor {
+  RPhase phase = RPhase::kDone;
+  std::uint8_t bar = 0;    // next barrier episode index
+  std::uint8_t chunk = 0;  // next chunk index
+  bool slip = true;        // node has an A-stream this region
+  bool wdog_fired = false; // team-barrier watchdog already fired this wait
+  /// Barrier tokens this R-stream owes but has not yet inserted (visit
+  /// noted, insert segment pending). Adjusts the insert/visit identity so
+  /// it can be checked in EVERY state, not only at region boundaries.
+  std::uint8_t owed = 0;
+  /// GLOBAL_SYNC: on_r_token_insert verdict carried across the team
+  /// barrier to the exit-insert segment (the hook runs on entry).
+  std::uint8_t pending_ins = 0;  // TokenAction
+
+  friend bool operator==(const RActor&, const RActor&) = default;
+};
+
+struct AActor {
+  APhase phase = APhase::kDone;
+  std::uint8_t bar = 0;
+  bool exists = false;       // member built this region
+  bool parked = false;       // blocked in a semaphore wait
+  bool wake_pending = false; // woken, resume event not yet delivered
+  bool hung = false;         // kAStreamHang raw park
+  bool hung_wake = false;    // woken from the hang park
+  bool dup_pending = false;  // second consume owed (kDuplicateBarrier)
+  std::uint64_t replay = 0;  // fast-forward barriers left to retire
+  bool wdog_fired = false;   // token watchdog already fired this wait
+  bool hang_wdog_fired = false;
+
+  friend bool operator==(const AActor&, const AActor&) = default;
+};
+
+/// Ghost bits the live protocol does not store but the checker tracks to
+/// state invariants precisely (classic model-checking instrumentation).
+struct Ghost {
+  /// token_poison latched (or should have latched) a poison for the
+  /// currently registered waiter. Post-fix this mirrors
+  /// TokenState::poisoned exactly; under proto::LegacyBugs it can be true
+  /// while the real flag was dropped — the waiter then resumes past a
+  /// delivered poison, which is the invariant violation.
+  bool poison_due_barrier = false;
+  bool poison_due_syscall = false;
+
+  friend bool operator==(const Ghost&, const Ghost&) = default;
+};
+
+/// Per-node protocol + bookkeeping state.
+struct NodeState {
+  proto::PairState pair{};
+  proto::TokenState barrier{};
+  proto::TokenState syscall{};
+  /// Control-flow-relevant mailbox values: the `last` bit per queued
+  /// decision (front = stalest). Mirrors pair.mb_size.
+  std::vector<std::uint8_t> mb_last;
+  RActor r{};
+  AActor a{};
+  Ghost ghost{};
+  /// Auditor baselines, snapshotted at region reset (audit.hpp::Baseline).
+  proto::PairState base_pair{};
+  proto::TokenState base_barrier{};
+  proto::TokenState base_syscall{};
+  FaultInjector::NodeLedger base_ledger{};
+  std::uint64_t recoveries_at_region_start = 0;
+  bool recovery_outstanding = false;  // auditor's ordering ghost
+
+  friend bool operator==(const NodeState&, const NodeState&) = default;
+};
+
+struct ModelState {
+  std::vector<NodeState> nodes;
+  FaultInjector injector;  // by value: visit counters evolve with the state
+  rt::DegradationController degrade;
+  std::uint8_t region = 0;
+  std::uint8_t team_arrived = 0;   // R-streams arrived at the current episode
+  std::uint8_t team_expected = 0;  // == ncmp (all R-streams participate)
+  bool finished = false;           // all regions done, run-end audit passed
+
+  /// Canonical byte encoding (fixed field order) for hashing/visited-set
+  /// keys. FaultInjector/DegradationController internals are encoded via
+  /// their accessors; the injector RNG is excluded (see faultinject.hpp).
+  void encode(std::string& out, const ModelConfig& cfg) const;
+};
+
+/// A step's outcome: either fine, or the text of the violated invariant.
+struct StepResult {
+  bool ok = true;
+  std::string violation;
+};
+
+class Model {
+ public:
+  explicit Model(const ModelConfig& cfg);
+
+  [[nodiscard]] const ModelConfig& config() const { return cfg_; }
+
+  /// The initial state: region 0 dispatched, all actors at their region
+  /// start positions.
+  [[nodiscard]] ModelState initial() const;
+
+  /// All actions enabled in `s` (empty only for finished states — the
+  /// backstop action is enabled, by design, exactly when the real
+  /// backstop would run: nothing else can move and the run is not done).
+  [[nodiscard]] std::vector<Action> enabled(const ModelState& s) const;
+
+  /// Applies `a` to `s` in place; `a` must be enabled. The result carries
+  /// the first invariant violation found in the successor state, if any.
+  [[nodiscard]] StepResult step(ModelState& s, const Action& a) const;
+
+  /// Full invariant battery over a state (also run internally by step()).
+  [[nodiscard]] StepResult check(const ModelState& s) const;
+
+ private:
+  void dispatch_region(ModelState& s) const;
+  void reset_node(ModelState& s, int node) const;
+  [[nodiscard]] StepResult region_end(ModelState& s) const;
+  void request_recovery(ModelState& s, int node, StepResult& r) const;
+  void insert_token(ModelState& s, int node, bool syscall) const;
+  [[nodiscard]] StepResult step_r(ModelState& s, int node) const;
+  [[nodiscard]] StepResult step_a(ModelState& s, int node) const;
+  void a_unwind(ModelState& s, int node) const;
+  [[nodiscard]] StepResult a_recover(ModelState& s, int node) const;
+  void backstop(ModelState& s, StepResult& r) const;
+  [[nodiscard]] bool any_wake_pending(const ModelState& s) const;
+  void release_team(ModelState& s) const;
+  void arrive_team(ModelState& s, int node) const;
+
+  ModelConfig cfg_;
+};
+
+}  // namespace ssomp::slip::model

@@ -1,0 +1,555 @@
+#include "slip/model/replay.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "rt/degrade.hpp"
+#include "sim/engine.hpp"
+#include "slip/faultinject.hpp"
+#include "slip/pair.hpp"
+
+namespace ssomp::slip::model {
+namespace {
+
+constexpr sim::Cycles kRestartCost = 200;       // mirrors rt/runtime.cpp
+constexpr std::uint64_t kMaxBackoffShift = 16;  // mirrors rt/runtime.cpp
+
+/// Commands the driver issues to an A-stream fiber through its baton.
+enum class ACmd : std::uint8_t {
+  kNone = 0,
+  kChunkCheck,   // host: unwind if recovery requested, else nothing
+  kSyscallConsume,
+  kChunkPop,
+  kBarCheck,     // host: unwind / replay-retire / hang+consume hooks
+  kBarConsume,   // blocking barrier consume; param: note on success
+  kRecover,      // restart charge + prepare_restart
+  kExit,
+};
+
+struct LiveNode {
+  std::unique_ptr<SlipPair> pair;
+  sim::SimCpu* a_cpu = nullptr;
+  // Baton slots (written by the driver, read by the A fiber).
+  ACmd cmd = ACmd::kNone;
+  bool param_unwind = false;   // kChunkCheck / kBarCheck
+  bool param_retire = false;   // kBarCheck: replay fast-forward retire
+  bool param_note = false;     // kBarConsume: note_a_barrier on success
+  // Status written by the A fiber.
+  bool at_baton = false;
+  bool hung = false;
+  bool last_popped_last = false;
+  std::uint64_t recoveries_at_region_start = 0;
+};
+
+/// proto::enforce sink. The harness is single-threaded (the whole replay
+/// runs inside one Engine), so a single static target is fine.
+std::vector<std::string>* g_live_violations = nullptr;
+
+void sink(const char* what) {
+  if (g_live_violations != nullptr) g_live_violations->emplace_back(what);
+}
+
+struct SinkGuard {
+  proto::ViolationSink saved;
+  explicit SinkGuard(std::vector<std::string>* out) {
+    g_live_violations = out;
+    saved = proto::violation_sink();
+    proto::violation_sink() = &sink;
+  }
+  ~SinkGuard() {
+    proto::violation_sink() = saved;
+    g_live_violations = nullptr;
+  }
+};
+
+bool ledger_eq(const FaultInjector::NodeLedger& a,
+               const FaultInjector::NodeLedger& b) {
+  return a.skipped_consumes == b.skipped_consumes &&
+         a.extra_consumes == b.extra_consumes &&
+         a.suppressed_inserts == b.suppressed_inserts &&
+         a.extra_inserts == b.extra_inserts &&
+         a.forced_recoveries == b.forced_recoveries &&
+         a.corrupted_forwards == b.corrupted_forwards;
+}
+
+class Harness {
+ public:
+  Harness(const Schedule& sched, ReplayResult& res)
+      : sched_(sched), model_(sched.config), res_(res) {}
+
+  void run() {
+    const ModelConfig& cfg = sched_.config;
+    driver_ = &engine_.add_cpu("driver");
+    nodes_.resize(static_cast<std::size_t>(cfg.ncmp));
+    injector_ = FaultInjector(cfg.fault, cfg.ncmp);
+    degrade_ = rt::DegradationController(cfg.degrade_enabled, cfg.demote_after,
+                                         cfg.probation, cfg.ncmp);
+    for (int n = 0; n < cfg.ncmp; ++n) {
+      LiveNode& ln = nodes_[static_cast<std::size_t>(n)];
+      ln.a_cpu = &engine_.add_cpu("a" + std::to_string(n));
+      ln.pair = std::make_unique<SlipPair>(
+          /*r_cpu=*/0, ln.a_cpu->id(), /*sem_access_cycles=*/3,
+          /*mailbox_addr=*/0x1000u * static_cast<sim::Addr>(n + 1),
+          cfg.mailbox_depth);
+      ln.pair->reset_for_region(cfg.tokens);
+      ln.a_cpu->start([this, n] { a_loop(n); });
+    }
+    driver_->start([this] { drive(); });
+    engine_.run();
+  }
+
+ private:
+  SlipPair& pair(int n) { return *nodes_[static_cast<std::size_t>(n)].pair; }
+  LiveNode& node(int n) { return nodes_[static_cast<std::size_t>(n)]; }
+
+  // --- A-stream fiber ---------------------------------------------------
+
+  void a_unwind(int n) {
+    (void)pair(n).ack_recovery();
+    const bool restart =
+        sched_.config.policy == Policy::kRestart &&
+        pair(n).restarts_this_region() <
+            static_cast<std::uint64_t>(
+                std::max(0, sched_.config.restart_budget));
+    if (!restart) pair(n).set_benched();
+    // Under restart the kRecover command follows as its own step.
+  }
+
+  void a_loop(int n) {
+    LiveNode& ln = node(n);
+    sim::SimCpu& cpu = *ln.a_cpu;
+    for (;;) {
+      ln.at_baton = true;
+      cpu.block(sim::TimeCategory::kIdle);
+      ln.at_baton = false;
+      switch (ln.cmd) {
+        case ACmd::kExit:
+          return;
+        case ACmd::kChunkCheck:
+          if (ln.param_unwind) a_unwind(n);
+          break;
+        case ACmd::kSyscallConsume:
+          if (!pair(n).syscall_sem().consume(
+                  cpu, sim::TimeCategory::kScheduling)) {
+            a_unwind(n);
+          }
+          break;
+        case ACmd::kChunkPop: {
+          cpu.consume(3, sim::TimeCategory::kScheduling);  // mailbox load
+          if (pair(n).mailbox_empty()) {
+            if (!pair(n).unpaired_syscall_token_explained()) {
+              sink("syscall token consumed with no decision and no "
+                   "this-region drop or restart to explain it");
+            }
+          } else {
+            ln.last_popped_last = pair(n).mailbox_pop().last;
+          }
+          break;
+        }
+        case ACmd::kBarCheck: {
+          if (ln.param_unwind) {
+            a_unwind(n);
+            break;
+          }
+          if (ln.param_retire) break;  // fast-forward: pass without consume
+          if (injector_.on_a_hang(n)) {
+            ln.hung = true;
+            cpu.block(sim::TimeCategory::kTokenWait);
+            ln.hung = false;
+            if (!pair(n).recovery_requested()) live_request(n);
+            a_unwind(n);
+            break;
+          }
+          (void)injector_.on_a_token_consume(n);
+          break;
+        }
+        case ACmd::kBarConsume: {
+          if (!pair(n).barrier_sem().consume(cpu,
+                                             sim::TimeCategory::kTokenWait)) {
+            a_unwind(n);
+            break;
+          }
+          if (ln.param_note) pair(n).note_a_barrier();
+          break;
+        }
+        case ACmd::kNone:
+        case ACmd::kRecover:
+          if (ln.cmd == ACmd::kRecover) {
+            cpu.consume(kRestartCost, sim::TimeCategory::kBusy);
+            (void)pair(n).prepare_restart();
+          }
+          break;
+      }
+      ln.cmd = ACmd::kNone;
+    }
+  }
+
+  // --- driver side ------------------------------------------------------
+
+  void live_request(int n) {
+    // Runtime::request_pair_recovery: the instrumentation/auditor hook for
+    // a NEW request carries no protocol state; the poisons always run.
+    pair(n).request_recovery(*driver_);
+  }
+
+  void fidelity_fail(std::size_t step, const std::string& why) {
+    if (!res_.fidelity_ok) return;
+    res_.fidelity_ok = false;
+    std::ostringstream msg;
+    msg << "step " << step << ": " << why;
+    res_.fidelity_error = msg.str();
+  }
+
+  /// Yields the driver until the A-stream fiber of `n` is blocked again
+  /// (at its baton, parked in a semaphore, or hang-parked).
+  bool settle(int n) {
+    LiveNode& ln = node(n);
+    for (int spins = 0; spins < 1000000; ++spins) {
+      if (ln.a_cpu->blocked() || ln.a_cpu->finished()) return true;
+      driver_->consume(1, sim::TimeCategory::kBusy);
+    }
+    return false;
+  }
+
+  void issue(int n, ACmd cmd, bool unwind = false, bool retire = false,
+             bool note = false) {
+    LiveNode& ln = node(n);
+    ln.cmd = cmd;
+    ln.param_unwind = unwind;
+    ln.param_retire = retire;
+    ln.param_note = note;
+    ln.a_cpu->wake();
+  }
+
+  std::size_t model_pending(const ModelState& ms) const {
+    std::size_t k = 0;
+    for (const NodeState& n : ms.nodes) {
+      if (n.a.wake_pending || n.a.hung_wake) ++k;
+    }
+    return k;
+  }
+
+  /// Field-for-field comparison of the live protocol state against the
+  /// model state. Returns an empty string on match.
+  std::string compare(const ModelState& ms) {
+    const ModelConfig& cfg = sched_.config;
+    for (int n = 0; n < cfg.ncmp; ++n) {
+      const NodeState& mn = ms.nodes[static_cast<std::size_t>(n)];
+      const auto tag = [n](const char* what) {
+        std::ostringstream s;
+        s << "node " << n << ": live/model mismatch in " << what;
+        return s.str();
+      };
+      if (!(pair(n).core() == mn.pair)) return tag("PairState");
+      if (!(pair(n).barrier_sem().state() == mn.barrier)) {
+        return tag("barrier TokenState");
+      }
+      if (!(pair(n).syscall_sem().state() == mn.syscall)) {
+        return tag("syscall TokenState");
+      }
+      if (!ledger_eq(injector_.ledger(n), ms.injector.ledger(n))) {
+        return tag("fault-injector ledger");
+      }
+      if (injector_.site_visits(n) != ms.injector.site_visits(n)) {
+        return tag("fault-injector site visits");
+      }
+      if (degrade_.state(n) != ms.degrade.state(n) ||
+          degrade_.strikes(n) != ms.degrade.strikes(n) ||
+          degrade_.demoted_clock(n) != ms.degrade.demoted_clock(n)) {
+        return tag("degradation state");
+      }
+    }
+    if (injector_.fired() != ms.injector.fired()) {
+      return "live/model mismatch in fault fired count";
+    }
+    if (injector_.token_loss_active() != ms.injector.token_loss_active()) {
+      return "live/model mismatch in token-loss latch";
+    }
+    if (degrade_.demotions() != ms.degrade.demotions() ||
+        degrade_.promotions() != ms.degrade.promotions()) {
+      return "live/model mismatch in demotion/promotion totals";
+    }
+    return {};
+  }
+
+  void step_live_r(const ModelState& pre, int n) {
+    const ModelConfig& cfg = sched_.config;
+    const RActor& r = pre.nodes[static_cast<std::size_t>(n)].r;
+    switch (r.phase) {
+      case RPhase::kFwdPush: {
+        SlipPair::Mailbox mb{0, 0, r.chunk == cfg.chunks};
+        if (injector_.on_forward(n, mb, pair(n).syscall_sem().has_waiter())) {
+          live_request(n);
+        }
+        pair(n).mailbox_push(mb);
+        break;
+      }
+      case RPhase::kFwdInsert:
+        pair(n).syscall_sem().insert(*driver_);
+        break;
+      case RPhase::kBarNote:
+        pair(n).note_r_barrier();
+        if (pair(n).a_benched()) pair(n).note_benched_barrier();
+        if (injector_.on_r_divergence_probe(
+                n, pair(n).barrier_sem().has_waiter())) {
+          live_request(n);
+        }
+        break;
+      case RPhase::kBarProbe: {
+        const bool probe_armed = cfg.policy == Policy::kRestart
+                                     ? !pair(n).a_benched()
+                                     : !pair(n).a_recovered_this_region();
+        if (cfg.divergence_threshold > 0 && probe_armed &&
+            !pair(n).recovery_requested()) {
+          (void)pair(n).barrier_sem().read_count(*driver_);
+          const std::uint64_t lag =
+              pair(n).r_barriers() > pair(n).a_barriers()
+                  ? pair(n).r_barriers() - pair(n).a_barriers()
+                  : 0;
+          const std::uint64_t threshold =
+              static_cast<std::uint64_t>(cfg.divergence_threshold)
+              << std::min(pair(n).restarts_this_region(), kMaxBackoffShift);
+          if (lag > threshold) live_request(n);
+        }
+        break;
+      }
+      case RPhase::kBarInsert: {
+        const TokenAction act = injector_.on_r_token_insert(n);
+        if (act != TokenAction::kSkip) pair(n).barrier_sem().insert(*driver_);
+        break;
+      }
+      case RPhase::kBarInsertDup:
+        pair(n).barrier_sem().insert(*driver_);
+        break;
+      case RPhase::kBarArrive:
+        // The team phaser is driver bookkeeping (the model tracks it); the
+        // GLOBAL_SYNC insert hook runs at the arrive segment's head.
+        if (r.slip && cfg.sync == SyncType::kGlobal) {
+          (void)injector_.on_r_token_insert(n);
+        }
+        break;
+      case RPhase::kBarInsertPost:
+        if (static_cast<TokenAction>(r.pending_ins) != TokenAction::kSkip) {
+          pair(n).barrier_sem().insert(*driver_);
+        }
+        break;
+      case RPhase::kBarInsertPostDup:
+        pair(n).barrier_sem().insert(*driver_);
+        break;
+      case RPhase::kWaitTeam:
+      case RPhase::kDone:
+        break;
+    }
+  }
+
+  /// A-stream action: either deliver a pending resume or issue the next
+  /// command through the baton. Returns false when the fiber failed to
+  /// settle (a harness bug, reported as a fidelity error).
+  bool step_live_a(const ModelState& pre, int n, std::size_t step) {
+    const NodeState& mn = pre.nodes[static_cast<std::size_t>(n)];
+    if (mn.a.wake_pending || mn.a.hung_wake) {
+      if (!settle(n)) {
+        fidelity_fail(step, "A-stream resume never settled");
+        return false;
+      }
+      return true;
+    }
+    switch (mn.a.phase) {
+      case APhase::kChunkCheck:
+        issue(n, ACmd::kChunkCheck, /*unwind=*/mn.pair.recovery_requested);
+        break;
+      case APhase::kChunkConsume:
+        issue(n, ACmd::kSyscallConsume);
+        break;
+      case APhase::kChunkPop:
+        issue(n, ACmd::kChunkPop);
+        break;
+      case APhase::kBarCheck:
+        issue(n, ACmd::kBarCheck, /*unwind=*/mn.pair.recovery_requested,
+              /*retire=*/!mn.pair.recovery_requested && mn.a.replay > 0);
+        break;
+      case APhase::kBarConsume:
+        issue(n, ACmd::kBarConsume, false, false,
+              /*note=*/!mn.a.dup_pending);
+        break;
+      case APhase::kBarConsumeDup:
+        issue(n, ACmd::kBarConsume, false, false, /*note=*/true);
+        break;
+      case APhase::kRecover:
+        issue(n, ACmd::kRecover);
+        break;
+      case APhase::kDone:
+        fidelity_fail(step, "schedule steps a finished A-stream");
+        return false;
+    }
+    if (!settle(n)) {
+      fidelity_fail(step, "A-stream command never settled");
+      return false;
+    }
+    return true;
+  }
+
+  void step_live_region_end(const ModelState& pre) {
+    const ModelConfig& cfg = sched_.config;
+    for (int n = 0; n < cfg.ncmp; ++n) {
+      const bool recovered =
+          pair(n).recoveries() > node(n).recoveries_at_region_start;
+      (void)degrade_.on_region_end(n, recovered);
+    }
+    if (pre.region + 1 >= cfg.regions) return;  // final region: run ends
+    for (int n = 0; n < cfg.ncmp; ++n) {
+      pair(n).reset_for_region(cfg.tokens);
+      node(n).recoveries_at_region_start = pair(n).recoveries();
+    }
+  }
+
+  void step_live_sweep(const ModelState& pre) {
+    const ModelConfig& cfg = sched_.config;
+    for (int n = 0; n < cfg.ncmp; ++n) {
+      if (pair(n).barrier_sem().has_waiter() ||
+          pair(n).syscall_sem().has_waiter()) {
+        live_request(n);
+      }
+      const NodeState& mn = pre.nodes[static_cast<std::size_t>(n)];
+      if (mn.a.hung && !mn.a.hung_wake) node(n).a_cpu->wake();
+    }
+  }
+
+  void drive() {
+    const ModelConfig& cfg = sched_.config;
+    ModelState ms = model_.initial();
+    // `unsynced`: nodes whose live resume already ran (a multi-wake sweep
+    // delivered it) but whose model resume step has not arrived yet.
+    std::vector<bool> unsynced(static_cast<std::size_t>(cfg.ncmp), false);
+    auto any_unsynced = [&] {
+      return std::any_of(unsynced.begin(), unsynced.end(),
+                         [](bool b) { return b; });
+    };
+    for (std::size_t i = 0; i < sched_.actions.size(); ++i) {
+      const Action& a = sched_.actions[i];
+      const std::size_t pending_before = model_pending(ms);
+      bool live_ran = true;
+      switch (a.kind) {
+        case ActionKind::kRStep:
+          if (unsynced[static_cast<std::size_t>(a.node)]) {
+            fidelity_fail(i, "R-step on a node with an un-synced resume — "
+                             "schedule not strictly replayable");
+            return;
+          }
+          step_live_r(ms, a.node);
+          break;
+        case ActionKind::kAStep: {
+          const NodeState& mn = ms.nodes[static_cast<std::size_t>(a.node)];
+          const bool is_resume = mn.a.wake_pending || mn.a.hung_wake;
+          if (is_resume && unsynced[static_cast<std::size_t>(a.node)]) {
+            // Live already ran this resume during an earlier batch settle.
+            unsynced[static_cast<std::size_t>(a.node)] = false;
+            live_ran = false;
+            break;
+          }
+          if (is_resume && pending_before > 1) {
+            // The settle below drains EVERY pending wake; mark the others.
+            for (int n = 0; n < cfg.ncmp; ++n) {
+              if (n == a.node) continue;
+              const NodeState& on = ms.nodes[static_cast<std::size_t>(n)];
+              if (on.a.wake_pending || on.a.hung_wake) {
+                unsynced[static_cast<std::size_t>(n)] = true;
+              }
+            }
+          }
+          if (!step_live_a(ms, a.node, i)) return;
+          break;
+        }
+        case ActionKind::kWdogToken:
+          if (unsynced[static_cast<std::size_t>(a.node)]) {
+            fidelity_fail(i, "watchdog on a node with an un-synced resume");
+            return;
+          }
+          live_request(a.node);
+          break;
+        case ActionKind::kWdogTeam:
+        case ActionKind::kBackstop:
+          if (any_unsynced()) {
+            fidelity_fail(i, "sweep during an un-synced resume batch");
+            return;
+          }
+          step_live_sweep(ms);
+          break;
+        case ActionKind::kWdogHang:
+          node(a.node).a_cpu->wake();
+          break;
+        case ActionKind::kRegionEnd:
+          if (any_unsynced()) {
+            fidelity_fail(i, "region end during an un-synced resume batch");
+            return;
+          }
+          step_live_region_end(ms);
+          break;
+      }
+      (void)live_ran;
+      // Step the model through the same action.
+      StepResult r = model_.step(ms, a);
+      res_.steps_executed = i + 1;
+      if (!r.ok) {
+        res_.violation_hit = true;
+        res_.violation = r.violation;
+        res_.violation_step = i;
+        break;
+      }
+      // Compare whenever live and model are in sync: no wake the engine
+      // has not delivered (pending model wakes mean the live resume is
+      // still in flight — protocol state matches, flags do not need to)
+      // and no batch-delivered resume the model has not executed.
+      if (!any_unsynced()) {
+        const std::string mismatch = compare(ms);
+        ++res_.compares;
+        if (!mismatch.empty()) {
+          fidelity_fail(i, mismatch);
+          break;
+        }
+      }
+    }
+    shutdown();
+  }
+
+  void shutdown() {
+    for (int n = 0; n < sched_.config.ncmp; ++n) {
+      LiveNode& ln = node(n);
+      if (ln.at_baton && ln.a_cpu->blocked()) {
+        ln.cmd = ACmd::kExit;
+        ln.a_cpu->wake();
+        (void)settle(n);
+      }
+    }
+  }
+
+  const Schedule& sched_;
+  Model model_;
+  ReplayResult& res_;
+  sim::Engine engine_;
+  sim::SimCpu* driver_ = nullptr;
+  std::vector<LiveNode> nodes_;
+  FaultInjector injector_;
+  rt::DegradationController degrade_;
+};
+
+}  // namespace
+
+ReplayResult replay_schedule(const Schedule& sched) {
+  ReplayResult res;
+  SinkGuard guard(&res.live_violations);
+  Harness h(sched, res);
+  h.run();
+  if (!res.fidelity_ok) {
+    res.ok = false;
+  } else if (sched.expect.empty()) {
+    res.ok = !res.violation_hit;
+  } else {
+    res.ok = res.violation_hit &&
+             res.violation.find(sched.expect) != std::string::npos;
+  }
+  return res;
+}
+
+}  // namespace ssomp::slip::model

@@ -1,0 +1,57 @@
+// Counterexample replay: drive a model schedule through the REAL objects.
+//
+// The harness builds the live protocol objects (SlipPair, TokenSemaphore,
+// FaultInjector, DegradationController) on a real simulation Engine, with
+// one fiber per A-stream and a driver fiber executing the R-stream,
+// watchdog, backstop, and master segments inline. The schedule's actions
+// are executed one at a time — A-stream steps via a baton protocol
+// (the fiber parks between commands), semaphore resumes by letting the
+// engine deliver the pending wake event — and the model is stepped in
+// lockstep. After every action where live and model are synchronized, the
+// full protocol state (PairState, both TokenStates, injector ledgers,
+// degradation counters) is compared field-for-field.
+//
+// The one place live and model can transiently decouple: a sweep action
+// (team-barrier watchdog, backstop) can wake SEVERAL parked A-streams at
+// once. The engine delivers those resumes in wake-issue order the moment
+// the driver next yields, while the schedule orders them explicitly; the
+// harness executes the whole batch on the first resume action, steps the
+// model through the remaining resume actions as they arrive, and resumes
+// comparing when the batch drains. Schedules that interleave a same-node
+// R-stream or watchdog action into such a batch are reported as not
+// strictly replayable rather than silently mis-compared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slip/model/schedule.hpp"
+
+namespace ssomp::slip::model {
+
+struct ReplayResult {
+  /// Schedule executed to its end (or to the expected violation) with
+  /// every synchronized comparison passing.
+  bool ok = false;
+  /// Every synchronized live-vs-model comparison matched.
+  bool fidelity_ok = true;
+  std::string fidelity_error;
+  /// Model-detected invariant violation during the replayed schedule.
+  bool violation_hit = false;
+  std::string violation;
+  std::size_t violation_step = 0;
+  /// Protocol-precondition violations raised by the LIVE objects
+  /// (captured via proto::violation_sink instead of aborting).
+  std::vector<std::string> live_violations;
+  std::size_t steps_executed = 0;
+  std::size_t compares = 0;
+};
+
+/// Replays `sched` on live objects in lockstep with the model. When
+/// `sched.expect` is non-empty, success requires the model to report a
+/// violation containing that text at some step; when it is empty, success
+/// requires a violation-free run to the schedule's end.
+[[nodiscard]] ReplayResult replay_schedule(const Schedule& sched);
+
+}  // namespace ssomp::slip::model

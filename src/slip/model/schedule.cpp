@@ -1,0 +1,178 @@
+#include "slip/model/schedule.hpp"
+
+#include <sstream>
+
+namespace ssomp::slip::model {
+namespace {
+
+constexpr std::string_view kMagic = "ssomp-schedule-v1";
+
+std::string_view action_word(ActionKind k) {
+  switch (k) {
+    case ActionKind::kRStep: return "r";
+    case ActionKind::kAStep: return "a";
+    case ActionKind::kWdogToken: return "wdog-token";
+    case ActionKind::kWdogTeam: return "wdog-team";
+    case ActionKind::kWdogHang: return "wdog-hang";
+    case ActionKind::kBackstop: return "backstop";
+    case ActionKind::kRegionEnd: return "region-end";
+  }
+  return "?";
+}
+
+bool parse_action_word(std::string_view w, ActionKind& out) {
+  if (w == "r") out = ActionKind::kRStep;
+  else if (w == "a") out = ActionKind::kAStep;
+  else if (w == "wdog-token") out = ActionKind::kWdogToken;
+  else if (w == "wdog-team") out = ActionKind::kWdogTeam;
+  else if (w == "wdog-hang") out = ActionKind::kWdogHang;
+  else if (w == "backstop") out = ActionKind::kBackstop;
+  else if (w == "region-end") out = ActionKind::kRegionEnd;
+  else return false;
+  return true;
+}
+
+bool parse_sync(std::string_view w, SyncType& out) {
+  if (w == "local") out = SyncType::kLocal;
+  else if (w == "global") out = SyncType::kGlobal;
+  else if (w == "none") out = SyncType::kNone;
+  else if (w == "runtime") out = SyncType::kRuntime;
+  else return false;
+  return true;
+}
+
+std::string_view sync_word(SyncType s) {
+  switch (s) {
+    case SyncType::kLocal: return "local";
+    case SyncType::kGlobal: return "global";
+    case SyncType::kNone: return "none";
+    case SyncType::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string serialize_schedule(const Schedule& s) {
+  const ModelConfig& c = s.config;
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "ncmp " << c.ncmp << "\n";
+  out << "tokens " << c.tokens << "\n";
+  out << "sync " << sync_word(c.sync) << "\n";
+  out << "regions " << c.regions << "\n";
+  out << "barriers " << c.barriers << "\n";
+  out << "chunks " << c.chunks << "\n";
+  out << "mailbox-depth " << c.mailbox_depth << "\n";
+  out << "threshold " << c.divergence_threshold << "\n";
+  out << "policy " << to_string(c.policy) << "\n";
+  out << "restart-budget " << c.restart_budget << "\n";
+  out << "watchdog " << (c.watchdog ? 1 : 0) << "\n";
+  out << "degrade " << (c.degrade_enabled ? 1 : 0) << " " << c.demote_after
+      << " " << c.probation << "\n";
+  out << "fault " << slip::to_string(c.fault.kind);
+  if (c.fault.active()) {
+    out << "," << c.fault.node << "," << c.fault.visit << ","
+        << c.fault.seed;
+  }
+  out << "\n";
+  if (!s.expect.empty()) out << "expect " << s.expect << "\n";
+  for (const Action& a : s.actions) {
+    out << "step " << action_word(a.kind);
+    if (a.kind != ActionKind::kBackstop && a.kind != ActionKind::kRegionEnd) {
+      out << " " << a.node;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+ScheduleParse parse_schedule(const std::string& text) {
+  ScheduleParse res;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    res.error = "missing ssomp-schedule-v1 header";
+    return res;
+  }
+  Schedule& s = res.value;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    const auto bad = [&](const std::string& why) {
+      std::ostringstream msg;
+      msg << "line " << lineno << ": " << why;
+      res.error = msg.str();
+      return res;
+    };
+    if (key == "ncmp") { if (!(ls >> s.config.ncmp)) return bad("bad ncmp"); }
+    else if (key == "tokens") {
+      if (!(ls >> s.config.tokens)) return bad("bad tokens");
+    } else if (key == "sync") {
+      std::string w;
+      if (!(ls >> w) || !parse_sync(w, s.config.sync)) return bad("bad sync");
+    } else if (key == "regions") {
+      if (!(ls >> s.config.regions)) return bad("bad regions");
+    } else if (key == "barriers") {
+      if (!(ls >> s.config.barriers)) return bad("bad barriers");
+    } else if (key == "chunks") {
+      if (!(ls >> s.config.chunks)) return bad("bad chunks");
+    } else if (key == "mailbox-depth") {
+      if (!(ls >> s.config.mailbox_depth)) return bad("bad mailbox-depth");
+    } else if (key == "threshold") {
+      if (!(ls >> s.config.divergence_threshold)) return bad("bad threshold");
+    } else if (key == "policy") {
+      std::string w;
+      if (!(ls >> w)) return bad("bad policy");
+      if (w == "bench") s.config.policy = Policy::kBench;
+      else if (w == "restart") s.config.policy = Policy::kRestart;
+      else return bad("unknown policy '" + w + "'");
+    } else if (key == "restart-budget") {
+      if (!(ls >> s.config.restart_budget)) return bad("bad restart-budget");
+    } else if (key == "watchdog") {
+      int v = 0;
+      if (!(ls >> v)) return bad("bad watchdog");
+      s.config.watchdog = v != 0;
+    } else if (key == "degrade") {
+      int v = 0;
+      if (!(ls >> v >> s.config.demote_after >> s.config.probation)) {
+        return bad("bad degrade");
+      }
+      s.config.degrade_enabled = v != 0;
+    } else if (key == "fault") {
+      std::string spec;
+      if (!(ls >> spec)) return bad("bad fault");
+      FaultPlanParse fp = parse_fault_plan(spec);
+      if (!fp.ok) return bad("bad fault: " + fp.error);
+      s.config.fault = fp.value;
+    } else if (key == "expect") {
+      std::string rest;
+      std::getline(ls, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+      if (rest.empty()) return bad("empty expect");
+      s.expect = rest;
+    } else if (key == "step") {
+      std::string w;
+      if (!(ls >> w)) return bad("bad step");
+      Action a;
+      if (!parse_action_word(w, a.kind)) {
+        return bad("unknown action '" + w + "'");
+      }
+      if (a.kind != ActionKind::kBackstop &&
+          a.kind != ActionKind::kRegionEnd) {
+        if (!(ls >> a.node)) return bad("missing node for '" + w + "'");
+      }
+      s.actions.push_back(a);
+    } else {
+      return bad("unknown directive '" + key + "'");
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace ssomp::slip::model

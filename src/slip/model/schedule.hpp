@@ -1,0 +1,58 @@
+// Serialized counterexample schedules.
+//
+// A schedule file pins everything a run needs to be deterministic: the
+// model configuration (which doubles as the live-engine configuration
+// for replay) plus the exact action sequence. Text format, one
+// directive per line, so counterexamples are diffable and reviewable:
+//
+//   ssomp-schedule-v1
+//   # free-text comments
+//   ncmp 2
+//   tokens 1
+//   sync local
+//   regions 1
+//   barriers 2
+//   chunks 0
+//   mailbox-depth 4
+//   threshold 1
+//   policy bench
+//   restart-budget 3
+//   watchdog 0
+//   degrade 0 2 4
+//   fault starve-token,0,1
+//   expect waiter resumed past a delivered poison
+//   step r 0
+//   step a 0
+//   ...
+//
+// Config lines may appear in any order before the first `step`; omitted
+// lines keep ModelConfig defaults. `expect` (optional) records the
+// violation the schedule was minimized to reach — replay asserts that
+// this violation (and not some other) reproduces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slip/model/model.hpp"
+
+namespace ssomp::slip::model {
+
+struct Schedule {
+  ModelConfig config{};
+  std::vector<Action> actions;
+  /// Expected violation text; empty for a clean (property-test) schedule.
+  std::string expect;
+};
+
+[[nodiscard]] std::string serialize_schedule(const Schedule& s);
+
+struct ScheduleParse {
+  bool ok = false;
+  Schedule value;
+  std::string error;
+};
+
+[[nodiscard]] ScheduleParse parse_schedule(const std::string& text);
+
+}  // namespace ssomp::slip::model

@@ -9,14 +9,19 @@
 //     (a shared variable; the simulated address gives it real coherence
 //     timing, the host fields carry the value), and
 //   * divergence/recovery bookkeeping.
+//
+// The protocol-visible transitions live in slip/protocol.hpp
+// (proto::PairState and the pair_* functions); this class wraps them with
+// the value-carrying mailbox queue and instrumentation so the model
+// checker steps the same transition code the engine runs.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 
-#include "sim/check.hpp"
 #include "sim/types.hpp"
+#include "slip/protocol.hpp"
 #include "slip/tokens.hpp"
 #include "trace/tracer.hpp"
 
@@ -28,13 +33,18 @@ struct RecoveryException {};
 
 class SlipPair {
  public:
+  /// `mailbox_depth` bounds outstanding forwarded decisions; past it the
+  /// stalest decision is dropped (and accounted, so the auditor can
+  /// reconcile queue depth against the syscall-token count). Tests and the
+  /// model-replay harness shrink it to exercise the drop path.
   SlipPair(sim::CpuId r_cpu, sim::CpuId a_cpu, sim::Cycles sem_access_cycles,
-           sim::Addr mailbox_addr)
+           sim::Addr mailbox_addr, std::size_t mailbox_depth = kMailboxDepth)
       : r_cpu_(r_cpu),
         a_cpu_(a_cpu),
         barrier_sem_(sem_access_cycles),
         syscall_sem_(sem_access_cycles),
-        mailbox_addr_(mailbox_addr) {}
+        mailbox_addr_(mailbox_addr),
+        mailbox_depth_(mailbox_depth) {}
 
   [[nodiscard]] sim::CpuId r_cpu() const { return r_cpu_; }
   [[nodiscard]] sim::CpuId a_cpu() const { return a_cpu_; }
@@ -81,29 +91,24 @@ class SlipPair {
     bool last = false;  // no more chunks in this loop
   };
 
-  /// Host-side bound on outstanding forwarded scheduling decisions; past
-  /// it the stalest decision is dropped (and accounted, so the auditor
-  /// can reconcile queue depth against the syscall-token count).
+  /// Default host-side bound on outstanding forwarded decisions.
   static constexpr std::size_t kMailboxDepth = 1024;
 
   void mailbox_push(const Mailbox& mb) {
-    if (mailbox_queue_.size() >= kMailboxDepth) {
+    if (proto::pair_mailbox_push(core_, mailbox_depth_)) {
       mailbox_queue_.pop_front();
-      ++mailbox_dropped_;
       if (inst_ != nullptr) {
-        inst_->mailbox_drop(r_cpu_, node_, mailbox_dropped_);
+        inst_->mailbox_drop(r_cpu_, node_, core_.mb_dropped);
       }
     }
     mailbox_queue_.push_back(mb);
-    ++mailbox_pushed_;
     if (inst_ != nullptr) inst_->mailbox_push(r_cpu_, node_, mb.lo, mb.hi);
   }
 
   [[nodiscard]] Mailbox mailbox_pop() {
-    SSOMP_CHECK(!mailbox_queue_.empty());
+    proto::enforce(proto::pair_mailbox_pop(core_));
     const Mailbox mb = mailbox_queue_.front();
     mailbox_queue_.pop_front();
-    ++mailbox_popped_;
     if (inst_ != nullptr) inst_->mailbox_pop(a_cpu_, node_, mb.lo, mb.hi);
     return mb;
   }
@@ -112,14 +117,24 @@ class SlipPair {
   [[nodiscard]] std::size_t mailbox_size() const {
     return mailbox_queue_.size();
   }
-  [[nodiscard]] std::uint64_t mailbox_pushed() const {
-    return mailbox_pushed_;
-  }
-  [[nodiscard]] std::uint64_t mailbox_popped() const {
-    return mailbox_popped_;
-  }
+  [[nodiscard]] std::uint64_t mailbox_pushed() const { return core_.mb_pushed; }
+  [[nodiscard]] std::uint64_t mailbox_popped() const { return core_.mb_popped; }
   [[nodiscard]] std::uint64_t mailbox_dropped() const {
-    return mailbox_dropped_;
+    return core_.mb_dropped;
+  }
+  /// Decisions dropped since the last region reset. A previous region's
+  /// drop cannot explain this region's unpaired syscall token, so the
+  /// runtime's channel tripwire keys off this, not the cumulative count.
+  [[nodiscard]] std::uint64_t mailbox_dropped_this_region() const {
+    return core_.mb_dropped - core_.mb_dropped_at_region_start;
+  }
+
+  /// True when a syscall token with no mailbox entry to pair with has a
+  /// legitimate cause (a drop this region, or a mid-region restart that
+  /// drained the channel asymmetrically). See
+  /// proto::pair_unpaired_token_explained.
+  [[nodiscard]] bool unpaired_syscall_token_explained() const {
+    return proto::pair_unpaired_token_explained(core_);
   }
 
   /// Prepares the pair for a new parallel region. Clears the mailbox:
@@ -128,25 +143,18 @@ class SlipPair {
   /// region would pair with the wrong syscall token and poison that
   /// region's dynamic schedule.
   void reset_for_region(int initial_tokens) {
-    barrier_sem_.initialize(initial_tokens);
-    syscall_sem_.initialize(0);
+    proto::enforce(proto::pair_reset_for_region(
+        core_, barrier_sem_.state(), syscall_sem_.state(), initial_tokens));
     mailbox_queue_.clear();
-    initial_tokens_ = initial_tokens;
-    r_barriers_ = 0;
-    a_barriers_ = 0;
-    recovery_requested_ = false;
-    a_recovered_this_region_ = false;
-    restarts_this_region_ = 0;
-    a_benched_ = false;
   }
 
-  [[nodiscard]] int initial_tokens() const { return initial_tokens_; }
+  [[nodiscard]] int initial_tokens() const { return core_.initial_tokens; }
 
   // Barrier-visit counters (host bookkeeping mirroring the token register).
-  void note_r_barrier() { ++r_barriers_; }
-  void note_a_barrier() { ++a_barriers_; }
-  [[nodiscard]] std::uint64_t r_barriers() const { return r_barriers_; }
-  [[nodiscard]] std::uint64_t a_barriers() const { return a_barriers_; }
+  void note_r_barrier() { ++core_.r_barriers; }
+  void note_a_barrier() { ++core_.a_barriers; }
+  [[nodiscard]] std::uint64_t r_barriers() const { return core_.r_barriers; }
+  [[nodiscard]] std::uint64_t a_barriers() const { return core_.a_barriers; }
 
   /// R-side: flags the A-stream as diverged and kicks it out of any
   /// semaphore wait. The A-stream observes the flag at its next simulated
@@ -155,21 +163,17 @@ class SlipPair {
   /// while the A-stream is not waiting (or already woken), and a later
   /// request must still be able to kick a wait entered afterwards.
   void request_recovery(sim::SimCpu& r) {
-    if (!recovery_requested_) {
-      recovery_requested_ = true;
-      ++recoveries_;
-    }
+    (void)proto::pair_request_recovery(core_);
     barrier_sem_.poison(r);
     syscall_sem_.poison(r);
   }
 
-  [[nodiscard]] bool recovery_requested() const { return recovery_requested_; }
+  [[nodiscard]] bool recovery_requested() const {
+    return core_.recovery_requested;
+  }
 
   /// What ack_recovery() reconciled away (for instrumentation).
-  struct AckReconcile {
-    std::uint64_t mailbox_cleared = 0;
-    std::uint64_t syscall_drained = 0;
-  };
+  using AckReconcile = proto::AckReconcile;
 
   /// A-side: acknowledges recovery (called when the exception is caught)
   /// and reconciles the syscall channel. The mailbox was previously
@@ -180,13 +184,10 @@ class SlipPair {
   /// channel consistent: post-ack, forwarded decisions and their tokens
   /// are created strictly in pairs again.
   AckReconcile ack_recovery() {
-    recovery_requested_ = false;
-    a_recovered_this_region_ = true;
     AckReconcile r;
-    r.mailbox_cleared = mailbox_queue_.size();
-    mailbox_cleared_ += r.mailbox_cleared;
+    proto::enforce(
+        proto::pair_ack_recovery(core_, syscall_sem_.state(), r));
     mailbox_queue_.clear();
-    r.syscall_drained = syscall_sem_.drain_to(0);
     return r;
   }
 
@@ -199,44 +200,42 @@ class SlipPair {
   /// barrier episodes — the number of body barriers the restarted
   /// A-stream must replay without consuming tokens.
   std::uint64_t prepare_restart() {
-    ++restarts_this_region_;
-    ++restarts_total_;
-    (void)barrier_sem_.drain_to(initial_tokens_);
-    std::uint64_t skipped = 0;
-    if (r_barriers_ > a_barriers_) {
-      skipped = r_barriers_ - a_barriers_;
-      restart_skipped_barriers_ += skipped;
-      a_barriers_ = r_barriers_;
-    }
-    return skipped;
+    std::uint64_t resync = 0;
+    proto::enforce(
+        proto::pair_prepare_restart(core_, barrier_sem_.state(), resync));
+    return resync;
   }
 
   /// A-side: the A-stream is out for the remainder of this region (bench
   /// policy, or restart budget exhausted). The R-stream counts its
   /// remaining barrier visits as benched — run-ahead coverage forfeited.
-  void set_benched() { a_benched_ = true; }
-  void note_benched_barrier() { ++benched_barriers_; }
+  void set_benched() { core_.a_benched = true; }
+  void note_benched_barrier() { ++core_.benched_barriers; }
 
   [[nodiscard]] bool a_recovered_this_region() const {
-    return a_recovered_this_region_;
+    return core_.a_recovered_this_region;
   }
-  [[nodiscard]] bool a_benched() const { return a_benched_; }
-  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] bool a_benched() const { return core_.a_benched; }
+  [[nodiscard]] std::uint64_t recoveries() const { return core_.recoveries; }
   [[nodiscard]] std::uint64_t restarts_this_region() const {
-    return restarts_this_region_;
+    return core_.restarts_this_region;
   }
   [[nodiscard]] std::uint64_t restarts_total() const {
-    return restarts_total_;
+    return core_.restarts_total;
   }
   [[nodiscard]] std::uint64_t restart_skipped_barriers() const {
-    return restart_skipped_barriers_;
+    return core_.restart_skipped_barriers;
   }
   [[nodiscard]] std::uint64_t benched_barriers() const {
-    return benched_barriers_;
+    return core_.benched_barriers;
   }
   [[nodiscard]] std::uint64_t mailbox_cleared() const {
-    return mailbox_cleared_;
+    return core_.mb_cleared;
   }
+
+  /// Protocol-core view, for the model-replay harness's lockstep state
+  /// comparison.
+  [[nodiscard]] const proto::PairState& core() const { return core_; }
 
  private:
   sim::CpuId r_cpu_;
@@ -244,22 +243,9 @@ class SlipPair {
   TokenSemaphore barrier_sem_;
   TokenSemaphore syscall_sem_;
   sim::Addr mailbox_addr_;
+  std::size_t mailbox_depth_;
   std::deque<Mailbox> mailbox_queue_;
-  std::uint64_t mailbox_pushed_ = 0;
-  std::uint64_t mailbox_popped_ = 0;
-  std::uint64_t mailbox_dropped_ = 0;
-  int initial_tokens_ = 0;
-  std::uint64_t r_barriers_ = 0;
-  std::uint64_t a_barriers_ = 0;
-  std::uint64_t recoveries_ = 0;
-  bool recovery_requested_ = false;
-  bool a_recovered_this_region_ = false;
-  bool a_benched_ = false;
-  std::uint64_t restarts_this_region_ = 0;
-  std::uint64_t restarts_total_ = 0;
-  std::uint64_t restart_skipped_barriers_ = 0;
-  std::uint64_t benched_barriers_ = 0;
-  std::uint64_t mailbox_cleared_ = 0;
+  proto::PairState core_;
   trace::Instrumentation* inst_ = nullptr;
   int node_ = -1;
 };

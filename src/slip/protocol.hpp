@@ -1,0 +1,318 @@
+// Pure protocol core for the slipstream token/recovery state machine.
+//
+// Every host-visible transition of TokenSemaphore and SlipPair is factored
+// into a side-effect-free-on-failure function over plain-data state structs.
+// The live classes (tokens.hpp, pair.hpp) delegate here and keep only the
+// simulation concerns around the shared core: cycle charging, fiber
+// blocking/waking, watchdog arming and instrumentation. The bounded model
+// checker (slip/model/) steps the exact same transition functions over
+// explicit states, so the protocol verified by the checker is — by
+// construction, not by transcription — the protocol the engine runs.
+//
+// Transitions that can fail report the violated precondition as a string
+// (nullptr means the transition applied). The live wrappers feed that
+// through enforce(), which aborts like SSOMP_CHECK; the checker treats a
+// non-null return as a reachable-state violation and emits the schedule
+// that produced it as a counterexample.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssomp::slip::proto {
+
+/// Where precondition violations go. By default they abort (same contract
+/// as SSOMP_CHECK); tests and the replay harness install a sink to capture
+/// the message instead so a violating schedule can be driven through the
+/// real objects without killing the process.
+using ViolationSink = void (*)(const char* what);
+
+inline ViolationSink& violation_sink() {
+  static ViolationSink sink = nullptr;
+  return sink;
+}
+
+inline void enforce(const char* violation) {
+  if (violation == nullptr) return;
+  if (violation_sink() != nullptr) {
+    violation_sink()(violation);
+    return;
+  }
+  std::fprintf(stderr, "SSOMP protocol violation: %s\n", violation);
+  std::abort();
+}
+
+/// Test hooks that re-enable historical (pre-fix) protocol behavior so the
+/// checker→counterexample→replay pipeline can demonstrate, in CI, that it
+/// still catches the bugs this code used to have. Never set outside tests.
+struct LegacyBugs {
+  /// Pre-fix poison semantics: latch the poison flag only for a *parked*
+  /// waiter, silently dropping a poison that lands in the
+  /// woken-but-not-yet-resumed window (wake() clears blocked_ immediately;
+  /// the fiber resumes at a later event).
+  bool drop_poison_in_wake_window = false;
+};
+
+inline LegacyBugs& legacy_bugs() {
+  static LegacyBugs bugs;
+  return bugs;
+}
+
+// ---------------------------------------------------------------------------
+// Token semaphore core (paper §2.2, Figure 1).
+// ---------------------------------------------------------------------------
+
+struct TokenState {
+  int count = 0;
+  bool poisoned = false;
+  bool waiter = false;  // a consumer is registered (parked or woken-pending)
+  std::uint64_t inserted = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t drained = 0;
+
+  friend bool operator==(const TokenState&, const TokenState&) = default;
+};
+
+/// (Re)initialization; legal only with no registered waiter. A pending
+/// poison can only exist while its waiter is registered, so by the time
+/// re-initialization is legal the flag must already be clear — report
+/// instead of silently masking a lost poison.
+[[nodiscard]] inline const char* token_initialize(TokenState& s, int tokens) {
+  if (s.waiter) return "token register re-initialized under a registered waiter";
+  if (s.poisoned) return "token register re-initialized with a pending poison";
+  if (tokens < 0) return "token register initialized to a negative count";
+  s.count = tokens;
+  return nullptr;
+}
+
+enum class Acquire : std::uint8_t {
+  kTaken = 0,     // token consumed immediately
+  kMustWait = 1,  // no token; caller registered as the waiter and must park
+};
+
+/// First half of a blocking consume: take a token or register as waiter.
+[[nodiscard]] inline const char* token_consume_begin(TokenState& s,
+                                                     Acquire& out) {
+  if (s.count == 0) {
+    // One A-stream per semaphore.
+    if (s.waiter) return "second waiter registered on a token semaphore";
+    s.waiter = true;
+    out = Acquire::kMustWait;
+    return nullptr;
+  }
+  --s.count;
+  ++s.consumed;
+  out = Acquire::kTaken;
+  return nullptr;
+}
+
+enum class Resume : std::uint8_t {
+  kToken = 0,     // woken by an insert; token consumed
+  kPoisoned = 1,  // woken by a poison; no token consumed, flag cleared
+};
+
+/// Second half of a blocking consume, applied when the parked waiter
+/// resumes. The poison flag wins over a token that arrived in the same
+/// window (the consume reports failure; the token stays for later).
+[[nodiscard]] inline const char* token_consume_resume(TokenState& s,
+                                                      Resume& out) {
+  if (!s.waiter) return "semaphore wait resumed with no registered waiter";
+  s.waiter = false;
+  if (s.poisoned) {
+    s.poisoned = false;
+    out = Resume::kPoisoned;
+    return nullptr;
+  }
+  if (s.count <= 0) return "waiter resumed with neither token nor poison";
+  --s.count;
+  ++s.consumed;
+  out = Resume::kToken;
+  return nullptr;
+}
+
+/// Non-blocking consume; true when a token was taken.
+[[nodiscard]] inline bool token_try_consume(TokenState& s) {
+  if (s.count == 0) return false;
+  --s.count;
+  ++s.consumed;
+  return true;
+}
+
+/// Insert one token. Returns true when the caller must wake a parked
+/// waiter (`waiter_parked` reports whether the registered waiter's fiber is
+/// actually blocked — a woken-but-not-resumed waiter must not be woken
+/// twice).
+[[nodiscard]] inline bool token_insert(TokenState& s, bool waiter_parked) {
+  ++s.count;
+  ++s.inserted;
+  return s.waiter && waiter_parked;
+}
+
+/// Poison the wait: the registered waiter's consume resumes with failure.
+/// The flag is latched for any *registered* waiter, not only a parked one:
+/// a waiter already woken by insert() but not yet resumed must still
+/// observe a poison arriving in that window. Returns true when the caller
+/// must wake a parked waiter. No-op without a registered waiter.
+[[nodiscard]] inline bool token_poison(TokenState& s, bool waiter_parked) {
+  if (!s.waiter) return false;
+  if (legacy_bugs().drop_poison_in_wake_window && !waiter_parked) {
+    return false;  // historical bug: poison lost in the wake window
+  }
+  s.poisoned = true;
+  return waiter_parked;
+}
+
+/// Discard tokens down to `target`, tracking the removal in `drained` so
+/// the conservation identity stays exact across restarts.
+[[nodiscard]] inline const char* token_drain_to(TokenState& s, int target,
+                                                std::uint64_t& removed) {
+  removed = 0;
+  if (target < 0) return "token register drained to a negative target";
+  if (s.count <= target) return nullptr;
+  removed = static_cast<std::uint64_t>(s.count - target);
+  s.count = target;
+  s.drained += removed;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Pair (per-CMP) protocol core.
+// ---------------------------------------------------------------------------
+
+/// All protocol-visible SlipPair state except the two TokenStates and the
+/// mailbox *values* (the value queue lives in the live class / the model
+/// keeps only the control-flow-relevant `last` bits; its length is mirrored
+/// here as mb_size).
+struct PairState {
+  int initial_tokens = 0;
+  std::uint64_t r_barriers = 0;
+  std::uint64_t a_barriers = 0;
+  std::uint64_t recoveries = 0;
+  bool recovery_requested = false;
+  bool a_recovered_this_region = false;
+  bool a_benched = false;
+  std::uint64_t restarts_this_region = 0;
+  std::uint64_t restarts_total = 0;
+  std::uint64_t restart_skipped_barriers = 0;
+  std::uint64_t benched_barriers = 0;
+  std::uint64_t mb_size = 0;
+  std::uint64_t mb_pushed = 0;
+  std::uint64_t mb_popped = 0;
+  std::uint64_t mb_dropped = 0;
+  std::uint64_t mb_cleared = 0;
+  /// Snapshot of mb_dropped at the last region reset. A drop only explains
+  /// an unpaired syscall token within its own region; comparing against the
+  /// cumulative counter would let a region-1 drop excuse protocol breakage
+  /// forever after.
+  std::uint64_t mb_dropped_at_region_start = 0;
+
+  friend bool operator==(const PairState&, const PairState&) = default;
+};
+
+/// Region reset. Clears the mailbox mirror (the live class clears the value
+/// queue alongside), re-initializes bookkeeping, and re-baselines the
+/// per-region drop counter. Token registers are re-initialized separately
+/// via token_initialize so their staleness preconditions are checked.
+[[nodiscard]] inline const char* pair_reset_for_region(PairState& p,
+                                                       TokenState& barrier,
+                                                       TokenState& syscall,
+                                                       int initial_tokens) {
+  if (const char* v = token_initialize(barrier, initial_tokens)) return v;
+  if (const char* v = token_initialize(syscall, 0)) return v;
+  p.mb_size = 0;  // entries discarded at a region boundary are not "cleared"
+  p.initial_tokens = initial_tokens;
+  p.r_barriers = 0;
+  p.a_barriers = 0;
+  p.recovery_requested = false;
+  p.a_recovered_this_region = false;
+  p.restarts_this_region = 0;
+  p.a_benched = false;
+  p.mb_dropped_at_region_start = p.mb_dropped;
+  return nullptr;
+}
+
+/// Marks a recovery request. Returns true when this is a NEW request (the
+/// auditor counts those); repeat requests do not count a new recovery but
+/// the caller must still re-poison both semaphores — the first poison can
+/// land while the A-stream is not waiting, and a later request must be able
+/// to kick a wait entered afterwards.
+[[nodiscard]] inline bool pair_request_recovery(PairState& p) {
+  if (p.recovery_requested) return false;
+  p.recovery_requested = true;
+  ++p.recoveries;
+  return true;
+}
+
+struct AckReconcile {
+  std::uint64_t mailbox_cleared = 0;
+  std::uint64_t syscall_drained = 0;
+};
+
+/// A-side acknowledgment: clears the request, drops the mailbox mirror and
+/// drains the syscall register to zero so forwarded decisions and their
+/// tokens are created strictly in pairs again.
+[[nodiscard]] inline const char* pair_ack_recovery(PairState& p,
+                                                   TokenState& syscall,
+                                                   AckReconcile& out) {
+  p.recovery_requested = false;
+  p.a_recovered_this_region = true;
+  out.mailbox_cleared = p.mb_size;
+  p.mb_cleared += p.mb_size;
+  p.mb_size = 0;
+  return token_drain_to(syscall, 0, out.syscall_drained);
+}
+
+/// A-side restart resync: fast-forward the A-stream's barrier position to
+/// the R-stream's episode and reset the barrier register to the initial
+/// allowance. `resync` reports the barrier episodes the restarted A-stream
+/// must replay without consuming tokens.
+[[nodiscard]] inline const char* pair_prepare_restart(PairState& p,
+                                                      TokenState& barrier,
+                                                      std::uint64_t& resync) {
+  ++p.restarts_this_region;
+  ++p.restarts_total;
+  std::uint64_t removed = 0;
+  if (const char* v = token_drain_to(barrier, p.initial_tokens, removed)) {
+    return v;
+  }
+  resync = 0;
+  if (p.r_barriers > p.a_barriers) {
+    resync = p.r_barriers - p.a_barriers;
+    p.restart_skipped_barriers += resync;
+    p.a_barriers = p.r_barriers;
+  }
+  return nullptr;
+}
+
+/// Mailbox push with depth clamping. Returns true when the stalest entry
+/// was dropped to make room (the caller pops its value queue's front).
+[[nodiscard]] inline bool pair_mailbox_push(PairState& p, std::uint64_t depth) {
+  bool dropped = false;
+  if (p.mb_size >= depth) {
+    --p.mb_size;
+    ++p.mb_dropped;
+    dropped = true;
+  }
+  ++p.mb_size;
+  ++p.mb_pushed;
+  return dropped;
+}
+
+[[nodiscard]] inline const char* pair_mailbox_pop(PairState& p) {
+  if (p.mb_size == 0) return "pop from an empty mailbox";
+  --p.mb_size;
+  ++p.mb_popped;
+  return nullptr;
+}
+
+/// Legitimacy test for a syscall token that arrived with no mailbox entry
+/// to pair with: only a decision dropped *this region* or a mid-region
+/// restart (which drains the channel asymmetrically) explains it. Anything
+/// else is a protocol break.
+[[nodiscard]] inline bool pair_unpaired_token_explained(const PairState& p) {
+  return p.mb_dropped > p.mb_dropped_at_region_start ||
+         p.restarts_this_region > 0;
+}
+
+}  // namespace ssomp::slip::proto

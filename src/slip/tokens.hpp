@@ -7,12 +7,18 @@
 // on exit for GLOBAL_SYNC). The same mechanism, initialized to zero,
 // implements the "syscall semaphore" used for I/O synchronization and for
 // forwarding dynamic-scheduling decisions to the A-stream.
+//
+// The protocol-visible state transitions live in slip/protocol.hpp
+// (proto::TokenState and the token_* functions); this class wraps them
+// with the simulation concerns — cycle charging, fiber parking/waking,
+// watchdog arming and instrumentation — so the model checker steps the
+// very same transition code the engine runs.
 #pragma once
 
 #include <cstdint>
 
-#include "sim/check.hpp"
 #include "sim/engine.hpp"
+#include "slip/protocol.hpp"
 #include "slip/watchdog.hpp"
 #include "trace/tracer.hpp"
 
@@ -44,16 +50,10 @@ class TokenSemaphore {
     node_ = node;
   }
 
-  /// (Re)initializes the counter; legal only with no waiter. A pending
-  /// poison can only exist while its waiter is still registered (the
-  /// waiter clears the flag when it resumes), so by the time re-
-  /// initialization is legal the flag must already be clear — assert
-  /// that instead of silently masking a lost poison.
+  /// (Re)initializes the counter; legal only with no waiter and no
+  /// pending poison (see proto::token_initialize).
   void initialize(int tokens) {
-    SSOMP_CHECK(waiter_ == nullptr);
-    SSOMP_CHECK(!poisoned_);
-    SSOMP_CHECK(tokens >= 0);
-    count_ = tokens;
+    proto::enforce(proto::token_initialize(st_, tokens));
   }
 
   /// Consumes one token, blocking the calling CPU while the count is zero.
@@ -61,8 +61,9 @@ class TokenSemaphore {
   /// poisoned (recovery requested) instead of satisfied by a token.
   [[nodiscard]] bool consume(sim::SimCpu& cpu, sim::TimeCategory cat) {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
-    if (count_ == 0) {
-      SSOMP_CHECK(waiter_ == nullptr);  // one A-stream per semaphore
+    proto::Acquire acq = proto::Acquire::kTaken;
+    proto::enforce(proto::token_consume_begin(st_, acq));
+    if (acq == proto::Acquire::kMustWait) {
       const sim::Cycles wait_start = cpu.engine().now();
       if (inst_ != nullptr) inst_->sem_wait_begin(cpu.id(), node_, syscall_);
       sim::Engine::CancelHandle guard =
@@ -75,63 +76,56 @@ class TokenSemaphore {
       cpu.block(cat);
       waiter_ = nullptr;
       guard.cancel();  // disarm; dropped timelessly
-      const bool poisoned = poisoned_;
+      proto::Resume res = proto::Resume::kToken;
+      proto::enforce(proto::token_consume_resume(st_, res));
+      const bool poisoned = res == proto::Resume::kPoisoned;
       if (inst_ != nullptr) {
         inst_->sem_wait_end(cpu.id(), node_, syscall_,
                             cpu.engine().now() - wait_start, poisoned);
       }
-      if (poisoned) {
-        poisoned_ = false;
-        return false;
-      }
-      SSOMP_CHECK(count_ > 0);
+      if (poisoned) return false;
     }
-    --count_;
-    ++consumed_;
-    if (inst_ != nullptr) inst_->sem_consume(cpu.id(), node_, syscall_, count_);
+    if (inst_ != nullptr) {
+      inst_->sem_consume(cpu.id(), node_, syscall_, st_.count);
+    }
     return true;
   }
 
   /// Non-blocking variant; returns true when a token was taken.
   [[nodiscard]] bool try_consume(sim::SimCpu& cpu) {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
-    if (count_ == 0) return false;
-    --count_;
-    ++consumed_;
-    if (inst_ != nullptr) inst_->sem_consume(cpu.id(), node_, syscall_, count_);
+    if (!proto::token_try_consume(st_)) return false;
+    if (inst_ != nullptr) {
+      inst_->sem_consume(cpu.id(), node_, syscall_, st_.count);
+    }
     return true;
   }
 
   /// Inserts one token and wakes a blocked consumer if any.
   void insert(sim::SimCpu& cpu) {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
-    ++count_;
-    ++inserted_;
-    if (inst_ != nullptr) inst_->sem_insert(cpu.id(), node_, syscall_, count_);
-    if (waiter_ != nullptr && waiter_->blocked()) {
-      waiter_->wake(access_cycles_);
+    const bool wake =
+        proto::token_insert(st_, waiter_ != nullptr && waiter_->blocked());
+    if (inst_ != nullptr) {
+      inst_->sem_insert(cpu.id(), node_, syscall_, st_.count);
     }
+    if (wake) waiter_->wake(access_cycles_);
   }
 
   /// Reads the counter (the R-stream's divergence probe).
   [[nodiscard]] int read_count(sim::SimCpu& cpu) {
     cpu.consume(access_cycles_, sim::TimeCategory::kBusy);
-    return count_;
+    return st_.count;
   }
 
   /// Wakes a blocked consumer *without* providing a token; its consume()
-  /// returns false. Used to kick a waiting A-stream into recovery.
-  ///
-  /// The flag is latched for any *registered* waiter, not only a blocked
-  /// one: a waiter that insert() has already woken but that has not yet
-  /// resumed (wake() clears blocked_ immediately; the fiber resumes at a
-  /// later event) must still observe a poison arriving in that window —
-  /// otherwise the poison is silently lost and a later re-request cannot
-  /// reach a waiter that blocked again in the meantime.
+  /// returns false. Used to kick a waiting A-stream into recovery. The
+  /// latching rules (registered vs parked waiter) live in
+  /// proto::token_poison.
   void poison(sim::SimCpu& waker) {
-    if (waiter_ == nullptr) return;
-    poisoned_ = true;
-    if (waiter_->blocked()) waiter_->wake(access_cycles_);
+    const bool wake =
+        proto::token_poison(st_, waiter_ != nullptr && waiter_->blocked());
+    if (wake) waiter_->wake(access_cycles_);
     (void)waker;
   }
 
@@ -141,28 +135,26 @@ class TokenSemaphore {
   /// is tracked in total_drained() so the auditor's conservation identity
   /// stays exact across restarts. No-op when count <= target.
   std::uint64_t drain_to(int target) {
-    SSOMP_CHECK(target >= 0);
-    if (count_ <= target) return 0;
-    const auto removed = static_cast<std::uint64_t>(count_ - target);
-    count_ = target;
-    drained_ += removed;
+    std::uint64_t removed = 0;
+    proto::enforce(proto::token_drain_to(st_, target, removed));
     return removed;
   }
 
-  [[nodiscard]] int count() const { return count_; }
-  [[nodiscard]] bool has_waiter() const { return waiter_ != nullptr; }
-  [[nodiscard]] std::uint64_t total_inserted() const { return inserted_; }
-  [[nodiscard]] std::uint64_t total_consumed() const { return consumed_; }
-  [[nodiscard]] std::uint64_t total_drained() const { return drained_; }
+  [[nodiscard]] int count() const { return st_.count; }
+  [[nodiscard]] bool has_waiter() const { return st_.waiter; }
+  [[nodiscard]] std::uint64_t total_inserted() const { return st_.inserted; }
+  [[nodiscard]] std::uint64_t total_consumed() const { return st_.consumed; }
+  [[nodiscard]] std::uint64_t total_drained() const { return st_.drained; }
+
+  /// Protocol-core view, for the model-replay harness's lockstep
+  /// state comparison.
+  [[nodiscard]] const proto::TokenState& state() const { return st_; }
+  [[nodiscard]] proto::TokenState& state() { return st_; }
 
  private:
   sim::Cycles access_cycles_;
-  int count_ = 0;
-  bool poisoned_ = false;
-  sim::SimCpu* waiter_ = nullptr;
-  std::uint64_t inserted_ = 0;
-  std::uint64_t consumed_ = 0;
-  std::uint64_t drained_ = 0;
+  proto::TokenState st_;
+  sim::SimCpu* waiter_ = nullptr;  // wake target while st_.waiter is set
   trace::Instrumentation* inst_ = nullptr;
   int node_ = -1;
   bool syscall_ = false;

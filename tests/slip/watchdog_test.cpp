@@ -1,8 +1,11 @@
 // Watchdog hang-detection tests (slip/watchdog.hpp) plus the engine
-// timer-event semantics it depends on.
+// timer-event semantics it depends on, and the watchdog x degradation
+// interleaving contract.
 #include <gtest/gtest.h>
 
+#include "rt/degrade.hpp"
 #include "sim/engine.hpp"
+#include "slip/pair.hpp"
 #include "slip/watchdog.hpp"
 
 namespace ssomp::slip {
@@ -62,6 +65,78 @@ TEST(WatchdogTest, DisarmedGuardNeverTripsNorAdvancesTime) {
   // A clean run with the watchdog armed is cycle-identical to one
   // without it: the disarmed timer is dropped without being fired.
   EXPECT_EQ(e.now(), 10u);
+}
+
+// Watchdog x degradation interleaving: a watchdog rescue raises a
+// recovery like any other diverging region, including during a
+// probation trial. Two racing rescue sources in the same region (the
+// timer plus a backstop-style repeat request) must count ONE recovery,
+// the degradation state machine must not move mid-region (only the
+// region-end verdict advances it — no re-promotion while a recovery is
+// being served), and a rescue during probation sends the node back to
+// the bench with exactly one more demotion.
+TEST(WatchdogDegradeTest, RescueCountsOneStrikeAndNeverMovesStateMidRegion) {
+  using rt::DegradationController;
+  sim::Engine e;
+  Watchdog w;
+  DegradationController degrade(/*enabled=*/true, /*demote_after=*/1,
+                                /*probation=*/1, /*ncmp=*/1);
+  sim::SimCpu& r = e.add_cpu("r0");
+  sim::SimCpu& a = e.add_cpu("a0");
+  SlipPair pair(r.id(), a.id(), /*sem_access_cycles=*/3, 0x1000);
+  pair.set_watchdog(&w, 0);
+  pair.reset_for_region(/*initial_tokens=*/0);  // A parks immediately
+
+  DegradationController::State expected = DegradationController::State::kHealthy;
+  w.configure(e, 100, [&](const WatchdogReport& rep) {
+    EXPECT_EQ(rep.node, 0);
+    const std::uint64_t before = pair.recoveries();
+    // The rescue, plus a racing second rescue source piling on.
+    pair.request_recovery(r);
+    pair.request_recovery(r);
+    EXPECT_EQ(pair.recoveries(), before + 1) << "rescue double-counted";
+    // Only the region-end verdict moves the controller.
+    EXPECT_EQ(degrade.state(0), expected);
+    EXPECT_TRUE(degrade.slipstream_allowed(0));
+  });
+
+  a.start([&] {
+    // Region 1 (healthy): no tokens ever inserted; the watchdog rescues.
+    EXPECT_FALSE(pair.barrier_sem().consume(a, sim::TimeCategory::kTokenWait));
+    (void)pair.ack_recovery();
+    a.block(sim::TimeCategory::kIdle);  // degraded region 2 has no A-stream
+    // Region 3 (probation trial): parks and is rescued again.
+    EXPECT_FALSE(pair.barrier_sem().consume(a, sim::TimeCategory::kTokenWait));
+    (void)pair.ack_recovery();
+  });
+  r.start([&] {
+    r.consume(1000, sim::TimeCategory::kBusy);
+    // Region 1 verdict: rescued region strikes out (demote_after=1).
+    EXPECT_TRUE(pair.a_recovered_this_region());
+    EXPECT_EQ(degrade.on_region_end(0, pair.a_recovered_this_region()),
+              DegradationController::Transition::kDemoted);
+    EXPECT_FALSE(degrade.slipstream_allowed(0));
+    EXPECT_EQ(degrade.demotions(), 1u);
+    // Region 2: served on the bench, no A-stream, trivially clean.
+    EXPECT_EQ(degrade.on_region_end(0, false),
+              DegradationController::Transition::kPromoted);
+    EXPECT_EQ(degrade.state(0), DegradationController::State::kProbation);
+    EXPECT_TRUE(degrade.slipstream_allowed(0));
+    // Region 3: probation trial with a watchdog rescue mid-region.
+    expected = DegradationController::State::kProbation;
+    pair.reset_for_region(0);
+    a.wake();
+    r.consume(1000, sim::TimeCategory::kBusy);
+    EXPECT_TRUE(pair.a_recovered_this_region());
+    EXPECT_EQ(pair.recoveries(), 2u);  // one per rescued region
+    EXPECT_EQ(degrade.on_region_end(0, pair.a_recovered_this_region()),
+              DegradationController::Transition::kDemoted);
+    EXPECT_EQ(degrade.state(0), DegradationController::State::kDegraded);
+    EXPECT_EQ(degrade.demotions(), 2u);
+    EXPECT_EQ(degrade.promotions(), 1u);
+  });
+  e.run();
+  EXPECT_EQ(w.trips(), 2u);
 }
 
 TEST(WatchdogTest, SiteNamesAreStable) {

@@ -11,6 +11,8 @@
 //             [--trace FILE] [--metrics] [--timeline FILE[,INTERVAL]]
 //   ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]
 //             [--no-host-seconds]
+//   ssomp_run --modelcheck [--max-states N]
+//   ssomp_run --replay SCHEDULEFILE
 //
 // Runs one workload on one configuration and prints either a summary
 // table or a machine-readable JSON object. --inject deterministically
@@ -28,6 +30,12 @@
 // ssomp-sweep-v1 aggregate JSON to --out (default stdout).
 // --no-host-seconds drops wall-clock timing so the same plan serializes
 // byte-identically at any job count.
+//
+// --modelcheck runs the bounded protocol model checker over the
+// canonical verification grid (docs/VERIFICATION.md; the dedicated
+// slipcheck tool exposes single-config knobs). --replay executes an
+// ssomp-schedule-v1 counterexample file on the live protocol objects in
+// lockstep with the model.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +46,10 @@
 #include "apps/registry.hpp"
 #include "core/json.hpp"
 #include "core/ssomp.hpp"
+#include "slip/model/checker.hpp"
+#include "slip/model/grid.hpp"
+#include "slip/model/replay.hpp"
+#include "slip/model/schedule.hpp"
 
 using namespace ssomp;
 
@@ -58,6 +70,8 @@ namespace {
       "                 [--timeline FILE[,INTERVAL]]\n"
       "       ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]\n"
       "                 [--no-host-seconds]\n"
+      "       ssomp_run --modelcheck [--max-states N]\n"
+      "       ssomp_run --replay SCHEDULEFILE\n"
       "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
       "               extra-token recover-in-consume recover-in-syscall\n"
       "               corrupt-forward a-stream-hang r-stream-token-loss\n"
@@ -85,6 +99,11 @@ namespace {
       "                   (default stdout)\n"
       "  --no-host-seconds  omit wall-clock fields: the sweep JSON is then\n"
       "                   byte-identical at any --jobs count\n"
+      "  --modelcheck     exhaustively check the token/recovery protocol\n"
+      "                   model over the verification grid\n"
+      "                   (docs/VERIFICATION.md)\n"
+      "  --replay FILE    execute an ssomp-schedule-v1 counterexample on\n"
+      "                   the live protocol objects in model lockstep\n"
       "  all value flags accept --flag VALUE or --flag=VALUE\n");
   std::exit(2);
 }
@@ -155,6 +174,87 @@ int run_sweep_mode(const std::string& plan_file, int jobs,
   return all_verified ? 0 : 1;
 }
 
+/// --modelcheck mode: exhaustively enumerate the canonical verification
+/// grid. Exit 0 only when every configuration verifies with zero
+/// violations; a counterexample schedule is printed for the first
+/// violation found (replayable with --replay).
+int run_modelcheck_mode(std::uint64_t max_states) {
+  slip::model::CheckerOptions opts;
+  if (max_states > 0) opts.max_states = max_states;
+  const auto grid = slip::model::default_grid();
+  std::printf("modelcheck: %zu grid configurations, budget %llu states\n",
+              grid.size(), static_cast<unsigned long long>(opts.max_states));
+  bool truncated = false;
+  for (const auto& cfg : grid) {
+    slip::model::Model model(cfg);
+    const auto res = slip::model::run_checker(model, opts);
+    if (!res.ok) {
+      std::printf("%s VIOLATION\nviolation: %s\n", cfg.describe().c_str(),
+                  res.violation.c_str());
+      slip::model::Schedule sched;
+      sched.config = cfg;
+      sched.actions = res.schedule;
+      sched.expect = res.violation;
+      std::printf("--- counterexample (%zu steps) ---\n%s---\n",
+                  res.schedule.size(), serialize_schedule(sched).c_str());
+      return 1;
+    }
+    if (res.truncated) {
+      truncated = true;
+      std::printf("%s TRUNCATED at %llu states\n", cfg.describe().c_str(),
+                  static_cast<unsigned long long>(res.stats.states_visited));
+    }
+  }
+  std::printf("modelcheck: zero violations%s\n",
+              truncated ? " (some configs truncated by the state budget)"
+                        : ", all configurations exhaustive");
+  return 0;
+}
+
+/// --replay mode: run a counterexample (or recorded random-walk) schedule
+/// on the real protocol objects, comparing against the model in lockstep.
+int run_replay_mode(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ssomp_run: cannot read schedule %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = slip::model::parse_schedule(text.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "ssomp_run: %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    return 2;
+  }
+  const slip::model::Schedule& sched = parsed.value;
+  std::printf("replaying %zu steps on %s\n", sched.actions.size(),
+              sched.config.describe().c_str());
+  const auto res = slip::model::replay_schedule(sched);
+  std::printf("steps executed: %zu, live/model comparisons: %zu\n",
+              res.steps_executed, res.compares);
+  if (!res.fidelity_ok) {
+    std::printf("FIDELITY ERROR: %s\n", res.fidelity_error.c_str());
+    return 3;
+  }
+  for (const std::string& v : res.live_violations) {
+    std::printf("live protocol violation: %s\n", v.c_str());
+  }
+  if (res.violation_hit) {
+    std::printf("model violation at step %zu: %s\n", res.violation_step,
+                res.violation.c_str());
+  }
+  if (!sched.expect.empty()) {
+    std::printf("expected violation %sreproduced: %s\n",
+                res.ok ? "" : "NOT ", sched.expect.c_str());
+    return res.ok ? 0 : 1;
+  }
+  if (res.ok) {
+    std::printf("replay clean: live and model agreed at every step\n");
+  }
+  return res.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +282,9 @@ int main(int argc, char** argv) {
   std::string out_file;
   int jobs = 0;
   bool host_seconds = true;
+  bool modelcheck = false;
+  std::uint64_t max_states = 0;
+  std::string replay_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -280,6 +383,14 @@ int main(int argc, char** argv) {
       if (out_file.empty()) usage("empty --out file name");
     } else if (arg == "--no-host-seconds") {
       host_seconds = false;
+    } else if (arg == "--modelcheck") {
+      modelcheck = true;
+    } else if (arg == "--max-states") {
+      max_states = std::strtoull(value().c_str(), nullptr, 10);
+      if (max_states == 0) usage("bad --max-states (must be > 0)");
+    } else if (arg == "--replay") {
+      replay_file = value();
+      if (replay_file.empty()) usage("empty --replay schedule file name");
     } else {
       usage(("unknown argument " + std::string(argv[i])).c_str());
     }
@@ -288,6 +399,8 @@ int main(int argc, char** argv) {
   if (!sweep_file.empty()) {
     return run_sweep_mode(sweep_file, jobs, out_file, host_seconds);
   }
+  if (modelcheck) return run_modelcheck_mode(max_states);
+  if (!replay_file.empty()) return run_replay_mode(replay_file);
 
   // App names are registered uppercase; accept any casing on the CLI.
   for (char& c : app) c = static_cast<char>(std::toupper(
