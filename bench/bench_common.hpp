@@ -66,7 +66,7 @@ inline core::SweepRun run_plan(const core::ExperimentPlan& plan,
                                const core::WorkloadResolver& resolver =
                                    apps::plan_resolver()) {
   core::SweepRun run =
-      core::run_sweep(plan, resolver, core::SweepOptions{.jobs = args.jobs});
+      core::run_sweep(plan, resolver, core::SweepOptions{.jobs = args.jobs, .progress = {}});
   for (const core::RunRecord& rec : run.records) {
     if (!rec.ok || !rec.result.workload.verified ||
         !rec.result.invariants_ok) {

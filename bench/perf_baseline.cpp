@@ -176,7 +176,7 @@ E2eResult run_e2e(const std::string& plan_file, int reps) {
   for (int r = 0; r < reps; ++r) {
     const Clock::time_point t0 = Clock::now();
     const ssomp::core::SweepRun run = ssomp::core::run_sweep(
-        parsed.value, resolver, ssomp::core::SweepOptions{.jobs = 1});
+        parsed.value, resolver, ssomp::core::SweepOptions{.jobs = 1, .progress = {}});
     out.seconds.push_back(seconds_since(t0));
     out.points = run.points.size();
     if (run.failures() != 0) out.all_verified = false;

@@ -54,7 +54,7 @@ Advice advise(const machine::MachineConfig& machine_config,
     items.push_back(std::move(item));
   }
   const std::vector<RunRecord> runs =
-      run_batch(items, SweepOptions{.jobs = jobs});
+      run_batch(items, SweepOptions{.jobs = jobs, .progress = {}});
   for (std::size_t i = 0; i < runs.size(); ++i) {
     SSOMP_CHECK(runs[i].ok && "advisor probe failed");
     SSOMP_CHECK(runs[i].result.workload.verified);

@@ -1,0 +1,390 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "stats/report.hpp"
+
+namespace ssomp::core {
+
+namespace {
+
+using trace::JsonValue;
+
+constexpr std::string_view kSweepSchema = "ssomp-sweep-v1";
+
+/// Boolean member lookup (JsonValue has no bool helper).
+bool bool_or(const JsonValue& obj, std::string_view key, bool fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kBool) return fallback;
+  return v->boolean;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The boolean per-point gates whose true -> false flip is always a
+/// regression, whatever the thresholds.
+constexpr std::string_view kGateFields[] = {"verified", "invariants_ok",
+                                            "audit_ok", "cycle_account_ok"};
+
+/// Top-level per-point numeric fields compared as counters.
+constexpr std::string_view kPointCounters[] = {"participating_cpus",
+                                               "faults_injected"};
+
+/// Collects name -> value for every numeric member of `obj[key]`.
+void collect_numbers(const JsonValue& point, std::string_view key,
+                     std::string_view prefix,
+                     std::map<std::string, double>& out) {
+  const JsonValue* obj = point.find(key);
+  if (obj == nullptr || !obj->is_object()) return;
+  for (const auto& [name, v] : obj->object) {
+    if (v.is_number()) out[std::string(prefix) + name] = v.number;
+  }
+}
+
+/// All counters of one point: top-level fields, the slipstream section,
+/// and metric counters (when captured).
+std::map<std::string, double> point_counters(const JsonValue& point) {
+  std::map<std::string, double> out;
+  for (std::string_view f : kPointCounters) {
+    const JsonValue* v = point.find(f);
+    if (v != nullptr && v->is_number()) out[std::string(f)] = v->number;
+  }
+  collect_numbers(point, "slipstream", "slipstream.", out);
+  const JsonValue* metrics = point.find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    collect_numbers(*metrics, "counters", "metrics.", out);
+  }
+  return out;
+}
+
+/// Bucket name -> share of this point's accounted cycles.
+std::map<std::string, double> bucket_shares(const JsonValue& point) {
+  std::map<std::string, double> shares;
+  const JsonValue* account = point.find("cycle_account");
+  if (account == nullptr || !account->is_object()) return shares;
+  const JsonValue* buckets = account->find("buckets");
+  if (buckets == nullptr || !buckets->is_object()) return shares;
+  double total = 0.0;
+  for (const auto& [name, v] : buckets->object) {
+    if (v.is_number()) total += v.number;
+  }
+  if (total <= 0.0) return shares;
+  for (const auto& [name, v] : buckets->object) {
+    if (v.is_number()) shares[name] = v.number / total;
+  }
+  return shares;
+}
+
+void diff_point(const JsonValue& base, const JsonValue& cand,
+                const DiffThresholds& t, PointDiff& d) {
+  const bool base_ok = bool_or(base, "ok", false);
+  const bool cand_ok = bool_or(cand, "ok", false);
+  if (base_ok && !cand_ok) {
+    d.regressed = true;
+    d.notes.push_back("point failed to run (ok flipped): " +
+                      cand.string_or("error", "unknown error"));
+    return;
+  }
+  if (!base_ok) return;  // baseline failure: nothing to compare against
+
+  for (std::string_view gate : kGateFields) {
+    if (bool_or(base, gate, true) && !bool_or(cand, gate, true)) {
+      d.regressed = true;
+      d.notes.push_back(std::string(gate) + " flipped true -> false");
+    }
+  }
+  const std::string base_sum = base.string_or("checksum");
+  const std::string cand_sum = cand.string_or("checksum");
+  if (base_sum != cand_sum) {
+    d.regressed = true;
+    d.notes.push_back("checksum changed: " + base_sum + " -> " + cand_sum);
+  }
+
+  d.base_cycles = base.number_or("cycles");
+  d.cand_cycles = cand.number_or("cycles");
+  if (d.base_cycles > 0.0) {
+    d.cycles_rel = (d.cand_cycles - d.base_cycles) / d.base_cycles;
+    if (d.cycles_rel > t.cycles_rel) {
+      d.regressed = true;
+      std::ostringstream msg;
+      msg.precision(4);
+      msg << "cycles +" << d.cycles_rel * 100.0 << "% ("
+          << static_cast<std::uint64_t>(d.base_cycles) << " -> "
+          << static_cast<std::uint64_t>(d.cand_cycles) << ") > "
+          << t.cycles_rel * 100.0 << "%";
+      d.notes.push_back(msg.str());
+    }
+  }
+
+  // Bucket-share shifts: a wait/overhead/idle bucket absorbing a larger
+  // share of the accounted cycles is the attributional regression the
+  // cycle accounting exists to catch. Compute growing its share is fine.
+  const auto base_shares = bucket_shares(base);
+  const auto cand_shares = bucket_shares(cand);
+  for (const auto& [name, cand_share] : cand_shares) {
+    if (name == "compute") continue;
+    const auto it = base_shares.find(name);
+    const double base_share = it == base_shares.end() ? 0.0 : it->second;
+    const double shift = cand_share - base_share;
+    if (shift > t.share_abs) {
+      d.regressed = true;
+      std::ostringstream msg;
+      msg.precision(4);
+      msg << "bucket " << name << " share +" << shift * 100.0 << "pt ("
+          << base_share * 100.0 << "% -> " << cand_share * 100.0 << "%) > "
+          << t.share_abs * 100.0 << "pt";
+      d.notes.push_back(msg.str());
+    }
+  }
+
+  // Counter changes, either direction: these are determinism signals
+  // (token counts, recoveries, store conversions, metric counters).
+  const auto base_ctrs = point_counters(base);
+  const auto cand_ctrs = point_counters(cand);
+  std::map<std::string, double> all = base_ctrs;
+  all.insert(cand_ctrs.begin(), cand_ctrs.end());
+  for (const auto& [name, unused] : all) {
+    (void)unused;
+    const auto bi = base_ctrs.find(name);
+    const auto ci = cand_ctrs.find(name);
+    const double b = bi == base_ctrs.end() ? 0.0 : bi->second;
+    const double c = ci == cand_ctrs.end() ? 0.0 : ci->second;
+    if (b == c) continue;
+    const bool beyond =
+        b == 0.0 ? true : std::abs(c - b) / std::abs(b) > t.counter_rel;
+    if (!beyond) continue;
+    d.regressed = true;
+    std::ostringstream msg;
+    msg.precision(12);
+    msg << "counter " << name << " " << b << " -> " << c;
+    d.notes.push_back(msg.str());
+  }
+}
+
+}  // namespace
+
+std::string validate_sweep(const trace::JsonValue& root) {
+  if (!root.is_object()) return "root is not an object";
+  const std::string schema = root.string_or("schema");
+  if (schema != kSweepSchema) {
+    return "schema is '" + schema + "', expected '" +
+           std::string(kSweepSchema) + "'";
+  }
+  const JsonValue* plan = root.find("plan");
+  if (plan == nullptr || !plan->is_object()) {
+    return "missing 'plan' object";
+  }
+  const JsonValue* points = root.find("points");
+  if (points == nullptr || !points->is_array()) {
+    return "missing 'points' array";
+  }
+  for (std::size_t i = 0; i < points->array.size(); ++i) {
+    const JsonValue& p = points->array[i];
+    const std::string at = "points[" + std::to_string(i) + "]";
+    if (!p.is_object()) return at + " is not an object";
+    const JsonValue* label = p.find("label");
+    if (label == nullptr || !label->is_string()) {
+      return at + " has no 'label' string";
+    }
+    const JsonValue* ok = p.find("ok");
+    if (ok == nullptr || ok->type != JsonValue::Type::kBool) {
+      return at + " has no 'ok' flag";
+    }
+    if (ok->boolean) {
+      const JsonValue* cycles = p.find("cycles");
+      if (cycles == nullptr || !cycles->is_number()) {
+        return at + " is ok but has no 'cycles'";
+      }
+    }
+  }
+  return {};
+}
+
+LoadedSweep load_sweep_text(const std::string& text,
+                            const std::string& origin) {
+  LoadedSweep out;
+  trace::JsonParseResult parsed = trace::parse_json(text);
+  if (!parsed.ok) {
+    out.error = origin + ": invalid JSON at byte " +
+                std::to_string(parsed.offset) + ": " + parsed.error;
+    return out;
+  }
+  std::string invalid = validate_sweep(parsed.value);
+  if (!invalid.empty()) {
+    out.error = origin + ": not a valid ssomp-sweep-v1 aggregate: " + invalid;
+    return out;
+  }
+  out.ok = true;
+  out.root = std::move(parsed.value);
+  return out;
+}
+
+LoadedSweep load_sweep_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    LoadedSweep out;
+    out.error = path + ": cannot open";
+    return out;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return load_sweep_text(text.str(), path);
+}
+
+SweepDiff diff_sweeps(const trace::JsonValue& base,
+                      const trace::JsonValue& cand,
+                      const DiffThresholds& t) {
+  SweepDiff diff;
+  diff.ok = true;
+  diff.thresholds = t;
+  const JsonValue* bplan = base.find("plan");
+  const JsonValue* cplan = cand.find("plan");
+  if (bplan != nullptr) diff.base_plan = bplan->string_or("name");
+  if (cplan != nullptr) diff.cand_plan = cplan->string_or("name");
+
+  const JsonValue* bpoints = base.find("points");
+  const JsonValue* cpoints = cand.find("points");
+  std::map<std::string, const JsonValue*> cand_by_label;
+  for (const JsonValue& p : cpoints->array) {
+    cand_by_label[p.string_or("label")] = &p;
+  }
+
+  for (const JsonValue& bp : bpoints->array) {
+    PointDiff d;
+    d.label = bp.string_or("label");
+    const auto it = cand_by_label.find(d.label);
+    if (it == cand_by_label.end()) {
+      d.base_only = true;
+      d.regressed = true;
+      d.notes.push_back("point missing from candidate aggregate");
+    } else {
+      diff_point(bp, *it->second, t, d);
+      cand_by_label.erase(it);
+    }
+    if (d.regressed) ++diff.regressions;
+    diff.points.push_back(std::move(d));
+  }
+  // Whatever is left appeared only in the candidate: the grid changed,
+  // which a baseline gate must notice too.
+  for (const JsonValue& cp : cpoints->array) {
+    const std::string label = cp.string_or("label");
+    if (cand_by_label.find(label) == cand_by_label.end()) continue;
+    PointDiff d;
+    d.label = label;
+    d.cand_only = true;
+    d.regressed = true;
+    d.notes.push_back("point missing from baseline aggregate");
+    ++diff.regressions;
+    diff.points.push_back(std::move(d));
+  }
+  return diff;
+}
+
+SweepDiff diff_sweep_files(const std::string& base_path,
+                           const std::string& cand_path,
+                           const DiffThresholds& t) {
+  LoadedSweep base = load_sweep_file(base_path);
+  if (!base.ok) {
+    SweepDiff d;
+    d.error = base.error;
+    return d;
+  }
+  LoadedSweep cand = load_sweep_file(cand_path);
+  if (!cand.ok) {
+    SweepDiff d;
+    d.error = cand.error;
+    return d;
+  }
+  return diff_sweeps(base.root, cand.root, t);
+}
+
+std::string diff_to_json(const SweepDiff& d) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"schema\":\"ssomp-diff-v1\"";
+  if (!d.ok) {
+    out << ",\"ok\":false,\"error\":\"" << escape(d.error) << "\"}";
+    return out.str();
+  }
+  out << ",\"ok\":true,\"base_plan\":\"" << escape(d.base_plan)
+      << "\",\"cand_plan\":\"" << escape(d.cand_plan) << "\""
+      << ",\"thresholds\":{\"cycles_rel\":" << d.thresholds.cycles_rel
+      << ",\"share_abs\":" << d.thresholds.share_abs
+      << ",\"counter_rel\":" << d.thresholds.counter_rel << "}"
+      << ",\"points\":" << d.points.size()
+      << ",\"regressions\":" << d.regressions
+      << ",\"clean\":" << (d.clean() ? "true" : "false") << ",\"diffs\":[";
+  bool first = true;
+  for (const PointDiff& p : d.points) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"label\":\"" << escape(p.label) << "\",\"status\":\"";
+    if (p.base_only) {
+      out << "base-only";
+    } else if (p.cand_only) {
+      out << "cand-only";
+    } else if (p.regressed) {
+      out << "regressed";
+    } else {
+      out << "ok";
+    }
+    out << "\",\"base_cycles\":" << p.base_cycles
+        << ",\"cand_cycles\":" << p.cand_cycles
+        << ",\"cycles_rel\":" << p.cycles_rel << ",\"notes\":[";
+    for (std::size_t i = 0; i < p.notes.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << escape(p.notes[i]) << '"';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string diff_to_text(const SweepDiff& d) {
+  std::ostringstream out;
+  if (!d.ok) {
+    out << "diff failed: " << d.error << '\n';
+    return out.str();
+  }
+  out << "sweep diff: base plan '" << d.base_plan << "' vs candidate '"
+      << d.cand_plan << "' — " << d.points.size() << " points, "
+      << d.regressions << " regression(s)\n";
+  stats::Table t({"point", "base cycles", "cand cycles", "delta", "status"});
+  for (const PointDiff& p : d.points) {
+    std::string status = "ok";
+    if (p.base_only) status = "base-only";
+    if (p.cand_only) status = "cand-only";
+    if (!p.base_only && !p.cand_only && p.regressed) status = "REGRESSED";
+    t.add_row({p.label,
+               std::to_string(static_cast<std::uint64_t>(p.base_cycles)),
+               std::to_string(static_cast<std::uint64_t>(p.cand_cycles)),
+               stats::Table::pct(p.cycles_rel), status});
+  }
+  out << t.to_string();
+  for (const PointDiff& p : d.points) {
+    for (const std::string& note : p.notes) {
+      out << "  " << p.label << ": " << note << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ssomp::core

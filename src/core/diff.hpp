@@ -1,0 +1,98 @@
+// Sweep-aggregate diffing (`slipdiff`, `slipreport --compare`).
+//
+// Compares two ssomp-sweep-v1 aggregates point-by-point — simulated
+// cycle deltas, cycle-account bucket-share shifts, slipstream/metrics
+// counter changes, and boolean gate flips (ok/verified/audit/identity) —
+// against configurable thresholds, producing a machine-readable
+// ssomp-diff-v1 report for CI gating against committed baselines. Host
+// wall-clock fields are never compared (docs/PERFORMANCE.md: host
+// seconds may change freely; simulated cycles may not).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/jsonv.hpp"
+
+namespace ssomp::core {
+
+/// All thresholds default to zero: any change is a regression, matching
+/// the repo's byte-determinism ethos. Raise them to tolerate intended
+/// drift (e.g. --cycles-pct 2 => cycles_rel 0.02).
+struct DiffThresholds {
+  /// Allowed relative simulated-cycle increase per point (0.02 = +2%).
+  /// Decreases never regress.
+  double cycles_rel = 0.0;
+  /// Allowed absolute share increase per non-compute cycle bucket
+  /// (0.01 = one percentage point). Compute growing is not a regression;
+  /// waits/overhead/idle growing is.
+  double share_abs = 0.0;
+  /// Allowed relative change per counter, either direction (counters are
+  /// determinism signals: an unexpected move in any direction matters).
+  double counter_rel = 0.0;
+};
+
+/// Verdict for one plan point (matched across the two aggregates by
+/// label).
+struct PointDiff {
+  std::string label;
+  bool base_only = false;  // point missing from the candidate
+  bool cand_only = false;  // point missing from the baseline
+  double base_cycles = 0.0;
+  double cand_cycles = 0.0;
+  double cycles_rel = 0.0;  // (cand - base) / base
+  bool regressed = false;
+  /// One line per threshold exceedance / gate flip, human-readable.
+  std::vector<std::string> notes;
+};
+
+struct SweepDiff {
+  bool ok = false;    // both inputs loaded and schema-valid
+  std::string error;  // load/validation failure when !ok
+  std::string base_plan;
+  std::string cand_plan;
+  DiffThresholds thresholds;
+  std::vector<PointDiff> points;
+  int regressions = 0;
+
+  [[nodiscard]] bool clean() const { return ok && regressions == 0; }
+};
+
+/// A parsed-and-validated ssomp-sweep-v1 document.
+struct LoadedSweep {
+  bool ok = false;
+  std::string error;
+  trace::JsonValue root;
+};
+
+/// Strict schema validation: object root, schema == "ssomp-sweep-v1",
+/// plan object, points array of well-formed point objects. Returns an
+/// empty string when valid, else a description of the first violation.
+[[nodiscard]] std::string validate_sweep(const trace::JsonValue& root);
+
+/// Parses and validates aggregate text; `origin` names the source in
+/// error messages (a file path, "stdin", ...).
+[[nodiscard]] LoadedSweep load_sweep_text(const std::string& text,
+                                          const std::string& origin);
+
+/// Reads, parses and validates an aggregate file.
+[[nodiscard]] LoadedSweep load_sweep_file(const std::string& path);
+
+/// Diffs two validated aggregates.
+[[nodiscard]] SweepDiff diff_sweeps(const trace::JsonValue& base,
+                                    const trace::JsonValue& cand,
+                                    const DiffThresholds& t = {});
+
+/// Convenience: load both files, then diff. I/O, parse and schema
+/// failures come back as !ok with `error` set.
+[[nodiscard]] SweepDiff diff_sweep_files(const std::string& base_path,
+                                         const std::string& cand_path,
+                                         const DiffThresholds& t = {});
+
+/// Machine-readable report (schema "ssomp-diff-v1"; docs/SWEEPS.md).
+[[nodiscard]] std::string diff_to_json(const SweepDiff& d);
+
+/// Human-readable table plus per-point notes.
+[[nodiscard]] std::string diff_to_text(const SweepDiff& d);
+
+}  // namespace ssomp::core

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 namespace ssomp::core {
@@ -55,10 +56,47 @@ std::vector<RunRecord> run_batch(const std::vector<BatchItem>& items,
 
   const int jobs = std::min<int>(resolve_jobs(opts.jobs),
                                  static_cast<int>(items.size()));
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      records[i] = execute(items[i]);
+
+  // Progress accounting is shared across workers; the mutex both guards
+  // it and serializes callback invocations, so handlers see a consistent
+  // event order without their own locking.
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+  double host_seconds_sum = 0.0;
+  const auto notify = [&](ProgressEvent::Kind kind, std::size_t i,
+                          const RunRecord* rec) {
+    if (!opts.progress) return;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    ProgressEvent ev;
+    ev.kind = kind;
+    ev.label = items[i].label;
+    ev.index = i;
+    ev.total = items.size();
+    if (rec != nullptr) {
+      ++completed;
+      host_seconds_sum += rec->host_seconds;
+      ev.host_seconds = rec->host_seconds;
     }
+    ev.completed = completed;
+    if (completed > 0) {
+      const double mean =
+          host_seconds_sum / static_cast<double>(completed);
+      ev.eta_seconds = mean *
+                       static_cast<double>(items.size() - completed) /
+                       static_cast<double>(std::max(jobs, 1));
+    }
+    opts.progress(ev);
+  };
+  const auto run_one = [&](std::size_t i) {
+    notify(ProgressEvent::Kind::kStart, i, nullptr);
+    records[i] = execute(items[i]);
+    notify(records[i].ok ? ProgressEvent::Kind::kFinish
+                         : ProgressEvent::Kind::kFail,
+           i, &records[i]);
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) run_one(i);
     return records;
   }
 
@@ -69,7 +107,7 @@ std::vector<RunRecord> run_batch(const std::vector<BatchItem>& items,
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= items.size()) break;
-      records[i] = execute(items[i]);
+      run_one(i);
     }
   };
   std::vector<std::thread> pool;
@@ -120,7 +158,8 @@ SweepRun run_sweep(const ExperimentPlan& plan,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  run.records = run_batch(items, SweepOptions{.jobs = run.jobs});
+  run.records = run_batch(
+      items, SweepOptions{.jobs = run.jobs, .progress = opts.progress});
   run.host_seconds_total = seconds_since(start);
   return run;
 }
@@ -137,6 +176,10 @@ bool parse_sweep_flag(int argc, char** argv, int& i, SweepCli& cli) {
   }
   if (arg == "--no-host-seconds") {
     cli.host_seconds = false;
+    return true;
+  }
+  if (arg == "--progress") {
+    cli.progress = true;
     return true;
   }
   return false;

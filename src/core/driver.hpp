@@ -14,6 +14,8 @@
 //     alongside the simulated cycle count.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,10 +23,30 @@
 
 namespace ssomp::core {
 
+/// Live progress notification for one batch item. Events are serialized
+/// (the driver never invokes the callback concurrently), so the handler
+/// needs no locking of its own; keep it fast — it runs on worker threads
+/// with the progress lock held.
+struct ProgressEvent {
+  enum class Kind { kStart, kFinish, kFail };
+  Kind kind = Kind::kStart;
+  std::string label;
+  std::size_t index = 0;      // item position in batch order
+  std::size_t total = 0;      // batch size
+  std::size_t completed = 0;  // runs finished or failed so far
+  double host_seconds = 0.0;  // this run's wall clock (kFinish/kFail)
+  double eta_seconds = 0.0;   // remaining-work estimate from the
+                              // completed-run mean, spread over the pool
+};
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
 struct SweepOptions {
   /// Worker threads. 0 = the SSOMP_JOBS environment variable if set and
   /// positive, else std::thread::hardware_concurrency().
   int jobs = 0;
+
+  /// Optional per-run progress callback (start/finish/fail).
+  ProgressFn progress;
 };
 
 /// Resolves the effective job count: `requested` > 0 wins, then
@@ -77,10 +99,11 @@ struct SweepRun {
 
 /// The CLI surface shared by every sweep-running binary (the bench
 /// harnesses, ssomp_run --sweep): --jobs N, --out FILE,
-/// --no-host-seconds.
+/// --no-host-seconds, --progress.
 struct SweepCli {
   int jobs = 0;              // 0 → SSOMP_JOBS env → hardware concurrency
   bool host_seconds = true;  // off → byte-deterministic aggregate JSON
+  bool progress = false;     // one-line per-run stderr updates
   std::string out;           // aggregate path ("" → the caller's default)
 };
 

@@ -95,9 +95,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.trace_counts = inst.tracer().counts();
   }
   if (result.metrics_enabled) {
-    result.metrics_json = inst.metrics().to_json();
+    result.metrics = inst.metrics();
     result.metrics_text = inst.metrics().to_text();
   }
+
+  // Cycle-accounting identity: every breakdown cycle of every CPU must
+  // have landed in exactly one bucket of exactly one region row.
+  result.cycle_account = runtime.cycle_account();
+  std::vector<sim::Cycles> expected;
+  expected.reserve(static_cast<std::size_t>(machine.ncpus()));
+  for (sim::CpuId c = 0; c < machine.ncpus(); ++c) {
+    expected.push_back(machine.cpu(c).breakdown().total());
+  }
+  result.cycle_account_violations =
+      result.cycle_account.check_identity(expected);
+  result.cycle_account_ok = result.cycle_account_violations.empty();
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "rt/options.hpp"
 #include "stats/memstats.hpp"
 #include "stats/timeline.hpp"
+#include "trace/cycle_account.hpp"
+#include "trace/metrics.hpp"
 #include "trace/tracer.hpp"
 
 namespace ssomp::core {
@@ -59,11 +61,19 @@ struct ExperimentResult {
   bool trace_enabled = false;
   bool metrics_enabled = false;
   std::string trace_json;    // Chrome trace-event JSON (Perfetto-loadable)
-  std::string metrics_json;  // MetricsRegistry::to_json()
+  trace::MetricsRegistry metrics;  // registry snapshot (metrics_enabled)
   std::string metrics_text;  // MetricsRegistry::to_text()
   std::string timeline_csv;  // Timeline::to_csv() (timeline_interval > 0)
   stats::TimelineData timeline;  // detached samples (timeline_interval > 0)
   trace::TraceCounts trace_counts;
+
+  /// Cycle accounting: per-CPU x per-region exclusive-bucket matrix
+  /// (always filled; slot 0 = serial, slot r+1 = region r) and the
+  /// outcome of the per-CPU identity check
+  /// `sum over rows and buckets == breakdown total`.
+  trace::CycleAccount cycle_account;
+  bool cycle_account_ok = true;
+  std::vector<std::string> cycle_account_violations;
 
   /// Fraction of aggregate accounted CPU time in a category (the bars of
   /// the paper's Figures 2 and 4). TokenWait and StreamWait fold into the

@@ -1,6 +1,7 @@
 #include "core/json.hpp"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace ssomp::core {
@@ -59,6 +60,130 @@ class Obj {
   bool first_ = true;
 };
 
+/// Structured emission of a MetricsRegistry. This replaces the former
+/// raw() splice of a pre-serialized string: every name and value goes
+/// through the writer (escaped, NaN-scrubbed), so a malformed metrics
+/// blob can never corrupt the enclosing document.
+void emit_metrics(std::ostringstream& out, Obj& parent,
+                  const trace::MetricsRegistry& m) {
+  parent.key("metrics");
+  Obj o(out);
+  o.key("counters");
+  {
+    Obj c(out);
+    for (const auto& [name, ctr] : m.counters()) c.field(name, ctr.value());
+    c.close();
+  }
+  o.key("histograms");
+  {
+    Obj hs(out);
+    for (const auto& [name, h] : m.histograms()) {
+      hs.key(name);
+      Obj ho(out);
+      ho.field("count", h.count());
+      ho.field("sum", h.sum());
+      ho.field("min", h.min());
+      ho.field("max", h.max());
+      ho.field("mean", h.mean());
+      ho.field("p50", h.percentile(50));
+      ho.field("p90", h.percentile(90));
+      ho.field("p99", h.percentile(99));
+      ho.key("buckets");
+      out << '[';
+      bool first = true;
+      for (int b = 0; b < trace::Histogram::kBuckets; ++b) {
+        if (h.bucket_count(b) == 0) continue;
+        if (!first) out << ',';
+        first = false;
+        const std::uint64_t lo =
+            b == 0 ? 0 : trace::Histogram::bucket_upper(b - 1) + 1;
+        out << '[' << lo << ',' << trace::Histogram::bucket_upper(b) << ','
+            << h.bucket_count(b) << ']';
+      }
+      out << ']';
+      ho.close();
+    }
+    hs.close();
+  }
+  o.close();
+}
+
+/// Cycle-accounting matrix: per-bucket grand totals plus the full
+/// rows[slot][cpu] = [bucket cycles...] matrix (slot 0 = serial, slot
+/// r+1 = parallel region r).
+void emit_cycle_account(std::ostringstream& out, Obj& parent,
+                        const trace::CycleAccount& a) {
+  parent.key("cycle_account");
+  Obj o(out);
+  o.field("cpus", a.cpus());
+  o.field("slots", a.slots());
+  o.key("buckets");
+  {
+    Obj b(out);
+    for (int i = 0; i < sim::kCycleBucketCount; ++i) {
+      const auto bucket = static_cast<sim::CycleBucket>(i);
+      b.field(std::string(to_string(bucket)), a.bucket_total(bucket));
+    }
+    b.close();
+  }
+  o.key("rows");
+  out << '[';
+  for (int s = 0; s < a.slots(); ++s) {
+    if (s > 0) out << ',';
+    out << '[';
+    for (int c = 0; c < a.cpus(); ++c) {
+      if (c > 0) out << ',';
+      out << '[';
+      const trace::CycleAccount::Row& r = a.row(c, s);
+      for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+        if (b > 0) out << ',';
+        out << r.cycles[b];
+      }
+      out << ']';
+    }
+    out << ']';
+  }
+  out << ']';
+  o.close();
+}
+
+/// One rollup group: metric and cycle-account state merged over a set of
+/// successful sweep points. merge() is associative and the groups are
+/// built in record order with map-sorted keys, so the rollup is
+/// byte-identical at any --jobs count.
+struct Rollup {
+  std::uint64_t points = 0;
+  sim::Cycles cycles = 0;
+  trace::MetricsRegistry metrics;
+  trace::CycleAccount account;
+
+  void add(const ExperimentResult& r) {
+    ++points;
+    cycles += r.cycles;
+    metrics.merge(r.metrics);
+    account.merge(r.cycle_account);
+  }
+};
+
+void emit_rollup_group(std::ostringstream& out, Obj& parent,
+                       const std::string& key, const Rollup& g) {
+  parent.key(key);
+  Obj o(out);
+  o.field("points", g.points);
+  o.field("cycles_total", g.cycles);
+  o.key("cycle_buckets");
+  {
+    Obj b(out);
+    for (int i = 0; i < sim::kCycleBucketCount; ++i) {
+      const auto bucket = static_cast<sim::CycleBucket>(i);
+      b.field(std::string(to_string(bucket)), g.account.bucket_total(bucket));
+    }
+    b.close();
+  }
+  emit_metrics(out, o, g.metrics);
+  o.close();
+}
+
 }  // namespace
 
 std::string to_json(const ExperimentConfig& config,
@@ -94,6 +219,7 @@ std::string to_json(const ExperimentConfig& config,
     o.field("faults_injected", result.faults_injected);
     o.field("watchdog_reports",
             static_cast<std::uint64_t>(result.watchdog_reports.size()));
+    o.field("cycle_account_ok", result.cycle_account_ok);
     o.field("checksum", result.workload.checksum);
     o.field("detail", result.workload.detail);
     o.close();
@@ -169,8 +295,10 @@ std::string to_json(const ExperimentConfig& config,
     o.close();
   }
 
-  if (result.metrics_enabled && !result.metrics_json.empty()) {
-    root.raw("metrics", result.metrics_json);
+  emit_cycle_account(out, root, result.cycle_account);
+
+  if (result.metrics_enabled) {
+    emit_metrics(out, root, result.metrics);
   }
 
   if (result.trace_enabled) {
@@ -262,11 +390,61 @@ std::string sweep_to_json(const SweepRun& run, const SweepJsonOptions& opts) {
         s.field("promotions", r.slip.promotions);
         s.close();
       }
+      o.field("cycle_account_ok", r.cycle_account_ok);
+      emit_cycle_account(out, o, r.cycle_account);
+      if (r.metrics_enabled) emit_metrics(out, o, r.metrics);
     }
     if (opts.host_seconds) o.field("host_seconds", rec.host_seconds);
     o.close();
   }
   out << ']';
+
+  // Per-plan-axis rollup: merged metric and cycle-account state for the
+  // whole sweep and for each app / mode / ncmp slice, over the points
+  // that ran. Deterministic at any --jobs count (associative merges in
+  // record order, map-sorted group keys).
+  root.key("rollup");
+  {
+    Rollup all;
+    std::map<std::string, Rollup> by_app;
+    std::map<std::string, Rollup> by_mode;
+    std::map<int, Rollup> by_ncmp;
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      if (!run.records[i].ok) continue;
+      const ExperimentResult& r = run.records[i].result;
+      all.add(r);
+      by_app[run.points[i].app].add(r);
+      by_mode[run.points[i].mode.name].add(r);
+      by_ncmp[run.points[i].ncmp].add(r);
+    }
+    Obj o(out);
+    emit_rollup_group(out, o, "all", all);
+    o.key("by_app");
+    {
+      Obj g(out);
+      for (const auto& [app, roll] : by_app) {
+        emit_rollup_group(out, g, app, roll);
+      }
+      g.close();
+    }
+    o.key("by_mode");
+    {
+      Obj g(out);
+      for (const auto& [mode, roll] : by_mode) {
+        emit_rollup_group(out, g, mode, roll);
+      }
+      g.close();
+    }
+    o.key("by_ncmp");
+    {
+      Obj g(out);
+      for (const auto& [ncmp, roll] : by_ncmp) {
+        emit_rollup_group(out, g, std::to_string(ncmp), roll);
+      }
+      g.close();
+    }
+    o.close();
+  }
 
   if (opts.host_seconds) {
     root.key("execution");

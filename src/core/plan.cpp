@@ -234,6 +234,14 @@ front::ParseResult<ExperimentPlan> parse_plan(const std::string& text) {
       } else {
         return fail("bad audit '" + value + "' (expected on or off)");
       }
+    } else if (key == "metrics") {
+      if (value == "on") {
+        plan.base.runtime.metrics = true;
+      } else if (value == "off") {
+        plan.base.runtime.metrics = false;
+      } else {
+        return fail("bad metrics '" + value + "' (expected on or off)");
+      }
     } else if (key == "recovery") {
       auto v = split(value, ',');
       if (v[0] == "bench") {

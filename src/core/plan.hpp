@@ -139,6 +139,7 @@ using WorkloadResolver = std::function<WorkloadFactory(const PlanPoint&)>;
 ///   scale = tiny            # or bench (default)
 ///   seed  = 0
 ///   audit = on              # or off
+///   metrics = on            # or off: per-point MetricsRegistry capture
 ///   recovery = restart,3    # or bench
 ///   divergence = 2
 ///   watchdog = 200000

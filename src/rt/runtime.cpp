@@ -75,6 +75,13 @@ Runtime::Runtime(machine::Machine& machine, RuntimeOptions options)
     partial_addrs_.push_back(as.alloc_runtime(64));  // one line per slot
   }
   cpu_member_.assign(static_cast<std::size_t>(machine_.ncpus()), nullptr);
+
+  // Cycle accounting: every CPU starts charging into the serial row
+  // (slot 0); dispatch_region repoints the rows per region.
+  account_.reset(machine_.ncpus());
+  for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+    machine_.cpu(c).set_account_row(account_.row_data(c, 0));
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -212,6 +219,10 @@ bool Runtime::begin_a_recovery(ThreadCtx& t) {
   slip::SlipPair& pair = *t.member().pair;
   sim::SimCpu& cpu = t.cpu();
   const int node = machine_.node_of(t.member().cpu);
+  // Everything from here is the recovery routine. A benched A-stream
+  // keeps the override through its join (the region-end reset clears it);
+  // the restart path narrows it to kRestartResync below.
+  cpu.set_bucket_override(sim::CycleBucket::kRecovery);
   const slip::SlipPair::AckReconcile rec = pair.ack_recovery();
   auditor_.on_recovery_acked(node, pair);
   if (inst_.active()) {
@@ -232,9 +243,12 @@ bool Runtime::begin_a_recovery(ThreadCtx& t) {
     }
     return false;
   }
+  cpu.set_bucket_override(sim::CycleBucket::kRestartResync);
   cpu.consume(kRestartCost, TimeCategory::kBusy);
   const std::uint64_t resync = pair.prepare_restart();
   t.begin_fast_forward(pair.a_barriers());
+  // No barrier sites to replay: the re-run is live immediately.
+  if (!t.in_replay()) cpu.clear_bucket_override();
   if (inst_.active()) inst_.restart(cpu.id(), node, resync);
   return true;
 }
@@ -400,6 +414,27 @@ void Runtime::dispatch_region(
   join_target_ = static_cast<int>(team_.members.size()) - 1;
   barrier_->configure(team_.nthreads);
 
+  // Cycle accounting: point every CPU at this region's row. Time a CPU is
+  // currently blocked on (slave park, benched A-stream) is attributed at
+  // its wake, into the row current then — region rows therefore absorb
+  // the park span that ends inside them, and the identity is unaffected.
+  // A demoted CMP runs its task single-stream: everything its R-side CPU
+  // does this region is the degradation cost, whatever the category.
+  const int slot = regions_executed_;  // slot r+1 for region r
+  for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+    sim::SimCpu& cpu = machine_.cpu(c);
+    cpu.set_account_row(account_.row_data(c, slot));
+    cpu.clear_bucket_override();
+  }
+  if (team_.slipstream()) {
+    for (int n = 0; n < machine_.ncmp(); ++n) {
+      if (!degrade_.slipstream_allowed(n)) {
+        machine_.cpu(machine_.r_cpu_of(n))
+            .set_bucket_override(sim::CycleBucket::kDegraded);
+      }
+    }
+  }
+
   RegionRecord record;
   record.index = regions_executed_ - 1;
   record.mode = team_.mode;
@@ -493,6 +528,15 @@ void Runtime::dispatch_region(
   mem().set_self_invalidation(false);
   in_region_ = false;
   current_body_ = nullptr;
+
+  // Cycle accounting: back to the serial row, and drop any override a
+  // recovery left behind (a benched A-stream keeps kRecovery through its
+  // join; it must not leak into the next region or the serial part).
+  for (sim::CpuId c = 0; c < machine_.ncpus(); ++c) {
+    sim::SimCpu& cpu = machine_.cpu(c);
+    cpu.set_account_row(account_.row_data(c, 0));
+    cpu.clear_bucket_override();
+  }
 }
 
 void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
@@ -585,6 +629,9 @@ void Runtime::slip_barrier(ThreadCtx& t, TimeCategory cat) {
       // pass it without consuming a token or counting a visit.
       t.note_replay_barrier();
       cpu.charge(1, TimeCategory::kBusy);
+      // Replay ends at its last barrier site: from here the A-stream
+      // executes live again, so stop billing restart-resync.
+      if (!t.in_replay()) cpu.clear_bucket_override();
       return;
     }
     // Injected hang: park raw, with no token or poison on the way. Only
@@ -897,12 +944,18 @@ void ThreadCtx::for_chunks(long lo, long hi, front::ScheduleClause sched,
     slip::SlipPair& pair = *member_.pair;
     while (true) {
       check_recovery();
+      // Cycle accounting: the token wait and the mailbox read are time
+      // spent on the R->A syscall channel, not scheduling work — billed
+      // to the syscall-wait bucket. A RecoveryException escaping here
+      // leaves the override set; begin_a_recovery overwrites it.
+      cpu().set_bucket_override(sim::CycleBucket::kSyscallWait);
       if (!pair.syscall_sem().consume(cpu(), TimeCategory::kScheduling)) {
         throw slip::RecoveryException{};
       }
       cpu().consume(
           rt_.mem().load(cpu().id(), pair.mailbox_addr(), cpu().issue_time()),
           TimeCategory::kScheduling);
+      cpu().clear_bucket_override();
       if (pair.mailbox_empty()) {
         // A token with no decision behind it: possible after the depth
         // clamp dropped stale entries (a deeply diverged A-stream), or

@@ -48,6 +48,7 @@
 #include "slip/pair.hpp"
 #include "slip/watchdog.hpp"
 #include "stats/reqclass.hpp"
+#include "trace/cycle_account.hpp"
 
 namespace ssomp::rt {
 
@@ -306,6 +307,14 @@ class Runtime {
     return degrade_;
   }
 
+  /// Per-CPU x per-region cycle accounting (slot 0 = serial, slot r+1 =
+  /// parallel region r). Every breakdown cycle lands in exactly one
+  /// bucket of exactly one row; verify with
+  /// cycle_account().check_identity(per-CPU breakdown totals).
+  [[nodiscard]] const trace::CycleAccount& cycle_account() const {
+    return account_;
+  }
+
   /// Execution records for every parallel region, in program order.
   [[nodiscard]] const std::vector<RegionRecord>& region_records() const {
     return region_records_;
@@ -441,6 +450,7 @@ class Runtime {
 
   SlipRegionStats slip_stats_;
   std::vector<RegionRecord> region_records_;
+  trace::CycleAccount account_;
 };
 
 }  // namespace ssomp::rt

@@ -75,6 +75,7 @@ void SimCpu::resume_from_scheduler() {
 void SimCpu::consume(Cycles n, TimeCategory cat) {
   SSOMP_CHECK(is_current());
   breakdown_.add(cat, n);
+  account(cat, n);
   last_category_ = cat;
   pending_ += n;
   flush_time();
@@ -100,6 +101,7 @@ void SimCpu::block(TimeCategory cat) {
   // Woken: attribute the time spent blocked.
   SSOMP_CHECK(!blocked_);
   breakdown_.add(block_category_, engine_.now() - block_start_);
+  account(block_category_, engine_.now() - block_start_);
 }
 
 void SimCpu::wake(Cycles delay) {

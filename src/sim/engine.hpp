@@ -253,6 +253,7 @@ class SimCpu {
   void charge(Cycles n, TimeCategory cat) {
     SSOMP_DCHECK(is_current());
     breakdown_.add(cat, n);
+    account(cat, n);
     last_category_ = cat;
     pending_ += n;
     if (pending_ >= kMaxDefer) flush_time();
@@ -297,10 +298,38 @@ class SimCpu {
   /// Cycle at which this CPU finished its body (for per-CPU utilization).
   [[nodiscard]] Cycles finish_time() const { return finish_time_; }
 
+  /// --- Cycle accounting (trace::CycleAccount integration). ---
+  ///
+  /// The runtime points each CPU at a per-region bucket row (an array of
+  /// kCycleBucketCount counters owned by trace::CycleAccount; the pointer
+  /// must stay valid until replaced or cleared). Every cycle that enters
+  /// `breakdown_` is mirrored into exactly one row bucket, chosen by the
+  /// static bucket_of() mapping unless an override is in effect — the
+  /// runtime sets overrides around resilience episodes (recovery, restart
+  /// replay, degraded regions) that the category alone cannot identify.
+  /// Time spent blocked is attributed at wake, on this CPU's fiber, using
+  /// the row/override current at that moment.
+  void set_account_row(Cycles* row) { account_row_ = row; }
+  void set_bucket_override(CycleBucket b) {
+    bucket_override_ = static_cast<std::int8_t>(b);
+  }
+  void clear_bucket_override() { bucket_override_ = -1; }
+  [[nodiscard]] bool has_bucket_override() const {
+    return bucket_override_ >= 0;
+  }
+
  private:
   friend class Engine;
 
   void resume_from_scheduler();
+
+  void account(TimeCategory cat, Cycles n) {
+    if (account_row_ != nullptr) {
+      const int b = bucket_override_ >= 0 ? bucket_override_
+                                          : static_cast<int>(bucket_of(cat));
+      account_row_[b] += n;
+    }
+  }
 
   Engine& engine_;
   CpuId id_;
@@ -313,6 +342,8 @@ class SimCpu {
   Cycles finish_time_ = 0;
   Cycles pending_ = 0;
   TimeCategory last_category_ = TimeCategory::kIdle;
+  Cycles* account_row_ = nullptr;
+  std::int8_t bucket_override_ = -1;
 
   /// Deferral quantum: lazily-charged time is flushed once it exceeds
   /// this. Orderings at synchronization points remain exact because every

@@ -48,6 +48,69 @@ inline constexpr int kTimeCategoryCount =
   return "?";
 }
 
+/// Exclusive cycle-accounting buckets (the "top-down" decomposition every
+/// simulated cycle lands in exactly once; see docs/OBSERVABILITY.md).
+///
+/// Where TimeCategory records *what the processor was doing* (the paper's
+/// Figure 2/4 categories), CycleBucket records *why the cycle was spent*
+/// from the slipstream protocol's point of view: protocol waits and
+/// resilience episodes are split out, everything the application actually
+/// executed folds into kCompute. The static TimeCategory -> CycleBucket
+/// mapping below covers steady state; the runtime overrides it around
+/// resilience episodes (recovery, restart fast-forward replay, degraded
+/// regions) via SimCpu::set_bucket_override.
+enum class CycleBucket : std::uint8_t {
+  kCompute = 0,     // busy + mem stall + lock + scheduling work
+  kTokenWait,       // A-stream blocked on a slipstream token
+  kSyscallWait,     // waits on the R->A syscall/forwarding channel
+  kBarrierStall,    // team-barrier arrival stalls
+  kRecovery,        // recovery routine (ack, reconcile, bench unwind)
+  kRestartResync,   // restart cost + fast-forward replay after a restart
+  kDegraded,        // cycles executed by a CMP demoted to single-stream
+  kIdle,            // parked in the pool / processor unused in this mode
+  kBucketCount
+};
+
+inline constexpr int kCycleBucketCount =
+    static_cast<int>(CycleBucket::kBucketCount);
+
+[[nodiscard]] constexpr std::string_view to_string(CycleBucket b) {
+  switch (b) {
+    case CycleBucket::kCompute: return "compute";
+    case CycleBucket::kTokenWait: return "token_wait";
+    case CycleBucket::kSyscallWait: return "syscall_wait";
+    case CycleBucket::kBarrierStall: return "barrier_stall";
+    case CycleBucket::kRecovery: return "recovery";
+    case CycleBucket::kRestartResync: return "restart_resync";
+    case CycleBucket::kDegraded: return "degraded";
+    case CycleBucket::kIdle: return "idle";
+    case CycleBucket::kBucketCount: break;
+  }
+  return "?";
+}
+
+/// Steady-state bucket of a time category (no override in effect).
+[[nodiscard]] constexpr CycleBucket bucket_of(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kBusy:
+    case TimeCategory::kMemStall:
+    case TimeCategory::kLock:
+    case TimeCategory::kScheduling:
+      return CycleBucket::kCompute;
+    case TimeCategory::kTokenWait:
+      return CycleBucket::kTokenWait;
+    case TimeCategory::kStreamWait:
+      return CycleBucket::kSyscallWait;
+    case TimeCategory::kBarrier:
+      return CycleBucket::kBarrierStall;
+    case TimeCategory::kJobWait:
+    case TimeCategory::kIdle:
+    case TimeCategory::kCategoryCount:
+      break;
+  }
+  return CycleBucket::kIdle;
+}
+
 /// Per-processor accumulated cycles by category.
 class TimeBreakdown {
  public:

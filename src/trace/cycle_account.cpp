@@ -1,0 +1,106 @@
+#include "trace/cycle_account.hpp"
+
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace ssomp::trace {
+
+void CycleAccount::reset(int cpus) {
+  SSOMP_CHECK(cpus >= 0);
+  cpus_ = cpus;
+  slots_.clear();
+  slots_.emplace_back(static_cast<std::size_t>(cpus_));
+}
+
+sim::Cycles* CycleAccount::row_data(int cpu, int slot) {
+  SSOMP_CHECK(cpu >= 0 && cpu < cpus_);
+  SSOMP_CHECK(slot >= 0);
+  while (slots() <= slot) {
+    slots_.emplace_back(static_cast<std::size_t>(cpus_));
+  }
+  return slots_[static_cast<std::size_t>(slot)]
+              [static_cast<std::size_t>(cpu)]
+                  .cycles.data();
+}
+
+const CycleAccount::Row& CycleAccount::row(int cpu, int slot) const {
+  SSOMP_CHECK(cpu >= 0 && cpu < cpus_);
+  SSOMP_CHECK(slot >= 0 && slot < slots());
+  return slots_[static_cast<std::size_t>(slot)]
+               [static_cast<std::size_t>(cpu)];
+}
+
+CycleAccount::Row CycleAccount::cpu_total(int cpu) const {
+  SSOMP_CHECK(cpu >= 0 && cpu < cpus_);
+  Row out;
+  for (const auto& rows : slots_) {
+    const Row& r = rows[static_cast<std::size_t>(cpu)];
+    for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+      out.cycles[b] += r.cycles[b];
+    }
+  }
+  return out;
+}
+
+sim::Cycles CycleAccount::bucket_total(sim::CycleBucket b) const {
+  sim::Cycles t = 0;
+  for (const auto& rows : slots_) {
+    for (const Row& r : rows) t += r.get(b);
+  }
+  return t;
+}
+
+sim::Cycles CycleAccount::total() const {
+  sim::Cycles t = 0;
+  for (const auto& rows : slots_) {
+    for (const Row& r : rows) t += r.total();
+  }
+  return t;
+}
+
+void CycleAccount::merge(const CycleAccount& other) {
+  if (other.cpus_ > cpus_) {
+    for (auto& rows : slots_) {
+      rows.resize(static_cast<std::size_t>(other.cpus_));
+    }
+    cpus_ = other.cpus_;
+  }
+  while (slots() < other.slots()) {
+    slots_.emplace_back(static_cast<std::size_t>(cpus_));
+  }
+  for (int s = 0; s < other.slots(); ++s) {
+    auto& dst = slots_[static_cast<std::size_t>(s)];
+    const auto& src = other.slots_[static_cast<std::size_t>(s)];
+    for (std::size_t cpu = 0; cpu < src.size(); ++cpu) {
+      for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+        dst[cpu].cycles[b] += src[cpu].cycles[b];
+      }
+    }
+  }
+}
+
+std::vector<std::string> CycleAccount::check_identity(
+    const std::vector<sim::Cycles>& expected) const {
+  std::vector<std::string> violations;
+  const int n = std::min(cpus_, static_cast<int>(expected.size()));
+  for (int cpu = 0; cpu < n; ++cpu) {
+    const sim::Cycles got = cpu_total(cpu).total();
+    const sim::Cycles want = expected[static_cast<std::size_t>(cpu)];
+    if (got != want) {
+      std::ostringstream msg;
+      msg << "cycle-account identity violated on cpu " << cpu
+          << ": sum(buckets) = " << got << ", breakdown total = " << want;
+      violations.push_back(msg.str());
+    }
+  }
+  if (cpus_ != static_cast<int>(expected.size())) {
+    std::ostringstream msg;
+    msg << "cycle-account cpu count " << cpus_ << " != breakdown cpu count "
+        << expected.size();
+    violations.push_back(msg.str());
+  }
+  return violations;
+}
+
+}  // namespace ssomp::trace

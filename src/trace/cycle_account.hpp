@@ -1,0 +1,86 @@
+// Per-CPU x per-region cycle-accounting matrix.
+//
+// Every simulated cycle a CPU accrues lands in exactly one exclusive
+// CycleBucket (sim/time_category.hpp) of exactly one row of this matrix:
+// the runtime points each SimCpu at the row for the region it is
+// executing (slot 0 is the serial / outside-region span, slot r+1 is
+// parallel region r) and the engine mirrors every breakdown charge into
+// the active row. The defining identity — per CPU, the sum over all rows
+// and buckets equals the CPU's total breakdown cycles — therefore holds
+// by construction and is audit-checked after every run (see
+// docs/OBSERVABILITY.md).
+//
+// Rows live in a deque of per-region vectors so that handing out raw row
+// pointers to SimCpu is safe: deque growth never relocates existing
+// elements.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time_category.hpp"
+#include "sim/types.hpp"
+
+namespace ssomp::trace {
+
+class CycleAccount {
+ public:
+  struct Row {
+    std::array<sim::Cycles, sim::kCycleBucketCount> cycles{};
+
+    [[nodiscard]] sim::Cycles get(sim::CycleBucket b) const {
+      return cycles[static_cast<int>(b)];
+    }
+    [[nodiscard]] sim::Cycles total() const {
+      sim::Cycles t = 0;
+      for (sim::Cycles c : cycles) t += c;
+      return t;
+    }
+  };
+
+  /// Clears the matrix and sizes it for `cpus` processors with only the
+  /// serial slot (slot 0) present.
+  void reset(int cpus);
+
+  [[nodiscard]] int cpus() const { return cpus_; }
+
+  /// Number of slots present (>= 1 after reset: slot 0 is serial time,
+  /// slot r+1 covers parallel region r).
+  [[nodiscard]] int slots() const { return static_cast<int>(slots_.size()); }
+
+  /// Raw bucket array for (cpu, slot), creating the slot (and any slots
+  /// before it) on demand. The address is stable for the lifetime of this
+  /// object — safe to hand to SimCpu::set_account_row.
+  [[nodiscard]] sim::Cycles* row_data(int cpu, int slot);
+
+  [[nodiscard]] const Row& row(int cpu, int slot) const;
+
+  /// Sum over all slots for one CPU, per bucket.
+  [[nodiscard]] Row cpu_total(int cpu) const;
+
+  /// Sum over all CPUs and slots for one bucket.
+  [[nodiscard]] sim::Cycles bucket_total(sim::CycleBucket b) const;
+
+  /// Grand total over every cpu, slot and bucket.
+  [[nodiscard]] sim::Cycles total() const;
+
+  /// Folds `other` in element-wise, padding with zero rows where shapes
+  /// differ. Associative and commutative.
+  void merge(const CycleAccount& other);
+
+  /// Checks the accounting identity against per-CPU breakdown totals
+  /// (expected[cpu] = SimCpu::breakdown().total()). Returns a
+  /// human-readable description per violated CPU; empty means the
+  /// identity holds.
+  [[nodiscard]] std::vector<std::string> check_identity(
+      const std::vector<sim::Cycles>& expected) const;
+
+ private:
+  int cpus_ = 0;
+  std::deque<std::vector<Row>> slots_;  // slots_[slot][cpu]
+};
+
+}  // namespace ssomp::trace

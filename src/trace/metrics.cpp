@@ -27,6 +27,15 @@ void Histogram::record(std::uint64_t v) {
   ++buckets_[bucket_of(v)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
 std::uint64_t Histogram::percentile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
@@ -41,6 +50,11 @@ std::uint64_t Histogram::percentile(double p) const {
     }
   }
   return max_;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -19,6 +19,9 @@ class Counter {
   void inc(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
 
+  /// Folds `other` in. Associative and commutative.
+  void merge(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -54,6 +57,12 @@ class Histogram {
     return buckets_[b];
   }
 
+  /// Folds `other` in. Associative and commutative: the merged state is
+  /// exactly the state of recording both sample streams into one
+  /// histogram (buckets, count, sum, min, max all pool losslessly), so
+  /// merged percentiles match the pooled stream's to bucket resolution.
+  void merge(const Histogram& other);
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
@@ -87,6 +96,11 @@ class MetricsRegistry {
 
   /// Human-readable tables (counters, then histogram summaries).
   [[nodiscard]] std::string to_text() const;
+
+  /// Folds `other` in: same-named metrics merge, new names are copied.
+  /// Associative and commutative; std::map keying keeps the result
+  /// independent of merge order.
+  void merge(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -1,0 +1,239 @@
+// Sweep-aggregate diffing: a sweep diffed against itself is clean, any
+// perturbation (cycles, gate flips, bucket shares, counters, missing
+// points) is a regression, thresholds tolerate intended drift, and
+// truncated or schema-violating input is rejected loudly instead of
+// silently gating nothing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/diff.hpp"
+#include "core/driver.hpp"
+#include "core/json.hpp"
+
+namespace ssomp::core {
+namespace {
+
+using trace::JsonValue;
+
+/// Mutable member lookup (JsonValue::find is const-only).
+JsonValue* mfind(JsonValue& obj, const std::string& key) {
+  for (auto& [name, v] : obj.object) {
+    if (name == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* point_named(JsonValue& root, const std::string& label) {
+  JsonValue* points = mfind(root, "points");
+  for (JsonValue& p : points->array) {
+    if (p.string_or("label") == label) return &p;
+  }
+  return nullptr;
+}
+
+/// One real sweep, executed once and parsed once for the whole suite.
+const JsonValue& baseline() {
+  static const JsonValue root = [] {
+    ExperimentPlan plan;
+    plan.name = "diff-fixture";
+    plan.scale = 1;  // tiny
+    plan.apps = {"EP"};
+    plan.modes = {parse_mode_axis("single").value,
+                  parse_mode_axis("slip-L1").value};
+    plan.ncmps = {2};
+    plan.base.runtime.audit = true;
+    plan.base.runtime.metrics = true;
+    const SweepRun run = run_sweep(plan, apps::plan_resolver(),
+                                   SweepOptions{.jobs = 2, .progress = {}});
+    const std::string json =
+        sweep_to_json(run, SweepJsonOptions{.host_seconds = false});
+    LoadedSweep loaded = load_sweep_text(json, "fixture");
+    EXPECT_TRUE(loaded.ok) << loaded.error;
+    return loaded.root;
+  }();
+  return root;
+}
+
+TEST(DiffTest, SelfDiffIsCleanWithAllZeroDeltas) {
+  const SweepDiff d = diff_sweeps(baseline(), baseline(), {});
+  EXPECT_TRUE(d.ok);
+  EXPECT_TRUE(d.clean());
+  EXPECT_EQ(d.regressions, 0);
+  ASSERT_EQ(d.points.size(), 2u);
+  for (const PointDiff& p : d.points) {
+    EXPECT_FALSE(p.regressed);
+    EXPECT_EQ(p.cycles_rel, 0.0);
+    EXPECT_TRUE(p.notes.empty());
+  }
+  const std::string json = diff_to_json(d);
+  EXPECT_NE(json.find("\"schema\":\"ssomp-diff-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"regressions\":0"), std::string::npos);
+}
+
+TEST(DiffTest, CycleGrowthRegressesAndThresholdTolerates) {
+  JsonValue cand = baseline();
+  JsonValue* p = point_named(cand, "EP/single");
+  ASSERT_NE(p, nullptr);
+  mfind(*p, "cycles")->number *= 1.05;  // +5%
+
+  const SweepDiff strict = diff_sweeps(baseline(), cand, {});
+  EXPECT_FALSE(strict.clean());
+  EXPECT_EQ(strict.regressions, 1);
+  bool noted = false;
+  for (const std::string& n : strict.points[0].notes) {
+    noted |= n.find("cycles") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+
+  DiffThresholds tolerant;
+  tolerant.cycles_rel = 0.10;  // +10% allowed
+  EXPECT_TRUE(diff_sweeps(baseline(), cand, tolerant).clean());
+
+  // A cycle DECREASE is an improvement, never a regression.
+  JsonValue faster = baseline();
+  mfind(*point_named(faster, "EP/single"), "cycles")->number *= 0.5;
+  EXPECT_TRUE(diff_sweeps(baseline(), faster, {}).clean());
+}
+
+TEST(DiffTest, GateFlipAlwaysRegressesEvenWithLooseThresholds) {
+  DiffThresholds loose;
+  loose.cycles_rel = 100.0;
+  loose.share_abs = 1.0;
+  loose.counter_rel = 100.0;
+  for (const char* gate :
+       {"verified", "audit_ok", "cycle_account_ok", "ok"}) {
+    JsonValue cand = baseline();
+    JsonValue* flag = mfind(*point_named(cand, "EP/slip-L1"), gate);
+    ASSERT_NE(flag, nullptr) << gate;
+    flag->boolean = false;
+    const SweepDiff d = diff_sweeps(baseline(), cand, loose);
+    EXPECT_FALSE(d.clean()) << gate;
+  }
+}
+
+TEST(DiffTest, NonComputeBucketShareGrowthRegressesComputeGrowthDoesNot) {
+  JsonValue cand = baseline();
+  JsonValue* buckets = mfind(
+      *mfind(*point_named(cand, "EP/slip-L1"), "cycle_account"), "buckets");
+  ASSERT_NE(buckets, nullptr);
+  JsonValue* compute = mfind(*buckets, "compute");
+  JsonValue* barrier = mfind(*buckets, "barrier_stall");
+  ASSERT_NE(compute, nullptr);
+  ASSERT_NE(barrier, nullptr);
+  const double moved = compute->number / 2.0;
+
+  // Shift cycles compute -> barrier_stall: a wait bucket absorbing a
+  // larger share is exactly the regression this gate exists to catch.
+  compute->number -= moved;
+  barrier->number += moved;
+  const SweepDiff worse = diff_sweeps(baseline(), cand, {});
+  EXPECT_FALSE(worse.clean());
+  bool noted = false;
+  for (const PointDiff& p : worse.points) {
+    for (const std::string& n : p.notes) {
+      noted |= n.find("barrier_stall") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(noted);
+
+  // The reverse shift (waits -> compute) is an improvement.
+  JsonValue better = baseline();
+  JsonValue* bbuckets = mfind(
+      *mfind(*point_named(better, "EP/slip-L1"), "cycle_account"),
+      "buckets");
+  JsonValue* bcompute = mfind(*bbuckets, "compute");
+  JsonValue* bbarrier = mfind(*bbuckets, "barrier_stall");
+  const double back = bbarrier->number / 2.0;
+  bbarrier->number -= back;
+  bcompute->number += back;
+  EXPECT_TRUE(diff_sweeps(baseline(), better, {}).clean());
+}
+
+TEST(DiffTest, CounterMovesRegressInEitherDirection) {
+  JsonValue base_copy = baseline();
+  JsonValue* base_slip =
+      mfind(*point_named(base_copy, "EP/slip-L1"), "slipstream");
+  ASSERT_NE(base_slip, nullptr);
+  const double tokens = mfind(*base_slip, "tokens_inserted")->number;
+  ASSERT_GT(tokens, 0.0);
+
+  for (const double factor : {2.0, 0.5}) {
+    JsonValue cand = baseline();
+    mfind(*mfind(*point_named(cand, "EP/slip-L1"), "slipstream"),
+          "tokens_inserted")
+        ->number = tokens * factor;
+    const SweepDiff d = diff_sweeps(baseline(), cand, {});
+    EXPECT_FALSE(d.clean()) << "factor " << factor;
+    DiffThresholds tolerant;
+    tolerant.counter_rel = 2.0;  // |delta| up to 200% allowed
+    EXPECT_TRUE(diff_sweeps(baseline(), cand, tolerant).clean())
+        << "factor " << factor;
+  }
+}
+
+TEST(DiffTest, GridMismatchRegressesBothWays) {
+  JsonValue cand = baseline();
+  mfind(cand, "points")->array.pop_back();
+  const SweepDiff missing = diff_sweeps(baseline(), cand, {});
+  EXPECT_FALSE(missing.clean());
+  EXPECT_TRUE(missing.points.back().base_only);
+
+  const SweepDiff extra = diff_sweeps(cand, baseline(), {});
+  EXPECT_FALSE(extra.clean());
+  EXPECT_TRUE(extra.points.back().cand_only);
+}
+
+TEST(DiffTest, TruncatedAndSchemaViolatingInputIsRejected) {
+  const LoadedSweep truncated = load_sweep_text(
+      R"({"schema":"ssomp-sweep-v1","points":[{"label":"a)", "stdin");
+  EXPECT_FALSE(truncated.ok);
+  EXPECT_NE(truncated.error.find("stdin"), std::string::npos);
+  EXPECT_NE(truncated.error.find("invalid JSON"), std::string::npos);
+
+  const LoadedSweep wrong_schema = load_sweep_text(
+      R"({"schema":"something-else","plan":{},"points":[]})", "f");
+  EXPECT_FALSE(wrong_schema.ok);
+  EXPECT_NE(wrong_schema.error.find("schema"), std::string::npos);
+
+  const LoadedSweep no_points =
+      load_sweep_text(R"({"schema":"ssomp-sweep-v1","plan":{}})", "f");
+  EXPECT_FALSE(no_points.ok);
+
+  const LoadedSweep bad_point = load_sweep_text(
+      R"({"schema":"ssomp-sweep-v1","plan":{},)"
+      R"("points":[{"label":"a","ok":true}]})",
+      "f");
+  EXPECT_FALSE(bad_point.ok);  // ok point without cycles
+
+  const SweepDiff d = diff_sweep_files("/nonexistent/base.json",
+                                       "/nonexistent/cand.json", {});
+  EXPECT_FALSE(d.ok);
+  EXPECT_FALSE(d.clean());
+  EXPECT_NE(diff_to_json(d).find("\"ok\":false"), std::string::npos);
+}
+
+TEST(DiffTest, HostSecondsAreNeverCompared) {
+  // Aggregates WITH host timing still self-diff clean: wall-clock noise
+  // must not be able to fail the gate (docs/PERFORMANCE.md).
+  ExperimentPlan plan;
+  plan.name = "host-seconds";
+  plan.scale = 1;
+  plan.apps = {"EP"};
+  plan.modes = {parse_mode_axis("single").value};
+  plan.ncmps = {2};
+  const SweepRun a = run_sweep(plan, apps::plan_resolver(),
+                               SweepOptions{.jobs = 1, .progress = {}});
+  const SweepRun b = run_sweep(plan, apps::plan_resolver(),
+                               SweepOptions{.jobs = 1, .progress = {}});
+  const LoadedSweep la = load_sweep_text(sweep_to_json(a), "a");
+  const LoadedSweep lb = load_sweep_text(sweep_to_json(b), "b");
+  ASSERT_TRUE(la.ok) << la.error;
+  ASSERT_TRUE(lb.ok) << lb.error;
+  EXPECT_TRUE(diff_sweeps(la.root, lb.root, {}).clean());
+}
+
+}  // namespace
+}  // namespace ssomp::core

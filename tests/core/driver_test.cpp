@@ -59,8 +59,8 @@ TEST(RunBatchTest, RecordsStayInItemOrderAtAnyJobCount) {
     items.push_back({"item" + std::to_string(i), tiny_config(),
                      compute_factory(100 * (i + 1))});
   }
-  const auto serial = run_batch(items, SweepOptions{.jobs = 1});
-  const auto parallel = run_batch(items, SweepOptions{.jobs = 8});
+  const auto serial = run_batch(items, SweepOptions{.jobs = 1, .progress = {}});
+  const auto parallel = run_batch(items, SweepOptions{.jobs = 8, .progress = {}});
   ASSERT_EQ(serial.size(), items.size());
   ASSERT_EQ(parallel.size(), items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -86,7 +86,7 @@ TEST(RunBatchTest, ThrowingRunBecomesAnErrorRecordOthersComplete) {
                      throw std::runtime_error("factory exploded");
                    }});
   items.push_back({"good1", tiny_config(), compute_factory(60)});
-  const auto records = run_batch(items, SweepOptions{.jobs = 4});
+  const auto records = run_batch(items, SweepOptions{.jobs = 4, .progress = {}});
   ASSERT_EQ(records.size(), 3u);
   EXPECT_TRUE(records[0].ok);
   EXPECT_FALSE(records[1].ok);
@@ -103,7 +103,7 @@ TEST(RunSweepTest, UnknownAppIsIsolatedToItsPoint) {
   plan.modes = {parse_mode_axis("single").value};
   plan.ncmps = {2};
   const SweepRun run =
-      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 2});
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 2, .progress = {}});
   ASSERT_EQ(run.records.size(), 2u);
   EXPECT_TRUE(run.records[0].ok);
   EXPECT_TRUE(run.records[0].result.workload.verified);
@@ -120,9 +120,9 @@ TEST(RunSweepTest, AggregateJsonIsByteIdenticalAtAnyJobCount) {
   plan.modes = paper_modes();
   plan.ncmps = {2};
   const SweepRun serial =
-      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 1});
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 1, .progress = {}});
   const SweepRun parallel =
-      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 8});
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 8, .progress = {}});
   const SweepJsonOptions no_host{.host_seconds = false};
   const std::string a = sweep_to_json(serial, no_host);
   const std::string b = sweep_to_json(parallel, no_host);
@@ -134,6 +134,79 @@ TEST(RunSweepTest, AggregateJsonIsByteIdenticalAtAnyJobCount) {
   EXPECT_NE(sweep_to_json(serial).find("host_seconds"), std::string::npos);
 }
 
+TEST(RunBatchTest, ProgressEventsCoverEveryRunWithMonotoneCompletion) {
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 5; ++i) {
+    items.push_back({"item" + std::to_string(i), tiny_config(),
+                     compute_factory(100 * (i + 1))});
+  }
+  items.push_back({"boom", tiny_config(), [](rt::Runtime&) ->
+                       std::unique_ptr<Workload> {
+                     throw std::runtime_error("boom");
+                   }});
+
+  // The driver serializes callback invocations under its own mutex, so
+  // the handler may record without locking.
+  std::vector<ProgressEvent> events;
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.progress = [&events](const ProgressEvent& ev) {
+    events.push_back(ev);
+  };
+  const auto records = run_batch(items, opts);
+  ASSERT_EQ(records.size(), items.size());
+
+  std::size_t starts = 0, finishes = 0, fails = 0;
+  std::size_t last_completed = 0;
+  for (const ProgressEvent& ev : events) {
+    EXPECT_EQ(ev.total, items.size());
+    EXPECT_LT(ev.index, items.size());
+    EXPECT_GE(ev.completed, last_completed);  // never goes backwards
+    last_completed = ev.completed;
+    switch (ev.kind) {
+      case ProgressEvent::Kind::kStart:
+        ++starts;
+        break;
+      case ProgressEvent::Kind::kFinish:
+        ++finishes;
+        EXPECT_GT(ev.host_seconds, 0.0);
+        EXPECT_GE(ev.eta_seconds, 0.0);
+        break;
+      case ProgressEvent::Kind::kFail:
+        ++fails;
+        EXPECT_EQ(ev.label, "boom");
+        break;
+    }
+  }
+  // One start and one terminal event per run; the failure still counts
+  // toward completion so the ETA keeps converging.
+  EXPECT_EQ(starts, items.size());
+  EXPECT_EQ(finishes, items.size() - 1);
+  EXPECT_EQ(fails, 1u);
+  EXPECT_EQ(last_completed, items.size());
+}
+
+TEST(RunSweepTest, RollupIsByteIdenticalAtAnyJobCountWithMetricsOn) {
+  ExperimentPlan plan;
+  plan.name = "rollup-determinism";
+  plan.scale = 1;
+  plan.apps = {"EP", "IS"};
+  plan.modes = paper_modes();
+  plan.ncmps = {2, 4};
+  plan.base.runtime.metrics = true;
+  const SweepRun serial =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 1, .progress = {}});
+  const SweepRun parallel =
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 8, .progress = {}});
+  const SweepJsonOptions no_host{.host_seconds = false};
+  const std::string a = sweep_to_json(serial, no_host);
+  const std::string b = sweep_to_json(parallel, no_host);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"rollup\""), std::string::npos);
+  EXPECT_NE(a.find("\"by_mode\""), std::string::npos);
+  EXPECT_NE(a.find("\"cycle_buckets\""), std::string::npos);
+}
+
 TEST(RunSweepTest, JobsAreClampedToThePointCount) {
   ExperimentPlan plan;
   plan.name = "clamp";
@@ -142,7 +215,7 @@ TEST(RunSweepTest, JobsAreClampedToThePointCount) {
   plan.modes = {parse_mode_axis("single").value};
   plan.ncmps = {2};
   const SweepRun run =
-      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 64});
+      run_sweep(plan, apps::plan_resolver(), SweepOptions{.jobs = 64, .progress = {}});
   EXPECT_EQ(run.jobs, 1);
   EXPECT_GT(run.host_seconds_total, 0.0);
 }

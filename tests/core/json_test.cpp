@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "apps/registry.hpp"
+#include "core/diff.hpp"
+#include "core/driver.hpp"
 #include "core/json.hpp"
+#include "trace/jsonv.hpp"
 
 namespace ssomp::core {
 namespace {
@@ -33,6 +36,88 @@ TEST(JsonTest, WellFormedAndComplete) {
         "\"sync\":\"LOCAL_SYNC\"", "\"tokens_consumed\"", "\"A-Timely\""}) {
     EXPECT_NE(j.find(key), std::string::npos) << key << " missing\n" << j;
   }
+}
+
+TEST(JsonTest, SingleRunJsonRoundTripsThroughTheStrictParser) {
+  auto factory = apps::make_workload("EP", apps::AppScale::kTiny);
+  ExperimentConfig cfg = ExperimentConfig::slipstream(
+      2, slip::SlipstreamConfig::one_token_local());
+  cfg.runtime.metrics = true;
+  cfg.runtime.audit = true;
+  const auto result = run_experiment(cfg, factory);
+  const auto parsed = trace::parse_json(to_json(cfg, result));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  // Metrics are structured JSON now, not a spliced opaque string.
+  const trace::JsonValue* metrics = parsed.value.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  ASSERT_NE(metrics->find("counters"), nullptr);
+  ASSERT_NE(metrics->find("histograms"), nullptr);
+
+  // Cycle account: bucket totals present and summing to the rows.
+  const trace::JsonValue* account = parsed.value.find("cycle_account");
+  ASSERT_NE(account, nullptr);
+  const trace::JsonValue* buckets = account->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  double bucket_sum = 0;
+  for (const auto& [name, v] : buckets->object) bucket_sum += v.number;
+  double row_sum = 0;
+  for (const trace::JsonValue& slot : account->find("rows")->array) {
+    for (const trace::JsonValue& cpu : slot.array) {
+      for (const trace::JsonValue& cell : cpu.array) row_sum += cell.number;
+    }
+  }
+  EXPECT_EQ(bucket_sum, row_sum);
+  EXPECT_EQ(static_cast<sim::Cycles>(bucket_sum),
+            result.cycle_account.total());
+  const trace::JsonValue* res = parsed.value.find("result");
+  ASSERT_NE(res, nullptr);
+  const trace::JsonValue* ok = res->find("cycle_account_ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->boolean);
+}
+
+TEST(JsonTest, SweepAggregateValidatesAndRollupMatchesPoints) {
+  ExperimentPlan plan;
+  plan.name = "roundtrip";
+  plan.scale = 1;
+  plan.apps = {"EP", "IS"};
+  plan.modes = {parse_mode_axis("single").value,
+                parse_mode_axis("slip-L1").value};
+  plan.ncmps = {2};
+  plan.base.runtime.metrics = true;
+  const SweepRun run = run_sweep(plan, apps::plan_resolver(),
+                                 SweepOptions{.jobs = 2, .progress = {}});
+  const LoadedSweep loaded = load_sweep_text(
+      sweep_to_json(run, SweepJsonOptions{.host_seconds = false}), "test");
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  const trace::JsonValue* rollup = loaded.root.find("rollup");
+  ASSERT_NE(rollup, nullptr);
+  for (const char* group : {"all", "by_app", "by_mode", "by_ncmp"}) {
+    EXPECT_NE(rollup->find(group), nullptr) << group;
+  }
+  // The merged rollup must agree with a by-hand fold of the points.
+  double cycles_sum = 0;
+  double account_sum = 0;
+  for (const trace::JsonValue& p : loaded.root.find("points")->array) {
+    cycles_sum += p.number_or("cycles");
+    for (const auto& [name, v] :
+         p.find("cycle_account")->find("buckets")->object) {
+      account_sum += v.number;
+    }
+    EXPECT_NE(p.find("metrics"), nullptr);
+  }
+  const trace::JsonValue* all = rollup->find("all");
+  EXPECT_EQ(all->number_or("points"),
+            static_cast<double>(run.records.size()));
+  EXPECT_EQ(all->number_or("cycles_total"), cycles_sum);
+  double rollup_account = 0;
+  for (const auto& [name, v] : all->find("cycle_buckets")->object) {
+    rollup_account += v.number;
+  }
+  EXPECT_EQ(rollup_account, account_sum);
 }
 
 TEST(JsonTest, EscapesStrings) {

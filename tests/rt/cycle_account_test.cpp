@@ -1,0 +1,151 @@
+// Cycle accounting: every simulated cycle of every CPU lands in exactly
+// one exclusive bucket (sum(buckets) == breakdown total, audited by
+// run_experiment), and the buckets a run populates match its execution
+// mode — token waits only under slipstream, recovery/resync only when
+// the recovery machinery runs, degraded only after a demotion, syscall
+// waits only when the A-stream consumes forwarded scheduling decisions.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/experiment.hpp"
+#include "slip/config.hpp"
+#include "slip/faultinject.hpp"
+
+namespace ssomp::rt {
+namespace {
+
+using trace::CycleAccount;
+
+core::ExperimentConfig base_config(ExecutionMode mode) {
+  core::ExperimentConfig ec;
+  ec.machine.ncmp = 2;
+  ec.runtime.mode = mode;
+  ec.runtime.slip = slip::SlipstreamConfig::one_token_local();
+  ec.runtime.audit = true;
+  return ec;
+}
+
+core::ExperimentResult run_app(const char* app,
+                               const core::ExperimentConfig& ec,
+                               front::ScheduleClause sched = {}) {
+  auto factory = apps::make_workload(app, apps::AppScale::kTiny, sched);
+  return core::run_experiment(ec, factory);
+}
+
+sim::Cycles bucket(const core::ExperimentResult& res, sim::CycleBucket b) {
+  return res.cycle_account.bucket_total(b);
+}
+
+void expect_identity(const core::ExperimentResult& res) {
+  EXPECT_TRUE(res.workload.verified) << res.workload.detail;
+  EXPECT_TRUE(res.cycle_account_ok)
+      << (res.cycle_account_violations.empty()
+              ? ""
+              : res.cycle_account_violations.front());
+  EXPECT_GT(res.cycle_account.total(), 0u);
+}
+
+TEST(CycleAccountTest, IdentityHoldsInEveryExecutionMode) {
+  for (ExecutionMode mode : {ExecutionMode::kSingle, ExecutionMode::kDouble,
+                             ExecutionMode::kSlipstream}) {
+    const auto res = run_app("CG", base_config(mode));
+    expect_identity(res);
+    // Serial slot plus at least one parallel region.
+    EXPECT_GT(res.cycle_account.slots(), 1);
+    EXPECT_GT(res.cycle_account.cpus(), 0);
+  }
+}
+
+TEST(CycleAccountTest, NonSlipstreamModesNeverWaitOnTokens) {
+  for (ExecutionMode mode :
+       {ExecutionMode::kSingle, ExecutionMode::kDouble}) {
+    const auto res = run_app("CG", base_config(mode));
+    expect_identity(res);
+    EXPECT_EQ(bucket(res, sim::CycleBucket::kTokenWait), 0u);
+    EXPECT_EQ(bucket(res, sim::CycleBucket::kRecovery), 0u);
+    EXPECT_EQ(bucket(res, sim::CycleBucket::kRestartResync), 0u);
+    EXPECT_EQ(bucket(res, sim::CycleBucket::kDegraded), 0u);
+    EXPECT_GT(bucket(res, sim::CycleBucket::kCompute), 0u);
+  }
+}
+
+TEST(CycleAccountTest, SlipstreamPopulatesTokenWait) {
+  auto ec = base_config(ExecutionMode::kSlipstream);
+  ec.runtime.slip = slip::SlipstreamConfig::zero_token_global();
+  const auto res = run_app("CG", ec);
+  expect_identity(res);
+  // Zero-token global blocks the A-stream at every barrier.
+  EXPECT_GT(bucket(res, sim::CycleBucket::kTokenWait), 0u);
+  EXPECT_EQ(bucket(res, sim::CycleBucket::kRecovery), 0u);
+}
+
+TEST(CycleAccountTest, SyscallWaitAppearsOnlyUnderForwardedScheduling) {
+  front::ScheduleClause dyn;
+  dyn.kind = front::ScheduleKind::kDynamic;
+  dyn.chunk = 2;
+  const auto forwarded =
+      run_app("CG", base_config(ExecutionMode::kSlipstream), dyn);
+  expect_identity(forwarded);
+  EXPECT_GT(bucket(forwarded, sim::CycleBucket::kSyscallWait), 0u);
+
+  const auto statics = run_app("CG", base_config(ExecutionMode::kSlipstream));
+  expect_identity(statics);
+  EXPECT_EQ(bucket(statics, sim::CycleBucket::kSyscallWait), 0u);
+}
+
+TEST(CycleAccountTest, ForcedRecoveryChargesTheRecoveryBucket) {
+  auto ec = base_config(ExecutionMode::kSlipstream);
+  ec.runtime.slip = slip::SlipstreamConfig::zero_token_global();
+  ec.runtime.fault = {
+      .kind = slip::FaultKind::kRecoverInConsume, .node = 0, .visit = 1};
+  const auto res = run_app("CG", ec);
+  expect_identity(res);
+  EXPECT_GE(res.slip.recoveries, 1u);
+  EXPECT_GT(bucket(res, sim::CycleBucket::kRecovery), 0u);
+}
+
+TEST(CycleAccountTest, RestartChargesResyncAndIdentityHoldsUnderStress) {
+  auto ec = base_config(ExecutionMode::kSlipstream);
+  ec.runtime.fault = {
+      .kind = slip::FaultKind::kRStreamTokenLoss, .node = 0, .visit = 2};
+  ec.runtime.recovery = RecoveryPolicy::kRestart;
+  ec.runtime.divergence_threshold = 2;
+  ec.runtime.watchdog_cycles = 50000;
+  const auto res = run_app("CG", ec);
+  expect_identity(res);
+  EXPECT_GT(res.slip.restarts, 0u);
+  EXPECT_GT(bucket(res, sim::CycleBucket::kRecovery), 0u);
+  EXPECT_GT(bucket(res, sim::CycleBucket::kRestartResync), 0u);
+}
+
+TEST(CycleAccountTest, DemotedCmpChargesDegradedCycles) {
+  auto ec = base_config(ExecutionMode::kSlipstream);
+  ec.runtime.fault = {
+      .kind = slip::FaultKind::kRStreamTokenLoss, .node = 1, .visit = 1};
+  ec.runtime.recovery = RecoveryPolicy::kRestart;
+  ec.runtime.divergence_threshold = 1;
+  ec.runtime.watchdog_cycles = 50000;
+  ec.runtime.degrade = {.enabled = true, .demote_after = 1,
+                        .probation = 1000};
+  const auto res = run_app("CG", ec);
+  expect_identity(res);
+  EXPECT_GE(res.slip.demotions, 1u);
+  EXPECT_GT(bucket(res, sim::CycleBucket::kDegraded), 0u);
+}
+
+TEST(CycleAccountTest, PerCpuRowsSumToTheBucketTotals) {
+  const auto res = run_app("CG", base_config(ExecutionMode::kSlipstream));
+  expect_identity(res);
+  const CycleAccount& a = res.cycle_account;
+  for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+    sim::Cycles sum = 0;
+    for (int c = 0; c < a.cpus(); ++c) {
+      sum += a.cpu_total(c).get(static_cast<sim::CycleBucket>(b));
+    }
+    EXPECT_EQ(sum, a.bucket_total(static_cast<sim::CycleBucket>(b)))
+        << to_string(static_cast<sim::CycleBucket>(b));
+  }
+}
+
+}  // namespace
+}  // namespace ssomp::rt

@@ -90,6 +90,12 @@ TEST_P(RecoveryStressTest, SelfVerifiesAndAuditsClean) {
   EXPECT_TRUE(res.audit_ok)
       << (res.audit_violations.empty() ? "" : res.audit_violations.front());
   EXPECT_GT(res.audit_checks, 0u);
+  // Every simulated cycle must land in exactly one accounting bucket
+  // even while the recovery machinery is churning.
+  EXPECT_TRUE(res.cycle_account_ok)
+      << (res.cycle_account_violations.empty()
+              ? ""
+              : res.cycle_account_violations.front());
   // The four barrier-token faults hit sites every app visits; the
   // recovery/forward faults need a blocked waiter or a dynamic schedule
   // and may legitimately never find an eligible visit here.

@@ -1,0 +1,245 @@
+// Merge properties of the aggregation primitives: Counter, Histogram,
+// MetricsRegistry and CycleAccount merges must be associative and
+// order-independent (the sweep rollup folds per-point snapshots in
+// record order, and byte-identical aggregates at any --jobs count
+// depend on nothing else), and merged histogram percentiles must match
+// the pooled sample stream to bucket resolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "trace/cycle_account.hpp"
+#include "trace/metrics.hpp"
+
+namespace ssomp::trace {
+namespace {
+
+/// Deterministic sample stream (SplitMix64) — no global RNG state.
+std::vector<std::uint64_t> samples(std::uint64_t seed, int n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  std::uint64_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    out.push_back(z % 2'000'000);  // latency-ish range, several buckets
+  }
+  return out;
+}
+
+Histogram record_all(const std::vector<std::uint64_t>& vs) {
+  Histogram h;
+  for (std::uint64_t v : vs) h.record(v);
+  return h;
+}
+
+void expect_same_state(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), b.bucket_count(i)) << "bucket " << i;
+  }
+  for (double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.percentile(p), b.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(CounterMergeTest, AssociativeAndCommutative) {
+  Counter a, b, c;
+  a.inc(3);
+  b.inc(5);
+  c.inc(7);
+  Counter ab = a;
+  ab.merge(b);
+  ab.merge(c);  // (a + b) + c
+  Counter bc = b;
+  bc.merge(c);
+  Counter a_bc = a;
+  a_bc.merge(bc);  // a + (b + c)
+  EXPECT_EQ(ab.value(), 15u);
+  EXPECT_EQ(a_bc.value(), 15u);
+  Counter cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(cba.value(), 15u);
+}
+
+TEST(HistogramMergeTest, MergeEqualsPooledStream) {
+  const auto s1 = samples(1, 400);
+  const auto s2 = samples(2, 150);
+  Histogram merged = record_all(s1);
+  merged.merge(record_all(s2));
+
+  std::vector<std::uint64_t> pooled = s1;
+  pooled.insert(pooled.end(), s2.begin(), s2.end());
+  // Lossless on bucket state: the merged histogram is exactly the
+  // histogram of the concatenated stream, percentiles included.
+  expect_same_state(merged, record_all(pooled));
+}
+
+TEST(HistogramMergeTest, AssociativeAndOrderIndependent) {
+  const auto s1 = samples(11, 300);
+  const auto s2 = samples(12, 200);
+  const auto s3 = samples(13, 100);
+  const Histogram h1 = record_all(s1);
+  const Histogram h2 = record_all(s2);
+  const Histogram h3 = record_all(s3);
+
+  Histogram left = h1;  // (h1 + h2) + h3
+  left.merge(h2);
+  left.merge(h3);
+  Histogram bc = h2;  // h1 + (h2 + h3)
+  bc.merge(h3);
+  Histogram right = h1;
+  right.merge(bc);
+  expect_same_state(left, right);
+
+  Histogram reversed = h3;  // h3 + h2 + h1
+  reversed.merge(h2);
+  reversed.merge(h1);
+  expect_same_state(left, reversed);
+}
+
+TEST(HistogramMergeTest, MergedPercentileWithinOneBucketOfExact) {
+  const auto s1 = samples(21, 500);
+  const auto s2 = samples(22, 500);
+  Histogram merged = record_all(s1);
+  merged.merge(record_all(s2));
+
+  std::vector<std::uint64_t> pooled = s1;
+  pooled.insert(pooled.end(), s2.begin(), s2.end());
+  std::sort(pooled.begin(), pooled.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(pooled.size())));
+    const std::uint64_t exact = pooled[rank == 0 ? 0 : rank - 1];
+    const std::uint64_t est = merged.percentile(p);
+    // The estimate is the containing power-of-two bucket's upper bound
+    // (clamped to the observed max): never below the exact value, never
+    // outside its bucket.
+    EXPECT_GE(est, exact) << "p" << p;
+    EXPECT_EQ(Histogram::bucket_of(est), Histogram::bucket_of(exact))
+        << "p" << p;
+  }
+}
+
+TEST(HistogramMergeTest, EmptySidesAreIdentity) {
+  const Histogram filled = record_all(samples(31, 64));
+  Histogram a = filled;
+  a.merge(Histogram{});
+  expect_same_state(a, filled);
+  Histogram b;
+  b.merge(filled);
+  expect_same_state(b, filled);
+}
+
+TEST(MetricsRegistryMergeTest, OrderIndependentAcrossDisjointAndSharedNames) {
+  MetricsRegistry r1, r2, r3;
+  r1.counter("shared").inc(1);
+  r1.counter("only1").inc(10);
+  r1.histogram("lat").record(100);
+  r2.counter("shared").inc(2);
+  r2.histogram("lat").record(3000);
+  r3.counter("only3").inc(30);
+  r3.histogram("other").record(7);
+
+  MetricsRegistry fwd = r1;
+  fwd.merge(r2);
+  fwd.merge(r3);
+  MetricsRegistry rev = r3;
+  rev.merge(r2);
+  rev.merge(r1);
+
+  EXPECT_EQ(fwd.counters().at("shared").value(), 3u);
+  EXPECT_EQ(fwd.counters().at("only1").value(), 10u);
+  EXPECT_EQ(fwd.counters().at("only3").value(), 30u);
+  EXPECT_EQ(fwd.histograms().at("lat").count(), 2u);
+  // std::map keying + commutative folds: serialization-identical.
+  EXPECT_EQ(fwd.to_json(), rev.to_json());
+}
+
+CycleAccount make_account(int cpus, int slots, sim::Cycles base) {
+  CycleAccount a;
+  a.reset(cpus);
+  for (int s = 0; s < slots; ++s) {
+    for (int c = 0; c < cpus; ++c) {
+      sim::Cycles* row = a.row_data(c, s);
+      for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+        row[b] = base + static_cast<sim::Cycles>(s * 100 + c * 10 + b);
+      }
+    }
+  }
+  return a;
+}
+
+void expect_same_account(const CycleAccount& a, const CycleAccount& b) {
+  ASSERT_EQ(a.cpus(), b.cpus());
+  ASSERT_EQ(a.slots(), b.slots());
+  EXPECT_EQ(a.total(), b.total());
+  for (int s = 0; s < a.slots(); ++s) {
+    for (int c = 0; c < a.cpus(); ++c) {
+      EXPECT_EQ(a.row(c, s).cycles, b.row(c, s).cycles)
+          << "cpu " << c << " slot " << s;
+    }
+  }
+}
+
+TEST(CycleAccountMergeTest, AssociativeAndOrderIndependent) {
+  const CycleAccount a1 = make_account(2, 3, 1);
+  const CycleAccount a2 = make_account(2, 3, 1000);
+  const CycleAccount a3 = make_account(2, 3, 50000);
+
+  CycleAccount left = a1;  // (a1 + a2) + a3
+  left.merge(a2);
+  left.merge(a3);
+  CycleAccount bc = a2;  // a1 + (a2 + a3)
+  bc.merge(a3);
+  CycleAccount right = a1;
+  right.merge(bc);
+  expect_same_account(left, right);
+
+  CycleAccount reversed = a3;
+  reversed.merge(a2);
+  reversed.merge(a1);
+  expect_same_account(left, reversed);
+}
+
+TEST(CycleAccountMergeTest, RaggedShapesPadWithZeros) {
+  // Sweeps merge accounts from different machine sizes and region
+  // counts; the smaller side must behave as all-zero padding.
+  CycleAccount small = make_account(2, 2, 1);
+  const CycleAccount big = make_account(4, 5, 7);
+  const sim::Cycles expected = small.total() + big.total();
+  small.merge(big);
+  EXPECT_EQ(small.cpus(), 4);
+  EXPECT_EQ(small.slots(), 5);
+  EXPECT_EQ(small.total(), expected);
+  // A cpu/slot that only the big side had carries exactly its value.
+  EXPECT_EQ(small.row(3, 4).cycles, big.row(3, 4).cycles);
+
+  CycleAccount other = make_account(4, 5, 7);
+  other.merge(make_account(2, 2, 1));
+  expect_same_account(small, other);
+}
+
+TEST(CycleAccountMergeTest, IdentityCheckCatchesMismatch) {
+  CycleAccount a;
+  a.reset(2);
+  a.row_data(0, 0)[0] = 100;
+  a.row_data(1, 0)[3] = 50;
+  EXPECT_TRUE(a.check_identity({100, 50}).empty());
+  const auto violations = a.check_identity({100, 51});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("cpu 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssomp::trace

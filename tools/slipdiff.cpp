@@ -1,0 +1,124 @@
+// slipdiff — sweep-aggregate regression gate.
+//
+//   slipdiff BASE.json CAND.json [--cycles-pct N] [--share-pts N]
+//            [--counter-pct N] [--out FILE] [--json]
+//
+// Diffs two ssomp-sweep-v1 aggregates point-by-point: simulated-cycle
+// deltas, cycle-account bucket-share shifts, counter changes, and
+// boolean gate flips (ok/verified/audit/cycle-account identity). All
+// thresholds default to zero — any change is a regression — matching
+// the repo's byte-determinism ethos; host wall-clock fields are never
+// compared (docs/PERFORMANCE.md).
+//
+// Exit codes: 0 = clean, 1 = at least one regression, 2 = usage / I/O /
+// schema error. --out writes the machine-readable ssomp-diff-v1 report
+// (docs/SWEEPS.md); --json prints it to stdout instead of the table.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/diff.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "slipdiff: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: slipdiff BASE.json CAND.json [--cycles-pct N]\n"
+      "                [--share-pts N] [--counter-pct N] [--out FILE]\n"
+      "                [--json]\n"
+      "  BASE/CAND        ssomp-sweep-v1 aggregates (ssomp_run --sweep)\n"
+      "  --cycles-pct N   allow cycles to grow up to N%% per point\n"
+      "  --share-pts N    allow non-compute bucket shares to grow up to\n"
+      "                   N percentage points\n"
+      "  --counter-pct N  allow counters to move up to N%% either way\n"
+      "  --out FILE       also write the ssomp-diff-v1 JSON report\n"
+      "  --json           print the JSON report instead of the table\n"
+      "  all value flags accept --flag VALUE or --flag=VALUE\n");
+  std::exit(2);
+}
+
+double pct_value(const std::string& v, const char* flag) {
+  char* end = nullptr;
+  const double pct = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || pct < 0.0) {
+    usage((std::string("bad value for ") + flag).c_str());
+  }
+  return pct / 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cand_path;
+  std::string out_file;
+  bool json = false;
+  ssomp::core::DiffThresholds thresholds;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline = true;
+      }
+    }
+    const auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--cycles-pct") {
+      thresholds.cycles_rel = pct_value(value(), "--cycles-pct");
+    } else if (arg == "--share-pts") {
+      thresholds.share_abs = pct_value(value(), "--share-pts");
+    } else if (arg == "--counter-pct") {
+      thresholds.counter_rel = pct_value(value(), "--counter-pct");
+    } else if (arg == "--out") {
+      out_file = value();
+      if (out_file.empty()) usage("empty --out file name");
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(("unknown argument " + std::string(argv[i])).c_str());
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (cand_path.empty()) {
+      cand_path = arg;
+    } else {
+      usage("too many positional arguments");
+    }
+  }
+  if (base_path.empty() || cand_path.empty()) {
+    usage("need BASE and CAND aggregate files");
+  }
+
+  const ssomp::core::SweepDiff diff =
+      ssomp::core::diff_sweep_files(base_path, cand_path, thresholds);
+  if (!diff.ok) {
+    std::fprintf(stderr, "slipdiff: %s\n", diff.error.c_str());
+    return 2;
+  }
+
+  if (!out_file.empty()) {
+    std::ofstream out(out_file, std::ios::binary);
+    if (out) out << ssomp::core::diff_to_json(diff) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "slipdiff: cannot write %s\n", out_file.c_str());
+      return 2;
+    }
+  }
+  if (json) {
+    std::printf("%s\n", ssomp::core::diff_to_json(diff).c_str());
+  } else {
+    std::fputs(ssomp::core::diff_to_text(diff).c_str(), stdout);
+  }
+  return diff.clean() ? 0 : 1;
+}

@@ -2,6 +2,8 @@
 //
 //   slipreport file.c [OMP_SLIPSTREAM-value]
 //   slipreport --trace trace.json
+//   slipreport --sweep aggregate.json
+//   slipreport --compare base.json cand.json
 //
 // In source mode, scans OpenMP-annotated source and prints the slipstream
 // handling of every construct (paper §3.1) plus the resolved A/R
@@ -12,13 +14,22 @@
 // `ssomp_run --trace` and prints the protocol summary (exact token
 // counts, retained-event breakdowns, wait/barrier slice durations).
 // Exits nonzero when the file is not valid trace JSON.
+//
+// In sweep mode, strictly validates an ssomp-sweep-v1 aggregate
+// (truncated or schema-violating input exits nonzero with a clear
+// message) and prints the per-point summary plus the top-down
+// cycle-account breakdown (docs/OBSERVABILITY.md). --compare diffs two
+// aggregates with slipdiff's zero-threshold semantics.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "core/diff.hpp"
 #include "front/report.hpp"
+#include "stats/report.hpp"
 #include "trace/summary.hpp"
 
 namespace {
@@ -32,9 +43,106 @@ bool read_file(const char* path, std::string& out) {
   return true;
 }
 
+/// --sweep mode: validate the aggregate, print one row per point, then
+/// the cycle-account bucket breakdown summed across ok points.
+int sweep_mode(const char* path) {
+  const ssomp::core::LoadedSweep sweep =
+      ssomp::core::load_sweep_file(path);
+  if (!sweep.ok) {
+    std::fprintf(stderr, "slipreport: %s\n", sweep.error.c_str());
+    return 2;
+  }
+  const ssomp::trace::JsonValue& root = sweep.root;
+  const ssomp::trace::JsonValue* plan = root.find("plan");
+  const ssomp::trace::JsonValue* points = root.find("points");
+  std::printf("sweep '%s': %zu points\n",
+              plan->string_or("name").c_str(), points->array.size());
+
+  ssomp::stats::Table t(
+      {"point", "cycles", "verified", "audit", "account", "status"});
+  std::map<std::string, double> buckets;  // bucket name -> summed cycles
+  double accounted = 0.0;
+  int bad = 0;
+  for (const ssomp::trace::JsonValue& p : points->array) {
+    const ssomp::trace::JsonValue* ok = p.find("ok");
+    if (ok == nullptr ||
+        ok->type != ssomp::trace::JsonValue::Type::kBool || !ok->boolean) {
+      ++bad;
+      t.add_row({p.string_or("label"), "-", "-", "-", "-",
+                 "ERROR: " + p.string_or("error", "failed")});
+      continue;
+    }
+    const auto flag = [&](const char* key) {
+      const ssomp::trace::JsonValue* v = p.find(key);
+      const bool set =
+          v == nullptr || v->type != ssomp::trace::JsonValue::Type::kBool ||
+          v->boolean;
+      if (!set) ++bad;
+      return set ? "ok" : "FAIL";
+    };
+    t.add_row({p.string_or("label"),
+               std::to_string(static_cast<unsigned long long>(
+                   p.number_or("cycles"))),
+               flag("verified"), flag("audit_ok"), flag("cycle_account_ok"),
+               "ok"});
+    const ssomp::trace::JsonValue* account = p.find("cycle_account");
+    if (account == nullptr) continue;
+    const ssomp::trace::JsonValue* pb = account->find("buckets");
+    if (pb == nullptr || !pb->is_object()) continue;
+    for (const auto& [name, v] : pb->object) {
+      if (!v.is_number()) continue;
+      buckets[name] += v.number;
+      accounted += v.number;
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  if (accounted > 0.0) {
+    std::printf("\ncycle account (all ok points, %llu cpu-cycles):\n",
+                static_cast<unsigned long long>(accounted));
+    ssomp::stats::Table b({"bucket", "cycles", "share"});
+    for (const auto& [name, cycles] : buckets) {
+      if (cycles <= 0.0) continue;
+      b.add_row({name,
+                 std::to_string(static_cast<unsigned long long>(cycles)),
+                 ssomp::stats::Table::pct(cycles / accounted)});
+    }
+    std::fputs(b.to_string().c_str(), stdout);
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+/// --compare mode: slipdiff semantics (zero thresholds) behind the
+/// report tool's front door.
+int compare_mode(const char* base, const char* cand) {
+  const ssomp::core::SweepDiff diff =
+      ssomp::core::diff_sweep_files(base, cand, {});
+  if (!diff.ok) {
+    std::fprintf(stderr, "slipreport: %s\n", diff.error.c_str());
+    return 2;
+  }
+  std::fputs(ssomp::core::diff_to_text(diff).c_str(), stdout);
+  return diff.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--sweep") {
+    if (argc < 3) {
+      std::fprintf(stderr, "slipreport: --sweep needs a file argument\n");
+      return 2;
+    }
+    return sweep_mode(argv[2]);
+  }
+  if (argc > 1 && std::string(argv[1]) == "--compare") {
+    if (argc < 4) {
+      std::fprintf(stderr,
+                   "slipreport: --compare needs BASE and CAND files\n");
+      return 2;
+    }
+    return compare_mode(argv[2], argv[3]);
+  }
   if (argc > 1 && std::string(argv[1]) == "--trace") {
     if (argc < 3) {
       std::fprintf(stderr, "slipreport: --trace needs a file argument\n");

@@ -10,7 +10,7 @@
 //             [--inject KIND[,NODE[,VISIT[,SEED]]]] [--audit] [--json]
 //             [--trace FILE] [--metrics] [--timeline FILE[,INTERVAL]]
 //   ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]
-//             [--no-host-seconds]
+//             [--no-host-seconds] [--progress]
 //   ssomp_run --modelcheck [--max-states N]
 //   ssomp_run --replay SCHEDULEFILE
 //
@@ -29,7 +29,9 @@
 // SSOMP_JOBS, default = hardware concurrency) and emits the canonical
 // ssomp-sweep-v1 aggregate JSON to --out (default stdout).
 // --no-host-seconds drops wall-clock timing so the same plan serializes
-// byte-identically at any job count.
+// byte-identically at any job count. --progress streams one-line
+// per-run start/finish/fail updates (with an ETA once the first run
+// completes) to stderr while the grid executes.
 //
 // --modelcheck runs the bounded protocol model checker over the
 // canonical verification grid (docs/VERIFICATION.md; the dedicated
@@ -69,7 +71,7 @@ namespace {
       "                 [--trace FILE] [--metrics]\n"
       "                 [--timeline FILE[,INTERVAL]]\n"
       "       ssomp_run --sweep PLANFILE [--jobs N] [--out FILE]\n"
-      "                 [--no-host-seconds]\n"
+      "                 [--no-host-seconds] [--progress]\n"
       "       ssomp_run --modelcheck [--max-states N]\n"
       "       ssomp_run --replay SCHEDULEFILE\n"
       "  fault kinds: skip-barrier duplicate-barrier starve-token\n"
@@ -99,6 +101,8 @@ namespace {
       "                   (default stdout)\n"
       "  --no-host-seconds  omit wall-clock fields: the sweep JSON is then\n"
       "                   byte-identical at any --jobs count\n"
+      "  --progress       stream per-run start/finish/ETA lines to stderr\n"
+      "                   while the sweep executes\n"
       "  --modelcheck     exhaustively check the token/recovery protocol\n"
       "                   model over the verification grid\n"
       "                   (docs/VERIFICATION.md)\n"
@@ -120,7 +124,8 @@ bool write_file(const std::string& path, const std::string& body) {
 /// process exit code — the rest of the grid still completes and lands in
 /// the JSON.
 int run_sweep_mode(const std::string& plan_file, int jobs,
-                   const std::string& out_file, bool host_seconds) {
+                   const std::string& out_file, bool host_seconds,
+                   bool progress) {
   std::ifstream in(plan_file, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "ssomp_run: cannot read plan file %s\n",
@@ -136,9 +141,23 @@ int run_sweep_mode(const std::string& plan_file, int jobs,
     return 2;
   }
 
+  core::SweepOptions opts;
+  opts.jobs = jobs;
+  if (progress) {
+    opts.progress = [](const core::ProgressEvent& ev) {
+      if (ev.kind == core::ProgressEvent::Kind::kStart) {
+        std::fprintf(stderr, "[%zu/%zu] start  %s\n", ev.completed,
+                     ev.total, ev.label.c_str());
+        return;
+      }
+      const bool failed = ev.kind == core::ProgressEvent::Kind::kFail;
+      std::fprintf(stderr, "[%zu/%zu] %s %s (%.2fs, eta %.0fs)\n",
+                   ev.completed, ev.total, failed ? "FAIL  " : "finish",
+                   ev.label.c_str(), ev.host_seconds, ev.eta_seconds);
+    };
+  }
   const core::SweepRun run =
-      core::run_sweep(parsed.value, apps::plan_resolver(),
-                      core::SweepOptions{.jobs = jobs});
+      core::run_sweep(parsed.value, apps::plan_resolver(), opts);
 
   stats::Table t({"point", "cycles", "verified", "status"});
   for (std::size_t i = 0; i < run.points.size(); ++i) {
@@ -167,7 +186,8 @@ int run_sweep_mode(const std::string& plan_file, int jobs,
   bool all_verified = true;
   for (const core::RunRecord& rec : run.records) {
     if (!rec.ok || !rec.result.workload.verified ||
-        !rec.result.invariants_ok || !rec.result.audit_ok) {
+        !rec.result.invariants_ok || !rec.result.audit_ok ||
+        !rec.result.cycle_account_ok) {
       all_verified = false;
     }
   }
@@ -282,6 +302,7 @@ int main(int argc, char** argv) {
   std::string out_file;
   int jobs = 0;
   bool host_seconds = true;
+  bool progress = false;
   bool modelcheck = false;
   std::uint64_t max_states = 0;
   std::string replay_file;
@@ -383,6 +404,8 @@ int main(int argc, char** argv) {
       if (out_file.empty()) usage("empty --out file name");
     } else if (arg == "--no-host-seconds") {
       host_seconds = false;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--modelcheck") {
       modelcheck = true;
     } else if (arg == "--max-states") {
@@ -397,7 +420,8 @@ int main(int argc, char** argv) {
   }
 
   if (!sweep_file.empty()) {
-    return run_sweep_mode(sweep_file, jobs, out_file, host_seconds);
+    return run_sweep_mode(sweep_file, jobs, out_file, host_seconds,
+                          progress);
   }
   if (modelcheck) return run_modelcheck_mode(max_states);
   if (!replay_file.empty()) return run_replay_mode(replay_file);
@@ -533,6 +557,29 @@ int main(int argc, char** argv) {
                  stats::Table::pct(result.fraction(cat))});
     }
     t.print();
+    // Top-down cycle account: every simulated cycle of every CPU in
+    // exactly one bucket, identity-checked against the sim breakdown.
+    const trace::CycleAccount& account = result.cycle_account;
+    const sim::Cycles accounted = account.total();
+    if (accounted > 0) {
+      std::printf("cycle account: %s (%d cpus, %d slots)\n",
+                  result.cycle_account_ok ? "identity ok"
+                                          : "IDENTITY VIOLATED",
+                  account.cpus(), account.slots());
+      for (const auto& v : result.cycle_account_violations)
+        std::printf("  %s\n", v.c_str());
+      stats::Table bt({"bucket", "cpu-cycles", "share"});
+      for (int b = 0; b < sim::kCycleBucketCount; ++b) {
+        const auto bucket = static_cast<sim::CycleBucket>(b);
+        const sim::Cycles cycles = account.bucket_total(bucket);
+        if (cycles == 0) continue;
+        bt.add_row({std::string(to_string(bucket)),
+                    std::to_string(static_cast<unsigned long long>(cycles)),
+                    stats::Table::pct(static_cast<double>(cycles) /
+                                      static_cast<double>(accounted))});
+      }
+      bt.print();
+    }
     if (result.trace_enabled) {
       const auto& tc = result.trace_counts;
       std::printf(
@@ -583,7 +630,7 @@ int main(int argc, char** argv) {
     }
   }
   return result.workload.verified && result.invariants_ok &&
-                 result.audit_ok && outputs_ok
+                 result.audit_ok && result.cycle_account_ok && outputs_ok
              ? 0
              : 1;
 }
